@@ -1,0 +1,131 @@
+// Command flashbench regenerates the evaluation of the FlashExtract paper
+// (§6): it replays the example-based interaction over the 75-document
+// benchmark and prints the per-document data behind Fig. 10 (number of
+// examples) and Fig. 11 (synthesis time), plus the headline summary.
+//
+// Usage:
+//
+//	flashbench [-domain text|web|sheet|all] [-fig 10|11|both] [-summary]
+//	flashbench -doc hadoop -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flashextract/internal/bench"
+	"flashextract/internal/bench/corpus"
+)
+
+func main() {
+	domain := flag.String("domain", "all", "domain to evaluate: text, web, sheet, or all")
+	fig := flag.String("fig", "both", "figure to regenerate: 10, 11, or both")
+	summaryOnly := flag.Bool("summary", false, "print only the headline summary")
+	docName := flag.String("doc", "", "evaluate a single document by name")
+	mode := flag.String("mode", "bottom", "evaluation mode: bottom (⊥-relative, the paper's hardest case), topdown (ancestor-relative sessions), or transfer (learn on one page, run on a same-layout page; web domain)")
+	verbose := flag.Bool("v", false, "per-field detail")
+	flag.Parse()
+
+	var tasks []*bench.Task
+	switch {
+	case *docName != "":
+		t := corpus.ByName(*docName)
+		if t == nil {
+			fmt.Fprintf(os.Stderr, "flashbench: unknown document %q\n", *docName)
+			os.Exit(1)
+		}
+		tasks = []*bench.Task{t}
+	case *domain == "text":
+		tasks = corpus.Text()
+	case *domain == "web":
+		tasks = corpus.Web()
+	case *domain == "sheet":
+		tasks = corpus.Sheets()
+	case *domain == "all":
+		tasks = corpus.All()
+	default:
+		fmt.Fprintf(os.Stderr, "flashbench: unknown domain %q\n", *domain)
+		os.Exit(1)
+	}
+
+	if *mode == "transfer" {
+		runTransferMode()
+		return
+	}
+	var results []bench.TaskResult
+	switch *mode {
+	case "bottom":
+		results = bench.RunAll(tasks)
+	case "topdown":
+		results = bench.RunAllTopDown(tasks)
+	default:
+		fmt.Fprintf(os.Stderr, "flashbench: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+
+	if *verbose {
+		for _, tr := range results {
+			fmt.Printf("%s (%s)\n", tr.Task.Name, tr.Task.Domain)
+			for _, f := range tr.Fields {
+				status := "ok"
+				if !f.Succeeded {
+					status = "FAILED: " + f.FailReason
+				}
+				fmt.Printf("  %-10s pos=%d neg=%d iters=%d time=%.3fs  %s\n",
+					f.Color, f.Positives, f.Negatives, f.Iterations, f.LastSynth.Seconds(), status)
+			}
+		}
+		fmt.Println()
+	}
+
+	if !*summaryOnly {
+		domains := []string{"text", "web", "sheet"}
+		for _, d := range domains {
+			var sub []bench.TaskResult
+			for _, tr := range results {
+				if tr.Task.Domain == d {
+					sub = append(sub, tr)
+				}
+			}
+			if len(sub) == 0 {
+				continue
+			}
+			if *fig == "10" || *fig == "both" {
+				fmt.Printf("== Fig. 10 (%s): average number of examples per document ==\n", d)
+				bench.WriteFig10(os.Stdout, bench.Fig10(sub))
+				fmt.Println()
+			}
+			if *fig == "11" || *fig == "both" {
+				fmt.Printf("== Fig. 11 (%s): average learning time of the last interaction ==\n", d)
+				bench.WriteFig11(os.Stdout, bench.Fig11(sub))
+				fmt.Println()
+			}
+		}
+	}
+
+	fmt.Println("== Summary (§6) ==")
+	bench.WriteSummary(os.Stdout, bench.Summarize(results))
+}
+
+// runTransferMode evaluates the §2 transfer workflow over the webpage
+// corpus: programs are learned on one page and replayed on a same-layout
+// page with a different catalog.
+func runTransferMode() {
+	fmt.Println("== Transfer (§2): learned programs replayed on similar pages ==")
+	fields, ok := 0, 0
+	for _, pair := range corpus.WebTransfer() {
+		results := bench.RunTransfer(pair[0], pair[1])
+		status := "ok"
+		for _, tr := range results {
+			fields++
+			if tr.Transferred {
+				ok++
+			} else {
+				status = fmt.Sprintf("FAILED %s: %s", tr.Color, tr.Detail)
+			}
+		}
+		fmt.Printf("%-14s %s\n", pair[0].Name, status)
+	}
+	fmt.Printf("\ntransferred: %d/%d fields\n", ok, fields)
+}

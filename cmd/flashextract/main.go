@@ -1,0 +1,67 @@
+// Command flashextract extracts structured data from a document by
+// examples, from the command line:
+//
+//	flashextract -type text -in report.txt -schema schema.fx \
+//	    -examples examples.fx -format csv [-run other.txt]
+//
+// The schema file holds the textual schema syntax, e.g.
+//
+//	Seq([rec] Struct(Name: [name] String, Mass: [mass] Int))
+//
+// The examples file holds one example per line: a sign (+ or -), a field
+// color, and a region locator. A line of the form "~ color" asks for the
+// structure field to be inferred bottom-up from its materialized children
+// instead of learned from examples (§3 of the paper). Blank lines and
+// lines starting with # are ignored. Locators:
+//
+//	text:START:END          character offsets (text documents)
+//	find:SUBSTRING:N        n-th occurrence of a substring (text)
+//	node:CLASS:N            n-th element with a CSS class (webpages)
+//	span:SUBSTRING:N        n-th occurrence in the page text (webpages)
+//	cell:R:C                a cell (spreadsheets)
+//	rect:R1:C1:R2:C2        a cell range (spreadsheets)
+//
+// Fields are learned and committed in schema order; -run re-executes the
+// learned program on a second, similarly formatted document.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	cfg := parseFlags()
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "flashextract: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	docType  string
+	in       string
+	schema   string
+	examples string
+	format   string
+	runOn    string
+	saveProg string
+	loadProg string
+	verbose  bool
+}
+
+func parseFlags() config {
+	var cfg config
+	flag.StringVar(&cfg.docType, "type", "text", "document type: text, web, or sheet")
+	flag.StringVar(&cfg.in, "in", "", "input document path")
+	flag.StringVar(&cfg.schema, "schema", "", "schema file path")
+	flag.StringVar(&cfg.examples, "examples", "", "examples file path")
+	flag.StringVar(&cfg.format, "format", "json", "output format: json, xml, or csv")
+	flag.StringVar(&cfg.runOn, "run", "", "optional second document to run the learned program on")
+	flag.StringVar(&cfg.saveProg, "save", "", "write the learned extraction program to this path")
+	flag.StringVar(&cfg.loadProg, "load", "", "load a saved extraction program instead of learning from examples")
+	flag.BoolVar(&cfg.verbose, "v", false, "print learned programs")
+	flag.Parse()
+	return cfg
+}

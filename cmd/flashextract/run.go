@@ -1,0 +1,365 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"flashextract"
+)
+
+func run(cfg config, out io.Writer) error {
+	if cfg.loadProg != "" {
+		return runLoaded(cfg, out)
+	}
+	if cfg.in == "" || cfg.schema == "" || cfg.examples == "" {
+		return fmt.Errorf("-in, -schema, and -examples are required (or -load a saved program)")
+	}
+	schemaSrc, err := os.ReadFile(cfg.schema)
+	if err != nil {
+		return err
+	}
+	sch, err := flashextract.ParseSchema(string(schemaSrc))
+	if err != nil {
+		return err
+	}
+	docSrc, err := os.ReadFile(cfg.in)
+	if err != nil {
+		return err
+	}
+	doc, err := openDocument(cfg.docType, string(docSrc))
+	if err != nil {
+		return err
+	}
+	exSrc, err := os.ReadFile(cfg.examples)
+	if err != nil {
+		return err
+	}
+	examples, err := parseExamples(string(exSrc))
+	if err != nil {
+		return err
+	}
+
+	session := flashextract.NewSession(doc, sch)
+	inferred := map[string]bool{}
+	for _, ex := range examples {
+		if ex.infer {
+			inferred[ex.color] = true
+			continue
+		}
+		r, err := locate(doc, ex.locator)
+		if err != nil {
+			return fmt.Errorf("example %q: %w", ex.raw, err)
+		}
+		if ex.positive {
+			err = session.AddPositive(ex.color, r)
+		} else {
+			err = session.AddNegative(ex.color, r)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	// Fields with examples are learned in schema (top-down) order; fields
+	// marked "~" are inferred afterwards, bottom-up, once their children
+	// have been materialized.
+	fields := sch.Fields()
+	for _, fi := range fields {
+		if inferred[fi.Color()] {
+			continue
+		}
+		fp, _, err := session.Learn(fi.Color())
+		if err != nil {
+			return fmt.Errorf("learning field %s: %w", fi.Color(), err)
+		}
+		if cfg.verbose {
+			fmt.Fprintf(os.Stderr, "%s ← %s\n", fi.Color(), fp)
+		}
+		if err := session.Commit(fi.Color()); err != nil {
+			return fmt.Errorf("committing field %s: %w", fi.Color(), err)
+		}
+	}
+	for i := len(fields) - 1; i >= 0; i-- {
+		fi := fields[i]
+		if !inferred[fi.Color()] {
+			continue
+		}
+		fp, _, err := session.InferStructure(fi.Color())
+		if err != nil {
+			return fmt.Errorf("inferring field %s: %w", fi.Color(), err)
+		}
+		if cfg.verbose {
+			fmt.Fprintf(os.Stderr, "%s ← %s (inferred)\n", fi.Color(), fp)
+		}
+		if err := session.Commit(fi.Color()); err != nil {
+			return fmt.Errorf("committing inferred field %s: %w", fi.Color(), err)
+		}
+	}
+
+	inst, err := session.Extract()
+	if err != nil {
+		return err
+	}
+	if err := render(out, cfg.format, sch, inst); err != nil {
+		return err
+	}
+
+	if cfg.saveProg != "" {
+		q, err := session.Program()
+		if err != nil {
+			return err
+		}
+		artifact, err := flashextract.SaveProgram(q, doc)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.saveProg, artifact, 0o644); err != nil {
+			return err
+		}
+	}
+
+	if cfg.runOn != "" {
+		otherSrc, err := os.ReadFile(cfg.runOn)
+		if err != nil {
+			return err
+		}
+		other, err := openDocument(cfg.docType, string(otherSrc))
+		if err != nil {
+			return err
+		}
+		q, err := session.Program()
+		if err != nil {
+			return err
+		}
+		inst2, _, err := q.Run(other)
+		if err != nil {
+			return fmt.Errorf("running learned program on %s: %w", cfg.runOn, err)
+		}
+		fmt.Fprintf(out, "\n-- %s --\n", cfg.runOn)
+		if err := render(out, cfg.format, sch, inst2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runLoaded executes a previously saved extraction program on the input
+// document; no schema or examples are needed.
+func runLoaded(cfg config, out io.Writer) error {
+	if cfg.in == "" {
+		return fmt.Errorf("-in is required with -load")
+	}
+	docSrc, err := os.ReadFile(cfg.in)
+	if err != nil {
+		return err
+	}
+	doc, err := openDocument(cfg.docType, string(docSrc))
+	if err != nil {
+		return err
+	}
+	artifact, err := os.ReadFile(cfg.loadProg)
+	if err != nil {
+		return err
+	}
+	q, err := flashextract.LoadProgram(artifact, doc)
+	if err != nil {
+		return err
+	}
+	if cfg.verbose {
+		fmt.Fprint(os.Stderr, q.String())
+	}
+	inst, _, err := q.Run(doc)
+	if err != nil {
+		return err
+	}
+	return render(out, cfg.format, q.Schema, inst)
+}
+
+func openDocument(docType, src string) (flashextract.Document, error) {
+	switch docType {
+	case "text":
+		return flashextract.NewTextDocument(src), nil
+	case "web":
+		return flashextract.NewWebDocument(src)
+	case "sheet":
+		return flashextract.NewSheetDocument(src)
+	default:
+		return nil, fmt.Errorf("unknown document type %q (want text, web, or sheet)", docType)
+	}
+}
+
+func render(out io.Writer, format string, sch *flashextract.Schema, inst *flashextract.Instance) error {
+	switch format {
+	case "json":
+		_, err := io.WriteString(out, flashextract.ToJSON(inst))
+		return err
+	case "xml":
+		_, err := io.WriteString(out, flashextract.ToXML("data", inst))
+		return err
+	case "csv":
+		_, err := io.WriteString(out, flashextract.ToCSV(sch, inst))
+		return err
+	default:
+		return fmt.Errorf("unknown output format %q (want json, xml, or csv)", format)
+	}
+}
+
+// example is one parsed line of the examples file.
+type example struct {
+	positive bool
+	infer    bool
+	color    string
+	locator  string
+	raw      string
+}
+
+func parseExamples(src string) ([]example, error) {
+	var out []example
+	for i, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sign := line[:1]
+		if sign != "+" && sign != "-" && sign != "~" {
+			return nil, fmt.Errorf("line %d: want '+|- color locator' or '~ color', got %q", i+1, line)
+		}
+		rest := strings.TrimSpace(line[1:])
+		if sign == "~" {
+			// "~ color": infer this structure field bottom-up from its
+			// materialized children, with no examples of its own.
+			if rest == "" || strings.ContainsAny(rest, " \t") {
+				return nil, fmt.Errorf("line %d: want '~ color', got %q", i+1, line)
+			}
+			out = append(out, example{infer: true, color: rest, raw: line})
+			continue
+		}
+		sep := strings.IndexAny(rest, " \t")
+		if sep < 0 {
+			return nil, fmt.Errorf("line %d: want '+|- color locator', got %q", i+1, line)
+		}
+		// The locator is everything after the color, so it may contain
+		// quoted spaces (find:"John Smith":0).
+		out = append(out, example{
+			positive: sign == "+",
+			color:    rest[:sep],
+			locator:  strings.TrimSpace(rest[sep:]),
+			raw:      line,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no examples found")
+	}
+	return out, nil
+}
+
+// locate resolves a region locator against a document.
+func locate(doc flashextract.Document, locator string) (flashextract.Region, error) {
+	parts := splitLocator(locator)
+	switch {
+	case parts[0] == "text" && len(parts) == 3:
+		td, ok := doc.(*flashextract.TextDocument)
+		if !ok {
+			return nil, fmt.Errorf("text locator on a %T document", doc)
+		}
+		start, err1 := strconv.Atoi(parts[1])
+		end, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad offsets in %q", locator)
+		}
+		return td.Region(start, end), nil
+	case parts[0] == "find" && len(parts) == 3:
+		td, ok := doc.(*flashextract.TextDocument)
+		if !ok {
+			return nil, fmt.Errorf("find locator on a %T document", doc)
+		}
+		n, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("bad occurrence index in %q", locator)
+		}
+		r, found := td.FindRegion(parts[1], n)
+		if !found {
+			return nil, fmt.Errorf("occurrence %d of %q not found", n, parts[1])
+		}
+		return r, nil
+	case parts[0] == "node" && len(parts) == 3:
+		wd, ok := doc.(*flashextract.WebDocument)
+		if !ok {
+			return nil, fmt.Errorf("node locator on a %T document", doc)
+		}
+		n, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("bad node index in %q", locator)
+		}
+		class := strings.TrimPrefix(parts[1], ".")
+		nodes := wd.Root.FindAll(flashextract.NodeHasClass(class))
+		if n < 0 || n >= len(nodes) {
+			return nil, fmt.Errorf("node %d with class %q not found (%d matches)", n, class, len(nodes))
+		}
+		return wd.NodeOf(nodes[n]), nil
+	case parts[0] == "span" && len(parts) == 3:
+		wd, ok := doc.(*flashextract.WebDocument)
+		if !ok {
+			return nil, fmt.Errorf("span locator on a %T document", doc)
+		}
+		n, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("bad occurrence index in %q", locator)
+		}
+		r, found := wd.FindSpan(parts[1], n)
+		if !found {
+			return nil, fmt.Errorf("occurrence %d of %q not found in page text", n, parts[1])
+		}
+		return r, nil
+	case parts[0] == "cell" && len(parts) == 3:
+		sd, ok := doc.(*flashextract.SheetDocument)
+		if !ok {
+			return nil, fmt.Errorf("cell locator on a %T document", doc)
+		}
+		r, err1 := strconv.Atoi(parts[1])
+		c, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad coordinates in %q", locator)
+		}
+		return sd.CellAt(r, c), nil
+	case parts[0] == "rect" && len(parts) == 5:
+		sd, ok := doc.(*flashextract.SheetDocument)
+		if !ok {
+			return nil, fmt.Errorf("rect locator on a %T document", doc)
+		}
+		var coords [4]int
+		for i := 0; i < 4; i++ {
+			v, err := strconv.Atoi(parts[i+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad coordinates in %q", locator)
+			}
+			coords[i] = v
+		}
+		return sd.Rect(coords[0], coords[1], coords[2], coords[3]), nil
+	default:
+		return nil, fmt.Errorf("unknown locator %q", locator)
+	}
+}
+
+// splitLocator splits on colons but keeps quoted segments intact, so
+// find:"a:b":0 works.
+func splitLocator(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '"':
+			inQuote = !inQuote
+		case s[i] == ':' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(s[i])
+		}
+	}
+	out = append(out, cur.String())
+	return out
+}

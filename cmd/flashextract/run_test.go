@@ -1,0 +1,242 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunTextEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "doc.txt", `inventory
+Chair: Aeron (price: $540.00)
+Chair: Tulip (price: $99.99)
+Chair: Windsor (price: $185.00)
+`)
+	sch := writeFile(t, dir, "schema.fx", `Struct(Names: Seq([name] String), Prices: Seq([price] Float))`)
+	exs := writeFile(t, dir, "examples.fx", `
+# chair names and prices
++ name find:"Aeron":0
++ name find:"Tulip":0
++ price find:"540.00":0
++ price find:"99.99":0
+`)
+	other := writeFile(t, dir, "other.txt", `inventory
+Chair: Bistro (price: $75.40)
+`)
+	var out strings.Builder
+	err := run(config{
+		docType: "text", in: in, schema: sch, examples: exs,
+		format: "csv", runOn: other,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Aeron", "Tulip", "Windsor", "540.00", "99.99", "Bistro", "75.40"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunSheetJSON(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "doc.csv", `Name,Qty
+Bolt,500
+Nut,480
+Washer,900
+`)
+	sch := writeFile(t, dir, "schema.fx", `Seq([rec] Struct(Part: [part] String, Qty: [qty] Int))`)
+	exs := writeFile(t, dir, "examples.fx", `
++ rec rect:1:0:1:1
++ rec rect:2:0:2:1
++ part cell:1:0
++ qty cell:1:1
+`)
+	var out strings.Builder
+	err := run(config{docType: "sheet", in: in, schema: sch, examples: exs, format: "json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"Part": "Washer"`) {
+		t.Errorf("JSON missing Washer:\n%s", out.String())
+	}
+}
+
+func TestRunWebXML(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "page.html", `<html><body><ul class="r">
+<li class="hit"><b class="t">Alpha</b></li>
+<li class="hit"><b class="t">Beta</b></li>
+<li class="hit"><b class="t">Gamma</b></li>
+</ul></body></html>`)
+	sch := writeFile(t, dir, "schema.fx", `Seq([t] String)`)
+	exs := writeFile(t, dir, "examples.fx", `+ t node:.t:0`)
+	var out strings.Builder
+	if err := run(config{docType: "web", in: in, schema: sch, examples: exs, format: "xml"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<item>Alpha</item>", "<item>Gamma</item>"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("XML missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "doc.txt", "hello\n")
+	sch := writeFile(t, dir, "schema.fx", `Seq([x] String)`)
+	exs := writeFile(t, dir, "examples.fx", `+ x find:"hello":0`)
+	cases := []config{
+		{}, // missing everything
+		{docType: "bogus", in: in, schema: sch, examples: exs},                 // bad type
+		{docType: "text", in: in, schema: sch, examples: exs, format: "bogus"}, // bad format
+		{docType: "text", in: "/nonexistent", schema: sch, examples: exs},      // bad input
+	}
+	for i, cfg := range cases {
+		if err := run(cfg, &strings.Builder{}); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestParseExamples(t *testing.T) {
+	exs, err := parseExamples("+ a find:\"x\":0\n- b cell:1:2\n# comment\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exs) != 2 || !exs[0].positive || exs[1].positive {
+		t.Fatalf("parsed %+v", exs)
+	}
+	if exs[0].locator != `find:"x":0` {
+		t.Fatalf("locator = %q", exs[0].locator)
+	}
+	if _, err := parseExamples("junk line\n"); err == nil {
+		t.Fatal("junk should fail")
+	}
+	if _, err := parseExamples("# only comments\n"); err == nil {
+		t.Fatal("no examples should fail")
+	}
+}
+
+func TestSplitLocator(t *testing.T) {
+	got := splitLocator(`find:"a:b":2`)
+	if len(got) != 3 || got[0] != "find" || got[1] != "a:b" || got[2] != "2" {
+		t.Fatalf("splitLocator = %v", got)
+	}
+}
+
+func TestLocateErrors(t *testing.T) {
+	doc, _ := openDocument("text", "hello world")
+	for _, loc := range []string{
+		"bogus:1:2", `find:"zzz":0`, "text:a:b", "cell:1:2", "node:.x:0",
+	} {
+		if _, err := locate(doc, loc); err == nil {
+			t.Errorf("locate(%q) should fail on a text document", loc)
+		}
+	}
+	web, _ := openDocument("web", "<p class='x'>hi</p>")
+	if _, err := locate(web, "node:.x:5"); err == nil {
+		t.Error("out-of-range node index should fail")
+	}
+	if r, err := locate(web, "node:.x:0"); err != nil || r == nil {
+		t.Errorf("valid node locator failed: %v", err)
+	}
+	if _, err := locate(web, `span:"hi":0`); err != nil {
+		t.Errorf("valid span locator failed: %v", err)
+	}
+	sheetDoc, _ := openDocument("sheet", "a,b\nc,d\n")
+	if r, err := locate(sheetDoc, "rect:0:0:1:1"); err != nil || r == nil {
+		t.Errorf("valid rect locator failed: %v", err)
+	}
+}
+
+func TestSaveAndLoadProgramCLI(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "doc.txt", `inventory
+Chair: Aeron (price: $540.00)
+Chair: Tulip (price: $99.99)
+`)
+	sch := writeFile(t, dir, "schema.fx", `Struct(Names: Seq([name] String), Prices: Seq([price] Float))`)
+	exs := writeFile(t, dir, "examples.fx", `
++ name find:"Aeron":0
++ name find:"Tulip":0
++ price find:"540.00":0
++ price find:"99.99":0
+`)
+	prog := filepath.Join(dir, "prog.json")
+	var out strings.Builder
+	if err := run(config{docType: "text", in: in, schema: sch, examples: exs,
+		format: "csv", saveProg: prog}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(prog); err != nil {
+		t.Fatalf("program artifact not written: %v", err)
+	}
+
+	// Run the saved program on a new document without any examples.
+	other := writeFile(t, dir, "other.txt", `inventory
+Chair: Bistro (price: $75.40)
+Chair: Windsor (price: $185.00)
+`)
+	var out2 strings.Builder
+	if err := run(config{docType: "text", in: other, loadProg: prog, format: "csv"}, &out2); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Bistro", "75.40", "Windsor", "185.00"} {
+		if !strings.Contains(out2.String(), want) {
+			t.Errorf("loaded run missing %q:\n%s", want, out2.String())
+		}
+	}
+}
+
+func TestRunLoadedErrors(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "prog.json", "not json")
+	in := writeFile(t, dir, "doc.txt", "x")
+	if err := run(config{docType: "text", loadProg: prog, in: in}, &strings.Builder{}); err == nil {
+		t.Fatal("junk program accepted")
+	}
+	if err := run(config{docType: "text", loadProg: prog}, &strings.Builder{}); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run(config{docType: "text", loadProg: "/nonexistent", in: in}, &strings.Builder{}); err == nil {
+		t.Fatal("missing program file accepted")
+	}
+}
+
+func TestRunWithInferredStructure(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "doc.txt", `directory
+John Smith: 425-555-0199
+Mary Major: 206-555-0133
+Luis Ortega: 360-555-0102
+`)
+	sch := writeFile(t, dir, "schema.fx", `Seq([e] Struct(Name: [n] String, Phone: [ph] String))`)
+	exs := writeFile(t, dir, "examples.fx", `
++ n find:"John Smith":0
++ ph find:"425-555-0199":0
+~ e
+`)
+	var out strings.Builder
+	if err := run(config{docType: "text", in: in, schema: sch, examples: exs, format: "csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"John Smith,425-555-0199", "Luis Ortega,360-555-0102"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

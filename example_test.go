@@ -1,0 +1,117 @@
+package flashextract_test
+
+import (
+	"fmt"
+
+	"flashextract"
+)
+
+// Example demonstrates the complete workflow on a small text file:
+// schema, examples, learning, extraction, and transfer to a second file.
+func Example() {
+	doc := flashextract.NewTextDocument("inventory\nBolt: 500\nNut: 480\nWasher: 900\n")
+	sch := flashextract.MustParseSchema(`Seq([rec] Struct(Part: [p] String, Qty: [q] Int))`)
+	s := flashextract.NewSession(doc, sch)
+
+	r0, _ := doc.FindRegion("Bolt: 500", 0)
+	r1, _ := doc.FindRegion("Nut: 480", 0)
+	_ = s.AddPositive("rec", r0)
+	_ = s.AddPositive("rec", r1)
+	if _, _, err := s.Learn("rec"); err != nil {
+		fmt.Println("learn rec:", err)
+		return
+	}
+	_ = s.Commit("rec")
+
+	p0, _ := doc.FindRegion("Bolt", 0)
+	_ = s.AddPositive("p", p0)
+	if _, _, err := s.Learn("p"); err != nil {
+		fmt.Println("learn p:", err)
+		return
+	}
+	_ = s.Commit("p")
+
+	q0, _ := doc.FindRegion("500", 0)
+	_ = s.AddPositive("q", q0)
+	if _, _, err := s.Learn("q"); err != nil {
+		fmt.Println("learn q:", err)
+		return
+	}
+	_ = s.Commit("q")
+
+	instance, _ := s.Extract()
+	fmt.Print(flashextract.ToCSV(sch, instance))
+
+	// The learned program runs unchanged on a similar file.
+	program, _ := s.Program()
+	other := flashextract.NewTextDocument("inventory\nAnchor: 120\nScrew: 650\n")
+	instance2, _, _ := program.Run(other)
+	fmt.Print(flashextract.ToCSV(sch, instance2))
+
+	// Output:
+	// item.Part,item.Qty
+	// Bolt,500
+	// Nut,480
+	// Washer,900
+	// item.Part,item.Qty
+	// Anchor,120
+	// Screw,650
+}
+
+// ExampleSession_InferStructure shows the bottom-up workflow: leaves
+// first, then the record structure inferred with no examples.
+func ExampleSession_InferStructure() {
+	doc := flashextract.NewTextDocument("directory\nJohn Smith: 425-555-0199\nMary Major: 206-555-0133\n")
+	sch := flashextract.MustParseSchema(`Seq([e] Struct(Name: [n] String, Phone: [ph] String))`)
+	s := flashextract.NewSession(doc, sch)
+
+	for color, sub := range map[string]string{"n": "John Smith", "ph": "425-555-0199"} {
+		r, _ := doc.FindRegion(sub, 0)
+		_ = s.AddPositive(color, r)
+		if _, _, err := s.Learn(color); err != nil {
+			fmt.Println(err)
+			return
+		}
+		_ = s.Commit(color)
+	}
+	_, inferred, err := s.InferStructure("e")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("records inferred:", len(inferred))
+	_ = s.Commit("e")
+	instance, _ := s.Extract()
+	fmt.Println(instance)
+
+	// Output:
+	// records inferred: 2
+	// [{Name: "John Smith", Phone: "425-555-0199"}, {Name: "Mary Major", Phone: "206-555-0133"}]
+}
+
+// ExampleSaveProgram shows program artifacts: serialize a learned program
+// and reload it elsewhere.
+func ExampleSaveProgram() {
+	doc := flashextract.NewTextDocument("a=1\nb=22\nc=333\n")
+	sch := flashextract.MustParseSchema(`Seq([v] Int)`)
+	s := flashextract.NewSession(doc, sch)
+	r0, _ := doc.FindRegion("1", 0)
+	r1, _ := doc.FindRegion("22", 0)
+	_ = s.AddPositive("v", r0)
+	_ = s.AddPositive("v", r1)
+	if _, _, err := s.Learn("v"); err != nil {
+		fmt.Println(err)
+		return
+	}
+	_ = s.Commit("v")
+	program, _ := s.Program()
+	artifact, _ := flashextract.SaveProgram(program, doc)
+
+	other := flashextract.NewTextDocument("x=7\ny=88\n")
+	loaded, _ := flashextract.LoadProgram(artifact, other)
+	instance, _, _ := loaded.Run(other)
+	fmt.Println(instance)
+
+	// Output:
+	// ["7", "88"]
+}

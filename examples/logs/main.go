@@ -1,0 +1,85 @@
+// Logs: learn an extraction program from examples on one log file, then
+// run it unchanged on another file with the same format — the "run the
+// program on other similar files" workflow of §2 of the FlashExtract
+// paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flashextract"
+)
+
+const febLog = `node-7 boot sequence
+2013-02-11 10:02:45 dn.storage WARN: Disk latency above threshold
+2013-02-11 10:03:01 dn.rpc INFO: Heartbeat sent
+2013-02-11 10:04:17 dn.storage WARN: Replica count below target
+2013-02-11 10:05:59 dn.scan INFO: Scanning block pool
+2013-02-11 10:06:21 dn.scan WARN: Checksum mismatch during scan
+`
+
+const marLog = `node-9 boot sequence
+2013-03-02 08:11:09 dn.rpc INFO: Heartbeat sent
+2013-03-02 08:12:44 dn.storage WARN: Disk almost full
+2013-03-02 08:15:30 dn.scan INFO: Scan started
+2013-03-02 08:17:02 dn.rpc WARN: Namenode unreachable
+2013-03-02 08:19:55 dn.rpc WARN: Namenode unreachable again
+`
+
+func main() {
+	doc := flashextract.NewTextDocument(febLog)
+	sch := flashextract.MustParseSchema(`
+		Struct(Stamps: Seq([ts] String), Warnings: Seq([msg] String))`)
+	session := flashextract.NewSession(doc, sch)
+
+	// Timestamps: one per log line. A single example matches only the WARN
+	// lines (a consistent but too-narrow program), so the user highlights a
+	// timestamp on an INFO line as well.
+	t0, _ := doc.FindRegion("2013-02-11 10:02:45", 0)
+	t1, _ := doc.FindRegion("2013-02-11 10:03:01", 0)
+	must(session.AddPositive("ts", t0))
+	must(session.AddPositive("ts", t1))
+	learnAndCommit(session, "ts")
+
+	// Warning messages: the text after "WARN: ".
+	w0, _ := doc.FindRegion("Disk latency above threshold", 0)
+	w1, _ := doc.FindRegion("Replica count below target", 0)
+	must(session.AddPositive("msg", w0))
+	must(session.AddPositive("msg", w1))
+	learnAndCommit(session, "msg")
+
+	instance, err := session.Extract()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("February log:")
+	fmt.Print(flashextract.ToJSON(instance))
+
+	// Run the exact same program on March's log.
+	program, err := session.Program()
+	if err != nil {
+		log.Fatal(err)
+	}
+	instance2, _, err := program.Run(flashextract.NewTextDocument(marLog))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nMarch log (no new examples needed):")
+	fmt.Print(flashextract.ToJSON(instance2))
+}
+
+func learnAndCommit(s *flashextract.Session, color string) {
+	prog, highlighted, err := s.Learn(color)
+	if err != nil {
+		log.Fatalf("learning %s: %v", color, err)
+	}
+	fmt.Printf("%-4s learned %s (%d regions)\n", color, prog, len(highlighted))
+	must(s.Commit(color))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Quickstart: extract a two-column table from a semi-structured text file
+// by examples — the scenario of Ex. 1 in the FlashExtract paper (analyte
+// names and masses from an instrument report).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flashextract"
+)
+
+const report = `DLZ - Summary Report
+
+"Sample ID:,""5007-01"""
+Analyte,"Mass","Conc. Mean"
+ICP,""Be"",9,0.070073
+ICP,""Sc"",45,0.042397
+ICP,""Mn"",55,0.031052
+
+DLZ - Summary Report
+
+"Sample ID:,""5007-02"""
+Analyte,"Mass","Conc. Mean"
+ICP,""Be"",9,0.080112
+ICP,""V"",51,0.069071
+`
+
+func main() {
+	doc := flashextract.NewTextDocument(report)
+	sch := flashextract.MustParseSchema(`
+		Seq([yellow] Struct(
+			Analyte: [magenta] String,
+			Mass:    [violet] Int))`)
+	session := flashextract.NewSession(doc, sch)
+
+	// Highlight the first two analyte lines as examples of the yellow
+	// structure rows.
+	l0, _ := doc.FindRegion(`ICP,""Be"",9,0.070073`, 0)
+	l1, _ := doc.FindRegion(`ICP,""Sc"",45,0.042397`, 0)
+	must(session.AddPositive("yellow", l0))
+	must(session.AddPositive("yellow", l1))
+	learnAndCommit(session, "yellow")
+
+	// One example each for the fields inside a row.
+	be, _ := doc.FindRegion("Be", 0)
+	must(session.AddPositive("magenta", be))
+	learnAndCommit(session, "magenta")
+
+	nine, _ := doc.FindRegion(`,9,`, 0)
+	must(session.AddPositive("violet", doc.Region(nine.Start+1, nine.End-1)))
+	learnAndCommit(session, "violet")
+
+	instance, err := session.Extract()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Extracted table (CSV):")
+	fmt.Print(flashextract.ToCSV(sch, instance))
+	fmt.Println()
+	fmt.Println("As JSON:")
+	fmt.Print(flashextract.ToJSON(instance))
+}
+
+func learnAndCommit(s *flashextract.Session, color string) {
+	prog, highlighted, err := s.Learn(color)
+	if err != nil {
+		log.Fatalf("learning %s: %v", color, err)
+	}
+	fmt.Printf("%-8s learned %s\n         highlights %d regions\n", color, prog, len(highlighted))
+	must(s.Commit(color))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

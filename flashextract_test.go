@@ -1,0 +1,501 @@
+package flashextract_test
+
+import (
+	"strings"
+	"testing"
+
+	"flashextract"
+)
+
+const report = `DLZ - Summary Report
+
+"Sample ID:,""5007-01"""
+Analyte,"Mass","Conc. Mean"
+ICP,""Be"",9,0.070073
+ICP,""Sc"",45,0.042397
+
+DLZ - Summary Report
+
+"Sample ID:,""5007-02"""
+Analyte,"Mass","Conc. Mean"
+ICP,""Be"",9,0.080112
+ICP,""V"",51,0.069071
+`
+
+// TestEndToEndTextExtraction walks the full public API: schema, session,
+// examples, learning relative to a materialized ancestor, extraction, and
+// all three export formats — the workflow of the paper's Ex. 1.
+func TestEndToEndTextExtraction(t *testing.T) {
+	doc := flashextract.NewTextDocument(report)
+	sch := flashextract.MustParseSchema(`
+		Seq([yellow] Struct(
+			Analyte: [magenta] String,
+			Mass:    [violet] Int,
+			CMean:   [blue] Float))`)
+	s := flashextract.NewSession(doc, sch)
+
+	// Yellow structure: the analyte lines.
+	l0, _ := doc.FindRegion(`ICP,""Be"",9,0.070073`, 0)
+	l1, _ := doc.FindRegion(`ICP,""Sc"",45,0.042397`, 0)
+	if err := s.AddPositive("yellow", l0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPositive("yellow", l1); err != nil {
+		t.Fatal(err)
+	}
+	if _, inferred, err := s.Learn("yellow"); err != nil {
+		t.Fatal(err)
+	} else if len(inferred) != 4 {
+		t.Fatalf("yellow inferred %d regions, want 4", len(inferred))
+	}
+	if err := s.Commit("yellow"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Magenta analyte names, learned relative to the yellow lines.
+	be, _ := doc.FindRegion("Be", 0)
+	if err := s.AddPositive("magenta", be); err != nil {
+		t.Fatal(err)
+	}
+	fp, inferred, err := s.Learn("magenta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Ancestor == nil || fp.Ancestor.Color() != "yellow" {
+		t.Fatalf("magenta should learn relative to yellow: %s", fp)
+	}
+	if len(inferred) != 4 {
+		t.Fatalf("magenta inferred %d regions, want 4", len(inferred))
+	}
+	if err := s.Commit("magenta"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Violet mass.
+	nine, _ := doc.FindRegion("9,", 0)
+	mass := doc.Region(nine.Start, nine.Start+1)
+	if err := s.AddPositive("violet", mass); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Learn("violet"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit("violet"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Blue concentration mean.
+	conc, _ := doc.FindRegion("0.070073", 0)
+	if err := s.AddPositive("blue", conc); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Learn("blue"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit("blue"); err != nil {
+		t.Fatal(err)
+	}
+
+	inst, err := s.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonOut := flashextract.ToJSON(inst)
+	for _, want := range []string{`"Be"`, `"Sc"`, `"V"`, "45", "0.042397"} {
+		if !strings.Contains(jsonOut, want) {
+			t.Errorf("JSON missing %s:\n%s", want, jsonOut)
+		}
+	}
+	xmlOut := flashextract.ToXML("samples", inst)
+	if !strings.Contains(xmlOut, "<Analyte>Be</Analyte>") {
+		t.Errorf("XML missing analyte:\n%s", xmlOut)
+	}
+	csvOut := flashextract.ToCSV(sch, inst)
+	lines := strings.Split(strings.TrimSpace(csvOut), "\n")
+	if len(lines) != 5 { // header + 4 analytes
+		t.Fatalf("CSV rows = %d, want 5:\n%s", len(lines), csvOut)
+	}
+	if lines[0] != "item.Analyte,item.Mass,item.CMean" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+
+	// Transfer: run the program on a similar report.
+	q, err := s.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := flashextract.NewTextDocument(`DLZ - Summary Report
+
+"Sample ID:,""9001-07"""
+Analyte,"Mass","Conc. Mean"
+ICP,""Fe"",56,0.120073
+ICP,""Cu"",63,0.042399
+`)
+	inst2, _, err := q.Run(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst2.Items) != 2 {
+		t.Fatalf("transfer items = %d", len(inst2.Items))
+	}
+	if inst2.Items[0].Elements[0].Value.Text != "Fe" {
+		t.Fatalf("transfer first analyte = %s", inst2.Items[0])
+	}
+}
+
+func TestEndToEndWebExtraction(t *testing.T) {
+	doc, err := flashextract.NewWebDocument(`<html><body>
+<div class="list">
+  <div class="product"><span class="name">Widget</span><span class="price">$9.99</span></div>
+  <div class="product"><span class="name">Gadget</span><span class="price">$19.50</span></div>
+  <div class="product"><span class="name">Doohickey</span><span class="price">$3.25</span></div>
+</div></body></html>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := flashextract.MustParseSchema(`Seq([p] Struct(Name: [n] String, Price: [pr] String))`)
+	s := flashextract.NewSession(doc, sch)
+	products := doc.Root.FindAll(flashextract.NodeHasClass("product"))
+	if err := s.AddPositive("p", doc.NodeOf(products[0])); err != nil {
+		t.Fatal(err)
+	}
+	if _, inferred, err := s.Learn("p"); err != nil {
+		t.Fatal(err)
+	} else if len(inferred) != 3 {
+		t.Fatalf("products inferred = %d", len(inferred))
+	}
+	if err := s.Commit("p"); err != nil {
+		t.Fatal(err)
+	}
+	names := doc.Root.FindAll(flashextract.NodeHasClass("name"))
+	if err := s.AddPositive("n", doc.NodeOf(names[0])); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Learn("n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit("n"); err != nil {
+		t.Fatal(err)
+	}
+	prices := doc.Root.FindAll(flashextract.NodeHasClass("price"))
+	if err := s.AddPositive("pr", doc.NodeOf(prices[0])); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Learn("pr"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit("pr"); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := flashextract.ToCSV(sch, inst)
+	if !strings.Contains(csv, "Gadget,$19.50") {
+		t.Fatalf("web CSV:\n%s", csv)
+	}
+}
+
+func TestEndToEndSheetExtraction(t *testing.T) {
+	doc, err := flashextract.NewSheetDocument(`Department:,Biology,,
+Lee,NSF,4000,approved
+Kim,NIH,2500,approved
+Subtotal,,6500,
+Department:,Chemistry,,
+Cho,DOE,1200,pending
+Subtotal,,1200,
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := flashextract.MustParseSchema(`Seq([rec] Struct(Name: [nm] String, Amount: [amt] Int))`)
+	s := flashextract.NewSession(doc, sch)
+	if err := s.AddPositive("rec", doc.Rect(1, 0, 1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPositive("rec", doc.Rect(2, 0, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Learn("rec"); err != nil {
+		t.Fatal(err)
+	}
+	// The first attempt over-approximates; the user strikes the subtotal
+	// row as a negative example and relearns (the refinement loop of §3).
+	if err := s.AddNegative("rec", doc.Rect(3, 0, 3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, inferred, err := s.Learn("rec"); err != nil {
+		t.Fatal(err)
+	} else if len(inferred) != 3 {
+		t.Fatalf("records inferred = %d, want 3: %v", len(inferred), inferred)
+	}
+	if err := s.Commit("rec"); err != nil {
+		t.Fatal(err)
+	}
+	for color, cell := range map[string]flashextract.Region{
+		"nm":  doc.CellAt(1, 0),
+		"amt": doc.CellAt(1, 2),
+	} {
+		if err := s.AddPositive(color, cell); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Learn(color); err != nil {
+			t.Fatalf("%s: %v", color, err)
+		}
+		if err := s.Commit(color); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inst, err := s.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := flashextract.ToCSV(sch, inst)
+	for _, want := range []string{"Lee,4000", "Kim,2500", "Cho,1200"} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("sheet CSV missing %s:\n%s", want, csv)
+		}
+	}
+}
+
+// TestBottomUpInference exercises the §3 bottom-up workflow on all three
+// domains: leaves are materialized first and the enclosing structure is
+// inferred with no examples via Session.InferStructure.
+func TestBottomUpInferenceWeb(t *testing.T) {
+	doc, err := flashextract.NewWebDocument(`<html><body>
+<div class="pub"><a class="title">Paper A</a><span class="venue">POPL</span></div>
+<div class="pub"><a class="title">Paper B</a><span class="venue">PLDI</span></div>
+<div class="pub"><a class="title">Paper C</a><span class="venue">CAV</span></div>
+</body></html>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := flashextract.MustParseSchema(`Seq([pub] Struct(Title: [ti] String, Venue: [ve] String))`)
+	s := flashextract.NewSession(doc, sch)
+	titles := doc.Root.FindAll(flashextract.NodeHasClass("title"))
+	venues := doc.Root.FindAll(flashextract.NodeHasClass("venue"))
+	for color, node := range map[string]flashextract.Region{
+		"ti": doc.NodeOf(titles[0]),
+		"ve": doc.NodeOf(venues[0]),
+	} {
+		if err := s.AddPositive(color, node); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Learn(color); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Commit(color); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fp, inferred, err := s.InferStructure("pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inferred) != 3 {
+		t.Fatalf("inferred %d pubs, want 3 (program %s)", len(inferred), fp)
+	}
+	if err := s.Commit("pub"); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Items) != 3 || inst.Items[1].Elements[1].Value.Text != "PLDI" {
+		t.Fatalf("instance = %s", inst)
+	}
+}
+
+func TestBottomUpInferenceText(t *testing.T) {
+	doc := flashextract.NewTextDocument(`directory
+John Smith: 425-555-0199
+Mary Major: 206-555-0133
+Luis Ortega: 360-555-0102
+`)
+	sch := flashextract.MustParseSchema(`Seq([entry] Struct(Name: [nm] String, Phone: [ph] String))`)
+	s := flashextract.NewSession(doc, sch)
+	nm, _ := doc.FindRegion("John Smith", 0)
+	ph, _ := doc.FindRegion("425-555-0199", 0)
+	for color, r := range map[string]flashextract.Region{"nm": nm, "ph": ph} {
+		if err := s.AddPositive(color, r); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Learn(color); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Commit(color); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, inferred, err := s.InferStructure("entry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inferred) != 3 {
+		t.Fatalf("inferred %d entries, want 3", len(inferred))
+	}
+	if err := s.Commit("entry"); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Items) != 3 || inst.Items[2].Elements[0].Value.Text != "Luis Ortega" {
+		t.Fatalf("instance = %s", inst)
+	}
+}
+
+func TestBottomUpInferenceSheet(t *testing.T) {
+	doc, err := flashextract.NewSheetDocument(`Parts,,
+Bolt,500,steel
+Nut,480,brass
+Washer,900,steel
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := flashextract.MustParseSchema(`Seq([rec] Struct(Part: [pt] String, Qty: [q] Int))`)
+	s := flashextract.NewSession(doc, sch)
+	for color, cells := range map[string][]flashextract.Region{
+		"pt": {doc.CellAt(1, 0), doc.CellAt(2, 0)},
+		"q":  {doc.CellAt(1, 1), doc.CellAt(2, 1)},
+	} {
+		for _, c := range cells {
+			if err := s.AddPositive(color, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, _, err := s.Learn(color); err != nil {
+			t.Fatalf("%s: %v", color, err)
+		}
+		if err := s.Commit(color); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, inferred, err := s.InferStructure("rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inferred) != 3 {
+		t.Fatalf("inferred %d records, want 3", len(inferred))
+	}
+	if err := s.Commit("rec"); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Items[2].Elements[0].Value.Text != "Washer" {
+		t.Fatalf("instance = %s", inst)
+	}
+}
+
+// TestNullFieldWorkflow mirrors the paper's conc.-mean scenario (Fig. 1):
+// a struct field that is null in some records. The field is learned
+// relative to the committed record structure from examples in the records
+// that do have it; records without it yield null instances, blank CSV
+// cells, and empty XML elements.
+func TestNullFieldWorkflow(t *testing.T) {
+	doc := flashextract.NewTextDocument(`readings
+sensor A-1: temp=21.5 note=ok
+sensor B-2: temp=19.8
+sensor C-3: temp=23.1 note=calibrate
+sensor D-4: temp=18.0
+`)
+	sch := flashextract.MustParseSchema(`
+		Seq([rec] Struct(ID: [id] String, Temp: [tmp] Float, Note: [note] String))`)
+	s := flashextract.NewSession(doc, sch)
+
+	r0, _ := doc.FindRegion("sensor A-1: temp=21.5 note=ok", 0)
+	r1, _ := doc.FindRegion("sensor B-2: temp=19.8", 0)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddPositive("rec", r0))
+	must(s.AddPositive("rec", r1))
+	if _, _, err := s.Learn("rec"); err != nil {
+		t.Fatal(err)
+	}
+	must(s.Commit("rec"))
+
+	id0, _ := doc.FindRegion("A-1", 0)
+	must(s.AddPositive("id", id0))
+	if _, _, err := s.Learn("id"); err != nil {
+		t.Fatal(err)
+	}
+	must(s.Commit("id"))
+
+	// The first temperature example over-fits its end position to the
+	// " note" context; a second example from a note-less record fixes it.
+	t0, _ := doc.FindRegion("21.5", 0)
+	t1, _ := doc.FindRegion("19.8", 0)
+	must(s.AddPositive("tmp", t0))
+	must(s.AddPositive("tmp", t1))
+	if _, inferredTmp, err := s.Learn("tmp"); err != nil {
+		t.Fatal(err)
+	} else if len(inferredTmp) != 4 {
+		t.Fatalf("tmp inferred %d regions, want 4: %v", len(inferredTmp), inferredTmp)
+	}
+	must(s.Commit("tmp"))
+
+	// The note exists only in records A-1 and C-3.
+	n0, _ := doc.FindRegion("ok", 0)
+	fp, inferred, err := s.Learn("note")
+	_ = fp
+	_ = inferred
+	if err == nil {
+		t.Fatal("learning note without examples should fail")
+	}
+	must(s.AddPositive("note", n0))
+	if _, _, err := s.Learn("note"); err != nil {
+		t.Fatal(err)
+	}
+	// One example over-approximates (a region is highlighted inside the
+	// note-less B-2 record); the user strikes it, as in Fig. 1's conc.-mean
+	// refinement.
+	bad, _ := doc.FindRegion("19.8", 0)
+	must(s.AddNegative("note", bad))
+	fp, inferred, err = s.Learn("note")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Ancestor == nil || fp.Ancestor.Color() != "rec" {
+		t.Fatalf("note should learn relative to rec: %s", fp)
+	}
+	if len(inferred) != 2 {
+		t.Fatalf("note inferred %d regions, want 2 (null elsewhere): %v", len(inferred), inferred)
+	}
+	must(s.Commit("note"))
+
+	inst, err := s.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Items) != 4 {
+		t.Fatalf("items = %d", len(inst.Items))
+	}
+	if inst.Items[0].Elements[2].Value.Text != "ok" {
+		t.Fatalf("rec0 note = %s", inst.Items[0])
+	}
+	if !inst.Items[1].Elements[2].Value.IsNull() {
+		t.Fatalf("rec1 note should be null: %s", inst.Items[1])
+	}
+	if inst.Items[2].Elements[2].Value.Text != "calibrate" {
+		t.Fatalf("rec2 note = %s", inst.Items[2])
+	}
+	csv := flashextract.ToCSV(sch, inst)
+	if !strings.Contains(csv, "B-2,19.8,\n") {
+		t.Fatalf("CSV should blank the missing note:\n%s", csv)
+	}
+	xml := flashextract.ToXML("sensors", inst)
+	if !strings.Contains(xml, "<Note/>") {
+		t.Fatalf("XML should emit an empty Note element:\n%s", xml)
+	}
+}

@@ -1,0 +1,3 @@
+module flashextract
+
+go 1.22

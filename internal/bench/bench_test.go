@@ -1,0 +1,290 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flashextract/internal/region"
+	"flashextract/internal/schema"
+	"flashextract/internal/textlang"
+)
+
+// simpleTask builds a small text task: names before colons.
+func simpleTask() *Task {
+	text := "alpha: 1\nbeta: 22\ngamma: 333\ndelta: 4\n"
+	doc := textlang.NewDocument(text)
+	m := schema.MustParse(`Struct(Names: Seq([n] String), Values: Seq([v] Int))`)
+	golden := map[string][]region.Region{}
+	for _, name := range []string{"alpha", "beta", "gamma", "delta"} {
+		r, _ := doc.FindRegion(name, 0)
+		golden["n"] = append(golden["n"], r)
+	}
+	for _, val := range []string{" 1", " 22", " 333", " 4"} {
+		r, _ := doc.FindRegion(val, 0)
+		golden["v"] = append(golden["v"], doc.Region(r.Start+1, r.End))
+	}
+	return &Task{Name: "simple", Domain: "text", Doc: doc, Schema: m, Golden: golden}
+}
+
+func TestSimulateFieldConverges(t *testing.T) {
+	task := simpleTask()
+	fr := SimulateField(task.Doc, task.Golden["n"])
+	if !fr.Succeeded {
+		t.Fatalf("simulation failed: %s", fr.FailReason)
+	}
+	if fr.Positives < 1 || fr.Iterations < 1 {
+		t.Fatalf("degenerate result: %+v", fr)
+	}
+	if fr.Examples() != fr.Positives+fr.Negatives {
+		t.Fatal("Examples() mismatch")
+	}
+}
+
+func TestSimulateFieldNoGolden(t *testing.T) {
+	task := simpleTask()
+	fr := SimulateField(task.Doc, nil)
+	if fr.Succeeded || fr.FailReason == "" {
+		t.Fatalf("empty golden should fail: %+v", fr)
+	}
+}
+
+func TestSimulateFieldImpossible(t *testing.T) {
+	// A golden set that no Ltext program can produce: two overlapping
+	// regions (an instance nested in another of the same field).
+	doc := textlang.NewDocument("abcdef\nghijkl\n")
+	golden := []region.Region{doc.Region(0, 6), doc.Region(2, 4)}
+	old := MaxIterations
+	MaxIterations = 4
+	defer func() { MaxIterations = old }()
+	fr := SimulateField(doc, golden)
+	if fr.Succeeded {
+		t.Fatal("impossible task reported success")
+	}
+}
+
+func TestRunAndSummarize(t *testing.T) {
+	task := simpleTask()
+	results := RunAll([]*Task{task})
+	if len(results) != 1 {
+		t.Fatal("RunAll lost a task")
+	}
+	tr := results[0]
+	if !tr.AllSucceeded() {
+		t.Fatalf("fields failed: %+v", tr.Fields)
+	}
+	if len(tr.Fields) != 2 {
+		t.Fatalf("got %d fields, want 2", len(tr.Fields))
+	}
+	pos, neg := tr.AvgExamples()
+	if pos < 1 {
+		t.Fatalf("avg positives = %f", pos)
+	}
+	s := Summarize(results)
+	if s.Documents != 1 || s.Fields != 2 || s.Failures != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.AvgExamples != s.AvgPositives+s.AvgNegatives {
+		t.Fatal("summary example totals inconsistent")
+	}
+	if s.AvgExamples != (pos+neg)*1 { // single doc: same averages
+		t.Fatalf("summary avg %f vs task avg %f", s.AvgExamples, pos+neg)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Documents != 0 || s.AvgExamples != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestAvgHelpersEmpty(t *testing.T) {
+	tr := TaskResult{}
+	if p, n := tr.AvgExamples(); p != 0 || n != 0 {
+		t.Fatal("empty AvgExamples not zero")
+	}
+	if tr.AvgLastSynth() != 0 {
+		t.Fatal("empty AvgLastSynth not zero")
+	}
+	if !tr.AllSucceeded() {
+		t.Fatal("vacuous AllSucceeded should be true")
+	}
+}
+
+func TestFirstMismatch(t *testing.T) {
+	doc := textlang.NewDocument("aaa bbb ccc ddd")
+	a := doc.Region(0, 3)
+	b := doc.Region(4, 7)
+	c := doc.Region(8, 11)
+	mk := func(rs ...region.Region) []region.Region { return rs }
+
+	// identical
+	if m, s, _ := firstMismatch(mk(a, b), mk(a, b)); m != nil || s != nil {
+		t.Fatal("identical sequences should match")
+	}
+	// missing golden
+	m, s, prefix := firstMismatch(mk(a, b, c), mk(a, b))
+	if m != region.Region(c) || s != nil || len(prefix) != 2 {
+		t.Fatalf("missing: %v %v %v", m, s, prefix)
+	}
+	// spurious output
+	m, s, _ = firstMismatch(mk(a, c), mk(a, b, c))
+	if m != nil || s != region.Region(b) {
+		t.Fatalf("spurious: %v %v", m, s)
+	}
+	// first difference wins: golden has b, output has c first
+	m, s, _ = firstMismatch(mk(b), mk(c))
+	if m != region.Region(b) || s != nil {
+		t.Fatalf("order: %v %v", m, s)
+	}
+}
+
+func TestOverlappingGolden(t *testing.T) {
+	doc := textlang.NewDocument("abcdefgh")
+	g := doc.Region(2, 6)
+	golden := []region.Region{g}
+	spur := doc.Region(0, 4)
+	if got := overlappingGolden(golden, nil, spur); got != region.Region(g) {
+		t.Fatalf("got %v", got)
+	}
+	// already a positive → nil
+	if got := overlappingGolden(golden, []region.Region{g}, spur); got != nil {
+		t.Fatalf("got %v, want nil", got)
+	}
+	// disjoint → nil
+	if got := overlappingGolden(golden, nil, doc.Region(7, 8)); got != nil {
+		t.Fatalf("got %v, want nil", got)
+	}
+}
+
+func TestAddRegionDedupes(t *testing.T) {
+	doc := textlang.NewDocument("abcd")
+	a := doc.Region(0, 2)
+	b := doc.Region(2, 4)
+	rs := addRegion(nil, b)
+	rs = addRegion(rs, a)
+	rs = addRegion(rs, a)
+	if len(rs) != 2 || rs[0] != region.Region(a) {
+		t.Fatalf("addRegion = %v", rs)
+	}
+}
+
+// ---- report rendering ----
+
+func fakeResults() []TaskResult {
+	task := simpleTask()
+	return []TaskResult{{
+		Task: task,
+		Fields: []FieldResult{
+			{Color: "n", Positives: 2, Negatives: 1, Succeeded: true, LastSynth: 20 * time.Millisecond},
+			{Color: "v", Positives: 1, Negatives: 0, Succeeded: false, FailReason: "x", LastSynth: 10 * time.Millisecond},
+		},
+	}}
+}
+
+func TestFig10Rows(t *testing.T) {
+	rows := Fig10(fakeResults())
+	if len(rows) != 1 {
+		t.Fatal("row count")
+	}
+	r := rows[0]
+	if r.Doc != "simple" || r.AvgPos != 1.5 || r.AvgNeg != 0.5 || r.Failures != 1 {
+		t.Fatalf("row = %+v", r)
+	}
+	var b strings.Builder
+	WriteFig10(&b, rows)
+	out := b.String()
+	if !strings.Contains(out, "simple") || !strings.Contains(out, "FAILED") {
+		t.Fatalf("Fig10 output:\n%s", out)
+	}
+}
+
+func TestFig11Rows(t *testing.T) {
+	rows := Fig11(fakeResults())
+	if len(rows) != 1 || rows[0].AvgSeconds != 0.015 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	var b strings.Builder
+	WriteFig11(&b, rows)
+	if !strings.Contains(b.String(), "0.015") {
+		t.Fatalf("Fig11 output:\n%s", b.String())
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	var b strings.Builder
+	WriteSummary(&b, Summarize(fakeResults()))
+	out := b.String()
+	for _, want := range []string{"documents:", "fields:", "2.00", "paper reference"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTopDownSimple(t *testing.T) {
+	task := simpleTask()
+	res := RunTopDown(task)
+	if !res.AllSucceeded() {
+		t.Fatalf("top-down failed: %+v", res.Fields)
+	}
+	if len(res.Fields) != 2 {
+		t.Fatalf("fields = %d", len(res.Fields))
+	}
+}
+
+func TestRunTopDownSkipsAfterAncestorFailure(t *testing.T) {
+	task := simpleTask()
+	// Remove the golden instances of the first field: it cannot be learned,
+	// and the second field is reported as skipped.
+	task.Golden["n"] = nil
+	res := RunTopDown(task)
+	if res.AllSucceeded() {
+		t.Fatal("expected failure")
+	}
+	if res.Fields[0].Succeeded {
+		t.Fatal("first field should fail")
+	}
+	if res.Fields[1].Succeeded || res.Fields[1].FailReason == "" {
+		t.Fatalf("second field should be skipped: %+v", res.Fields[1])
+	}
+}
+
+func TestRunTransferSimple(t *testing.T) {
+	train := simpleTask()
+	// A same-layout test document with different content.
+	text := "zeta: 7\nyak: 88\nxis: 999\n"
+	doc := textlang.NewDocument(text)
+	golden := map[string][]region.Region{}
+	for _, name := range []string{"zeta", "yak", "xis"} {
+		r, _ := doc.FindRegion(name, 0)
+		golden["n"] = append(golden["n"], r)
+	}
+	for _, val := range []string{" 7", " 88", " 999"} {
+		r, _ := doc.FindRegion(val, 0)
+		golden["v"] = append(golden["v"], doc.Region(r.Start+1, r.End))
+	}
+	test := &Task{Name: "simple-test", Domain: "text", Doc: doc, Schema: train.Schema, Golden: golden}
+	results := RunTransfer(train, test)
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, tr := range results {
+		if !tr.Learned {
+			t.Fatalf("field %s did not learn: %s", tr.Color, tr.Detail)
+		}
+		if !tr.Transferred {
+			t.Fatalf("field %s did not transfer: %s", tr.Color, tr.Detail)
+		}
+	}
+}
+
+func TestRunTransferTrainingFailure(t *testing.T) {
+	train := simpleTask()
+	train.Golden["n"] = nil
+	results := RunTransfer(train, train)
+	if results[0].Learned || results[0].Detail == "" {
+		t.Fatalf("expected training failure: %+v", results[0])
+	}
+}

@@ -1,0 +1,33 @@
+// Package corpus provides the 75-document benchmark of the paper's
+// evaluation (§6): 25 text files, 25 webpages, and 25 spreadsheets, each
+// with an output schema and golden annotations for every field.
+//
+// The original benchmark documents (help-forum text files, the SXPath
+// e-commerce pages, and EUSES spreadsheets) are not redistributable, so
+// the corpus is synthesized by generators that reproduce the structural
+// challenges the paper describes — multi-format sequences that need Merge,
+// null fields, records crossing line boundaries, per-site DOM variation,
+// and semi-structured workbooks with subtotal rows — under the document
+// names of Figs. 10 and 11.
+package corpus
+
+import "flashextract/internal/bench"
+
+// All returns the full 75-document benchmark.
+func All() []*bench.Task {
+	var out []*bench.Task
+	out = append(out, Text()...)
+	out = append(out, Web()...)
+	out = append(out, Sheets()...)
+	return out
+}
+
+// ByName returns the task with the given document name, or nil.
+func ByName(name string) *bench.Task {
+	for _, t := range All() {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package corpus
+
+import (
+	"testing"
+
+	"flashextract/internal/bench"
+)
+
+// runDomain simulates every task of a domain and reports per-field
+// failures; it is the expressiveness check of §6 (every task must be
+// synthesizable).
+func runDomain(t *testing.T, tasks []*bench.Task) {
+	t.Helper()
+	for _, task := range tasks {
+		task := task
+		t.Run(task.Name, func(t *testing.T) {
+			res := bench.Run(task)
+			for _, f := range res.Fields {
+				if !f.Succeeded {
+					t.Errorf("field %s: %s (pos=%d neg=%d iters=%d)",
+						f.Color, f.FailReason, f.Positives, f.Negatives, f.Iterations)
+				} else if f.Examples() > 8 {
+					t.Logf("field %s needed %d examples", f.Color, f.Examples())
+				}
+			}
+		})
+	}
+}
+
+func TestTextCorpus(t *testing.T) {
+	tasks := Text()
+	if len(tasks) != 25 {
+		t.Fatalf("text corpus has %d documents, want 25", len(tasks))
+	}
+	runDomain(t, tasks)
+}
+
+func TestWebCorpus(t *testing.T) {
+	tasks := Web()
+	if len(tasks) != 25 {
+		t.Fatalf("web corpus has %d documents, want 25", len(tasks))
+	}
+	runDomain(t, tasks)
+}
+
+func TestSheetCorpus(t *testing.T) {
+	tasks := Sheets()
+	if len(tasks) != 25 {
+		t.Fatalf("sheet corpus has %d documents, want 25", len(tasks))
+	}
+	runDomain(t, tasks)
+}
+
+func TestAllCorpus(t *testing.T) {
+	tasks := All()
+	if len(tasks) != 75 {
+		t.Fatalf("corpus has %d documents, want 75", len(tasks))
+	}
+	seen := map[string]bool{}
+	for _, task := range tasks {
+		if seen[task.Name] {
+			t.Errorf("duplicate document name %q", task.Name)
+		}
+		seen[task.Name] = true
+	}
+	if got := ByName("hadoop"); got == nil || got.Domain != "text" {
+		t.Fatal("ByName lookup broken")
+	}
+	if ByName("nonexistent") != nil {
+		t.Fatal("ByName should return nil for unknown names")
+	}
+}
+
+// TestTopDownWorkflowAllTasks verifies the recommended §3 top-down
+// ordering converges for every document: fields learned relative to their
+// materialized ancestors, committed in schema order.
+func TestTopDownWorkflowAllTasks(t *testing.T) {
+	for _, task := range All() {
+		task := task
+		t.Run(task.Name, func(t *testing.T) {
+			res := bench.RunTopDown(task)
+			for _, f := range res.Fields {
+				if !f.Succeeded {
+					t.Errorf("field %s: %s (pos=%d neg=%d iters=%d)",
+						f.Color, f.FailReason, f.Positives, f.Negatives, f.Iterations)
+				}
+			}
+		})
+	}
+}
+
+// TestWebTransfer verifies the §2 transfer workflow: programs learned on
+// one page extract the golden annotation of a same-layout page with a
+// different catalog, with no new examples.
+func TestWebTransfer(t *testing.T) {
+	for _, pair := range WebTransfer() {
+		pair := pair
+		t.Run(pair[0].Name, func(t *testing.T) {
+			for _, tr := range bench.RunTransfer(pair[0], pair[1]) {
+				if !tr.Learned {
+					t.Errorf("field %s: %s", tr.Color, tr.Detail)
+					continue
+				}
+				if !tr.Transferred {
+					t.Errorf("field %s did not transfer: %s", tr.Color, tr.Detail)
+				}
+			}
+		})
+	}
+}

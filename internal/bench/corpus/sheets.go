@@ -1,0 +1,320 @@
+package corpus
+
+import (
+	"fmt"
+
+	"flashextract/internal/bench"
+	"flashextract/internal/region"
+	"flashextract/internal/schema"
+	"flashextract/internal/sheet"
+	"flashextract/internal/sheetlang"
+)
+
+// sheetBuilder assembles a spreadsheet while recording golden regions.
+type sheetBuilder struct {
+	rows  [][]string
+	marks map[string][][4]int // color → (r1,c1,r2,c2); cells have r1==r2,c1==c2
+}
+
+func newSheetBuilder() *sheetBuilder {
+	return &sheetBuilder{marks: map[string][][4]int{}}
+}
+
+// row appends a row and returns its index.
+func (b *sheetBuilder) row(cells ...string) int {
+	b.rows = append(b.rows, cells)
+	return len(b.rows) - 1
+}
+
+// cell records a golden cell region.
+func (b *sheetBuilder) cell(color string, r, c int) {
+	b.marks[color] = append(b.marks[color], [4]int{r, c, r, c})
+}
+
+// rect records a golden rectangular region.
+func (b *sheetBuilder) rect(color string, r1, c1, r2, c2 int) {
+	b.marks[color] = append(b.marks[color], [4]int{r1, c1, r2, c2})
+}
+
+// rowRect records a golden full-width row region.
+func (b *sheetBuilder) rowRect(color string, r, cols int) {
+	b.rect(color, r, 0, r, cols-1)
+}
+
+// task finalizes the workbook into a benchmark task.
+func (b *sheetBuilder) task(name, schemaSrc string) *bench.Task {
+	cols := 0
+	for _, r := range b.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	g := sheet.New(len(b.rows), cols)
+	for r, row := range b.rows {
+		for c, v := range row {
+			g.Set(r, c, v)
+		}
+	}
+	doc := sheetlang.NewDocument(g)
+	m := schema.MustParse(schemaSrc)
+	golden := map[string][]region.Region{}
+	for color, ms := range b.marks {
+		if m.FieldByColor(color) == nil {
+			panic("corpus: golden color " + color + " not in schema for " + name)
+		}
+		var rs []region.Region
+		for _, mk := range ms {
+			if mk[0] == mk[2] && mk[1] == mk[3] {
+				rs = append(rs, doc.CellAt(mk[0], mk[1]))
+			} else {
+				rs = append(rs, doc.Rect(mk[0], mk[1], mk[2], mk[3]))
+			}
+		}
+		region.Sort(rs)
+		golden[color] = rs
+	}
+	for _, fi := range m.Fields() {
+		if _, ok := golden[fi.Color()]; !ok {
+			panic("corpus: no golden regions for color " + fi.Color() + " in " + name)
+		}
+	}
+	return &bench.Task{Name: name, Domain: "sheet", Doc: doc, Schema: m, Golden: golden}
+}
+
+// departmentSheet builds a Fig. 3-style workbook: department blocks of
+// investigator rows with subtotal rows. Fields: record rows, investigator
+// name, amount, and department name.
+func departmentSheet(name, title, label string, depts []deptBlock) *bench.Task {
+	b := newSheetBuilder()
+	b.row(title, "", "", "")
+	b.row("", "", "", "")
+	for _, d := range depts {
+		r := b.row(label, d.name, "", "")
+		b.cell("dept", r, 1)
+		total := 0
+		for _, p := range d.rows {
+			r := b.row(p.who, p.org, fmt.Sprint(p.amt), p.status)
+			b.rowRect("rec", r, 4)
+			b.cell("who", r, 0)
+			b.cell("amt", r, 2)
+			total += p.amt
+		}
+		b.row("Subtotal", "", fmt.Sprint(total), "")
+	}
+	return b.task(name, `Struct(
+		Departments: Seq([dept] String),
+		Records: Seq([rec] Struct(Investigator: [who] String, Amount: [amt] Int)))`)
+}
+
+type deptRow struct {
+	who, org, status string
+	amt              int
+}
+
+type deptBlock struct {
+	name string
+	rows []deptRow
+}
+
+// headerTable builds a plain header + data rows table. Fields: record
+// rows, the label column, and a numeric column. The base data is cycled to
+// several times its length with derived labels and values, giving the
+// workbooks realistic sizes.
+func headerTable(name string, header []string, data [][]string, numCol int) *bench.Task {
+	b := newSheetBuilder()
+	b.row(header...)
+	const copies = 3
+	for rep := 0; rep < copies; rep++ {
+		for i, d := range data {
+			row := append([]string(nil), d...)
+			if rep > 0 {
+				row[0] = fmt.Sprintf("%s%d", d[0], rep+1)
+				row[numCol] = fmt.Sprintf("%d%s", rep, d[numCol])
+				_ = i
+			}
+			r := b.row(row...)
+			b.rowRect("rec", r, len(header))
+			b.cell("label", r, 0)
+			b.cell("num", r, numCol)
+		}
+	}
+	return b.task(name, `Seq([rec] Struct(Label: [label] String, Value: [num] Float))`)
+}
+
+// twoRowRecords builds records spanning two rows: the first row carries
+// the name (and a numeric id), the second an indented detail. Fields:
+// two-row record rectangles, name, and detail.
+func twoRowRecords(name string, entries [][3]string) *bench.Task {
+	b := newSheetBuilder()
+	b.row("Registry", "", "")
+	for _, e := range entries {
+		r1 := b.row(e[0], e[1], "")
+		r2 := b.row("", "note", e[2])
+		b.rect("rec", r1, 0, r2, 2)
+		b.cell("nm", r1, 0)
+		b.cell("note", r2, 2)
+	}
+	return b.task(name, `Seq([rec] Struct(Name: [nm] String, Note: [note] String))`)
+}
+
+// labeledLedger builds label/value rows where only rows with a recurring
+// marker label are extracted.
+func labeledLedger(name, marker, other string, vals []string, noise []string) *bench.Task {
+	b := newSheetBuilder()
+	b.row("Ledger", "")
+	for i, v := range vals {
+		if i < len(noise) {
+			b.row(other, noise[i])
+		}
+		r := b.row(marker, v)
+		b.cell("val", r, 1)
+	}
+	return b.task(name, `Seq([val] Float)`)
+}
+
+// Sheets returns the 25 spreadsheet benchmark tasks (named after Fig. 10).
+func Sheets() []*bench.Task {
+	var out []*bench.Task
+
+	// The seven Harris & Gulwani documents: department-block layouts with
+	// varying titles, labels, and contents.
+	hg := []struct {
+		name, title, label string
+		seed               int
+	}{
+		{"hg_ex12", "Grant summary FY12", "Dept:", 1},
+		{"hg_ex18", "Awards by division", "Division:", 2},
+		{"hg_ex2", "Funding report", "Unit:", 3},
+		{"hg_ex26", "Q1 allocations", "Group:", 4},
+		{"hg_ex29", "Budget lines", "Area:", 5},
+		{"hg_ex3", "Sponsored research", "School:", 6},
+		{"hg_ex39", "February funding", "Department:", 7},
+	}
+	deptNames := []string{"Biology", "Chemistry", "Physics", "Geology", "Botany", "History", "Music"}
+	people := []string{"Lee", "Kim", "Cho", "Park", "Ruiz", "May", "Woo", "Diaz", "Nash", "Bell"}
+	orgs := []string{"NSF", "NIH", "DOE", "NASA", "DOD", "EPA"}
+	for _, h := range hg {
+		var blocks []deptBlock
+		nd := 3 + h.seed%4
+		for d := 0; d < nd; d++ {
+			var rows []deptRow
+			nr := 2 + (h.seed+d)%4
+			for r := 0; r < nr; r++ {
+				rows = append(rows, deptRow{
+					who:    people[(h.seed*3+d*2+r)%len(people)],
+					org:    orgs[(h.seed+d+r*2)%len(orgs)],
+					status: []string{"approved", "pending"}[(h.seed+r)%2],
+					amt:    500 + (h.seed*700+d*300+r*211)%9000,
+				})
+			}
+			blocks = append(blocks, deptBlock{name: deptNames[(h.seed+d)%len(deptNames)], rows: rows})
+		}
+		out = append(out, departmentSheet(h.name, h.title, h.label, blocks))
+	}
+
+	// EUSES-style documents.
+	out = append(out,
+		headerTable("_h8d62ck1",
+			[]string{"Region", "Sales", "Returns"},
+			[][]string{
+				{"North", "1200.50", "3"}, {"South", "980.00", "1"}, {"East", "1410.25", "7"},
+				{"West", "760.40", "2"}, {"Central", "1100.00", "5"},
+			}, 1),
+		headerTable("03PFMJOU",
+			[]string{"Fund", "Balance", "Manager"},
+			[][]string{
+				{"Growth", "125000.00", "Ames"}, {"Income", "87500.50", "Bose"},
+				{"Index", "203400.75", "Crow"}, {"Bond", "56100.00", "Dunn"},
+			}, 1),
+		headerTable("2003Fall",
+			[]string{"Course", "Enrolled", "Waitlist"},
+			[][]string{
+				{"CS101", "240", "12"}, {"CS201", "180", "4"}, {"CS301", "95", "0"},
+				{"CS401", "60", "2"}, {"CS501", "35", "1"}, {"CS601", "18", "0"},
+			}, 1),
+		headerTable("64040",
+			[]string{"Part", "Qty", "UnitCost"},
+			[][]string{
+				{"Bolt", "500", "0.12"}, {"Nut", "480", "0.08"}, {"Washer", "900", "0.03"},
+				{"Screw", "650", "0.10"}, {"Anchor", "120", "0.45"},
+			}, 2),
+		twoRowRecords("anrep9899", [][3]string{
+			{"Alpha Chapter", "1898", "founded first"},
+			{"Beta Chapter", "1899", "western branch"},
+			{"Gamma Chapter", "1901", "merged later"},
+			{"Delta Chapter", "1904", "largest body"},
+		}),
+		headerTable("bali",
+			[]string{"Site", "Visitors", "Fee"},
+			[][]string{
+				{"Uluwatu", "3200", "5.00"}, {"Besakih", "2100", "4.50"}, {"Tirta", "1800", "3.75"},
+				{"Lovina", "900", "2.00"},
+			}, 1),
+		headerTable("ch15_e",
+			[]string{"Exercise", "Points", "Difficulty"},
+			[][]string{
+				{"Warmup", "5", "easy"}, {"Recursion", "15", "medium"}, {"Closures", "20", "hard"},
+				{"Monads", "30", "hard"}, {"Review", "10", "easy"},
+			}, 1),
+		labeledLedger("compliance", "Fine", "Inspection",
+			[]string{"250.00", "1000.00", "75.50", "400.00"},
+			[]string{"passed", "passed", "failed"}),
+		twoRowRecords("DataDiction", [][3]string{
+			{"cust_id", "9001", "primary key"},
+			{"cust_name", "9002", "display name"},
+			{"order_ts", "9003", "unix epoch"},
+		}),
+		headerTable("deliverable",
+			[]string{"Milestone", "Month", "Owner"},
+			[][]string{
+				{"Kickoff", "1", "PM"}, {"Prototype", "4", "Eng"}, {"Pilot", "7", "Ops"},
+				{"Launch", "10", "PM"}, {"Retro", "12", "All"},
+			}, 1),
+		headerTable("e_Bubble_",
+			[]string{"Ticker", "Peak", "Trough"},
+			[][]string{
+				{"PETS", "14.00", "0.19"}, {"WBVN", "25.50", "0.06"}, {"ETYS", "86.00", "0.09"},
+				{"GCTY", "62.75", "0.52"},
+			}, 1),
+		labeledLedger("flip_usd5", "Rate", "Note",
+			[]string{"1.0850", "1.0921", "1.0774", "1.0832", "1.0899"},
+			[]string{"holiday", "auction"}),
+		departmentSheet("Funded - F", "Funded Proposals February", "Department:", []deptBlock{
+			{"Biology", []deptRow{
+				{"Lee", "NSF", "approved", 4000}, {"Kim", "NIH", "approved", 2500},
+			}},
+			{"Chemistry", []deptRow{{"Cho", "DOE", "pending", 1200}}},
+			{"Physics", []deptRow{
+				{"Park", "NASA", "approved", 900}, {"Ruiz", "NSF", "approved", 3100}, {"May", "DOD", "pending", 700},
+			}},
+		}),
+		headerTable("ge-revenues",
+			[]string{"Segment", "Revenue", "Margin"},
+			[][]string{
+				{"Aviation", "21900.00", "19.2"}, {"Healthcare", "16700.00", "17.8"},
+				{"Power", "18300.00", "8.1"}, {"Renewables", "9000.00", "3.2"},
+				{"Capital", "7400.00", "5.5"},
+			}, 1),
+		headerTable("HOSPITAL",
+			[]string{"Ward", "Beds", "Occupied"},
+			[][]string{
+				{"ICU", "24", "21"}, {"Surgery", "40", "33"}, {"Pediatrics", "30", "12"},
+				{"Maternity", "26", "19"}, {"Oncology", "22", "20"},
+			}, 1),
+		labeledLedger("pwpSurvey", "Score", "Comment",
+			[]string{"4.5", "3.8", "4.9", "2.7", "4.1"},
+			[]string{"too long", "loved it", "confusing"}),
+		headerTable("SOA4-YEAR",
+			[]string{"Year", "Premium", "Claims"},
+			[][]string{
+				{"Y2000", "100.00", "61.50"}, {"Y2001", "104.00", "72.10"},
+				{"Y2002", "109.50", "68.30"}, {"Y2003", "112.25", "80.00"},
+			}, 1),
+		twoRowRecords("young_table", [][3]string{
+			{"Group A", "12", "under five"},
+			{"Group B", "17", "five to nine"},
+			{"Group C", "9", "ten to twelve"},
+		}),
+	)
+	return out
+}

@@ -1,0 +1,275 @@
+package corpus
+
+import "flashextract/internal/bench"
+
+// Text returns the 25 text-file benchmark tasks (named after Fig. 10).
+func Text() []*bench.Task {
+	return []*bench.Task{
+		textAccounts(), textAddresses(), textSplit(), textChairs(), textAwk(),
+		textBanks(), textCompanies(), textCountries(), textHadoop(), textHorses(),
+		textInstruments(), textLsL(), textMgx(), textNamePhone(), textNozzle(),
+		textNumberText(), textPapers(), textPLDI12(), textPLDI13(), textPOP13(),
+		textQuotes(), textSpeechBench(), textTechFest(), textUCLAFaculty(), textUsers(),
+	}
+}
+
+func textAccounts() *bench.Task {
+	b := newTextBuilder()
+	b.raw("Account export (generated Mon Feb 11)\n")
+	b.raw("currency: USD\n\n")
+	rows := []struct{ id, owner, bal string }{
+		{"7031", "alice.brown", "4221.50"},
+		{"7032", "bob.jones", "318.07"},
+		{"7105", "carol.wu", "12940.00"},
+		{"7106", "dan.ortiz", "87.25"},
+		{"7201", "erin.kim", "2050.75"},
+		{"7202", "frank.hall", "660.10"},
+		{"7310", "gail.roy", "15000.33"},
+	}
+	for _, r := range rows {
+		b.begin("rec")
+		b.raw("ACC-").field("id", r.id)
+		b.raw(" owner=").field("owner", r.owner)
+		b.raw(" balance=").field("bal", r.bal)
+		b.raw(" USD")
+		b.end("rec")
+		b.raw("\n")
+	}
+	b.raw("\nend of export\n")
+	return b.task("accounts", `Seq([rec] Struct(ID: [id] Int, Owner: [owner] String, Balance: [bal] Float))`)
+}
+
+func textAddresses() *bench.Task {
+	b := newTextBuilder()
+	b.raw("Mailing list -- delivery run 42\n\n")
+	rows := []struct{ name, street, city, zip string }{
+		{"Ada Lovelace", "12 Analytical Way", "London", "20252"},
+		{"Grace Hopper", "3 Compiler Court", "Arlington", "22203"},
+		{"Alan Turing", "1 Enigma Road", "Manchester", "13337"},
+		{"Barbara Liskov", "77 Substitution St", "Cambridge", "02139"},
+		{"John Backus", "9 Fortran Blvd", "Yorktown", "10598"},
+	}
+	for _, r := range rows {
+		b.begin("blk")
+		b.field("name", r.name).raw("\n")
+		b.raw(r.street).raw("\n")
+		b.field("city", r.city).raw(", ZIP ").field("zip", r.zip)
+		b.end("blk")
+		b.raw("\n\n")
+	}
+	return b.task("addresses", `Seq([blk] Struct(Name: [name] String, City: [city] String, Zip: [zip] String))`)
+}
+
+func textSplit() *bench.Task {
+	b := newTextBuilder()
+	b.raw("# fields: code|label|score\n")
+	rows := []struct{ a, b, c string }{
+		{"K1", "alpha", "9.5"}, {"K2", "beta", "7.1"}, {"K7", "gamma", "8.8"},
+		{"M3", "delta", "5.0"}, {"M9", "epsilon", "6.42"}, {"Q4", "zeta", "3.3"},
+	}
+	for _, r := range rows {
+		b.begin("rec")
+		b.field("a", r.a).raw("|").field("b", r.b).raw("|").field("c", r.c)
+		b.end("rec")
+		b.raw("\n")
+	}
+	return b.task("split", `Seq([rec] Struct(Code: [a] String, Label: [b] String, Score: [c] Float))`)
+}
+
+func textChairs() *bench.Task {
+	b := newTextBuilder()
+	b.raw("showroom inventory\n")
+	rows := []struct{ name, price, stock string }{
+		{"Aeron Classic", "540.00", "12"},
+		{"Oslo Lounger", "220.50", "4"},
+		{"Tulip Side", "99.99", "31"},
+		{"Windsor Oak", "185.00", "7"},
+		{"Eames Replica", "310.25", "2"},
+		{"Bistro Steel", "75.40", "18"},
+	}
+	for _, r := range rows {
+		b.raw("Chair: ").field("name", r.name)
+		b.raw(" (price: $").field("price", r.price)
+		b.raw(", stock: ").field("stock", r.stock)
+		b.raw(")\n")
+	}
+	return b.task("chairs", `Struct(Names: Seq([name] String), Prices: Seq([price] Float), Stock: Seq([stock] Int))`)
+}
+
+func textAwk() *bench.Task {
+	b := newTextBuilder()
+	b.raw("NAME REQUESTS REGION\n")
+	rows := []struct{ name, req, region string }{
+		{"frodo", "42", "shire"}, {"sam", "17", "shire"}, {"gandalf", "99", "valinor"},
+		{"aragorn", "56", "gondor"}, {"gimli", "23", "erebor"}, {"legolas", "31", "mirkwood"},
+		{"boromir", "12", "gondor"},
+	}
+	for _, r := range rows {
+		b.begin("rec")
+		b.field("name", r.name).raw(" ").field("req", r.req).raw(" ").field("region", r.region)
+		b.end("rec")
+		b.raw("\n")
+	}
+	return b.task("awk", `Seq([rec] Struct(Name: [name] String, Requests: [req] Int, Region: [region] String))`)
+}
+
+func textBanks() *bench.Task {
+	b := newTextBuilder()
+	b.raw("registered institutions:\n\n")
+	rows := []struct{ name, swift, assets string }{
+		{"First National Bank", "FNBAUS33", "120.5"},
+		{"Harbor Trust", "HTRUUS44", "88.2"},
+		{"Union Savings", "UNSVGB21", "301.9"},
+		{"Pacific Mutual", "PMUTUS66", "54.7"},
+		{"Crown Credit", "CRWNCA02", "17.3"},
+	}
+	for _, r := range rows {
+		b.field("name", r.name)
+		b.raw("; SWIFT: ").field("swift", r.swift)
+		b.raw("; assets: ").field("assets", r.assets)
+		b.raw("B\n")
+	}
+	return b.task("banks", `Struct(Banks: Seq([name] String), Swift: Seq([swift] String), Assets: Seq([assets] Float))`)
+}
+
+func textCompanies() *bench.Task {
+	b := newTextBuilder()
+	b.raw("tech directory 2013\n\n")
+	rows := []struct{ co, tick, hq string }{
+		{"International Business Machines", "IBM", "Armonk"},
+		{"Microsoft Corporation", "MSFT", "Redmond"},
+		{"Oracle Systems", "ORCL", "Redwood City"},
+		{"Intel Corporation", "INTC", "Santa Clara"},
+		{"Adobe Incorporated", "ADBE", "San Jose"},
+		{"Autodesk Limited", "ADSK", "San Rafael"},
+	}
+	for _, r := range rows {
+		b.field("co", r.co)
+		b.raw(" (NYSE:").field("tick", r.tick)
+		b.raw(") HQ: ").field("hq", r.hq)
+		b.raw("\n")
+	}
+	return b.task("companies", `Struct(Company: Seq([co] String), Ticker: Seq([tick] String), HQ: Seq([hq] String))`)
+}
+
+func textCountries() *bench.Task {
+	b := newTextBuilder()
+	b.raw("country :: capital :: population (millions)\n")
+	rows := []struct{ c, cap, pop string }{
+		{"Norway", "Oslo", "5.4"}, {"Peru", "Lima", "33.0"}, {"Kenya", "Nairobi", "53.7"},
+		{"Japan", "Tokyo", "125.8"}, {"Chile", "Santiago", "19.1"}, {"Nepal", "Kathmandu", "29.1"},
+		{"Fiji", "Suva", "0.9"},
+	}
+	for _, r := range rows {
+		b.begin("rec")
+		b.field("c", r.c).raw(" :: ").field("cap", r.cap).raw(" :: ").field("pop", r.pop)
+		b.end("rec")
+		b.raw("\n")
+	}
+	return b.task("countries", `Seq([rec] Struct(Country: [c] String, Capital: [cap] String, Population: [pop] Float))`)
+}
+
+func textHadoop() *bench.Task {
+	b := newTextBuilder()
+	b.raw("DataNode log excerpt\n")
+	rows := []struct {
+		ts, level, msg string
+	}{
+		{"2013-02-11 10:02:11", "INFO", "Block pool registered"},
+		{"2013-02-11 10:02:45", "WARN", "Disk latency above threshold"},
+		{"2013-02-11 10:03:01", "INFO", "Heartbeat sent to namenode"},
+		{"2013-02-11 10:04:17", "WARN", "Replica count below target"},
+		{"2013-02-11 10:05:59", "INFO", "Scanning block pool"},
+		{"2013-02-11 10:06:21", "WARN", "Checksum mismatch during scan"},
+		{"2013-02-11 10:07:00", "INFO", "Scan finished"},
+	}
+	for _, r := range rows {
+		b.field("ts", r.ts)
+		b.rawf(" dn.storage %s: ", r.level)
+		if r.level == "WARN" {
+			b.field("warnmsg", r.msg)
+		} else {
+			b.raw(r.msg)
+		}
+		b.raw("\n")
+	}
+	return b.task("hadoop", `Struct(Stamps: Seq([ts] String), Warnings: Seq([warnmsg] String))`)
+}
+
+func textHorses() *bench.Task {
+	b := newTextBuilder()
+	b.raw("Derby results -- final\n\n")
+	rows := []struct{ pos, horse, time string }{
+		{"1", "Secretariat", "1:59.40"}, {"2", "Sham", "2:00.10"},
+		{"3", "Our Native", "2:02.55"}, {"4", "Forego", "2:03.00"},
+		{"5", "Restless Jet", "2:04.25"}, {"6", "Shecky Greene", "2:05.80"},
+	}
+	for _, r := range rows {
+		b.field("pos", r.pos).raw(". ")
+		b.field("horse", r.horse)
+		b.raw(" finished in ").field("time", r.time)
+		b.raw("\n")
+	}
+	return b.task("horses", `Struct(Position: Seq([pos] Int), Horse: Seq([horse] String), Time: Seq([time] String))`)
+}
+
+func textInstruments() *bench.Task {
+	b := newTextBuilder()
+	b.raw("station readouts\n\n")
+	rows := []struct{ id, temp, hum string }{
+		{"T-100", "21.5", "40"}, {"T-101", "19.8", "55"}, {"T-205", "23.1", "38"},
+		{"T-206", "18.0", "61"}, {"T-300", "25.6", "33"},
+	}
+	for _, r := range rows {
+		b.begin("blk")
+		b.raw("sensor ").field("id", r.id).raw("\n")
+		b.raw("  temp: ").field("temp", r.temp).raw("\n")
+		b.raw("  hum: ").field("hum", r.hum)
+		b.end("blk")
+		b.raw("\n\n")
+	}
+	return b.task("instruments", `Seq([blk] Struct(ID: [id] String, Temp: [temp] Float, Humidity: [hum] Int))`)
+}
+
+func textLsL() *bench.Task {
+	b := newTextBuilder()
+	b.raw("total 164\n")
+	rows := []struct{ perm, size, date, name string }{
+		{"-rw-r--r--", "4096", "Feb 11 10:22", "notes.txt"},
+		{"-rw-r--r--", "88112", "Feb 09 18:05", "draft.pdf"},
+		{"-rwxr-xr-x", "733", "Jan 30 09:41", "run.sh"},
+		{"-rw-------", "52", "Feb 02 23:59", "secrets.env"},
+		{"-rw-r--r--", "12000", "Feb 10 07:15", "data.csv"},
+		{"-rwxr-xr-x", "9216", "Jan 12 14:02", "tool"},
+	}
+	for _, r := range rows {
+		b.begin("rec")
+		b.rawf("%s 1 root staff ", r.perm)
+		b.field("size", r.size)
+		b.rawf(" %s ", r.date)
+		b.field("fname", r.name)
+		b.end("rec")
+		b.raw("\n")
+	}
+	return b.task("ls-l", `Seq([rec] Struct(Size: [size] Int, Name: [fname] String))`)
+}
+
+func textMgx() *bench.Task {
+	b := newTextBuilder()
+	b.raw("; mgx engine configuration\n")
+	sections := []struct {
+		name    string
+		entries [][2]string
+	}{
+		{"core", [][2]string{{"timeout", "30"}, {"retries", "5"}}},
+		{"render", [][2]string{{"width", "1920"}, {"height", "1080"}, {"vsync", "1"}}},
+		{"audio", [][2]string{{"rate", "44100"}, {"channels", "2"}}},
+	}
+	for _, s := range sections {
+		b.raw("[").field("sect", s.name).raw("]\n")
+		for _, e := range s.entries {
+			b.field("key", e[0]).raw(" = ").field("val", e[1]).raw("\n")
+		}
+	}
+	return b.task("mgx", `Struct(Sections: Seq([sect] String), Keys: Seq([key] String), Values: Seq([val] Int))`)
+}

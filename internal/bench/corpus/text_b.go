@@ -1,0 +1,264 @@
+package corpus
+
+import "flashextract/internal/bench"
+
+func textNamePhone() *bench.Task {
+	b := newTextBuilder()
+	b.raw("phone directory (work)\n\n")
+	rows := []struct{ name, phone string }{
+		{"John Smith", "425-555-0199"}, {"Mary Major", "206-555-0133"},
+		{"Luis Ortega", "360-555-0102"}, {"Priya Patel", "509-555-0147"},
+		{"Chen Wei", "425-555-0161"}, {"Sara Kim", "253-555-0189"},
+	}
+	for _, r := range rows {
+		b.field("name", r.name).raw(": ").field("phone", r.phone).raw("\n")
+	}
+	return b.task("namephone", `Struct(Name: Seq([name] String), Phone: Seq([phone] String))`)
+}
+
+func textNozzle() *bench.Task {
+	b := newTextBuilder()
+	b.raw("nozzle test bench, run 7\n\n")
+	rows := []struct{ id, flow, pres string }{
+		{"N-4", "12.5", "2.10"}, {"N-5", "11.8", "2.35"}, {"N-9", "14.2", "1.95"},
+		{"N-12", "9.7", "2.60"}, {"N-15", "13.3", "2.05"},
+	}
+	for _, r := range rows {
+		b.raw("Nozzle ").field("id", r.id)
+		b.raw(": flow=").field("flow", r.flow)
+		b.raw(" pressure=").field("pres", r.pres)
+		b.raw("\n")
+	}
+	return b.task("nozzle", `Struct(ID: Seq([id] String), Flow: Seq([flow] Float), Pressure: Seq([pres] Float))`)
+}
+
+func textNumberText() *bench.Task {
+	// Amounts appear in TWO formats (order lines and refund lines), so the
+	// amount field needs the Merge operator — the "disjunctive abstraction"
+	// the paper introduces for multiple-format field instances.
+	b := newTextBuilder()
+	b.raw("order notes\n\n")
+	rows := []struct{ kind, qty, part, amt string }{
+		{"o", "12", "A-7", "38.50"},
+		{"r", "", "B-2", "9.75"},
+		{"o", "40", "C-19", "412.00"},
+		{"o", "7", "A-3", "21.10"},
+		{"r", "", "D-11", "150.25"},
+	}
+	for _, r := range rows {
+		if r.kind == "o" {
+			b.raw("Ordered ").field("qty", r.qty)
+			b.rawf(" units of part %s for $", r.part)
+			b.field("amt", r.amt)
+			b.raw(" total\n")
+		} else {
+			b.rawf("Refund of $")
+			b.field("amt", r.amt)
+			b.rawf(" issued for part %s\n", r.part)
+		}
+	}
+	return b.task("numbertext", `Struct(Quantity: Seq([qty] Int), Amount: Seq([amt] Float))`)
+}
+
+func textPapers() *bench.Task {
+	b := newTextBuilder()
+	b.raw("reading list\n\n")
+	rows := []struct{ author, title, venue, year string }{
+		{"Gulwani, S", "Automating string processing in spreadsheets", "POPL", "2011"},
+		{"Harris, W", "Spreadsheet table transformations from examples", "PLDI", "2011"},
+		{"Singh, R", "Learning semantic string transformations", "VLDB", "2012"},
+		{"Fisher, K", "From dirt to shovels", "POPL", "2008"},
+		{"Miller, R", "Lightweight structure in text", "CMU", "2002"},
+		{"Yessenov, K", "A colorful approach to text processing", "UIST", "2013"},
+	}
+	for _, r := range rows {
+		b.field("author", r.author)
+		b.raw(": ").field("title", r.title)
+		b.raw(" (").field("venue", r.venue)
+		b.raw(" ").field("year", r.year)
+		b.raw(")\n")
+	}
+	return b.task("papers", `Struct(Author: Seq([author] String), Title: Seq([title] String), Venue: Seq([venue] String), Year: Seq([year] Int))`)
+}
+
+// conferenceProgram builds a hierarchical session/talk program in the
+// given visual style.
+func conferenceProgram(name string, sessions []progSession, style int) *bench.Task {
+	b := newTextBuilder()
+	b.raw("conference program\n\n")
+	for _, s := range sessions {
+		b.begin("sess")
+		switch style {
+		case 0:
+			b.raw("Session ").raw(s.num).raw(": ").field("sname", s.name).raw("\n")
+		case 1:
+			b.raw("== ").field("sname", s.name).raw(" ==\n")
+		default:
+			b.raw("[S").raw(s.num).raw("] ").field("sname", s.name).raw("\n")
+		}
+		for ti, t := range s.talks {
+			b.begin("talk")
+			switch style {
+			case 0:
+				b.raw("  ").field("time", t.time).raw(" ").field("title", t.title)
+			case 1:
+				b.raw("* ").field("title", t.title).raw(" @ ").field("time", t.time)
+			default:
+				b.raw("- ").field("title", t.title).raw(" // ").field("time", t.time)
+			}
+			b.end("talk")
+			if ti < len(s.talks)-1 {
+				b.raw("\n")
+			}
+		}
+		// The session region ends exactly at its last talk; a blank line
+		// separates sessions (and closes the final one).
+		b.end("sess")
+		b.raw("\n\n")
+	}
+	return b.task(name, `Seq([sess] Struct(Name: [sname] String, Talks: Seq([talk] Struct(Title: [title] String, Time: [time] String))))`)
+}
+
+type progTalk struct{ time, title string }
+
+type progSession struct {
+	num   string
+	name  string
+	talks []progTalk
+}
+
+func textPLDI12() *bench.Task {
+	return conferenceProgram("pldi12", []progSession{
+		{"1", "Program Synthesis", []progTalk{
+			{"10:20", "Synthesizing data extraction"}, {"10:45", "Oracles and counterexamples"},
+		}},
+		{"2", "Verification", []progTalk{
+			{"13:30", "Proving heap invariants"}, {"13:55", "Model checking at scale"}, {"14:20", "Abstract domains revisited"},
+		}},
+		{"3", "Compilers", []progTalk{
+			{"16:00", "Vectorizing irregular loops"}, {"16:25", "Register allocation redux"},
+		}},
+	}, 0)
+}
+
+func textPLDI13() *bench.Task {
+	return conferenceProgram("pldi13", []progSession{
+		{"1", "Types and Effects", []progTalk{
+			{"09:00", "Gradual typing reconsidered"}, {"09:25", "Effect inference in practice"},
+		}},
+		{"2", "Concurrency", []progTalk{
+			{"11:10", "Fences without fear"}, {"11:35", "Transactional memory pitfalls"},
+		}},
+		{"3", "Program Analysis", []progTalk{
+			{"14:40", "Scaling points-to analysis"}, {"15:05", "Sparse dataflow engines"}, {"15:30", "Demand-driven slicing"},
+		}},
+	}, 1)
+}
+
+func textPOP13() *bench.Task {
+	return conferenceProgram("pop13", []progSession{
+		{"1", "Semantics", []progTalk{
+			{"08:50", "Step-indexed logical relations"}, {"09:15", "Full abstraction results"},
+		}},
+		{"2", "Proof Assistants", []progTalk{
+			{"10:40", "Tactics for mortals"}, {"11:05", "Certified compilation pipelines"},
+		}},
+	}, 2)
+}
+
+func textQuotes() *bench.Task {
+	b := newTextBuilder()
+	b.raw("commonplace book\n\n")
+	rows := []struct{ quote, author, year string }{
+		{"Be yourself; everyone else is taken", "Oscar Wilde", "1890"},
+		{"Simplicity is the soul of efficiency", "Austin Freeman", "1924"},
+		{"Make it work, make it right, make it fast", "Kent Beck", "1997"},
+		{"Programs must be written for people to read", "Hal Abelson", "1985"},
+		{"Premature optimization is the root of all evil", "Donald Knuth", "1974"},
+	}
+	for _, r := range rows {
+		b.raw(`"`).field("quote", r.quote).raw(`" -- `)
+		b.field("author", r.author)
+		b.raw(" (").field("year", r.year).raw(")\n")
+	}
+	return b.task("quotes", `Struct(Quote: Seq([quote] String), Author: Seq([author] String), Year: Seq([year] Int))`)
+}
+
+func textSpeechBench() *bench.Task {
+	b := newTextBuilder()
+	b.raw("speech recognizer nightly benchmarks\n\n")
+	rows := []struct{ test, acc, lat string }{
+		{"wsj-eval92", "95.2", "120"}, {"librispeech-clean", "97.8", "95"},
+		{"librispeech-other", "91.4", "150"}, {"callhome", "83.6", "210"},
+		{"tedlium", "89.9", "132"}, {"switchboard", "86.1", "178"},
+	}
+	for _, r := range rows {
+		b.field("test", r.test)
+		b.raw(": accuracy=").field("acc", r.acc)
+		b.raw("% latency=").field("lat", r.lat)
+		b.raw("ms\n")
+	}
+	return b.task("speechbench", `Struct(Test: Seq([test] String), Accuracy: Seq([acc] Float), Latency: Seq([lat] Int))`)
+}
+
+func textTechFest() *bench.Task {
+	b := newTextBuilder()
+	b.raw("TechFest demo schedule\n\n")
+	rows := []struct{ time, title, hall string }{
+		{"10:00", "FlashFill for everyone", "3"},
+		{"10:45", "Sketching circuits", "1"},
+		{"11:30", "Probabilistic programs", "2"},
+		{"13:15", "Live programming demos", "3"},
+		{"14:00", "Verified kernels", "4"},
+		{"15:30", "End-user data wrangling", "1"},
+	}
+	for _, r := range rows {
+		b.field("time", r.time)
+		b.raw(" | ").field("title", r.title)
+		b.raw(" | Hall ").field("hall", r.hall)
+		b.raw("\n")
+	}
+	return b.task("techfest", `Struct(Time: Seq([time] String), Title: Seq([title] String), Hall: Seq([hall] Int))`)
+}
+
+func textUCLAFaculty() *bench.Task {
+	b := newTextBuilder()
+	b.raw("faculty directory, computer science\n\n")
+	rows := []struct{ name, area, email string }{
+		{"Jane Doe", "Programming Languages", "jdoe"},
+		{"Raj Mehta", "Databases", "rmehta"},
+		{"Sofia Ortiz", "Machine Learning", "sortiz"},
+		{"Tom Nakamura", "Systems", "tnakamura"},
+		{"Lena Fischer", "Theory", "lfischer"},
+	}
+	for _, r := range rows {
+		b.raw("Prof. ").field("name", r.name)
+		b.raw(" (").field("area", r.area)
+		b.raw(") <").field("email", r.email)
+		b.raw("@cs.ucla.edu>\n")
+	}
+	return b.task("ucla-faculty", `Struct(Name: Seq([name] String), Area: Seq([area] String), Email: Seq([email] String))`)
+}
+
+func textUsers() *bench.Task {
+	b := newTextBuilder()
+	rows := []struct{ user, uid, gecos, home string }{
+		{"alice", "1001", "Alice Brown", "/home/alice"},
+		{"bob", "1002", "Bob Jones", "/home/bob"},
+		{"carol", "1003", "Carol Wu", "/home/carol"},
+		{"dan", "1004", "Dan Ortiz", "/home/dan"},
+		{"erin", "1005", "Erin Kim", "/home/erin"},
+		{"frank", "1006", "Frank Hall", "/home/frank"},
+	}
+	for _, r := range rows {
+		b.begin("rec")
+		b.field("user", r.user)
+		b.raw(":x:").field("uid", r.uid)
+		b.rawf(":100:%s:", r.gecos)
+		b.field("home", r.home)
+		b.raw(":/bin/bash")
+		b.end("rec")
+		b.raw("\n")
+	}
+	return b.task("users", `Seq([rec] Struct(User: [user] String, UID: [uid] Int, Home: [home] String))`)
+}

@@ -1,0 +1,88 @@
+package corpus
+
+import (
+	"fmt"
+
+	"flashextract/internal/bench"
+	"flashextract/internal/region"
+	"flashextract/internal/schema"
+	"flashextract/internal/textlang"
+)
+
+// textBuilder assembles a text document while recording the golden
+// regions of each field color.
+type textBuilder struct {
+	buf   []byte
+	marks map[string][][2]int
+	open  map[string][]int
+}
+
+func newTextBuilder() *textBuilder {
+	return &textBuilder{marks: map[string][][2]int{}, open: map[string][]int{}}
+}
+
+// raw appends unannotated text.
+func (b *textBuilder) raw(s string) *textBuilder {
+	b.buf = append(b.buf, s...)
+	return b
+}
+
+// rawf appends formatted unannotated text.
+func (b *textBuilder) rawf(format string, args ...any) *textBuilder {
+	return b.raw(fmt.Sprintf(format, args...))
+}
+
+// field appends s and records it as a golden region of the color.
+func (b *textBuilder) field(color, s string) *textBuilder {
+	start := len(b.buf)
+	b.buf = append(b.buf, s...)
+	b.marks[color] = append(b.marks[color], [2]int{start, len(b.buf)})
+	return b
+}
+
+// begin opens a golden region of the color at the current position.
+func (b *textBuilder) begin(color string) *textBuilder {
+	b.open[color] = append(b.open[color], len(b.buf))
+	return b
+}
+
+// end closes the innermost open region of the color.
+func (b *textBuilder) end(color string) *textBuilder {
+	stack := b.open[color]
+	if len(stack) == 0 {
+		panic("corpus: end without begin for color " + color)
+	}
+	start := stack[len(stack)-1]
+	b.open[color] = stack[:len(stack)-1]
+	b.marks[color] = append(b.marks[color], [2]int{start, len(b.buf)})
+	return b
+}
+
+// task finalizes the document into a benchmark task.
+func (b *textBuilder) task(name, schemaSrc string) *bench.Task {
+	for color, stack := range b.open {
+		if len(stack) > 0 {
+			panic("corpus: unclosed region for color " + color)
+		}
+	}
+	m := schema.MustParse(schemaSrc)
+	doc := textlang.NewDocument(string(b.buf))
+	golden := map[string][]region.Region{}
+	for color, spans := range b.marks {
+		if m.FieldByColor(color) == nil {
+			panic("corpus: golden color " + color + " not in schema for " + name)
+		}
+		var rs []region.Region
+		for _, sp := range spans {
+			rs = append(rs, doc.Region(sp[0], sp[1]))
+		}
+		region.Sort(rs)
+		golden[color] = rs
+	}
+	for _, fi := range m.Fields() {
+		if _, ok := golden[fi.Color()]; !ok {
+			panic("corpus: no golden regions for color " + fi.Color() + " in " + name)
+		}
+	}
+	return &bench.Task{Name: name, Domain: "text", Doc: doc, Schema: m, Golden: golden}
+}

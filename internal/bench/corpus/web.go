@@ -1,0 +1,246 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"flashextract/internal/bench"
+	"flashextract/internal/htmldom"
+	"flashextract/internal/region"
+	"flashextract/internal/schema"
+	"flashextract/internal/weblang"
+)
+
+// webProduct is one listing entry of a synthetic e-commerce page.
+type webProduct struct {
+	name  string
+	price string // the numeric part
+}
+
+// siteCfg parameterizes a page layout; each benchmark site varies the
+// DOM structure the way the SXPath benchmark's 25 real sites do.
+type siteCfg struct {
+	name     string
+	products []webProduct
+	// layout
+	containerTag, containerClass string
+	itemTag, itemClass           string
+	nameTag, nameClass           string
+	priceTag, priceClass         string
+	pricePrefix, priceSuffix     string
+	// wrapItems adds an extra wrapper element around every item.
+	wrapItems bool
+	// noiseAd inserts an ad element (distinct class) among the items.
+	noiseAd bool
+	// table renders a class-less table layout.
+	table bool
+}
+
+// webSchema is the four-field task of the webpage evaluation: the product
+// info region, the product name element, the price element, and the price
+// number within it.
+const webSchema = `Seq([prod] Struct(
+	Name: [name] String,
+	PriceBox: [priceel] Struct(Value: [pricenum] Float)))`
+
+// buildSite renders a site config into HTML and computes the golden
+// annotations from the parsed DOM.
+func buildSite(cfg siteCfg) *bench.Task {
+	var b strings.Builder
+	b.WriteString("<html><head><title>" + cfg.name + "</title></head><body>\n")
+	b.WriteString(`<div class="nav"><a href="/">home</a><a href="/deals">deals</a></div>` + "\n")
+	if cfg.table {
+		b.WriteString("<table>\n")
+		for _, p := range cfg.products {
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%s%s%s</td></tr>\n",
+				p.name, cfg.pricePrefix, p.price, cfg.priceSuffix)
+		}
+		b.WriteString("</table>\n")
+	} else {
+		fmt.Fprintf(&b, `<%s class="%s">`+"\n", cfg.containerTag, cfg.containerClass)
+		for i, p := range cfg.products {
+			if cfg.noiseAd && i == 1 {
+				fmt.Fprintf(&b, `<%s class="sponsored"><span class="%s">Great deals inside!</span></%s>`+"\n",
+					cfg.itemTag, cfg.nameClass, cfg.itemTag)
+			}
+			if cfg.wrapItems {
+				b.WriteString("<div>")
+			}
+			fmt.Fprintf(&b, `<%s class="%s"><%s class="%s">%s</%s><%s class="%s">%s%s%s</%s></%s>`,
+				cfg.itemTag, cfg.itemClass,
+				cfg.nameTag, cfg.nameClass, p.name, cfg.nameTag,
+				cfg.priceTag, cfg.priceClass, cfg.pricePrefix, p.price, cfg.priceSuffix, cfg.priceTag,
+				cfg.itemTag)
+			if cfg.wrapItems {
+				b.WriteString("</div>")
+			}
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "</%s>\n", cfg.containerTag)
+	}
+	b.WriteString(`<div class="footer">contact us</div>` + "\n</body></html>\n")
+
+	doc := weblang.MustNewDocument(b.String())
+	m := schema.MustParse(webSchema)
+	golden := map[string][]region.Region{}
+
+	var items, names, prices []*htmldom.Node
+	if cfg.table {
+		items = doc.Root.FindAll(func(n *htmldom.Node) bool { return n.Tag == "tr" })
+		for _, tr := range items {
+			tds := tr.ChildElements()
+			names = append(names, tds[0])
+			prices = append(prices, tds[1])
+		}
+	} else {
+		items = doc.Root.FindAll(func(n *htmldom.Node) bool {
+			return n.Tag == cfg.itemTag && n.HasClass(cfg.itemClass)
+		})
+		for _, it := range items {
+			names = append(names, it.Find(func(n *htmldom.Node) bool {
+				return n.Tag == cfg.nameTag && n.HasClass(cfg.nameClass)
+			}))
+			prices = append(prices, it.Find(func(n *htmldom.Node) bool {
+				return n.Tag == cfg.priceTag && n.HasClass(cfg.priceClass)
+			}))
+		}
+	}
+	if len(items) != len(cfg.products) {
+		panic("corpus: site " + cfg.name + " produced wrong item count")
+	}
+	for i := range items {
+		golden["prod"] = append(golden["prod"], doc.NodeOf(items[i]))
+		golden["name"] = append(golden["name"], doc.NodeOf(names[i]))
+		golden["priceel"] = append(golden["priceel"], doc.NodeOf(prices[i]))
+		text := prices[i].TextContent()
+		rel := strings.Index(text, cfg.products[i].price)
+		if rel < 0 {
+			panic("corpus: price number not found in " + cfg.name)
+		}
+		start := prices[i].TextStart + rel
+		golden["pricenum"] = append(golden["pricenum"],
+			weblang.SpanRegion{Doc: doc, Start: start, End: start + len(cfg.products[i].price)})
+	}
+	for color, rs := range golden {
+		region.Sort(rs)
+		golden[color] = rs
+	}
+	return &bench.Task{Name: cfg.name, Domain: "web", Doc: doc, Schema: m, Golden: golden}
+}
+
+// defaultProducts gives each site its own catalog.
+func catalog(seed int, n int) []webProduct {
+	adjectives := []string{"Compact", "Deluxe", "Vintage", "Wireless", "Portable", "Classic", "Rugged", "Slim"}
+	nouns := []string{"Camera", "Keyboard", "Blender", "Lamp", "Speaker", "Backpack", "Monitor", "Kettle"}
+	out := make([]webProduct, n)
+	for i := 0; i < n; i++ {
+		a := adjectives[(seed+i*3)%len(adjectives)]
+		o := nouns[(seed*2+i)%len(nouns)]
+		price := fmt.Sprintf("%d.%02d", 9+(seed*7+i*13)%290, (seed*11+i*29)%100)
+		out[i] = webProduct{name: fmt.Sprintf("%s %s %d", a, o, 100+seed*10+i), price: price}
+	}
+	return out
+}
+
+// webConfigs lists the 25 site layouts (without catalogs).
+func webConfigs() []siteCfg {
+	return []siteCfg{
+		{name: "abt", containerTag: "div", containerClass: "results", itemTag: "div", itemClass: "item",
+			nameTag: "h2", nameClass: "title", priceTag: "span", priceClass: "price",
+			pricePrefix: "$", priceSuffix: ""},
+		{name: "amazon", containerTag: "div", containerClass: "s-results", itemTag: "div", itemClass: "s-result",
+			nameTag: "a", nameClass: "a-link", priceTag: "span", priceClass: "a-price",
+			pricePrefix: "$", priceSuffix: " + shipping", noiseAd: true},
+		{name: "apple", containerTag: "section", containerClass: "grid", itemTag: "article", itemClass: "tile",
+			nameTag: "h3", nameClass: "tile-name", priceTag: "div", priceClass: "tile-price",
+			pricePrefix: "From $", priceSuffix: ""},
+		{name: "barnes", containerTag: "ul", containerClass: "books", itemTag: "li", itemClass: "book",
+			nameTag: "span", nameClass: "book-title", priceTag: "em", priceClass: "book-price",
+			pricePrefix: "", priceSuffix: " USD"},
+		{name: "bestbuy", containerTag: "div", containerClass: "sku-list", itemTag: "div", itemClass: "sku-item",
+			nameTag: "h4", nameClass: "sku-header", priceTag: "div", priceClass: "priceView",
+			pricePrefix: "Your price: $", priceSuffix: ""},
+		{name: "bigtray", table: true, pricePrefix: "$", priceSuffix: " ea"},
+		{name: "bol", containerTag: "div", containerClass: "list", itemTag: "div", itemClass: "product",
+			nameTag: "a", nameClass: "product-title", priceTag: "span", priceClass: "promo-price",
+			pricePrefix: "", priceSuffix: " euro", wrapItems: true},
+		{name: "buy", containerTag: "ol", containerClass: "offers", itemTag: "li", itemClass: "offer",
+			nameTag: "b", nameClass: "offer-name", priceTag: "span", priceClass: "offer-price",
+			pricePrefix: "Sale: $", priceSuffix: " (incl. tax)"},
+		{name: "cameraword", containerTag: "div", containerClass: "cams", itemTag: "div", itemClass: "cam",
+			nameTag: "h2", nameClass: "cam-name", priceTag: "p", priceClass: "cam-price",
+			pricePrefix: "USD ", priceSuffix: ""},
+		{name: "cnet", containerTag: "div", containerClass: "reviews", itemTag: "section", itemClass: "review",
+			nameTag: "h3", nameClass: "review-title", priceTag: "span", priceClass: "review-price",
+			pricePrefix: "$", priceSuffix: " at retail", noiseAd: true},
+		{name: "cooking-bw", containerTag: "ul", containerClass: "tools", itemTag: "li", itemClass: "tool",
+			nameTag: "span", nameClass: "tool-name", priceTag: "span", priceClass: "tool-price",
+			pricePrefix: "only $", priceSuffix: ""},
+		{name: "dealtime", containerTag: "div", containerClass: "deals", itemTag: "div", itemClass: "deal",
+			nameTag: "a", nameClass: "deal-link", priceTag: "strong", priceClass: "deal-price",
+			pricePrefix: "$", priceSuffix: ""},
+		{name: "drugstore", containerTag: "div", containerClass: "aisle", itemTag: "div", itemClass: "shelf-item",
+			nameTag: "span", nameClass: "drug-name", priceTag: "span", priceClass: "drug-price",
+			pricePrefix: "$", priceSuffix: "/pack", wrapItems: true},
+		{name: "ebay", containerTag: "ul", containerClass: "srp-list", itemTag: "li", itemClass: "s-item",
+			nameTag: "h3", nameClass: "s-item-title", priceTag: "span", priceClass: "s-item-price",
+			pricePrefix: "US $", priceSuffix: ""},
+		{name: "mgzoutlet", containerTag: "div", containerClass: "issues", itemTag: "div", itemClass: "issue",
+			nameTag: "h2", nameClass: "issue-name", priceTag: "div", priceClass: "issue-price",
+			pricePrefix: "", priceSuffix: " per year"},
+		{name: "mediaworld", containerTag: "div", containerClass: "catalogo", itemTag: "article", itemClass: "prodotto",
+			nameTag: "h3", nameClass: "nome", priceTag: "span", priceClass: "prezzo",
+			pricePrefix: "EUR ", priceSuffix: ""},
+		{name: "nthbutsw", containerTag: "div", containerClass: "sw-list", itemTag: "div", itemClass: "sw",
+			nameTag: "a", nameClass: "sw-name", priceTag: "span", priceClass: "sw-price",
+			pricePrefix: "$", priceSuffix: " download"},
+		{name: "powells", containerTag: "ul", containerClass: "shelf", itemTag: "li", itemClass: "volume",
+			nameTag: "em", nameClass: "volume-title", priceTag: "span", priceClass: "volume-price",
+			pricePrefix: "List: $", priceSuffix: "", noiseAd: true},
+		{name: "googlepdct", containerTag: "div", containerClass: "pla", itemTag: "div", itemClass: "pla-unit",
+			nameTag: "span", nameClass: "pla-title", priceTag: "span", priceClass: "pla-price",
+			pricePrefix: "$", priceSuffix: ""},
+		{name: "yahooshop", containerTag: "div", containerClass: "shopping", itemTag: "div", itemClass: "hit",
+			nameTag: "h4", nameClass: "hit-title", priceTag: "div", priceClass: "hit-price",
+			pricePrefix: "from $", priceSuffix: " at 3 stores"},
+		{name: "shopping", containerTag: "div", containerClass: "grid-list", itemTag: "div", itemClass: "grid-cell",
+			nameTag: "a", nameClass: "cell-name", priceTag: "span", priceClass: "cell-price",
+			pricePrefix: "$", priceSuffix: "", wrapItems: true},
+		{name: "shopzilla", containerTag: "ol", containerClass: "zilla", itemTag: "li", itemClass: "zitem",
+			nameTag: "b", nameClass: "zname", priceTag: "i", priceClass: "zprice",
+			pricePrefix: "as low as $", priceSuffix: ""},
+		{name: "target", containerTag: "div", containerClass: "plp", itemTag: "div", itemClass: "plp-card",
+			nameTag: "h3", nameClass: "card-title", priceTag: "span", priceClass: "card-price",
+			pricePrefix: "$", priceSuffix: " w/ RedCard"},
+		{name: "tigerdirect", table: true, pricePrefix: "Now: $", priceSuffix: "!"},
+		{name: "venere", containerTag: "div", containerClass: "hotels", itemTag: "div", itemClass: "hotel",
+			nameTag: "h2", nameClass: "hotel-name", priceTag: "span", priceClass: "hotel-rate",
+			pricePrefix: "", priceSuffix: " per night"},
+	}
+}
+
+// Web returns the 25 webpage benchmark tasks (named after Fig. 10).
+func Web() []*bench.Task {
+	base := webConfigs()
+	out := make([]*bench.Task, len(base))
+	for i, cfg := range base {
+		cfg.products = catalog(i+1, 4+i%4)
+		out[i] = buildSite(cfg)
+	}
+	return out
+}
+
+// WebTransfer returns train/test task pairs per site: the same layout with
+// different catalogs, for the §2 transfer evaluation.
+func WebTransfer() [][2]*bench.Task {
+	base := webConfigs()
+	out := make([][2]*bench.Task, len(base))
+	for i, cfg := range base {
+		train := cfg
+		train.products = catalog(i+1, 4+i%4)
+		test := cfg
+		test.products = catalog(i+41, 5+i%3)
+		out[i] = [2]*bench.Task{buildSite(train), buildSite(test)}
+	}
+	return out
+}

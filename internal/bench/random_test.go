@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"flashextract/internal/region"
+	"flashextract/internal/textlang"
+)
+
+// This file is a randomized robustness check: documents with layouts drawn
+// from a small grammar of record formats (varying delimiters, field kinds,
+// and noise headers) must all converge under the simulated interaction.
+// The generator is seeded deterministically so failures are reproducible.
+
+// layoutRNG is a tiny deterministic PRNG (xorshift) so the test needs no
+// global seeding and stays reproducible.
+type layoutRNG struct{ s uint64 }
+
+func (r *layoutRNG) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *layoutRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *layoutRNG) pick(xs []string) string { return xs[r.intn(len(xs))] }
+
+var (
+	layoutPrefixes   = []string{"", "row: ", "> ", "item "}
+	layoutDelims     = []string{": ", " | ", " -> ", " = ", "; "}
+	layoutTerms      = []string{"", " .", " ok", " #"}
+	layoutWordPool   = []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india", "juliet"}
+	layoutHeaderPool = []string{"report header", "generated file", "do not edit", "records follow"}
+)
+
+// randomLayoutTask builds a two-field record document from the layout
+// grammar and returns the task plus a description for failure messages.
+func randomLayoutTask(seed uint64) (*Task, string) {
+	rng := &layoutRNG{s: seed*2654435761 + 1}
+	prefix := rng.pick(layoutPrefixes)
+	delim := rng.pick(layoutDelims)
+	term := rng.pick(layoutTerms)
+	rows := 4 + rng.intn(4)
+
+	var sb strings.Builder
+	sb.WriteString(rng.pick(layoutHeaderPool) + "\n")
+	type mark struct{ s, e int }
+	var words, nums []mark
+	for i := 0; i < rows; i++ {
+		w := layoutWordPool[(int(seed)+i*3)%len(layoutWordPool)]
+		n := fmt.Sprintf("%d.%02d", 10+rng.intn(900), rng.intn(100))
+		sb.WriteString(prefix)
+		ws := sb.Len()
+		sb.WriteString(w)
+		words = append(words, mark{ws, sb.Len()})
+		sb.WriteString(delim)
+		ns := sb.Len()
+		sb.WriteString(n)
+		nums = append(nums, mark{ns, sb.Len()})
+		sb.WriteString(term)
+		sb.WriteString("\n")
+	}
+	text := sb.String()
+	doc := textlang.NewDocument(text)
+	golden := map[string][]region.Region{"w": nil, "n": nil}
+	for _, m := range words {
+		golden["w"] = append(golden["w"], doc.Region(m.s, m.e))
+	}
+	for _, m := range nums {
+		golden["n"] = append(golden["n"], doc.Region(m.s, m.e))
+	}
+	desc := fmt.Sprintf("prefix=%q delim=%q term=%q rows=%d", prefix, delim, term, rows)
+	return &Task{
+		Name:   fmt.Sprintf("random-%d", seed),
+		Domain: "text",
+		Doc:    doc,
+		Golden: golden,
+	}, desc
+}
+
+func TestRandomLayoutsConverge(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		task, desc := randomLayoutTask(seed)
+		for _, color := range []string{"w", "n"} {
+			fr := SimulateField(task.Doc, task.Golden[color])
+			if !fr.Succeeded {
+				t.Errorf("seed %d (%s) field %s: %s after %d iterations",
+					seed, desc, color, fr.FailReason, fr.Iterations)
+			} else if fr.Examples() > 6 {
+				t.Logf("seed %d (%s) field %s needed %d examples", seed, desc, color, fr.Examples())
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Fig10Row is one bar of Fig. 10: the average number of positive and
+// negative instances across the fields of one document.
+type Fig10Row struct {
+	Doc      string
+	Domain   string
+	AvgPos   float64
+	AvgNeg   float64
+	Fields   int
+	Failures int
+}
+
+// Fig10 computes the rows of Fig. 10 from task results.
+func Fig10(results []TaskResult) []Fig10Row {
+	out := make([]Fig10Row, 0, len(results))
+	for _, tr := range results {
+		row := Fig10Row{Doc: tr.Task.Name, Domain: tr.Task.Domain, Fields: len(tr.Fields)}
+		row.AvgPos, row.AvgNeg = tr.AvgExamples()
+		for _, f := range tr.Fields {
+			if !f.Succeeded {
+				row.Failures++
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Fig11Row is one bar of Fig. 11: the average synthesis time of the last
+// interaction across the fields of one document.
+type Fig11Row struct {
+	Doc        string
+	Domain     string
+	AvgSeconds float64
+}
+
+// Fig11 computes the rows of Fig. 11 from task results.
+func Fig11(results []TaskResult) []Fig11Row {
+	out := make([]Fig11Row, 0, len(results))
+	for _, tr := range results {
+		out = append(out, Fig11Row{
+			Doc:        tr.Task.Name,
+			Domain:     tr.Task.Domain,
+			AvgSeconds: tr.AvgLastSynth().Seconds(),
+		})
+	}
+	return out
+}
+
+// WriteFig10 renders Fig. 10 rows as an aligned table with a text bar per
+// document (solid bar = positive instances, open bar = negatives), the
+// shape the paper plots.
+func WriteFig10(w io.Writer, rows []Fig10Row) {
+	fmt.Fprintf(w, "%-14s %8s %8s %8s   %s\n", "document", "avg pos", "avg neg", "total", "examples")
+	for _, r := range rows {
+		bar := strings.Repeat("█", int(r.AvgPos*2+0.5)) + strings.Repeat("░", int(r.AvgNeg*2+0.5))
+		status := ""
+		if r.Failures > 0 {
+			status = fmt.Sprintf("  (%d FAILED)", r.Failures)
+		}
+		fmt.Fprintf(w, "%-14s %8.2f %8.2f %8.2f   %s%s\n",
+			r.Doc, r.AvgPos, r.AvgNeg, r.AvgPos+r.AvgNeg, bar, status)
+	}
+}
+
+// WriteFig11 renders Fig. 11 rows as an aligned table with a text bar per
+// document.
+func WriteFig11(w io.Writer, rows []Fig11Row) {
+	fmt.Fprintf(w, "%-14s %10s   %s\n", "document", "seconds", "last-iteration synthesis time")
+	for _, r := range rows {
+		bar := strings.Repeat("█", int(r.AvgSeconds*200+0.5))
+		fmt.Fprintf(w, "%-14s %10.3f   %s\n", r.Doc, r.AvgSeconds, bar)
+	}
+}
+
+// WriteSummary renders the headline aggregate of §6.
+func WriteSummary(w io.Writer, s Summary) {
+	fmt.Fprintf(w, "documents:             %d\n", s.Documents)
+	fmt.Fprintf(w, "fields:                %d\n", s.Fields)
+	fmt.Fprintf(w, "failed fields:         %d\n", s.Failures)
+	fmt.Fprintf(w, "avg examples/field:    %.2f  (%.2f positive + %.2f negative)\n",
+		s.AvgExamples, s.AvgPositives, s.AvgNegatives)
+	fmt.Fprintf(w, "avg synthesis time:    %.3fs per field (last iteration)\n", s.AvgLastSynth.Seconds())
+	fmt.Fprintf(w, "paper reference:       2.36 examples and 0.84s per field (C#, Core i7 2.67GHz)\n")
+}

@@ -1,0 +1,51 @@
+package core
+
+// Coster is implemented by programs that carry a heuristic ranking cost.
+// Lower cost means the program is considered more likely to match the
+// user's intent; CleanUp orders candidates by cost before pruning, which
+// realizes the paper's ranking criteria (e.g. preferring programs learned
+// from consecutive examples at the beginning of a region, and penalizing
+// contrived index arithmetic).
+type Coster interface {
+	Cost() int
+}
+
+// DefaultLeafCost is the cost assumed for leaf programs that do not
+// implement Coster.
+const DefaultLeafCost = 1
+
+// Cost returns the ranking cost of a program.
+func Cost(p Program) int {
+	if c, ok := p.(Coster); ok {
+		return c.Cost()
+	}
+	return DefaultLeafCost
+}
+
+// Cost of a Map is the cost of its parts.
+func (p *MapProgram) Cost() int { return Cost(p.F) + Cost(p.S) }
+
+// Cost of a FilterBool is the cost of its parts.
+func (p *FilterBoolProgram) Cost() int { return Cost(p.B) + Cost(p.S) }
+
+// Cost penalizes index arithmetic: a nonzero init means the examples did
+// not start at the beginning of the sequence, and iter > 1 encodes a
+// stride — both are unlikely unless nothing simpler exists.
+func (p *FilterIntProgram) Cost() int {
+	return Cost(p.S) + 2*p.Init + 4*(p.Iter-1)
+}
+
+// Cost prefers merges with fewer classes.
+func (p *MergeProgram) Cost() int {
+	c := 2 * (len(p.Args) - 1)
+	for _, a := range p.Args {
+		c += Cost(a)
+	}
+	return c
+}
+
+// Cost of a Pair is the cost of its components.
+func (p *PairProgram) Cost() int { return Cost(p.A) + Cost(p.B) }
+
+// Bias is the fixed cost of the wrapped function.
+func (p Func) Cost() int { return p.Bias }

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Algebraic laws of the operator semantics, checked on random integer
+// sequences: the identity filters behave as identities, and Merge of a
+// single argument is the argument modulo duplicate removal.
+
+func randomSeqState(xs []int8) State {
+	seq := make([]Value, len(xs))
+	for i, x := range xs {
+		seq[i] = int(x)
+	}
+	return NewState(seq)
+}
+
+func TestLawFilterIntIdentity(t *testing.T) {
+	f := func(xs []int8) bool {
+		st := randomSeqState(xs)
+		p := &FilterIntProgram{Init: 0, Iter: 1, S: inputSeq}
+		got, err := p.Exec(st)
+		if err != nil {
+			return false
+		}
+		return Eq(got, st.Input())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLawFilterBoolTrueIdentity(t *testing.T) {
+	truePredProg := Func{Name: "True", F: func(State) (Value, error) { return true, nil }}
+	f := func(xs []int8) bool {
+		st := randomSeqState(xs)
+		p := &FilterBoolProgram{Var: "x", B: truePredProg, S: inputSeq}
+		got, err := p.Exec(st)
+		if err != nil {
+			return false
+		}
+		gotSeq, _ := AsSeq(got)
+		inSeq, _ := AsSeq(st.Input())
+		if len(gotSeq) != len(inSeq) {
+			return false
+		}
+		return Eq(got, st.Input())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLawMergeSingletonDedupes(t *testing.T) {
+	f := func(xs []int8) bool {
+		st := randomSeqState(xs)
+		p := &MergeProgram{Args: []Program{inputSeq}, Less: func(a, b Value) bool { return a.(int) < b.(int) }}
+		got, err := p.Exec(st)
+		if err != nil {
+			return false
+		}
+		gotSeq, _ := AsSeq(got)
+		// sorted ascending, no adjacent duplicates, and a subset of input
+		for i := 1; i < len(gotSeq); i++ {
+			if gotSeq[i].(int) < gotSeq[i-1].(int) || Eq(gotSeq[i], gotSeq[i-1]) {
+				return false
+			}
+		}
+		inSeq, _ := AsSeq(st.Input())
+		for _, v := range gotSeq {
+			if !ContainsValue(inSeq, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLawMapIdentity(t *testing.T) {
+	identity := Func{Name: "Id", F: func(st State) (Value, error) {
+		v, _ := st.Lookup("x")
+		return v, nil
+	}}
+	f := func(xs []int8) bool {
+		st := randomSeqState(xs)
+		p := &MapProgram{Name: "Map", Var: "x", F: identity, S: inputSeq}
+		got, err := p.Exec(st)
+		if err != nil {
+			return false
+		}
+		return Eq(got, st.Input())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLawFilterComposition checks FilterInt(a,b, FilterInt(0,1,S)) ≡
+// FilterInt(a,b,S).
+func TestLawFilterComposition(t *testing.T) {
+	f := func(xs []int8, a, b uint8) bool {
+		st := randomSeqState(xs)
+		init := int(a % 5)
+		iter := int(b%4) + 1
+		direct := &FilterIntProgram{Init: init, Iter: iter, S: inputSeq}
+		nested := &FilterIntProgram{Init: init, Iter: iter, S: &FilterIntProgram{Init: 0, Iter: 1, S: inputSeq}}
+		g1, e1 := direct.Exec(st)
+		g2, e2 := nested.Exec(st)
+		if (e1 == nil) != (e2 == nil) {
+			return false
+		}
+		return e1 != nil || Eq(g1, g2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+// Example is a scalar input/output example: running the desired program in
+// State must produce exactly Output.
+type Example struct {
+	State  State
+	Output Value
+}
+
+// SeqExample is a sequence example with positive instances: the desired
+// program, run in State, must produce a sequence containing Positive as a
+// subsequence (Def. 5).
+type SeqExample struct {
+	State    State
+	Positive []Value
+}
+
+// ScalarLearner learns the ranked set of scalar programs consistent with a
+// set of scalar examples. An empty result means no program exists.
+type ScalarLearner func(exs []Example) []Program
+
+// SeqLearner learns the ranked set of sequence programs consistent with a
+// set of sequence examples (positive instances only).
+type SeqLearner func(exs []SeqExample) []Program
+
+// DefaultCap bounds the length of learner result lists where a cross
+// product could otherwise explode. Learners keep the highest-ranked
+// programs. It can be raised for completeness experiments.
+var DefaultCap = 128
+
+func capList(ps []Program, limit int) []Program {
+	if limit <= 0 {
+		limit = DefaultCap
+	}
+	if len(ps) > limit {
+		return ps[:limit]
+	}
+	return ps
+}
+
+// UnionLearners combines the rule learners of a non-terminal: the result is
+// the concatenation of each learner's results, in rule order (the N.Learn
+// procedure of Fig. 6).
+func UnionLearners(learners ...SeqLearner) SeqLearner {
+	return func(exs []SeqExample) []Program {
+		var out []Program
+		for _, l := range learners {
+			out = append(out, l(exs)...)
+		}
+		return out
+	}
+}
+
+// UnionScalarLearners is UnionLearners for scalar non-terminals.
+func UnionScalarLearners(learners ...ScalarLearner) ScalarLearner {
+	return func(exs []Example) []Program {
+		var out []Program
+		for _, l := range learners {
+			out = append(out, l(exs)...)
+		}
+		return out
+	}
+}
+
+// execSeq runs a program expected to return a sequence; ok is false when
+// execution fails or the result is not a sequence.
+func execSeq(p Program, st State) ([]Value, bool) {
+	v, err := p.Exec(st)
+	if err != nil {
+		return nil, false
+	}
+	seq, err := AsSeq(v)
+	if err != nil {
+		return nil, false
+	}
+	return seq, true
+}
+
+// ConsistentSeq reports whether p is consistent with the positive instances
+// of all sequence examples.
+func ConsistentSeq(p Program, exs []SeqExample) bool {
+	for _, ex := range exs {
+		out, ok := execSeq(p, ex.State)
+		if !ok || !IsSubsequence(ex.Positive, out) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConsistentScalar reports whether p is consistent with all scalar examples.
+func ConsistentScalar(p Program, exs []Example) bool {
+	for _, ex := range exs {
+		v, err := p.Exec(ex.State)
+		if err != nil || !Eq(v, ex.Output) {
+			return false
+		}
+	}
+	return true
+}
+
+// PreferNonOverlapping wraps a sequence learner so that programs whose
+// example outputs contain two overlapping (but distinct) values rank as a
+// group after programs with pairwise non-overlapping outputs. Instances of
+// one field never overlap each other in practice, so an overlapping output
+// almost always signals an overfit candidate; the overlapping programs are
+// kept as a fallback to preserve completeness.
+func PreferNonOverlapping(l SeqLearner, overlaps func(a, b Value) bool) SeqLearner {
+	return func(exs []SeqExample) []Program {
+		ps := l(exs)
+		if len(ps) <= 1 {
+			return ps
+		}
+		var good, bad []Program
+		for _, p := range ps {
+			if hasOverlappingOutput(p, exs, overlaps) {
+				bad = append(bad, p)
+			} else {
+				good = append(good, p)
+			}
+		}
+		return append(good, bad...)
+	}
+}
+
+func hasOverlappingOutput(p Program, exs []SeqExample, overlaps func(a, b Value) bool) bool {
+	for _, ex := range exs {
+		out, ok := execSeq(p, ex.State)
+		if !ok {
+			continue
+		}
+		for i := 0; i < len(out); i++ {
+			for j := i + 1; j < len(out); j++ {
+				if !Eq(out[i], out[j]) && overlaps(out[i], out[j]) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ProgramSpec is the serializable form of a DSL program: an operator name,
+// scalar attributes, and child specs. Learned extraction programs are
+// saved as trees of specs (the paper's §2 promises users "the data and its
+// associated data extraction program"; specs make that program a portable
+// artifact).
+type ProgramSpec struct {
+	Op       string            `json:"op"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []ProgramSpec     `json:"children,omitempty"`
+}
+
+// Encoder is implemented by programs that can serialize themselves.
+type Encoder interface {
+	EncodeProgram() (ProgramSpec, error)
+}
+
+// Encode serializes a program tree.
+func Encode(p Program) (ProgramSpec, error) {
+	if e, ok := p.(Encoder); ok {
+		return e.EncodeProgram()
+	}
+	return ProgramSpec{}, fmt.Errorf("core: program %s (%T) is not serializable", p, p)
+}
+
+// MarshalProgram renders a program as JSON.
+func MarshalProgram(p Program) ([]byte, error) {
+	spec, err := Encode(p)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(spec, "", "  ")
+}
+
+// EncodeProgram serializes a Map operator.
+func (p *MapProgram) EncodeProgram() (ProgramSpec, error) {
+	f, err := Encode(p.F)
+	if err != nil {
+		return ProgramSpec{}, err
+	}
+	s, err := Encode(p.S)
+	if err != nil {
+		return ProgramSpec{}, err
+	}
+	return ProgramSpec{
+		Op:       "Map",
+		Attrs:    map[string]string{"name": p.Name, "var": p.Var},
+		Children: []ProgramSpec{f, s},
+	}, nil
+}
+
+// EncodeProgram serializes a FilterBool operator.
+func (p *FilterBoolProgram) EncodeProgram() (ProgramSpec, error) {
+	b, err := Encode(p.B)
+	if err != nil {
+		return ProgramSpec{}, err
+	}
+	s, err := Encode(p.S)
+	if err != nil {
+		return ProgramSpec{}, err
+	}
+	return ProgramSpec{
+		Op:       "FilterBool",
+		Attrs:    map[string]string{"var": p.Var},
+		Children: []ProgramSpec{b, s},
+	}, nil
+}
+
+// EncodeProgram serializes a FilterInt operator.
+func (p *FilterIntProgram) EncodeProgram() (ProgramSpec, error) {
+	s, err := Encode(p.S)
+	if err != nil {
+		return ProgramSpec{}, err
+	}
+	return ProgramSpec{
+		Op:       "FilterInt",
+		Attrs:    map[string]string{"init": itoa(p.Init), "iter": itoa(p.Iter)},
+		Children: []ProgramSpec{s},
+	}, nil
+}
+
+// EncodeProgram serializes a Merge operator.
+func (p *MergeProgram) EncodeProgram() (ProgramSpec, error) {
+	spec := ProgramSpec{Op: "Merge"}
+	for _, a := range p.Args {
+		c, err := Encode(a)
+		if err != nil {
+			return ProgramSpec{}, err
+		}
+		spec.Children = append(spec.Children, c)
+	}
+	return spec, nil
+}
+
+// DecodeContext carries the domain-specific pieces needed to reconstruct
+// operator programs: the leaf decoder and the domain's document-order
+// relation (used by Merge).
+type DecodeContext struct {
+	// Leaf decodes domain-specific leaf specs.
+	Leaf func(spec ProgramSpec) (Program, error)
+	// Less orders values by document location.
+	Less func(a, b Value) bool
+}
+
+// Decode reconstructs a program tree from its spec.
+func (ctx DecodeContext) Decode(spec ProgramSpec) (Program, error) {
+	switch spec.Op {
+	case "Map":
+		if err := arity(spec, 2); err != nil {
+			return nil, err
+		}
+		f, err := ctx.Decode(spec.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		s, err := ctx.Decode(spec.Children[1])
+		if err != nil {
+			return nil, err
+		}
+		return &MapProgram{Name: spec.Attrs["name"], Var: spec.Attrs["var"], F: f, S: s}, nil
+	case "FilterBool":
+		if err := arity(spec, 2); err != nil {
+			return nil, err
+		}
+		b, err := ctx.Decode(spec.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		s, err := ctx.Decode(spec.Children[1])
+		if err != nil {
+			return nil, err
+		}
+		return &FilterBoolProgram{Var: spec.Attrs["var"], B: b, S: s}, nil
+	case "FilterInt":
+		if err := arity(spec, 1); err != nil {
+			return nil, err
+		}
+		s, err := ctx.Decode(spec.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		init, err1 := atoi(spec.Attrs["init"])
+		iter, err2 := atoi(spec.Attrs["iter"])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("core: FilterInt spec has bad init/iter %q/%q", spec.Attrs["init"], spec.Attrs["iter"])
+		}
+		return &FilterIntProgram{Init: init, Iter: iter, S: s}, nil
+	case "Merge":
+		if len(spec.Children) == 0 {
+			return nil, fmt.Errorf("core: Merge spec has no children")
+		}
+		out := &MergeProgram{Less: ctx.Less}
+		for _, c := range spec.Children {
+			a, err := ctx.Decode(c)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, a)
+		}
+		return out, nil
+	default:
+		if ctx.Leaf == nil {
+			return nil, fmt.Errorf("core: unknown operator %q and no leaf decoder", spec.Op)
+		}
+		return ctx.Leaf(spec)
+	}
+}
+
+// UnmarshalProgram parses JSON into a program using the context.
+func (ctx DecodeContext) UnmarshalProgram(data []byte) (Program, error) {
+	var spec ProgramSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, err
+	}
+	return ctx.Decode(spec)
+}
+
+func arity(spec ProgramSpec, n int) error {
+	if len(spec.Children) != n {
+		return fmt.Errorf("core: %s spec has %d children, want %d", spec.Op, len(spec.Children), n)
+	}
+	return nil
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func atoi(s string) (int, error) {
+	var v int
+	_, err := fmt.Sscanf(s, "%d", &v)
+	return v, err
+}

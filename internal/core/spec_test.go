@@ -1,0 +1,114 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// leafProg is a serializable test leaf.
+type leafProg struct {
+	tag string
+}
+
+func (p leafProg) Exec(st State) (Value, error) {
+	return []Value{p.tag}, nil
+}
+
+func (p leafProg) String() string { return "Leaf(" + p.tag + ")" }
+
+func (p leafProg) EncodeProgram() (ProgramSpec, error) {
+	return ProgramSpec{Op: "test.leaf", Attrs: map[string]string{"tag": p.tag}}, nil
+}
+
+// predProg is a serializable boolean leaf.
+type predProg struct{}
+
+func (predProg) Exec(st State) (Value, error) { return true, nil }
+func (predProg) String() string               { return "True" }
+func (predProg) EncodeProgram() (ProgramSpec, error) {
+	return ProgramSpec{Op: "test.true"}, nil
+}
+
+func testDecodeCtx() DecodeContext {
+	return DecodeContext{
+		Leaf: func(spec ProgramSpec) (Program, error) {
+			switch spec.Op {
+			case "test.leaf":
+				return leafProg{tag: spec.Attrs["tag"]}, nil
+			case "test.true":
+				return predProg{}, nil
+			}
+			return nil, ErrNoMatch
+		},
+		Less: func(a, b Value) bool { return false },
+	}
+}
+
+func TestSpecRoundTripOperators(t *testing.T) {
+	orig := &MergeProgram{Args: []Program{
+		&MapProgram{Name: "M", Var: "x", F: predProg{}, S: leafProg{tag: "s1"}},
+		&FilterIntProgram{Init: 2, Iter: 3, S: &FilterBoolProgram{Var: "x", B: predProg{}, S: leafProg{tag: "s2"}}},
+	}}
+	data, err := MarshalProgram(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := testDecodeCtx().UnmarshalProgram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != orig.String() {
+		t.Fatalf("round trip changed program:\n%s\nvs\n%s", orig, back)
+	}
+	merged := back.(*MergeProgram)
+	fi := merged.Args[1].(*FilterIntProgram)
+	if fi.Init != 2 || fi.Iter != 3 {
+		t.Fatalf("FilterInt params lost: %+v", fi)
+	}
+}
+
+func TestSpecEncodeUnserializable(t *testing.T) {
+	f := Func{Name: "closure", F: func(State) (Value, error) { return nil, nil }}
+	if _, err := Encode(f); err == nil {
+		t.Fatal("closure program should not encode")
+	}
+	// An operator containing an unserializable child must fail too.
+	m := &MapProgram{Name: "M", Var: "x", F: f, S: leafProg{tag: "s"}}
+	if _, err := Encode(m); err == nil {
+		t.Fatal("operator with unserializable child encoded")
+	}
+}
+
+func TestSpecDecodeErrors(t *testing.T) {
+	ctx := testDecodeCtx()
+	cases := []string{
+		`{"op":"Map","children":[{"op":"test.true"}]}`,                                       // wrong arity
+		`{"op":"FilterInt","attrs":{"init":"x","iter":"1"},"children":[{"op":"test.leaf"}]}`, // bad int
+		`{"op":"Merge"}`,         // no children
+		`{"op":"bogus.unknown"}`, // unknown leaf
+		`{"op":"Map","children":[{"op":"bogus"},{"op":"test.leaf"}]}`, // bad child
+		`not json`,
+	}
+	for _, c := range cases {
+		if _, err := ctx.UnmarshalProgram([]byte(c)); err == nil {
+			t.Errorf("decode of %q succeeded, want error", c)
+		}
+	}
+	noLeaf := DecodeContext{}
+	if _, err := noLeaf.Decode(ProgramSpec{Op: "anything"}); err == nil {
+		t.Fatal("decode without leaf decoder accepted")
+	}
+}
+
+func TestSpecJSONShape(t *testing.T) {
+	p := &FilterIntProgram{Init: 1, Iter: 2, S: leafProg{tag: "z"}}
+	data, err := MarshalProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"op": "FilterInt"`, `"init": "1"`, `"test.leaf"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s:\n%s", want, data)
+		}
+	}
+}

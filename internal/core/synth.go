@@ -1,0 +1,72 @@
+package core
+
+// SeqSpec is the input of SynthesizeSeqRegionProg: for each input region
+// (held in State), the regions that must be extracted (Positive) and the
+// regions that must not (Negative).
+type SeqSpec struct {
+	State    State
+	Positive []Value
+	Negative []Value
+}
+
+// SynthesizeSeqRegionProg learns the ranked set of sequence programs
+// consistent with the given examples: it first learns from the positive
+// instances via the DSL's top-level sequence non-terminal n1, then retains
+// the programs whose outputs avoid every negative instance. The conflicts
+// predicate decides whether an output value violates a negative instance;
+// if nil, value equality is used.
+func SynthesizeSeqRegionProg(n1 SeqLearner, specs []SeqSpec, conflicts func(out, neg Value) bool) []Program {
+	if conflicts == nil {
+		conflicts = Eq
+	}
+	exs := make([]SeqExample, len(specs))
+	for i, sp := range specs {
+		exs[i] = SeqExample{State: sp.State, Positive: sp.Positive}
+	}
+	candidates := n1(exs)
+	var out []Program
+	for _, p := range candidates {
+		if !ConsistentSeq(p, exs) {
+			continue
+		}
+		if violatesNegative(p, specs, conflicts) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func violatesNegative(p Program, specs []SeqSpec, conflicts func(out, neg Value) bool) bool {
+	for _, sp := range specs {
+		if len(sp.Negative) == 0 {
+			continue
+		}
+		seq, ok := execSeq(p, sp.State)
+		if !ok {
+			return true
+		}
+		for _, v := range seq {
+			for _, neg := range sp.Negative {
+				if conflicts(v, neg) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// SynthesizeRegionProg learns the ranked set of scalar (region) programs
+// consistent with the examples via the DSL's top-level region non-terminal
+// n2.
+func SynthesizeRegionProg(n2 ScalarLearner, exs []Example) []Program {
+	candidates := n2(exs)
+	var out []Program
+	for _, p := range candidates {
+		if ConsistentScalar(p, exs) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

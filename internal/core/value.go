@@ -1,0 +1,134 @@
+// Package core implements the generic inductive synthesis framework of
+// FlashExtract (PLDI 2014, §4): an algebra of sequence and scalar operators
+// (Map, FilterBool, FilterInt, Merge, Pair) together with modular learning
+// algorithms for each operator, parameterized by the learners of its
+// arguments. A data-extraction DSL assembled from these operators obtains a
+// sound and complete synthesizer for free (Theorems 1–3 of the paper).
+//
+// Values flowing through DSL programs are represented as the dynamic type
+// Value. Domains must use comparable concrete types for the values they
+// produce (the text, web, and spreadsheet instantiations use small structs
+// of integers and pointers), or implement the Equaler interface.
+package core
+
+import "fmt"
+
+// Value is a value produced or consumed by a DSL program: a region, a
+// position, a line, a boolean, or a sequence ([]Value) of these.
+type Value = any
+
+// Equaler may be implemented by domain values that are not directly
+// comparable with ==.
+type Equaler interface {
+	EqValue(other Value) bool
+}
+
+// Eq reports whether two DSL values are equal. Sequences are compared
+// element-wise; scalar values via Equaler if implemented, else ==.
+func Eq(a, b Value) bool {
+	if as, ok := a.([]Value); ok {
+		bs, ok := b.([]Value)
+		if !ok || len(as) != len(bs) {
+			return false
+		}
+		for i := range as {
+			if !Eq(as[i], bs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if ae, ok := a.(Equaler); ok {
+		return ae.EqValue(b)
+	}
+	return a == b
+}
+
+// IsSubsequence reports whether sub occurs within seq preserving order
+// (the ⊑ relation used for positive-instance consistency, Def. 5).
+func IsSubsequence(sub, seq []Value) bool {
+	if len(sub) > len(seq) {
+		return false
+	}
+	i := 0
+	for _, v := range seq {
+		if i == len(sub) {
+			return true
+		}
+		if Eq(sub[i], v) {
+			i++
+		}
+	}
+	return i == len(sub)
+}
+
+// IndexOf returns the index of v in seq, or -1 if absent.
+func IndexOf(seq []Value, v Value) int {
+	for i, e := range seq {
+		if Eq(e, v) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ContainsValue reports whether seq contains v.
+func ContainsValue(seq []Value, v Value) bool {
+	return IndexOf(seq, v) >= 0
+}
+
+// AsSeq asserts that v is a sequence value.
+func AsSeq(v Value) ([]Value, error) {
+	s, ok := v.([]Value)
+	if !ok {
+		return nil, fmt.Errorf("core: expected sequence value, got %T", v)
+	}
+	return s, nil
+}
+
+// InputVar is the name of the distinguished free variable R0 that denotes
+// the input region of a top-level SeqRegion or Region program.
+const InputVar = "R0"
+
+// State is an assignment to the free variables of a DSL program. States are
+// immutable: Bind returns a new state sharing the previous bindings.
+type State struct {
+	frame *binding
+}
+
+type binding struct {
+	name string
+	val  Value
+	next *binding
+}
+
+// NewState creates a state binding the distinguished input variable R0.
+func NewState(input Value) State {
+	return State{}.Bind(InputVar, input)
+}
+
+// Bind returns a new state with name bound to v, shadowing any previous
+// binding of the same name.
+func (s State) Bind(name string, v Value) State {
+	return State{frame: &binding{name: name, val: v, next: s.frame}}
+}
+
+// Lookup returns the value bound to name.
+func (s State) Lookup(name string) (Value, bool) {
+	for b := s.frame; b != nil; b = b.next {
+		if b.name == name {
+			return b.val, true
+		}
+	}
+	return nil, false
+}
+
+// Input returns the value of the distinguished input variable R0.
+// It panics if the state was not created with NewState.
+func (s State) Input() Value {
+	v, ok := s.Lookup(InputVar)
+	if !ok {
+		panic("core: state has no input binding " + InputVar)
+	}
+	return v
+}

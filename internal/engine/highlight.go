@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"fmt"
+
+	"flashextract/internal/region"
+	"flashextract/internal/schema"
+)
+
+// Highlighting is a collection of colored regions of a document (Def. 3):
+// a map from a field color to all regions of that color.
+type Highlighting map[string][]region.Region
+
+// Clone returns a deep copy of the highlighting.
+func (cr Highlighting) Clone() Highlighting {
+	out := make(Highlighting, len(cr))
+	for c, rs := range cr {
+		out[c] = append([]region.Region(nil), rs...)
+	}
+	return out
+}
+
+// Add adds regions of the given color, keeping the color's regions in
+// document order and dropping exact duplicates.
+func (cr Highlighting) Add(color string, rs ...region.Region) {
+	for _, r := range rs {
+		if containsRegion(cr[color], r) {
+			continue
+		}
+		cr[color] = append(cr[color], r)
+	}
+	region.Sort(cr[color])
+}
+
+func containsRegion(rs []region.Region, r region.Region) bool {
+	for _, x := range rs {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+// ConsistentWith checks the four conditions of Def. 3: (1) any two regions
+// either do not overlap or are nested; (2) every region of a field is
+// nested inside some region of each of its highlighted ancestors; (3) at
+// most one region of a field lies inside each region of a
+// structure-ancestor; (4) leaf region values have the declared leaf type.
+// Colors not present in the highlighting are not constrained (fields may
+// be highlighted in any order).
+func (cr Highlighting) ConsistentWith(m *schema.Schema) error {
+	// (1) pairwise nesting/disjointness across all colors.
+	type colored struct {
+		color string
+		r     region.Region
+	}
+	var all []colored
+	for c, rs := range cr {
+		for _, r := range rs {
+			all = append(all, colored{c, r})
+		}
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			a, b := all[i], all[j]
+			if a.r == b.r {
+				continue
+			}
+			if a.r.Overlaps(b.r) && !a.r.Contains(b.r) && !b.r.Contains(a.r) {
+				return fmt.Errorf("engine: regions %s [%s] and %s [%s] overlap without nesting",
+					a.r, a.color, b.r, b.color)
+			}
+		}
+	}
+	// (2), (3), (4) per schema relations.
+	for _, fi := range m.Fields() {
+		rs, ok := cr[fi.Color()]
+		if !ok {
+			continue
+		}
+		if fi.Field.IsLeaf() {
+			for _, r := range rs {
+				if !fi.Field.Leaf.ValidValue(r.Value()) {
+					return fmt.Errorf("engine: value %q of %s-region %s is not of type %s",
+						r.Value(), fi.Color(), r, fi.Field.Leaf)
+				}
+			}
+		}
+		for _, anc := range fi.Ancestors() {
+			if anc == nil {
+				continue
+			}
+			ancRegions, ok := cr[anc.Color()]
+			if !ok {
+				continue
+			}
+			for _, r := range rs {
+				n := 0
+				for _, ar := range ancRegions {
+					if ar.Contains(r) {
+						n++
+					}
+				}
+				if n == 0 {
+					return fmt.Errorf("engine: %s-region %s is not nested in any %s-region",
+						fi.Color(), r, anc.Color())
+				}
+			}
+			if !fi.IsSequenceAncestor(anc) {
+				// structure-ancestor: at most one region per ancestor region
+				for _, ar := range ancRegions {
+					n := 0
+					for _, r := range rs {
+						if ar.Contains(r) {
+							n++
+						}
+					}
+					if n > 1 {
+						return fmt.Errorf("engine: %d %s-regions inside structure-ancestor %s-region %s (want at most 1)",
+							n, fi.Color(), anc.Color(), ar)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+// Package engine implements the document-independent user interaction
+// model of FlashExtract (§3 of the paper): output-schema-driven
+// highlighting, the execution semantics of schema extraction programs
+// (Algorithm 1 and the Fill function of Fig. 5), the field synthesis
+// driver (Algorithm 2), and an interactive Session that mirrors the
+// example-based workflow of the tool.
+//
+// The engine is parameterized by a Language — one per document type — that
+// exposes the two inductive synthesis APIs of the framework.
+package engine
+
+import "flashextract/internal/region"
+
+// SeqRegionExample is one example for SynthesizeSeqRegion: within the
+// Input region, the Positive regions must be extracted and the Negative
+// regions must not.
+type SeqRegionExample struct {
+	Input    region.Region
+	Positive []region.Region
+	Negative []region.Region
+}
+
+// RegionExample is one example for SynthesizeRegion: within the Input
+// region, exactly the Output region must be extracted.
+type RegionExample struct {
+	Input  region.Region
+	Output region.Region
+}
+
+// SeqRegionProgram extracts a sequence of regions from an ancestor region.
+type SeqRegionProgram interface {
+	ExtractSeq(r region.Region) ([]region.Region, error)
+	String() string
+}
+
+// RegionProgram extracts a single region from an ancestor region. A nil
+// region with a nil error denotes the null instance ⊥.
+type RegionProgram interface {
+	Extract(r region.Region) (region.Region, error)
+	String() string
+}
+
+// Language is a data-extraction DSL instantiation: it provides the two
+// synthesis APIs of the framework (§4.3). Both return ranked lists of
+// programs consistent with the examples; an empty list means no program in
+// the DSL is consistent.
+type Language interface {
+	SynthesizeSeqRegion(exs []SeqRegionExample) []SeqRegionProgram
+	SynthesizeRegion(exs []RegionExample) []RegionProgram
+}
+
+// Document is a concrete document of some domain, paired with the domain's
+// DSL.
+type Document interface {
+	// WholeRegion returns the largest region of the document (D.Region).
+	WholeRegion() region.Region
+	// Language returns the document's data-extraction DSL.
+	Language() Language
+}
+
+// Spanner is implemented by documents that can compute a minimal covering
+// region of two regions. It enables bottom-up structure inference (§3 of
+// the paper): proposing non-leaf field regions from the materialized
+// highlighting of their descendants.
+type Spanner interface {
+	Span(a, b region.Region) (region.Region, error)
+}

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"flashextract/internal/region"
+	"flashextract/internal/schema"
+)
+
+// FieldProgram is a field extraction program (Def. 4): a pair of an
+// ancestor field f′ (nil meaning ⊥) and either a SeqRegion program (when
+// f′ is a sequence-ancestor of the field) or a Region program (when f′ is
+// a structure-ancestor).
+type FieldProgram struct {
+	Field    *schema.FieldInfo
+	Ancestor *schema.FieldInfo // nil = ⊥
+	Seq      SeqRegionProgram  // non-nil iff Ancestor is a sequence-ancestor
+	Reg      RegionProgram     // non-nil iff Ancestor is a structure-ancestor
+}
+
+func (fp *FieldProgram) String() string {
+	anc := "⊥"
+	if fp.Ancestor != nil {
+		anc = fp.Ancestor.Color()
+	}
+	body := ""
+	if fp.Seq != nil {
+		body = fp.Seq.String()
+	} else if fp.Reg != nil {
+		body = fp.Reg.String()
+	}
+	return fmt.Sprintf("(%s, %s)", anc, body)
+}
+
+// run executes the field extraction program against the highlighting built
+// so far (the body of the inner Run of Algorithm 1). A program failure on
+// one ancestor region contributes no regions for that ancestor: sequence
+// programs contribute an empty sequence, region programs the null
+// instance.
+func (fp *FieldProgram) run(doc Document, cr Highlighting) []region.Region {
+	var inputs []region.Region
+	if fp.Ancestor == nil {
+		inputs = []region.Region{doc.WholeRegion()}
+	} else {
+		inputs = cr[fp.Ancestor.Color()]
+	}
+	var out []region.Region
+	for _, in := range inputs {
+		if fp.Seq != nil {
+			rs, err := fp.Seq.ExtractSeq(in)
+			if err == nil {
+				out = append(out, rs...)
+			}
+		} else {
+			r, err := fp.Reg.Extract(in)
+			if err == nil && r != nil {
+				out = append(out, r)
+			}
+		}
+	}
+	region.Sort(out)
+	return out
+}
+
+// SchemaProgram is a schema extraction program Q: a map from every field
+// of the schema to its field extraction program.
+type SchemaProgram struct {
+	Schema *schema.Schema
+	Fields map[string]*FieldProgram // keyed by field color
+}
+
+func (q *SchemaProgram) String() string {
+	var b strings.Builder
+	for _, fi := range q.Schema.Fields() {
+		fp := q.Fields[fi.Color()]
+		fmt.Fprintf(&b, "%-10s ← %s\n", fi.Color(), fp)
+	}
+	return b.String()
+}
+
+// Complete reports whether every schema field has a program.
+func (q *SchemaProgram) Complete() error {
+	for _, fi := range q.Schema.Fields() {
+		if q.Fields[fi.Color()] == nil {
+			return fmt.Errorf("engine: no extraction program for field %s [%s]", fi.Path, fi.Color())
+		}
+	}
+	return nil
+}
+
+// Run executes the schema extraction program on a document (Algorithm 1):
+// field programs run in top-down topological order, each updating the
+// highlighting, and the resulting highlighting is turned into a schema
+// instance by Fill. Run fails if the produced highlighting is inconsistent
+// with the schema.
+func (q *SchemaProgram) Run(doc Document) (*Instance, Highlighting, error) {
+	if err := q.Complete(); err != nil {
+		return nil, nil, err
+	}
+	cr := Highlighting{}
+	for _, fi := range q.Schema.Fields() {
+		fp := q.Fields[fi.Color()]
+		cr.Add(fi.Color(), fp.run(doc, cr)...)
+	}
+	if err := cr.ConsistentWith(q.Schema); err != nil {
+		return nil, nil, fmt.Errorf("engine: extraction result inconsistent with schema: %w", err)
+	}
+	inst := Fill(q.Schema, cr, doc.WholeRegion())
+	return inst, cr, nil
+}

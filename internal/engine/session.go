@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"fmt"
+
+	"flashextract/internal/region"
+	"flashextract/internal/schema"
+)
+
+// Session is the interactive example-based workflow of §3: the user picks
+// a field, highlights positive (and possibly negative) example regions,
+// asks FlashExtract to learn, inspects the inferred highlighting, and
+// either provides more examples or commits the field and moves on.
+type Session struct {
+	doc Document
+	sch *schema.Schema
+
+	cr           Highlighting    // committed highlighting
+	materialized map[string]bool // colors whose programs are committed
+	programs     map[string]*FieldProgram
+	pos, neg     map[string][]region.Region // examples per color
+}
+
+// NewSession starts an extraction session for a document and schema.
+func NewSession(doc Document, sch *schema.Schema) *Session {
+	return &Session{
+		doc:          doc,
+		sch:          sch,
+		cr:           Highlighting{},
+		materialized: map[string]bool{},
+		programs:     map[string]*FieldProgram{},
+		pos:          map[string][]region.Region{},
+		neg:          map[string][]region.Region{},
+	}
+}
+
+// Schema returns the session's output schema.
+func (s *Session) Schema() *schema.Schema { return s.sch }
+
+// Document returns the session's document.
+func (s *Session) Document() Document { return s.doc }
+
+// field resolves a color to its schema field.
+func (s *Session) field(color string) (*schema.FieldInfo, error) {
+	fi := s.sch.FieldByColor(color)
+	if fi == nil {
+		return nil, fmt.Errorf("engine: schema has no field with color %q", color)
+	}
+	return fi, nil
+}
+
+// AddPositive records a positive example region for the field of the given
+// color.
+func (s *Session) AddPositive(color string, r region.Region) error {
+	if _, err := s.field(color); err != nil {
+		return err
+	}
+	if containsRegion(s.pos[color], r) {
+		return nil
+	}
+	s.pos[color] = append(s.pos[color], r)
+	region.Sort(s.pos[color])
+	return nil
+}
+
+// AddNegative records a negative example region for the field of the given
+// color.
+func (s *Session) AddNegative(color string, r region.Region) error {
+	if _, err := s.field(color); err != nil {
+		return err
+	}
+	if containsRegion(s.neg[color], r) {
+		return nil
+	}
+	s.neg[color] = append(s.neg[color], r)
+	region.Sort(s.neg[color])
+	return nil
+}
+
+// ClearExamples removes all recorded examples for a color.
+func (s *Session) ClearExamples(color string) {
+	delete(s.pos, color)
+	delete(s.neg, color)
+}
+
+// Learn synthesizes a field extraction program for the field of the given
+// color from the examples recorded so far and returns the program together
+// with the full highlighting it infers for the field.
+func (s *Session) Learn(color string) (*FieldProgram, []region.Region, error) {
+	fi, err := s.field(color)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.materialized[color] {
+		return nil, nil, fmt.Errorf("engine: field %s is already materialized", color)
+	}
+	fp, err := SynthesizeFieldProgram(s.doc, s.sch, s.cr, fi, s.pos[color], s.neg[color], s.materialized)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.programs[color] = fp
+	return fp, fp.run(s.doc, s.cr), nil
+}
+
+// Commit materializes a field: the highlighting inferred by its learned
+// program becomes part of the committed highlighting, enabling descendant
+// fields to learn relative to it. Learn must have succeeded for the color.
+func (s *Session) Commit(color string) error {
+	fi, err := s.field(color)
+	if err != nil {
+		return err
+	}
+	fp := s.programs[color]
+	if fp == nil {
+		return fmt.Errorf("engine: field %s has no learned program to commit", color)
+	}
+	crNew := s.cr.Clone()
+	crNew[color] = nil
+	crNew.Add(color, fp.run(s.doc, s.cr)...)
+	if err := crNew.ConsistentWith(s.sch); err != nil {
+		return fmt.Errorf("engine: committing %s: %w", color, err)
+	}
+	s.cr = crNew
+	s.materialized[fi.Color()] = true
+	return nil
+}
+
+// Materialized reports whether the field of the given color has been
+// committed.
+func (s *Session) Materialized(color string) bool { return s.materialized[color] }
+
+// Highlighting returns the committed highlighting.
+func (s *Session) Highlighting() Highlighting { return s.cr.Clone() }
+
+// Program assembles the schema extraction program once every field has
+// been materialized.
+func (s *Session) Program() (*SchemaProgram, error) {
+	q := &SchemaProgram{Schema: s.sch, Fields: map[string]*FieldProgram{}}
+	for _, fi := range s.sch.Fields() {
+		fp := s.programs[fi.Color()]
+		if fp == nil || !s.materialized[fi.Color()] {
+			return nil, fmt.Errorf("engine: field %s [%s] has not been materialized", fi.Path, fi.Color())
+		}
+		q.Fields[fi.Color()] = fp
+	}
+	return q, nil
+}
+
+// Extract runs the assembled schema program on the session's document and
+// returns the resulting schema instance.
+func (s *Session) Extract() (*Instance, error) {
+	q, err := s.Program()
+	if err != nil {
+		return nil, err
+	}
+	inst, _, err := q.Run(s.doc)
+	return inst, err
+}

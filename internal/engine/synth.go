@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"fmt"
+
+	"flashextract/internal/region"
+	"flashextract/internal/schema"
+)
+
+// SynthesizeFieldProgram implements Algorithm 2 of the paper: given a
+// document, a schema, a highlighting consistent with the schema, a
+// non-materialized field f, and positive/negative example regions, it
+// synthesizes a field extraction program (f′, P) such that P is consistent
+// with the examples and executing it yields a highlighting consistent with
+// the schema. Ancestors are tried nearest first; only materialized
+// ancestors (or ⊥) form learning boundaries. materialized maps field
+// colors to whether their highlighting has been committed.
+func SynthesizeFieldProgram(
+	doc Document,
+	m *schema.Schema,
+	cr Highlighting,
+	f *schema.FieldInfo,
+	pos, neg []region.Region,
+	materialized map[string]bool,
+) (*FieldProgram, error) {
+	if len(pos) == 0 {
+		return nil, fmt.Errorf("engine: field %s: at least one positive example is required", f.Color())
+	}
+	lang := doc.Language()
+	var lastErr error
+	for _, anc := range f.Ancestors() {
+		if anc != nil && !materialized[anc.Color()] {
+			continue
+		}
+		var inputs []region.Region
+		if anc == nil {
+			inputs = []region.Region{doc.WholeRegion()}
+		} else {
+			inputs = cr[anc.Color()]
+		}
+		fp, err := synthesizeAgainstAncestor(doc, m, cr, f, anc, inputs, pos, neg, lang)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return fp, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("engine: field %s: no materialized ancestor available", f.Color())
+	}
+	return nil, lastErr
+}
+
+func synthesizeAgainstAncestor(
+	doc Document,
+	m *schema.Schema,
+	cr Highlighting,
+	f *schema.FieldInfo,
+	anc *schema.FieldInfo,
+	inputs []region.Region,
+	pos, neg []region.Region,
+	lang Language,
+) (*FieldProgram, error) {
+	isSeq := f.IsSequenceAncestor(anc)
+	var seqProgs []SeqRegionProgram
+	var regProgs []RegionProgram
+	if isSeq {
+		var exs []SeqRegionExample
+		covered := 0
+		for _, in := range inputs {
+			p := region.Subregions(in, pos)
+			n := region.Subregions(in, neg)
+			if len(p) == 0 && len(n) == 0 {
+				continue
+			}
+			covered += len(p) + len(n)
+			exs = append(exs, SeqRegionExample{Input: in, Positive: p, Negative: n})
+		}
+		if covered < len(pos)+len(neg) {
+			return nil, fmt.Errorf("engine: field %s: some examples lie outside every %s-region", f.Color(), ancName(anc))
+		}
+		if len(exs) == 0 {
+			return nil, fmt.Errorf("engine: field %s: no examples within %s-regions", f.Color(), ancName(anc))
+		}
+		seqProgs = lang.SynthesizeSeqRegion(exs)
+		if len(seqProgs) == 0 {
+			return nil, fmt.Errorf("engine: field %s: no consistent sequence program relative to %s", f.Color(), ancName(anc))
+		}
+	} else {
+		var exs []RegionExample
+		covered := 0
+		for _, in := range inputs {
+			p := region.Subregions(in, pos)
+			if len(p) == 0 {
+				continue
+			}
+			if len(p) > 1 {
+				return nil, fmt.Errorf("engine: field %s: %d positive examples inside one %s-region (want at most 1)",
+					f.Color(), len(p), ancName(anc))
+			}
+			covered += len(p)
+			exs = append(exs, RegionExample{Input: in, Output: p[0]})
+		}
+		if covered < len(pos) {
+			return nil, fmt.Errorf("engine: field %s: some examples lie outside every %s-region", f.Color(), ancName(anc))
+		}
+		if len(exs) == 0 {
+			return nil, fmt.Errorf("engine: field %s: no examples within %s-regions", f.Color(), ancName(anc))
+		}
+		regProgs = lang.SynthesizeRegion(exs)
+		if len(regProgs) == 0 {
+			return nil, fmt.Errorf("engine: field %s: no consistent region program relative to %s", f.Color(), ancName(anc))
+		}
+	}
+
+	// Select the first program whose full execution result keeps the
+	// highlighting consistent with the schema (loop at line 12 of Alg. 2)
+	// and does not re-extract any negative instance. (Sequence synthesis
+	// already filters negatives inside the language; the check here also
+	// covers region programs, whose per-ancestor learning API has no
+	// negative channel.)
+	try := func(fp *FieldProgram) bool {
+		crNew := cr.Clone()
+		crNew[f.Color()] = nil
+		extracted := fp.run(doc, crNew)
+		for _, r := range extracted {
+			for _, n := range neg {
+				if r == n || r.Overlaps(n) {
+					return false
+				}
+			}
+		}
+		crNew.Add(f.Color(), extracted...)
+		return crNew.ConsistentWith(m) == nil
+	}
+	if isSeq {
+		for _, p := range seqProgs {
+			fp := &FieldProgram{Field: f, Ancestor: anc, Seq: p}
+			if try(fp) {
+				return fp, nil
+			}
+		}
+	} else {
+		for _, p := range regProgs {
+			fp := &FieldProgram{Field: f, Ancestor: anc, Reg: p}
+			if try(fp) {
+				return fp, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("engine: field %s: every consistent program violates the schema when executed", f.Color())
+}
+
+func ancName(anc *schema.FieldInfo) string {
+	if anc == nil {
+		return "⊥"
+	}
+	return anc.Color()
+}

@@ -1,0 +1,228 @@
+// Package export renders extracted schema instances into the output
+// formats the FlashExtract user experience offers (§2): JSON, XML, and the
+// flat relational CSV view that enables spreadsheet workflows such as
+// SUM-over-a-column and chart recommendations.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"flashextract/internal/engine"
+	"flashextract/internal/schema"
+)
+
+// ToJSON renders an instance as indented JSON. Struct element order
+// follows the schema; Int and Float leaves become JSON numbers; null
+// instances become null.
+func ToJSON(in *engine.Instance) string {
+	var b strings.Builder
+	writeJSON(&b, in, 0)
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func writeJSON(b *strings.Builder, in *engine.Instance, depth int) {
+	switch {
+	case in.IsNull():
+		b.WriteString("null")
+	case in.Kind == engine.LeafInstance:
+		writeJSONLeaf(b, in)
+	case in.Kind == engine.StructInstance:
+		b.WriteString("{")
+		for i, e := range in.Elements {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString("\n")
+			indentJSON(b, depth+1)
+			key, _ := json.Marshal(e.Name)
+			b.Write(key)
+			b.WriteString(": ")
+			writeJSON(b, e.Value, depth+1)
+		}
+		b.WriteString("\n")
+		indentJSON(b, depth)
+		b.WriteString("}")
+	case in.Kind == engine.SeqInstance:
+		if len(in.Items) == 0 {
+			b.WriteString("[]")
+			return
+		}
+		b.WriteString("[")
+		for i, it := range in.Items {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString("\n")
+			indentJSON(b, depth+1)
+			writeJSON(b, it, depth+1)
+		}
+		b.WriteString("\n")
+		indentJSON(b, depth)
+		b.WriteString("]")
+	}
+}
+
+func writeJSONLeaf(b *strings.Builder, in *engine.Instance) {
+	text := strings.TrimSpace(in.Text)
+	switch in.Type {
+	case schema.Int, schema.Float:
+		if in.Type.ValidValue(text) && text != "" {
+			// normalize "+7" and "-3." forms that JSON does not accept
+			if text[0] == '+' {
+				text = text[1:]
+			}
+			if strings.HasSuffix(text, ".") {
+				text += "0"
+			}
+			b.WriteString(text)
+			return
+		}
+	}
+	quoted, _ := json.Marshal(in.Text)
+	b.Write(quoted)
+}
+
+func indentJSON(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+// ToXML renders an instance as an XML document with the given root
+// element name. Sequence items are wrapped in <item> elements; null
+// instances render as empty elements.
+func ToXML(root string, in *engine.Instance) string {
+	var b strings.Builder
+	b.WriteString("<?xml version=\"1.0\"?>\n")
+	writeXML(&b, root, in, 0)
+	return b.String()
+}
+
+func writeXML(b *strings.Builder, tag string, in *engine.Instance, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch {
+	case in.IsNull():
+		fmt.Fprintf(b, "%s<%s/>\n", indent, tag)
+	case in.Kind == engine.LeafInstance:
+		fmt.Fprintf(b, "%s<%s>%s</%s>\n", indent, tag, escapeXML(in.Text), tag)
+	case in.Kind == engine.StructInstance:
+		fmt.Fprintf(b, "%s<%s>\n", indent, tag)
+		for _, e := range in.Elements {
+			writeXML(b, e.Name, e.Value, depth+1)
+		}
+		fmt.Fprintf(b, "%s</%s>\n", indent, tag)
+	case in.Kind == engine.SeqInstance:
+		fmt.Fprintf(b, "%s<%s>\n", indent, tag)
+		for _, it := range in.Items {
+			writeXML(b, "item", it, depth+1)
+		}
+		fmt.Fprintf(b, "%s</%s>\n", indent, tag)
+	}
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}
+
+// ToCSV renders the relational view of an instance for the given schema:
+// one column per leaf field (named by its schema path), one row per
+// combination of nested sequence items, with ancestor values repeated —
+// the flat table the paper's spreadsheet tasks operate on.
+func ToCSV(m *schema.Schema, in *engine.Instance) string {
+	cols := leafPaths(m)
+	top := ""
+	if m.TopSeq != nil {
+		top = "item"
+	}
+	rows := flatten(in, top)
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(csvQuote(c))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvQuote(row[c]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// leafPaths lists the dotted paths of all leaf fields in schema order.
+func leafPaths(m *schema.Schema) []string {
+	var out []string
+	for _, fi := range m.Fields() {
+		if fi.Field.IsLeaf() {
+			out = append(out, fi.Path)
+		}
+	}
+	return out
+}
+
+// flatten converts an instance into rows mapping leaf path → value. A
+// sequence concatenates its items' rows (items share the sequence's
+// element path, matching schema.FieldInfo.Path); a struct cross-joins its
+// elements' rows, so nested sequences multiply with repeated ancestor
+// values — the relational semantics of nested records.
+func flatten(in *engine.Instance, path string) []map[string]string {
+	switch {
+	case in.IsNull():
+		return []map[string]string{{}}
+	case in.Kind == engine.LeafInstance:
+		return []map[string]string{{path: in.Text}}
+	case in.Kind == engine.SeqInstance:
+		var out []map[string]string
+		for _, it := range in.Items {
+			out = append(out, flatten(it, path)...)
+		}
+		if out == nil {
+			out = []map[string]string{{}}
+		}
+		return out
+	default: // struct
+		rows := []map[string]string{{}}
+		for _, e := range in.Elements {
+			childPath := e.Name
+			if path != "" {
+				childPath = path + "." + e.Name
+			}
+			rows = crossJoin(rows, flatten(e.Value, childPath))
+		}
+		return rows
+	}
+}
+
+func crossJoin(a, b []map[string]string) []map[string]string {
+	var out []map[string]string
+	for _, ra := range a {
+		for _, rb := range b {
+			merged := make(map[string]string, len(ra)+len(rb))
+			for k, v := range ra {
+				merged[k] = v
+			}
+			for k, v := range rb {
+				merged[k] = v
+			}
+			out = append(out, merged)
+		}
+	}
+	return out
+}
+
+func csvQuote(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

@@ -1,0 +1,171 @@
+package export
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"flashextract/internal/engine"
+	"flashextract/internal/schema"
+)
+
+func leaf(text string, t schema.LeafType) *engine.Instance {
+	return &engine.Instance{Kind: engine.LeafInstance, Text: text, Type: t}
+}
+
+func null() *engine.Instance { return &engine.Instance{Kind: engine.NullInstance} }
+
+func structOf(elems ...engine.NamedInstance) *engine.Instance {
+	return &engine.Instance{Kind: engine.StructInstance, Elements: elems}
+}
+
+func seqOf(items ...*engine.Instance) *engine.Instance {
+	return &engine.Instance{Kind: engine.SeqInstance, Items: items}
+}
+
+// sample builds the instance for
+// Seq([g] Struct(Name: [a] String, Mass: [b] Int, Readings: Seq([r] Float)))
+func sampleSchema() *schema.Schema {
+	return schema.MustParse(`Seq([g] Struct(Name: [a] String, Mass: [b] Int, Readings: Seq([r] Float)))`)
+}
+
+func sampleInstance() *engine.Instance {
+	return seqOf(
+		structOf(
+			engine.NamedInstance{Name: "Name", Value: leaf("Be", schema.String)},
+			engine.NamedInstance{Name: "Mass", Value: leaf("9", schema.Int)},
+			engine.NamedInstance{Name: "Readings", Value: seqOf(leaf("0.07", schema.Float), leaf("0.08", schema.Float))},
+		),
+		structOf(
+			engine.NamedInstance{Name: "Name", Value: leaf("Sc", schema.String)},
+			engine.NamedInstance{Name: "Mass", Value: null()},
+			engine.NamedInstance{Name: "Readings", Value: seqOf()},
+		),
+	)
+}
+
+func TestToJSONStructure(t *testing.T) {
+	out := ToJSON(sampleInstance())
+	var v any
+	if err := json.Unmarshal([]byte(out), &v); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	arr, ok := v.([]any)
+	if !ok || len(arr) != 2 {
+		t.Fatalf("JSON top level = %T", v)
+	}
+	first := arr[0].(map[string]any)
+	if first["Name"] != "Be" {
+		t.Fatalf("Name = %v", first["Name"])
+	}
+	if first["Mass"] != float64(9) {
+		t.Fatalf("Mass should be a JSON number, got %T %v", first["Mass"], first["Mass"])
+	}
+	second := arr[1].(map[string]any)
+	if second["Mass"] != nil {
+		t.Fatalf("null Mass = %v", second["Mass"])
+	}
+	if rs, ok := second["Readings"].([]any); !ok || len(rs) != 0 {
+		t.Fatalf("empty Readings = %v", second["Readings"])
+	}
+}
+
+func TestToJSONEscaping(t *testing.T) {
+	out := ToJSON(leaf("say \"hi\"\nnewline", schema.String))
+	var s string
+	if err := json.Unmarshal([]byte(out), &s); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if s != "say \"hi\"\nnewline" {
+		t.Fatalf("round trip = %q", s)
+	}
+}
+
+func TestToJSONNumberNormalization(t *testing.T) {
+	cases := []struct {
+		in   *engine.Instance
+		want string
+	}{
+		{leaf("+7", schema.Int), "7"},
+		{leaf("-3.", schema.Float), "-3.0"},
+		{leaf(" 12 ", schema.Int), "12"},
+		{leaf("not a number", schema.Int), `"not a number"`},
+	}
+	for _, c := range cases {
+		got := strings.TrimSpace(ToJSON(c.in))
+		if got != c.want {
+			t.Errorf("ToJSON(%q) = %s, want %s", c.in.Text, got, c.want)
+		}
+	}
+}
+
+func TestToXML(t *testing.T) {
+	out := ToXML("samples", sampleInstance())
+	for _, want := range []string{
+		`<?xml version="1.0"?>`,
+		"<samples>", "<item>", "<Name>Be</Name>", "<Mass>9</Mass>",
+		"<Readings>", "<item>0.07</item>", "<Mass/>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("XML missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestToXMLEscaping(t *testing.T) {
+	out := ToXML("r", leaf(`a<b&c>"d"`, schema.String))
+	if !strings.Contains(out, "a&lt;b&amp;c&gt;&quot;d&quot;") {
+		t.Fatalf("XML escaping broken:\n%s", out)
+	}
+}
+
+func TestToCSVRelationalView(t *testing.T) {
+	out := ToCSV(sampleSchema(), sampleInstance())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "item.Name,item.Mass,item.Readings" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// Row expansion: Be has two readings (2 rows), Sc has none (1 row with
+	// blanks).
+	if len(lines) != 4 {
+		t.Fatalf("got %d data rows, want 3:\n%s", len(lines)-1, out)
+	}
+	if lines[1] != "Be,9,0.07" || lines[2] != "Be,9,0.08" {
+		t.Fatalf("rows = %q, %q", lines[1], lines[2])
+	}
+	if lines[3] != "Sc,," {
+		t.Fatalf("null row = %q", lines[3])
+	}
+}
+
+func TestToCSVQuoting(t *testing.T) {
+	m := schema.MustParse(`Seq([x] String)`)
+	inst := seqOf(leaf(`a,b "q"`, schema.String))
+	out := ToCSV(m, inst)
+	if !strings.Contains(out, `"a,b ""q"""`) {
+		t.Fatalf("CSV quoting broken:\n%s", out)
+	}
+}
+
+func TestToCSVTopStruct(t *testing.T) {
+	m := schema.MustParse(`Struct(A: [a] String, B: [b] Int)`)
+	inst := structOf(
+		engine.NamedInstance{Name: "A", Value: leaf("x", schema.String)},
+		engine.NamedInstance{Name: "B", Value: leaf("5", schema.Int)},
+	)
+	out := ToCSV(m, inst)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "A,B" || lines[1] != "x,5" {
+		t.Fatalf("top-struct CSV:\n%s", out)
+	}
+}
+
+func TestToJSONNull(t *testing.T) {
+	if got := strings.TrimSpace(ToJSON(null())); got != "null" {
+		t.Fatalf("null JSON = %q", got)
+	}
+	var nilInst *engine.Instance
+	if got := strings.TrimSpace(ToJSON(nilInst)); got != "null" {
+		t.Fatalf("nil JSON = %q", got)
+	}
+}

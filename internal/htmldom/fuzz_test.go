@@ -1,0 +1,31 @@
+package htmldom
+
+import "testing"
+
+// FuzzParse asserts the parser's leniency invariant: on any input it
+// either returns a document or an error, and never panics. The seed corpus
+// covers the tricky syntactic corners; `go test -fuzz FuzzParse` explores
+// beyond them.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		samplePage, "", "<", "</", "<!", "<!-", "<a b='", `<a b="x`, "<a/>",
+		"<script>unterminated", "<p>a<p>b", "<td><tr><li>", "&amp;&bogus;",
+		"<DIV CLASS='X'>y</DIV>", "<a b = c>", "< >", "<a\n\tb\r=1>",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := Parse(src)
+		if err == nil && doc == nil {
+			t.Fatal("nil document without error")
+		}
+		if doc != nil {
+			// The finalize pass must leave consistent ranges.
+			doc.Walk(func(n *Node) {
+				if n.TextStart > n.TextEnd {
+					t.Fatalf("node %s has inverted text range", n.Tag)
+				}
+			})
+		}
+	})
+}

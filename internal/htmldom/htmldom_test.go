@@ -1,0 +1,291 @@
+package htmldom
+
+import (
+	"strings"
+	"testing"
+)
+
+const samplePage = `<!DOCTYPE html>
+<html>
+<head><title>Shop</title><script>var x = "<div>not a tag</div>";</script></head>
+<body>
+<!-- product list -->
+<div class="list" id="main">
+  <div class="product"><span class="name">Widget</span><span class="price">$9.99</span></div>
+  <div class="product"><span class="name">Gadget</span><span class="price">$19.50</span></div>
+</div>
+<ul><li>one<li>two<li>three</ul>
+<p>first<p>second</p>
+<img src="x.png"><br/>
+</body>
+</html>`
+
+func parseSample(t *testing.T) *Node {
+	t.Helper()
+	doc, err := Parse(samplePage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestParseBasicStructure(t *testing.T) {
+	doc := parseSample(t)
+	html := doc.Find(func(n *Node) bool { return n.Tag == "html" })
+	if html == nil {
+		t.Fatal("no html element")
+	}
+	body := doc.Find(func(n *Node) bool { return n.Tag == "body" })
+	if body == nil || body.Parent.Tag != "html" {
+		t.Fatal("body not under html")
+	}
+	products := doc.FindAll(func(n *Node) bool { return n.HasClass("product") })
+	if len(products) != 2 {
+		t.Fatalf("got %d products, want 2", len(products))
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	doc := parseSample(t)
+	list := doc.Find(func(n *Node) bool { return n.Tag == "div" })
+	if v, ok := list.Attr("class"); !ok || v != "list" {
+		t.Fatalf("class = %q, %v", v, ok)
+	}
+	if v, ok := list.Attr("id"); !ok || v != "main" {
+		t.Fatalf("id = %q, %v", v, ok)
+	}
+	if _, ok := list.Attr("nope"); ok {
+		t.Fatal("phantom attribute")
+	}
+	if !list.HasClass("list") || list.HasClass("li") {
+		t.Fatal("HasClass broken")
+	}
+}
+
+func TestParseAttributeForms(t *testing.T) {
+	doc := MustParse(`<div a="x y" b='z' c=bare d></div>`)
+	n := doc.Find(func(n *Node) bool { return n.Tag == "div" })
+	for _, tt := range []struct{ k, v string }{{"a", "x y"}, {"b", "z"}, {"c", "bare"}, {"d", ""}} {
+		if v, ok := n.Attr(tt.k); !ok || v != tt.v {
+			t.Errorf("attr %s = %q, %v; want %q", tt.k, v, ok, tt.v)
+		}
+	}
+}
+
+func TestImpliedEndTags(t *testing.T) {
+	doc := parseSample(t)
+	lis := doc.FindAll(func(n *Node) bool { return n.Tag == "li" })
+	if len(lis) != 3 {
+		t.Fatalf("got %d li elements, want 3", len(lis))
+	}
+	for _, li := range lis {
+		if li.Parent.Tag != "ul" {
+			t.Fatalf("li nested under %s, want ul", li.Parent.Tag)
+		}
+	}
+	ps := doc.FindAll(func(n *Node) bool { return n.Tag == "p" })
+	if len(ps) != 2 {
+		t.Fatalf("got %d p elements, want 2", len(ps))
+	}
+	if ps[1].Parent.Tag != "body" {
+		t.Fatal("second p should be a sibling of the first")
+	}
+}
+
+func TestVoidAndSelfClosing(t *testing.T) {
+	doc := parseSample(t)
+	img := doc.Find(func(n *Node) bool { return n.Tag == "img" })
+	if img == nil || len(img.Children) != 0 {
+		t.Fatal("img should be void")
+	}
+	br := doc.Find(func(n *Node) bool { return n.Tag == "br" })
+	if br == nil {
+		t.Fatal("self-closing br missing")
+	}
+	// Content after the void element must not nest inside it.
+	if img.Parent.Tag != "body" {
+		t.Fatalf("img parent = %s", img.Parent.Tag)
+	}
+}
+
+func TestRawTextScript(t *testing.T) {
+	doc := parseSample(t)
+	script := doc.Find(func(n *Node) bool { return n.Tag == "script" })
+	if script == nil {
+		t.Fatal("no script")
+	}
+	if !strings.Contains(script.Children[0].Text, "<div>not a tag</div>") {
+		t.Fatalf("script text = %q", script.Children[0].Text)
+	}
+	// The fake div inside the script must not become an element.
+	divs := doc.FindAll(func(n *Node) bool { return n.Tag == "div" })
+	if len(divs) != 3 {
+		t.Fatalf("got %d real divs, want 3", len(divs))
+	}
+}
+
+func TestCommentsIgnoredInText(t *testing.T) {
+	doc := MustParse(`<p>a<!-- hidden -->b</p>`)
+	p := doc.Find(func(n *Node) bool { return n.Tag == "p" })
+	if got := p.TextContent(); got != "ab" {
+		t.Fatalf("TextContent = %q", got)
+	}
+}
+
+func TestEntities(t *testing.T) {
+	doc := MustParse(`<p title="a&amp;b">1 &lt; 2 &amp; 3 &gt; 2</p>`)
+	p := doc.Find(func(n *Node) bool { return n.Tag == "p" })
+	if got := p.TextContent(); got != "1 < 2 & 3 > 2" {
+		t.Fatalf("TextContent = %q", got)
+	}
+	if v, _ := p.Attr("title"); v != "a&b" {
+		t.Fatalf("title = %q", v)
+	}
+}
+
+func TestTextContentAndRanges(t *testing.T) {
+	doc := MustParse(`<div><span>ab</span><span>cd</span></div>`)
+	div := doc.Find(func(n *Node) bool { return n.Tag == "div" })
+	if div.TextContent() != "abcd" {
+		t.Fatalf("TextContent = %q", div.TextContent())
+	}
+	spans := doc.FindAll(func(n *Node) bool { return n.Tag == "span" })
+	if spans[0].TextStart != 0 || spans[0].TextEnd != 2 {
+		t.Fatalf("span0 range = [%d,%d)", spans[0].TextStart, spans[0].TextEnd)
+	}
+	if spans[1].TextStart != 2 || spans[1].TextEnd != 4 {
+		t.Fatalf("span1 range = [%d,%d)", spans[1].TextStart, spans[1].TextEnd)
+	}
+	if div.TextStart != 0 || div.TextEnd != 4 {
+		t.Fatalf("div range = [%d,%d)", div.TextStart, div.TextEnd)
+	}
+}
+
+func TestDocumentOrderIndices(t *testing.T) {
+	doc := parseSample(t)
+	last := -1
+	doc.Walk(func(n *Node) {
+		if n.Index <= last {
+			t.Fatalf("indices not strictly increasing: %d after %d", n.Index, last)
+		}
+		last = n.Index
+	})
+}
+
+func TestIsAncestorOf(t *testing.T) {
+	doc := parseSample(t)
+	body := doc.Find(func(n *Node) bool { return n.Tag == "body" })
+	name := doc.Find(func(n *Node) bool { return n.HasClass("name") })
+	if !body.IsAncestorOf(name) || name.IsAncestorOf(body) {
+		t.Fatal("IsAncestorOf broken")
+	}
+	if !name.IsAncestorOf(name) {
+		t.Fatal("a node should be its own ancestor")
+	}
+}
+
+func TestSiblingIndexSameTag(t *testing.T) {
+	doc := parseSample(t)
+	products := doc.FindAll(func(n *Node) bool { return n.HasClass("product") })
+	if products[0].SiblingIndexSameTag() != 1 || products[1].SiblingIndexSameTag() != 2 {
+		t.Fatalf("sibling indices = %d, %d", products[0].SiblingIndexSameTag(), products[1].SiblingIndexSameTag())
+	}
+}
+
+func TestPathFromRoot(t *testing.T) {
+	doc := parseSample(t)
+	name := doc.Find(func(n *Node) bool { return n.HasClass("name") })
+	chain := name.PathFromRoot(doc)
+	if len(chain) == 0 || chain[len(chain)-1] != name {
+		t.Fatalf("chain = %v", chain)
+	}
+	tagChain := make([]string, len(chain))
+	for i, n := range chain {
+		tagChain[i] = n.Tag
+	}
+	want := "html body div div span"
+	if strings.Join(tagChain, " ") != want {
+		t.Fatalf("chain tags = %q, want %q", strings.Join(tagChain, " "), want)
+	}
+	other := MustParse("<p></p>")
+	if name.PathFromRoot(other) != nil {
+		t.Fatal("chain across documents should be nil")
+	}
+}
+
+func TestUnmatchedEndTagIgnored(t *testing.T) {
+	doc := MustParse(`<div>a</span>b</div>`)
+	div := doc.Find(func(n *Node) bool { return n.Tag == "div" })
+	if div.TextContent() != "ab" {
+		t.Fatalf("TextContent = %q", div.TextContent())
+	}
+}
+
+func TestUnclosedElementsClosedAtEOF(t *testing.T) {
+	doc := MustParse(`<div><span>a`)
+	span := doc.Find(func(n *Node) bool { return n.Tag == "span" })
+	if span == nil || span.TextContent() != "a" {
+		t.Fatal("unclosed elements mishandled")
+	}
+}
+
+func TestStrayLtIsText(t *testing.T) {
+	doc := MustParse(`<p>1 < 2</p>`)
+	p := doc.Find(func(n *Node) bool { return n.Tag == "p" })
+	if p.TextContent() != "1 < 2" {
+		t.Fatalf("TextContent = %q", p.TextContent())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`<p><!-- unterminated`,
+		`<p attr="unterminated`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestChildElements(t *testing.T) {
+	doc := MustParse(`<div>text<span></span>more<b></b></div>`)
+	div := doc.Find(func(n *Node) bool { return n.Tag == "div" })
+	kids := div.ChildElements()
+	if len(kids) != 2 || kids[0].Tag != "span" || kids[1].Tag != "b" {
+		t.Fatalf("ChildElements = %v", kids)
+	}
+}
+
+func TestParseArbitraryInputNoPanic(t *testing.T) {
+	// The parser is lenient: any byte soup either parses or returns an
+	// error, but never panics.
+	seeds := []string{
+		"", "<", ">", "<<>>", "</", "<!", "<a", "<a b", "<a b=", `<a b="`,
+		"<a/><b></a></b>", "<script>", "<p>&bogus;</p>", "< p>", "<-->",
+		"plain text only", "<a b='x' c>text</a", strings.Repeat("<div>", 50),
+	}
+	rng := uint64(12345)
+	next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+	for i := 0; i < 200; i++ {
+		n := int(next() % 40)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(next() % 96) // printable-ish range incl. < > / = "
+		}
+		seeds = append(seeds, "<"+string(b))
+	}
+	for _, src := range seeds {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", src, r)
+				}
+			}()
+			doc, err := Parse(src)
+			if err == nil && doc == nil {
+				t.Fatalf("Parse(%q) returned nil doc without error", src)
+			}
+		}()
+	}
+}

@@ -1,0 +1,180 @@
+// Package htmldom is a small HTML parser and DOM substrate for the webpage
+// instantiation of FlashExtract (§5.2). It handles the common subset of
+// HTML needed for data extraction from rendered pages: elements with
+// attributes, void and self-closing elements, raw-text elements (script,
+// style), comments, doctypes, character entities, and the usual implied
+// end tags (li, p, td, tr, …).
+//
+// Beyond the tree structure, the package assigns every node a global text
+// range: the offsets of its text content within the concatenation of all
+// document text. This gives intra-node substring regions a canonical,
+// node-independent representation, which the webpage DSL relies on.
+package htmldom
+
+import "strings"
+
+// NodeType discriminates DOM node kinds.
+type NodeType int
+
+// The node kinds produced by Parse.
+const (
+	DocumentNode NodeType = iota
+	ElementNode
+	TextNode
+	CommentNode
+)
+
+// Attr is one HTML attribute.
+type Attr struct {
+	Key, Val string
+}
+
+// Node is a DOM node.
+type Node struct {
+	Type     NodeType
+	Tag      string // lowercase tag name for elements
+	Attrs    []Attr
+	Parent   *Node
+	Children []*Node
+	Text     string // text content for text and comment nodes
+
+	// Index is the node's position in document (pre-)order.
+	Index int
+	// TextStart and TextEnd delimit the node's text content within the
+	// document's global text (see Document text in the package comment).
+	TextStart, TextEnd int
+}
+
+// Attr returns the value of the attribute with the given key.
+func (n *Node) Attr(key string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// HasClass reports whether the node's class attribute contains the given
+// class name.
+func (n *Node) HasClass(class string) bool {
+	v, ok := n.Attr("class")
+	if !ok {
+		return false
+	}
+	for _, c := range strings.Fields(v) {
+		if c == class {
+			return true
+		}
+	}
+	return false
+}
+
+// TextContent returns the concatenated text of all descendant text nodes.
+func (n *Node) TextContent() string {
+	var b strings.Builder
+	n.writeText(&b)
+	return b.String()
+}
+
+func (n *Node) writeText(b *strings.Builder) {
+	if n.Type == TextNode {
+		b.WriteString(n.Text)
+		return
+	}
+	if n.Type == CommentNode {
+		return
+	}
+	for _, c := range n.Children {
+		c.writeText(b)
+	}
+}
+
+// ChildElements returns the element children of n.
+func (n *Node) ChildElements() []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Type == ElementNode {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// IsAncestorOf reports whether n is an ancestor of other (or n == other).
+func (n *Node) IsAncestorOf(other *Node) bool {
+	for cur := other; cur != nil; cur = cur.Parent {
+		if cur == n {
+			return true
+		}
+	}
+	return false
+}
+
+// SiblingIndexSameTag returns the 1-based position of n among its parent's
+// element children with the same tag.
+func (n *Node) SiblingIndexSameTag() int {
+	if n.Parent == nil {
+		return 1
+	}
+	idx := 0
+	for _, c := range n.Parent.ChildElements() {
+		if c.Tag == n.Tag {
+			idx++
+		}
+		if c == n {
+			return idx
+		}
+	}
+	return 1
+}
+
+// Walk visits n and all descendants in document order.
+func (n *Node) Walk(visit func(*Node)) {
+	visit(n)
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// Find returns the first descendant element (in document order) accepted
+// by the predicate, or nil.
+func (n *Node) Find(pred func(*Node) bool) *Node {
+	var found *Node
+	n.Walk(func(m *Node) {
+		if found == nil && m.Type == ElementNode && pred(m) {
+			found = m
+		}
+	})
+	return found
+}
+
+// FindAll returns all descendant elements accepted by the predicate in
+// document order.
+func (n *Node) FindAll(pred func(*Node) bool) []*Node {
+	var out []*Node
+	n.Walk(func(m *Node) {
+		if m.Type == ElementNode && pred(m) {
+			out = append(out, m)
+		}
+	})
+	return out
+}
+
+// PathFromRoot returns the chain of elements from (excluding) root down to
+// n, or nil when n is not a descendant of root.
+func (n *Node) PathFromRoot(root *Node) []*Node {
+	var rev []*Node
+	for cur := n; cur != nil; cur = cur.Parent {
+		if cur == root {
+			// reverse
+			out := make([]*Node, len(rev))
+			for i, m := range rev {
+				out[len(rev)-1-i] = m
+			}
+			return out
+		}
+		rev = append(rev, cur)
+	}
+	return nil
+}

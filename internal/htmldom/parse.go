@@ -1,0 +1,293 @@
+package htmldom
+
+import (
+	"fmt"
+	"strings"
+)
+
+// voidElements never have children.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// rawTextElements contain raw text until their matching end tag.
+var rawTextElements = map[string]bool{"script": true, "style": true}
+
+// impliedEnd maps a tag to the set of open tags it implicitly closes.
+var impliedEnd = map[string][]string{
+	"li":     {"li"},
+	"p":      {"p"},
+	"td":     {"td", "th"},
+	"th":     {"td", "th"},
+	"tr":     {"td", "th", "tr"},
+	"option": {"option"},
+	"dt":     {"dt", "dd"},
+	"dd":     {"dt", "dd"},
+}
+
+// Parse parses an HTML document and returns its document node. The parser
+// is lenient: unmatched end tags are ignored and unclosed elements are
+// closed at end of input. After parsing, every node carries its document
+// order index and global text range.
+func Parse(src string) (*Node, error) {
+	p := &parser{src: src}
+	doc := &Node{Type: DocumentNode, Tag: "#document"}
+	p.stack = []*Node{doc}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	finalize(doc)
+	return doc, nil
+}
+
+// MustParse is Parse for statically known documents; it panics on error.
+func MustParse(src string) *Node {
+	doc, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+type parser struct {
+	src   string
+	pos   int
+	stack []*Node
+}
+
+func (p *parser) top() *Node { return p.stack[len(p.stack)-1] }
+
+func (p *parser) appendChild(n *Node) {
+	n.Parent = p.top()
+	p.top().Children = append(p.top().Children, n)
+}
+
+func (p *parser) run() error {
+	for p.pos < len(p.src) {
+		if p.src[p.pos] != '<' {
+			start := p.pos
+			for p.pos < len(p.src) && p.src[p.pos] != '<' {
+				p.pos++
+			}
+			text := decodeEntities(p.src[start:p.pos])
+			p.appendChild(&Node{Type: TextNode, Text: text})
+			continue
+		}
+		if strings.HasPrefix(p.src[p.pos:], "<!--") {
+			end := strings.Index(p.src[p.pos+4:], "-->")
+			if end < 0 {
+				return fmt.Errorf("htmldom: unterminated comment at offset %d", p.pos)
+			}
+			p.appendChild(&Node{Type: CommentNode, Text: p.src[p.pos+4 : p.pos+4+end]})
+			p.pos += 4 + end + 3
+			continue
+		}
+		if strings.HasPrefix(p.src[p.pos:], "<!") || strings.HasPrefix(p.src[p.pos:], "<?") {
+			end := strings.IndexByte(p.src[p.pos:], '>')
+			if end < 0 {
+				return fmt.Errorf("htmldom: unterminated declaration at offset %d", p.pos)
+			}
+			p.pos += end + 1
+			continue
+		}
+		if strings.HasPrefix(p.src[p.pos:], "</") {
+			if err := p.parseEndTag(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := p.parseStartTag(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseEndTag() error {
+	end := strings.IndexByte(p.src[p.pos:], '>')
+	if end < 0 {
+		return fmt.Errorf("htmldom: unterminated end tag at offset %d", p.pos)
+	}
+	tag := strings.ToLower(strings.TrimSpace(p.src[p.pos+2 : p.pos+end]))
+	p.pos += end + 1
+	// Pop to the matching open element; ignore the end tag if unmatched.
+	for i := len(p.stack) - 1; i > 0; i-- {
+		if p.stack[i].Tag == tag {
+			p.stack = p.stack[:i]
+			return nil
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseStartTag() error {
+	i := p.pos + 1
+	start := i
+	for i < len(p.src) && isTagNameChar(p.src[i]) {
+		i++
+	}
+	if i == start {
+		// A stray '<': treat it as text.
+		p.appendChild(&Node{Type: TextNode, Text: "<"})
+		p.pos++
+		return nil
+	}
+	tag := strings.ToLower(p.src[start:i])
+	n := &Node{Type: ElementNode, Tag: tag}
+	// attributes
+	for {
+		for i < len(p.src) && isSpace(p.src[i]) {
+			i++
+		}
+		if i >= len(p.src) {
+			return fmt.Errorf("htmldom: unterminated start tag <%s>", tag)
+		}
+		if p.src[i] == '>' {
+			i++
+			break
+		}
+		if strings.HasPrefix(p.src[i:], "/>") {
+			i += 2
+			p.closeImplied(tag)
+			p.appendChild(n)
+			p.pos = i
+			return nil
+		}
+		key, val, next, err := p.parseAttr(i)
+		if err != nil {
+			return err
+		}
+		n.Attrs = append(n.Attrs, Attr{Key: key, Val: val})
+		i = next
+	}
+	p.pos = i
+	p.closeImplied(tag)
+	p.appendChild(n)
+	if voidElements[tag] {
+		return nil
+	}
+	if rawTextElements[tag] {
+		closeTag := "</" + tag
+		idx := strings.Index(strings.ToLower(p.src[p.pos:]), closeTag)
+		if idx < 0 {
+			n.Children = append(n.Children, &Node{Type: TextNode, Text: p.src[p.pos:], Parent: n})
+			p.pos = len(p.src)
+			return nil
+		}
+		if idx > 0 {
+			n.Children = append(n.Children, &Node{Type: TextNode, Text: p.src[p.pos : p.pos+idx], Parent: n})
+		}
+		gt := strings.IndexByte(p.src[p.pos+idx:], '>')
+		if gt < 0 {
+			return fmt.Errorf("htmldom: unterminated </%s>", tag)
+		}
+		p.pos += idx + gt + 1
+		return nil
+	}
+	p.stack = append(p.stack, n)
+	return nil
+}
+
+// closeImplied pops open elements that the new tag implicitly terminates.
+func (p *parser) closeImplied(tag string) {
+	closers, ok := impliedEnd[tag]
+	if !ok {
+		return
+	}
+	top := p.top()
+	if top.Type != ElementNode {
+		return
+	}
+	for _, c := range closers {
+		if top.Tag == c {
+			p.stack = p.stack[:len(p.stack)-1]
+			return
+		}
+	}
+}
+
+func (p *parser) parseAttr(i int) (key, val string, next int, err error) {
+	start := i
+	for i < len(p.src) && !isSpace(p.src[i]) && p.src[i] != '=' && p.src[i] != '>' && !strings.HasPrefix(p.src[i:], "/>") {
+		i++
+	}
+	key = strings.ToLower(p.src[start:i])
+	if key == "" {
+		return "", "", 0, fmt.Errorf("htmldom: malformed attribute at offset %d", i)
+	}
+	for i < len(p.src) && isSpace(p.src[i]) {
+		i++
+	}
+	if i >= len(p.src) || p.src[i] != '=' {
+		return key, "", i, nil // boolean attribute
+	}
+	i++
+	for i < len(p.src) && isSpace(p.src[i]) {
+		i++
+	}
+	if i >= len(p.src) {
+		return "", "", 0, fmt.Errorf("htmldom: unterminated attribute %q", key)
+	}
+	if p.src[i] == '"' || p.src[i] == '\'' {
+		quote := p.src[i]
+		i++
+		start = i
+		for i < len(p.src) && p.src[i] != quote {
+			i++
+		}
+		if i >= len(p.src) {
+			return "", "", 0, fmt.Errorf("htmldom: unterminated quoted attribute %q", key)
+		}
+		return key, decodeEntities(p.src[start:i]), i + 1, nil
+	}
+	start = i
+	for i < len(p.src) && !isSpace(p.src[i]) && p.src[i] != '>' {
+		i++
+	}
+	return key, decodeEntities(p.src[start:i]), i, nil
+}
+
+func isTagNameChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == ':'
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+var entities = map[string]string{
+	"&amp;": "&", "&lt;": "<", "&gt;": ">", "&quot;": `"`, "&#39;": "'",
+	"&apos;": "'", "&nbsp;": " ",
+}
+
+func decodeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	for k, v := range entities {
+		s = strings.ReplaceAll(s, k, v)
+	}
+	return s
+}
+
+// finalize assigns document-order indices and global text ranges.
+func finalize(doc *Node) {
+	index := 0
+	offset := 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		n.Index = index
+		index++
+		n.TextStart = offset
+		if n.Type == TextNode {
+			offset += len(n.Text)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+		n.TextEnd = offset
+	}
+	walk(doc)
+}

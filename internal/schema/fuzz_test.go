@@ -1,0 +1,27 @@
+package schema
+
+import "testing"
+
+// FuzzParse asserts the schema parser never panics and that successful
+// parses round-trip through String().
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		analyteSchema, "Seq([a] String)", "Struct(A: [x] Int)", "Seq(",
+		"Struct(A: Seq([b] Float))", "[a]", "Seq([a] Seq([b] Int))",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		again, err := Parse(m.String())
+		if err != nil {
+			t.Fatalf("String() output unparseable: %v\n%s", err, m)
+		}
+		if again.String() != m.String() {
+			t.Fatal("String() round trip not stable")
+		}
+	})
+}

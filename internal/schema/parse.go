@@ -1,0 +1,319 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the textual schema syntax used throughout the paper, e.g.
+//
+//	Seq([green] Struct(
+//	    SampleID: [orange] String,
+//	    Intensities: Seq([yellow] Struct(
+//	        Analyte: [magenta] String,
+//	        Mass:    [violet] Int,
+//	        CMean:   [blue] Float))))
+//
+// and validates the result.
+func Parse(src string) (*Schema, error) {
+	p := &parser{lex: newLexer(src)}
+	m, err := p.parseSchema()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MustParse is Parse for statically known schemas; it panics on error.
+func MustParse(src string) *Schema {
+	m, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokColon
+	tokComma
+	tokInvalid
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) describe() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func newLexer(src string) *lexer {
+	l := &lexer{src: src}
+	l.run()
+	return l
+}
+
+func (l *lexer) run() {
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		switch {
+		case unicode.IsSpace(c):
+			l.pos++
+		case c == '(':
+			l.emit(tokLParen, 1)
+		case c == ')':
+			l.emit(tokRParen, 1)
+		case c == '[':
+			l.emit(tokLBracket, 1)
+		case c == ']':
+			l.emit(tokRBracket, 1)
+		case c == ':':
+			l.emit(tokColon, 1)
+		case c == ',':
+			l.emit(tokComma, 1)
+		default:
+			start := l.pos
+			for l.pos < len(l.src) && isIdentChar(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			if l.pos == start {
+				// Not an identifier character: surface a parse error
+				// rather than smuggling arbitrary bytes into names.
+				l.toks = append(l.toks, token{kind: tokInvalid, text: string(c), pos: start})
+				l.pos++
+				continue
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+}
+
+func (l *lexer) emit(k tokKind, n int) {
+	l.toks = append(l.toks, token{kind: k, text: l.src[l.pos : l.pos+n], pos: l.pos})
+	l.pos += n
+}
+
+func isIdentChar(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '-'
+}
+
+type parser struct {
+	lex *lexer
+	i   int
+}
+
+func (p *parser) peek() token { return p.lex.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.lex.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("schema: at offset %d: expected %s, found %s", t.pos, what, t.describe())
+	}
+	return t, nil
+}
+
+func (p *parser) parseSchema() (*Schema, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("schema: at offset %d: expected Seq or Struct, found %s", t.pos, t.describe())
+	}
+	m := &Schema{}
+	switch t.text {
+	case "Seq":
+		s, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		m.TopSeq = s
+	case "Struct":
+		st, err := p.parseStruct()
+		if err != nil {
+			return nil, err
+		}
+		m.TopStruct = st
+	default:
+		return nil, fmt.Errorf("schema: at offset %d: expected Seq or Struct, found %q", t.pos, t.text)
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("schema: at offset %d: unexpected trailing input %s", t.pos, t.describe())
+	}
+	return m, nil
+}
+
+func (p *parser) parseSeq() (*Seq, error) {
+	if _, err := p.expect(tokIdent, "Seq"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	f, err := p.parseField()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return &Seq{Inner: f}, nil
+}
+
+func (p *parser) parseStruct() (*Struct, error) {
+	if _, err := p.expect(tokIdent, "Struct"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	st := &Struct{}
+	for {
+		name, err := p.expect(tokIdent, "element name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon, "':'"); err != nil {
+			return nil, err
+		}
+		el := Element{Name: name.text}
+		if t := p.peek(); t.kind == tokIdent && t.text == "Seq" {
+			s, err := p.parseSeq()
+			if err != nil {
+				return nil, err
+			}
+			el.Seq = s
+		} else {
+			f, err := p.parseField()
+			if err != nil {
+				return nil, err
+			}
+			el.Field = f
+		}
+		st.Elements = append(st.Elements, el)
+		t := p.next()
+		if t.kind == tokRParen {
+			return st, nil
+		}
+		if t.kind != tokComma {
+			return nil, fmt.Errorf("schema: at offset %d: expected ',' or ')', found %s", t.pos, t.describe())
+		}
+	}
+}
+
+func (p *parser) parseField() (*Field, error) {
+	if _, err := p.expect(tokLBracket, "'['"); err != nil {
+		return nil, err
+	}
+	color, err := p.expect(tokIdent, "color name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBracket, "']'"); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("schema: at offset %d: expected a type or Struct, found %s", t.pos, t.describe())
+	}
+	f := &Field{Color: color.text}
+	switch t.text {
+	case "Struct":
+		st, err := p.parseStruct()
+		if err != nil {
+			return nil, err
+		}
+		f.Struct = st
+	case "String", "Int", "Float":
+		p.next()
+		f.Leaf = map[string]LeafType{"String": String, "Int": Int, "Float": Float}[t.text]
+	case "Seq":
+		return nil, fmt.Errorf("schema: at offset %d: a sequence cannot be directly nested inside another sequence; wrap it in a colored Struct", t.pos)
+	default:
+		return nil, fmt.Errorf("schema: at offset %d: unknown type %q (want String, Int, Float, or Struct)", t.pos, t.text)
+	}
+	return f, nil
+}
+
+// FormatIndented pretty-prints a schema with indentation.
+func FormatIndented(m *Schema) string {
+	var b strings.Builder
+	if m.TopSeq != nil {
+		writeSeq(&b, m.TopSeq, 0)
+	} else {
+		writeStruct(&b, m.TopStruct, 0)
+	}
+	return b.String()
+}
+
+func indent(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func writeSeq(b *strings.Builder, s *Seq, depth int) {
+	b.WriteString("Seq(")
+	writeField(b, s.Inner, depth)
+	b.WriteString(")")
+}
+
+func writeStruct(b *strings.Builder, s *Struct, depth int) {
+	b.WriteString("Struct(\n")
+	for i, e := range s.Elements {
+		indent(b, depth+1)
+		b.WriteString(e.Name)
+		b.WriteString(": ")
+		if e.Field != nil {
+			writeField(b, e.Field, depth+1)
+		} else {
+			writeSeq(b, e.Seq, depth+1)
+		}
+		if i < len(s.Elements)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	indent(b, depth)
+	b.WriteString(")")
+}
+
+func writeField(b *strings.Builder, f *Field, depth int) {
+	fmt.Fprintf(b, "[%s] ", f.Color)
+	if f.IsLeaf() {
+		b.WriteString(f.Leaf.String())
+	} else {
+		writeStruct(b, f.Struct, depth)
+	}
+}

@@ -1,0 +1,308 @@
+// Package schema implements the output-schema language of FlashExtract
+// (Fig. 4 of the paper):
+//
+//	Schema    M ::= S | T
+//	Structure T ::= Struct(id1 : E1, …, idn : En)
+//	Element   E ::= f | S
+//	Sequence  S ::= Seq(f)
+//	Field     f ::= [color] τ | [color] T
+//
+// A field is the colored, extractable unit; τ is an atomic leaf type
+// (String, Int, Float). The schema language deliberately disallows a
+// sequence directly nested inside another sequence: a colored structure
+// must sit in between, serving as the learning boundary for the inner
+// sequence.
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LeafType is an atomic type τ of a leaf field.
+type LeafType int
+
+// The atomic leaf types supported by the schema language.
+const (
+	String LeafType = iota
+	Int
+	Float
+)
+
+func (t LeafType) String() string {
+	switch t {
+	case String:
+		return "String"
+	case Int:
+		return "Int"
+	case Float:
+		return "Float"
+	default:
+		return fmt.Sprintf("LeafType(%d)", int(t))
+	}
+}
+
+// ValidValue reports whether a leaf region's text value is of type t
+// (the typing condition of Def. 3).
+func (t LeafType) ValidValue(s string) bool {
+	s = strings.TrimSpace(s)
+	switch t {
+	case String:
+		return true
+	case Int:
+		if s == "" {
+			return false
+		}
+		i := 0
+		if s[0] == '-' || s[0] == '+' {
+			i = 1
+			if len(s) == 1 {
+				return false
+			}
+		}
+		for ; i < len(s); i++ {
+			if s[i] < '0' || s[i] > '9' {
+				return false
+			}
+		}
+		return true
+	case Float:
+		if s == "" {
+			return false
+		}
+		i, digits, dot := 0, false, false
+		if s[0] == '-' || s[0] == '+' {
+			i = 1
+		}
+		for ; i < len(s); i++ {
+			switch {
+			case s[i] >= '0' && s[i] <= '9':
+				digits = true
+			case s[i] == '.' && !dot:
+				dot = true
+			default:
+				return false
+			}
+		}
+		return digits
+	default:
+		return false
+	}
+}
+
+// Field is a colored field: either a leaf of an atomic type, or a colored
+// structure.
+type Field struct {
+	// Color is the field's unique highlighting color.
+	Color string
+	// Leaf is the atomic type when Struct is nil.
+	Leaf LeafType
+	// Struct is non-nil for structure fields.
+	Struct *Struct
+}
+
+// IsLeaf reports whether f is a leaf field.
+func (f *Field) IsLeaf() bool { return f.Struct == nil }
+
+func (f *Field) String() string {
+	if f.IsLeaf() {
+		return fmt.Sprintf("[%s] %s", f.Color, f.Leaf)
+	}
+	return fmt.Sprintf("[%s] %s", f.Color, f.Struct)
+}
+
+// Struct is a structure with named elements.
+type Struct struct {
+	Elements []Element
+}
+
+func (s *Struct) String() string {
+	parts := make([]string, len(s.Elements))
+	for i, e := range s.Elements {
+		parts[i] = fmt.Sprintf("%s: %s", e.Name, e.itemString())
+	}
+	return "Struct(" + strings.Join(parts, ", ") + ")"
+}
+
+// Element is a named element of a structure: either a field or a sequence.
+type Element struct {
+	Name string
+	// Field is non-nil when the element is a field (E ::= f).
+	Field *Field
+	// Seq is non-nil when the element is a sequence (E ::= S).
+	Seq *Seq
+}
+
+func (e Element) itemString() string {
+	if e.Field != nil {
+		return e.Field.String()
+	}
+	return e.Seq.String()
+}
+
+// Seq is a sequence over a field.
+type Seq struct {
+	Inner *Field
+}
+
+func (s *Seq) String() string { return fmt.Sprintf("Seq(%s)", s.Inner) }
+
+// Schema is a top-level schema M ::= S | T. Exactly one of TopSeq and
+// TopStruct is non-nil.
+type Schema struct {
+	TopSeq    *Seq
+	TopStruct *Struct
+
+	fields []*FieldInfo
+	byCol  map[string]*FieldInfo
+}
+
+func (m *Schema) String() string {
+	if m.TopSeq != nil {
+		return m.TopSeq.String()
+	}
+	return m.TopStruct.String()
+}
+
+// validIdent reports whether s is a legal color or element name: the
+// identifier syntax of the schema language.
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FieldInfo records a field's position in the schema: its immediate
+// ancestor field (nil for ⊥), whether a sequence construct separates it
+// from that ancestor, and its display path.
+type FieldInfo struct {
+	Field *Field
+	// Parent is the immediately enclosing colored field, or nil when the
+	// field relates directly to ⊥ (the whole document).
+	Parent *FieldInfo
+	// ViaSeq reports whether a Seq construct lies between Parent and this
+	// field.
+	ViaSeq bool
+	// Name is the element name (or "item" for sequence inner fields at the
+	// top level).
+	Name string
+	// Path is the dotted path from the root, for display.
+	Path string
+	// Depth is the nesting depth (top-level fields have depth 0).
+	Depth int
+}
+
+// Color returns the field's color.
+func (fi *FieldInfo) Color() string { return fi.Field.Color }
+
+// IsSequenceAncestor reports whether ancestor (nil meaning ⊥) is a
+// sequence-ancestor of fi: at least one sequence construct occurs in the
+// nesting between them (Def. 1). It panics if ancestor is not an ancestor
+// of fi.
+func (fi *FieldInfo) IsSequenceAncestor(ancestor *FieldInfo) bool {
+	via := false
+	for cur := fi; cur != nil; cur = cur.Parent {
+		via = via || cur.ViaSeq
+		if cur.Parent == ancestor {
+			return via
+		}
+	}
+	panic(fmt.Sprintf("schema: %s is not an ancestor of %s", ancestor.Path, fi.Path))
+}
+
+// Ancestors returns fi's ancestor fields from the immediate parent up to
+// the top-level field, followed by nil representing ⊥.
+func (fi *FieldInfo) Ancestors() []*FieldInfo {
+	var out []*FieldInfo
+	for cur := fi.Parent; cur != nil; cur = cur.Parent {
+		out = append(out, cur)
+	}
+	out = append(out, nil)
+	return out
+}
+
+// Fields returns all fields of the schema in top-down topological order
+// (parents before children, document order among siblings).
+func (m *Schema) Fields() []*FieldInfo { return m.fields }
+
+// FieldByColor returns the field with the given color, or nil.
+func (m *Schema) FieldByColor(color string) *FieldInfo {
+	return m.byCol[color]
+}
+
+// Validate checks well-formedness: exactly one top-level construct,
+// non-empty structures, unique non-empty colors, and unique element names
+// per structure. It also indexes the fields; it must be called before
+// Fields or FieldByColor (Parse does so automatically).
+func (m *Schema) Validate() error {
+	if (m.TopSeq == nil) == (m.TopStruct == nil) {
+		return fmt.Errorf("schema: exactly one of a top-level sequence or structure is required")
+	}
+	m.fields = nil
+	m.byCol = map[string]*FieldInfo{}
+	var walkField func(f *Field, parent *FieldInfo, viaSeq bool, name, path string, depth int) error
+	walkStruct := func(s *Struct, parent *FieldInfo, path string, depth int) error {
+		if len(s.Elements) == 0 {
+			return fmt.Errorf("schema: structure at %q has no elements", path)
+		}
+		seen := map[string]bool{}
+		for _, e := range s.Elements {
+			if !validIdent(e.Name) {
+				return fmt.Errorf("schema: invalid element name %q at %q (want letters, digits, '_', '-')", e.Name, path)
+			}
+			if seen[e.Name] {
+				return fmt.Errorf("schema: duplicate element name %q at %q", e.Name, path)
+			}
+			seen[e.Name] = true
+			childPath := e.Name
+			if path != "" {
+				childPath = path + "." + e.Name
+			}
+			switch {
+			case e.Field != nil:
+				if err := walkField(e.Field, parent, false, e.Name, childPath, depth); err != nil {
+					return err
+				}
+			case e.Seq != nil:
+				if e.Seq.Inner == nil {
+					return fmt.Errorf("schema: sequence at %q has no inner field", childPath)
+				}
+				if err := walkField(e.Seq.Inner, parent, true, e.Name, childPath, depth); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("schema: element %q has neither field nor sequence", childPath)
+			}
+		}
+		return nil
+	}
+	walkField = func(f *Field, parent *FieldInfo, viaSeq bool, name, path string, depth int) error {
+		if !validIdent(f.Color) {
+			return fmt.Errorf("schema: field at %q has an invalid color %q (want letters, digits, '_', '-')", path, f.Color)
+		}
+		if _, dup := m.byCol[f.Color]; dup {
+			return fmt.Errorf("schema: color %q used by more than one field", f.Color)
+		}
+		fi := &FieldInfo{Field: f, Parent: parent, ViaSeq: viaSeq, Name: name, Path: path, Depth: depth}
+		m.fields = append(m.fields, fi)
+		m.byCol[f.Color] = fi
+		if !f.IsLeaf() {
+			return walkStruct(f.Struct, fi, path, depth+1)
+		}
+		return nil
+	}
+	if m.TopSeq != nil {
+		if m.TopSeq.Inner == nil {
+			return fmt.Errorf("schema: top-level sequence has no inner field")
+		}
+		return walkField(m.TopSeq.Inner, nil, true, "item", "item", 0)
+	}
+	return walkStruct(m.TopStruct, nil, "", 0)
+}

@@ -1,0 +1,272 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const analyteSchema = `
+Seq([green] Struct(
+    SampleID: [orange] String,
+    Intensities: Seq([yellow] Struct(
+        Analyte: [magenta] String,
+        Mass:    [violet] Int,
+        CMean:   [blue] Float))))
+`
+
+func TestParseAnalyteSchema(t *testing.T) {
+	m, err := Parse(analyteSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := m.Fields()
+	if len(fields) != 6 {
+		t.Fatalf("got %d fields, want 6", len(fields))
+	}
+	colors := make([]string, len(fields))
+	for i, f := range fields {
+		colors[i] = f.Color()
+	}
+	want := []string{"green", "orange", "yellow", "magenta", "violet", "blue"}
+	for i := range want {
+		if colors[i] != want[i] {
+			t.Fatalf("field order = %v, want %v", colors, want)
+		}
+	}
+}
+
+func TestParseSimpleTopStruct(t *testing.T) {
+	m, err := Parse(`Struct(Name: [red] String, Age: [blue] Int)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TopStruct == nil || len(m.TopStruct.Elements) != 2 {
+		t.Fatalf("bad top struct: %v", m)
+	}
+	red := m.FieldByColor("red")
+	if red == nil || red.Parent != nil || red.ViaSeq {
+		t.Fatalf("red field info wrong: %+v", red)
+	}
+	if red.IsSequenceAncestor(nil) {
+		t.Fatal("⊥ should be a structure-ancestor of a top-struct field")
+	}
+}
+
+func TestAncestorRelations(t *testing.T) {
+	m := MustParse(analyteSchema)
+	green := m.FieldByColor("green")
+	yellow := m.FieldByColor("yellow")
+	magenta := m.FieldByColor("magenta")
+	orange := m.FieldByColor("orange")
+
+	if green.Parent != nil || !green.ViaSeq {
+		t.Fatalf("green: %+v", green)
+	}
+	if !green.IsSequenceAncestor(nil) {
+		t.Fatal("⊥ must be a sequence-ancestor of green")
+	}
+	if yellow.Parent != green || !yellow.ViaSeq {
+		t.Fatalf("yellow parent: %+v", yellow)
+	}
+	if !yellow.IsSequenceAncestor(green) {
+		t.Fatal("green must be a sequence-ancestor of yellow")
+	}
+	if magenta.IsSequenceAncestor(yellow) {
+		t.Fatal("yellow must be a structure-ancestor of magenta")
+	}
+	if !magenta.IsSequenceAncestor(green) {
+		t.Fatal("green must be a sequence-ancestor of magenta (via yellow's Seq)")
+	}
+	if orange.IsSequenceAncestor(green) {
+		t.Fatal("green must be a structure-ancestor of orange")
+	}
+
+	anc := magenta.Ancestors()
+	if len(anc) != 3 || anc[0] != yellow || anc[1] != green || anc[2] != nil {
+		t.Fatalf("Ancestors(magenta) = %v", anc)
+	}
+}
+
+func TestIsSequenceAncestorPanicsOnNonAncestor(t *testing.T) {
+	m := MustParse(analyteSchema)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.FieldByColor("orange").IsSequenceAncestor(m.FieldByColor("yellow"))
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"", "expected Seq or Struct"},
+		{"Foo()", "expected Seq or Struct"},
+		{"Seq(Seq([a] String))", "'['"},
+		{"Seq([a] Seq([b] String))", "directly nested"},
+		{"Seq([a] Bogus)", "unknown type"},
+		{"Struct()", "element name"},
+		{"Struct(A: [c] String) extra", "trailing"},
+		{"Struct(A: [c] String, A: [d] String)", "duplicate element name"},
+		{"Struct(A: [c] String, B: [c] Int)", `color "c" used by more than one`},
+		{"Seq([a] Struct(X: [a] String))", "more than one"},
+		{"Struct(A [c] String)", "':'"},
+		{"Seq([a] String", "')'"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestValidateRequiresExactlyOneTop(t *testing.T) {
+	if err := (&Schema{}).Validate(); err == nil {
+		t.Fatal("empty schema validated")
+	}
+	both := &Schema{TopSeq: &Seq{}, TopStruct: &Struct{}}
+	if err := both.Validate(); err == nil {
+		t.Fatal("double-topped schema validated")
+	}
+}
+
+func TestLeafTypeValidValue(t *testing.T) {
+	cases := []struct {
+		t    LeafType
+		s    string
+		want bool
+	}{
+		{String, "anything at all", true},
+		{String, "", true},
+		{Int, "42", true},
+		{Int, "-7", true},
+		{Int, "+7", true},
+		{Int, " 12 ", true},
+		{Int, "", false},
+		{Int, "-", false},
+		{Int, "1.5", false},
+		{Int, "abc", false},
+		{Float, "0.070073", true},
+		{Float, "-3.", true},
+		{Float, "12", true},
+		{Float, ".5", true},
+		{Float, "", false},
+		{Float, ".", false},
+		{Float, "1.2.3", false},
+		{Float, "1e5", false},
+	}
+	for _, c := range cases {
+		if got := c.t.ValidValue(c.s); got != c.want {
+			t.Errorf("%v.ValidValue(%q) = %v, want %v", c.t, c.s, got, c.want)
+		}
+	}
+}
+
+func TestLeafTypeString(t *testing.T) {
+	if String.String() != "String" || Int.String() != "Int" || Float.String() != "Float" {
+		t.Fatal("LeafType.String broken")
+	}
+	if !strings.Contains(LeafType(99).String(), "99") {
+		t.Fatal("unknown LeafType should include its number")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	m := MustParse(analyteSchema)
+	again, err := Parse(m.String())
+	if err != nil {
+		t.Fatalf("re-parsing String() output: %v", err)
+	}
+	if again.String() != m.String() {
+		t.Fatalf("round trip changed schema:\n%s\nvs\n%s", m, again)
+	}
+}
+
+func TestFormatIndentedRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		analyteSchema,
+		`Struct(Name: [red] String, Rows: Seq([row] Struct(V: [v] Int)))`,
+		`Seq([x] Float)`,
+	} {
+		m := MustParse(src)
+		formatted := FormatIndented(m)
+		again, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("FormatIndented output unparseable: %v\n%s", err, formatted)
+		}
+		if again.String() != m.String() {
+			t.Fatalf("indent round trip changed schema")
+		}
+	}
+}
+
+func TestFieldStringForms(t *testing.T) {
+	m := MustParse(analyteSchema)
+	s := m.String()
+	for _, want := range []string{"[green]", "[yellow]", "Seq(", "Struct(", "Mass: [violet] Int"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("schema String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestIntValidValueProperty(t *testing.T) {
+	// Any string of digits (len ≥ 1) is a valid Int.
+	f := func(n uint32) bool {
+		s := ""
+		for v := n; ; v /= 10 {
+			s = string(rune('0'+v%10)) + s
+			if v < 10 {
+				break
+			}
+		}
+		return Int.ValidValue(s) && Float.ValidValue(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldsTopologicalOrder(t *testing.T) {
+	m := MustParse(analyteSchema)
+	depth := map[string]int{"green": 0, "orange": 1, "yellow": 1, "magenta": 2, "violet": 2, "blue": 2}
+	seen := map[string]bool{}
+	for _, fi := range m.Fields() {
+		if fi.Parent != nil && !seen[fi.Parent.Color()] {
+			t.Fatalf("field %s appears before its parent", fi.Color())
+		}
+		seen[fi.Color()] = true
+		if depth[fi.Color()] != fi.Depth {
+			t.Errorf("depth(%s) = %d, want %d", fi.Color(), fi.Depth, depth[fi.Color()])
+		}
+	}
+}
+
+func TestParseArbitraryInputNoPanic(t *testing.T) {
+	rng := uint64(7)
+	next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+	for i := 0; i < 300; i++ {
+		n := int(next() % 40)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = "Seq([x] String)Int Float:,"[next()%26]
+		}
+		src := string(b)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}

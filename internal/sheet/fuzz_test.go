@@ -1,0 +1,34 @@
+package sheet
+
+import "testing"
+
+// FuzzFromCSV asserts the reader never panics and that grids round-trip
+// through ToCSV.
+func FuzzFromCSV(f *testing.F) {
+	for _, seed := range []string{
+		"", "a,b\nc,d\n", `"x,y",z`, `"q""uote"`, "ragged\na,b,c\n", "\"open",
+		"a\r\nb\r\n", "\"two\nlines\",x",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := FromCSV(src)
+		if err != nil {
+			return
+		}
+		again, err := FromCSV(g.ToCSV())
+		if err != nil {
+			t.Fatalf("ToCSV output unparseable: %v", err)
+		}
+		if again.Rows != g.Rows || again.Cols != g.Cols {
+			t.Fatalf("round trip changed dims: %dx%d vs %dx%d", g.Rows, g.Cols, again.Rows, again.Cols)
+		}
+		for r := 0; r < g.Rows; r++ {
+			for c := 0; c < g.Cols; c++ {
+				if g.Cell(r, c) != again.Cell(r, c) {
+					t.Fatalf("round trip changed cell (%d,%d)", r, c)
+				}
+			}
+		}
+	})
+}

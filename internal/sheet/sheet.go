@@ -1,0 +1,151 @@
+// Package sheet is the spreadsheet substrate for the FlashExtract
+// spreadsheet instantiation (§5.3): a rectangular grid of string cells
+// with a small CSV reader for loading test and benchmark workbooks.
+package sheet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Grid is a rectangular spreadsheet: Rows × Cols cells of text. Missing
+// trailing cells are empty strings.
+type Grid struct {
+	Rows, Cols int
+	cells      [][]string
+}
+
+// New creates an empty grid of the given size.
+func New(rows, cols int) *Grid {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sheet: invalid dimensions %d×%d", rows, cols))
+	}
+	cells := make([][]string, rows)
+	for i := range cells {
+		cells[i] = make([]string, cols)
+	}
+	return &Grid{Rows: rows, Cols: cols, cells: cells}
+}
+
+// Cell returns the content of cell (r, c); out-of-range coordinates yield
+// the empty string, mirroring how spreadsheet UIs expose unbounded grids.
+func (g *Grid) Cell(r, c int) string {
+	if r < 0 || r >= g.Rows || c < 0 || c >= g.Cols {
+		return ""
+	}
+	return g.cells[r][c]
+}
+
+// InRange reports whether (r, c) lies inside the grid.
+func (g *Grid) InRange(r, c int) bool {
+	return r >= 0 && r < g.Rows && c >= 0 && c < g.Cols
+}
+
+// Set assigns cell (r, c); it panics on out-of-range coordinates.
+func (g *Grid) Set(r, c int, v string) {
+	if !g.InRange(r, c) {
+		panic(fmt.Sprintf("sheet: Set(%d,%d) out of range %d×%d", r, c, g.Rows, g.Cols))
+	}
+	g.cells[r][c] = v
+}
+
+// FromCSV parses comma-separated values with double-quote quoting ("" as
+// an escaped quote) into a grid, padding short rows.
+func FromCSV(src string) (*Grid, error) {
+	var rows [][]string
+	var cur []string
+	var field strings.Builder
+	inQuotes := false
+	flushField := func() {
+		cur = append(cur, field.String())
+		field.Reset()
+	}
+	flushRow := func() {
+		flushField()
+		rows = append(rows, cur)
+		cur = nil
+	}
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case inQuotes:
+			if c == '"' {
+				if i+1 < len(src) && src[i+1] == '"' {
+					field.WriteByte('"')
+					i += 2
+					continue
+				}
+				inQuotes = false
+				i++
+				continue
+			}
+			field.WriteByte(c)
+			i++
+		case c == '"' && field.Len() == 0:
+			inQuotes = true
+			i++
+		case c == ',':
+			flushField()
+			i++
+		case c == '\r':
+			i++
+		case c == '\n':
+			flushRow()
+			i++
+		default:
+			field.WriteByte(c)
+			i++
+		}
+	}
+	if inQuotes {
+		return nil, fmt.Errorf("sheet: unterminated quoted field")
+	}
+	if field.Len() > 0 || len(cur) > 0 {
+		flushRow()
+	}
+	cols := 0
+	for _, r := range rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	g := New(len(rows), cols)
+	for r, row := range rows {
+		for c, v := range row {
+			g.cells[r][c] = v
+		}
+	}
+	return g, nil
+}
+
+// MustFromCSV is FromCSV for statically known workbooks.
+func MustFromCSV(src string) *Grid {
+	g, err := FromCSV(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ToCSV renders the grid back to CSV (quoting fields that need it).
+func (g *Grid) ToCSV() string {
+	var b strings.Builder
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			if c > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(quoteCSV(g.cells[r][c]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func quoteCSV(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

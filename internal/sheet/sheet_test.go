@@ -1,0 +1,131 @@
+package sheet
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromCSVBasic(t *testing.T) {
+	g := MustFromCSV("a,b,c\nd,e,f\n")
+	if g.Rows != 2 || g.Cols != 3 {
+		t.Fatalf("dims = %d×%d", g.Rows, g.Cols)
+	}
+	if g.Cell(0, 0) != "a" || g.Cell(1, 2) != "f" {
+		t.Fatal("cell contents wrong")
+	}
+}
+
+func TestFromCSVQuoting(t *testing.T) {
+	g := MustFromCSV(`"a,b","say ""hi""",c` + "\n")
+	if g.Cell(0, 0) != "a,b" {
+		t.Fatalf("quoted comma = %q", g.Cell(0, 0))
+	}
+	if g.Cell(0, 1) != `say "hi"` {
+		t.Fatalf("escaped quote = %q", g.Cell(0, 1))
+	}
+	if g.Cell(0, 2) != "c" {
+		t.Fatalf("plain = %q", g.Cell(0, 2))
+	}
+}
+
+func TestFromCSVRaggedRowsPadded(t *testing.T) {
+	g := MustFromCSV("a,b,c\nd\n")
+	if g.Cols != 3 {
+		t.Fatalf("cols = %d", g.Cols)
+	}
+	if g.Cell(1, 1) != "" || g.Cell(1, 2) != "" {
+		t.Fatal("short rows should pad with empty cells")
+	}
+}
+
+func TestFromCSVNoTrailingNewline(t *testing.T) {
+	g := MustFromCSV("a,b\nc,d")
+	if g.Rows != 2 || g.Cell(1, 1) != "d" {
+		t.Fatalf("rows = %d", g.Rows)
+	}
+}
+
+func TestFromCSVQuotedNewline(t *testing.T) {
+	g := MustFromCSV("\"two\nlines\",x\n")
+	if g.Rows != 1 || g.Cell(0, 0) != "two\nlines" {
+		t.Fatalf("got %d rows, cell = %q", g.Rows, g.Cell(0, 0))
+	}
+}
+
+func TestFromCSVUnterminatedQuote(t *testing.T) {
+	if _, err := FromCSV(`"never closed`); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCellOutOfRange(t *testing.T) {
+	g := New(2, 2)
+	if g.Cell(-1, 0) != "" || g.Cell(0, 5) != "" || g.Cell(9, 9) != "" {
+		t.Fatal("out-of-range cells must read empty")
+	}
+	if g.InRange(2, 0) || !g.InRange(1, 1) {
+		t.Fatal("InRange broken")
+	}
+}
+
+func TestSetPanicsOutOfRange(t *testing.T) {
+	g := New(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Set(1, 0, "x")
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestToCSVRoundTrip(t *testing.T) {
+	src := "plain,\"with,comma\",\"q\"\"uote\"\nx,y,z\n"
+	g := MustFromCSV(src)
+	again := MustFromCSV(g.ToCSV())
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			if g.Cell(r, c) != again.Cell(r, c) {
+				t.Fatalf("round trip changed (%d,%d): %q vs %q", r, c, g.Cell(r, c), again.Cell(r, c))
+			}
+		}
+	}
+}
+
+func TestToCSVRoundTripProperty(t *testing.T) {
+	// Round-tripping a grid of arbitrary printable content preserves it.
+	f := func(vals [4]string) bool {
+		g := New(2, 2)
+		for i, v := range vals {
+			cleaned := strings.Map(func(r rune) rune {
+				if r < ' ' || r > '~' {
+					return '_'
+				}
+				return r
+			}, v)
+			g.Set(i/2, i%2, cleaned)
+		}
+		again, err := FromCSV(g.ToCSV())
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 4; i++ {
+			if again.Cell(i/2, i%2) != g.Cell(i/2, i%2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,409 @@
+package sheetlang
+
+import (
+	"fmt"
+	"strings"
+
+	"flashextract/internal/core"
+	"flashextract/internal/region"
+)
+
+// lambdaVar is the λ-bound variable name of the Lsps map and filter
+// operators.
+const lambdaVar = "x"
+
+// inputBounds resolves the rectangular bounds of the input region R0.
+func inputBounds(st core.State) (d *Document, r1, c1, r2, c2 int, err error) {
+	rr, ok := st.Input().(region.Region)
+	if !ok {
+		return nil, 0, 0, 0, 0, fmt.Errorf("sheetlang: input is %T, want a sheet region", st.Input())
+	}
+	d, r1, c1, r2, c2, ok = bounds(rr)
+	if !ok {
+		return nil, 0, 0, 0, 0, fmt.Errorf("sheetlang: input is %T, want a sheet region", st.Input())
+	}
+	return d, r1, c1, r2, c2, nil
+}
+
+// splitCellsProg is the fixed expression splitcells(R0): the cells of R0
+// in row-major order.
+type splitCellsProg struct{}
+
+// splitCells is the canonical instance of splitcells(R0).
+var splitCells = splitCellsProg{}
+
+// Exec lists the input's cells in row-major order.
+func (splitCellsProg) Exec(st core.State) (core.Value, error) {
+	d, r1, c1, r2, c2, err := inputBounds(st)
+	if err != nil {
+		return nil, err
+	}
+	cells := cellsIn(d, r1, c1, r2, c2)
+	out := make([]core.Value, len(cells))
+	for i, c := range cells {
+		out[i] = c
+	}
+	return out, nil
+}
+
+func (splitCellsProg) String() string { return "splitcells(R0)" }
+
+// Cost makes the fixed expression free for ranking purposes.
+func (splitCellsProg) Cost() int { return 0 }
+
+// splitRowsProg is the fixed expression splitrows(R0): the row rectangles
+// of R0.
+type splitRowsProg struct{}
+
+// splitRows is the canonical instance of splitrows(R0).
+var splitRows = splitRowsProg{}
+
+// Exec lists the input's row rectangles.
+func (splitRowsProg) Exec(st core.State) (core.Value, error) {
+	d, r1, c1, r2, c2, err := inputBounds(st)
+	if err != nil {
+		return nil, err
+	}
+	rows := rowsIn(d, r1, c1, r2, c2)
+	out := make([]core.Value, len(rows))
+	for i, r := range rows {
+		out[i] = r
+	}
+	return out, nil
+}
+
+func (splitRowsProg) String() string { return "splitrows(R0)" }
+
+// Cost makes the fixed expression free for ranking purposes.
+func (splitRowsProg) Cost() int { return 0 }
+
+// neighborhood lists the nine Surround offsets in reading order.
+var neighborhood = [9][2]int{
+	{-1, -1}, {-1, 0}, {-1, 1},
+	{0, -1}, {0, 0}, {0, 1},
+	{1, -1}, {1, 0}, {1, 1},
+}
+
+// cellPred is the cell boolean cb ::= True | Surround(T{9}, x): nine
+// tokens matched against a cell's content and its eight neighbours
+// (out-of-grid neighbours read as empty).
+type cellPred struct {
+	toks [9]CellTok
+}
+
+func truePred() cellPred {
+	var p cellPred
+	for i := range p.toks {
+		p.toks[i] = AnyCell
+	}
+	return p
+}
+
+func (p cellPred) isTrue() bool {
+	for _, t := range p.toks {
+		if t.Name != AnyCell.Name {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchesAt reports whether the predicate accepts the cell at (r, c).
+func (p cellPred) MatchesAt(d *Document, r, c int) bool {
+	for i, off := range neighborhood {
+		if !p.toks[i].Matches(d.Grid.Cell(r+off[0], c+off[1])) {
+			return false
+		}
+	}
+	return true
+}
+
+// Exec evaluates the predicate on the λ-bound cell.
+func (p cellPred) Exec(st core.State) (core.Value, error) {
+	v, ok := st.Lookup(lambdaVar)
+	if !ok {
+		return nil, fmt.Errorf("sheetlang: free variable %s is unbound", lambdaVar)
+	}
+	x, ok := v.(CellRegion)
+	if !ok {
+		return nil, fmt.Errorf("sheetlang: %s is %T, want a cell", lambdaVar, v)
+	}
+	return p.MatchesAt(x.Doc, x.R, x.C), nil
+}
+
+func (p cellPred) String() string {
+	if p.isTrue() {
+		return "λx: True"
+	}
+	names := make([]string, 9)
+	for i, t := range p.toks {
+		names[i] = t.Name
+	}
+	return "λx: Surround([" + strings.Join(names, " ") + "], x)"
+}
+
+// Cost ranks selective predicates before the vacuous True.
+func (p cellPred) Cost() int {
+	if p.isTrue() {
+		return 6
+	}
+	c := 0
+	for _, t := range p.toks {
+		c += t.weight
+	}
+	return c
+}
+
+// rowPred is the row boolean rb ::= True | Sequence(T+, x): tokens matched
+// against the contents of consecutive cells at the start of the row.
+type rowPred struct {
+	toks []CellTok // empty means True
+}
+
+// MatchesRow reports whether the predicate accepts a row rectangle.
+func (p rowPred) MatchesRow(x RectRegion) bool {
+	for i, t := range p.toks {
+		if !t.Matches(x.Doc.Grid.Cell(x.R1, x.C1+i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Exec evaluates the predicate on the λ-bound row.
+func (p rowPred) Exec(st core.State) (core.Value, error) {
+	v, ok := st.Lookup(lambdaVar)
+	if !ok {
+		return nil, fmt.Errorf("sheetlang: free variable %s is unbound", lambdaVar)
+	}
+	x, ok := v.(RectRegion)
+	if !ok || x.R1 != x.R2 {
+		return nil, fmt.Errorf("sheetlang: %s is %T, want a row", lambdaVar, v)
+	}
+	return p.MatchesRow(x), nil
+}
+
+func (p rowPred) String() string {
+	if len(p.toks) == 0 {
+		return "λx: True"
+	}
+	names := make([]string, len(p.toks))
+	for i, t := range p.toks {
+		names[i] = t.Name
+	}
+	return "λx: Sequence([" + strings.Join(names, " ") + "], x)"
+}
+
+// Cost ranks selective predicates before the vacuous True.
+func (p rowPred) Cost() int {
+	if len(p.toks) == 0 {
+		return 6
+	}
+	c := 0
+	for _, t := range p.toks {
+		c += t.weight
+	}
+	return c
+}
+
+// cellAttr is the cell attribute c ::= AbsCell(k) | RegCell(cb, k),
+// resolving to a cell within a rectangle.
+type cellAttr interface {
+	eval(d *Document, r1, c1, r2, c2 int) (CellRegion, error)
+	String() string
+	cost() int
+}
+
+// absCell selects the k-th cell of the rectangle in row-major order
+// (negative k counts from the end).
+type absCell struct {
+	k int
+}
+
+func (a absCell) eval(d *Document, r1, c1, r2, c2 int) (CellRegion, error) {
+	width := c2 - c1 + 1
+	total := width * (r2 - r1 + 1)
+	k := a.k
+	if k < 0 {
+		k = total + k
+	}
+	if k < 0 || k >= total {
+		return CellRegion{}, core.ErrNoMatch
+	}
+	return CellRegion{Doc: d, R: r1 + k/width, C: c1 + k%width}, nil
+}
+
+func (a absCell) String() string { return fmt.Sprintf("AbsCell(%d)", a.k) }
+
+func (a absCell) cost() int {
+	if a.k == 0 || a.k == -1 {
+		return 0
+	}
+	return 2
+}
+
+// regCell selects the k-th cell of the rectangle (row-major, 1-based;
+// negative k counts from the right) among those matching the predicate.
+type regCell struct {
+	cb cellPred
+	k  int
+}
+
+func (a regCell) eval(d *Document, r1, c1, r2, c2 int) (CellRegion, error) {
+	var matches []CellRegion
+	for _, cell := range cellsIn(d, r1, c1, r2, c2) {
+		if a.cb.MatchesAt(d, cell.R, cell.C) {
+			matches = append(matches, cell)
+		}
+	}
+	idx := a.k - 1
+	if a.k < 0 {
+		idx = len(matches) + a.k
+	}
+	if a.k == 0 || idx < 0 || idx >= len(matches) {
+		return CellRegion{}, core.ErrNoMatch
+	}
+	return matches[idx], nil
+}
+
+func (a regCell) String() string { return fmt.Sprintf("RegCell(%s, %d)", a.cb, a.k) }
+
+func (a regCell) cost() int {
+	k := a.k
+	if k < 0 {
+		k = -k
+	}
+	return 1 + a.cb.Cost() + (k - 1)
+}
+
+// cellRowMapF is λx: Cell(x, c) — the map function of CellRowMap,
+// selecting a cell within the row x.
+type cellRowMapF struct {
+	c cellAttr
+}
+
+func (p cellRowMapF) Exec(st core.State) (core.Value, error) {
+	v, _ := st.Lookup(lambdaVar)
+	x, ok := v.(RectRegion)
+	if !ok {
+		return nil, fmt.Errorf("sheetlang: %s is %T, want a row", lambdaVar, v)
+	}
+	return p.c.eval(x.Doc, x.R1, x.C1, x.R2, x.C2)
+}
+
+func (p cellRowMapF) String() string { return fmt.Sprintf("Cell(x, %s)", p.c) }
+
+// Cost defers to the attribute.
+func (p cellRowMapF) Cost() int { return p.c.cost() }
+
+// startPairF is λx: Pair(x, Cell(R0[x:], c)) — pairing a start cell with
+// an end cell located in the rectangle from x to R0's bottom-right corner.
+type startPairF struct {
+	c cellAttr
+}
+
+func (p startPairF) Exec(st core.State) (core.Value, error) {
+	d, _, _, r2, c2, err := inputBounds(st)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := st.Lookup(lambdaVar)
+	x, ok := v.(CellRegion)
+	if !ok {
+		return nil, fmt.Errorf("sheetlang: %s is %T, want a cell", lambdaVar, v)
+	}
+	end, err := p.c.eval(d, x.R, x.C, r2, c2)
+	if err != nil {
+		return nil, err
+	}
+	if end.R < x.R || end.C < x.C {
+		return nil, core.ErrNoMatch
+	}
+	return RectRegion{Doc: d, R1: x.R, C1: x.C, R2: end.R, C2: end.C}, nil
+}
+
+func (p startPairF) String() string { return fmt.Sprintf("Pair(x, Cell(R0[x:], %s))", p.c) }
+
+// Cost carries a small bias (see the text instantiation).
+func (p startPairF) Cost() int { return p.c.cost() + 1 }
+
+// endPairF is λx: Pair(Cell(R0[:x], c), x) — pairing an end cell with a
+// start cell located in the rectangle from R0's top-left corner to x.
+type endPairF struct {
+	c cellAttr
+}
+
+func (p endPairF) Exec(st core.State) (core.Value, error) {
+	d, r1, c1, _, _, err := inputBounds(st)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := st.Lookup(lambdaVar)
+	x, ok := v.(CellRegion)
+	if !ok {
+		return nil, fmt.Errorf("sheetlang: %s is %T, want a cell", lambdaVar, v)
+	}
+	start, err := p.c.eval(d, r1, c1, x.R, x.C)
+	if err != nil {
+		return nil, err
+	}
+	if start.R > x.R || start.C > x.C {
+		return nil, core.ErrNoMatch
+	}
+	return RectRegion{Doc: d, R1: start.R, C1: start.C, R2: x.R, C2: x.C}, nil
+}
+
+func (p endPairF) String() string { return fmt.Sprintf("Pair(Cell(R0[:x], %s), x)", p.c) }
+
+// Cost carries the same bias as startPairF.
+func (p endPairF) Cost() int { return p.c.cost() + 1 }
+
+// cellProg is the N2 expression Cell(R0, c): a single cell within R0.
+type cellProg struct {
+	c cellAttr
+}
+
+func (p cellProg) Exec(st core.State) (core.Value, error) {
+	d, r1, c1, r2, c2, err := inputBounds(st)
+	if err != nil {
+		return nil, err
+	}
+	return p.c.eval(d, r1, c1, r2, c2)
+}
+
+func (p cellProg) String() string { return fmt.Sprintf("Cell(R0, %s)", p.c) }
+
+// Cost defers to the attribute.
+func (p cellProg) Cost() int { return p.c.cost() }
+
+// cellPairProg is the N2 expression Pair(Cell(R0,c1), Cell(R0,c2)): a
+// rectangle within R0.
+type cellPairProg struct {
+	c1, c2 cellAttr
+}
+
+func (p cellPairProg) Exec(st core.State) (core.Value, error) {
+	d, r1, c1, r2, c2, err := inputBounds(st)
+	if err != nil {
+		return nil, err
+	}
+	a, err := p.c1.eval(d, r1, c1, r2, c2)
+	if err != nil {
+		return nil, err
+	}
+	b, err := p.c2.eval(d, r1, c1, r2, c2)
+	if err != nil {
+		return nil, err
+	}
+	if b.R < a.R || b.C < a.C {
+		return nil, core.ErrNoMatch
+	}
+	return RectRegion{Doc: d, R1: a.R, C1: a.C, R2: b.R, C2: b.C}, nil
+}
+
+func (p cellPairProg) String() string {
+	return fmt.Sprintf("Pair(Cell(R0, %s), Cell(R0, %s))", p.c1, p.c2)
+}
+
+// Cost is the cost of the two attributes.
+func (p cellPairProg) Cost() int { return p.c1.cost() + p.c2.cost() }

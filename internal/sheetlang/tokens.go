@@ -1,0 +1,126 @@
+package sheetlang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CellTok matches the entire content of one cell. The spreadsheet
+// instantiation matches cell neighbourhoods (Surround) and row prefixes
+// (Sequence) against these tokens.
+type CellTok struct {
+	// Name is the token's display name.
+	Name string
+	// class is non-nil for content-class tokens.
+	class func(string) bool
+	// lit holds the exact content for literal tokens.
+	lit   string
+	isLit bool
+	// weight is the ranking cost contribution of the token.
+	weight int
+}
+
+// The standard cell token set.
+var (
+	// AnyCell matches every cell (the wildcard slot of a Surround).
+	AnyCell = CellTok{Name: "Any", class: func(string) bool { return true }, weight: 0}
+	// EmptyCell matches blank cells (and out-of-grid neighbours).
+	EmptyCell = CellTok{Name: "Empty", class: func(s string) bool { return strings.TrimSpace(s) == "" }, weight: 1}
+	// NonEmptyCell matches cells with any content.
+	NonEmptyCell = CellTok{Name: "NonEmpty", class: func(s string) bool { return strings.TrimSpace(s) != "" }, weight: 1}
+	// NumericCell matches integer or decimal contents.
+	NumericCell = CellTok{Name: "Numeric", class: isNumeric, weight: 1}
+	// AlphaCell matches contents of letters and spaces only (non-empty).
+	AlphaCell = CellTok{Name: "Alpha", class: isAlphaCell, weight: 1}
+)
+
+// LiteralCell matches the exact content s.
+func LiteralCell(s string) CellTok {
+	return CellTok{Name: fmt.Sprintf("Lit(%s)", s), lit: s, isLit: true, weight: 3}
+}
+
+// Matches reports whether the token accepts the cell content.
+func (t CellTok) Matches(content string) bool {
+	if t.isLit {
+		return content == t.lit
+	}
+	return t.class(content)
+}
+
+func (t CellTok) String() string { return t.Name }
+
+func isNumeric(s string) bool {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return false
+	}
+	i, digits, dot := 0, false, false
+	if s[0] == '-' || s[0] == '+' {
+		i = 1
+	}
+	for ; i < len(s); i++ {
+		switch {
+		case s[i] >= '0' && s[i] <= '9':
+			digits = true
+		case s[i] == '.' && !dot:
+			dot = true
+		case s[i] == ',': // thousands separator
+		default:
+			return false
+		}
+	}
+	return digits
+}
+
+func isAlphaCell(s string) bool {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == ' ' || c == '.' || c == '&' || c == '-' || c == '\'') {
+			return false
+		}
+	}
+	return true
+}
+
+// mostSpecificCommon returns the most specific standard token (or literal)
+// matching all of the given contents. Equal contents are promoted to a
+// literal token only when the content recurs in the sheet — like the
+// dynamic tokens of the text instantiation, literals exist to capture
+// recurring labels (“Subtotal”, “Department:”), not incidental values.
+func mostSpecificCommon(d *Document, contents []string) CellTok {
+	if len(contents) == 0 {
+		return AnyCell
+	}
+	allEqual := true
+	for _, s := range contents[1:] {
+		if s != contents[0] {
+			allEqual = false
+			break
+		}
+	}
+	if allEqual {
+		if strings.TrimSpace(contents[0]) == "" {
+			return EmptyCell
+		}
+		if d.contentCount(contents[0]) >= 2 {
+			return LiteralCell(contents[0])
+		}
+	}
+	for _, t := range []CellTok{NumericCell, AlphaCell, EmptyCell, NonEmptyCell} {
+		ok := true
+		for _, s := range contents {
+			if !t.Matches(s) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return t
+		}
+	}
+	return AnyCell
+}

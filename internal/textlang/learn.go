@@ -1,0 +1,565 @@
+package textlang
+
+import (
+	"fmt"
+	"sort"
+
+	"flashextract/internal/core"
+	"flashextract/internal/engine"
+	"flashextract/internal/region"
+	"flashextract/internal/tokens"
+)
+
+// attrCap bounds how many position attributes are used per side when
+// crossing start and end attribute lists.
+const attrCap = 12
+
+// dynMaxLen, dynMinOccur, and dynCap parameterize dynamic-token discovery.
+const (
+	dynMaxLen   = 6
+	dynMinOccur = 2
+	dynCap      = 24
+)
+
+// lang implements engine.Language for text documents.
+type lang struct{}
+
+// learnCtx carries the per-synthesis-call token pool (standard tokens plus
+// dynamic tokens promoted from the neighborhood of the examples).
+type learnCtx struct {
+	toks []tokens.Token
+}
+
+func newLearnCtx(doc *Document, boundary []Region) *learnCtx {
+	var pexs []tokens.PosExample
+	for _, r := range boundary {
+		pexs = append(pexs,
+			tokens.PosExample{S: doc.Text, K: r.Start},
+			tokens.PosExample{S: doc.Text, K: r.End})
+	}
+	dyn := tokens.DiscoverDynamicTokens(doc.Text, pexs, dynMaxLen, dynMinOccur, dynCap)
+	pool := make([]tokens.Token, 0, len(tokens.Standard)+len(dyn))
+	pool = append(pool, tokens.Standard...)
+	pool = append(pool, dyn...)
+	return &learnCtx{toks: pool}
+}
+
+func regionLess(a, b core.Value) bool { return a.(Region).Less(b.(Region)) }
+
+// conflictOverlap treats a negative instance as violated when an output
+// region overlaps (or equals) it.
+func conflictOverlap(out, neg core.Value) bool {
+	o, ok1 := out.(Region)
+	n, ok2 := neg.(Region)
+	if !ok1 || !ok2 {
+		return false
+	}
+	return o == n || o.Overlaps(n)
+}
+
+// SynthesizeSeqRegion learns N1 programs (Fig. 7): a Merge of pair
+// sequence expressions.
+func (l *lang) SynthesizeSeqRegion(exs []engine.SeqRegionExample) []engine.SeqRegionProgram {
+	if len(exs) == 0 {
+		return nil
+	}
+	var doc *Document
+	var boundary []Region
+	specs := make([]core.SeqSpec, 0, len(exs))
+	for _, ex := range exs {
+		in, ok := ex.Input.(Region)
+		if !ok {
+			return nil
+		}
+		doc = in.Doc
+		spec := core.SeqSpec{State: core.NewState(in)}
+		for _, p := range ex.Positive {
+			pr, ok := p.(Region)
+			if !ok {
+				return nil
+			}
+			boundary = append(boundary, pr)
+			spec.Positive = append(spec.Positive, pr)
+		}
+		for _, n := range ex.Negative {
+			nr, ok := n.(Region)
+			if !ok {
+				return nil
+			}
+			spec.Negative = append(spec.Negative, nr)
+		}
+		specs = append(specs, spec)
+	}
+	ctx := newLearnCtx(doc, boundary)
+	ss := core.PreferNonOverlapping(ctx.learnSS(), conflictOverlap)
+	n1 := core.PreferNonOverlapping(core.MergeOp{A: ss, Less: regionLess}.Learn, conflictOverlap)
+	progs := core.SynthesizeSeqRegionProg(n1, specs, conflictOverlap)
+	out := make([]engine.SeqRegionProgram, len(progs))
+	for i, p := range progs {
+		out[i] = seqProgram{p}
+	}
+	return out
+}
+
+// SynthesizeRegion learns N2 programs: Pair(Pos(R0, p1), Pos(R0, p2)).
+func (l *lang) SynthesizeRegion(exs []engine.RegionExample) []engine.RegionProgram {
+	if len(exs) == 0 {
+		return nil
+	}
+	var doc *Document
+	var boundary []Region
+	var coreExs []core.Example
+	var sExs, eExs []tokens.PosExample
+	for _, ex := range exs {
+		in, ok1 := ex.Input.(Region)
+		out, ok2 := ex.Output.(Region)
+		if !ok1 || !ok2 || !in.Contains(out) {
+			return nil
+		}
+		doc = in.Doc
+		boundary = append(boundary, out)
+		coreExs = append(coreExs, core.Example{State: core.NewState(in), Output: out})
+		sExs = append(sExs, tokens.PosExample{S: in.Value(), K: out.Start - in.Start})
+		eExs = append(eExs, tokens.PosExample{S: in.Value(), K: out.End - in.Start})
+	}
+	ctx := newLearnCtx(doc, boundary)
+	n2 := func([]core.Example) []core.Program {
+		p1s := capAttrs(tokens.LearnAttrs(sExs, ctx.toks), attrCap)
+		p2s := capAttrs(tokens.LearnAttrs(eExs, ctx.toks), attrCap)
+		var out []core.Program
+		for _, p1 := range p1s {
+			for _, p2 := range p2s {
+				out = append(out, regionPairProg{p1: p1, p2: p2})
+			}
+		}
+		return out
+	}
+	progs := core.SynthesizeRegionProg(n2, coreExs)
+	out := make([]engine.RegionProgram, len(progs))
+	for i, p := range progs {
+		out[i] = regProgram{p}
+	}
+	return out
+}
+
+func capAttrs(as []tokens.Attr, n int) []tokens.Attr {
+	if len(as) > n {
+		return as[:n]
+	}
+	return as
+}
+
+// ---- sequence non-terminal SS and its three rules ----
+
+// learnSS returns the learner for the pair-sequence non-terminal SS.
+func (c *learnCtx) learnSS() core.SeqLearner {
+	return core.UnionLearners(
+		c.linesMapOp().Learn,
+		c.startSeqMapOp().Learn,
+		c.endSeqMapOp().Learn,
+	)
+}
+
+// linesMapOp is SS ::= LinesMap(λx: Pair(Pos(x,p1), Pos(x,p2)), LS).
+func (c *learnCtx) linesMapOp() core.MapOp {
+	return core.MapOp{
+		Name: "LinesMap",
+		Var:  lambdaVar,
+		F:    c.learnLinePair,
+		S:    c.learnLS(),
+		Decompose: func(st core.State, y []core.Value) ([]core.Value, error) {
+			r0, err := inputRegion(st)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]core.Value, len(y))
+			for i, v := range y {
+				yr, ok := v.(Region)
+				if !ok {
+					return nil, fmt.Errorf("textlang: LinesMap output is %T, want region", v)
+				}
+				line, ok := lineContaining(r0, yr.Start, yr.End)
+				if !ok {
+					return nil, core.ErrNoMatch
+				}
+				out[i] = line
+			}
+			return out, nil
+		},
+	}
+}
+
+// startSeqMapOp is SS ::= StartSeqMap(λx: Pair(x, Pos(R0[x:], p)), PS).
+func (c *learnCtx) startSeqMapOp() core.MapOp {
+	return core.MapOp{
+		Name: "StartSeqMap",
+		Var:  lambdaVar,
+		F:    c.learnStartPair,
+		S:    c.learnPS(),
+		Decompose: func(st core.State, y []core.Value) ([]core.Value, error) {
+			out := make([]core.Value, len(y))
+			for i, v := range y {
+				yr, ok := v.(Region)
+				if !ok {
+					return nil, fmt.Errorf("textlang: StartSeqMap output is %T, want region", v)
+				}
+				out[i] = yr.Start
+			}
+			return out, nil
+		},
+	}
+}
+
+// endSeqMapOp is SS ::= EndSeqMap(λx: Pair(Pos(R0[:x], p), x), PS).
+func (c *learnCtx) endSeqMapOp() core.MapOp {
+	return core.MapOp{
+		Name: "EndSeqMap",
+		Var:  lambdaVar,
+		F:    c.learnEndPair,
+		S:    c.learnPS(),
+		Decompose: func(st core.State, y []core.Value) ([]core.Value, error) {
+			out := make([]core.Value, len(y))
+			for i, v := range y {
+				yr, ok := v.(Region)
+				if !ok {
+					return nil, fmt.Errorf("textlang: EndSeqMap output is %T, want region", v)
+				}
+				out[i] = yr.End
+			}
+			return out, nil
+		},
+	}
+}
+
+// ---- line sequence non-terminal LS ----
+
+// learnLS is LS ::= FilterInt(init, iter, FilterBool(b, split(R0,'\n'))).
+func (c *learnCtx) learnLS() core.SeqLearner {
+	inner := core.FilterBoolOp{
+		Var: lambdaVar,
+		B:   c.learnPred,
+		S:   learnSplit,
+	}
+	return core.FilterIntOp{S: inner.Learn}.Learn
+}
+
+// learnSplit is the learner of the fixed expression split(R0, '\n'):
+// consistent iff every positive instance is a line of the input region.
+func learnSplit(exs []core.SeqExample) []core.Program {
+	for _, ex := range exs {
+		out, err := splitLines.Exec(ex.State)
+		if err != nil {
+			return nil
+		}
+		lines, err := core.AsSeq(out)
+		if err != nil || !core.IsSubsequence(ex.Positive, lines) {
+			return nil
+		}
+	}
+	return []core.Program{splitLines}
+}
+
+// ---- position sequence non-terminal PS ----
+
+// learnPS is PS ::= LinesMap(λx: Pos(x,p), LS)
+//
+//	| FilterInt(init, iter, PosSeq(R0, rr)).
+func (c *learnCtx) learnPS() core.SeqLearner {
+	linesMap := core.MapOp{
+		Name: "LinesMap",
+		Var:  lambdaVar,
+		F:    c.learnLinePos,
+		S:    c.learnLS(),
+		Decompose: func(st core.State, y []core.Value) ([]core.Value, error) {
+			r0, err := inputRegion(st)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]core.Value, len(y))
+			for i, v := range y {
+				k, ok := v.(int)
+				if !ok {
+					return nil, fmt.Errorf("textlang: position sequence output is %T, want int", v)
+				}
+				line, ok := lineContaining(r0, k, k)
+				if !ok {
+					return nil, core.ErrNoMatch
+				}
+				out[i] = line
+			}
+			return out, nil
+		},
+	}
+	filtered := core.FilterIntOp{S: c.learnPosSeq}
+	return core.UnionLearners(filtered.Learn, linesMap.Learn)
+}
+
+// learnPosSeq learns PosSeq(R0, rr) programs from positive position
+// instances.
+func (c *learnCtx) learnPosSeq(exs []core.SeqExample) []core.Program {
+	var spexs []tokens.SeqPosExample
+	for _, ex := range exs {
+		r0, err := inputRegion(ex.State)
+		if err != nil {
+			return nil
+		}
+		sp := tokens.SeqPosExample{S: r0.Value()}
+		for _, v := range ex.Positive {
+			k, ok := v.(int)
+			if !ok || k < r0.Start || k > r0.End {
+				return nil
+			}
+			sp.Ks = append(sp.Ks, k-r0.Start)
+		}
+		sort.Ints(sp.Ks)
+		spexs = append(spexs, sp)
+	}
+	pairs := tokens.LearnRegexPairs(spexs, c.toks)
+	out := make([]core.Program, len(pairs))
+	for i, rr := range pairs {
+		out[i] = posSeqProg{rr: rr}
+	}
+	return out
+}
+
+// ---- scalar learners for the map functions ----
+
+// learnLinePair learns λx: Pair(Pos(x,p1), Pos(x,p2)) from examples that
+// bind x to a line and output a region within that line.
+func (c *learnCtx) learnLinePair(exs []core.Example) []core.Program {
+	var sExs, eExs []tokens.PosExample
+	for _, ex := range exs {
+		x, err := lambdaRegion(ex.State)
+		if err != nil {
+			return nil
+		}
+		y, ok := ex.Output.(Region)
+		if !ok || !x.Contains(y) {
+			return nil
+		}
+		sExs = append(sExs, tokens.PosExample{S: x.Value(), K: y.Start - x.Start})
+		eExs = append(eExs, tokens.PosExample{S: x.Value(), K: y.End - x.Start})
+	}
+	p1s := capAttrs(tokens.LearnAttrs(sExs, c.toks), attrCap)
+	p2s := capAttrs(tokens.LearnAttrs(eExs, c.toks), attrCap)
+	var out []core.Program
+	for _, p1 := range p1s {
+		for _, p2 := range p2s {
+			out = append(out, linePairProg{p1: p1, p2: p2})
+		}
+	}
+	return out
+}
+
+// learnLinePos learns λx: Pos(x, p) from examples that bind x to a line
+// and output a position within that line.
+func (c *learnCtx) learnLinePos(exs []core.Example) []core.Program {
+	var pexs []tokens.PosExample
+	for _, ex := range exs {
+		x, err := lambdaRegion(ex.State)
+		if err != nil {
+			return nil
+		}
+		k, ok := ex.Output.(int)
+		if !ok || k < x.Start || k > x.End {
+			return nil
+		}
+		pexs = append(pexs, tokens.PosExample{S: x.Value(), K: k - x.Start})
+	}
+	attrs := capAttrs(tokens.LearnAttrs(pexs, c.toks), attrCap)
+	out := make([]core.Program, len(attrs))
+	for i, p := range attrs {
+		out[i] = linePosProg{p: p}
+	}
+	return out
+}
+
+// learnStartPair learns λx: Pair(x, Pos(R0[x:], p)) from examples that
+// bind x to a start position and output the region starting there.
+func (c *learnCtx) learnStartPair(exs []core.Example) []core.Program {
+	var pexs []tokens.PosExample
+	for _, ex := range exs {
+		x, err := lambdaPos(ex.State)
+		if err != nil {
+			return nil
+		}
+		r0, err := inputRegion(ex.State)
+		if err != nil {
+			return nil
+		}
+		y, ok := ex.Output.(Region)
+		if !ok || y.Start != x || y.End > r0.End {
+			return nil
+		}
+		pexs = append(pexs, tokens.PosExample{S: r0.Doc.Text[x:r0.End], K: y.End - x})
+	}
+	attrs := capAttrs(tokens.LearnAttrs(pexs, c.toks), attrCap)
+	out := make([]core.Program, len(attrs))
+	for i, p := range attrs {
+		out[i] = startPairProg{p: p}
+	}
+	return out
+}
+
+// learnEndPair learns λx: Pair(Pos(R0[:x], p), x) from examples that bind
+// x to an end position and output the region ending there.
+func (c *learnCtx) learnEndPair(exs []core.Example) []core.Program {
+	var pexs []tokens.PosExample
+	for _, ex := range exs {
+		x, err := lambdaPos(ex.State)
+		if err != nil {
+			return nil
+		}
+		r0, err := inputRegion(ex.State)
+		if err != nil {
+			return nil
+		}
+		y, ok := ex.Output.(Region)
+		if !ok || y.End != x || y.Start < r0.Start {
+			return nil
+		}
+		pexs = append(pexs, tokens.PosExample{S: r0.Doc.Text[r0.Start:x], K: y.Start - r0.Start})
+	}
+	attrs := capAttrs(tokens.LearnAttrs(pexs, c.toks), attrCap)
+	out := make([]core.Program, len(attrs))
+	for i, p := range attrs {
+		out[i] = endPairProg{p: p}
+	}
+	return out
+}
+
+// ---- line predicate learner ----
+
+// learnPred learns line predicates b by brute-force search over candidate
+// regexes derived from the first positive line (and its neighbor lines),
+// verified against all examples.
+func (c *learnCtx) learnPred(exs []core.Example) []core.Program {
+	if len(exs) == 0 {
+		return []core.Program{linePred{kind: predTrue}}
+	}
+	first, err := lambdaRegion(exs[0].State)
+	if err != nil {
+		return nil
+	}
+	cands := []linePred{{kind: predTrue}}
+	cands = append(cands, candidatesForLine(first.Value(), predStartsWith, predEndsWith, predContains, c.toks)...)
+	if r0, err := inputRegion(exs[0].State); err == nil {
+		lines := linesIn(r0)
+		for i, l := range lines {
+			if l != first {
+				continue
+			}
+			if i > 0 {
+				cands = append(cands, candidatesForLine(lines[i-1].Value(), predPredStartsWith, predPredEndsWith, predPredContains, c.toks)...)
+			}
+			if i+1 < len(lines) {
+				cands = append(cands, candidatesForLine(lines[i+1].Value(), predSuccStartsWith, predSuccEndsWith, predSuccContains, c.toks)...)
+			}
+			break
+		}
+	}
+
+	var out []core.Program
+	seen := map[string]bool{}
+	for _, cand := range cands {
+		key := cand.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		ok := true
+		for _, ex := range exs {
+			v, err := cand.Exec(ex.State)
+			if err != nil || v != core.Value(true) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// candidatesForLine generates predicate candidates whose regexes are
+// derived from the given line text: prefixes for the StartsWith form,
+// suffixes for EndsWith, and per-token occurrence counts for Contains.
+func candidatesForLine(text string, starts, ends, contains predKind, toks []tokens.Token) []linePred {
+	var out []linePred
+	for _, r := range tokens.SeqsStartingAt(text, 0, toks) {
+		if len(r) > 0 {
+			out = append(out, linePred{kind: starts, r: r})
+		}
+	}
+	for _, r := range tokens.SeqsEndingAt(text, len(text), toks) {
+		if len(r) > 0 {
+			out = append(out, linePred{kind: ends, r: r})
+		}
+	}
+	for _, t := range toks {
+		r := tokens.Regex{t}
+		if n := tokens.CountMatches(r, text); n > 0 {
+			out = append(out, linePred{kind: contains, r: r, k: n})
+		}
+	}
+	// Rank: standard-token and shorter regexes first; the paper relies on
+	// CleanUp for output minimality, ranking only breaks ties.
+	sort.SliceStable(out, func(i, j int) bool {
+		si := 2*out[i].r.DynamicCount() + len(out[i].r)
+		sj := 2*out[j].r.DynamicCount() + len(out[j].r)
+		return si < sj
+	})
+	return out
+}
+
+// ---- adapters to the engine interfaces ----
+
+type seqProgram struct{ p core.Program }
+
+func (sp seqProgram) ExtractSeq(r region.Region) ([]region.Region, error) {
+	in, ok := r.(Region)
+	if !ok {
+		return nil, fmt.Errorf("textlang: input is %T, want a text region", r)
+	}
+	v, err := sp.p.Exec(core.NewState(in))
+	if err != nil {
+		return nil, err
+	}
+	seq, err := core.AsSeq(v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]region.Region, len(seq))
+	for i, e := range seq {
+		er, ok := e.(Region)
+		if !ok {
+			return nil, fmt.Errorf("textlang: program produced %T, want region", e)
+		}
+		out[i] = er
+	}
+	return out, nil
+}
+
+func (sp seqProgram) String() string { return sp.p.String() }
+
+type regProgram struct{ p core.Program }
+
+func (rp regProgram) Extract(r region.Region) (region.Region, error) {
+	in, ok := r.(Region)
+	if !ok {
+		return nil, fmt.Errorf("textlang: input is %T, want a text region", r)
+	}
+	v, err := rp.p.Exec(core.NewState(in))
+	if err != nil {
+		// A non-matching region program denotes the null instance.
+		return nil, nil
+	}
+	er, ok := v.(Region)
+	if !ok {
+		return nil, fmt.Errorf("textlang: program produced %T, want region", v)
+	}
+	return er, nil
+}
+
+func (rp regProgram) String() string { return rp.p.String() }

@@ -1,0 +1,163 @@
+package xpath
+
+import (
+	"sort"
+
+	"flashextract/internal/htmldom"
+)
+
+// Learn generalizes example nodes — all descendants of root at the same
+// depth — into a ranked list of candidate paths, each of which selects (at
+// least) every example. This is the domain-specific wrapper-induction
+// learner of the webpage instantiation: inconsistent tags become
+// wildcards, and common class/id attributes and consistent sibling
+// positions become predicates. Candidates range from general (class
+// context, no positions) to specific (ids and positions).
+func Learn(root *htmldom.Node, examples []*htmldom.Node) []*Path {
+	if len(examples) == 0 {
+		return nil
+	}
+	levels, ok := buildLevels(root, examples)
+	if !ok {
+		return nil
+	}
+	variants := []struct {
+		class, id, index bool
+	}{
+		{class: true},                        // the generalizing default
+		{class: true, id: true},              // pinned by id
+		{class: true, index: true},           // positional
+		{},                                   // bare tags
+		{index: true},                        // tags + positions
+		{class: true, id: true, index: true}, // fully pinned
+	}
+	var out []*Path
+	seen := map[string]bool{}
+	for _, v := range variants {
+		p := buildPath(levels, v.class, v.id, v.index)
+		key := p.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if selectsAll(p, root, examples) {
+			out = append(out, p)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost() < out[j].Cost() })
+	return out
+}
+
+// levelInfo aggregates the example nodes at one depth.
+type levelInfo struct {
+	tag   string // common tag or "*"
+	class string // common class attribute value, or "" when inconsistent
+	hasCl bool
+	id    string
+	hasID bool
+	nodes []*htmldom.Node
+}
+
+func buildLevels(root *htmldom.Node, examples []*htmldom.Node) ([]levelInfo, bool) {
+	chains := make([][]*htmldom.Node, len(examples))
+	for i, ex := range examples {
+		chain := ex.PathFromRoot(root)
+		if chain == nil {
+			return nil, false
+		}
+		chains[i] = chain
+		if len(chain) != len(chains[0]) {
+			return nil, false // different depths: a single path cannot cover them
+		}
+	}
+	depth := len(chains[0])
+	levels := make([]levelInfo, depth)
+	for l := 0; l < depth; l++ {
+		info := levelInfo{tag: chains[0][l].Tag, hasCl: true, hasID: true}
+		for i, chain := range chains {
+			n := chain[l]
+			info.nodes = append(info.nodes, n)
+			if n.Tag != info.tag {
+				info.tag = "*"
+			}
+			cl, ok := n.Attr("class")
+			if !ok || (i > 0 && cl != info.class) {
+				info.hasCl = false
+			} else {
+				info.class = cl
+			}
+			id, ok := n.Attr("id")
+			if !ok || (i > 0 && id != info.id) {
+				info.hasID = false
+			} else {
+				info.id = id
+			}
+		}
+		levels[l] = info
+	}
+	return levels, true
+}
+
+func buildPath(levels []levelInfo, withClass, withID, withIndex bool) *Path {
+	p := &Path{}
+	for _, info := range levels {
+		s := Step{Tag: info.tag}
+		if withClass && info.hasCl {
+			s.Attrs = append(s.Attrs, htmldom.Attr{Key: "class", Val: info.class})
+		}
+		if withID && info.hasID {
+			s.Attrs = append(s.Attrs, htmldom.Attr{Key: "id", Val: info.id})
+		}
+		if withIndex {
+			if idx, ok := commonIndex(info.nodes, s); ok {
+				s.Index = idx
+			}
+		}
+		p.Steps = append(p.Steps, s)
+	}
+	return p
+}
+
+// commonIndex returns the position of every node among its siblings
+// matching the step, when that position is the same for all nodes.
+func commonIndex(nodes []*htmldom.Node, s Step) (int, bool) {
+	idx := 0
+	for i, n := range nodes {
+		if n.Parent == nil {
+			return 0, false
+		}
+		pos, count := 0, 0
+		for _, c := range n.Parent.Children {
+			if s.matches(c) {
+				count++
+			}
+			if c == n {
+				pos = count
+				break
+			}
+		}
+		if pos == 0 {
+			return 0, false
+		}
+		if i == 0 {
+			idx = pos
+		} else if pos != idx {
+			return 0, false
+		}
+	}
+	return idx, true
+}
+
+func selectsAll(p *Path, root *htmldom.Node, examples []*htmldom.Node) bool {
+	selected := p.Select(root)
+	inSel := map[*htmldom.Node]bool{}
+	for _, n := range selected {
+		inSel[n] = true
+	}
+	for _, ex := range examples {
+		if !inSel[ex] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,209 @@
+// Package xpath implements the XPath subset used by the webpage
+// instantiation of FlashExtract (§5.2): absolute child-axis paths with tag
+// names or wildcards, attribute-equality predicates, and positional
+// predicates — e.g.
+//
+//	/html/body/div[@class='result'][2]/*/span[@id='price']
+//
+// together with the wrapper-induction learner that generalizes example
+// nodes into ranked path candidates (wildcards for inconsistent tags,
+// class/id predicates, optional positional predicates).
+package xpath
+
+import (
+	"fmt"
+	"strings"
+
+	"flashextract/internal/htmldom"
+)
+
+// Step is one location step of a path: a tag test (or "*") plus optional
+// predicates.
+type Step struct {
+	// Tag is the lowercase element tag, or "*" for any element.
+	Tag string
+	// Attrs are attribute-equality predicates, e.g. class='result'.
+	Attrs []htmldom.Attr
+	// Index is the 1-based position among the sibling elements matching
+	// the step's tag and attribute predicates; 0 means no positional
+	// predicate.
+	Index int
+}
+
+func (s Step) String() string {
+	var b strings.Builder
+	b.WriteString(s.Tag)
+	for _, a := range s.Attrs {
+		fmt.Fprintf(&b, "[@%s='%s']", a.Key, a.Val)
+	}
+	if s.Index > 0 {
+		fmt.Fprintf(&b, "[%d]", s.Index)
+	}
+	return b.String()
+}
+
+// matches reports whether a node satisfies the step's tag and attribute
+// predicates (the positional predicate is handled by Select).
+func (s Step) matches(n *htmldom.Node) bool {
+	if n.Type != htmldom.ElementNode {
+		return false
+	}
+	if s.Tag != "*" && n.Tag != s.Tag {
+		return false
+	}
+	for _, a := range s.Attrs {
+		v, ok := n.Attr(a.Key)
+		if !ok || v != a.Val {
+			return false
+		}
+	}
+	return true
+}
+
+// Path is an absolute child-axis path evaluated from a context node.
+type Path struct {
+	Steps []Step
+}
+
+func (p *Path) String() string {
+	if len(p.Steps) == 0 {
+		return "/."
+	}
+	var b strings.Builder
+	for _, s := range p.Steps {
+		b.WriteString("/")
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// Select returns the nodes reached from root by the path, in document
+// order.
+func (p *Path) Select(root *htmldom.Node) []*htmldom.Node {
+	cur := []*htmldom.Node{root}
+	for _, step := range p.Steps {
+		var next []*htmldom.Node
+		for _, n := range cur {
+			if step.Index > 0 {
+				count := 0
+				for _, c := range n.Children {
+					if step.matches(c) {
+						count++
+						if count == step.Index {
+							next = append(next, c)
+							break
+						}
+					}
+				}
+				continue
+			}
+			for _, c := range n.Children {
+				if step.matches(c) {
+					next = append(next, c)
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// Cost is the heuristic ranking score of the path: wildcards, positional
+// predicates, and id pins make a path less likely to capture a repeating
+// intent than tag names with class context.
+func (p *Path) Cost() int {
+	c := 3 * len(p.Steps)
+	for _, s := range p.Steps {
+		if s.Tag == "*" {
+			c += 2
+		}
+		if s.Index > 0 {
+			c += 3
+		}
+		for _, a := range s.Attrs {
+			if a.Key == "id" {
+				c++
+			} else {
+				c--
+			}
+		}
+	}
+	return c
+}
+
+// Parse parses the textual form of a path.
+func Parse(expr string) (*Path, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" || expr[0] != '/' {
+		return nil, fmt.Errorf("xpath: path must start with '/': %q", expr)
+	}
+	p := &Path{}
+	rest := expr
+	for rest != "" {
+		if rest[0] != '/' {
+			return nil, fmt.Errorf("xpath: expected '/' at %q", rest)
+		}
+		rest = rest[1:]
+		end := strings.IndexByte(rest, '/')
+		var raw string
+		if end < 0 {
+			raw, rest = rest, ""
+		} else {
+			raw, rest = rest[:end], rest[end:]
+		}
+		step, err := parseStep(raw)
+		if err != nil {
+			return nil, err
+		}
+		p.Steps = append(p.Steps, step)
+	}
+	return p, nil
+}
+
+func parseStep(raw string) (Step, error) {
+	var s Step
+	i := 0
+	for i < len(raw) && raw[i] != '[' {
+		i++
+	}
+	s.Tag = strings.ToLower(strings.TrimSpace(raw[:i]))
+	if s.Tag == "" {
+		return s, fmt.Errorf("xpath: empty step in %q", raw)
+	}
+	for i < len(raw) {
+		if raw[i] != '[' {
+			return s, fmt.Errorf("xpath: expected '[' in step %q", raw)
+		}
+		close := strings.IndexByte(raw[i:], ']')
+		if close < 0 {
+			return s, fmt.Errorf("xpath: unterminated predicate in %q", raw)
+		}
+		pred := raw[i+1 : i+close]
+		i += close + 1
+		if strings.HasPrefix(pred, "@") {
+			eq := strings.IndexByte(pred, '=')
+			if eq < 0 {
+				return s, fmt.Errorf("xpath: attribute predicate %q needs '='", pred)
+			}
+			key := strings.ToLower(pred[1:eq])
+			val := strings.Trim(pred[eq+1:], "'\"")
+			s.Attrs = append(s.Attrs, htmldom.Attr{Key: key, Val: val})
+			continue
+		}
+		n := 0
+		for _, c := range pred {
+			if c < '0' || c > '9' {
+				return s, fmt.Errorf("xpath: bad positional predicate %q", pred)
+			}
+			n = n*10 + int(c-'0')
+		}
+		if n == 0 {
+			return s, fmt.Errorf("xpath: positional predicate must be ≥ 1 in %q", raw)
+		}
+		s.Index = n
+	}
+	return s, nil
+}

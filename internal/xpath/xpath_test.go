@@ -1,0 +1,247 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+
+	"flashextract/internal/htmldom"
+)
+
+const shopPage = `<html><body>
+<div class="list">
+  <div class="product" id="p1"><span class="name">Widget</span><span class="price">$9.99</span></div>
+  <div class="product" id="p2"><span class="name">Gadget</span><span class="price">$19.50</span></div>
+  <div class="ad"><span class="name">Buy now!</span></div>
+  <div class="product" id="p3"><span class="name">Doohickey</span><span class="price">$3.25</span></div>
+</div>
+</body></html>`
+
+func shop(t *testing.T) *htmldom.Node {
+	t.Helper()
+	return htmldom.MustParse(shopPage)
+}
+
+func names(ns []*htmldom.Node) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = strings.TrimSpace(n.TextContent())
+	}
+	return out
+}
+
+func TestSelectByClass(t *testing.T) {
+	doc := shop(t)
+	p, err := Parse(`/html/body/div/div[@class='product']/span[@class='name']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := names(p.Select(doc))
+	want := []string{"Widget", "Gadget", "Doohickey"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("Select = %v, want %v", got, want)
+	}
+}
+
+func TestSelectWildcardAndIndex(t *testing.T) {
+	doc := shop(t)
+	p, err := Parse(`/html/body/*/div[2]/span[1]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := names(p.Select(doc))
+	if len(got) != 1 || got[0] != "Gadget" {
+		t.Fatalf("Select = %v", got)
+	}
+}
+
+func TestSelectIndexWithAttrPredicate(t *testing.T) {
+	doc := shop(t)
+	// The 3rd *product* div is Doohickey (the ad does not count).
+	p, err := Parse(`/html/body/div/div[@class='product'][3]/span[@class='name']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := names(p.Select(doc))
+	if len(got) != 1 || got[0] != "Doohickey" {
+		t.Fatalf("Select = %v", got)
+	}
+}
+
+func TestSelectNoMatch(t *testing.T) {
+	doc := shop(t)
+	p, _ := Parse(`/html/body/table/tr`)
+	if got := p.Select(doc); got != nil {
+		t.Fatalf("Select = %v, want nil", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, expr := range []string{
+		`/html/body/div`,
+		`/html/body/div[@class='product'][2]/span[@id='x']`,
+		`/*/div[3]`,
+	} {
+		p, err := Parse(expr)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", expr, err)
+		}
+		if p.String() != expr {
+			t.Fatalf("round trip %q → %q", expr, p.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, expr := range []string{
+		``, `html/body`, `/div[`, `/div[@class]`, `/div[x]`, `/div[0]`, `//div`,
+	} {
+		if _, err := Parse(expr); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", expr)
+		}
+	}
+}
+
+func TestLearnGeneralizesFromTwoExamples(t *testing.T) {
+	doc := shop(t)
+	nameSpans := doc.FindAll(func(n *htmldom.Node) bool {
+		return n.Tag == "span" && n.HasClass("name") && n.Parent.HasClass("product")
+	})
+	if len(nameSpans) != 3 {
+		t.Fatalf("setup: %d name spans", len(nameSpans))
+	}
+	paths := Learn(doc, nameSpans[:2])
+	if len(paths) == 0 {
+		t.Fatal("no paths learned")
+	}
+	top := paths[0]
+	got := names(top.Select(doc))
+	want := []string{"Widget", "Gadget", "Doohickey"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("top path %s selects %v, want %v", top, got, want)
+	}
+	// The ad's name span must be excluded by the class context.
+	for _, g := range got {
+		if g == "Buy now!" {
+			t.Fatalf("top path %s selected the ad", top)
+		}
+	}
+}
+
+func TestLearnSingleExampleIncludesPinnedVariant(t *testing.T) {
+	doc := shop(t)
+	p2 := doc.Find(func(n *htmldom.Node) bool {
+		if v, ok := n.Attr("id"); ok && v == "p2" {
+			return true
+		}
+		return false
+	})
+	paths := Learn(doc, []*htmldom.Node{p2})
+	if len(paths) == 0 {
+		t.Fatal("no paths learned")
+	}
+	var pinned *Path
+	for _, p := range paths {
+		sel := p.Select(doc)
+		if len(sel) == 1 && sel[0] == p2 {
+			pinned = p
+			break
+		}
+	}
+	if pinned == nil {
+		t.Fatal("no variant pins the single example")
+	}
+	// Every learned path must select the example.
+	for _, p := range paths {
+		found := false
+		for _, n := range p.Select(doc) {
+			if n == p2 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("path %s does not select its example", p)
+		}
+	}
+}
+
+func TestLearnRanksClassContextAboveIndex(t *testing.T) {
+	doc := shop(t)
+	products := doc.FindAll(func(n *htmldom.Node) bool { return n.HasClass("product") })
+	paths := Learn(doc, products[:2])
+	if len(paths) == 0 {
+		t.Fatal("no paths learned")
+	}
+	top := paths[0]
+	if got := len(top.Select(doc)); got != 3 {
+		t.Fatalf("top path %s selects %d nodes, want all 3 products", top, got)
+	}
+}
+
+func TestLearnDifferentDepthsFails(t *testing.T) {
+	doc := shop(t)
+	list := doc.Find(func(n *htmldom.Node) bool { return n.HasClass("list") })
+	name := doc.Find(func(n *htmldom.Node) bool { return n.HasClass("name") })
+	if paths := Learn(doc, []*htmldom.Node{list, name}); paths != nil {
+		t.Fatalf("expected nil for mixed depths, got %v", paths)
+	}
+}
+
+func TestLearnForeignNodeFails(t *testing.T) {
+	doc := shop(t)
+	other := htmldom.MustParse("<p>x</p>")
+	p := other.Find(func(n *htmldom.Node) bool { return n.Tag == "p" })
+	if paths := Learn(doc, []*htmldom.Node{p}); paths != nil {
+		t.Fatal("expected nil for a node outside the root")
+	}
+}
+
+func TestLearnEmpty(t *testing.T) {
+	if got := Learn(shop(t), nil); got != nil {
+		t.Fatal("expected nil for no examples")
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	classy, _ := Parse(`/div[@class='a']/span[@class='b']`)
+	indexed, _ := Parse(`/div[2]/span[3]`)
+	starred, _ := Parse(`/*/*`)
+	if !(classy.Cost() < indexed.Cost()) {
+		t.Fatalf("class path should rank above indexed: %d vs %d", classy.Cost(), indexed.Cost())
+	}
+	if !(classy.Cost() < starred.Cost()) {
+		t.Fatalf("class path should rank above starred: %d vs %d", classy.Cost(), starred.Cost())
+	}
+}
+
+func TestEmptyPathSelectsRoot(t *testing.T) {
+	doc := shop(t)
+	p := &Path{}
+	sel := p.Select(doc)
+	if len(sel) != 1 || sel[0] != doc {
+		t.Fatalf("empty path = %v", sel)
+	}
+	if p.String() != "/." {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestParseArbitraryInputNoPanic(t *testing.T) {
+	rng := uint64(99)
+	next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+	for i := 0; i < 300; i++ {
+		n := int(next() % 24)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = "/*[]@='abz019 "[next()%14]
+		}
+		src := string(b)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}

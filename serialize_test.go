@@ -1,0 +1,200 @@
+package flashextract_test
+
+import (
+	"strings"
+	"testing"
+
+	"flashextract"
+)
+
+// learnAll materializes every schema field from the given examples.
+func learnAll(t *testing.T, s *flashextract.Session, examples map[string][]flashextract.Region) {
+	t.Helper()
+	for _, fi := range s.Schema().Fields() {
+		for _, r := range examples[fi.Color()] {
+			if err := s.AddPositive(fi.Color(), r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, _, err := s.Learn(fi.Color()); err != nil {
+			t.Fatalf("learning %s: %v", fi.Color(), err)
+		}
+		if err := s.Commit(fi.Color()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSaveLoadTextProgram(t *testing.T) {
+	doc := flashextract.NewTextDocument(report)
+	sch := flashextract.MustParseSchema(`
+		Seq([yellow] Struct(Analyte: [magenta] String, Mass: [violet] Int))`)
+	s := flashextract.NewSession(doc, sch)
+	l0, _ := doc.FindRegion(`ICP,""Be"",9,0.070073`, 0)
+	l1, _ := doc.FindRegion(`ICP,""Sc"",45,0.042397`, 0)
+	be, _ := doc.FindRegion("Be", 0)
+	nine, _ := doc.FindRegion("9,", 0)
+	learnAll(t, s, map[string][]flashextract.Region{
+		"yellow":  {l0, l1},
+		"magenta": {be},
+		"violet":  {doc.Region(nine.Start, nine.Start+1)},
+	})
+	q, err := s.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := flashextract.SaveProgram(q, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "flashextract-program/1") {
+		t.Fatalf("artifact missing format marker:\n%s", data)
+	}
+
+	// Load and run on a DIFFERENT document.
+	other := flashextract.NewTextDocument(`DLZ - Summary Report
+
+"Sample ID:,""9001-07"""
+Analyte,"Mass","Conc. Mean"
+ICP,""Fe"",56,0.120073
+ICP,""Cu"",63,0.042399
+`)
+	loaded, err := flashextract.LoadProgram(data, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, _, err := loaded.Run(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := flashextract.ToCSV(sch, inst)
+	for _, want := range []string{"Fe,56", "Cu,63"} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("loaded program output missing %s:\n%s", want, csv)
+		}
+	}
+
+	// The loaded program must behave identically to the original.
+	origInst, _, err := q.Run(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flashextract.ToJSON(origInst) != flashextract.ToJSON(inst) {
+		t.Fatal("loaded program diverges from the original")
+	}
+}
+
+func TestSaveLoadWebProgram(t *testing.T) {
+	page := `<html><body><div class="list">
+<div class="product"><span class="name">Widget</span><span class="price">$9.99</span></div>
+<div class="product"><span class="name">Gadget</span><span class="price">$19.50</span></div>
+</div></body></html>`
+	doc, err := flashextract.NewWebDocument(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := flashextract.MustParseSchema(`Seq([p] Struct(Name: [n] String, Num: [pn] Float))`)
+	s := flashextract.NewSession(doc, sch)
+	products := doc.Root.FindAll(flashextract.NodeHasClass("product"))
+	names := doc.Root.FindAll(flashextract.NodeHasClass("name"))
+	num, _ := doc.FindSpan("9.99", 0)
+	learnAll(t, s, map[string][]flashextract.Region{
+		"p":  {doc.NodeOf(products[0])},
+		"n":  {doc.NodeOf(names[0])},
+		"pn": {num},
+	})
+	q, err := s.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := flashextract.SaveProgram(q, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := flashextract.NewWebDocument(`<html><body><div class="list">
+<div class="product"><span class="name">Sprocket</span><span class="price">$42.00</span></div>
+<div class="product"><span class="name">Flange</span><span class="price">$7.77</span></div>
+<div class="product"><span class="name">Grommet</span><span class="price">$1.05</span></div>
+</div></body></html>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := flashextract.LoadProgram(data, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, _, err := loaded.Run(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := flashextract.ToCSV(sch, inst)
+	for _, want := range []string{"Sprocket,42.00", "Flange,7.77", "Grommet,1.05"} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("loaded web program output missing %s:\n%s", want, csv)
+		}
+	}
+}
+
+func TestSaveLoadSheetProgram(t *testing.T) {
+	doc, err := flashextract.NewSheetDocument(`Name,Qty
+Bolt,500
+Nut,480
+Washer,900
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := flashextract.MustParseSchema(`Seq([rec] Struct(Part: [pt] String, Qty: [q] Int))`)
+	s := flashextract.NewSession(doc, sch)
+	learnAll(t, s, map[string][]flashextract.Region{
+		"rec": {doc.Rect(1, 0, 1, 1), doc.Rect(2, 0, 2, 1)},
+		"pt":  {doc.CellAt(1, 0)},
+		"q":   {doc.CellAt(1, 1)},
+	})
+	q, err := s.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := flashextract.SaveProgram(q, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := flashextract.NewSheetDocument(`Name,Qty
+Anchor,120
+Screw,650
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := flashextract.LoadProgram(data, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, _, err := loaded.Run(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := flashextract.ToCSV(sch, inst)
+	for _, want := range []string{"Anchor,120", "Screw,650"} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("loaded sheet program output missing %s:\n%s", want, csv)
+		}
+	}
+}
+
+func TestLoadProgramErrors(t *testing.T) {
+	doc := flashextract.NewTextDocument("x")
+	if _, err := flashextract.LoadProgram([]byte("not json"), doc); err == nil {
+		t.Fatal("junk accepted")
+	}
+	if _, err := flashextract.LoadProgram([]byte(`{"format":"other/9"}`), doc); err == nil {
+		t.Fatal("wrong format accepted")
+	}
+	if _, err := flashextract.LoadProgram([]byte(`{"format":"flashextract-program/1","schema":"Seq("}`), doc); err == nil {
+		t.Fatal("bad schema accepted")
+	}
+	if _, err := flashextract.LoadProgram([]byte(
+		`{"format":"flashextract-program/1","schema":"Seq([x] String)","fields":[{"color":"zzz","kind":"seq","body":{}}]}`), doc); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
