@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench bench-synth
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is what CI runs: compile everything, vet, and the race-enabled
+# test suite (which subsumes the plain one).
+check: build vet race
+
+bench:
+	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+# bench-synth regenerates the task section of BENCH_synth.json.
+bench-synth:
+	$(GO) run ./cmd/flashbench -synth-json BENCH_synth_tasks.json -domain text

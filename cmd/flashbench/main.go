@@ -7,12 +7,15 @@
 //
 //	flashbench [-domain text|web|sheet|all] [-fig 10|11|both] [-summary]
 //	flashbench -doc hadoop -v
+//	flashbench -synth-json BENCH_synth.json -reps 3
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"flashextract/internal/bench"
 	"flashextract/internal/bench/corpus"
@@ -25,6 +28,8 @@ func main() {
 	docName := flag.String("doc", "", "evaluate a single document by name")
 	mode := flag.String("mode", "bottom", "evaluation mode: bottom (⊥-relative, the paper's hardest case), topdown (ancestor-relative sessions), or transfer (learn on one page, run on a same-layout page; web domain)")
 	verbose := flag.Bool("v", false, "per-field detail")
+	synthJSON := flag.String("synth-json", "", "measure end-to-end field synthesis and write machine-readable JSON to this file ('-' for stdout); includes the large stress documents")
+	reps := flag.Int("reps", 3, "repetitions per task in -synth-json mode")
 	flag.Parse()
 
 	var tasks []*bench.Task
@@ -49,6 +54,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *synthJSON != "" {
+		if *docName == "" && (*domain == "text" || *domain == "all") {
+			tasks = append(tasks, corpus.Large()...)
+		}
+		runSynthBench(tasks, *reps, *synthJSON)
+		return
+	}
 	if *mode == "transfer" {
 		runTransferMode()
 		return
@@ -106,6 +118,51 @@ func main() {
 
 	fmt.Println("== Summary (§6) ==")
 	bench.WriteSummary(os.Stdout, bench.Summarize(results))
+}
+
+// synthReport is the machine-readable envelope of -synth-json mode.
+type synthReport struct {
+	Schema    string              `json:"schema"`
+	GoMaxProc int                 `json:"gomaxprocs"`
+	Reps      int                 `json:"reps"`
+	Tasks     []bench.SynthTiming `json:"tasks"`
+}
+
+// runSynthBench measures end-to-end field synthesis per task and writes
+// the timings as JSON (the data behind BENCH_synth.json).
+func runSynthBench(tasks []*bench.Task, reps int, path string) {
+	if reps < 1 {
+		reps = 1
+	}
+	report := synthReport{
+		Schema:    "flashextract-synth-bench/v1",
+		GoMaxProc: runtime.GOMAXPROCS(0),
+		Reps:      reps,
+	}
+	for _, task := range tasks {
+		st, err := bench.MeasureSynth(task, reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flashbench: %s: %v\n", task.Name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%-14s %-6s %8d B  best %12d ns  mean %12d ns\n",
+			st.Name, st.Domain, st.DocBytes, st.BestNs, st.MeanNs)
+		report.Tasks = append(report.Tasks, st)
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 // runTransferMode evaluates the §2 transfer workflow over the webpage

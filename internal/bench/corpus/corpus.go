@@ -22,9 +22,10 @@ func All() []*bench.Task {
 	return out
 }
 
-// ByName returns the task with the given document name, or nil.
+// ByName returns the task with the given document name, or nil. The
+// stress documents of Large are addressable alongside the paper corpus.
 func ByName(name string) *bench.Task {
-	for _, t := range All() {
+	for _, t := range AllWithLarge() {
 		if t.Name == name {
 			return t
 		}

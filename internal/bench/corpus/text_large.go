@@ -1,0 +1,95 @@
+package corpus
+
+import (
+	"fmt"
+
+	"flashextract/internal/bench"
+	"flashextract/internal/textlang"
+)
+
+// Large returns outsized stress documents that exercise the synthesis hot
+// loop at production scale. They are kept out of All() so the paper's
+// Fig. 10/11 reproduction keeps its original 75-document corpus; the
+// synthesis benchmarks and flashbench address them by name or via
+// AllWithLarge.
+func Large() []*bench.Task {
+	return []*bench.Task{textHadoopXL()}
+}
+
+// AllWithLarge returns the full benchmark plus the stress documents.
+func AllWithLarge() []*bench.Task {
+	return append(All(), Large()...)
+}
+
+// LargestText returns the text-domain task with the longest document,
+// considering both the paper corpus and the stress documents.
+func LargestText() *bench.Task {
+	var best *bench.Task
+	bestLen := -1
+	for _, t := range append(Text(), Large()...) {
+		if t.Domain != "text" {
+			continue
+		}
+		if n := textLen(t); n > bestLen {
+			best, bestLen = t, n
+		}
+	}
+	return best
+}
+
+func textLen(t *bench.Task) int {
+	if d, ok := t.Doc.(*textlang.Document); ok {
+		return len(d.Text)
+	}
+	return 0
+}
+
+// textHadoopXL scales the "hadoop" DataNode log to ~100 KB: thousands of
+// records with varied levels, components, and free-text messages. The
+// schema is the hadoop task's; every timestamp and every WARN message is
+// golden, so ⊥-relative synthesis must learn position sequences over the
+// entire document — the worst case of Fig. 11.
+func textHadoopXL() *bench.Task {
+	b := newTextBuilder()
+	b.raw("DataNode log excerpt (extended capture)\n")
+	components := []string{"dn.storage", "dn.ipc", "dn.scanner", "dn.web"}
+	infoMsgs := []string{
+		"Block pool registered",
+		"Heartbeat sent to namenode",
+		"Scanning block pool",
+		"Scan finished",
+		"Received block from client",
+		"Deleted replica as instructed",
+		"Verification succeeded for blk",
+	}
+	warnMsgs := []string{
+		"Disk latency above threshold",
+		"Replica count below target",
+		"Checksum mismatch during scan",
+		"Slow flush to disk detected",
+		"Namenode connection retried",
+	}
+	// Deterministic LCG so the document (and its golden regions) is stable
+	// across runs without importing math/rand.
+	seed := uint64(0x5DEECE66D)
+	next := func(n int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int((seed >> 33) % uint64(n))
+	}
+	const records = 1400
+	for i := 0; i < records; i++ {
+		ts := fmt.Sprintf("2013-02-%02d %02d:%02d:%02d",
+			11+i/86400, (i/3600)%24, (i/60)%60, i%60)
+		b.field("ts", ts)
+		comp := components[next(len(components))]
+		if next(4) == 0 {
+			b.rawf(" %s WARN: ", comp)
+			b.field("warnmsg", warnMsgs[next(len(warnMsgs))])
+		} else {
+			b.rawf(" %s INFO: ", comp)
+			b.raw(infoMsgs[next(len(infoMsgs))])
+		}
+		b.raw("\n")
+	}
+	return b.task("hadoop-xl", `Struct(Stamps: Seq([ts] String), Warnings: Seq([warnmsg] String))`)
+}

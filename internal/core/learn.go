@@ -1,5 +1,11 @@
 package core
 
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
 // Example is a scalar input/output example: running the desired program in
 // State must produce exactly Output.
 type Example struct {
@@ -40,12 +46,31 @@ func capList(ps []Program, limit int) []Program {
 
 // UnionLearners combines the rule learners of a non-terminal: the result is
 // the concatenation of each learner's results, in rule order (the N.Learn
-// procedure of Fig. 6).
+// procedure of Fig. 6). The rule learners are independent, so they run
+// concurrently when spare processors exist; their results are stitched
+// back together in rule order, keeping ranking identical to a serial run.
 func UnionLearners(learners ...SeqLearner) SeqLearner {
 	return func(exs []SeqExample) []Program {
+		if len(learners) < 2 || runtime.GOMAXPROCS(0) < 2 {
+			var out []Program
+			for _, l := range learners {
+				out = append(out, l(exs)...)
+			}
+			return out
+		}
+		parts := make([][]Program, len(learners))
+		var wg sync.WaitGroup
+		for i, l := range learners {
+			wg.Add(1)
+			go func(i int, l SeqLearner) {
+				defer wg.Done()
+				parts[i] = l(exs)
+			}(i, l)
+		}
+		wg.Wait()
 		var out []Program
-		for _, l := range learners {
-			out = append(out, l(exs)...)
+		for _, p := range parts {
+			out = append(out, p...)
 		}
 		return out
 	}
@@ -54,9 +79,26 @@ func UnionLearners(learners ...SeqLearner) SeqLearner {
 // UnionScalarLearners is UnionLearners for scalar non-terminals.
 func UnionScalarLearners(learners ...ScalarLearner) ScalarLearner {
 	return func(exs []Example) []Program {
+		if len(learners) < 2 || runtime.GOMAXPROCS(0) < 2 {
+			var out []Program
+			for _, l := range learners {
+				out = append(out, l(exs)...)
+			}
+			return out
+		}
+		parts := make([][]Program, len(learners))
+		var wg sync.WaitGroup
+		for i, l := range learners {
+			wg.Add(1)
+			go func(i int, l ScalarLearner) {
+				defer wg.Done()
+				parts[i] = l(exs)
+			}(i, l)
+		}
+		wg.Wait()
 		var out []Program
-		for _, l := range learners {
-			out = append(out, l(exs)...)
+		for _, p := range parts {
+			out = append(out, p...)
 		}
 		return out
 	}
@@ -65,7 +107,7 @@ func UnionScalarLearners(learners ...ScalarLearner) ScalarLearner {
 // execSeq runs a program expected to return a sequence; ok is false when
 // execution fails or the result is not a sequence.
 func execSeq(p Program, st State) ([]Value, bool) {
-	v, err := p.Exec(st)
+	v, err := execMemoized(p, st)
 	if err != nil {
 		return nil, false
 	}
@@ -129,6 +171,12 @@ func hasOverlappingOutput(p Program, exs []SeqExample, overlaps func(a, b Value)
 		if !ok {
 			continue
 		}
+		if hit, ok := intervalOverlap(out); ok {
+			if hit {
+				return true
+			}
+			continue
+		}
 		for i := 0; i < len(out); i++ {
 			for j := i + 1; j < len(out); j++ {
 				if !Eq(out[i], out[j]) && overlaps(out[i], out[j]) {
@@ -138,4 +186,78 @@ func hasOverlappingOutput(p Program, exs []SeqExample, overlaps func(a, b Value)
 		}
 	}
 	return false
+}
+
+// intervalOverlap is the O(n log n) pairwise-overlap check over outputs
+// that all implement Interval (see that type's contract). It reports
+// (overlapping, applicable); applicable is false when any output lacks the
+// interface, in which case the caller falls back to the exact pairwise
+// loop. A pair of outputs overlaps exactly when their spaces match, their
+// intervals strictly intersect, and they are not Eq — which by the
+// contract means not span-identical.
+func intervalOverlap(out []Value) (overlapping, applicable bool) {
+	if len(out) < 2 {
+		_, ok := firstNonInterval(out)
+		return false, !ok
+	}
+	type span struct{ start, end int }
+	groups := map[any][]span{}
+	for _, v := range out {
+		iv, ok := v.(Interval)
+		if !ok {
+			return false, false
+		}
+		space, s, e := iv.Interval()
+		groups[space] = append(groups[space], span{s, e})
+	}
+	const minInt = -int(^uint(0)>>1) - 1
+	for _, g := range groups {
+		if len(g) < 2 {
+			continue
+		}
+		sort.Slice(g, func(i, j int) bool {
+			if g[i].start != g[j].start {
+				return g[i].start < g[j].start
+			}
+			return g[i].end < g[j].end
+		})
+		// strictMax: max end among spans starting strictly before the
+		// current start run; runMax: max end within the run. A span
+		// overlaps an earlier-starting span iff that span ends past its
+		// start, and a same-start span iff both are non-empty.
+		strictMax, runMax, runStart := minInt, minInt, g[0].start
+		for i, v := range g {
+			if i > 0 && v == g[i-1] {
+				continue // Eq duplicate by the Interval contract
+			}
+			if v.start != runStart {
+				if runMax > strictMax {
+					strictMax = runMax
+				}
+				runMax = minInt
+				runStart = v.start
+			}
+			if strictMax > v.start {
+				return true, true
+			}
+			if runMax > v.start && v.end > v.start {
+				return true, true
+			}
+			if v.end > runMax {
+				runMax = v.end
+			}
+		}
+	}
+	return false, true
+}
+
+// firstNonInterval reports whether out contains a value that does not
+// implement Interval (and returns the first such value).
+func firstNonInterval(out []Value) (Value, bool) {
+	for _, v := range out {
+		if _, ok := v.(Interval); !ok {
+			return v, true
+		}
+	}
+	return nil, false
 }

@@ -44,8 +44,35 @@ type MapProgram struct {
 
 // Exec implements strict Map semantics: an error from F on any element
 // fails the whole Map.
+// execMemoized executes p in st, consulting the state's execution memo for
+// the sequence operators. Non-operator programs and memo-less states run
+// directly. The memoized Value is shared; consumers must not mutate the
+// returned sequence.
+func execMemoized(p Program, st State) (Value, error) {
+	if st.memo == nil {
+		return p.Exec(st)
+	}
+	switch p.(type) {
+	case *MapProgram, *FilterBoolProgram, *FilterIntProgram, *MergeProgram:
+	default:
+		return p.Exec(st)
+	}
+	key := execMemoKey{p: p, frame: st.frame}
+	st.memo.mu.Lock()
+	val, hit := st.memo.m[key]
+	st.memo.mu.Unlock()
+	if hit {
+		return val.v, val.err
+	}
+	v, err := p.Exec(st)
+	st.memo.mu.Lock()
+	st.memo.m[key] = execMemoVal{v: v, err: err}
+	st.memo.mu.Unlock()
+	return v, err
+}
+
 func (p *MapProgram) Exec(st State) (Value, error) {
-	sv, err := p.S.Exec(st)
+	sv, err := execMemoized(p.S, st)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +105,7 @@ type FilterBoolProgram struct {
 
 // Exec evaluates B on every element of S and keeps the satisfying ones.
 func (p *FilterBoolProgram) Exec(st State) (Value, error) {
-	sv, err := p.S.Exec(st)
+	sv, err := execMemoized(p.S, st)
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +147,7 @@ type FilterIntProgram struct {
 
 // Exec selects elements at indices Init, Init+Iter, Init+2·Iter, ….
 func (p *FilterIntProgram) Exec(st State) (Value, error) {
-	sv, err := p.S.Exec(st)
+	sv, err := execMemoized(p.S, st)
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +183,7 @@ type MergeProgram struct {
 func (p *MergeProgram) Exec(st State) (Value, error) {
 	var all []Value
 	for _, a := range p.Args {
-		v, err := a.Exec(st)
+		v, err := execMemoized(a, st)
 		if err != nil {
 			return nil, err
 		}

@@ -11,7 +11,10 @@
 // of integers and pointers), or implement the Equaler interface.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Value is a value produced or consumed by a DSL program: a region, a
 // position, a line, a boolean, or a sequence ([]Value) of these.
@@ -21,6 +24,24 @@ type Value = any
 // comparable with ==.
 type Equaler interface {
 	EqValue(other Value) bool
+}
+
+// Interval may be implemented by sequence-output values that behave as
+// half-open intervals [start, end) of a shared coordinate space, letting
+// PreferNonOverlapping check a program's n outputs for pairwise overlap in
+// O(n log n) instead of O(n²).
+//
+// Implementing it is a semantic contract relative to the overlaps relation
+// the domain passes to PreferNonOverlapping: for any two output values a
+// and b that both implement Interval, overlaps(a, b) must hold exactly
+// when their spaces are identical and their intervals strictly intersect
+// (a.start < b.end && b.start < a.end), and Eq(a, b) must hold exactly
+// when spaces and endpoints all coincide. Values whose overlap relation is
+// richer — e.g. DOM nodes, where distinct nested nodes can share one text
+// range, or 2-D spreadsheet rects — must NOT implement it; they keep the
+// exact pairwise check.
+type Interval interface {
+	Interval() (space any, start, end int)
 }
 
 // Eq reports whether two DSL values are equal. Sequences are compared
@@ -94,6 +115,7 @@ const InputVar = "R0"
 // immutable: Bind returns a new state sharing the previous bindings.
 type State struct {
 	frame *binding
+	memo  *execMemo
 }
 
 type binding struct {
@@ -102,15 +124,50 @@ type binding struct {
 	next *binding
 }
 
+// execMemo memoizes sequence-operator executions per (program identity,
+// binding frame). Programs are pure functions of their state, so within
+// one synthesis session — where the same spec states flow through learner
+// filtering, ranking, clean-up, and negative-instance checking — every
+// re-execution of the same operator program is a repeat. The memo is
+// carried by the state and shared across Bind, so a Filter or Merge
+// wrapper re-running a memoized inner sequence hits the cache.
+type execMemo struct {
+	mu sync.Mutex
+	m  map[execMemoKey]execMemoVal
+}
+
+type execMemoKey struct {
+	p     Program
+	frame *binding
+}
+
+type execMemoVal struct {
+	v   Value
+	err error
+}
+
 // NewState creates a state binding the distinguished input variable R0.
 func NewState(input Value) State {
 	return State{}.Bind(InputVar, input)
 }
 
+// WithExecMemo equips the state with an execution memo for the sequence
+// operators (Map, FilterBool, FilterInt, Merge). Memoized results are
+// shared slices and must be treated as read-only by program consumers —
+// which the operator algebra already guarantees. Synthesis drivers enable
+// it on the states of their specs; execution of final programs on fresh
+// states is unaffected.
+func (s State) WithExecMemo() State {
+	if s.memo == nil {
+		s.memo = &execMemo{m: map[execMemoKey]execMemoVal{}}
+	}
+	return s
+}
+
 // Bind returns a new state with name bound to v, shadowing any previous
 // binding of the same name.
 func (s State) Bind(name string, v Value) State {
-	return State{frame: &binding{name: name, val: v, next: s.frame}}
+	return State{frame: &binding{name: name, val: v, next: s.frame}, memo: s.memo}
 }
 
 // Lookup returns the value bound to name.

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// firstPassing returns the lowest index i in [0, n) for which try(i) is
+// true, or -1 when no index passes — the same answer as the serial loop
+//
+//	for i := 0; i < n; i++ { if try(i) { return i } }
+//
+// but with independent try calls fanned across a GOMAXPROCS-bounded worker
+// pool. try must be safe for concurrent calls and deterministic per index.
+//
+// Ranking stays bit-identical to serial execution: candidates are claimed
+// in index order off a shared counter, a worker abandons its claim once
+// some lower index has already passed, and the final answer is the minimum
+// passing index. Every index below the returned one has been tried and
+// rejected, exactly as in the serial loop; indexes above it may be skipped
+// (early cancellation).
+func firstPassing(n int, try func(int) bool) int {
+	if n <= 0 {
+		return -1
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if try(i) {
+				return i
+			}
+		}
+		return -1
+	}
+
+	var (
+		next atomic.Int64 // next candidate index to claim
+		best atomic.Int64 // lowest passing index found so far
+		wg   sync.WaitGroup
+	)
+	best.Store(int64(n))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) || i >= best.Load() {
+					return
+				}
+				if !try(int(i)) {
+					continue
+				}
+				for {
+					cur := best.Load()
+					if i >= cur || best.CompareAndSwap(cur, i) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if b := best.Load(); b < int64(n) {
+		return int(b)
+	}
+	return -1
+}

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"flashextract/internal/region"
+	"flashextract/internal/schema"
+)
+
+// TestFirstPassingMatchesSerial checks the central invariant of parallel
+// candidate validation: firstPassing returns exactly the index a serial
+// scan would, for randomized pass sets and several pool widths.
+func TestFirstPassingMatchesSerial(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(90)
+		pass := make([]bool, n)
+		want := -1
+		for i := range pass {
+			pass[i] = rng.Intn(6) == 0
+			if want < 0 && pass[i] {
+				want = i
+			}
+		}
+		var calls atomic.Int64
+		got := firstPassing(n, func(i int) bool {
+			calls.Add(1)
+			if i < 0 || i >= n {
+				t.Errorf("try(%d) out of range [0,%d)", i, n)
+			}
+			return pass[i]
+		})
+		if got != want {
+			t.Fatalf("trial %d: firstPassing = %d, serial scan = %d (n=%d)", trial, got, want, n)
+		}
+		// Every candidate below the winner must have been tried, exactly as
+		// in the serial loop.
+		if want >= 0 && calls.Load() < int64(want)+1 {
+			t.Fatalf("trial %d: only %d calls for winner %d", trial, calls.Load(), want)
+		}
+	}
+}
+
+func TestFirstPassingEdgeCases(t *testing.T) {
+	if got := firstPassing(0, func(int) bool { return true }); got != -1 {
+		t.Fatalf("n=0: got %d", got)
+	}
+	if got := firstPassing(5, func(int) bool { return false }); got != -1 {
+		t.Fatalf("all-fail: got %d", got)
+	}
+	if got := firstPassing(1, func(i int) bool { return i == 0 }); got != 0 {
+		t.Fatalf("n=1: got %d", got)
+	}
+}
+
+// TestSynthesizeFieldProgramParallelMatchesSerial runs the same synthesis
+// call with one and with several workers and requires the identical
+// (lowest-ranked) program, so parallel validation cannot change ranking.
+func TestSynthesizeFieldProgramParallelMatchesSerial(t *testing.T) {
+	doc, _ := newFakeDomain(fakeText)
+	m := schema.MustParse(rowSchema)
+	lines := lineSpans(fakeText)
+	cr := Highlighting{}
+	cr.Add("row", lines[0], lines[1], lines[2])
+	w0, _ := wordOfLine(lines[0])
+	fi := m.FieldByColor("a")
+
+	synth := func() string {
+		fp, err := SynthesizeFieldProgram(doc, m, cr, fi,
+			[]region.Region{w0}, nil, map[string]bool{"row": true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fp.Reg.String()
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := synth()
+	runtime.GOMAXPROCS(4)
+	parallel := synth()
+	runtime.GOMAXPROCS(prev)
+
+	if serial != parallel {
+		t.Fatalf("serial learned %s, parallel learned %s", serial, parallel)
+	}
+	// Also at the sequence level: field row against the whole document.
+	rowFi := m.FieldByColor("row")
+	synthRow := func() string {
+		fp, err := SynthesizeFieldProgram(doc, m, Highlighting{}, rowFi,
+			[]region.Region{lines[0], lines[1]}, nil, map[string]bool{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fp.Seq.String()
+	}
+	runtime.GOMAXPROCS(1)
+	serialRow := synthRow()
+	runtime.GOMAXPROCS(4)
+	parallelRow := synthRow()
+	runtime.GOMAXPROCS(prev)
+	if serialRow != parallelRow {
+		t.Fatalf("serial learned %s, parallel learned %s", serialRow, parallelRow)
+	}
+}

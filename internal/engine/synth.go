@@ -118,7 +118,9 @@ func synthesizeAgainstAncestor(
 	// and does not re-extract any negative instance. (Sequence synthesis
 	// already filters negatives inside the language; the check here also
 	// covers region programs, whose per-ancestor learning API has no
-	// negative channel.)
+	// negative channel.) Candidates are independent, so the checks are
+	// fanned across a worker pool; firstPassing returns the lowest-ranked
+	// passing candidate, keeping the choice bit-identical to a serial scan.
 	try := func(fp *FieldProgram) bool {
 		crNew := cr.Clone()
 		crNew[f.Color()] = nil
@@ -133,20 +135,20 @@ func synthesizeAgainstAncestor(
 		crNew.Add(f.Color(), extracted...)
 		return crNew.ConsistentWith(m) == nil
 	}
+	var fps []*FieldProgram
 	if isSeq {
-		for _, p := range seqProgs {
-			fp := &FieldProgram{Field: f, Ancestor: anc, Seq: p}
-			if try(fp) {
-				return fp, nil
-			}
+		fps = make([]*FieldProgram, len(seqProgs))
+		for i, p := range seqProgs {
+			fps[i] = &FieldProgram{Field: f, Ancestor: anc, Seq: p}
 		}
 	} else {
-		for _, p := range regProgs {
-			fp := &FieldProgram{Field: f, Ancestor: anc, Reg: p}
-			if try(fp) {
-				return fp, nil
-			}
+		fps = make([]*FieldProgram, len(regProgs))
+		for i, p := range regProgs {
+			fps[i] = &FieldProgram{Field: f, Ancestor: anc, Reg: p}
 		}
+	}
+	if i := firstPassing(len(fps), func(i int) bool { return try(fps[i]) }); i >= 0 {
+		return fps[i], nil
 	}
 	return nil, fmt.Errorf("engine: field %s: every consistent program violates the schema when executed", f.Color())
 }

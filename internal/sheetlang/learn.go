@@ -44,7 +44,7 @@ func (l *lang) SynthesizeSeqRegion(exs []engine.SeqRegionExample) []engine.SeqRe
 		if _, _, _, _, _, ok := bounds(ex.Input); !ok {
 			return nil
 		}
-		spec := core.SeqSpec{State: core.NewState(ex.Input)}
+		spec := core.SeqSpec{State: core.NewState(ex.Input).WithExecMemo()}
 		for _, p := range ex.Positive {
 			spec.Positive = append(spec.Positive, core.Value(p))
 		}

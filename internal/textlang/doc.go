@@ -8,10 +8,12 @@ package textlang
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"flashextract/internal/engine"
 	"flashextract/internal/region"
+	"flashextract/internal/tokens"
 )
 
 // Document is a text file.
@@ -20,16 +22,25 @@ type Document struct {
 	Text string
 	lang *lang
 
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	lineCache map[[2]int][]Region
+
+	// cache memoizes token boundaries, regex-pair position sequences, and
+	// learning indexes over ranges of Text; program execution and the
+	// learners share it across candidates and refinement iterations.
+	cache *tokens.Cache
 }
 
 // NewDocument creates a text document.
 func NewDocument(text string) *Document {
 	d := &Document{Text: text}
 	d.lang = &lang{}
+	d.cache = tokens.NewCache(text)
 	return d
 }
+
+// EvalCache returns the document's evaluation cache.
+func (d *Document) EvalCache() *tokens.Cache { return d.cache }
 
 // WholeRegion returns the region covering the entire file.
 func (d *Document) WholeRegion() region.Region {
@@ -65,12 +76,14 @@ func (d *Document) FindRegion(sub string, n int) (Region, bool) {
 }
 
 func indexFrom(s, sub string, from int) int {
-	for i := from; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return i
-		}
+	if from < 0 || from > len(s) {
+		return -1
 	}
-	return -1
+	j := strings.Index(s[from:], sub)
+	if j < 0 {
+		return -1
+	}
+	return from + j
 }
 
 // Region is a pair of character positions in a text document (Def. 2): all
@@ -94,6 +107,14 @@ func (r Region) Overlaps(other region.Region) bool {
 	return ok && o.Doc == r.Doc && r.Start < o.End && o.Start < r.End
 }
 
+// Interval exposes the region as a half-open interval of its document
+// (core.Interval): region equality is exactly document+endpoint equality
+// and conflictOverlap is exactly strict intersection within one document,
+// so PreferNonOverlapping may use the O(n log n) sweep.
+func (r Region) Interval() (space any, start, end int) {
+	return r.Doc, r.Start, r.End
+}
+
 // Less orders regions by start position; at equal starts the larger region
 // comes first (outer before inner).
 func (r Region) Less(other region.Region) bool {
@@ -109,6 +130,11 @@ func (r Region) Value() string { return r.Doc.Text[r.Start:r.End] }
 
 func (r Region) String() string { return fmt.Sprintf("[%d,%d)", r.Start, r.End) }
 
+// maxLineCacheEntries bounds the per-document line cache; on overflow
+// only sub-document entries are evicted, so the hot whole-document entry
+// (the input of every ⊥-relative candidate) is never lost.
+const maxLineCacheEntries = 256
+
 // linesIn splits a region into its lines (split(R0, '\n')): the segments
 // between newline characters, clipped to the region. Interior empty lines
 // are kept; the empty segment after a trailing newline is dropped. Line
@@ -118,12 +144,12 @@ func (r Region) String() string { return fmt.Sprintf("[%d,%d)", r.Start, r.End) 
 func linesIn(r Region) []Region {
 	d := r.Doc
 	key := [2]int{r.Start, r.End}
-	d.mu.Lock()
-	if lines, ok := d.lineCache[key]; ok {
-		d.mu.Unlock()
+	d.mu.RLock()
+	lines, ok := d.lineCache[key]
+	d.mu.RUnlock()
+	if ok {
 		return lines
 	}
-	d.mu.Unlock()
 
 	text := r.Value()
 	var out []Region
@@ -139,12 +165,17 @@ func linesIn(r Region) []Region {
 		start = i + 1
 	}
 
+	whole := [2]int{0, len(d.Text)}
 	d.mu.Lock()
 	if d.lineCache == nil {
 		d.lineCache = map[[2]int][]Region{}
 	}
-	if len(d.lineCache) > 256 {
-		d.lineCache = map[[2]int][]Region{} // crude bound; regions repeat heavily
+	if len(d.lineCache) >= maxLineCacheEntries && key != whole {
+		for k := range d.lineCache {
+			if k != whole {
+				delete(d.lineCache, k)
+			}
+		}
 	}
 	d.lineCache[key] = out
 	d.mu.Unlock()

@@ -25,9 +25,12 @@ const (
 type lang struct{}
 
 // learnCtx carries the per-synthesis-call token pool (standard tokens plus
-// dynamic tokens promoted from the neighborhood of the examples).
+// dynamic tokens promoted from the neighborhood of the examples) and the
+// document whose evaluation cache serves boundary indexes to the learners.
 type learnCtx struct {
-	toks []tokens.Token
+	toks   []tokens.Token
+	doc    *Document
+	poolID uint64
 }
 
 func newLearnCtx(doc *Document, boundary []Region) *learnCtx {
@@ -41,7 +44,16 @@ func newLearnCtx(doc *Document, boundary []Region) *learnCtx {
 	pool := make([]tokens.Token, 0, len(tokens.Standard)+len(dyn))
 	pool = append(pool, tokens.Standard...)
 	pool = append(pool, dyn...)
-	return &learnCtx{toks: pool}
+	return &learnCtx{toks: pool, doc: doc, poolID: tokens.PoolID(pool)}
+}
+
+// index returns the memoized boundary index of Text[lo:hi] for the
+// context's token pool.
+func (c *learnCtx) index(lo, hi int) *tokens.Index {
+	if c.doc == nil || c.doc.cache == nil {
+		return nil
+	}
+	return c.doc.cache.IndexFor(lo, hi, c.toks, c.poolID)
 }
 
 func regionLess(a, b core.Value) bool { return a.(Region).Less(b.(Region)) }
@@ -72,7 +84,7 @@ func (l *lang) SynthesizeSeqRegion(exs []engine.SeqRegionExample) []engine.SeqRe
 			return nil
 		}
 		doc = in.Doc
-		spec := core.SeqSpec{State: core.NewState(in)}
+		spec := core.SeqSpec{State: core.NewState(in).WithExecMemo()}
 		for _, p := range ex.Positive {
 			pr, ok := p.(Region)
 			if !ok {
@@ -109,7 +121,7 @@ func (l *lang) SynthesizeRegion(exs []engine.RegionExample) []engine.RegionProgr
 	var doc *Document
 	var boundary []Region
 	var coreExs []core.Example
-	var sExs, eExs []tokens.PosExample
+	var ins, outs []Region
 	for _, ex := range exs {
 		in, ok1 := ex.Input.(Region)
 		out, ok2 := ex.Output.(Region)
@@ -119,10 +131,16 @@ func (l *lang) SynthesizeRegion(exs []engine.RegionExample) []engine.RegionProgr
 		doc = in.Doc
 		boundary = append(boundary, out)
 		coreExs = append(coreExs, core.Example{State: core.NewState(in), Output: out})
-		sExs = append(sExs, tokens.PosExample{S: in.Value(), K: out.Start - in.Start})
-		eExs = append(eExs, tokens.PosExample{S: in.Value(), K: out.End - in.Start})
+		ins = append(ins, in)
+		outs = append(outs, out)
 	}
 	ctx := newLearnCtx(doc, boundary)
+	var sExs, eExs []tokens.PosExample
+	for i, in := range ins {
+		ix := ctx.index(in.Start, in.End)
+		sExs = append(sExs, tokens.PosExample{S: in.Value(), K: outs[i].Start - in.Start, Ix: ix})
+		eExs = append(eExs, tokens.PosExample{S: in.Value(), K: outs[i].End - in.Start, Ix: ix})
+	}
 	n2 := func([]core.Example) []core.Program {
 		p1s := capAttrs(tokens.LearnAttrs(sExs, ctx.toks), attrCap)
 		p2s := capAttrs(tokens.LearnAttrs(eExs, ctx.toks), attrCap)
@@ -303,7 +321,7 @@ func (c *learnCtx) learnPosSeq(exs []core.SeqExample) []core.Program {
 		if err != nil {
 			return nil
 		}
-		sp := tokens.SeqPosExample{S: r0.Value()}
+		sp := tokens.SeqPosExample{S: r0.Value(), Ix: c.index(r0.Start, r0.End)}
 		for _, v := range ex.Positive {
 			k, ok := v.(int)
 			if !ok || k < r0.Start || k > r0.End {
@@ -337,8 +355,9 @@ func (c *learnCtx) learnLinePair(exs []core.Example) []core.Program {
 		if !ok || !x.Contains(y) {
 			return nil
 		}
-		sExs = append(sExs, tokens.PosExample{S: x.Value(), K: y.Start - x.Start})
-		eExs = append(eExs, tokens.PosExample{S: x.Value(), K: y.End - x.Start})
+		ix := c.index(x.Start, x.End)
+		sExs = append(sExs, tokens.PosExample{S: x.Value(), K: y.Start - x.Start, Ix: ix})
+		eExs = append(eExs, tokens.PosExample{S: x.Value(), K: y.End - x.Start, Ix: ix})
 	}
 	p1s := capAttrs(tokens.LearnAttrs(sExs, c.toks), attrCap)
 	p2s := capAttrs(tokens.LearnAttrs(eExs, c.toks), attrCap)
@@ -364,7 +383,7 @@ func (c *learnCtx) learnLinePos(exs []core.Example) []core.Program {
 		if !ok || k < x.Start || k > x.End {
 			return nil
 		}
-		pexs = append(pexs, tokens.PosExample{S: x.Value(), K: k - x.Start})
+		pexs = append(pexs, tokens.PosExample{S: x.Value(), K: k - x.Start, Ix: c.index(x.Start, x.End)})
 	}
 	attrs := capAttrs(tokens.LearnAttrs(pexs, c.toks), attrCap)
 	out := make([]core.Program, len(attrs))
@@ -391,7 +410,7 @@ func (c *learnCtx) learnStartPair(exs []core.Example) []core.Program {
 		if !ok || y.Start != x || y.End > r0.End {
 			return nil
 		}
-		pexs = append(pexs, tokens.PosExample{S: r0.Doc.Text[x:r0.End], K: y.End - x})
+		pexs = append(pexs, tokens.PosExample{S: r0.Doc.Text[x:r0.End], K: y.End - x, Ix: c.index(x, r0.End)})
 	}
 	attrs := capAttrs(tokens.LearnAttrs(pexs, c.toks), attrCap)
 	out := make([]core.Program, len(attrs))
@@ -418,7 +437,7 @@ func (c *learnCtx) learnEndPair(exs []core.Example) []core.Program {
 		if !ok || y.End != x || y.Start < r0.Start {
 			return nil
 		}
-		pexs = append(pexs, tokens.PosExample{S: r0.Doc.Text[r0.Start:x], K: y.Start - r0.Start})
+		pexs = append(pexs, tokens.PosExample{S: r0.Doc.Text[r0.Start:x], K: y.Start - r0.Start, Ix: c.index(r0.Start, x)})
 	}
 	attrs := capAttrs(tokens.LearnAttrs(pexs, c.toks), attrCap)
 	out := make([]core.Program, len(attrs))

@@ -2,6 +2,7 @@ package textlang
 
 import (
 	"fmt"
+	"sort"
 
 	"flashextract/internal/core"
 	"flashextract/internal/tokens"
@@ -71,6 +72,34 @@ func (splitLinesProg) String() string { return "split(R0, '\\n')" }
 // Cost makes the fixed expression free for ranking purposes.
 func (splitLinesProg) Cost() int { return 0 }
 
+// evalPos evaluates a position attribute over Text[lo:hi] through the
+// document's evaluation cache, falling back to a direct evaluation for
+// documents without one.
+func evalPos(d *Document, lo, hi int, a tokens.Attr) (int, error) {
+	if d.cache == nil {
+		return a.Eval(d.Text[lo:hi])
+	}
+	return d.cache.EvalAttr(lo, hi, a)
+}
+
+// positionsIn returns the position sequence of rr within Text[lo:hi]
+// through the document's evaluation cache.
+func positionsIn(d *Document, lo, hi int, rr tokens.RegexPair) []int {
+	if d.cache == nil {
+		return rr.Positions(d.Text[lo:hi])
+	}
+	return d.cache.Positions(lo, hi, rr)
+}
+
+// countIn memoizes CountMatches over a document range via the evaluation
+// cache; the isolated-substring semantics match CountMatches on the slice.
+func countIn(d *Document, lo, hi int, r tokens.Regex) int {
+	if d.cache == nil {
+		return tokens.CountMatches(r, d.Text[lo:hi])
+	}
+	return d.cache.CountIn(lo, hi, r)
+}
+
 // posSeqProg is PosSeq(R0, rr): the sequence of absolute positions in R0
 // identified by the regex pair rr.
 type posSeqProg struct {
@@ -82,7 +111,7 @@ func (p posSeqProg) Exec(st core.State) (core.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	ps := p.rr.Positions(r0.Value())
+	ps := positionsIn(r0.Doc, r0.Start, r0.End, p.rr)
 	out := make([]core.Value, len(ps))
 	for i, k := range ps {
 		out[i] = r0.Start + k
@@ -103,12 +132,11 @@ func (p linePairProg) Exec(st core.State) (core.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	text := x.Value()
-	a, err := p.p1.Eval(text)
+	a, err := evalPos(x.Doc, x.Start, x.End, p.p1)
 	if err != nil {
 		return nil, err
 	}
-	b, err := p.p2.Eval(text)
+	b, err := evalPos(x.Doc, x.Start, x.End, p.p2)
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +161,7 @@ func (p linePosProg) Exec(st core.State) (core.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	k, err := p.p.Eval(x.Value())
+	k, err := evalPos(x.Doc, x.Start, x.End, p.p)
 	if err != nil {
 		return nil, err
 	}
@@ -161,8 +189,7 @@ func (p startPairProg) Exec(st core.State) (core.Value, error) {
 	if x < r0.Start || x > r0.End {
 		return nil, core.ErrNoMatch
 	}
-	suffix := r0.Doc.Text[x:r0.End]
-	e, err := p.p.Eval(suffix)
+	e, err := evalPos(r0.Doc, x, r0.End, p.p)
 	if err != nil {
 		return nil, err
 	}
@@ -192,8 +219,7 @@ func (p endPairProg) Exec(st core.State) (core.Value, error) {
 	if x < r0.Start || x > r0.End {
 		return nil, core.ErrNoMatch
 	}
-	prefix := r0.Doc.Text[r0.Start:x]
-	s, err := p.p.Eval(prefix)
+	s, err := evalPos(r0.Doc, r0.Start, x, p.p)
 	if err != nil {
 		return nil, err
 	}
@@ -214,12 +240,11 @@ func (p regionPairProg) Exec(st core.State) (core.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	text := r0.Value()
-	a, err := p.p1.Eval(text)
+	a, err := evalPos(r0.Doc, r0.Start, r0.End, p.p1)
 	if err != nil {
 		return nil, err
 	}
-	b, err := p.p2.Eval(text)
+	b, err := evalPos(r0.Doc, r0.Start, r0.End, p.p2)
 	if err != nil {
 		return nil, err
 	}
@@ -279,41 +304,39 @@ func (p linePred) Exec(st core.State) (core.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	text, ok := p.subject(st, x)
+	rx, ok := p.subject(st, x)
 	if !ok {
 		return false, nil
 	}
 	switch p.kind {
 	case predStartsWith, predPredStartsWith, predSuccStartsWith:
-		return p.r.MatchPrefix(text, 0) >= 0, nil
+		return p.r.MatchPrefix(rx.Value(), 0) >= 0, nil
 	case predEndsWith, predPredEndsWith, predSuccEndsWith:
+		text := rx.Value()
 		return p.r.MatchSuffix(text, len(text)) >= 0, nil
 	default:
-		return tokens.CountMatches(p.r, text) == p.k, nil
+		return countIn(rx.Doc, rx.Start, rx.End, p.r) == p.k, nil
 	}
 }
 
-// subject resolves the line whose text the predicate inspects: x itself,
-// or its predecessor/successor line within R0.
-func (p linePred) subject(st core.State, x Region) (string, bool) {
+// subject resolves the line the predicate inspects: x itself, or its
+// predecessor/successor line within R0.
+func (p linePred) subject(st core.State, x Region) (Region, bool) {
 	switch p.kind {
 	case predStartsWith, predEndsWith, predContains:
-		return x.Value(), true
+		return x, true
 	}
 	r0, err := inputRegion(st)
 	if err != nil {
-		return "", false
+		return Region{}, false
 	}
 	lines := linesIn(r0)
-	idx := -1
-	for i, l := range lines {
-		if l == x {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
-		return "", false
+	// Lines are disjoint and sorted by start, so the λ-bound line can be
+	// located by binary search; predicates run once per line per candidate,
+	// and a linear scan here is quadratic in the number of lines.
+	idx := sort.Search(len(lines), func(i int) bool { return lines[i].Start >= x.Start })
+	if idx >= len(lines) || lines[idx] != x {
+		return Region{}, false
 	}
 	switch p.kind {
 	case predPredStartsWith, predPredEndsWith, predPredContains:
@@ -322,9 +345,9 @@ func (p linePred) subject(st core.State, x Region) (string, bool) {
 		idx++
 	}
 	if idx < 0 || idx >= len(lines) {
-		return "", false
+		return Region{}, false
 	}
-	return lines[idx].Value(), true
+	return lines[idx], true
 }
 
 func (p linePred) String() string {

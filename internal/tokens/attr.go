@@ -3,6 +3,7 @@ package tokens
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Attr is a position attribute p (§5.1): a program computing a position in
@@ -188,6 +189,10 @@ func SeqsStartingAt(s string, k int, toks []Token) []Regex {
 type PosExample struct {
 	S string
 	K int
+	// Ix optionally carries a prebuilt boundary index of S (see
+	// Cache.IndexFor); when nil the learner builds one itself. Callers that
+	// learn repeatedly over the same document share the index across calls.
+	Ix *Index
 }
 
 // maxAttrCandidates bounds the number of candidate attributes generated
@@ -208,7 +213,11 @@ func LearnAttrs(exs []PosExample, toks []Token) []Attr {
 
 	indexes := make([]*Index, len(exs))
 	for i, ex := range exs {
-		indexes[i] = NewIndex(ex.S, toks)
+		if ex.Ix != nil {
+			indexes[i] = ex.Ix
+		} else {
+			indexes[i] = NewIndex(ex.S, toks)
+		}
 	}
 	lefts := SeqsEndingAt(first.S, first.K, toks)
 	rights := SeqsStartingAt(first.S, first.K, toks)
@@ -263,6 +272,9 @@ func LearnAttrs(exs []PosExample, toks []Token) []Attr {
 type SeqPosExample struct {
 	S  string
 	Ks []int
+	// Ix optionally carries a prebuilt boundary index of S, as in
+	// PosExample.
+	Ix *Index
 }
 
 // LearnRegexPairs learns the ranked set of regex pairs rr whose position
@@ -283,7 +295,11 @@ func LearnRegexPairs(exs []SeqPosExample, toks []Token) []RegexPair {
 	k0 := first.Ks[0]
 	indexes := make([]*Index, len(exs))
 	for i, ex := range exs {
-		indexes[i] = NewIndex(ex.S, toks)
+		if ex.Ix != nil {
+			indexes[i] = ex.Ix
+		} else {
+			indexes[i] = NewIndex(ex.S, toks)
+		}
 	}
 	lefts := SeqsEndingAt(first.S, k0, toks)
 	rights := SeqsStartingAt(first.S, k0, toks)
@@ -429,10 +445,12 @@ func countOccurrences(s, sub string) int {
 }
 
 func indexFrom(s, sub string, from int) int {
-	for i := from; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return i
-		}
+	if from < 0 || from > len(s) {
+		return -1
 	}
-	return -1
+	j := strings.Index(s[from:], sub)
+	if j < 0 {
+		return -1
+	}
+	return from + j
 }

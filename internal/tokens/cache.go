@@ -1,0 +1,374 @@
+package tokens
+
+import "sync"
+
+// Cache is a document-scoped evaluation cache. It is owned by a document
+// (one immutable text) and memoizes the three quantities the synthesis
+// hot loop recomputes most: per-token boundary positions, regex-pair
+// position sequences, and whole boundary indexes per token pool — all
+// keyed on half-open ranges [lo, hi) of the document text, so the same
+// answer is shared across candidate programs, validation runs, and
+// refinement iterations.
+//
+// All methods are safe for concurrent use; returned slices are shared and
+// must be treated as read-only. The backing text never changes, so cached
+// entries are valid forever — eviction exists only to bound memory, and
+// whole-document entries (the hottest: every ⊥-relative candidate
+// evaluates against the whole region) are pinned.
+type Cache struct {
+	text string
+
+	mu      sync.RWMutex
+	bounds  map[boundKey]boundEntry
+	seqs    map[seqKey][]seqEntry
+	counts  map[countKey][]countEntry
+	indexes map[indexKey]*Index
+}
+
+type boundKey struct {
+	lo, hi int
+	tok    string
+}
+
+type boundEntry struct {
+	pre, suf []int
+}
+
+// seqKey buckets position-sequence entries by range and regex-pair
+// fingerprint; the entry list resolves fingerprint collisions by exact
+// pair comparison. Hashing token names directly is far cheaper than
+// materializing RegexPair.String() on every probe of the hot loop.
+type seqKey struct {
+	lo, hi int
+	h      uint64
+}
+
+type seqEntry struct {
+	rr RegexPair
+	ps []int
+}
+
+// countKey buckets match-count entries by range and regex fingerprint.
+type countKey struct {
+	lo, hi int
+	h      uint64
+}
+
+type countEntry struct {
+	r Regex
+	n int
+}
+
+type indexKey struct {
+	lo, hi int
+	pool   uint64
+}
+
+// Cache size bounds. Sub-document ranges (lines, suffixes, prefixes)
+// repeat heavily but are unbounded in principle; whole-document entries
+// are never evicted.
+const (
+	maxBoundEntries = 32768
+	maxSeqEntries   = 32768
+	maxCountEntries = 32768
+	maxIndexEntries = 64
+)
+
+// smallRange bounds the ranges whose RegPos evaluation materializes and
+// memoizes the full position sequence. Sequence-map functions evaluate one
+// attribute per λ-bound position, each over a different suffix or prefix
+// of the input — materializing every such sequence would make mapping
+// quadratic in document size (see RegPos.Eval), so larger ranges keep the
+// lazy directional scan unless their sequence is already cached. Small
+// ranges (lines, records) repeat across the candidate cross product, where
+// memoization wins.
+const smallRange = 2048
+
+// NewCache creates the evaluation cache of one immutable document text.
+func NewCache(text string) *Cache {
+	return &Cache{
+		text:    text,
+		bounds:  map[boundKey]boundEntry{},
+		seqs:    map[seqKey][]seqEntry{},
+		counts:  map[countKey][]countEntry{},
+		indexes: map[indexKey]*Index{},
+	}
+}
+
+// Text returns the cached document text.
+func (c *Cache) Text() string { return c.text }
+
+func (c *Cache) pinned(lo, hi int) bool { return lo == 0 && hi == len(c.text) }
+
+// Positions returns the position sequence of rr within text[lo:hi],
+// equivalent to rr.Positions(text[lo:hi]) but memoized and anchored on
+// cached token boundaries: the scan visits only the boundary positions of
+// the pair's most selective edge token instead of every position.
+func (c *Cache) Positions(lo, hi int, rr RegexPair) []int {
+	if len(rr.Left) == 0 && len(rr.Right) == 0 {
+		return nil
+	}
+	key := seqKey{lo: lo, hi: hi, h: pairFingerprint(rr)}
+	if ps, ok := c.seqGet(key, rr); ok {
+		return ps
+	}
+
+	s := c.text[lo:hi]
+	var cands []int
+	haveAnchor := false
+	if len(rr.Left) > 0 {
+		_, ends := c.Boundaries(lo, hi, rr.Left[len(rr.Left)-1])
+		cands, haveAnchor = ends, true
+	}
+	if len(rr.Right) > 0 {
+		starts, _ := c.Boundaries(lo, hi, rr.Right[0])
+		if !haveAnchor || len(starts) < len(cands) {
+			cands = starts
+		}
+	}
+	var out []int
+	for _, k := range cands {
+		if rr.Left.MatchSuffix(s, k) < 0 {
+			continue
+		}
+		if rr.Right.MatchPrefix(s, k) < 0 {
+			continue
+		}
+		out = append(out, k)
+	}
+
+	c.mu.Lock()
+	if len(c.seqs) >= maxSeqEntries && !c.pinned(lo, hi) {
+		c.evictSeqsLocked()
+	}
+	c.seqs[key] = append(c.seqs[key], seqEntry{rr: rr, ps: out})
+	c.mu.Unlock()
+	return out
+}
+
+// seqGet looks up a memoized position sequence, resolving fingerprint
+// collisions by exact pair comparison.
+func (c *Cache) seqGet(key seqKey, rr RegexPair) ([]int, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, e := range c.seqs[key] {
+		if pairEqual(e.rr, rr) {
+			return e.ps, true
+		}
+	}
+	return nil, false
+}
+
+// Boundaries returns the boundary positions of token t within text[lo:hi]:
+// the positions where t matches as a prefix (run starts) and as a suffix
+// (run ends), relative to lo. Both slices are cached and read-only.
+func (c *Cache) Boundaries(lo, hi int, t Token) (pre, suf []int) {
+	key := boundKey{lo: lo, hi: hi, tok: t.Name}
+	c.mu.RLock()
+	e, ok := c.bounds[key]
+	c.mu.RUnlock()
+	if ok {
+		return e.pre, e.suf
+	}
+	e = scanBoundaries(c.text[lo:hi], t)
+	c.mu.Lock()
+	if len(c.bounds) >= maxBoundEntries && !c.pinned(lo, hi) {
+		c.evictBoundsLocked()
+	}
+	c.bounds[key] = e
+	c.mu.Unlock()
+	return e.pre, e.suf
+}
+
+// scanBoundaries computes the prefix/suffix boundary positions of one
+// token over s (the per-token body of NewIndex).
+func scanBoundaries(s string, t Token) boundEntry {
+	var e boundEntry
+	if t.lit != "" {
+		for k := 0; k+len(t.lit) <= len(s); k++ {
+			if s[k:k+len(t.lit)] == t.lit {
+				e.pre = append(e.pre, k)
+				e.suf = append(e.suf, k+len(t.lit))
+			}
+		}
+		return e
+	}
+	k := 0
+	for k < len(s) {
+		if !t.class(s[k]) {
+			k++
+			continue
+		}
+		start := k
+		for k < len(s) && t.class(s[k]) {
+			k++
+		}
+		e.pre = append(e.pre, start)
+		e.suf = append(e.suf, k)
+	}
+	return e
+}
+
+// EvalAttr evaluates a position attribute against text[lo:hi], equivalent
+// to a.Eval(text[lo:hi]). RegPos attributes over small or whole-document
+// ranges resolve against the memoized position sequence of their regex
+// pair, so re-evaluating the same pair over the same range — the common
+// case when attribute candidates are crossed into pair programs — costs
+// one map lookup. Large sub-document ranges keep RegPos's lazy directional
+// scan (consulting the cache first) to avoid quadratic mapping.
+func (c *Cache) EvalAttr(lo, hi int, a Attr) (int, error) {
+	v, ok := a.(RegPos)
+	if !ok {
+		return a.Eval(c.text[lo:hi])
+	}
+	if hi-lo <= smallRange || c.pinned(lo, hi) {
+		return v.evalIn(c.Positions(lo, hi, v.RR))
+	}
+	key := seqKey{lo: lo, hi: hi, h: pairFingerprint(v.RR)}
+	if ps, hit := c.seqGet(key, v.RR); hit {
+		return v.evalIn(ps)
+	}
+	return v.Eval(c.text[lo:hi])
+}
+
+// CountIn returns CountMatches(r, text[lo:hi]) memoized per (range,
+// regex). Line predicates re-count the same regex over the same line once
+// per candidate program; the count is a pure function of the range.
+func (c *Cache) CountIn(lo, hi int, r Regex) int {
+	key := countKey{lo: lo, hi: hi, h: regexFingerprint(r)}
+	c.mu.RLock()
+	for _, e := range c.counts[key] {
+		if regexEqual(e.r, r) {
+			c.mu.RUnlock()
+			return e.n
+		}
+	}
+	c.mu.RUnlock()
+	n := CountMatches(r, c.text[lo:hi])
+	c.mu.Lock()
+	if len(c.counts) >= maxCountEntries && !c.pinned(lo, hi) {
+		for k := range c.counts {
+			if !c.pinned(k.lo, k.hi) {
+				delete(c.counts, k)
+			}
+		}
+	}
+	c.counts[key] = append(c.counts[key], countEntry{r: r, n: n})
+	c.mu.Unlock()
+	return n
+}
+
+// IndexFor returns the boundary index of text[lo:hi] for a token pool,
+// memoized per (range, pool). poolID must identify the pool contents (see
+// PoolID); learning reuses the index across examples, learners, and
+// refinement iterations of one synthesis session.
+func (c *Cache) IndexFor(lo, hi int, pool []Token, poolID uint64) *Index {
+	key := indexKey{lo: lo, hi: hi, pool: poolID}
+	c.mu.RLock()
+	ix, ok := c.indexes[key]
+	c.mu.RUnlock()
+	if ok {
+		return ix
+	}
+	// Build from the per-token boundary cache so the token scans are shared
+	// with Positions.
+	ix = &Index{s: c.text[lo:hi], pre: map[string][]int{}, suf: map[string][]int{}}
+	for _, t := range pool {
+		if _, done := ix.pre[t.Name]; done {
+			continue
+		}
+		pre, suf := c.Boundaries(lo, hi, t)
+		ix.pre[t.Name] = pre
+		ix.suf[t.Name] = suf
+	}
+	c.mu.Lock()
+	if len(c.indexes) >= maxIndexEntries && !c.pinned(lo, hi) {
+		for k := range c.indexes {
+			if !c.pinned(k.lo, k.hi) {
+				delete(c.indexes, k)
+			}
+		}
+	}
+	c.indexes[key] = ix
+	c.mu.Unlock()
+	return ix
+}
+
+// evictSeqsLocked drops non-pinned position-sequence entries. Requires
+// c.mu held for writing.
+func (c *Cache) evictSeqsLocked() {
+	for k := range c.seqs {
+		if !c.pinned(k.lo, k.hi) {
+			delete(c.seqs, k)
+		}
+	}
+}
+
+// evictBoundsLocked drops non-pinned boundary entries. Requires c.mu held
+// for writing.
+func (c *Cache) evictBoundsLocked() {
+	for k := range c.bounds {
+		if !c.pinned(k.lo, k.hi) {
+			delete(c.bounds, k)
+		}
+	}
+}
+
+// PoolID fingerprints a token pool for IndexFor keying (FNV-1a over the
+// token names, which uniquely identify tokens — dynamic tokens embed
+// their literal in the name).
+func PoolID(toks []Token) uint64 {
+	h := uint64(14695981039346656037)
+	for _, t := range toks {
+		for i := 0; i < len(t.Name); i++ {
+			h ^= uint64(t.Name[i])
+			h *= 1099511628211
+		}
+		h ^= 0x1f // name separator
+		h *= 1099511628211
+	}
+	return h
+}
+
+// regexFingerprint extends an FNV-1a hash with a regex's token names.
+func regexFingerprintFrom(h uint64, r Regex) uint64 {
+	for _, t := range r {
+		for i := 0; i < len(t.Name); i++ {
+			h ^= uint64(t.Name[i])
+			h *= 1099511628211
+		}
+		h ^= 0x1f // name separator
+		h *= 1099511628211
+	}
+	return h
+}
+
+func regexFingerprint(r Regex) uint64 {
+	return regexFingerprintFrom(14695981039346656037, r)
+}
+
+// pairFingerprint hashes both sides of a regex pair with a side separator.
+func pairFingerprint(rr RegexPair) uint64 {
+	h := regexFingerprintFrom(14695981039346656037, rr.Left)
+	h ^= 0x2f // side separator
+	h *= 1099511628211
+	return regexFingerprintFrom(h, rr.Right)
+}
+
+// regexEqual reports token-wise equality by name (names uniquely identify
+// tokens, including dynamic ones).
+func regexEqual(a, b Regex) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			return false
+		}
+	}
+	return true
+}
+
+func pairEqual(a, b RegexPair) bool {
+	return regexEqual(a.Left, b.Left) && regexEqual(a.Right, b.Right)
+}

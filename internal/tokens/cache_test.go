@@ -1,0 +1,241 @@
+package tokens
+
+import (
+	"math/rand"
+	"testing"
+)
+
+const cacheSample = "INFO 2014-01-02 core started\nWARN 17 retries, x=3.14;\nalpha beta 42 gamma\n"
+
+// randomText draws a string over an alphabet mixing classes, punctuation,
+// and newlines so that every standard token can occur.
+func randomText(rng *rand.Rand, n int) string {
+	const alphabet = "abXY019 ,;:.\n\t-\""
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+// randomPool draws a subset of the standard tokens plus a few literal
+// tokens taken from the text itself.
+func randomPool(rng *rand.Rand, text string) []Token {
+	var pool []Token
+	for _, t := range Standard {
+		if rng.Intn(2) == 0 {
+			pool = append(pool, t)
+		}
+	}
+	for i := 0; i < 2 && len(text) > 3; i++ {
+		lo := rng.Intn(len(text) - 2)
+		hi := lo + 1 + rng.Intn(2)
+		lit := text[lo:hi]
+		if lit != "" {
+			pool = append(pool, Literal(lit))
+		}
+	}
+	if len(pool) == 0 {
+		pool = append(pool, Number)
+	}
+	return pool
+}
+
+// randomPair draws a regex pair whose tokens come from the pool; at least
+// one side is non-empty.
+func randomPair(rng *rand.Rand, pool []Token) RegexPair {
+	side := func() Regex {
+		var r Regex
+		for i := rng.Intn(3); i > 0; i-- {
+			r = append(r, pool[rng.Intn(len(pool))])
+		}
+		return r
+	}
+	for {
+		rr := RegexPair{Left: side(), Right: side()}
+		if len(rr.Left) > 0 || len(rr.Right) > 0 {
+			return rr
+		}
+	}
+}
+
+func equalPositions(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIndexFallbackOutsidePool pins the fallback path of Index.Positions:
+// a pair whose anchor tokens are outside the indexed pool must still
+// return exactly rr.Positions.
+func TestIndexFallbackOutsidePool(t *testing.T) {
+	ix := NewIndex(cacheSample, []Token{Word}) // Number, Hyphen not indexed
+	rr := RegexPair{Left: Regex{Number}, Right: Regex{Hyphen}}
+	got := ix.Positions(rr)
+	want := rr.Positions(cacheSample)
+	if !equalPositions(got, want) {
+		t.Fatalf("fallback positions = %v, want %v", got, want)
+	}
+	if len(want) == 0 {
+		t.Fatal("test is vacuous: no number positions in sample")
+	}
+	// One side indexed, the other not: the indexed side anchors.
+	rr = RegexPair{Left: Regex{Word}, Right: Regex{Number}}
+	if got, want := ix.Positions(rr), rr.Positions(cacheSample); !equalPositions(got, want) {
+		t.Fatalf("half-indexed positions = %v, want %v", got, want)
+	}
+}
+
+// TestIndexPositionsMatchesRegexPair is the property test behind the
+// anchored fast path: for random texts, pools, and pairs, Index.Positions
+// must agree with the direct scan — both when every pair token is in the
+// pool (anchored) and when the index misses tokens (fallback).
+func TestIndexPositionsMatchesRegexPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		text := randomText(rng, 5+rng.Intn(120))
+		pool := randomPool(rng, text)
+		ix := NewIndex(text, pool)
+		for i := 0; i < 8; i++ {
+			rr := randomPair(rng, pool)
+			got := ix.Positions(rr)
+			want := rr.Positions(text)
+			if !equalPositions(got, want) {
+				t.Fatalf("text %q pool %v pair %s: index %v, direct %v", text, pool, rr, got, want)
+			}
+		}
+		// Pairs over tokens possibly outside the pool exercise the fallback.
+		outside := append(append([]Token(nil), pool...), Standard...)
+		for i := 0; i < 4; i++ {
+			rr := randomPair(rng, outside)
+			if got, want := ix.Positions(rr), rr.Positions(text); !equalPositions(got, want) {
+				t.Fatalf("text %q pair %s: index %v, direct %v", text, rr, got, want)
+			}
+		}
+	}
+}
+
+// TestCachePositionsMatchesRegexPair checks the document-scoped cache
+// against the direct scan over random subranges, twice per key to cover
+// both the miss and the hit path.
+func TestCachePositionsMatchesRegexPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		text := randomText(rng, 30+rng.Intn(150))
+		c := NewCache(text)
+		pool := randomPool(rng, text)
+		for i := 0; i < 12; i++ {
+			lo := rng.Intn(len(text))
+			hi := lo + rng.Intn(len(text)-lo)
+			rr := randomPair(rng, pool)
+			want := rr.Positions(text[lo:hi])
+			if got := c.Positions(lo, hi, rr); !equalPositions(got, want) {
+				t.Fatalf("miss: text[%d:%d] pair %s: cache %v, direct %v", lo, hi, rr, got, want)
+			}
+			if got := c.Positions(lo, hi, rr); !equalPositions(got, want) {
+				t.Fatalf("hit: text[%d:%d] pair %s: cache %v, direct %v", lo, hi, rr, got, want)
+			}
+		}
+	}
+}
+
+// TestCacheEvalAttrMatchesEval checks EvalAttr equivalence for both
+// attribute forms, including the error case.
+func TestCacheEvalAttrMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	text := cacheSample
+	c := NewCache(text)
+	attrs := []Attr{
+		AbsPos{K: 1},
+		AbsPos{K: -1},
+		RegPos{RR: RegexPair{Left: Regex{Number}}, K: 1},
+		RegPos{RR: RegexPair{Right: Regex{Word}}, K: -1},
+		RegPos{RR: RegexPair{Left: Regex{Word}, Right: Regex{Space}}, K: 2},
+		RegPos{RR: RegexPair{Left: Regex{Literal("zzz-never")}}, K: 1}, // always errs
+	}
+	for trial := 0; trial < 200; trial++ {
+		lo := rng.Intn(len(text))
+		hi := lo + rng.Intn(len(text)-lo)
+		for _, a := range attrs {
+			want, wantErr := a.Eval(text[lo:hi])
+			got, gotErr := c.EvalAttr(lo, hi, a)
+			if (wantErr == nil) != (gotErr == nil) || (wantErr == nil && got != want) {
+				t.Fatalf("EvalAttr(%d,%d,%s) = (%d,%v), Eval = (%d,%v)", lo, hi, a, got, gotErr, want, wantErr)
+			}
+		}
+	}
+}
+
+// TestCacheIndexForMemoizesAndMatches checks that IndexFor returns the
+// same index instance per (range, pool) and that the built index agrees
+// with NewIndex.
+func TestCacheIndexForMemoizesAndMatches(t *testing.T) {
+	text := cacheSample
+	c := NewCache(text)
+	pool := []Token{Number, Word, Space, Literal("WARN")}
+	id := PoolID(pool)
+	ix1 := c.IndexFor(0, len(text), pool, id)
+	ix2 := c.IndexFor(0, len(text), pool, id)
+	if ix1 != ix2 {
+		t.Fatal("IndexFor rebuilt a memoized index")
+	}
+	ref := NewIndex(text, pool)
+	rr := RegexPair{Left: Regex{Literal("WARN"), Space}, Right: Regex{Number}}
+	if !equalPositions(ix1.Positions(rr), ref.Positions(rr)) {
+		t.Fatalf("cached index disagrees with NewIndex: %v vs %v", ix1.Positions(rr), ref.Positions(rr))
+	}
+	if PoolID(pool) == PoolID(pool[:2]) {
+		t.Fatal("PoolID ignores pool contents")
+	}
+}
+
+// TestCacheEvictionKeepsPinnedEntries floods the cache with sub-range
+// entries past every bound and requires the whole-document entries to
+// survive eviction.
+func TestCacheEvictionKeepsPinnedEntries(t *testing.T) {
+	text := randomText(rand.New(rand.NewSource(3)), 400)
+	c := NewCache(text)
+	rr := RegexPair{Left: Regex{Number}}
+	pool := []Token{Number}
+	id := PoolID(pool)
+
+	wholeSeq := c.Positions(0, len(text), rr)
+	wholeIx := c.IndexFor(0, len(text), pool, id)
+
+	// Flood: distinct (lo,hi) keys well past maxSeqEntries/maxBoundEntries
+	// and maxIndexEntries.
+	n := 0
+	for lo := 0; lo < len(text) && n < maxSeqEntries+100; lo++ {
+		for hi := lo; hi <= len(text) && n < maxSeqEntries+100; hi += 7 {
+			c.Positions(lo, hi, rr)
+			if n < maxIndexEntries+10 {
+				c.IndexFor(lo, hi, pool, id)
+			}
+			n++
+		}
+	}
+
+	c.mu.RLock()
+	_, seqOK := c.seqs[seqKey{lo: 0, hi: len(text), h: pairFingerprint(rr)}]
+	_, boundOK := c.bounds[boundKey{lo: 0, hi: len(text), tok: Number.Name}]
+	ixAfter, ixOK := c.indexes[indexKey{lo: 0, hi: len(text), pool: id}]
+	c.mu.RUnlock()
+	if !seqOK {
+		t.Fatal("whole-document position sequence was evicted")
+	}
+	if !boundOK {
+		t.Fatal("whole-document token boundaries were evicted")
+	}
+	if !ixOK || ixAfter != wholeIx {
+		t.Fatal("whole-document index was evicted or rebuilt")
+	}
+	if got := c.Positions(0, len(text), rr); !equalPositions(got, wholeSeq) {
+		t.Fatalf("pinned sequence changed: %v vs %v", got, wholeSeq)
+	}
+}

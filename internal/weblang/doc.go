@@ -13,6 +13,7 @@ import (
 	"flashextract/internal/engine"
 	"flashextract/internal/htmldom"
 	"flashextract/internal/region"
+	"flashextract/internal/tokens"
 )
 
 // Document is a parsed webpage.
@@ -22,6 +23,11 @@ type Document struct {
 	// Text is the page's global text content; span regions index into it.
 	Text string
 	lang *lang
+
+	// cache memoizes token boundaries, regex-pair position sequences, and
+	// learning indexes over ranges of Text (node text contents are exact
+	// slices of it); program execution and the learners share it.
+	cache *tokens.Cache
 }
 
 // NewDocument parses an HTML page.
@@ -32,8 +38,12 @@ func NewDocument(html string) (*Document, error) {
 	}
 	d := &Document{Root: root, Text: root.TextContent()}
 	d.lang = &lang{}
+	d.cache = tokens.NewCache(d.Text)
 	return d, nil
 }
+
+// EvalCache returns the document's evaluation cache.
+func (d *Document) EvalCache() *tokens.Cache { return d.cache }
 
 // MustNewDocument is NewDocument for statically known pages.
 func MustNewDocument(html string) *Document {
@@ -173,6 +183,17 @@ func (r SpanRegion) Contains(other region.Region) bool {
 func (r SpanRegion) Overlaps(other region.Region) bool {
 	doc, lo, hi, ok := textRange(other)
 	return ok && doc == r.Doc && r.Start < hi && lo < r.End
+}
+
+// Interval exposes the span as a half-open interval of the document's
+// global text (core.Interval): span equality is document+endpoint equality
+// and conflictOverlap between spans is strict range intersection, so
+// all-span sequences get the O(n log n) overlap sweep. NodeRegion must not
+// implement this — distinct nested nodes can share one text range yet
+// overlap — and mixed node/span outputs therefore keep the exact pairwise
+// check.
+func (r SpanRegion) Interval() (space any, start, end int) {
+	return r.Doc, r.Start, r.End
 }
 
 // Less orders spans by text position; larger spans first at equal starts.

@@ -25,9 +25,12 @@ const (
 // lang implements engine.Language for webpages.
 type lang struct{}
 
-// webCtx carries the per-call token pool.
+// webCtx carries the per-call token pool and the document whose evaluation
+// cache serves boundary indexes to the learners.
 type webCtx struct {
-	toks []tokens.Token
+	toks   []tokens.Token
+	doc    *Document
+	poolID uint64
 }
 
 func newWebCtx(doc *Document, boundary []region.Region) *webCtx {
@@ -45,7 +48,16 @@ func newWebCtx(doc *Document, boundary []region.Region) *webCtx {
 	pool := make([]tokens.Token, 0, len(tokens.Standard)+len(dyn))
 	pool = append(pool, tokens.Standard...)
 	pool = append(pool, dyn...)
-	return &webCtx{toks: pool}
+	return &webCtx{toks: pool, doc: doc, poolID: tokens.PoolID(pool)}
+}
+
+// index returns the memoized boundary index of Text[lo:hi] for the
+// context's token pool.
+func (c *webCtx) index(lo, hi int) *tokens.Index {
+	if c.doc == nil || c.doc.cache == nil {
+		return nil
+	}
+	return c.doc.cache.IndexFor(lo, hi, c.toks, c.poolID)
 }
 
 func webLess(a, b core.Value) bool {
@@ -81,7 +93,7 @@ func (l *lang) SynthesizeSeqRegion(exs []engine.SeqRegionExample) []engine.SeqRe
 			return nil
 		}
 		doc = in.Doc
-		spec := core.SeqSpec{State: core.NewState(in)}
+		spec := core.SeqSpec{State: core.NewState(in).WithExecMemo()}
 		for _, p := range ex.Positive {
 			boundary = append(boundary, p)
 			spec.Positive = append(spec.Positive, core.Value(p))
@@ -147,7 +159,8 @@ func synthesizeSpanRegion(exs []engine.RegionExample) []engine.RegionProgram {
 	var doc *Document
 	var boundary []region.Region
 	var coreExs []core.Example
-	var sExs, eExs []tokens.PosExample
+	var ranges [][2]int
+	var outs []SpanRegion
 	for _, ex := range exs {
 		out, ok := ex.Output.(SpanRegion)
 		if !ok || !ex.Input.Contains(out) {
@@ -160,10 +173,17 @@ func synthesizeSpanRegion(exs []engine.RegionExample) []engine.RegionProgram {
 		doc = d
 		boundary = append(boundary, out)
 		coreExs = append(coreExs, core.Example{State: core.NewState(ex.Input), Output: out})
-		sExs = append(sExs, tokens.PosExample{S: d.Text[lo:hi], K: out.Start - lo})
-		eExs = append(eExs, tokens.PosExample{S: d.Text[lo:hi], K: out.End - lo})
+		ranges = append(ranges, [2]int{lo, hi})
+		outs = append(outs, out)
 	}
 	ctx := newWebCtx(doc, boundary)
+	var sExs, eExs []tokens.PosExample
+	for i, rg := range ranges {
+		lo, hi := rg[0], rg[1]
+		ix := ctx.index(lo, hi)
+		sExs = append(sExs, tokens.PosExample{S: doc.Text[lo:hi], K: outs[i].Start - lo, Ix: ix})
+		eExs = append(eExs, tokens.PosExample{S: doc.Text[lo:hi], K: outs[i].End - lo, Ix: ix})
+	}
 	n2 := func([]core.Example) []core.Program {
 		p1s := capAttrs(tokens.LearnAttrs(sExs, ctx.toks), attrCap)
 		p2s := capAttrs(tokens.LearnAttrs(eExs, ctx.toks), attrCap)
@@ -306,7 +326,7 @@ func (c *webCtx) learnPosSeq(exs []core.SeqExample) []core.Program {
 		if err != nil {
 			return nil
 		}
-		sp := tokens.SeqPosExample{S: doc.Text[lo:hi]}
+		sp := tokens.SeqPosExample{S: doc.Text[lo:hi], Ix: c.index(lo, hi)}
 		for _, v := range ex.Positive {
 			k, ok := v.(int)
 			if !ok || k < lo || k > hi {
@@ -340,8 +360,9 @@ func (c *webCtx) learnNodeSpanPair(exs []core.Example) []core.Program {
 			return nil
 		}
 		text := x.Node.TextContent()
-		sExs = append(sExs, tokens.PosExample{S: text, K: y.Start - x.Node.TextStart})
-		eExs = append(eExs, tokens.PosExample{S: text, K: y.End - x.Node.TextStart})
+		ix := c.index(x.Node.TextStart, x.Node.TextEnd)
+		sExs = append(sExs, tokens.PosExample{S: text, K: y.Start - x.Node.TextStart, Ix: ix})
+		eExs = append(eExs, tokens.PosExample{S: text, K: y.End - x.Node.TextStart, Ix: ix})
 	}
 	p1s := capAttrs(tokens.LearnAttrs(sExs, c.toks), attrCap)
 	p2s := capAttrs(tokens.LearnAttrs(eExs, c.toks), attrCap)
@@ -371,7 +392,7 @@ func (c *webCtx) learnStartPair(exs []core.Example) []core.Program {
 		if !ok || y.Start != x || y.End > hi {
 			return nil
 		}
-		pexs = append(pexs, tokens.PosExample{S: doc.Text[x:hi], K: y.End - x})
+		pexs = append(pexs, tokens.PosExample{S: doc.Text[x:hi], K: y.End - x, Ix: c.index(x, hi)})
 	}
 	attrs := capAttrs(tokens.LearnAttrs(pexs, c.toks), attrCap)
 	out := make([]core.Program, len(attrs))
@@ -398,7 +419,7 @@ func (c *webCtx) learnEndPair(exs []core.Example) []core.Program {
 		if !ok || y.End != x || y.Start < lo {
 			return nil
 		}
-		pexs = append(pexs, tokens.PosExample{S: doc.Text[lo:x], K: y.Start - lo})
+		pexs = append(pexs, tokens.PosExample{S: doc.Text[lo:x], K: y.Start - lo, Ix: c.index(lo, x)})
 	}
 	attrs := capAttrs(tokens.LearnAttrs(pexs, c.toks), attrCap)
 	out := make([]core.Program, len(attrs))

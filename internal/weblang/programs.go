@@ -32,6 +32,25 @@ func inputTextRange(st core.State) (doc *Document, lo, hi int, err error) {
 	}
 }
 
+// evalPos evaluates a position attribute over Text[lo:hi] through the
+// document's evaluation cache, falling back to a direct evaluation for
+// documents without one.
+func evalPos(d *Document, lo, hi int, a tokens.Attr) (int, error) {
+	if d.cache == nil {
+		return a.Eval(d.Text[lo:hi])
+	}
+	return d.cache.EvalAttr(lo, hi, a)
+}
+
+// positionsIn returns the position sequence of rr within Text[lo:hi]
+// through the document's evaluation cache.
+func positionsIn(d *Document, lo, hi int, rr tokens.RegexPair) []int {
+	if d.cache == nil {
+		return rr.Positions(d.Text[lo:hi])
+	}
+	return d.cache.Positions(lo, hi, rr)
+}
+
 // xpathsProg is the NS expression: an XPath selecting a node sequence
 // under the input node.
 type xpathsProg struct {
@@ -94,12 +113,11 @@ func (p nodeSpanPairProg) Exec(st core.State) (core.Value, error) {
 	if !ok {
 		return nil, fmt.Errorf("weblang: %s is %T, want a node region", lambdaVar, v)
 	}
-	text := x.Node.TextContent()
-	a, err := p.p1.Eval(text)
+	a, err := evalPos(x.Doc, x.Node.TextStart, x.Node.TextEnd, p.p1)
 	if err != nil {
 		return nil, err
 	}
-	b, err := p.p2.Eval(text)
+	b, err := evalPos(x.Doc, x.Node.TextStart, x.Node.TextEnd, p.p2)
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +144,7 @@ func (p posSeqProg) Exec(st core.State) (core.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	ps := p.rr.Positions(doc.Text[lo:hi])
+	ps := positionsIn(doc, lo, hi, p.rr)
 	out := make([]core.Value, len(ps))
 	for i, k := range ps {
 		out[i] = lo + k
@@ -157,7 +175,7 @@ func (p startPairProg) Exec(st core.State) (core.Value, error) {
 	if x < lo || x > hi {
 		return nil, core.ErrNoMatch
 	}
-	e, err := p.p.Eval(doc.Text[x:hi])
+	e, err := evalPos(doc, x, hi, p.p)
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +205,7 @@ func (p endPairProg) Exec(st core.State) (core.Value, error) {
 	if x < lo || x > hi {
 		return nil, core.ErrNoMatch
 	}
-	s, err := p.p.Eval(doc.Text[lo:x])
+	s, err := evalPos(doc, lo, x, p.p)
 	if err != nil {
 		return nil, err
 	}
@@ -210,12 +228,11 @@ func (p spanPairProg) Exec(st core.State) (core.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	text := doc.Text[lo:hi]
-	a, err := p.p1.Eval(text)
+	a, err := evalPos(doc, lo, hi, p.p1)
 	if err != nil {
 		return nil, err
 	}
-	b, err := p.p2.Eval(text)
+	b, err := evalPos(doc, lo, hi, p.p2)
 	if err != nil {
 		return nil, err
 	}
