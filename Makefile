@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-synth
+# Iterations per fuzz target in the smoke run (a count like 40x keeps the
+# run fast and deterministic in duration; use a duration for real fuzzing).
+FUZZTIME ?= 40x
+
+.PHONY: all build vet test race check bench bench-synth fuzz-smoke
 
 all: check
 
@@ -10,11 +14,20 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: fuzz-smoke
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# fuzz-smoke exercises every fuzz target for a handful of mutated inputs,
+# so a broken learner or parser invariant fails fast in `make test`.
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz FuzzTextLearn -fuzztime $(FUZZTIME) ./internal/textlang
+	$(GO) test -run NONE -fuzz FuzzXPathLearn -fuzztime $(FUZZTIME) ./internal/xpath
+	$(GO) test -run NONE -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/schema
+	$(GO) test -run NONE -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/htmldom
+	$(GO) test -run NONE -fuzz FuzzFromCSV -fuzztime $(FUZZTIME) ./internal/sheet
 
 # check is what CI runs: compile everything, vet, and the race-enabled
 # test suite (which subsumes the plain one).

@@ -8,6 +8,7 @@
 package flashextract_test
 
 import (
+	"context"
 	"testing"
 
 	"flashextract/internal/bench"
@@ -85,7 +86,7 @@ func BenchmarkSynthesizeTextLines(b *testing.B) {
 	lang := doc.Language()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := lang.SynthesizeSeqRegion(exs); len(got) == 0 {
+		if got := lang.SynthesizeSeqRegion(context.Background(), exs); len(got) == 0 {
 			b.Fatal("synthesis failed")
 		}
 	}
@@ -104,7 +105,7 @@ func BenchmarkSynthesizeWebNodes(b *testing.B) {
 	lang := doc.Language()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := lang.SynthesizeSeqRegion(exs); len(got) == 0 {
+		if got := lang.SynthesizeSeqRegion(context.Background(), exs); len(got) == 0 {
 			b.Fatal("synthesis failed")
 		}
 	}
@@ -123,7 +124,7 @@ func BenchmarkSynthesizeSheetCells(b *testing.B) {
 	lang := doc.Language()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := lang.SynthesizeSeqRegion(exs); len(got) == 0 {
+		if got := lang.SynthesizeSeqRegion(context.Background(), exs); len(got) == 0 {
 			b.Fatal("synthesis failed")
 		}
 	}
@@ -268,7 +269,7 @@ func BenchmarkLargeDocumentSynthesis(b *testing.B) {
 	b.SetBytes(int64(len(sb)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		progs := lang.SynthesizeSeqRegion(exs)
+		progs := lang.SynthesizeSeqRegion(context.Background(), exs)
 		if len(progs) == 0 {
 			b.Fatal("synthesis failed")
 		}

@@ -8,17 +8,24 @@
 //	flashbench [-domain text|web|sheet|all] [-fig 10|11|both] [-summary]
 //	flashbench -doc hadoop -v
 //	flashbench -synth-json BENCH_synth.json -reps 3
+//	flashbench -metrics-json - [-deadline 100ms]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"flashextract/internal/bench"
 	"flashextract/internal/bench/corpus"
+	"flashextract/internal/core"
+	"flashextract/internal/engine"
+	"flashextract/internal/metrics"
+	"flashextract/internal/region"
 )
 
 func main() {
@@ -30,6 +37,8 @@ func main() {
 	verbose := flag.Bool("v", false, "per-field detail")
 	synthJSON := flag.String("synth-json", "", "measure end-to-end field synthesis and write machine-readable JSON to this file ('-' for stdout); includes the large stress documents")
 	reps := flag.Int("reps", 3, "repetitions per task in -synth-json mode")
+	metricsJSON := flag.String("metrics-json", "", "run field synthesis with engine metrics enabled and write the metrics snapshot (candidates explored, cache hit/miss, per-phase latency) as JSON to this file ('-' for stdout)")
+	deadline := flag.Duration("deadline", 0, "per-field synthesis deadline in -metrics-json mode (0 = none); budget-exhausted calls are reported, not fatal")
 	flag.Parse()
 
 	var tasks []*bench.Task
@@ -59,6 +68,13 @@ func main() {
 			tasks = append(tasks, corpus.Large()...)
 		}
 		runSynthBench(tasks, *reps, *synthJSON)
+		return
+	}
+	if *metricsJSON != "" {
+		if *docName == "" && (*domain == "text" || *domain == "all") {
+			tasks = append(tasks, corpus.Large()...)
+		}
+		runMetricsBench(tasks, *deadline, *metricsJSON)
 		return
 	}
 	if *mode == "transfer" {
@@ -163,6 +179,113 @@ func runSynthBench(tasks []*bench.Task, reps int, path string) {
 		fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// metricsReport is the machine-readable envelope of -metrics-json mode;
+// the schema is documented in EXPERIMENTS.md.
+type metricsReport struct {
+	Schema             string            `json:"schema"`
+	GoMaxProc          int               `json:"gomaxprocs"`
+	DeadlineNs         int64             `json:"deadline_ns,omitempty"`
+	CandidatesExplored int64             `json:"candidates_explored"`
+	Cache              engine.CacheStats `json:"cache"`
+	Metrics            metrics.Snapshot  `json:"metrics"`
+	Tasks              []taskMetrics     `json:"tasks"`
+}
+
+type taskMetrics struct {
+	Name           string            `json:"name"`
+	Domain         string            `json:"domain"`
+	Fields         int               `json:"fields"`
+	PartialResults int               `json:"partial_results"`
+	ElapsedNs      int64             `json:"elapsed_ns"`
+	Cache          engine.CacheStats `json:"cache"`
+}
+
+// runMetricsBench replays ⊥-relative field synthesis over the tasks with a
+// metrics registry installed and writes the aggregated snapshot as JSON.
+func runMetricsBench(tasks []*bench.Task, deadline time.Duration, path string) {
+	reg := metrics.NewRegistry()
+	report := metricsReport{
+		Schema:     "flashextract-metrics/v1",
+		GoMaxProc:  runtime.GOMAXPROCS(0),
+		DeadlineNs: deadline.Nanoseconds(),
+	}
+	for _, task := range tasks {
+		before := engine.CacheStats{}
+		if cs, ok := task.Doc.(engine.CacheStatser); ok {
+			before = cs.CacheStats()
+		}
+		tm := taskMetrics{Name: task.Name, Domain: task.Domain}
+		start := time.Now()
+		for _, fi := range task.Schema.Fields() {
+			golden := task.Golden[fi.Color()]
+			if len(golden) == 0 {
+				continue
+			}
+			pos := golden
+			if len(pos) > 2 {
+				pos = pos[:2]
+			}
+			ctx := metrics.Into(context.Background(), reg)
+			ctx, _ = core.WithBudget(ctx, core.SynthBudget{Deadline: synthDeadline(deadline)})
+			_, pr, err := engine.SynthesizeFieldProgramCtx(
+				ctx, task.Doc, task.Schema, engine.Highlighting{}, fi,
+				append([]region.Region(nil), pos...), nil, map[string]bool{})
+			if pr != nil && pr.Exhausted {
+				tm.PartialResults++
+			}
+			if err != nil && (pr == nil || !pr.Exhausted) {
+				fmt.Fprintf(os.Stderr, "flashbench: %s/%s: %v\n", task.Name, fi.Color(), err)
+				os.Exit(1)
+			}
+			tm.Fields++
+		}
+		tm.ElapsedNs = time.Since(start).Nanoseconds()
+		if cs, ok := task.Doc.(engine.CacheStatser); ok {
+			after := cs.CacheStats()
+			tm.Cache = engine.CacheStats{
+				Hits:        after.Hits - before.Hits,
+				Misses:      after.Misses - before.Misses,
+				Entries:     after.Entries,
+				ApproxBytes: after.ApproxBytes,
+			}
+		}
+		report.Cache.Hits += tm.Cache.Hits
+		report.Cache.Misses += tm.Cache.Misses
+		report.Cache.Entries += tm.Cache.Entries
+		report.Cache.ApproxBytes += tm.Cache.ApproxBytes
+		report.Tasks = append(report.Tasks, tm)
+		fmt.Fprintf(os.Stderr, "%-14s %-6s fields=%d partial=%d cache %d/%d  %10d ns\n",
+			tm.Name, tm.Domain, tm.Fields, tm.PartialResults, tm.Cache.Hits, tm.Cache.Misses, tm.ElapsedNs)
+	}
+	reg.Count(metrics.CacheHits, report.Cache.Hits)
+	reg.Count(metrics.CacheMisses, report.Cache.Misses)
+	report.Metrics = reg.Snapshot()
+	report.CandidatesExplored = reg.Counter(metrics.CandidatesExplored)
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// synthDeadline converts a relative deadline flag to the absolute instant
+// of a SynthBudget (zero duration = no deadline).
+func synthDeadline(d time.Duration) time.Time {
+	if d <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d)
 }
 
 // runTransferMode evaluates the §2 transfer workflow over the webpage

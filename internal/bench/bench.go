@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -122,7 +123,7 @@ func SimulateField(doc engine.Document, golden []region.Region) FieldResult {
 		fr.Positives = len(ex.Positive)
 		fr.Negatives = len(ex.Negative)
 		start := time.Now()
-		progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{ex})
+		progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{ex})
 		fr.LastSynth = time.Since(start)
 		if len(progs) == 0 {
 			fr.FailReason = "synthesis failed"

@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // CleanUpInputCap bounds how many candidate programs CleanUp will compare
 // pairwise; lower-ranked candidates beyond the cap are dropped first.
@@ -20,8 +23,15 @@ var DisableCleanUp = false
 // than something ranked better, so it can never be the preferred choice).
 // Minimal-output programs are never removed, so the subsumption frontier
 // of Theorem 3 is preserved.
-func CleanUp(ps []Program, exs []SeqExample) []Program {
+//
+// CleanUp executes every candidate on every example, which makes it one of
+// the hottest loops of synthesis; it counts each candidate against the
+// call's budget and stops scanning on exhaustion, keeping the verified
+// prefix.
+func CleanUp(ctx context.Context, ps []Program, exs []SeqExample) []Program {
 	ps = capList(ps, CleanUpInputCap)
+	bud := BudgetFrom(ctx)
+	bud.AddCandidates(int64(len(ps)))
 	type cand struct {
 		p    Program
 		outs [][]Value
@@ -30,6 +40,12 @@ func CleanUp(ps []Program, exs []SeqExample) []Program {
 	}
 	var cands []cand
 	for _, p := range ps {
+		// Unconditional clock probe: one iteration executes the candidate
+		// over every example, which on large documents costs milliseconds —
+		// far too coarse for the sampled Exhausted.
+		if bud.ExhaustedNow() {
+			break
+		}
 		rows := make([][]Value, len(exs))
 		size := 0
 		ok := true

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -16,7 +17,7 @@ var inputSeq = Func{Name: "Input", F: func(st State) (Value, error) {
 
 // learnInput is the trivial learner for the fixed expression Input: it is
 // consistent iff every positive instance occurs, in order, in the input.
-func learnInput(exs []SeqExample) []Program {
+func learnInput(_ context.Context, exs []SeqExample) []Program {
 	for _, ex := range exs {
 		in, err := AsSeq(ex.State.Input())
 		if err != nil || !IsSubsequence(ex.Positive, in) {
@@ -40,7 +41,7 @@ func addProgram(k int) Program {
 }
 
 // learnAdd learns Add(k) from scalar examples binding x.
-func learnAdd(exs []Example) []Program {
+func learnAdd(_ context.Context, exs []Example) []Program {
 	if len(exs) == 0 {
 		return []Program{addProgram(0)}
 	}
@@ -65,7 +66,7 @@ func isMultipleOf(k int) Program {
 
 // learnDivisor learns MultipleOf(k) predicates from positive examples,
 // most specific (largest k) first.
-func learnDivisor(exs []Example) []Program {
+func learnDivisor(_ context.Context, exs []Example) []Program {
 	g := 0
 	for _, ex := range exs {
 		x, _ := ex.State.Lookup("x")
@@ -372,7 +373,7 @@ func TestMapLearn(t *testing.T) {
 		},
 	}
 	exs := []SeqExample{{State: NewState(seqOf(1, 2, 3)), Positive: seqOf(11, 13)}}
-	ps := op.Learn(exs)
+	ps := op.Learn(context.Background(), exs)
 	if len(ps) == 0 {
 		t.Fatal("Map.Learn found nothing")
 	}
@@ -388,7 +389,7 @@ func TestMapLearnFailsWhenNoWitness(t *testing.T) {
 		Decompose: func(st State, y []Value) ([]Value, error) { return nil, ErrNoMatch },
 	}
 	exs := []SeqExample{{State: NewState(seqOf(1)), Positive: seqOf(2)}}
-	if ps := op.Learn(exs); len(ps) != 0 {
+	if ps := op.Learn(context.Background(), exs); len(ps) != 0 {
 		t.Fatalf("expected no programs, got %d", len(ps))
 	}
 }
@@ -396,7 +397,7 @@ func TestMapLearnFailsWhenNoWitness(t *testing.T) {
 func TestFilterBoolLearn(t *testing.T) {
 	op := FilterBoolOp{Var: "x", B: learnDivisor, S: learnInput}
 	exs := []SeqExample{{State: NewState(seqOf(1, 2, 3, 4, 5, 6)), Positive: seqOf(2, 4)}}
-	ps := op.Learn(exs)
+	ps := op.Learn(context.Background(), exs)
 	if len(ps) == 0 {
 		t.Fatal("FilterBool.Learn found nothing")
 	}
@@ -417,7 +418,7 @@ func TestFilterBoolLearn(t *testing.T) {
 func TestFilterIntLearnSingleton(t *testing.T) {
 	op := FilterIntOp{S: learnInput}
 	exs := []SeqExample{{State: NewState(seqOf(7, 8, 9)), Positive: seqOf(8)}}
-	ps := op.Learn(exs)
+	ps := op.Learn(context.Background(), exs)
 	if len(ps) == 0 {
 		t.Fatal("no programs")
 	}
@@ -431,7 +432,7 @@ func TestFilterIntLearnGCD(t *testing.T) {
 	op := FilterIntOp{S: learnInput}
 	// positives at indices 1, 3, 7 → gaps 2 and 4 → iter gcd = 2, init 1
 	exs := []SeqExample{{State: NewState(seqOf(0, 10, 20, 30, 40, 50, 60, 70)), Positive: seqOf(10, 30, 70)}}
-	ps := op.Learn(exs)
+	ps := op.Learn(context.Background(), exs)
 	if len(ps) == 0 {
 		t.Fatal("no programs")
 	}
@@ -449,7 +450,7 @@ func TestFilterIntLearnMisalignedExamplesFallsBack(t *testing.T) {
 		{State: NewState(seqOf(0, 10, 20, 30)), Positive: seqOf(10, 30)},
 		{State: NewState(seqOf(0, 10, 20, 30)), Positive: seqOf(20)},
 	}
-	ps := op.Learn(exs)
+	ps := op.Learn(context.Background(), exs)
 	if len(ps) == 0 {
 		t.Fatal("no programs")
 	}
@@ -463,14 +464,14 @@ func TestFilterIntLearnMisalignedExamplesFallsBack(t *testing.T) {
 func TestFilterIntLearnRejectsMissingPositive(t *testing.T) {
 	op := FilterIntOp{S: learnInput}
 	exs := []SeqExample{{State: NewState(seqOf(1, 2)), Positive: seqOf(99)}}
-	if ps := op.Learn(exs); len(ps) != 0 {
+	if ps := op.Learn(context.Background(), exs); len(ps) != 0 {
 		t.Fatalf("expected failure, got %d programs", len(ps))
 	}
 }
 
 func TestPairLearn(t *testing.T) {
 	op := PairOp{
-		A: func(exs []Example) []Program {
+		A: func(_ context.Context, exs []Example) []Program {
 			k := exs[0].Output.(int)
 			for _, ex := range exs {
 				if ex.Output.(int) != k {
@@ -479,7 +480,7 @@ func TestPairLearn(t *testing.T) {
 			}
 			return []Program{constProgram(k)}
 		},
-		B: func(exs []Example) []Program {
+		B: func(_ context.Context, exs []Example) []Program {
 			k := exs[0].Output.(int)
 			for _, ex := range exs {
 				if ex.Output.(int) != k {
@@ -494,7 +495,7 @@ func TestPairLearn(t *testing.T) {
 		},
 	}
 	exs := []Example{{State: NewState(nil), Output: PairValue{3, 4}}}
-	ps := op.Learn(exs)
+	ps := op.Learn(context.Background(), exs)
 	if len(ps) != 1 {
 		t.Fatalf("got %d programs", len(ps))
 	}
@@ -506,21 +507,21 @@ func TestPairLearn(t *testing.T) {
 
 func TestPairLearnFailsWhenComponentFails(t *testing.T) {
 	op := PairOp{
-		A: func([]Example) []Program { return nil },
-		B: func([]Example) []Program { return []Program{constProgram(0)} },
+		A: func(context.Context, []Example) []Program { return nil },
+		B: func(context.Context, []Example) []Program { return []Program{constProgram(0)} },
 		Split: func(out Value) (Value, Value, error) {
 			pv := out.(PairValue)
 			return pv.First, pv.Second, nil
 		},
 	}
-	if ps := op.Learn([]Example{{State: NewState(nil), Output: PairValue{1, 2}}}); len(ps) != 0 {
+	if ps := op.Learn(context.Background(), []Example{{State: NewState(nil), Output: PairValue{1, 2}}}); len(ps) != 0 {
 		t.Fatal("expected no programs when a component learner fails")
 	}
 }
 
 // evenOrOddLearner learns "all even elements of input" or "all odd elements
 // of input" — a deliberately limited learner so Merge must partition.
-func evenOrOddLearner(exs []SeqExample) []Program {
+func evenOrOddLearner(_ context.Context, exs []SeqExample) []Program {
 	try := func(parity int, name string) Program {
 		p := Func{Name: name, F: func(st State) (Value, error) {
 			in, err := AsSeq(st.Input())
@@ -556,7 +557,7 @@ func evenOrOddLearner(exs []SeqExample) []Program {
 func TestMergeLearnSingleClass(t *testing.T) {
 	op := MergeOp{A: evenOrOddLearner, Less: func(a, b Value) bool { return a.(int) < b.(int) }}
 	exs := []SeqExample{{State: NewState(seqOf(1, 2, 3, 4)), Positive: seqOf(2, 4)}}
-	ps := op.Learn(exs)
+	ps := op.Learn(context.Background(), exs)
 	if len(ps) == 0 {
 		t.Fatal("no programs")
 	}
@@ -570,7 +571,7 @@ func TestMergeLearnPartitions(t *testing.T) {
 	op := MergeOp{A: evenOrOddLearner, Less: func(a, b Value) bool { return a.(int) < b.(int) }}
 	// {2, 3} requires merging the evens expression with the odds expression.
 	exs := []SeqExample{{State: NewState(seqOf(1, 2, 3, 4)), Positive: seqOf(2, 3)}}
-	ps := op.Learn(exs)
+	ps := op.Learn(context.Background(), exs)
 	if len(ps) == 0 {
 		t.Fatal("Merge.Learn failed to partition")
 	}
@@ -586,7 +587,7 @@ func TestMergeLearnGreedyPath(t *testing.T) {
 	defer func() { MergeExhaustiveLimit = old }()
 	op := MergeOp{A: evenOrOddLearner, Less: func(a, b Value) bool { return a.(int) < b.(int) }}
 	exs := []SeqExample{{State: NewState(seqOf(1, 2, 3, 4, 5, 6)), Positive: seqOf(2, 3, 4)}}
-	ps := op.Learn(exs)
+	ps := op.Learn(context.Background(), exs)
 	if len(ps) == 0 {
 		t.Fatal("greedy Merge failed")
 	}
@@ -601,7 +602,7 @@ func TestMergeLearnImpossible(t *testing.T) {
 	op := MergeOp{A: evenOrOddLearner}
 	// 99 is not in the input at all: no partition can help.
 	exs := []SeqExample{{State: NewState(seqOf(1, 2)), Positive: seqOf(99)}}
-	if ps := op.Learn(exs); len(ps) != 0 {
+	if ps := op.Learn(context.Background(), exs); len(ps) != 0 {
 		t.Fatalf("expected failure, got %d programs", len(ps))
 	}
 }
@@ -614,7 +615,7 @@ func constSeqProgram(name string, xs ...int) Program {
 
 func TestCleanUpDropsInconsistent(t *testing.T) {
 	exs := []SeqExample{{State: NewState(nil), Positive: seqOf(1)}}
-	ps := CleanUp([]Program{constSeqProgram("bad", 2, 3), constSeqProgram("good", 1, 2)}, exs)
+	ps := CleanUp(context.Background(), []Program{constSeqProgram("bad", 2, 3), constSeqProgram("good", 1, 2)}, exs)
 	if len(ps) != 1 || ps[0].String() != "good" {
 		t.Fatalf("CleanUp = %v", ps)
 	}
@@ -624,7 +625,7 @@ func TestCleanUpPrefersSubsumingPrograms(t *testing.T) {
 	exs := []SeqExample{{State: NewState(nil), Positive: seqOf(1)}}
 	tight := constSeqProgram("tight", 1)
 	loose := constSeqProgram("loose", 1, 2, 3)
-	ps := CleanUp([]Program{loose, tight}, exs)
+	ps := CleanUp(context.Background(), []Program{loose, tight}, exs)
 	if len(ps) != 1 || ps[0].String() != "tight" {
 		t.Fatalf("CleanUp kept %v, want only tight", ps)
 	}
@@ -634,7 +635,7 @@ func TestCleanUpKeepsFirstOfEquals(t *testing.T) {
 	exs := []SeqExample{{State: NewState(nil), Positive: seqOf(1)}}
 	a := constSeqProgram("a", 1, 2)
 	b := constSeqProgram("b", 1, 2)
-	ps := CleanUp([]Program{a, b}, exs)
+	ps := CleanUp(context.Background(), []Program{a, b}, exs)
 	if len(ps) != 1 || ps[0].String() != "a" {
 		t.Fatalf("CleanUp = %v, want only a", ps)
 	}
@@ -644,7 +645,7 @@ func TestCleanUpKeepsIncomparable(t *testing.T) {
 	exs := []SeqExample{{State: NewState(nil), Positive: seqOf(1)}}
 	a := constSeqProgram("a", 1, 2)
 	b := constSeqProgram("b", 1, 3)
-	ps := CleanUp([]Program{a, b}, exs)
+	ps := CleanUp(context.Background(), []Program{a, b}, exs)
 	if len(ps) != 2 {
 		t.Fatalf("CleanUp = %v, want both", ps)
 	}
@@ -654,7 +655,7 @@ func TestCleanUpDisabled(t *testing.T) {
 	DisableCleanUp = true
 	defer func() { DisableCleanUp = false }()
 	exs := []SeqExample{{State: NewState(nil), Positive: seqOf(1)}}
-	ps := CleanUp([]Program{constSeqProgram("loose", 1, 2), constSeqProgram("tight", 1)}, exs)
+	ps := CleanUp(context.Background(), []Program{constSeqProgram("loose", 1, 2), constSeqProgram("tight", 1)}, exs)
 	if len(ps) != 2 {
 		t.Fatalf("ablation should keep both, got %v", ps)
 	}
@@ -663,18 +664,18 @@ func TestCleanUpDisabled(t *testing.T) {
 // ---- top-level synthesis APIs ----
 
 func TestSynthesizeSeqRegionProgFiltersNegatives(t *testing.T) {
-	n1 := func(exs []SeqExample) []Program {
+	n1 := func(_ context.Context, exs []SeqExample) []Program {
 		return []Program{constSeqProgram("loose", 1, 2, 3), constSeqProgram("tight", 1, 3)}
 	}
 	specs := []SeqSpec{{State: NewState(nil), Positive: seqOf(1, 3), Negative: seqOf(2)}}
-	ps := SynthesizeSeqRegionProg(n1, specs, nil)
+	ps := SynthesizeSeqRegionProg(context.Background(), n1, specs, nil)
 	if len(ps) != 1 || ps[0].String() != "tight" {
 		t.Fatalf("SynthesizeSeqRegionProg = %v", ps)
 	}
 }
 
 func TestSynthesizeSeqRegionProgCustomConflict(t *testing.T) {
-	n1 := func(exs []SeqExample) []Program {
+	n1 := func(_ context.Context, exs []SeqExample) []Program {
 		return []Program{constSeqProgram("p", 1, 10)}
 	}
 	// conflict if |out - neg| < 5
@@ -686,26 +687,26 @@ func TestSynthesizeSeqRegionProgCustomConflict(t *testing.T) {
 		return d < 5
 	}
 	specs := []SeqSpec{{State: NewState(nil), Positive: seqOf(1), Negative: seqOf(12)}}
-	if ps := SynthesizeSeqRegionProg(n1, specs, conflicts); len(ps) != 0 {
+	if ps := SynthesizeSeqRegionProg(context.Background(), n1, specs, conflicts); len(ps) != 0 {
 		t.Fatalf("expected conflict rejection, got %v", ps)
 	}
 }
 
 func TestSynthesizeSeqRegionProgDropsInconsistent(t *testing.T) {
-	n1 := func(exs []SeqExample) []Program {
+	n1 := func(_ context.Context, exs []SeqExample) []Program {
 		return []Program{constSeqProgram("wrong", 9)}
 	}
 	specs := []SeqSpec{{State: NewState(nil), Positive: seqOf(1)}}
-	if ps := SynthesizeSeqRegionProg(n1, specs, nil); len(ps) != 0 {
+	if ps := SynthesizeSeqRegionProg(context.Background(), n1, specs, nil); len(ps) != 0 {
 		t.Fatalf("inconsistent program not dropped: %v", ps)
 	}
 }
 
 func TestSynthesizeRegionProg(t *testing.T) {
-	n2 := func(exs []Example) []Program {
+	n2 := func(_ context.Context, exs []Example) []Program {
 		return []Program{constProgram(5), constProgram(6)}
 	}
-	ps := SynthesizeRegionProg(n2, []Example{{State: NewState(nil), Output: 5}})
+	ps := SynthesizeRegionProg(context.Background(), n2, []Example{{State: NewState(nil), Output: 5}})
 	if len(ps) != 1 || ps[0].String() != "Const(5)" {
 		t.Fatalf("SynthesizeRegionProg = %v", ps)
 	}
@@ -736,7 +737,7 @@ func TestSoundnessProperty(t *testing.T) {
 		}
 		op := MergeOp{A: evenOrOddLearner, Less: func(a, b Value) bool { return a.(int) < b.(int) }}
 		exs := []SeqExample{{State: NewState(in), Positive: pos}}
-		for _, p := range op.Learn(exs) {
+		for _, p := range op.Learn(context.Background(), exs) {
 			if !ConsistentSeq(p, exs) {
 				return false
 			}
@@ -749,18 +750,18 @@ func TestSoundnessProperty(t *testing.T) {
 }
 
 func TestUnionLearners(t *testing.T) {
-	a := func(exs []SeqExample) []Program { return []Program{constSeqProgram("a", 1)} }
-	b := func(exs []SeqExample) []Program { return []Program{constSeqProgram("b", 2)} }
-	ps := UnionLearners(a, b)(nil)
+	a := func(_ context.Context, exs []SeqExample) []Program { return []Program{constSeqProgram("a", 1)} }
+	b := func(_ context.Context, exs []SeqExample) []Program { return []Program{constSeqProgram("b", 2)} }
+	ps := UnionLearners(a, b)(context.Background(), nil)
 	if len(ps) != 2 || ps[0].String() != "a" || ps[1].String() != "b" {
 		t.Fatalf("UnionLearners = %v", ps)
 	}
 }
 
 func TestUnionScalarLearners(t *testing.T) {
-	a := func(exs []Example) []Program { return []Program{constProgram(1)} }
-	b := func(exs []Example) []Program { return nil }
-	ps := UnionScalarLearners(a, b)(nil)
+	a := func(_ context.Context, exs []Example) []Program { return []Program{constProgram(1)} }
+	b := func(_ context.Context, exs []Example) []Program { return nil }
+	ps := UnionScalarLearners(a, b)(context.Background(), nil)
 	if len(ps) != 1 {
 		t.Fatalf("UnionScalarLearners = %v", ps)
 	}
@@ -789,11 +790,11 @@ func TestPreferNonOverlapping(t *testing.T) {
 		return d < 2
 	}
 	messy := constSeqProgram("messy", 1, 2) // 1 and 2 overlap
-	inner := func(exs []SeqExample) []Program {
+	inner := func(_ context.Context, exs []SeqExample) []Program {
 		return []Program{messy, clean, overlapping}
 	}
 	exs := []SeqExample{{State: NewState(nil), Positive: seqOf(1)}}
-	got := PreferNonOverlapping(inner, overlaps)(exs)
+	got := PreferNonOverlapping(inner, overlaps)(context.Background(), exs)
 	if len(got) != 3 {
 		t.Fatalf("got %d programs", len(got))
 	}
@@ -809,8 +810,8 @@ func TestPreferNonOverlapping(t *testing.T) {
 		t.Fatalf("overlapping program should sink, got %s", got[2])
 	}
 	// Single-element lists pass through untouched.
-	single := func(exs []SeqExample) []Program { return []Program{messy} }
-	if out := PreferNonOverlapping(single, overlaps)(exs); len(out) != 1 || out[0].String() != "messy" {
+	single := func(_ context.Context, exs []SeqExample) []Program { return []Program{messy} }
+	if out := PreferNonOverlapping(single, overlaps)(context.Background(), exs); len(out) != 1 || out[0].String() != "messy" {
 		t.Fatalf("singleton handling broken: %v", out)
 	}
 }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 // Algebraic laws of the operator semantics, checked on random integer
@@ -98,6 +100,121 @@ func TestLawMapIdentity(t *testing.T) {
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestLawSoundnessUnderTruncation checks graceful degradation (soundness
+// under truncation, Def. 3) as a law: for random inputs and a random
+// candidate budget, whatever a budget-exhausted synthesis call returns is
+// (a) still consistent with every example and (b) a prefix of what the
+// unlimited call returns, so truncation can only shorten the ranked list,
+// never reorder it or admit an unverified program.
+func TestLawSoundnessUnderTruncation(t *testing.T) {
+	f := func(xs []int8, dv, mc uint8) bool {
+		d := int(dv%3) + 1
+		st := randomSeqState(xs)
+		in, _ := AsSeq(st.Input())
+		var pos []Value
+		for _, v := range in {
+			if v.(int)%d == 0 {
+				pos = append(pos, v)
+			}
+		}
+		if len(pos) == 0 {
+			return true
+		}
+		specs := []SeqSpec{{State: st, Positive: pos}}
+		exs := []SeqExample{{State: st, Positive: pos}}
+		op := FilterBoolOp{Var: "x", B: learnDivisor, S: learnInput}
+
+		full := SynthesizeSeqRegionProg(context.Background(), op.Learn, specs, nil)
+		ctx, bud := WithBudget(context.Background(), SynthBudget{MaxCandidates: int64(mc%8) + 1})
+		trunc := SynthesizeSeqRegionProg(ctx, op.Learn, specs, nil)
+
+		if len(trunc) > len(full) {
+			return false
+		}
+		for i, p := range trunc {
+			if p.String() != full[i].String() { // prefix, same ranking
+				return false
+			}
+			if !ConsistentSeq(p, exs) { // sound despite truncation
+				return false
+			}
+		}
+		// A tripped budget must report the candidate bound as the reason.
+		return bud.Reason() == "" || bud.Reason() == ReasonCandidates
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// slowLearner simulates an expensive candidate enumeration: each candidate
+// costs real wall-clock time, and the loop polls the budget exactly the way
+// the DSL learners do (sampled Exhausted, one AddCandidates per candidate).
+func slowLearner(ctx context.Context, exs []SeqExample) []Program {
+	bud := BudgetFrom(ctx)
+	for i := 0; i < 1<<20; i++ {
+		bud.AddCandidates(1)
+		if bud.Exhausted() {
+			break
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+	return learnInput(ctx, exs)
+}
+
+// TestLawCancellationPrompt checks the promptness law of budgets: a Learn
+// call over a pathologically slow learner returns within a small ε of its
+// deadline (or of cancellation), and what it returns is still consistent.
+// ε is generous for CI jitter but far below the unbudgeted runtime (~20s).
+func TestLawCancellationPrompt(t *testing.T) {
+	const epsilon = 250 * time.Millisecond
+	st := randomSeqState([]int8{3, 1, 4, 1, 5})
+	specs := []SeqSpec{{State: st, Positive: seqOf(3, 1, 4, 1, 5)}}
+	exs := []SeqExample{{State: st, Positive: specs[0].Positive}}
+
+	check := func(t *testing.T, ctx context.Context, bud *Budget, bound time.Duration, reason string) {
+		t.Helper()
+		start := time.Now()
+		out := SynthesizeSeqRegionProg(ctx, slowLearner, specs, nil)
+		elapsed := time.Since(start)
+		if elapsed > bound {
+			t.Fatalf("returned after %v, want under %v", elapsed, bound)
+		}
+		if got := bud.Reason(); got != reason {
+			t.Fatalf("budget reason = %q, want %q", got, reason)
+		}
+		for _, p := range out {
+			if !ConsistentSeq(p, exs) {
+				t.Fatalf("truncated result %s inconsistent with examples", p)
+			}
+		}
+	}
+
+	for _, d := range []time.Duration{5 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond} {
+		t.Run("deadline/"+d.String(), func(t *testing.T) {
+			ctx, bud := WithBudget(context.Background(), SynthBudget{Deadline: time.Now().Add(d)})
+			check(t, ctx, bud, d+epsilon, ReasonDeadline)
+		})
+	}
+	t.Run("expired-deadline", func(t *testing.T) {
+		ctx, bud := WithBudget(context.Background(), SynthBudget{Deadline: time.Now().Add(-time.Second)})
+		check(t, ctx, bud, epsilon, ReasonDeadline)
+	})
+	t.Run("cancelled-context", func(t *testing.T) {
+		cctx, cancel := context.WithCancel(context.Background())
+		ctx, bud := WithBudget(cctx, SynthBudget{})
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			cancel()
+		}()
+		check(t, ctx, bud, 10*time.Millisecond+epsilon, ReasonCancelled)
+	})
+	t.Run("candidate-cap", func(t *testing.T) {
+		ctx, bud := WithBudget(context.Background(), SynthBudget{MaxCandidates: 100})
+		check(t, ctx, bud, epsilon, ReasonCandidates)
+	})
 }
 
 // TestLawFilterComposition checks FilterInt(a,b, FilterInt(0,1,S)) ≡

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
+
+	"flashextract/internal/metrics"
 )
 
 // Example is a scalar input/output example: running the desired program in
@@ -22,12 +25,16 @@ type SeqExample struct {
 }
 
 // ScalarLearner learns the ranked set of scalar programs consistent with a
-// set of scalar examples. An empty result means no program exists.
-type ScalarLearner func(exs []Example) []Program
+// set of scalar examples. An empty result means no program exists. The
+// context carries cancellation and the call's SynthBudget (see WithBudget);
+// learners stop exploring when it expires and return the consistent
+// programs found so far.
+type ScalarLearner func(ctx context.Context, exs []Example) []Program
 
 // SeqLearner learns the ranked set of sequence programs consistent with a
-// set of sequence examples (positive instances only).
-type SeqLearner func(exs []SeqExample) []Program
+// set of sequence examples (positive instances only). The context carries
+// cancellation and the call's SynthBudget, as for ScalarLearner.
+type SeqLearner func(ctx context.Context, exs []SeqExample) []Program
 
 // DefaultCap bounds the length of learner result lists where a cross
 // product could otherwise explode. Learners keep the highest-ranked
@@ -49,12 +56,19 @@ func capList(ps []Program, limit int) []Program {
 // procedure of Fig. 6). The rule learners are independent, so they run
 // concurrently when spare processors exist; their results are stitched
 // back together in rule order, keeping ranking identical to a serial run.
+// A cancelled context stops each learner cooperatively; results produced
+// before the cancellation are still returned.
 func UnionLearners(learners ...SeqLearner) SeqLearner {
-	return func(exs []SeqExample) []Program {
+	return func(ctx context.Context, exs []SeqExample) []Program {
+		metrics.From(ctx).Count(metrics.LearnerFanout, int64(len(learners)))
+		bud := BudgetFrom(ctx)
 		if len(learners) < 2 || runtime.GOMAXPROCS(0) < 2 {
 			var out []Program
 			for _, l := range learners {
-				out = append(out, l(exs)...)
+				if bud.ExhaustedNow() {
+					break
+				}
+				out = append(out, l(ctx, exs)...)
 			}
 			return out
 		}
@@ -64,7 +78,10 @@ func UnionLearners(learners ...SeqLearner) SeqLearner {
 			wg.Add(1)
 			go func(i int, l SeqLearner) {
 				defer wg.Done()
-				parts[i] = l(exs)
+				if bud.ExhaustedNow() {
+					return
+				}
+				parts[i] = l(ctx, exs)
 			}(i, l)
 		}
 		wg.Wait()
@@ -78,11 +95,16 @@ func UnionLearners(learners ...SeqLearner) SeqLearner {
 
 // UnionScalarLearners is UnionLearners for scalar non-terminals.
 func UnionScalarLearners(learners ...ScalarLearner) ScalarLearner {
-	return func(exs []Example) []Program {
+	return func(ctx context.Context, exs []Example) []Program {
+		metrics.From(ctx).Count(metrics.LearnerFanout, int64(len(learners)))
+		bud := BudgetFrom(ctx)
 		if len(learners) < 2 || runtime.GOMAXPROCS(0) < 2 {
 			var out []Program
 			for _, l := range learners {
-				out = append(out, l(exs)...)
+				if bud.ExhaustedNow() {
+					break
+				}
+				out = append(out, l(ctx, exs)...)
 			}
 			return out
 		}
@@ -92,7 +114,10 @@ func UnionScalarLearners(learners ...ScalarLearner) ScalarLearner {
 			wg.Add(1)
 			go func(i int, l ScalarLearner) {
 				defer wg.Done()
-				parts[i] = l(exs)
+				if bud.ExhaustedNow() {
+					return
+				}
+				parts[i] = l(ctx, exs)
 			}(i, l)
 		}
 		wg.Wait()
@@ -148,8 +173,8 @@ func ConsistentScalar(p Program, exs []Example) bool {
 // almost always signals an overfit candidate; the overlapping programs are
 // kept as a fallback to preserve completeness.
 func PreferNonOverlapping(l SeqLearner, overlaps func(a, b Value) bool) SeqLearner {
-	return func(exs []SeqExample) []Program {
-		ps := l(exs)
+	return func(ctx context.Context, exs []SeqExample) []Program {
+		ps := l(ctx, exs)
 		if len(ps) <= 1 {
 			return ps
 		}

@@ -1,9 +1,14 @@
 package core
 
+import "context"
+
 // This file implements the modular inductive synthesis algorithms for the
 // core algebra operators (Fig. 6 of the paper). Each operator learner is
 // parameterized by the learners of its arguments, so any DSL assembled from
-// these operators obtains its synthesizer compositionally.
+// these operators obtains its synthesizer compositionally. Every learner
+// threads the call context: argument learners receive it, and the cross
+// product / partition-search loops poll the call's Budget so a deadline or
+// candidate cap stops exploration while keeping what was already found.
 
 // MapOp is a decomposable Map operator (§4.2). Decompose computes, from an
 // input state and a desired output subsequence Y, the witness subsequence Z
@@ -27,7 +32,7 @@ type MapOp struct {
 // Learn implements Map.Learn of Fig. 6: decompose every example, learn F
 // from the per-element scalar examples and S from the witness sequences,
 // and return the cleaned-up cross product.
-func (op MapOp) Learn(exs []SeqExample) []Program {
+func (op MapOp) Learn(ctx context.Context, exs []SeqExample) []Program {
 	var scalarExs []Example
 	var seqExs []SeqExample
 	for _, ex := range exs {
@@ -43,21 +48,26 @@ func (op MapOp) Learn(exs []SeqExample) []Program {
 		}
 		seqExs = append(seqExs, SeqExample{State: ex.State, Positive: z})
 	}
-	fs := op.F(scalarExs)
+	fs := op.F(ctx, scalarExs)
 	if len(fs) == 0 {
 		return nil
 	}
-	ss := op.S(seqExs)
+	ss := op.S(ctx, seqExs)
 	if len(ss) == 0 {
 		return nil
 	}
+	bud := BudgetFrom(ctx)
 	var out []Program
+cross:
 	for _, s := range ss {
 		for _, f := range fs {
+			if bud.Exhausted() {
+				break cross
+			}
 			out = append(out, &MapProgram{Name: op.Name, Var: op.Var, F: f, S: s})
 		}
 	}
-	return CleanUp(capList(out, op.Cap*4), exs)
+	return CleanUp(ctx, capList(out, op.Cap*4), exs)
 }
 
 // FilterBoolOp selects elements of a sequence by a learned predicate.
@@ -74,8 +84,8 @@ type FilterBoolOp struct {
 
 // Learn implements FilterBool.Learn of Fig. 6: learn S from the sequence
 // examples and B from one true-example per positive element, then combine.
-func (op FilterBoolOp) Learn(exs []SeqExample) []Program {
-	ss := op.S(exs)
+func (op FilterBoolOp) Learn(ctx context.Context, exs []SeqExample) []Program {
+	ss := op.S(ctx, exs)
 	if len(ss) == 0 {
 		return nil
 	}
@@ -85,17 +95,22 @@ func (op FilterBoolOp) Learn(exs []SeqExample) []Program {
 			predExs = append(predExs, Example{State: ex.State.Bind(op.Var, e), Output: true})
 		}
 	}
-	bs := op.B(predExs)
+	bs := op.B(ctx, predExs)
 	if len(bs) == 0 {
 		return nil
 	}
+	bud := BudgetFrom(ctx)
 	var out []Program
+cross:
 	for _, s := range ss {
 		for _, b := range bs {
+			if bud.Exhausted() {
+				break cross
+			}
 			out = append(out, &FilterBoolProgram{Var: op.Var, B: b, S: s})
 		}
 	}
-	return CleanUp(capList(out, op.Cap*4), exs)
+	return CleanUp(ctx, capList(out, op.Cap*4), exs)
 }
 
 // FilterIntOp selects elements of a sequence by index arithmetic.
@@ -110,10 +125,14 @@ type FilterIntOp struct {
 // sequence program, choose the strictest (init, iter) consistent with the
 // examples — init is the minimum offset of the first positive instance and
 // iter the GCD of the index distances between contiguous positives.
-func (op FilterIntOp) Learn(exs []SeqExample) []Program {
-	ss := op.S(exs)
+func (op FilterIntOp) Learn(ctx context.Context, exs []SeqExample) []Program {
+	ss := op.S(ctx, exs)
+	bud := BudgetFrom(ctx)
 	var out []Program
 	for _, s := range ss {
+		if bud.ExhaustedNow() {
+			break
+		}
 		init, iter, ok := deriveFilterInt(s, exs)
 		if !ok {
 			continue
@@ -129,7 +148,7 @@ func (op FilterIntOp) Learn(exs []SeqExample) []Program {
 		}
 		out = append(out, p)
 	}
-	return CleanUp(capList(out, op.Cap*4), exs)
+	return CleanUp(ctx, capList(out, op.Cap*4), exs)
 }
 
 func deriveFilterInt(s Program, exs []SeqExample) (init, iter int, ok bool) {
@@ -201,7 +220,7 @@ type PairOp struct {
 
 // Learn implements Pair.Learn of Fig. 6: learn both components
 // independently and return the cross product.
-func (op PairOp) Learn(exs []Example) []Program {
+func (op PairOp) Learn(ctx context.Context, exs []Example) []Program {
 	var aExs, bExs []Example
 	for _, ex := range exs {
 		a, b, err := op.Split(ex.Output)
@@ -211,17 +230,22 @@ func (op PairOp) Learn(exs []Example) []Program {
 		aExs = append(aExs, Example{State: ex.State, Output: a})
 		bExs = append(bExs, Example{State: ex.State, Output: b})
 	}
-	as := op.A(aExs)
+	as := op.A(ctx, aExs)
 	if len(as) == 0 {
 		return nil
 	}
-	bs := op.B(bExs)
+	bs := op.B(ctx, bExs)
 	if len(bs) == 0 {
 		return nil
 	}
+	bud := BudgetFrom(ctx)
 	var out []Program
+cross:
 	for _, a := range as {
 		for _, b := range bs {
+			if bud.Exhausted() {
+				break cross
+			}
 			out = append(out, &PairProgram{A: a, B: b, Make: op.Make})
 		}
 	}
@@ -255,14 +279,14 @@ type mergeItem struct {
 // results. For small example sets the search is exhaustive over set
 // partitions in increasing class count (yielding a minimal cover as in the
 // paper); larger sets use a greedy scan.
-func (op MergeOp) Learn(exs []SeqExample) []Program {
+func (op MergeOp) Learn(ctx context.Context, exs []SeqExample) []Program {
 	// Fast path: a single expression covers everything.
-	if ps := op.A(exs); len(ps) > 0 {
+	if ps := op.A(ctx, exs); len(ps) > 0 {
 		out := make([]Program, len(ps))
 		for i, p := range ps {
 			out[i] = &MergeProgram{Args: []Program{p}, Less: op.Less}
 		}
-		return CleanUp(capList(out, op.Cap*4), exs)
+		return CleanUp(ctx, capList(out, op.Cap*4), exs)
 	}
 	var items []mergeItem
 	for j, ex := range exs {
@@ -273,24 +297,30 @@ func (op MergeOp) Learn(exs []SeqExample) []Program {
 	if len(items) == 0 {
 		return nil
 	}
+	bud := BudgetFrom(ctx)
 	memo := map[string][]Program{}
 	learnClass := func(idxs []int) []Program {
 		key := classKey(idxs)
 		if ps, ok := memo[key]; ok {
 			return ps
 		}
-		ps := op.A(op.classExamples(exs, items, idxs))
+		if bud.ExhaustedNow() {
+			// Do not memoize the truncation: an unexplored class is not a
+			// proven-unlearnable class.
+			return nil
+		}
+		ps := op.A(ctx, op.classExamples(exs, items, idxs))
 		memo[key] = ps
 		return ps
 	}
 
 	var out []Program
 	if len(items) <= MergeExhaustiveLimit {
-		out = op.learnExhaustive(exs, items, learnClass)
+		out = op.learnExhaustive(ctx, exs, items, learnClass)
 	} else {
 		out = op.learnGreedy(exs, items, learnClass)
 	}
-	return CleanUp(capList(out, op.Cap*4), exs)
+	return CleanUp(ctx, capList(out, op.Cap*4), exs)
 }
 
 // classExamples builds the sub-example-set for a class of item indices,
@@ -321,14 +351,15 @@ func classKey(idxs []int) string {
 // learnExhaustive enumerates set partitions of the items in increasing
 // class count via restricted-growth strings, returning all Merge programs
 // from the minimal learnable partitions.
-func (op MergeOp) learnExhaustive(exs []SeqExample, items []mergeItem, learnClass func([]int) []Program) []Program {
+func (op MergeOp) learnExhaustive(ctx context.Context, exs []SeqExample, items []mergeItem, learnClass func([]int) []Program) []Program {
+	bud := BudgetFrom(ctx)
 	m := len(items)
 	for k := 2; k <= m; k++ {
 		var out []Program
 		rgs := make([]int, m)
 		var rec func(i, maxUsed int)
 		rec = func(i, maxUsed int) {
-			if len(out) >= DefaultCap {
+			if len(out) >= DefaultCap || bud.Exhausted() {
 				return
 			}
 			if i == m {
@@ -354,6 +385,9 @@ func (op MergeOp) learnExhaustive(exs []SeqExample, items []mergeItem, learnClas
 		rec(0, -1)
 		if len(out) > 0 {
 			return out
+		}
+		if bud.ExhaustedNow() {
+			return nil
 		}
 	}
 	return nil

@@ -1,5 +1,7 @@
 package core
 
+import "context"
+
 // SeqSpec is the input of SynthesizeSeqRegionProg: for each input region
 // (held in State), the regions that must be extracted (Positive) and the
 // regions that must not (Negative).
@@ -15,7 +17,12 @@ type SeqSpec struct {
 // the programs whose outputs avoid every negative instance. The conflicts
 // predicate decides whether an output value violates a negative instance;
 // if nil, value equality is used.
-func SynthesizeSeqRegionProg(n1 SeqLearner, specs []SeqSpec, conflicts func(out, neg Value) bool) []Program {
+//
+// The filtering loop is budget-aware: on exhaustion it stops early and
+// returns the verified prefix, so every returned program — even under a
+// truncated search — has passed the full consistency and negative-instance
+// checks (soundness under truncation, Def. 3).
+func SynthesizeSeqRegionProg(ctx context.Context, n1 SeqLearner, specs []SeqSpec, conflicts func(out, neg Value) bool) []Program {
 	if conflicts == nil {
 		conflicts = Eq
 	}
@@ -23,9 +30,14 @@ func SynthesizeSeqRegionProg(n1 SeqLearner, specs []SeqSpec, conflicts func(out,
 	for i, sp := range specs {
 		exs[i] = SeqExample{State: sp.State, Positive: sp.Positive}
 	}
-	candidates := n1(exs)
+	candidates := n1(ctx, exs)
+	bud := BudgetFrom(ctx)
+	bud.AddCandidates(int64(len(candidates)))
 	var out []Program
 	for _, p := range candidates {
+		if bud.ExhaustedNow() {
+			break
+		}
 		if !ConsistentSeq(p, exs) {
 			continue
 		}
@@ -59,11 +71,17 @@ func violatesNegative(p Program, specs []SeqSpec, conflicts func(out, neg Value)
 
 // SynthesizeRegionProg learns the ranked set of scalar (region) programs
 // consistent with the examples via the DSL's top-level region non-terminal
-// n2.
-func SynthesizeRegionProg(n2 ScalarLearner, exs []Example) []Program {
-	candidates := n2(exs)
+// n2. As with the sequence driver, budget exhaustion truncates the
+// verified candidate list instead of failing.
+func SynthesizeRegionProg(ctx context.Context, n2 ScalarLearner, exs []Example) []Program {
+	candidates := n2(ctx, exs)
+	bud := BudgetFrom(ctx)
+	bud.AddCandidates(int64(len(candidates)))
 	var out []Program
 	for _, p := range candidates {
+		if bud.ExhaustedNow() {
+			break
+		}
 		if ConsistentScalar(p, exs) {
 			out = append(out, p)
 		}

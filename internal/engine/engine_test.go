@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -81,7 +82,7 @@ type fakeLang struct {
 	regCandidates []regProg
 }
 
-func (l *fakeLang) SynthesizeSeqRegion(exs []SeqRegionExample) []SeqRegionProgram {
+func (l *fakeLang) SynthesizeSeqRegion(_ context.Context, exs []SeqRegionExample) []SeqRegionProgram {
 	var out []SeqRegionProgram
 	for _, p := range l.seqCandidates {
 		ok := true
@@ -109,7 +110,7 @@ func (l *fakeLang) SynthesizeSeqRegion(exs []SeqRegionExample) []SeqRegionProgra
 	return out
 }
 
-func (l *fakeLang) SynthesizeRegion(exs []RegionExample) []RegionProgram {
+func (l *fakeLang) SynthesizeRegion(_ context.Context, exs []RegionExample) []RegionProgram {
 	var out []RegionProgram
 	for _, p := range l.regCandidates {
 		ok := true

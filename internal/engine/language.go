@@ -9,7 +9,11 @@
 // exposes the two inductive synthesis APIs of the framework.
 package engine
 
-import "flashextract/internal/region"
+import (
+	"context"
+
+	"flashextract/internal/region"
+)
 
 // SeqRegionExample is one example for SynthesizeSeqRegion: within the
 // Input region, the Positive regions must be extracted and the Negative
@@ -43,10 +47,31 @@ type RegionProgram interface {
 // Language is a data-extraction DSL instantiation: it provides the two
 // synthesis APIs of the framework (§4.3). Both return ranked lists of
 // programs consistent with the examples; an empty list means no program in
-// the DSL is consistent.
+// the DSL is consistent. The context carries cancellation and the call's
+// synthesis budget (core.WithBudget): implementations stop exploring
+// cooperatively when it expires and return the consistent programs found
+// so far, so an empty list under an exhausted budget means "none found in
+// time", not "none exists".
 type Language interface {
-	SynthesizeSeqRegion(exs []SeqRegionExample) []SeqRegionProgram
-	SynthesizeRegion(exs []RegionExample) []RegionProgram
+	SynthesizeSeqRegion(ctx context.Context, exs []SeqRegionExample) []SeqRegionProgram
+	SynthesizeRegion(ctx context.Context, exs []RegionExample) []RegionProgram
+}
+
+// CacheStats summarizes a document's evaluation cache: probe hits and
+// misses plus approximate resident bytes. Documents whose Language uses a
+// document-scoped cache implement CacheStatser; the Session and flashbench
+// surface the numbers alongside the engine metrics.
+type CacheStats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Entries     int64 `json:"entries"`
+	ApproxBytes int64 `json:"approx_bytes"`
+}
+
+// CacheStatser is implemented by documents that expose evaluation-cache
+// statistics.
+type CacheStatser interface {
+	CacheStats() CacheStats
 }
 
 // Document is a concrete document of some domain, paired with the domain's

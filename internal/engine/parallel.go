@@ -1,10 +1,19 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"flashextract/internal/core"
 )
+
+// ValidationWorkers overrides the size of the candidate-validation worker
+// pool (0 means GOMAXPROCS). It exists for the differential test harness,
+// which compares the parallel scan against a forced-serial reference; the
+// production default is 0.
+var ValidationWorkers = 0
 
 // firstPassing returns the lowest index i in [0, n) for which try(i) is
 // true, or -1 when no index passes — the same answer as the serial loop
@@ -20,27 +29,44 @@ import (
 // passing index. Every index below the returned one has been tried and
 // rejected, exactly as in the serial loop; indexes above it may be skipped
 // (early cancellation).
-func firstPassing(n int, try func(int) bool) int {
+//
+// Worker lifetime is tied to the context: when ctx is cancelled or the
+// call's budget trips, workers stop claiming new candidates and the call
+// returns after at most one in-flight try each — no goroutine outlives
+// firstPassing, so an abandoning caller leaks nothing. A truncated scan is
+// reported via complete=false: the returned index is then the best passing
+// candidate found before the interruption (or -1), and lower-ranked
+// untried candidates may exist, so the serial-equivalence guarantee only
+// holds when complete is true.
+func firstPassing(ctx context.Context, n int, try func(int) bool) (idx int, complete bool) {
 	if n <= 0 {
-		return -1
+		return -1, true
 	}
-	workers := runtime.GOMAXPROCS(0)
+	bud := core.BudgetFrom(ctx)
+	workers := ValidationWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil || bud.ExhaustedNow() {
+				return -1, false
+			}
 			if try(i) {
-				return i
+				return i, true
 			}
 		}
-		return -1
+		return -1, true
 	}
 
 	var (
-		next atomic.Int64 // next candidate index to claim
-		best atomic.Int64 // lowest passing index found so far
-		wg   sync.WaitGroup
+		next      atomic.Int64 // next candidate index to claim
+		best      atomic.Int64 // lowest passing index found so far
+		truncated atomic.Bool  // a worker stopped before exhausting its claims
+		wg        sync.WaitGroup
 	)
 	best.Store(int64(n))
 	for w := 0; w < workers; w++ {
@@ -48,6 +74,10 @@ func firstPassing(n int, try func(int) bool) int {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil || bud.ExhaustedNow() {
+					truncated.Store(true)
+					return
+				}
 				i := next.Add(1) - 1
 				if i >= int64(n) || i >= best.Load() {
 					return
@@ -65,8 +95,15 @@ func firstPassing(n int, try func(int) bool) int {
 		}()
 	}
 	wg.Wait()
-	if b := best.Load(); b < int64(n) {
-		return int(b)
+	b := best.Load()
+	if truncated.Load() {
+		if b < int64(n) {
+			return int(b), false
+		}
+		return -1, false
 	}
-	return -1
+	if b < int64(n) {
+		return int(b), true
+	}
+	return -1, true
 }

@@ -1,11 +1,14 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"flashextract/internal/core"
 	"flashextract/internal/region"
 	"flashextract/internal/schema"
 )
@@ -29,13 +32,16 @@ func TestFirstPassingMatchesSerial(t *testing.T) {
 			}
 		}
 		var calls atomic.Int64
-		got := firstPassing(n, func(i int) bool {
+		got, complete := firstPassing(context.Background(), n, func(i int) bool {
 			calls.Add(1)
 			if i < 0 || i >= n {
 				t.Errorf("try(%d) out of range [0,%d)", i, n)
 			}
 			return pass[i]
 		})
+		if !complete {
+			t.Fatalf("trial %d: unbudgeted scan reported truncation", trial)
+		}
 		if got != want {
 			t.Fatalf("trial %d: firstPassing = %d, serial scan = %d (n=%d)", trial, got, want, n)
 		}
@@ -47,14 +53,69 @@ func TestFirstPassingMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestFirstPassingNoGoroutineLeak checks that validation workers never
+// outlive the call: after firstPassing returns — including when it is cut
+// short by a cancelled context or an expired budget mid-scan — the
+// goroutine count settles back to its baseline.
+func TestFirstPassingNoGoroutineLeak(t *testing.T) {
+	baseline := func() int {
+		runtime.GC()
+		return runtime.NumGoroutine()
+	}
+	settle := func(want int) int {
+		var n int
+		for i := 0; i < 100; i++ {
+			runtime.GC()
+			n = runtime.NumGoroutine()
+			if n <= want {
+				return n
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return n
+	}
+
+	before := baseline()
+	for trial := 0; trial < 20; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int64
+		go func() {
+			// Cancel while workers are mid-scan.
+			for calls.Load() < 4 {
+				runtime.Gosched()
+			}
+			cancel()
+		}()
+		firstPassing(ctx, 512, func(i int) bool {
+			calls.Add(1)
+			time.Sleep(100 * time.Microsecond)
+			return false
+		})
+		cancel()
+	}
+	// Budget-exhaustion path: an already-expired deadline.
+	for trial := 0; trial < 20; trial++ {
+		ctx, _ := core.WithBudget(context.Background(),
+			core.SynthBudget{Deadline: time.Now().Add(-time.Second)})
+		firstPassing(ctx, 512, func(i int) bool {
+			time.Sleep(100 * time.Microsecond)
+			return false
+		})
+	}
+	if after := settle(before); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
 func TestFirstPassingEdgeCases(t *testing.T) {
-	if got := firstPassing(0, func(int) bool { return true }); got != -1 {
+	ctx := context.Background()
+	if got, _ := firstPassing(ctx, 0, func(int) bool { return true }); got != -1 {
 		t.Fatalf("n=0: got %d", got)
 	}
-	if got := firstPassing(5, func(int) bool { return false }); got != -1 {
+	if got, _ := firstPassing(ctx, 5, func(int) bool { return false }); got != -1 {
 		t.Fatalf("all-fail: got %d", got)
 	}
-	if got := firstPassing(1, func(i int) bool { return i == 0 }); got != 0 {
+	if got, _ := firstPassing(ctx, 1, func(i int) bool { return i == 0 }); got != 0 {
 		t.Fatalf("n=1: got %d", got)
 	}
 }

@@ -1,8 +1,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"time"
 
+	"flashextract/internal/core"
+	"flashextract/internal/metrics"
 	"flashextract/internal/region"
 	"flashextract/internal/schema"
 )
@@ -19,6 +23,33 @@ type Session struct {
 	materialized map[string]bool // colors whose programs are committed
 	programs     map[string]*FieldProgram
 	pos, neg     map[string][]region.Region // examples per color
+
+	budget  core.SynthBudget  // per-Learn budget (zero = unlimited)
+	reg     *metrics.Registry // session-lifetime engine metrics
+	partial map[string]*PartialResult
+	stats   SessionStats
+}
+
+// SessionStats aggregates the engine metrics of a session: per-call
+// synthesis outcomes plus the document's evaluation-cache counters. It is
+// a snapshot; see Session.Stats.
+type SessionStats struct {
+	// LearnCalls counts Learn/LearnContext/InferStructure synthesis calls.
+	LearnCalls int64 `json:"learn_calls"`
+	// PartialResults counts calls that exhausted their budget.
+	PartialResults int64 `json:"partial_results"`
+	// CandidatesExplored totals candidate programs examined.
+	CandidatesExplored int64 `json:"candidates_explored"`
+	// LearnerFanout totals learners dispatched by Union combinators.
+	LearnerFanout int64 `json:"learner_fanout"`
+	// SynthTime totals wall time spent inside synthesis calls.
+	SynthTime time.Duration `json:"synth_time_ns"`
+	// Cache holds the document's evaluation-cache counters (zero value
+	// when the document type has no cache).
+	Cache CacheStats `json:"cache"`
+	// Metrics is the full snapshot of the session's metric registry,
+	// including the per-phase latency histograms.
+	Metrics metrics.Snapshot `json:"metrics"`
 }
 
 // NewSession starts an extraction session for a document and schema.
@@ -31,6 +62,8 @@ func NewSession(doc Document, sch *schema.Schema) *Session {
 		programs:     map[string]*FieldProgram{},
 		pos:          map[string][]region.Region{},
 		neg:          map[string][]region.Region{},
+		reg:          metrics.NewRegistry(),
+		partial:      map[string]*PartialResult{},
 	}
 }
 
@@ -39,6 +72,28 @@ func (s *Session) Schema() *schema.Schema { return s.sch }
 
 // Document returns the session's document.
 func (s *Session) Document() Document { return s.doc }
+
+// SetBudget installs a synthesis budget applied to every subsequent Learn
+// call of the session (in addition to any deadline on the call's context).
+// The zero budget removes all session-level limits.
+func (s *Session) SetBudget(b core.SynthBudget) { s.budget = b }
+
+// Stats returns a snapshot of the session's engine metrics: learn calls,
+// partial results, candidates explored, learner fan-out, synthesis wall
+// time, per-phase latency histograms, and the document cache counters.
+func (s *Session) Stats() SessionStats {
+	st := s.stats
+	st.Metrics = s.reg.Snapshot()
+	st.LearnerFanout = s.reg.Counter(metrics.LearnerFanout)
+	if cs, ok := s.doc.(CacheStatser); ok {
+		st.Cache = cs.CacheStats()
+	}
+	return st
+}
+
+// LastPartial returns the PartialResult of the most recent synthesis call
+// for a color (nil when the field has not been learned).
+func (s *Session) LastPartial(color string) *PartialResult { return s.partial[color] }
 
 // field resolves a color to its schema field.
 func (s *Session) field(color string) (*schema.FieldInfo, error) {
@@ -85,21 +140,56 @@ func (s *Session) ClearExamples(color string) {
 
 // Learn synthesizes a field extraction program for the field of the given
 // color from the examples recorded so far and returns the program together
-// with the full highlighting it infers for the field.
+// with the full highlighting it infers for the field. It is LearnContext
+// with a background context (the session budget, if any, still applies).
 func (s *Session) Learn(color string) (*FieldProgram, []region.Region, error) {
+	fp, rs, _, err := s.LearnContext(context.Background(), color)
+	return fp, rs, err
+}
+
+// LearnContext is Learn bounded by a context: the context's deadline and
+// cancellation, together with the session budget installed by SetBudget,
+// stop synthesis cooperatively. On budget exhaustion the best program
+// found so far is returned (when one exists) along with a PartialResult
+// describing the truncation; the caller decides whether to keep it,
+// refine, or retry with a larger budget.
+func (s *Session) LearnContext(ctx context.Context, color string) (*FieldProgram, []region.Region, *PartialResult, error) {
 	fi, err := s.field(color)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if s.materialized[color] {
-		return nil, nil, fmt.Errorf("engine: field %s is already materialized", color)
+		return nil, nil, nil, fmt.Errorf("engine: field %s is already materialized", color)
 	}
-	fp, err := SynthesizeFieldProgram(s.doc, s.sch, s.cr, fi, s.pos[color], s.neg[color], s.materialized)
+	fp, pr, err := s.synthesize(ctx, fi, s.pos[color], s.neg[color])
+	s.record(color, pr)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, pr, err
 	}
 	s.programs[color] = fp
-	return fp, fp.run(s.doc, s.cr), nil
+	return fp, fp.run(s.doc, s.cr), pr, nil
+}
+
+// synthesize runs the budgeted Algorithm 2 driver with the session's
+// metric registry installed on the context.
+func (s *Session) synthesize(ctx context.Context, fi *schema.FieldInfo, pos, neg []region.Region) (*FieldProgram, *PartialResult, error) {
+	ctx = metrics.Into(ctx, s.reg)
+	ctx, _ = core.WithBudget(ctx, s.budget)
+	return SynthesizeFieldProgramCtx(ctx, s.doc, s.sch, s.cr, fi, pos, neg, s.materialized)
+}
+
+// record folds one synthesis outcome into the session stats.
+func (s *Session) record(color string, pr *PartialResult) {
+	if pr == nil {
+		return
+	}
+	s.partial[color] = pr
+	s.stats.LearnCalls++
+	if pr.Exhausted {
+		s.stats.PartialResults++
+	}
+	s.stats.CandidatesExplored += pr.CandidatesExplored
+	s.stats.SynthTime += pr.Elapsed
 }
 
 // Commit materializes a field: the highlighting inferred by its learned

@@ -1,20 +1,39 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"time"
 
+	"flashextract/internal/core"
+	"flashextract/internal/metrics"
 	"flashextract/internal/region"
 	"flashextract/internal/schema"
 )
 
-// SynthesizeFieldProgram implements Algorithm 2 of the paper: given a
-// document, a schema, a highlighting consistent with the schema, a
-// non-materialized field f, and positive/negative example regions, it
-// synthesizes a field extraction program (f′, P) such that P is consistent
-// with the examples and executing it yields a highlighting consistent with
-// the schema. Ancestors are tried nearest first; only materialized
-// ancestors (or ⊥) form learning boundaries. materialized maps field
-// colors to whether their highlighting has been committed.
+// PartialResult describes how a synthesis call ended with respect to its
+// budget. When the budget (wall-clock deadline, candidate cap, or context
+// cancellation) is exhausted mid-search, the call degrades gracefully: it
+// returns the best program found so far — every returned program is still
+// consistent with the examples — together with a PartialResult instead of
+// an error. Exhausted is false for a run to completion.
+type PartialResult struct {
+	// Exhausted reports whether the budget tripped during the call.
+	Exhausted bool `json:"exhausted"`
+	// Reason is why it tripped: "deadline", "cancelled", or "candidates"
+	// (empty when Exhausted is false).
+	Reason string `json:"reason,omitempty"`
+	// BestEffort is true when a program was returned but the search was
+	// truncated, so a better-ranked program may exist.
+	BestEffort bool `json:"best_effort,omitempty"`
+	// CandidatesExplored counts the candidate programs examined.
+	CandidatesExplored int64 `json:"candidates_explored"`
+	// Elapsed is the wall time of the call.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// SynthesizeFieldProgram implements Algorithm 2 of the paper with a
+// background context; see SynthesizeFieldProgramCtx.
 func SynthesizeFieldProgram(
 	doc Document,
 	m *schema.Schema,
@@ -23,8 +42,61 @@ func SynthesizeFieldProgram(
 	pos, neg []region.Region,
 	materialized map[string]bool,
 ) (*FieldProgram, error) {
+	fp, _, err := SynthesizeFieldProgramCtx(context.Background(), doc, m, cr, f, pos, neg, materialized)
+	return fp, err
+}
+
+// SynthesizeFieldProgramCtx implements Algorithm 2 of the paper: given a
+// document, a schema, a highlighting consistent with the schema, a
+// non-materialized field f, and positive/negative example regions, it
+// synthesizes a field extraction program (f′, P) such that P is consistent
+// with the examples and executing it yields a highlighting consistent with
+// the schema. Ancestors are tried nearest first; only materialized
+// ancestors (or ⊥) form learning boundaries. materialized maps field
+// colors to whether their highlighting has been committed.
+//
+// The context bounds the call: its deadline, its cancellation, and any
+// budget installed with core.WithBudget stop the search cooperatively. The
+// returned PartialResult is never nil and records whether the search was
+// truncated; on truncation the returned program (if any) is the best found
+// so far.
+func SynthesizeFieldProgramCtx(
+	ctx context.Context,
+	doc Document,
+	m *schema.Schema,
+	cr Highlighting,
+	f *schema.FieldInfo,
+	pos, neg []region.Region,
+	materialized map[string]bool,
+) (*FieldProgram, *PartialResult, error) {
+	start := time.Now()
+	bud := core.BudgetFrom(ctx)
+	if bud == nil {
+		// Adopt the context's own deadline/cancellation as the budget so
+		// plain context.WithTimeout callers get cooperative cancellation.
+		ctx, bud = core.WithBudget(ctx, core.SynthBudget{})
+	}
+	sink := metrics.From(ctx)
+	sink.Count(metrics.LearnCalls, 1)
+	applyCacheBudget(doc, bud)
+
+	finish := func(fp *FieldProgram, bestEffort bool, err error) (*FieldProgram, *PartialResult, error) {
+		pr := &PartialResult{
+			Exhausted:          bud.Reason() != "",
+			Reason:             bud.Reason(),
+			BestEffort:         bestEffort && bud.Reason() != "",
+			CandidatesExplored: bud.Explored(),
+			Elapsed:            time.Since(start),
+		}
+		sink.Count(metrics.CandidatesExplored, pr.CandidatesExplored)
+		if pr.Exhausted {
+			sink.Count(metrics.PartialResults, 1)
+		}
+		return fp, pr, err
+	}
+
 	if len(pos) == 0 {
-		return nil, fmt.Errorf("engine: field %s: at least one positive example is required", f.Color())
+		return finish(nil, false, fmt.Errorf("engine: field %s: at least one positive example is required", f.Color()))
 	}
 	lang := doc.Language()
 	var lastErr error
@@ -38,20 +110,43 @@ func SynthesizeFieldProgram(
 		} else {
 			inputs = cr[anc.Color()]
 		}
-		fp, err := synthesizeAgainstAncestor(doc, m, cr, f, anc, inputs, pos, neg, lang)
+		fp, bestEffort, err := synthesizeAgainstAncestor(ctx, doc, m, cr, f, anc, inputs, pos, neg, lang)
 		if err != nil {
 			lastErr = err
+			if bud.ExhaustedNow() {
+				// Later (farther) ancestors cannot be explored in budget
+				// either; stop instead of burning the remaining deadline.
+				break
+			}
 			continue
 		}
-		return fp, nil
+		return finish(fp, bestEffort, nil)
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("engine: field %s: no materialized ancestor available", f.Color())
 	}
-	return nil, lastErr
+	if reason := bud.Reason(); reason != "" {
+		lastErr = fmt.Errorf("engine: field %s: synthesis budget exhausted (%s) before a program was found: %w", f.Color(), reason, lastErr)
+	}
+	return finish(nil, false, lastErr)
 }
 
+// applyCacheBudget propagates the budget's evaluation-cache byte cap to
+// the document's cache, when the document exposes one.
+func applyCacheBudget(doc Document, bud *core.Budget) {
+	if limit := bud.MaxCacheBytes(); limit > 0 {
+		if lim, ok := doc.(interface{ LimitCacheBytes(int64) }); ok {
+			lim.LimitCacheBytes(limit)
+		}
+	}
+}
+
+// synthesizeAgainstAncestor learns and validates candidates relative to
+// one ancestor. bestEffort reports that the returned program came from a
+// truncated validation scan (a lower-ranked candidate was returned than a
+// complete scan might have chosen).
 func synthesizeAgainstAncestor(
+	ctx context.Context,
 	doc Document,
 	m *schema.Schema,
 	cr Highlighting,
@@ -60,10 +155,12 @@ func synthesizeAgainstAncestor(
 	inputs []region.Region,
 	pos, neg []region.Region,
 	lang Language,
-) (*FieldProgram, error) {
+) (fp *FieldProgram, bestEffort bool, err error) {
+	sink := metrics.From(ctx)
 	isSeq := f.IsSequenceAncestor(anc)
 	var seqProgs []SeqRegionProgram
 	var regProgs []RegionProgram
+	learnStart := time.Now()
 	if isSeq {
 		var exs []SeqRegionExample
 		covered := 0
@@ -77,14 +174,15 @@ func synthesizeAgainstAncestor(
 			exs = append(exs, SeqRegionExample{Input: in, Positive: p, Negative: n})
 		}
 		if covered < len(pos)+len(neg) {
-			return nil, fmt.Errorf("engine: field %s: some examples lie outside every %s-region", f.Color(), ancName(anc))
+			return nil, false, fmt.Errorf("engine: field %s: some examples lie outside every %s-region", f.Color(), ancName(anc))
 		}
 		if len(exs) == 0 {
-			return nil, fmt.Errorf("engine: field %s: no examples within %s-regions", f.Color(), ancName(anc))
+			return nil, false, fmt.Errorf("engine: field %s: no examples within %s-regions", f.Color(), ancName(anc))
 		}
-		seqProgs = lang.SynthesizeSeqRegion(exs)
+		seqProgs = lang.SynthesizeSeqRegion(ctx, exs)
+		sink.Observe(metrics.PhaseLearn, time.Since(learnStart).Seconds())
 		if len(seqProgs) == 0 {
-			return nil, fmt.Errorf("engine: field %s: no consistent sequence program relative to %s", f.Color(), ancName(anc))
+			return nil, false, fmt.Errorf("engine: field %s: no consistent sequence program relative to %s", f.Color(), ancName(anc))
 		}
 	} else {
 		var exs []RegionExample
@@ -95,21 +193,22 @@ func synthesizeAgainstAncestor(
 				continue
 			}
 			if len(p) > 1 {
-				return nil, fmt.Errorf("engine: field %s: %d positive examples inside one %s-region (want at most 1)",
+				return nil, false, fmt.Errorf("engine: field %s: %d positive examples inside one %s-region (want at most 1)",
 					f.Color(), len(p), ancName(anc))
 			}
 			covered += len(p)
 			exs = append(exs, RegionExample{Input: in, Output: p[0]})
 		}
 		if covered < len(pos) {
-			return nil, fmt.Errorf("engine: field %s: some examples lie outside every %s-region", f.Color(), ancName(anc))
+			return nil, false, fmt.Errorf("engine: field %s: some examples lie outside every %s-region", f.Color(), ancName(anc))
 		}
 		if len(exs) == 0 {
-			return nil, fmt.Errorf("engine: field %s: no examples within %s-regions", f.Color(), ancName(anc))
+			return nil, false, fmt.Errorf("engine: field %s: no examples within %s-regions", f.Color(), ancName(anc))
 		}
-		regProgs = lang.SynthesizeRegion(exs)
+		regProgs = lang.SynthesizeRegion(ctx, exs)
+		sink.Observe(metrics.PhaseLearn, time.Since(learnStart).Seconds())
 		if len(regProgs) == 0 {
-			return nil, fmt.Errorf("engine: field %s: no consistent region program relative to %s", f.Color(), ancName(anc))
+			return nil, false, fmt.Errorf("engine: field %s: no consistent region program relative to %s", f.Color(), ancName(anc))
 		}
 	}
 
@@ -120,7 +219,8 @@ func synthesizeAgainstAncestor(
 	// covers region programs, whose per-ancestor learning API has no
 	// negative channel.) Candidates are independent, so the checks are
 	// fanned across a worker pool; firstPassing returns the lowest-ranked
-	// passing candidate, keeping the choice bit-identical to a serial scan.
+	// passing candidate, keeping the choice bit-identical to a serial scan
+	// unless the budget truncates the scan.
 	try := func(fp *FieldProgram) bool {
 		crNew := cr.Clone()
 		crNew[f.Color()] = nil
@@ -147,10 +247,17 @@ func synthesizeAgainstAncestor(
 			fps[i] = &FieldProgram{Field: f, Ancestor: anc, Reg: p}
 		}
 	}
-	if i := firstPassing(len(fps), func(i int) bool { return try(fps[i]) }); i >= 0 {
-		return fps[i], nil
+	validateStart := time.Now()
+	core.BudgetFrom(ctx).AddCandidates(int64(len(fps)))
+	i, complete := firstPassing(ctx, len(fps), func(i int) bool { return try(fps[i]) })
+	sink.Observe(metrics.PhaseValidate, time.Since(validateStart).Seconds())
+	if i >= 0 {
+		return fps[i], !complete, nil
 	}
-	return nil, fmt.Errorf("engine: field %s: every consistent program violates the schema when executed", f.Color())
+	if !complete {
+		return nil, false, fmt.Errorf("engine: field %s: synthesis budget exhausted while validating %d candidates", f.Color(), len(fps))
+	}
+	return nil, false, fmt.Errorf("engine: field %s: every consistent program violates the schema when executed", f.Color())
 }
 
 func ancName(anc *schema.FieldInfo) string {

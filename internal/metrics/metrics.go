@@ -1,0 +1,206 @@
+// Package metrics provides the lightweight engine telemetry of the
+// synthesis stack: named counters and latency histograms behind a minimal
+// Sink interface, with a concurrency-safe stdlib-only Registry
+// implementation. The engine records candidates explored, evaluation-cache
+// hits and misses, learner fan-out, and per-phase latency; flashbench
+// -metrics-json and Session.Stats surface the snapshots.
+package metrics
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Canonical metric names recorded by the synthesis stack. Keeping them in
+// one place makes the schema greppable and stable for consumers of
+// -metrics-json (see EXPERIMENTS.md).
+const (
+	// CandidatesExplored counts candidate programs generated and examined
+	// by the learners and the validation loop of one synthesis call.
+	CandidatesExplored = "synth.candidates_explored"
+	// CacheHits / CacheMisses count document evaluation cache probes.
+	CacheHits   = "cache.hits"
+	CacheMisses = "cache.misses"
+	// LearnerFanout counts learners dispatched by Union combinators.
+	LearnerFanout = "core.learner_fanout"
+	// LearnCalls counts synthesis driver invocations.
+	LearnCalls = "synth.learn_calls"
+	// PartialResults counts synthesis calls that exhausted their budget.
+	PartialResults = "synth.partial_results"
+	// PhaseLearn / PhaseValidate are the per-phase latency histograms of
+	// the Algorithm 2 driver: DSL learning vs. execute-and-check candidate
+	// validation. Values are seconds.
+	PhaseLearn    = "synth.phase.learn_seconds"
+	PhaseValidate = "synth.phase.validate_seconds"
+)
+
+// Sink is the minimal recording interface the synthesis stack writes to.
+// Implementations must be safe for concurrent use.
+type Sink interface {
+	// Count adds delta to the named counter.
+	Count(name string, delta int64)
+	// Observe records one sample of the named histogram.
+	Observe(name string, v float64)
+}
+
+// nopSink discards every record.
+type nopSink struct{}
+
+func (nopSink) Count(string, int64)     {}
+func (nopSink) Observe(string, float64) {}
+
+// Nop is a Sink that records nothing. It is the default when no registry
+// is installed, so recording call sites never need nil checks.
+var Nop Sink = nopSink{}
+
+// Registry is the stdlib Sink implementation: a named set of counters and
+// histograms that can be snapshotted as JSON.
+type Registry struct {
+	mu    sync.Mutex
+	count map[string]int64
+	hist  map[string]*histogram
+}
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{count: map[string]int64{}, hist: map[string]*histogram{}}
+}
+
+// Count implements Sink.
+func (r *Registry) Count(name string, delta int64) {
+	r.mu.Lock()
+	r.count[name] += delta
+	r.mu.Unlock()
+}
+
+// Observe implements Sink.
+func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	h := r.hist[name]
+	if h == nil {
+		h = &histogram{min: math.Inf(1), max: math.Inf(-1)}
+		r.hist[name] = h
+	}
+	h.observe(v)
+	r.mu.Unlock()
+}
+
+// Counter returns the current value of a counter (0 when never recorded).
+func (r *Registry) Counter(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count[name]
+}
+
+// histogram is a streaming summary: count, sum, min, max, and a small set
+// of powers-of-two latency buckets (upper bounds in seconds).
+type histogram struct {
+	count    int64
+	sum      float64
+	min, max float64
+	buckets  [len(bucketBounds) + 1]int64
+}
+
+// bucketBounds are the histogram's upper bounds in seconds, spanning the
+// latencies synthesis phases exhibit (0.1ms .. ~26s); the final implicit
+// bucket is +Inf.
+var bucketBounds = [...]float64{
+	0.0001, 0.0004, 0.0016, 0.0064, 0.0256, 0.1024, 0.4096, 1.6384, 6.5536, 26.2144,
+}
+
+func (h *histogram) observe(v float64) {
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	i := sort.SearchFloat64s(bucketBounds[:], v)
+	h.buckets[i]++
+}
+
+// HistogramStats is the exported summary of one histogram.
+type HistogramStats struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	// Buckets maps each upper bound (in seconds, "+Inf" last) to the
+	// number of samples at or below it (non-cumulative).
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry, JSON-marshalable.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters"`
+	Histograms map[string]HistogramStats `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.count)),
+		Histograms: make(map[string]HistogramStats, len(r.hist)),
+	}
+	for k, v := range r.count {
+		s.Counters[k] = v
+	}
+	for k, h := range r.hist {
+		hs := HistogramStats{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		if h.count > 0 {
+			hs.Mean = h.sum / float64(h.count)
+		} else {
+			hs.Min, hs.Max = 0, 0
+		}
+		hs.Buckets = map[string]int64{}
+		for i, n := range h.buckets {
+			if n == 0 {
+				continue
+			}
+			if i < len(bucketBounds) {
+				hs.Buckets[formatBound(bucketBounds[i])] = n
+			} else {
+				hs.Buckets["+Inf"] = n
+			}
+		}
+		s.Histograms[k] = hs
+	}
+	return s
+}
+
+func formatBound(b float64) string {
+	out, _ := json.Marshal(b)
+	return string(out)
+}
+
+// MarshalJSON renders the snapshot of the registry.
+func (r *Registry) MarshalJSON() ([]byte, error) { return json.Marshal(r.Snapshot()) }
+
+// sinkKey keys the Sink installed in a context.
+type sinkKey struct{}
+
+// Into returns a context carrying the sink; the synthesis stack records
+// into it for the duration of calls made with the context.
+func Into(ctx context.Context, s Sink) context.Context {
+	return context.WithValue(ctx, sinkKey{}, s)
+}
+
+// From returns the sink carried by the context, or Nop when none is
+// installed. The result is never nil.
+func From(ctx context.Context) Sink {
+	if ctx == nil {
+		return Nop
+	}
+	if s, ok := ctx.Value(sinkKey{}).(Sink); ok && s != nil {
+		return s
+	}
+	return Nop
+}

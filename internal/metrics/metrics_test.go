@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Count(CandidatesExplored, 3)
+	r.Count(CandidatesExplored, 4)
+	r.Count(CacheHits, 1)
+	if got := r.Counter(CandidatesExplored); got != 7 {
+		t.Fatalf("Counter = %d, want 7", got)
+	}
+	if got := r.Counter("never.recorded"); got != 0 {
+		t.Fatalf("unrecorded counter = %d, want 0", got)
+	}
+	s := r.Snapshot()
+	if s.Counters[CandidatesExplored] != 7 || s.Counters[CacheHits] != 1 {
+		t.Fatalf("snapshot counters = %v", s.Counters)
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry()
+	for _, v := range []float64{0.00005, 0.001, 0.001, 0.2, 100} {
+		r.Observe(PhaseLearn, v)
+	}
+	h := r.Snapshot().Histograms[PhaseLearn]
+	if h.Count != 5 {
+		t.Fatalf("count = %d", h.Count)
+	}
+	if h.Min != 0.00005 || h.Max != 100 {
+		t.Fatalf("min/max = %v/%v", h.Min, h.Max)
+	}
+	if want := h.Sum / 5; h.Mean != want {
+		t.Fatalf("mean = %v, want %v", h.Mean, want)
+	}
+	// 0.00005 → 0.0001 bucket, the two 1ms samples → 0.0016, 0.2 → 0.4096,
+	// and 100s overflows to +Inf.
+	for bound, n := range map[string]int64{"0.0001": 1, "0.0016": 2, "0.4096": 1, "+Inf": 1} {
+		if h.Buckets[bound] != n {
+			t.Fatalf("bucket %s = %d, want %d (all: %v)", bound, h.Buckets[bound], n, h.Buckets)
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Count(LearnCalls, 1)
+				r.Observe(PhaseValidate, 0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters[LearnCalls] != 8000 || s.Histograms[PhaseValidate].Count != 8000 {
+		t.Fatalf("lost updates: %v / %v", s.Counters, s.Histograms[PhaseValidate])
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Count(CacheMisses, 2)
+	r.Observe(PhaseLearn, 0.01)
+	out, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(out, &s); err != nil {
+		t.Fatalf("registry JSON does not parse back: %v", err)
+	}
+	if s.Counters[CacheMisses] != 2 || s.Histograms[PhaseLearn].Count != 1 {
+		t.Fatalf("round trip lost data: %s", out)
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	if From(context.Background()) != Nop {
+		t.Fatal("empty context should yield Nop")
+	}
+	if From(nil) != Nop { //nolint:staticcheck // nil-robustness is the contract
+		t.Fatal("nil context should yield Nop")
+	}
+	r := NewRegistry()
+	ctx := Into(context.Background(), r)
+	From(ctx).Count(CacheHits, 5)
+	if r.Counter(CacheHits) != 5 {
+		t.Fatal("sink from context did not record into the registry")
+	}
+	// Nop must swallow records without effect.
+	Nop.Count(CacheHits, 1)
+	Nop.Observe(PhaseLearn, 1)
+}

@@ -1,6 +1,7 @@
 package sheetlang
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -35,7 +36,7 @@ func conflictOverlap(out, neg core.Value) bool {
 
 // SynthesizeSeqRegion learns N1 programs (Fig. 9): a Merge of cell
 // sequences (CS) or of cell-pair sequences (PS).
-func (l *lang) SynthesizeSeqRegion(exs []engine.SeqRegionExample) []engine.SeqRegionProgram {
+func (l *lang) SynthesizeSeqRegion(ctx context.Context, exs []engine.SeqRegionExample) []engine.SeqRegionProgram {
 	if len(exs) == 0 {
 		return nil
 	}
@@ -61,7 +62,7 @@ func (l *lang) SynthesizeSeqRegion(exs []engine.SeqRegionExample) []engine.SeqRe
 		core.MergeOp{A: inner, Less: sheetLess}.Learn,
 		conflictOverlap,
 	)
-	progs := core.SynthesizeSeqRegionProg(n1, specs, conflictOverlap)
+	progs := core.SynthesizeSeqRegionProg(ctx, n1, specs, conflictOverlap)
 	out := make([]engine.SeqRegionProgram, len(progs))
 	for i, p := range progs {
 		out[i] = seqProgram{p}
@@ -71,7 +72,7 @@ func (l *lang) SynthesizeSeqRegion(exs []engine.SeqRegionExample) []engine.SeqRe
 
 // SynthesizeRegion learns N2 programs: Cell(R0, c) for single cells and
 // Pair(Cell(R0,c1), Cell(R0,c2)) for rectangles.
-func (l *lang) SynthesizeRegion(exs []engine.RegionExample) []engine.RegionProgram {
+func (l *lang) SynthesizeRegion(ctx context.Context, exs []engine.RegionExample) []engine.RegionProgram {
 	if len(exs) == 0 {
 		return nil
 	}
@@ -118,7 +119,7 @@ func (l *lang) SynthesizeRegion(exs []engine.RegionExample) []engine.RegionProgr
 			}
 		}
 	}
-	progs := core.SynthesizeRegionProg(func([]core.Example) []core.Program { return cands }, coreExs)
+	progs := core.SynthesizeRegionProg(ctx, func(context.Context, []core.Example) []core.Program { return cands }, coreExs)
 	out := make([]engine.RegionProgram, len(progs))
 	for i, p := range progs {
 		out[i] = regProgram{p}
@@ -163,12 +164,12 @@ func learnCS() core.SeqLearner {
 }
 
 // learnCE is CE ::= FilterBool(cb, splitcells(R0)).
-func learnCE(exs []core.SeqExample) []core.Program {
+func learnCE(ctx context.Context, exs []core.SeqExample) []core.Program {
 	op := core.FilterBoolOp{Var: lambdaVar, B: learnCellPredProgs, S: learnSplitCells}
-	return op.Learn(exs)
+	return op.Learn(ctx, exs)
 }
 
-func learnSplitCells(exs []core.SeqExample) []core.Program {
+func learnSplitCells(_ context.Context, exs []core.SeqExample) []core.Program {
 	for _, ex := range exs {
 		out, err := splitCells.Exec(ex.State)
 		if err != nil {
@@ -186,7 +187,7 @@ func learnSplitCells(exs []core.SeqExample) []core.Program {
 // examples: per-slot most specific common tokens over the 3×3
 // neighbourhood, combined into candidates from simple to fully
 // constrained.
-func learnCellPredProgs(exs []core.Example) []core.Program {
+func learnCellPredProgs(_ context.Context, exs []core.Example) []core.Program {
 	var d *Document
 	var cells []CellRegion
 	for _, ex := range exs {
@@ -256,7 +257,7 @@ func learnRS() core.SeqLearner {
 	return core.FilterIntOp{S: inner.Learn}.Learn
 }
 
-func learnSplitRows(exs []core.SeqExample) []core.Program {
+func learnSplitRows(_ context.Context, exs []core.SeqExample) []core.Program {
 	for _, ex := range exs {
 		out, err := splitRows.Exec(ex.State)
 		if err != nil {
@@ -273,7 +274,7 @@ func learnSplitRows(exs []core.SeqExample) []core.Program {
 // learnRowPredProgs learns row predicates rb from positive row examples:
 // per-column most specific common tokens, as prefix sequences of
 // increasing length.
-func learnRowPredProgs(exs []core.Example) []core.Program {
+func learnRowPredProgs(_ context.Context, exs []core.Example) []core.Program {
 	var rows []RectRegion
 	for _, ex := range exs {
 		v, _ := ex.State.Lookup(lambdaVar)
@@ -326,7 +327,7 @@ func learnRowPredProgs(exs []core.Example) []core.Program {
 
 // learnCellInRow learns λx: Cell(x, c) from examples binding x to a row
 // and outputting a cell within it.
-func learnCellInRow(exs []core.Example) []core.Program {
+func learnCellInRow(_ context.Context, exs []core.Example) []core.Program {
 	var rects []RectRegion
 	var cells []CellRegion
 	for _, ex := range exs {
@@ -452,7 +453,7 @@ func commonPredIndex(rects []RectRegion, cells []CellRegion, cb cellPred) (k, kN
 }
 
 // learnStartPairF learns λx: Pair(x, Cell(R0[x:], c)).
-func learnStartPairF(exs []core.Example) []core.Program {
+func learnStartPairF(_ context.Context, exs []core.Example) []core.Program {
 	var rects []RectRegion
 	var ends []CellRegion
 	for _, ex := range exs {
@@ -481,7 +482,7 @@ func learnStartPairF(exs []core.Example) []core.Program {
 }
 
 // learnEndPairF learns λx: Pair(Cell(R0[:x], c), x).
-func learnEndPairF(exs []core.Example) []core.Program {
+func learnEndPairF(_ context.Context, exs []core.Example) []core.Program {
 	var rects []RectRegion
 	var starts []CellRegion
 	for _, ex := range exs {

@@ -1,6 +1,7 @@
 package sheetlang
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -163,13 +164,13 @@ func TestLearnAmountsExcludingSubtotals(t *testing.T) {
 		Input:    d.WholeRegion(),
 		Positive: []region.Region{d.CellAt(3, 2), d.CellAt(4, 2)},
 	}
-	progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{ex})
+	progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{ex})
 	if len(progs) == 0 {
 		t.Fatal("no programs")
 	}
 	// The user strikes the first subtotal amount as a negative example.
 	ex.Negative = []region.Region{d.CellAt(5, 2)}
-	progs = lang.SynthesizeSeqRegion([]engine.SeqRegionExample{ex})
+	progs = lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{ex})
 	if len(progs) == 0 {
 		t.Fatal("no programs after negative")
 	}
@@ -191,7 +192,7 @@ func learnByRefinement(t *testing.T, d *Document, golden []region.Region, maxExa
 	lang := d.Language()
 	ex := engine.SeqRegionExample{Input: d.WholeRegion(), Positive: golden[:1]}
 	for {
-		progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{ex})
+		progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{ex})
 		if len(progs) == 0 {
 			t.Fatalf("synthesis failed with %d examples", len(ex.Positive)+len(ex.Negative))
 		}
@@ -257,7 +258,7 @@ func TestLearnDepartmentsByRefinement(t *testing.T) {
 func TestLearnRecordRows(t *testing.T) {
 	d := fundedDoc()
 	lang := d.Language()
-	progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    d.WholeRegion(),
 		Positive: []region.Region{d.Rect(3, 0, 3, 3), d.Rect(4, 0, 4, 3)},
 		Negative: []region.Region{d.Rect(5, 0, 5, 3)},
@@ -287,7 +288,7 @@ func TestLearnCellWithinRecord(t *testing.T) {
 	d := fundedDoc()
 	lang := d.Language()
 	// Investigator name within a record row: AbsCell(0).
-	progs := lang.SynthesizeRegion([]engine.RegionExample{
+	progs := lang.SynthesizeRegion(context.Background(), []engine.RegionExample{
 		{Input: d.Rect(3, 0, 3, 3), Output: d.CellAt(3, 0)},
 		{Input: d.Rect(4, 0, 4, 3), Output: d.CellAt(4, 0)},
 	})
@@ -308,7 +309,7 @@ func TestLearnRectRegionProgram(t *testing.T) {
 	lang := d.Language()
 	// A rectangle output: the whole first department block within the
 	// sheet (rows 2..5).
-	progs := lang.SynthesizeRegion([]engine.RegionExample{
+	progs := lang.SynthesizeRegion(context.Background(), []engine.RegionExample{
 		{Input: d.WholeRegion(), Output: d.Rect(2, 0, 5, 3)},
 	})
 	if len(progs) == 0 {
@@ -328,7 +329,7 @@ func TestRegionProgramNullOnMissing(t *testing.T) {
 	lang := d.Language()
 	// Learn "the numeric cell of the row" from a record row, then run it
 	// on the blank row: expect null.
-	progs := lang.SynthesizeRegion([]engine.RegionExample{
+	progs := lang.SynthesizeRegion(context.Background(), []engine.RegionExample{
 		{Input: d.Rect(3, 0, 3, 3), Output: d.CellAt(3, 2)},
 		{Input: d.Rect(4, 0, 4, 3), Output: d.CellAt(4, 2)},
 	})
@@ -382,7 +383,7 @@ func TestAllReturnedProgramsConsistent(t *testing.T) {
 	d := fundedDoc()
 	lang := d.Language()
 	pos := []region.Region{d.CellAt(3, 2), d.CellAt(4, 2)}
-	progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    d.WholeRegion(),
 		Positive: pos,
 	}})
@@ -404,10 +405,10 @@ func TestAllReturnedProgramsConsistent(t *testing.T) {
 
 func TestSynthesizeEmpty(t *testing.T) {
 	var l lang
-	if got := l.SynthesizeSeqRegion(nil); got != nil {
+	if got := l.SynthesizeSeqRegion(context.Background(), nil); got != nil {
 		t.Fatal("expected nil")
 	}
-	if got := l.SynthesizeRegion(nil); got != nil {
+	if got := l.SynthesizeRegion(context.Background(), nil); got != nil {
 		t.Fatal("expected nil")
 	}
 }
@@ -415,7 +416,7 @@ func TestSynthesizeEmpty(t *testing.T) {
 func TestSynthesizeRegionRejectsMixedOutputs(t *testing.T) {
 	d := fundedDoc()
 	var l lang
-	got := l.SynthesizeRegion([]engine.RegionExample{
+	got := l.SynthesizeRegion(context.Background(), []engine.RegionExample{
 		{Input: d.WholeRegion(), Output: d.CellAt(3, 0)},
 		{Input: d.WholeRegion(), Output: d.Rect(3, 0, 3, 3)},
 	})
@@ -427,7 +428,7 @@ func TestSynthesizeRegionRejectsMixedOutputs(t *testing.T) {
 func TestSynthesizeRegionRejectsOutsideOutput(t *testing.T) {
 	d := fundedDoc()
 	var l lang
-	if got := l.SynthesizeRegion([]engine.RegionExample{
+	if got := l.SynthesizeRegion(context.Background(), []engine.RegionExample{
 		{Input: d.Rect(3, 0, 3, 3), Output: d.CellAt(4, 0)},
 	}); got != nil {
 		t.Fatal("output outside input must fail")

@@ -1,6 +1,7 @@
 package sheetlang
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 func TestSeqProgramSerializationRoundTrip(t *testing.T) {
 	d := fundedDoc()
 	l := d.Language().(*lang)
-	progs := l.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := l.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    d.WholeRegion(),
 		Positive: []region.Region{d.CellAt(3, 2), d.CellAt(4, 2)},
 		Negative: []region.Region{d.CellAt(5, 2)},
@@ -38,7 +39,7 @@ func TestSeqProgramSerializationRoundTrip(t *testing.T) {
 func TestRecordProgramSerializationRoundTrip(t *testing.T) {
 	d := fundedDoc()
 	l := d.Language().(*lang)
-	progs := l.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := l.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    d.WholeRegion(),
 		Positive: []region.Region{d.Rect(3, 0, 3, 3), d.Rect(4, 0, 4, 3)},
 		Negative: []region.Region{d.Rect(5, 0, 5, 3)},
@@ -66,7 +67,7 @@ func TestRegionProgramSerializationRoundTrip(t *testing.T) {
 		"cell": {Input: d.Rect(3, 0, 3, 3), Output: d.CellAt(3, 2)},
 		"rect": {Input: d.WholeRegion(), Output: d.Rect(2, 0, 5, 3)},
 	} {
-		progs := l.SynthesizeRegion([]engine.RegionExample{ex})
+		progs := l.SynthesizeRegion(context.Background(), []engine.RegionExample{ex})
 		if len(progs) == 0 {
 			t.Fatalf("%s: no programs", name)
 		}

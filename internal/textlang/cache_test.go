@@ -1,6 +1,7 @@
 package textlang
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -62,7 +63,7 @@ func TestSynthesisDeterministicWithWarmCache(t *testing.T) {
 		lang := d.lang
 		a, _ := d.FindRegion("alice", 0)
 		b, _ := d.FindRegion("bob", 0)
-		progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+		progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 			Input:    d.WholeRegion(),
 			Positive: []region.Region{a, b},
 		}})

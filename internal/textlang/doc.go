@@ -42,6 +42,16 @@ func NewDocument(text string) *Document {
 // EvalCache returns the document's evaluation cache.
 func (d *Document) EvalCache() *tokens.Cache { return d.cache }
 
+// CacheStats reports the evaluation cache's counters (engine.CacheStatser).
+func (d *Document) CacheStats() engine.CacheStats {
+	s := d.cache.Stats()
+	return engine.CacheStats{Hits: s.Hits, Misses: s.Misses, Entries: s.Entries, ApproxBytes: s.ApproxBytes}
+}
+
+// LimitCacheBytes caps the evaluation cache's approximate resident bytes;
+// the synthesis driver calls it when the budget sets MaxCacheBytes.
+func (d *Document) LimitCacheBytes(n int64) { d.cache.SetMaxBytes(n) }
+
 // WholeRegion returns the region covering the entire file.
 func (d *Document) WholeRegion() region.Region {
 	return Region{Doc: d, Start: 0, End: len(d.Text)}

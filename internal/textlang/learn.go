@@ -1,6 +1,7 @@
 package textlang
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -71,7 +72,7 @@ func conflictOverlap(out, neg core.Value) bool {
 
 // SynthesizeSeqRegion learns N1 programs (Fig. 7): a Merge of pair
 // sequence expressions.
-func (l *lang) SynthesizeSeqRegion(exs []engine.SeqRegionExample) []engine.SeqRegionProgram {
+func (l *lang) SynthesizeSeqRegion(ctx context.Context, exs []engine.SeqRegionExample) []engine.SeqRegionProgram {
 	if len(exs) == 0 {
 		return nil
 	}
@@ -102,10 +103,10 @@ func (l *lang) SynthesizeSeqRegion(exs []engine.SeqRegionExample) []engine.SeqRe
 		}
 		specs = append(specs, spec)
 	}
-	ctx := newLearnCtx(doc, boundary)
-	ss := core.PreferNonOverlapping(ctx.learnSS(), conflictOverlap)
+	lc := newLearnCtx(doc, boundary)
+	ss := core.PreferNonOverlapping(lc.learnSS(), conflictOverlap)
 	n1 := core.PreferNonOverlapping(core.MergeOp{A: ss, Less: regionLess}.Learn, conflictOverlap)
-	progs := core.SynthesizeSeqRegionProg(n1, specs, conflictOverlap)
+	progs := core.SynthesizeSeqRegionProg(ctx, n1, specs, conflictOverlap)
 	out := make([]engine.SeqRegionProgram, len(progs))
 	for i, p := range progs {
 		out[i] = seqProgram{p}
@@ -114,7 +115,7 @@ func (l *lang) SynthesizeSeqRegion(exs []engine.SeqRegionExample) []engine.SeqRe
 }
 
 // SynthesizeRegion learns N2 programs: Pair(Pos(R0, p1), Pos(R0, p2)).
-func (l *lang) SynthesizeRegion(exs []engine.RegionExample) []engine.RegionProgram {
+func (l *lang) SynthesizeRegion(ctx context.Context, exs []engine.RegionExample) []engine.RegionProgram {
 	if len(exs) == 0 {
 		return nil
 	}
@@ -134,25 +135,29 @@ func (l *lang) SynthesizeRegion(exs []engine.RegionExample) []engine.RegionProgr
 		ins = append(ins, in)
 		outs = append(outs, out)
 	}
-	ctx := newLearnCtx(doc, boundary)
+	lc := newLearnCtx(doc, boundary)
 	var sExs, eExs []tokens.PosExample
 	for i, in := range ins {
-		ix := ctx.index(in.Start, in.End)
+		ix := lc.index(in.Start, in.End)
 		sExs = append(sExs, tokens.PosExample{S: in.Value(), K: outs[i].Start - in.Start, Ix: ix})
 		eExs = append(eExs, tokens.PosExample{S: in.Value(), K: outs[i].End - in.Start, Ix: ix})
 	}
-	n2 := func([]core.Example) []core.Program {
-		p1s := capAttrs(tokens.LearnAttrs(sExs, ctx.toks), attrCap)
-		p2s := capAttrs(tokens.LearnAttrs(eExs, ctx.toks), attrCap)
+	n2 := func(ctx context.Context, _ []core.Example) []core.Program {
+		p1s := capAttrs(tokens.LearnAttrsStop(sExs, lc.toks, core.StopFunc(ctx)), attrCap)
+		p2s := capAttrs(tokens.LearnAttrsStop(eExs, lc.toks, core.StopFunc(ctx)), attrCap)
+		bud := core.BudgetFrom(ctx)
 		var out []core.Program
 		for _, p1 := range p1s {
+			if bud.ExhaustedNow() {
+				break
+			}
 			for _, p2 := range p2s {
 				out = append(out, regionPairProg{p1: p1, p2: p2})
 			}
 		}
 		return out
 	}
-	progs := core.SynthesizeRegionProg(n2, coreExs)
+	progs := core.SynthesizeRegionProg(ctx, n2, coreExs)
 	out := make([]engine.RegionProgram, len(progs))
 	for i, p := range progs {
 		out[i] = regProgram{p}
@@ -263,7 +268,7 @@ func (c *learnCtx) learnLS() core.SeqLearner {
 
 // learnSplit is the learner of the fixed expression split(R0, '\n'):
 // consistent iff every positive instance is a line of the input region.
-func learnSplit(exs []core.SeqExample) []core.Program {
+func learnSplit(_ context.Context, exs []core.SeqExample) []core.Program {
 	for _, ex := range exs {
 		out, err := splitLines.Exec(ex.State)
 		if err != nil {
@@ -314,7 +319,7 @@ func (c *learnCtx) learnPS() core.SeqLearner {
 
 // learnPosSeq learns PosSeq(R0, rr) programs from positive position
 // instances.
-func (c *learnCtx) learnPosSeq(exs []core.SeqExample) []core.Program {
+func (c *learnCtx) learnPosSeq(ctx context.Context, exs []core.SeqExample) []core.Program {
 	var spexs []tokens.SeqPosExample
 	for _, ex := range exs {
 		r0, err := inputRegion(ex.State)
@@ -332,7 +337,7 @@ func (c *learnCtx) learnPosSeq(exs []core.SeqExample) []core.Program {
 		sort.Ints(sp.Ks)
 		spexs = append(spexs, sp)
 	}
-	pairs := tokens.LearnRegexPairs(spexs, c.toks)
+	pairs := tokens.LearnRegexPairsStop(spexs, c.toks, core.StopFunc(ctx))
 	out := make([]core.Program, len(pairs))
 	for i, rr := range pairs {
 		out[i] = posSeqProg{rr: rr}
@@ -344,7 +349,7 @@ func (c *learnCtx) learnPosSeq(exs []core.SeqExample) []core.Program {
 
 // learnLinePair learns λx: Pair(Pos(x,p1), Pos(x,p2)) from examples that
 // bind x to a line and output a region within that line.
-func (c *learnCtx) learnLinePair(exs []core.Example) []core.Program {
+func (c *learnCtx) learnLinePair(ctx context.Context, exs []core.Example) []core.Program {
 	var sExs, eExs []tokens.PosExample
 	for _, ex := range exs {
 		x, err := lambdaRegion(ex.State)
@@ -359,8 +364,8 @@ func (c *learnCtx) learnLinePair(exs []core.Example) []core.Program {
 		sExs = append(sExs, tokens.PosExample{S: x.Value(), K: y.Start - x.Start, Ix: ix})
 		eExs = append(eExs, tokens.PosExample{S: x.Value(), K: y.End - x.Start, Ix: ix})
 	}
-	p1s := capAttrs(tokens.LearnAttrs(sExs, c.toks), attrCap)
-	p2s := capAttrs(tokens.LearnAttrs(eExs, c.toks), attrCap)
+	p1s := capAttrs(tokens.LearnAttrsStop(sExs, c.toks, core.StopFunc(ctx)), attrCap)
+	p2s := capAttrs(tokens.LearnAttrsStop(eExs, c.toks, core.StopFunc(ctx)), attrCap)
 	var out []core.Program
 	for _, p1 := range p1s {
 		for _, p2 := range p2s {
@@ -372,7 +377,7 @@ func (c *learnCtx) learnLinePair(exs []core.Example) []core.Program {
 
 // learnLinePos learns λx: Pos(x, p) from examples that bind x to a line
 // and output a position within that line.
-func (c *learnCtx) learnLinePos(exs []core.Example) []core.Program {
+func (c *learnCtx) learnLinePos(ctx context.Context, exs []core.Example) []core.Program {
 	var pexs []tokens.PosExample
 	for _, ex := range exs {
 		x, err := lambdaRegion(ex.State)
@@ -385,7 +390,7 @@ func (c *learnCtx) learnLinePos(exs []core.Example) []core.Program {
 		}
 		pexs = append(pexs, tokens.PosExample{S: x.Value(), K: k - x.Start, Ix: c.index(x.Start, x.End)})
 	}
-	attrs := capAttrs(tokens.LearnAttrs(pexs, c.toks), attrCap)
+	attrs := capAttrs(tokens.LearnAttrsStop(pexs, c.toks, core.StopFunc(ctx)), attrCap)
 	out := make([]core.Program, len(attrs))
 	for i, p := range attrs {
 		out[i] = linePosProg{p: p}
@@ -395,7 +400,7 @@ func (c *learnCtx) learnLinePos(exs []core.Example) []core.Program {
 
 // learnStartPair learns λx: Pair(x, Pos(R0[x:], p)) from examples that
 // bind x to a start position and output the region starting there.
-func (c *learnCtx) learnStartPair(exs []core.Example) []core.Program {
+func (c *learnCtx) learnStartPair(ctx context.Context, exs []core.Example) []core.Program {
 	var pexs []tokens.PosExample
 	for _, ex := range exs {
 		x, err := lambdaPos(ex.State)
@@ -412,7 +417,7 @@ func (c *learnCtx) learnStartPair(exs []core.Example) []core.Program {
 		}
 		pexs = append(pexs, tokens.PosExample{S: r0.Doc.Text[x:r0.End], K: y.End - x, Ix: c.index(x, r0.End)})
 	}
-	attrs := capAttrs(tokens.LearnAttrs(pexs, c.toks), attrCap)
+	attrs := capAttrs(tokens.LearnAttrsStop(pexs, c.toks, core.StopFunc(ctx)), attrCap)
 	out := make([]core.Program, len(attrs))
 	for i, p := range attrs {
 		out[i] = startPairProg{p: p}
@@ -422,7 +427,7 @@ func (c *learnCtx) learnStartPair(exs []core.Example) []core.Program {
 
 // learnEndPair learns λx: Pair(Pos(R0[:x], p), x) from examples that bind
 // x to an end position and output the region ending there.
-func (c *learnCtx) learnEndPair(exs []core.Example) []core.Program {
+func (c *learnCtx) learnEndPair(ctx context.Context, exs []core.Example) []core.Program {
 	var pexs []tokens.PosExample
 	for _, ex := range exs {
 		x, err := lambdaPos(ex.State)
@@ -439,7 +444,7 @@ func (c *learnCtx) learnEndPair(exs []core.Example) []core.Program {
 		}
 		pexs = append(pexs, tokens.PosExample{S: r0.Doc.Text[r0.Start:x], K: y.Start - r0.Start, Ix: c.index(r0.Start, x)})
 	}
-	attrs := capAttrs(tokens.LearnAttrs(pexs, c.toks), attrCap)
+	attrs := capAttrs(tokens.LearnAttrsStop(pexs, c.toks, core.StopFunc(ctx)), attrCap)
 	out := make([]core.Program, len(attrs))
 	for i, p := range attrs {
 		out[i] = endPairProg{p: p}
@@ -452,7 +457,7 @@ func (c *learnCtx) learnEndPair(exs []core.Example) []core.Program {
 // learnPred learns line predicates b by brute-force search over candidate
 // regexes derived from the first positive line (and its neighbor lines),
 // verified against all examples.
-func (c *learnCtx) learnPred(exs []core.Example) []core.Program {
+func (c *learnCtx) learnPred(ctx context.Context, exs []core.Example) []core.Program {
 	if len(exs) == 0 {
 		return []core.Program{linePred{kind: predTrue}}
 	}
@@ -478,9 +483,14 @@ func (c *learnCtx) learnPred(exs []core.Example) []core.Program {
 		}
 	}
 
+	bud := core.BudgetFrom(ctx)
+	bud.AddCandidates(int64(len(cands)))
 	var out []core.Program
 	seen := map[string]bool{}
 	for _, cand := range cands {
+		if bud.Exhausted() {
+			break
+		}
 		key := cand.String()
 		if seen[key] {
 			continue

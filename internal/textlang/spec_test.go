@@ -1,6 +1,7 @@
 package textlang
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestSeqProgramSerializationRoundTrip(t *testing.T) {
 	l := d.Language().(*lang)
 	be := mustFind(t, d, "Be", 0)
 	sc := mustFind(t, d, "Sc", 0)
-	progs := l.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := l.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    d.WholeRegion(),
 		Positive: []region.Region{be, sc},
 	}})
@@ -49,7 +50,7 @@ func TestRegionProgramSerializationRoundTrip(t *testing.T) {
 	l0 := lineRegion(t, d, `""Be""`, 0)
 	l1 := lineRegion(t, d, `""Sc""`, 0)
 	mass0 := d.Region(l0.Start+len(`ICP,""Be"",`), l0.Start+len(`ICP,""Be"",9`))
-	progs := l.SynthesizeRegion([]engine.RegionExample{{Input: l0, Output: mass0}})
+	progs := l.SynthesizeRegion(context.Background(), []engine.RegionExample{{Input: l0, Output: mass0}})
 	if len(progs) == 0 {
 		t.Fatal("no programs")
 	}

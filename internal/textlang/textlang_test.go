@@ -1,6 +1,7 @@
 package textlang
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -143,7 +144,7 @@ func TestLearnYellowLines(t *testing.T) {
 	// two as examples.
 	l0 := lineRegion(t, d, `""Be""`, 0)
 	l1 := lineRegion(t, d, `""Sc""`, 0)
-	progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    d.WholeRegion(),
 		Positive: []region.Region{l0, l1},
 	}})
@@ -168,7 +169,7 @@ func TestLearnAnalyteNames(t *testing.T) {
 	lang := d.Language()
 	be := mustFind(t, d, "Be", 0)
 	sc := mustFind(t, d, "Sc", 0)
-	progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    d.WholeRegion(),
 		Positive: []region.Region{be, sc},
 	}})
@@ -204,7 +205,7 @@ func TestNegativeExampleRefinement(t *testing.T) {
 	// captured the header line; the user strikes it as negative.
 	l0 := lineRegion(t, d, `""Be""`, 0)
 	header := lineRegion(t, d, "Analyte,", 0)
-	progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    d.WholeRegion(),
 		Positive: []region.Region{l0},
 		Negative: []region.Region{header},
@@ -233,7 +234,7 @@ func TestLearnRegionWithinLine(t *testing.T) {
 	if mass0.Value() != "9" {
 		t.Fatalf("test setup: mass0 = %q", mass0.Value())
 	}
-	progs := lang.SynthesizeRegion([]engine.RegionExample{{Input: l0, Output: mass0}})
+	progs := lang.SynthesizeRegion(context.Background(), []engine.RegionExample{{Input: l0, Output: mass0}})
 	if len(progs) == 0 {
 		t.Fatal("no programs")
 	}
@@ -252,7 +253,7 @@ func TestRegionProgramNullOnNoMatch(t *testing.T) {
 	lang := d.Language()
 	l0 := lineRegion(t, d, `""Be""`, 0)
 	conc0 := mustFind(t, d, "0.070073", 0)
-	progs := lang.SynthesizeRegion([]engine.RegionExample{{Input: l0, Output: conc0}})
+	progs := lang.SynthesizeRegion(context.Background(), []engine.RegionExample{{Input: l0, Output: conc0}})
 	if len(progs) == 0 {
 		t.Fatal("no programs")
 	}
@@ -276,7 +277,7 @@ func TestLearnAlternatingLines(t *testing.T) {
 	// Positives: the first two h-lines (indices 0 and 2).
 	whole := d.WholeRegion().(Region)
 	lines := linesIn(whole)
-	progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    d.WholeRegion(),
 		Positive: []region.Region{lines[0], lines[2]},
 	}})
@@ -304,7 +305,7 @@ func TestLearnMultiLineStructures(t *testing.T) {
 	start2 := mustFind(t, d, "DLZ", 1)
 	g1 := d.Region(0, start2.Start-1)         // first sample incl. trailing newline of its last line
 	g2 := d.Region(start2.Start, len(d.Text)) // second sample to EOF
-	progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    d.WholeRegion(),
 		Positive: []region.Region{g1, g2},
 	}})
@@ -327,7 +328,7 @@ func TestProgramTransfersToSimilarDocument(t *testing.T) {
 	lang := d.Language()
 	be := mustFind(t, d, "Be", 0)
 	sc := mustFind(t, d, "Sc", 0)
-	progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    d.WholeRegion(),
 		Positive: []region.Region{be, sc},
 	}})
@@ -359,7 +360,7 @@ func TestAllReturnedProgramsConsistent(t *testing.T) {
 		Input:    d.WholeRegion(),
 		Positive: []region.Region{be, sc},
 	}}
-	for _, p := range lang.SynthesizeSeqRegion(exs) {
+	for _, p := range lang.SynthesizeSeqRegion(context.Background(), exs) {
 		got := extractAll(t, p, d.WholeRegion())
 		if !regionSubseq([]region.Region{be, sc}, got) {
 			t.Fatalf("program %s is inconsistent with its examples", p)
@@ -384,14 +385,14 @@ func regionSubseq(sub, seq []region.Region) bool {
 
 func TestSynthesizeSeqRegionEmpty(t *testing.T) {
 	var l lang
-	if got := l.SynthesizeSeqRegion(nil); got != nil {
+	if got := l.SynthesizeSeqRegion(context.Background(), nil); got != nil {
 		t.Fatal("expected nil for no examples")
 	}
 }
 
 func TestSynthesizeRegionEmpty(t *testing.T) {
 	var l lang
-	if got := l.SynthesizeRegion(nil); got != nil {
+	if got := l.SynthesizeRegion(context.Background(), nil); got != nil {
 		t.Fatal("expected nil for no examples")
 	}
 }
@@ -401,7 +402,7 @@ func TestSynthesizeRegionRejectsOutsideOutput(t *testing.T) {
 	var l lang
 	in := d.Region(0, 3)
 	out := d.Region(5, 9)
-	if got := l.SynthesizeRegion([]engine.RegionExample{{Input: in, Output: out}}); got != nil {
+	if got := l.SynthesizeRegion(context.Background(), []engine.RegionExample{{Input: in, Output: out}}); got != nil {
 		t.Fatal("output outside input must fail")
 	}
 }
@@ -413,7 +414,7 @@ func TestProgramStringsMentionOperators(t *testing.T) {
 	lang := d.Language()
 	l0 := lineRegion(t, d, `""Be""`, 0)
 	l1 := lineRegion(t, d, `""Sc""`, 0)
-	progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    d.WholeRegion(),
 		Positive: []region.Region{l0, l1},
 	}})

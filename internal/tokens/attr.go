@@ -204,6 +204,15 @@ const maxAttrCandidates = 1500
 // It generates candidates from the first example and verifies them on the
 // rest, as in prior work on FlashFill-style position learning.
 func LearnAttrs(exs []PosExample, toks []Token) []Attr {
+	return LearnAttrsStop(exs, toks, nil)
+}
+
+// LearnAttrsStop is LearnAttrs with a cooperative stop callback, polled
+// between candidates: when stop returns true, the attributes verified so
+// far are returned. Candidate generation and verification both scan the
+// example strings, so this is where a synthesis deadline must be able to
+// interrupt position learning on large documents.
+func LearnAttrsStop(exs []PosExample, toks []Token, stop func() bool) []Attr {
 	if len(exs) == 0 {
 		return nil
 	}
@@ -222,8 +231,12 @@ func LearnAttrs(exs []PosExample, toks []Token) []Attr {
 	lefts := SeqsEndingAt(first.S, first.K, toks)
 	rights := SeqsStartingAt(first.S, first.K, toks)
 	seen := map[uint64]bool{}
+gen:
 	for _, r1 := range lefts {
 		for _, r2 := range rights {
+			if stop != nil && stop() {
+				break gen
+			}
 			if len(r1) == 0 && len(r2) == 0 {
 				continue
 			}
@@ -251,6 +264,9 @@ func LearnAttrs(exs []PosExample, toks []Token) []Attr {
 
 	var out []Attr
 	for _, a := range cands {
+		if stop != nil && stop() {
+			break // keep the verified prefix
+		}
 		ok := true
 		for i, ex := range exs {
 			k, err := indexes[i].EvalAttr(a)
@@ -282,6 +298,13 @@ type SeqPosExample struct {
 // are generated around the first position of the first example and
 // verified on everything else.
 func LearnRegexPairs(exs []SeqPosExample, toks []Token) []RegexPair {
+	return LearnRegexPairsStop(exs, toks, nil)
+}
+
+// LearnRegexPairsStop is LearnRegexPairs with a cooperative stop callback
+// polled between candidate pairs; the pairs verified so far are returned
+// when it trips.
+func LearnRegexPairsStop(exs []SeqPosExample, toks []Token, stop func() bool) []RegexPair {
 	var first *SeqPosExample
 	for i := range exs {
 		if len(exs[i].Ks) > 0 {
@@ -305,8 +328,12 @@ func LearnRegexPairs(exs []SeqPosExample, toks []Token) []RegexPair {
 	rights := SeqsStartingAt(first.S, k0, toks)
 	var out []RegexPair
 	seen := map[uint64]bool{}
+pairs:
 	for _, r1 := range lefts {
 		for _, r2 := range rights {
+			if stop != nil && stop() {
+				break pairs // keep the verified prefix
+			}
 			if len(r1) == 0 && len(r2) == 0 {
 				continue
 			}

@@ -1,6 +1,9 @@
 package tokens
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Cache is a document-scoped evaluation cache. It is owned by a document
 // (one immutable text) and memoizes the three quantities the synthesis
@@ -18,11 +21,105 @@ import "sync"
 type Cache struct {
 	text string
 
+	hits     atomic.Int64
+	misses   atomic.Int64
+	maxBytes atomic.Int64 // 0 = no byte cap
+
 	mu      sync.RWMutex
+	bytes   int64 // approximate resident bytes of all entries (guarded by mu)
 	bounds  map[boundKey]boundEntry
 	seqs    map[seqKey][]seqEntry
 	counts  map[countKey][]countEntry
 	indexes map[indexKey]*Index
+}
+
+// Stats summarizes the cache: probe hits and misses, entry count, and
+// approximate resident bytes.
+type Stats struct {
+	Hits        int64
+	Misses      int64
+	Entries     int64
+	ApproxBytes int64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.RLock()
+	entries := int64(len(c.bounds) + len(c.seqs) + len(c.counts) + len(c.indexes))
+	bytes := c.bytes
+	c.mu.RUnlock()
+	return Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Entries:     entries,
+		ApproxBytes: bytes,
+	}
+}
+
+// SetMaxBytes caps the cache's approximate resident bytes (0 removes the
+// cap). When the cache is already over the new cap, non-pinned entries are
+// evicted immediately.
+func (c *Cache) SetMaxBytes(n int64) {
+	c.maxBytes.Store(n)
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.enforceBytesLocked()
+	c.mu.Unlock()
+}
+
+// Per-entry approximate sizes: slice headers, map-key overhead, and 8
+// bytes per cached position. These are estimates, not allocations counts —
+// the cap is a soft bound on resident memory.
+func boundSize(e boundEntry) int64 { return 64 + 8*int64(len(e.pre)+len(e.suf)) }
+func seqSize(e seqEntry) int64 {
+	return 96 + 8*int64(len(e.ps)) + 48*int64(len(e.rr.Left)+len(e.rr.Right))
+}
+func countSize(e countEntry) int64 { return 64 + 48*int64(len(e.r)) }
+func indexSize(ix *Index) int64 {
+	n := int64(128)
+	for _, ps := range ix.pre {
+		n += 48 + 8*int64(len(ps))
+	}
+	for _, ps := range ix.suf {
+		n += 48 + 8*int64(len(ps))
+	}
+	return n
+}
+
+// enforceBytesLocked evicts non-pinned entries from every map when the
+// byte cap is exceeded. Requires c.mu held for writing.
+func (c *Cache) enforceBytesLocked() {
+	limit := c.maxBytes.Load()
+	if limit <= 0 || c.bytes <= limit {
+		return
+	}
+	c.evictSeqsLocked()
+	if c.bytes <= limit {
+		return
+	}
+	c.evictBoundsLocked()
+	if c.bytes <= limit {
+		return
+	}
+	for k, es := range c.counts {
+		if !c.pinned(k.lo, k.hi) {
+			for _, e := range es {
+				c.bytes -= countSize(e)
+			}
+			delete(c.counts, k)
+		}
+	}
+	if c.bytes <= limit {
+		return
+	}
+	for k, ix := range c.indexes {
+		if !c.pinned(k.lo, k.hi) {
+			c.bytes -= indexSize(ix)
+			delete(c.indexes, k)
+		}
+	}
 }
 
 type boundKey struct {
@@ -137,25 +234,32 @@ func (c *Cache) Positions(lo, hi int, rr RegexPair) []int {
 		out = append(out, k)
 	}
 
+	e := seqEntry{rr: rr, ps: out}
 	c.mu.Lock()
 	if len(c.seqs) >= maxSeqEntries && !c.pinned(lo, hi) {
 		c.evictSeqsLocked()
 	}
-	c.seqs[key] = append(c.seqs[key], seqEntry{rr: rr, ps: out})
+	c.seqs[key] = append(c.seqs[key], e)
+	c.bytes += seqSize(e)
+	c.enforceBytesLocked()
 	c.mu.Unlock()
 	return out
 }
 
 // seqGet looks up a memoized position sequence, resolving fingerprint
-// collisions by exact pair comparison.
+// collisions by exact pair comparison. It records the probe as a cache hit
+// or miss.
 func (c *Cache) seqGet(key seqKey, rr RegexPair) ([]int, bool) {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
 	for _, e := range c.seqs[key] {
 		if pairEqual(e.rr, rr) {
+			c.mu.RUnlock()
+			c.hits.Add(1)
 			return e.ps, true
 		}
 	}
+	c.mu.RUnlock()
+	c.misses.Add(1)
 	return nil, false
 }
 
@@ -168,14 +272,18 @@ func (c *Cache) Boundaries(lo, hi int, t Token) (pre, suf []int) {
 	e, ok := c.bounds[key]
 	c.mu.RUnlock()
 	if ok {
+		c.hits.Add(1)
 		return e.pre, e.suf
 	}
+	c.misses.Add(1)
 	e = scanBoundaries(c.text[lo:hi], t)
 	c.mu.Lock()
 	if len(c.bounds) >= maxBoundEntries && !c.pinned(lo, hi) {
 		c.evictBoundsLocked()
 	}
 	c.bounds[key] = e
+	c.bytes += boundSize(e)
+	c.enforceBytesLocked()
 	c.mu.Unlock()
 	return e.pre, e.suf
 }
@@ -240,20 +348,28 @@ func (c *Cache) CountIn(lo, hi int, r Regex) int {
 	for _, e := range c.counts[key] {
 		if regexEqual(e.r, r) {
 			c.mu.RUnlock()
+			c.hits.Add(1)
 			return e.n
 		}
 	}
 	c.mu.RUnlock()
+	c.misses.Add(1)
 	n := CountMatches(r, c.text[lo:hi])
+	e := countEntry{r: r, n: n}
 	c.mu.Lock()
 	if len(c.counts) >= maxCountEntries && !c.pinned(lo, hi) {
-		for k := range c.counts {
+		for k, es := range c.counts {
 			if !c.pinned(k.lo, k.hi) {
+				for _, old := range es {
+					c.bytes -= countSize(old)
+				}
 				delete(c.counts, k)
 			}
 		}
 	}
-	c.counts[key] = append(c.counts[key], countEntry{r: r, n: n})
+	c.counts[key] = append(c.counts[key], e)
+	c.bytes += countSize(e)
+	c.enforceBytesLocked()
 	c.mu.Unlock()
 	return n
 }
@@ -268,8 +384,10 @@ func (c *Cache) IndexFor(lo, hi int, pool []Token, poolID uint64) *Index {
 	ix, ok := c.indexes[key]
 	c.mu.RUnlock()
 	if ok {
+		c.hits.Add(1)
 		return ix
 	}
+	c.misses.Add(1)
 	// Build from the per-token boundary cache so the token scans are shared
 	// with Positions.
 	ix = &Index{s: c.text[lo:hi], pre: map[string][]int{}, suf: map[string][]int{}}
@@ -283,13 +401,16 @@ func (c *Cache) IndexFor(lo, hi int, pool []Token, poolID uint64) *Index {
 	}
 	c.mu.Lock()
 	if len(c.indexes) >= maxIndexEntries && !c.pinned(lo, hi) {
-		for k := range c.indexes {
+		for k, old := range c.indexes {
 			if !c.pinned(k.lo, k.hi) {
+				c.bytes -= indexSize(old)
 				delete(c.indexes, k)
 			}
 		}
 	}
 	c.indexes[key] = ix
+	c.bytes += indexSize(ix)
+	c.enforceBytesLocked()
 	c.mu.Unlock()
 	return ix
 }
@@ -297,8 +418,11 @@ func (c *Cache) IndexFor(lo, hi int, pool []Token, poolID uint64) *Index {
 // evictSeqsLocked drops non-pinned position-sequence entries. Requires
 // c.mu held for writing.
 func (c *Cache) evictSeqsLocked() {
-	for k := range c.seqs {
+	for k, es := range c.seqs {
 		if !c.pinned(k.lo, k.hi) {
+			for _, e := range es {
+				c.bytes -= seqSize(e)
+			}
 			delete(c.seqs, k)
 		}
 	}
@@ -307,8 +431,9 @@ func (c *Cache) evictSeqsLocked() {
 // evictBoundsLocked drops non-pinned boundary entries. Requires c.mu held
 // for writing.
 func (c *Cache) evictBoundsLocked() {
-	for k := range c.bounds {
+	for k, e := range c.bounds {
 		if !c.pinned(k.lo, k.hi) {
+			c.bytes -= boundSize(e)
 			delete(c.bounds, k)
 		}
 	}

@@ -45,6 +45,16 @@ func NewDocument(html string) (*Document, error) {
 // EvalCache returns the document's evaluation cache.
 func (d *Document) EvalCache() *tokens.Cache { return d.cache }
 
+// CacheStats reports the evaluation cache's counters (engine.CacheStatser).
+func (d *Document) CacheStats() engine.CacheStats {
+	s := d.cache.Stats()
+	return engine.CacheStats{Hits: s.Hits, Misses: s.Misses, Entries: s.Entries, ApproxBytes: s.ApproxBytes}
+}
+
+// LimitCacheBytes caps the evaluation cache's approximate resident bytes;
+// the synthesis driver calls it when the budget sets MaxCacheBytes.
+func (d *Document) LimitCacheBytes(n int64) { d.cache.SetMaxBytes(n) }
+
 // MustNewDocument is NewDocument for statically known pages.
 func MustNewDocument(html string) *Document {
 	d, err := NewDocument(html)

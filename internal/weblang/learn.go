@@ -1,6 +1,7 @@
 package weblang
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -80,7 +81,7 @@ func conflictOverlap(out, neg core.Value) bool {
 
 // SynthesizeSeqRegion learns N1 programs (Fig. 8): a Merge of node
 // sequences (XPaths) or of position-pair sequences.
-func (l *lang) SynthesizeSeqRegion(exs []engine.SeqRegionExample) []engine.SeqRegionProgram {
+func (l *lang) SynthesizeSeqRegion(ctx context.Context, exs []engine.SeqRegionExample) []engine.SeqRegionProgram {
 	if len(exs) == 0 {
 		return nil
 	}
@@ -103,16 +104,16 @@ func (l *lang) SynthesizeSeqRegion(exs []engine.SeqRegionExample) []engine.SeqRe
 		}
 		specs = append(specs, spec)
 	}
-	ctx := newWebCtx(doc, boundary)
+	lc := newWebCtx(doc, boundary)
 	inner := core.PreferNonOverlapping(
-		core.UnionLearners(learnNS, ctx.learnSS()),
+		core.UnionLearners(learnNS, lc.learnSS()),
 		conflictOverlap,
 	)
 	n1 := core.PreferNonOverlapping(
 		core.MergeOp{A: inner, Less: webLess}.Learn,
 		conflictOverlap,
 	)
-	progs := core.SynthesizeSeqRegionProg(n1, specs, conflictOverlap)
+	progs := core.SynthesizeSeqRegionProg(ctx, n1, specs, conflictOverlap)
 	out := make([]engine.SeqRegionProgram, len(progs))
 	for i, p := range progs {
 		out[i] = seqProgram{p}
@@ -123,17 +124,17 @@ func (l *lang) SynthesizeSeqRegion(exs []engine.SeqRegionExample) []engine.SeqRe
 // SynthesizeRegion learns N2 programs: an XPath when the output is a node,
 // or a position pair within the input's text content when the output is a
 // span.
-func (l *lang) SynthesizeRegion(exs []engine.RegionExample) []engine.RegionProgram {
+func (l *lang) SynthesizeRegion(ctx context.Context, exs []engine.RegionExample) []engine.RegionProgram {
 	if len(exs) == 0 {
 		return nil
 	}
 	if _, isNode := exs[0].Output.(NodeRegion); isNode {
-		return synthesizeNodeRegion(exs)
+		return synthesizeNodeRegion(ctx, exs)
 	}
-	return synthesizeSpanRegion(exs)
+	return synthesizeSpanRegion(ctx, exs)
 }
 
-func synthesizeNodeRegion(exs []engine.RegionExample) []engine.RegionProgram {
+func synthesizeNodeRegion(ctx context.Context, exs []engine.RegionExample) []engine.RegionProgram {
 	var coreExs []core.Example
 	var paths []*xpath.Path
 	for i, ex := range exs {
@@ -151,11 +152,11 @@ func synthesizeNodeRegion(exs []engine.RegionExample) []engine.RegionProgram {
 	for _, p := range paths {
 		cands = append(cands, xpathRegionProg{path: p})
 	}
-	progs := core.SynthesizeRegionProg(func([]core.Example) []core.Program { return cands }, coreExs)
+	progs := core.SynthesizeRegionProg(ctx, func(context.Context, []core.Example) []core.Program { return cands }, coreExs)
 	return wrapRegionPrograms(progs)
 }
 
-func synthesizeSpanRegion(exs []engine.RegionExample) []engine.RegionProgram {
+func synthesizeSpanRegion(ctx context.Context, exs []engine.RegionExample) []engine.RegionProgram {
 	var doc *Document
 	var boundary []region.Region
 	var coreExs []core.Example
@@ -176,26 +177,30 @@ func synthesizeSpanRegion(exs []engine.RegionExample) []engine.RegionProgram {
 		ranges = append(ranges, [2]int{lo, hi})
 		outs = append(outs, out)
 	}
-	ctx := newWebCtx(doc, boundary)
+	lc := newWebCtx(doc, boundary)
 	var sExs, eExs []tokens.PosExample
 	for i, rg := range ranges {
 		lo, hi := rg[0], rg[1]
-		ix := ctx.index(lo, hi)
+		ix := lc.index(lo, hi)
 		sExs = append(sExs, tokens.PosExample{S: doc.Text[lo:hi], K: outs[i].Start - lo, Ix: ix})
 		eExs = append(eExs, tokens.PosExample{S: doc.Text[lo:hi], K: outs[i].End - lo, Ix: ix})
 	}
-	n2 := func([]core.Example) []core.Program {
-		p1s := capAttrs(tokens.LearnAttrs(sExs, ctx.toks), attrCap)
-		p2s := capAttrs(tokens.LearnAttrs(eExs, ctx.toks), attrCap)
+	n2 := func(ctx context.Context, _ []core.Example) []core.Program {
+		p1s := capAttrs(tokens.LearnAttrsStop(sExs, lc.toks, core.StopFunc(ctx)), attrCap)
+		p2s := capAttrs(tokens.LearnAttrsStop(eExs, lc.toks, core.StopFunc(ctx)), attrCap)
+		bud := core.BudgetFrom(ctx)
 		var out []core.Program
 		for _, p1 := range p1s {
+			if bud.ExhaustedNow() {
+				break
+			}
 			for _, p2 := range p2s {
 				out = append(out, spanPairProg{p1: p1, p2: p2})
 			}
 		}
 		return out
 	}
-	progs := core.SynthesizeRegionProg(n2, coreExs)
+	progs := core.SynthesizeRegionProg(ctx, n2, coreExs)
 	return wrapRegionPrograms(progs)
 }
 
@@ -210,7 +215,7 @@ func capAttrs(as []tokens.Attr, n int) []tokens.Attr {
 
 // learnNS learns XPaths programs: candidates are generalized from the
 // first example and verified against the rest.
-func learnNS(exs []core.SeqExample) []core.Program {
+func learnNS(_ context.Context, exs []core.SeqExample) []core.Program {
 	var first []*htmldom.Node
 	var firstRoot *htmldom.Node
 	for _, ex := range exs {
@@ -245,8 +250,8 @@ func learnNS(exs []core.SeqExample) []core.Program {
 }
 
 // learnES is ES ::= FilterInt(init, iter, XPaths).
-func learnES(exs []core.SeqExample) []core.Program {
-	return core.FilterIntOp{S: learnNS}.Learn(exs)
+func learnES(ctx context.Context, exs []core.SeqExample) []core.Program {
+	return core.FilterIntOp{S: learnNS}.Learn(ctx, exs)
 }
 
 // ---- SS: position-pair sequences ----
@@ -319,7 +324,7 @@ func (c *webCtx) learnPS() core.SeqLearner {
 	return core.FilterIntOp{S: c.learnPosSeq}.Learn
 }
 
-func (c *webCtx) learnPosSeq(exs []core.SeqExample) []core.Program {
+func (c *webCtx) learnPosSeq(ctx context.Context, exs []core.SeqExample) []core.Program {
 	var spexs []tokens.SeqPosExample
 	for _, ex := range exs {
 		doc, lo, hi, err := inputTextRange(ex.State)
@@ -337,7 +342,7 @@ func (c *webCtx) learnPosSeq(exs []core.SeqExample) []core.Program {
 		sort.Ints(sp.Ks)
 		spexs = append(spexs, sp)
 	}
-	pairs := tokens.LearnRegexPairs(spexs, c.toks)
+	pairs := tokens.LearnRegexPairsStop(spexs, c.toks, core.StopFunc(ctx))
 	out := make([]core.Program, len(pairs))
 	for i, rr := range pairs {
 		out[i] = posSeqProg{rr: rr}
@@ -347,7 +352,7 @@ func (c *webCtx) learnPosSeq(exs []core.SeqExample) []core.Program {
 
 // learnNodeSpanPair learns λx: Pair(Pos(x.Val, p1), Pos(x.Val, p2)) from
 // examples binding x to a node and outputting a span within its text.
-func (c *webCtx) learnNodeSpanPair(exs []core.Example) []core.Program {
+func (c *webCtx) learnNodeSpanPair(ctx context.Context, exs []core.Example) []core.Program {
 	var sExs, eExs []tokens.PosExample
 	for _, ex := range exs {
 		v, _ := ex.State.Lookup(lambdaVar)
@@ -364,8 +369,8 @@ func (c *webCtx) learnNodeSpanPair(exs []core.Example) []core.Program {
 		sExs = append(sExs, tokens.PosExample{S: text, K: y.Start - x.Node.TextStart, Ix: ix})
 		eExs = append(eExs, tokens.PosExample{S: text, K: y.End - x.Node.TextStart, Ix: ix})
 	}
-	p1s := capAttrs(tokens.LearnAttrs(sExs, c.toks), attrCap)
-	p2s := capAttrs(tokens.LearnAttrs(eExs, c.toks), attrCap)
+	p1s := capAttrs(tokens.LearnAttrsStop(sExs, c.toks, core.StopFunc(ctx)), attrCap)
+	p2s := capAttrs(tokens.LearnAttrsStop(eExs, c.toks, core.StopFunc(ctx)), attrCap)
 	var out []core.Program
 	for _, p1 := range p1s {
 		for _, p2 := range p2s {
@@ -376,7 +381,7 @@ func (c *webCtx) learnNodeSpanPair(exs []core.Example) []core.Program {
 }
 
 // learnStartPair learns λx: Pair(x, Pos(R0[x:], p)).
-func (c *webCtx) learnStartPair(exs []core.Example) []core.Program {
+func (c *webCtx) learnStartPair(ctx context.Context, exs []core.Example) []core.Program {
 	var pexs []tokens.PosExample
 	for _, ex := range exs {
 		doc, _, hi, err := inputTextRange(ex.State)
@@ -394,7 +399,7 @@ func (c *webCtx) learnStartPair(exs []core.Example) []core.Program {
 		}
 		pexs = append(pexs, tokens.PosExample{S: doc.Text[x:hi], K: y.End - x, Ix: c.index(x, hi)})
 	}
-	attrs := capAttrs(tokens.LearnAttrs(pexs, c.toks), attrCap)
+	attrs := capAttrs(tokens.LearnAttrsStop(pexs, c.toks, core.StopFunc(ctx)), attrCap)
 	out := make([]core.Program, len(attrs))
 	for i, p := range attrs {
 		out[i] = startPairProg{p: p}
@@ -403,7 +408,7 @@ func (c *webCtx) learnStartPair(exs []core.Example) []core.Program {
 }
 
 // learnEndPair learns λx: Pair(Pos(R0[:x], p), x).
-func (c *webCtx) learnEndPair(exs []core.Example) []core.Program {
+func (c *webCtx) learnEndPair(ctx context.Context, exs []core.Example) []core.Program {
 	var pexs []tokens.PosExample
 	for _, ex := range exs {
 		doc, lo, _, err := inputTextRange(ex.State)
@@ -421,7 +426,7 @@ func (c *webCtx) learnEndPair(exs []core.Example) []core.Program {
 		}
 		pexs = append(pexs, tokens.PosExample{S: doc.Text[lo:x], K: y.Start - lo, Ix: c.index(lo, x)})
 	}
-	attrs := capAttrs(tokens.LearnAttrs(pexs, c.toks), attrCap)
+	attrs := capAttrs(tokens.LearnAttrsStop(pexs, c.toks, core.StopFunc(ctx)), attrCap)
 	out := make([]core.Program, len(attrs))
 	for i, p := range attrs {
 		out[i] = endPairProg{p: p}

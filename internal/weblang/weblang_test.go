@@ -1,6 +1,7 @@
 package weblang
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -132,7 +133,7 @@ func TestLearnTitleNodes(t *testing.T) {
 	lang := d.Language()
 	t1 := nodeByClassText(t, d, "title", "Program Synthesis A")
 	t2 := nodeByClassText(t, d, "title", "Type Systems B")
-	progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    d.WholeRegion(),
 		Positive: []region.Region{t1, t2},
 	}})
@@ -150,7 +151,7 @@ func TestLearnProductRegions(t *testing.T) {
 	d := MustNewDocument(shopPage)
 	lang := d.Language()
 	i1 := nodeByClassText(t, d, "item", "Widget")
-	progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    d.WholeRegion(),
 		Positive: []region.Region{i1},
 	}})
@@ -177,7 +178,7 @@ func TestLearnAuthorsWithinAuthorGroup(t *testing.T) {
 	a1, _ := d.FindSpan("M Vaziri", 0)
 	a2, _ := d.FindSpan("S Gulwani", 0)
 	a3, _ := d.FindSpan("V Le", 0)
-	progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    div1,
 		Positive: []region.Region{a1, a2, a3},
 	}})
@@ -206,7 +207,7 @@ func TestLearnAuthorsTwoExamplesStaysSound(t *testing.T) {
 	div1 := nodeByClassText(t, d, "authors", "M Vaziri, S Gulwani")
 	a1, _ := d.FindSpan("M Vaziri", 0)
 	a2, _ := d.FindSpan("S Gulwani", 0)
-	progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    div1,
 		Positive: []region.Region{a1, a2},
 	}})
@@ -235,7 +236,7 @@ func TestLearnTitleWithinPublication(t *testing.T) {
 	pub1 := nodeByClassText(t, d, "pub", "Program Synthesis A")
 	pub2 := nodeByClassText(t, d, "pub", "Type Systems B")
 	t1 := nodeByClassText(t, d, "title", "Program Synthesis A")
-	progs := lang.SynthesizeRegion([]engine.RegionExample{{Input: pub1, Output: t1}})
+	progs := lang.SynthesizeRegion(context.Background(), []engine.RegionExample{{Input: pub1, Output: t1}})
 	if len(progs) == 0 {
 		t.Fatal("no programs")
 	}
@@ -257,7 +258,7 @@ func TestLearnPriceNumberSpan(t *testing.T) {
 	if !ok {
 		t.Fatal("span not found")
 	}
-	progs := lang.SynthesizeRegion([]engine.RegionExample{{Input: price1, Output: num1}})
+	progs := lang.SynthesizeRegion(context.Background(), []engine.RegionExample{{Input: price1, Output: num1}})
 	if len(progs) == 0 {
 		t.Fatal("no programs")
 	}
@@ -275,7 +276,7 @@ func TestRegionProgramNullWhenAbsent(t *testing.T) {
 	lang := d.Language()
 	pub1 := nodeByClassText(t, d, "pub", "Program Synthesis A")
 	v1 := nodeByClassText(t, d, "venue", "PLDI 2014")
-	progs := lang.SynthesizeRegion([]engine.RegionExample{{Input: pub1, Output: v1}})
+	progs := lang.SynthesizeRegion(context.Background(), []engine.RegionExample{{Input: pub1, Output: v1}})
 	if len(progs) == 0 {
 		t.Fatal("no programs")
 	}
@@ -304,7 +305,7 @@ func TestNegativeExampleExcludesAds(t *testing.T) {
 	d := MustNewDocument(page)
 	lang := d.Language()
 	rows := d.Root.FindAll(func(n *htmldom.Node) bool { return n.HasClass("row") })
-	progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    d.WholeRegion(),
 		Positive: []region.Region{d.NodeOf(rows[0]), d.NodeOf(rows[2])},
 		Negative: []region.Region{d.NodeOf(rows[1])},
@@ -325,7 +326,7 @@ func TestProgramTransfersToAnotherScholarPage(t *testing.T) {
 	lang := d.Language()
 	t1 := nodeByClassText(t, d, "title", "Program Synthesis A")
 	t2 := nodeByClassText(t, d, "title", "Type Systems B")
-	progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    d.WholeRegion(),
 		Positive: []region.Region{t1, t2},
 	}})
@@ -348,10 +349,10 @@ func TestProgramTransfersToAnotherScholarPage(t *testing.T) {
 
 func TestSynthesizeEmptyInputs(t *testing.T) {
 	var l lang
-	if got := l.SynthesizeSeqRegion(nil); got != nil {
+	if got := l.SynthesizeSeqRegion(context.Background(), nil); got != nil {
 		t.Fatal("expected nil")
 	}
-	if got := l.SynthesizeRegion(nil); got != nil {
+	if got := l.SynthesizeRegion(context.Background(), nil); got != nil {
 		t.Fatal("expected nil")
 	}
 }
@@ -361,7 +362,7 @@ func TestSynthesizeRegionRejectsOutsideOutput(t *testing.T) {
 	var l lang
 	pub1 := nodeByClassText(t, d, "pub", "Program Synthesis A")
 	t2 := nodeByClassText(t, d, "title", "Type Systems B")
-	if got := l.SynthesizeRegion([]engine.RegionExample{{Input: pub1, Output: t2}}); got != nil {
+	if got := l.SynthesizeRegion(context.Background(), []engine.RegionExample{{Input: pub1, Output: t2}}); got != nil {
 		t.Fatal("output outside input must fail")
 	}
 }
@@ -371,7 +372,7 @@ func TestSeqProgramStringMentionsXPath(t *testing.T) {
 	lang := d.Language()
 	i1 := nodeByClassText(t, d, "item", "Widget")
 	i2 := nodeByClassText(t, d, "item", "Gadget")
-	progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    d.WholeRegion(),
 		Positive: []region.Region{i1, i2},
 	}})
@@ -394,7 +395,7 @@ func TestLearnPriceNumberSequence(t *testing.T) {
 	n1, _ := d.FindSpan("9.99", 0)
 	n2, _ := d.FindSpan("19.50", 0)
 	n3, _ := d.FindSpan("3.25", 0)
-	progs := lang.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+	progs := lang.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 		Input:    d.WholeRegion(),
 		Positive: []region.Region{n1, n2, n3},
 	}})
@@ -417,7 +418,7 @@ func TestSeqProgramSerializationRoundTrip(t *testing.T) {
 		"nodes": {nodeByClassText(t, d, "pname", "Widget"), nodeByClassText(t, d, "pname", "Gadget")},
 		"spans": {mustSpan(t, d, "9.99"), mustSpan(t, d, "19.50")},
 	} {
-		progs := l.SynthesizeSeqRegion([]engine.SeqRegionExample{{
+		progs := l.SynthesizeSeqRegion(context.Background(), []engine.SeqRegionExample{{
 			Input:    d.WholeRegion(),
 			Positive: positives,
 		}})
@@ -449,7 +450,7 @@ func TestRegionProgramSerializationRoundTrip(t *testing.T) {
 		"node": {Input: item, Output: nodeByClassText(t, d, "pname", "Widget")},
 		"span": {Input: nodeByClassText(t, d, "price", "9.99"), Output: mustSpan(t, d, "9.99")},
 	} {
-		progs := l.SynthesizeRegion([]engine.RegionExample{ex})
+		progs := l.SynthesizeRegion(context.Background(), []engine.RegionExample{ex})
 		if len(progs) == 0 {
 			t.Fatalf("%s: no programs", name)
 		}

@@ -34,7 +34,14 @@ func (s Step) String() string {
 	var b strings.Builder
 	b.WriteString(s.Tag)
 	for _, a := range s.Attrs {
-		fmt.Fprintf(&b, "[@%s='%s']", a.Key, a.Val)
+		// Like XPath 1.0 literals there is no escape syntax, only the
+		// choice of quote character; values holding both kinds cannot be
+		// printed faithfully.
+		q := "'"
+		if strings.Contains(a.Val, "'") {
+			q = `"`
+		}
+		fmt.Fprintf(&b, "[@%s=%s%s%s]", a.Key, q, a.Val, q)
 	}
 	if s.Index > 0 {
 		fmt.Fprintf(&b, "[%d]", s.Index)
@@ -189,7 +196,12 @@ func parseStep(raw string) (Step, error) {
 				return s, fmt.Errorf("xpath: attribute predicate %q needs '='", pred)
 			}
 			key := strings.ToLower(pred[1:eq])
-			val := strings.Trim(pred[eq+1:], "'\"")
+			// Unwrap exactly one matching quote pair: a quote character at
+			// the far end may be part of the value itself.
+			val := pred[eq+1:]
+			if len(val) >= 2 && (val[0] == '\'' || val[0] == '"') && val[len(val)-1] == val[0] {
+				val = val[1 : len(val)-1]
+			}
 			s.Attrs = append(s.Attrs, htmldom.Attr{Key: key, Val: val})
 			continue
 		}
