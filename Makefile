@@ -4,7 +4,7 @@ GO ?= go
 # run fast and deterministic in duration; use a duration for real fuzzing).
 FUZZTIME ?= 40x
 
-.PHONY: all build vet test race check bench bench-synth fuzz-smoke
+.PHONY: all build vet test race check bench bench-synth bench-batch fuzz-smoke
 
 all: check
 
@@ -28,6 +28,7 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/schema
 	$(GO) test -run NONE -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/htmldom
 	$(GO) test -run NONE -fuzz FuzzFromCSV -fuzztime $(FUZZTIME) ./internal/sheet
+	$(GO) test -run NONE -fuzz FuzzGridRoundTrip -fuzztime $(FUZZTIME) ./internal/sheet
 
 # check is what CI runs: compile everything, vet, and the race-enabled
 # test suite (which subsumes the plain one).
@@ -39,3 +40,8 @@ bench:
 # bench-synth regenerates the task section of BENCH_synth.json.
 bench-synth:
 	$(GO) run ./cmd/flashbench -synth-json BENCH_synth_tasks.json -domain text
+
+# bench-batch regenerates BENCH_batch.json: batch-runtime throughput over
+# the corpus, serial vs. parallel, with the determinism cross-check.
+bench-batch:
+	$(GO) run ./cmd/flashbench -batch-json BENCH_batch.json

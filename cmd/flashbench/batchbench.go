@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"flashextract/internal/batch"
+	"flashextract/internal/bench"
+	"flashextract/internal/metrics"
+)
+
+// batchReport is the machine-readable envelope of -batch-json mode; the
+// schema (flashextract-batch-metrics/v1) is documented in EXPERIMENTS.md.
+type batchReport struct {
+	Schema    string           `json:"schema"`
+	GoMaxProc int              `json:"gomaxprocs"`
+	Reps      int              `json:"reps"`
+	Domains   []batchDomain    `json:"domains"`
+	Metrics   metrics.Snapshot `json:"metrics"`
+}
+
+// batchDomain reports one domain's throughput runs: a program learned on
+// the trainer task is replayed over every corpus document of the domain
+// (amplified to give the pool real work), serially and in parallel.
+type batchDomain struct {
+	Domain  string     `json:"domain"`
+	Trainer string     `json:"trainer"`
+	Docs    int        `json:"docs"`
+	Runs    []batchRun `json:"runs"`
+	// IdenticalOutput reports whether the parallel ordered output was
+	// byte-identical to the serial one — the determinism guarantee.
+	IdenticalOutput bool `json:"identical_output"`
+}
+
+// batchRun is one worker-count configuration, best/mean over reps.
+type batchRun struct {
+	Workers     int     `json:"workers"`
+	BestNs      int64   `json:"best_ns"`
+	MeanNs      int64   `json:"mean_ns"`
+	DocsPerSec  float64 `json:"docs_per_sec"`
+	Errors      int     `json:"errors"`
+	OutputBytes int     `json:"output_bytes"`
+}
+
+// corpusAmplification repeats each domain's documents so a batch run has
+// enough work to measure pool throughput on small corpus files.
+const corpusAmplification = 8
+
+// runBatchBench measures batch-runtime throughput per domain and writes
+// the report as JSON (the data behind BENCH_batch.json).
+func runBatchBench(tasks []*bench.Task, reps, workers int, path string) {
+	if reps < 1 {
+		reps = 1
+	}
+	if workers < 2 {
+		workers = 2
+	}
+	reg := metrics.NewRegistry()
+	report := batchReport{
+		Schema:    "flashextract-batch-metrics/v1",
+		GoMaxProc: runtime.GOMAXPROCS(0),
+		Reps:      reps,
+	}
+
+	trainers := map[string]*bench.Task{}
+	sources := map[string][]batch.Source{}
+	var order []string
+	for _, task := range tasks {
+		if task.Source == "" {
+			fmt.Fprintf(os.Stderr, "flashbench: task %s has no raw source\n", task.Name)
+			os.Exit(1)
+		}
+		if _, ok := trainers[task.Domain]; !ok {
+			trainers[task.Domain] = task
+			order = append(order, task.Domain)
+		}
+		for rep := 0; rep < corpusAmplification; rep++ {
+			sources[task.Domain] = append(sources[task.Domain],
+				batch.StringSource(fmt.Sprintf("%s#%d", task.Name, rep), task.Source))
+		}
+	}
+
+	for _, domain := range order {
+		trainer := trainers[domain]
+		prog, err := bench.LearnSchemaProgram(trainer, 3)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
+			os.Exit(1)
+		}
+		dom := batchDomain{Domain: domain, Trainer: trainer.Name, Docs: len(sources[domain])}
+		var serial, parallel string
+		for _, w := range []int{1, workers} {
+			run := batchRun{Workers: w}
+			var total int64
+			for rep := 0; rep < reps; rep++ {
+				out, sum := timeBatch(prog, domain, w, sources[domain], reg)
+				ns := sum.Elapsed.Nanoseconds()
+				total += ns
+				if run.BestNs == 0 || ns < run.BestNs {
+					run.BestNs = ns
+				}
+				run.Errors = sum.Errors
+				run.OutputBytes = len(out)
+				if w == 1 {
+					serial = out
+				} else {
+					parallel = out
+				}
+			}
+			run.MeanNs = total / int64(reps)
+			if run.BestNs > 0 {
+				run.DocsPerSec = float64(dom.Docs) / (float64(run.BestNs) / float64(time.Second))
+			}
+			dom.Runs = append(dom.Runs, run)
+			fmt.Fprintf(os.Stderr, "%-6s workers=%d  docs=%d errors=%d  best %12d ns  %8.0f docs/s\n",
+				domain, w, dom.Docs, run.Errors, run.BestNs, run.DocsPerSec)
+		}
+		dom.IdenticalOutput = serial == parallel
+		if !dom.IdenticalOutput {
+			fmt.Fprintf(os.Stderr, "flashbench: %s: parallel output differs from serial\n", domain)
+			os.Exit(1)
+		}
+		report.Domains = append(report.Domains, dom)
+	}
+	report.Metrics = reg.Snapshot()
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// timeBatch runs one ordered batch and returns its output and summary.
+func timeBatch(prog []byte, domain string, workers int, sources []batch.Source, sink metrics.Sink) (string, batch.Summary) {
+	var buf bytes.Buffer
+	sum, err := batch.Run(context.Background(), batch.Options{
+		Program: prog, DocType: domain, Workers: workers, Ordered: true, Metrics: sink,
+	}, sources, io.Writer(&buf))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: batch %s workers=%d: %v\n", domain, workers, err)
+		os.Exit(1)
+	}
+	return buf.String(), sum
+}

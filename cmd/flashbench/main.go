@@ -9,6 +9,7 @@
 //	flashbench -doc hadoop -v
 //	flashbench -synth-json BENCH_synth.json -reps 3
 //	flashbench -metrics-json - [-deadline 100ms]
+//	flashbench -batch-json BENCH_batch.json [-reps 3] [-batch-workers 4]
 package main
 
 import (
@@ -39,6 +40,8 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per task in -synth-json mode")
 	metricsJSON := flag.String("metrics-json", "", "run field synthesis with engine metrics enabled and write the metrics snapshot (candidates explored, cache hit/miss, per-phase latency) as JSON to this file ('-' for stdout)")
 	deadline := flag.Duration("deadline", 0, "per-field synthesis deadline in -metrics-json mode (0 = none); budget-exhausted calls are reported, not fatal")
+	batchJSON := flag.String("batch-json", "", "measure batch-runtime throughput over the corpus and write machine-readable JSON to this file ('-' for stdout)")
+	batchWorkers := flag.Int("batch-workers", runtime.GOMAXPROCS(0), "parallel worker count compared against workers=1 in -batch-json mode")
 	flag.Parse()
 
 	var tasks []*bench.Task
@@ -75,6 +78,10 @@ func main() {
 			tasks = append(tasks, corpus.Large()...)
 		}
 		runMetricsBench(tasks, *deadline, *metricsJSON)
+		return
+	}
+	if *batchJSON != "" {
+		runBatchBench(tasks, *reps, *batchWorkers, *batchJSON)
 		return
 	}
 	if *mode == "transfer" {

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"flashextract"
+)
+
+// batchUsage documents the batch subcommand.
+const batchUsage = `usage: flashextract batch -load prog.json -type text [flags] glob...
+
+Runs a saved extraction program (flashextract ... -save prog.json) over a
+collection of documents with a bounded worker pool, streaming one NDJSON
+record per input document. Per-document failures become structured error
+records; interrupting with Ctrl-C drains in-flight documents and exits
+cleanly. Flags:
+`
+
+// batchConfig holds the batch subcommand's flags.
+type batchConfig struct {
+	docType  string
+	loadProg string
+	out      string
+	workers  int
+	timeout  time.Duration
+	ordered  bool
+	globs    []string
+}
+
+func parseBatchFlags(args []string) (batchConfig, error) {
+	var cfg batchConfig
+	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprint(fs.Output(), batchUsage)
+		fs.PrintDefaults()
+	}
+	fs.StringVar(&cfg.docType, "type", "text", "document type: text, web, or sheet")
+	fs.StringVar(&cfg.loadProg, "load", "", "saved extraction program to run (required)")
+	fs.StringVar(&cfg.out, "out", "-", "NDJSON output path (- for stdout)")
+	fs.IntVar(&cfg.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	fs.DurationVar(&cfg.timeout, "timeout", 0, "per-document deadline (0 = none)")
+	fs.BoolVar(&cfg.ordered, "ordered", false, "emit records in input order instead of completion order")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	cfg.globs = fs.Args()
+	return cfg, nil
+}
+
+// runBatch executes the batch subcommand: it expands the input globs,
+// wires SIGINT to graceful cancellation, streams the batch, and prints a
+// summary line to stderr.
+func runBatch(args []string, stdout io.Writer) error {
+	cfg, err := parseBatchFlags(args)
+	if err != nil {
+		return err
+	}
+	if cfg.loadProg == "" {
+		return fmt.Errorf("batch: -load is required")
+	}
+	if len(cfg.globs) == 0 {
+		return fmt.Errorf("batch: no input documents (pass paths or globs)")
+	}
+	artifact, err := os.ReadFile(cfg.loadProg)
+	if err != nil {
+		return err
+	}
+	sources, err := expandSources(cfg.globs)
+	if err != nil {
+		return err
+	}
+
+	out := stdout
+	if cfg.out != "" && cfg.out != "-" {
+		f, err := os.Create(cfg.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	// Ctrl-C cancels the context: the pool stops dispatching, finishes
+	// in-flight documents, and the summary reports the rest as skipped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	sum, err := flashextract.RunBatch(ctx, flashextract.BatchOptions{
+		Program:    artifact,
+		DocType:    cfg.docType,
+		Workers:    cfg.workers,
+		DocTimeout: cfg.timeout,
+		Ordered:    cfg.ordered,
+	}, sources, out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "flashextract batch: %d docs, %d errors, %d skipped in %s\n",
+		sum.Docs, sum.Errors, sum.Skipped, sum.Elapsed.Round(time.Millisecond))
+	if sum.Cancelled {
+		return fmt.Errorf("batch: interrupted after %d of %d documents", sum.Docs, len(sources))
+	}
+	return nil
+}
+
+// expandSources resolves the positional arguments — paths or glob
+// patterns — into a deterministic, de-duplicated list of file sources.
+func expandSources(globs []string) ([]flashextract.BatchSource, error) {
+	seen := map[string]bool{}
+	var paths []string
+	for _, g := range globs {
+		matches, err := filepath.Glob(g)
+		if err != nil {
+			return nil, fmt.Errorf("batch: bad pattern %q: %w", g, err)
+		}
+		if matches == nil {
+			// A non-pattern path that doesn't exist should fail loudly per
+			// document, not vanish: keep it so Open reports the error.
+			matches = []string{g}
+		}
+		for _, m := range matches {
+			if !seen[m] {
+				seen[m] = true
+				paths = append(paths, m)
+			}
+		}
+	}
+	sort.Strings(paths)
+	sources := make([]flashextract.BatchSource, len(paths))
+	for i, p := range paths {
+		sources[i] = flashextract.BatchFileSource(p)
+	}
+	return sources, nil
+}

@@ -23,6 +23,12 @@
 //
 // Fields are learned and committed in schema order; -run re-executes the
 // learned program on a second, similarly formatted document.
+//
+// The batch subcommand runs a saved program (-save) over a whole
+// collection with a bounded worker pool, streaming NDJSON:
+//
+//	flashextract batch -load prog.json -type text -out results.ndjson \
+//	    [-workers N] [-timeout 5s] [-ordered] 'logs/*.txt'
 package main
 
 import (
@@ -32,6 +38,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "batch" {
+		if err := runBatch(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "flashextract: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	cfg := parseFlags()
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "flashextract: %v\n", err)

@@ -146,8 +146,19 @@ func run(cfg config, out io.Writer) error {
 }
 
 // runLoaded executes a previously saved extraction program on the input
-// document; no schema or examples are needed.
+// document; no schema or examples are needed. Flags that only make sense
+// when learning are rejected rather than silently ignored.
 func runLoaded(cfg config, out io.Writer) error {
+	switch {
+	case cfg.saveProg != "":
+		return fmt.Errorf("-save cannot be combined with -load: the program is already saved")
+	case cfg.runOn != "":
+		return fmt.Errorf("-run cannot be combined with -load: pass the target document as -in")
+	case cfg.schema != "":
+		return fmt.Errorf("-schema cannot be combined with -load: the saved program carries its schema")
+	case cfg.examples != "":
+		return fmt.Errorf("-examples cannot be combined with -load: a saved program needs no examples")
+	}
 	if cfg.in == "" {
 		return fmt.Errorf("-in is required with -load")
 	}
@@ -344,7 +355,8 @@ func locate(doc flashextract.Document, locator string) (flashextract.Region, err
 }
 
 // splitLocator splits on colons but keeps quoted segments intact, so
-// find:"a:b":0 works.
+// find:"a:b":0 works. Inside a quoted segment, a doubled quote is an
+// escaped literal quote: find:"say ""hi""":0 locates `say "hi"`.
 func splitLocator(s string) []string {
 	var out []string
 	var cur strings.Builder
@@ -352,6 +364,11 @@ func splitLocator(s string) []string {
 	for i := 0; i < len(s); i++ {
 		switch {
 		case s[i] == '"':
+			if inQuote && i+1 < len(s) && s[i+1] == '"' {
+				cur.WriteByte('"')
+				i++
+				continue
+			}
 			inQuote = !inQuote
 		case s[i] == ':' && !inQuote:
 			out = append(out, cur.String())

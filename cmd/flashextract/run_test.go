@@ -132,9 +132,38 @@ func TestParseExamples(t *testing.T) {
 }
 
 func TestSplitLocator(t *testing.T) {
-	got := splitLocator(`find:"a:b":2`)
-	if len(got) != 3 || got[0] != "find" || got[1] != "a:b" || got[2] != "2" {
-		t.Fatalf("splitLocator = %v", got)
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{`find:"a:b":2`, []string{"find", "a:b", "2"}},
+		// "" inside a quoted segment is an escaped literal quote.
+		{`find:"say ""hi""":0`, []string{"find", `say "hi"`, "0"}},
+		{`find:"""":1`, []string{"find", `"`, "1"}},
+		{`find:"":0`, []string{"find", "", "0"}},
+		{`text:3:7`, []string{"text", "3", "7"}},
+	}
+	for _, c := range cases {
+		got := splitLocator(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("splitLocator(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("splitLocator(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// TestLocateQuotedQuote exercises the "" escape end to end: locating a
+// substring that itself contains a double quote.
+func TestLocateQuotedQuote(t *testing.T) {
+	doc, _ := openDocument("text", `she said "hi" twice`)
+	r, err := locate(doc, `find:"said ""hi""":0`)
+	if err != nil || r == nil {
+		t.Fatalf("locate failed: %v", err)
 	}
 }
 
@@ -214,6 +243,33 @@ func TestRunLoadedErrors(t *testing.T) {
 	}
 	if err := run(config{docType: "text", loadProg: "/nonexistent", in: in}, &strings.Builder{}); err == nil {
 		t.Fatal("missing program file accepted")
+	}
+}
+
+// TestRunLoadedRejectsIgnoredFlags asserts -load refuses the learning-only
+// flags it used to silently ignore.
+func TestRunLoadedRejectsIgnoredFlags(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "prog.json", "{}")
+	in := writeFile(t, dir, "doc.txt", "x")
+	cases := []struct {
+		name string
+		cfg  config
+	}{
+		{"-save", config{docType: "text", loadProg: prog, in: in, saveProg: filepath.Join(dir, "out.json")}},
+		{"-run", config{docType: "text", loadProg: prog, in: in, runOn: in}},
+		{"-schema", config{docType: "text", loadProg: prog, in: in, schema: in}},
+		{"-examples", config{docType: "text", loadProg: prog, in: in, examples: in}},
+	}
+	for _, c := range cases {
+		err := run(c.cfg, &strings.Builder{})
+		if err == nil {
+			t.Errorf("%s combined with -load was silently accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-load") {
+			t.Errorf("%s error does not mention -load: %v", c.name, err)
+		}
 	}
 }
 

@@ -1,0 +1,326 @@
+// Package batch is the serving-path runtime of the repository: it runs a
+// saved schema extraction program (engine.SaveSchemaProgram) over a whole
+// collection of documents — the "learn once from examples, then run over
+// similar files" end state of §2 and §6 of the paper.
+//
+// The runtime is a bounded worker pool streaming NDJSON: one JSON record
+// per input document, written as each document finishes (or in input order
+// with Options.Ordered). Failures are isolated per document — a corrupt
+// document yields a structured error record, never an aborted batch — and
+// each document's run is bounded by Options.DocTimeout through the
+// core.Budget/context plumbing of the synthesis stack. Cancelling the
+// context (e.g. on SIGINT) drains gracefully: no new documents start,
+// in-flight documents finish or trip their budget, and every dispatched
+// document still gets exactly one record.
+//
+// Every emitted line is machine-checkably valid JSON: instance payloads
+// are rendered by export.JSONValue (which the fixed number normalization
+// of export makes RFC 8259-clean) and re-verified with json.Valid before
+// the record is written.
+package batch
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"flashextract/internal/core"
+	"flashextract/internal/engine"
+	"flashextract/internal/export"
+	"flashextract/internal/metrics"
+	"flashextract/internal/sheet"
+	"flashextract/internal/sheetlang"
+	"flashextract/internal/textlang"
+	"flashextract/internal/weblang"
+)
+
+// Source is one input document of a batch: a name for the output records
+// and a lazy reader, so a large collection is not resident all at once.
+type Source struct {
+	// Name labels the document in its output record (a file path, URL, …).
+	Name string
+	// Open returns the document's raw content.
+	Open func() ([]byte, error)
+}
+
+// FileSource is a Source reading a file from disk.
+func FileSource(path string) Source {
+	return Source{Name: path, Open: func() ([]byte, error) { return os.ReadFile(path) }}
+}
+
+// StringSource is a Source over in-memory content.
+func StringSource(name, data string) Source {
+	return Source{Name: name, Open: func() ([]byte, error) { return []byte(data), nil }}
+}
+
+// Options configures a batch run.
+type Options struct {
+	// Program is the serialized schema extraction program artifact
+	// (the output of SaveProgram / engine.SaveSchemaProgram).
+	Program []byte
+	// DocType is the document type the program was learned on: "text",
+	// "web", or "sheet".
+	DocType string
+	// Workers bounds the worker pool; 0 or negative means GOMAXPROCS.
+	Workers int
+	// DocTimeout bounds each document's run (0 = none). The deadline is
+	// enforced cooperatively by engine.RunContext via a core.Budget.
+	DocTimeout time.Duration
+	// Ordered emits records in input order instead of completion order,
+	// making the output byte stream deterministic for any worker count.
+	Ordered bool
+	// Metrics receives batch.docs_processed / batch.errors counters and
+	// the batch.doc_run_seconds latency histogram; nil means none.
+	Metrics metrics.Sink
+}
+
+// Record is one NDJSON output line: the result of running the program on
+// one input document, or the structured error that isolated its failure.
+type Record struct {
+	// Doc is the source's name.
+	Doc string `json:"doc"`
+	// Index is the source's position in the input, so completion-order
+	// output can be re-ordered downstream.
+	Index int `json:"index"`
+	// OK distinguishes results from error records.
+	OK bool `json:"ok"`
+	// Data is the extracted instance as a compact JSON value (results only).
+	Data json.RawMessage `json:"data,omitempty"`
+	// Error describes the per-document failure (error records only).
+	Error string `json:"error,omitempty"`
+}
+
+// Summary aggregates one batch run.
+type Summary struct {
+	// Docs is the number of records emitted (results and errors).
+	Docs int
+	// Errors is the number of error records among them.
+	Errors int
+	// Skipped is the number of input documents never started because the
+	// context was cancelled.
+	Skipped int
+	// Cancelled reports whether the run was cut short by its context.
+	Cancelled bool
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// job pairs a source with its input position.
+type job struct {
+	index int
+	src   Source
+}
+
+// Run executes the batch: it validates the options, spins up the worker
+// pool, and streams one record per dispatched document to out. Run returns
+// only after every goroutine it started has exited; a cancelled context
+// drains in-flight documents rather than abandoning them. The returned
+// error reports option/program problems or a failed write to out —
+// per-document failures are error records in the stream, not errors here.
+func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Summary, error) {
+	start := time.Now()
+	lang, err := languageFor(opts.DocType)
+	if err != nil {
+		return Summary{}, err
+	}
+	// Validate the artifact once up front so a corrupt program fails the
+	// batch immediately instead of once per document.
+	if _, err := engine.LoadSchemaProgram(opts.Program, lang); err != nil {
+		return Summary{}, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) && len(sources) > 0 {
+		workers = len(sources)
+	}
+	sink := opts.Metrics
+	if sink == nil {
+		sink = metrics.Nop
+	}
+
+	jobs := make(chan job)
+	results := make(chan Record, workers)
+	go func() {
+		defer close(jobs)
+		for i, src := range sources {
+			select {
+			case jobs <- job{index: i, src: src}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker deserializes its own program instance, so program
+			// state is never shared across concurrently running documents.
+			prog, err := engine.LoadSchemaProgram(opts.Program, lang)
+			for j := range jobs {
+				var rec Record
+				if err != nil {
+					rec = Record{Doc: j.src.Name, Index: j.index, Error: err.Error()}
+				} else {
+					rec = processDoc(ctx, prog, opts, j, sink)
+				}
+				results <- rec
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	sum := Summary{}
+	var writeErr error
+	emit := func(rec Record) {
+		sum.Docs++
+		if !rec.OK {
+			sum.Errors++
+		}
+		if writeErr != nil {
+			return
+		}
+		writeErr = writeRecord(out, rec)
+	}
+	// In ordered mode, records are held until every lower index has been
+	// written. Dispatch is sequential from index 0 and every dispatched
+	// document produces exactly one record, so the pending set always
+	// drains completely — even when cancellation cuts dispatch short.
+	pending := map[int]Record{}
+	next := 0
+	for rec := range results {
+		if !opts.Ordered {
+			emit(rec)
+			continue
+		}
+		pending[rec.Index] = rec
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			emit(r)
+		}
+	}
+	sum.Skipped = len(sources) - sum.Docs
+	sum.Cancelled = ctx.Err() != nil
+	sum.Elapsed = time.Since(start)
+	return sum, writeErr
+}
+
+// processDoc runs the program over one document, converting every failure
+// mode — unreadable source, unparseable document, budget exhaustion,
+// renderer fault, even a panic — into a structured error record.
+func processDoc(ctx context.Context, prog *engine.SchemaProgram, opts Options, j job, sink metrics.Sink) (rec Record) {
+	start := time.Now()
+	rec = Record{Doc: j.src.Name, Index: j.index}
+	defer func() {
+		if r := recover(); r != nil {
+			rec.OK = false
+			rec.Data = nil
+			rec.Error = fmt.Sprintf("panic: %v", r)
+		}
+		sink.Count(metrics.BatchDocs, 1)
+		if !rec.OK {
+			sink.Count(metrics.BatchErrors, 1)
+		}
+		sink.Observe(metrics.BatchDocSeconds, time.Since(start).Seconds())
+	}()
+	data, err := j.src.Open()
+	if err != nil {
+		rec.Error = err.Error()
+		return rec
+	}
+	doc, err := newDocument(opts.DocType, string(data))
+	if err != nil {
+		rec.Error = err.Error()
+		return rec
+	}
+	dctx := ctx
+	if opts.DocTimeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(dctx, opts.DocTimeout)
+		defer cancel()
+	}
+	dctx, _ = core.WithBudget(dctx, core.SynthBudget{})
+	inst, _, err := prog.RunContext(dctx, doc)
+	if err != nil {
+		rec.Error = err.Error()
+		return rec
+	}
+	raw, err := export.JSONValue(inst)
+	if err != nil {
+		rec.Error = err.Error()
+		return rec
+	}
+	rec.OK = true
+	rec.Data = raw
+	return rec
+}
+
+// writeRecord marshals one record and writes it as an NDJSON line,
+// re-checking json.Valid so the valid-output guarantee holds even if a
+// payload slipped past the renderer.
+func writeRecord(out io.Writer, rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil || !json.Valid(line) {
+		rec.OK = false
+		rec.Data = nil
+		rec.Error = fmt.Sprintf("batch: record for %s did not marshal to valid JSON", rec.Doc)
+		if line, err = json.Marshal(rec); err != nil {
+			return fmt.Errorf("batch: marshaling error record: %w", err)
+		}
+	}
+	line = append(line, '\n')
+	if _, err := out.Write(line); err != nil {
+		return fmt.Errorf("batch: writing output: %w", err)
+	}
+	return nil
+}
+
+// languageFor returns the DSL of a document type, for deserializing the
+// program artifact.
+func languageFor(docType string) (engine.Language, error) {
+	switch docType {
+	case "text":
+		return textlang.NewDocument("").Language(), nil
+	case "web":
+		d, err := weblang.NewDocument("<html></html>")
+		if err != nil {
+			return nil, err
+		}
+		return d.Language(), nil
+	case "sheet":
+		return sheetlang.NewDocument(sheet.New(0, 0)).Language(), nil
+	default:
+		return nil, fmt.Errorf("batch: unknown document type %q (want text, web, or sheet)", docType)
+	}
+}
+
+// newDocument opens one input document of the batch's type.
+func newDocument(docType, src string) (engine.Document, error) {
+	switch docType {
+	case "text":
+		return textlang.NewDocument(src), nil
+	case "web":
+		return weblang.NewDocument(src)
+	case "sheet":
+		return sheetlang.FromCSV(src)
+	default:
+		return nil, fmt.Errorf("batch: unknown document type %q", docType)
+	}
+}

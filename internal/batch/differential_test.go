@@ -1,0 +1,71 @@
+package batch_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"flashextract/internal/batch"
+	"flashextract/internal/bench"
+	"flashextract/internal/bench/corpus"
+)
+
+// TestBatchCorpusDifferential is the acceptance check of the batch
+// runtime: for each domain, a program learned on one corpus task is run
+// over every corpus document of that domain, and the ordered output with
+// workers=4 must be bit-identical to workers=1. Documents the program
+// does not fit still produce deterministic records (results or structured
+// errors), so the comparison covers the failure-isolation path too.
+func TestBatchCorpusDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus differential is not short")
+	}
+	trainers := map[string]string{}
+	domains := map[string][]batch.Source{}
+	for _, task := range corpus.All() {
+		if task.Source == "" {
+			t.Fatalf("task %s has no raw source", task.Name)
+		}
+		if _, ok := trainers[task.Domain]; !ok {
+			trainers[task.Domain] = task.Name
+		}
+		domains[task.Domain] = append(domains[task.Domain],
+			batch.StringSource(task.Name, task.Source))
+	}
+	for domain, sources := range domains {
+		domain, sources := domain, sources
+		t.Run(domain, func(t *testing.T) {
+			t.Parallel()
+			prog, err := bench.LearnSchemaProgram(corpus.ByName(trainers[domain]), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(workers int) string {
+				var out bytes.Buffer
+				sum, err := batch.Run(context.Background(), batch.Options{
+					Program: prog, DocType: domain, Workers: workers, Ordered: true,
+				}, sources, &out)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sum.Docs != len(sources) || sum.Skipped != 0 || sum.Cancelled {
+					t.Fatalf("workers=%d summary = %+v", workers, sum)
+				}
+				return out.String()
+			}
+			serial := run(1)
+			parallel := run(4)
+			if serial != parallel {
+				t.Errorf("workers=4 output differs from workers=1:\n--- serial ---\n%s--- parallel ---\n%s",
+					serial, parallel)
+			}
+			for i, line := range strings.Split(strings.TrimSuffix(serial, "\n"), "\n") {
+				if !json.Valid([]byte(line)) {
+					t.Errorf("line %d is not valid JSON: %q", i, line)
+				}
+			}
+		})
+	}
+}

@@ -24,6 +24,10 @@ type Task struct {
 	Domain string
 	// Doc is the document under extraction.
 	Doc engine.Document
+	// Source is the raw serialized form of Doc (text content, HTML, or
+	// CSV), so batch runs can re-open the document from bytes the way the
+	// CLI does from files.
+	Source string
 	// Schema is the output schema of the task.
 	Schema *schema.Schema
 	// Golden maps every field color to the manually annotated instances

@@ -78,7 +78,7 @@ func (b *sheetBuilder) task(name, schemaSrc string) *bench.Task {
 			panic("corpus: no golden regions for color " + fi.Color() + " in " + name)
 		}
 	}
-	return &bench.Task{Name: name, Domain: "sheet", Doc: doc, Schema: m, Golden: golden}
+	return &bench.Task{Name: name, Domain: "sheet", Doc: doc, Source: g.ToCSV(), Schema: m, Golden: golden}
 }
 
 // departmentSheet builds a Fig. 3-style workbook: department blocks of

@@ -84,5 +84,5 @@ func (b *textBuilder) task(name, schemaSrc string) *bench.Task {
 			panic("corpus: no golden regions for color " + fi.Color() + " in " + name)
 		}
 	}
-	return &bench.Task{Name: name, Domain: "text", Doc: doc, Schema: m, Golden: golden}
+	return &bench.Task{Name: name, Domain: "text", Doc: doc, Source: string(b.buf), Schema: m, Golden: golden}
 }

@@ -125,7 +125,7 @@ func buildSite(cfg siteCfg) *bench.Task {
 		region.Sort(rs)
 		golden[color] = rs
 	}
-	return &bench.Task{Name: cfg.name, Domain: "web", Doc: doc, Schema: m, Golden: golden}
+	return &bench.Task{Name: cfg.name, Domain: "web", Doc: doc, Source: b.String(), Schema: m, Golden: golden}
 }
 
 // defaultProducts gives each site its own catalog.

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"fmt"
+
+	"flashextract/internal/engine"
+)
+
+// LearnSchemaProgram learns a complete schema extraction program for a
+// task from its golden annotations and returns the serialized artifact —
+// the "learn once, then batch over the collection" half of the §2
+// workflow. Each field receives up to maxExamples golden regions as
+// positive instances (0 means all) before its program is learned and
+// committed in schema order.
+func LearnSchemaProgram(t *Task, maxExamples int) ([]byte, error) {
+	s := engine.NewSession(t.Doc, t.Schema)
+	for _, fi := range t.Schema.Fields() {
+		golden := t.Golden[fi.Color()]
+		if maxExamples > 0 && len(golden) > maxExamples {
+			golden = golden[:maxExamples]
+		}
+		for _, r := range golden {
+			if err := s.AddPositive(fi.Color(), r); err != nil {
+				return nil, fmt.Errorf("bench: %s: example for %s: %w", t.Name, fi.Color(), err)
+			}
+		}
+		if _, _, err := s.Learn(fi.Color()); err != nil {
+			return nil, fmt.Errorf("bench: %s: learning %s: %w", t.Name, fi.Color(), err)
+		}
+		if err := s.Commit(fi.Color()); err != nil {
+			return nil, fmt.Errorf("bench: %s: committing %s: %w", t.Name, fi.Color(), err)
+		}
+	}
+	q, err := s.Program()
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", t.Name, err)
+	}
+	return engine.SaveSchemaProgram(q, t.Doc.Language())
+}

@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"flashextract/internal/core"
 	"flashextract/internal/region"
 	"flashextract/internal/schema"
 )
@@ -39,14 +41,25 @@ func (fp *FieldProgram) String() string {
 // programs contribute an empty sequence, region programs the null
 // instance.
 func (fp *FieldProgram) run(doc Document, cr Highlighting) []region.Region {
+	out, _ := fp.runCtx(context.Background(), doc, cr)
+	return out
+}
+
+// runCtx is run under a context: cancellation (or a tripped budget) aborts
+// between ancestor regions with the context's error.
+func (fp *FieldProgram) runCtx(ctx context.Context, doc Document, cr Highlighting) ([]region.Region, error) {
 	var inputs []region.Region
 	if fp.Ancestor == nil {
 		inputs = []region.Region{doc.WholeRegion()}
 	} else {
 		inputs = cr[fp.Ancestor.Color()]
 	}
+	bud := core.BudgetFrom(ctx)
 	var out []region.Region
 	for _, in := range inputs {
+		if err := runErr(ctx, bud); err != nil {
+			return nil, err
+		}
 		if fp.Seq != nil {
 			rs, err := fp.Seq.ExtractSeq(in)
 			if err == nil {
@@ -60,7 +73,20 @@ func (fp *FieldProgram) run(doc Document, cr Highlighting) []region.Region {
 		}
 	}
 	region.Sort(out)
-	return out
+	return out, nil
+}
+
+// runErr reports why an execution context no longer permits work: the
+// context's own error when it is done, or a budget-exhaustion error when
+// the per-run budget (deadline, cancellation) tripped.
+func runErr(ctx context.Context, bud *core.Budget) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if bud.ExhaustedNow() {
+		return fmt.Errorf("engine: run budget exhausted: %s", bud.Reason())
+	}
+	return nil
 }
 
 // SchemaProgram is a schema extraction program Q: a map from every field
@@ -95,13 +121,26 @@ func (q *SchemaProgram) Complete() error {
 // instance by Fill. Run fails if the produced highlighting is inconsistent
 // with the schema.
 func (q *SchemaProgram) Run(doc Document) (*Instance, Highlighting, error) {
+	return q.RunContext(context.Background(), doc)
+}
+
+// RunContext is Run under a context: cancellation, a context deadline, or
+// a core.Budget installed with core.WithBudget abort the run cooperatively
+// between field programs and between ancestor regions — the granularity at
+// which extraction programs execute — so a batch runtime can bound each
+// document's run without leaking work.
+func (q *SchemaProgram) RunContext(ctx context.Context, doc Document) (*Instance, Highlighting, error) {
 	if err := q.Complete(); err != nil {
 		return nil, nil, err
 	}
 	cr := Highlighting{}
 	for _, fi := range q.Schema.Fields() {
 		fp := q.Fields[fi.Color()]
-		cr.Add(fi.Color(), fp.run(doc, cr)...)
+		rs, err := fp.runCtx(ctx, doc, cr)
+		if err != nil {
+			return nil, nil, err
+		}
+		cr.Add(fi.Color(), rs...)
 	}
 	if err := cr.ConsistentWith(q.Schema); err != nil {
 		return nil, nil, fmt.Errorf("engine: extraction result inconsistent with schema: %w", err)

@@ -1,0 +1,54 @@
+package engine_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"flashextract/internal/core"
+)
+
+// TestRunContextCancelled asserts a cancelled context aborts RunContext
+// with the context's error instead of returning a partial instance.
+func TestRunContextCancelled(t *testing.T) {
+	q, doc := learnSimpleProgram(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := q.RunContext(ctx, doc); err == nil {
+		t.Fatal("cancelled RunContext returned no error")
+	} else if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextBudgetDeadline asserts an expired core.Budget deadline
+// aborts RunContext with a budget-exhaustion error.
+func TestRunContextBudgetDeadline(t *testing.T) {
+	q, doc := learnSimpleProgram(t)
+	ctx, _ := core.WithBudget(context.Background(),
+		core.SynthBudget{Deadline: time.Now().Add(-time.Second)})
+	_, _, err := q.RunContext(ctx, doc)
+	if err == nil {
+		t.Fatal("expired budget returned no error")
+	}
+	if !strings.Contains(err.Error(), "budget exhausted") {
+		t.Fatalf("err = %v, want budget exhaustion", err)
+	}
+}
+
+// TestRunContextPlain asserts RunContext without a deadline matches Run.
+func TestRunContextPlain(t *testing.T) {
+	q, doc := learnSimpleProgram(t)
+	inst1, _, err := q.Run(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst2, _, err := q.RunContext(context.Background(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst1.String() != inst2.String() {
+		t.Fatalf("RunContext diverged from Run:\n%s\nvs\n%s", inst1, inst2)
+	}
+}

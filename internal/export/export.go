@@ -5,6 +5,7 @@
 package export
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -21,6 +22,24 @@ func ToJSON(in *engine.Instance) string {
 	writeJSON(&b, in, 0)
 	b.WriteByte('\n')
 	return b.String()
+}
+
+// JSONValue renders an instance as a single compact JSON value, verified
+// with json.Valid — the form the batch runtime embeds in NDJSON records.
+// An error means the rendered value failed validation, which writeJSONLeaf's
+// number normalization is designed to make impossible.
+func JSONValue(in *engine.Instance) (json.RawMessage, error) {
+	var b strings.Builder
+	writeJSON(&b, in, 0)
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, []byte(b.String())); err != nil {
+		return nil, fmt.Errorf("export: instance rendered to invalid JSON: %w", err)
+	}
+	out := buf.Bytes()
+	if !json.Valid(out) {
+		return nil, fmt.Errorf("export: instance rendered to invalid JSON")
+	}
+	return out, nil
 }
 
 func writeJSON(b *strings.Builder, in *engine.Instance, depth int) {
@@ -69,20 +88,64 @@ func writeJSONLeaf(b *strings.Builder, in *engine.Instance) {
 	text := strings.TrimSpace(in.Text)
 	switch in.Type {
 	case schema.Int, schema.Float:
-		if in.Type.ValidValue(text) && text != "" {
-			// normalize "+7" and "-3." forms that JSON does not accept
-			if text[0] == '+' {
-				text = text[1:]
+		if text != "" && in.Type.ValidValue(text) {
+			if n, ok := normalizeJSONNumber(text); ok {
+				b.WriteString(n)
+				return
 			}
-			if strings.HasSuffix(text, ".") {
-				text += "0"
-			}
-			b.WriteString(text)
-			return
 		}
 	}
 	quoted, _ := json.Marshal(in.Text)
 	b.Write(quoted)
+}
+
+// normalizeJSONNumber rewrites a numeric leaf value into the RFC 8259
+// number grammar: "+" signs are dropped, leading zeros stripped ("007" →
+// "7"), and bare-dot mantissas given their leading digit (".5" → "0.5",
+// "3." → "3"). It reports false for text that still is not a valid JSON
+// number (e.g. "NaN"), in which case the caller quotes the raw text.
+func normalizeJSONNumber(s string) (string, bool) {
+	neg := false
+	switch s[0] {
+	case '+':
+		s = s[1:]
+	case '-':
+		neg, s = true, s[1:]
+	}
+	if s == "" {
+		return "", false
+	}
+	mant, exp := s, ""
+	if i := strings.IndexAny(s, "eE"); i >= 0 {
+		mant, exp = s[:i], s[i:]
+	}
+	intp, frac := mant, ""
+	hasDot := false
+	if i := strings.IndexByte(mant, '.'); i >= 0 {
+		intp, frac, hasDot = mant[:i], mant[i+1:], true
+	}
+	intp = strings.TrimLeft(intp, "0")
+	if intp == "" {
+		intp = "0"
+	}
+	var out strings.Builder
+	if neg {
+		out.WriteByte('-')
+	}
+	out.WriteString(intp)
+	if hasDot {
+		if frac == "" {
+			frac = "0"
+		}
+		out.WriteByte('.')
+		out.WriteString(frac)
+	}
+	out.WriteString(exp)
+	res := out.String()
+	if !json.Valid([]byte(res)) {
+		return "", false
+	}
+	return res, true
 }
 
 func indentJSON(b *strings.Builder, depth int) {

@@ -2,6 +2,8 @@ package export
 
 import (
 	"encoding/json"
+	"encoding/xml"
+	"io"
 	"strings"
 	"testing"
 
@@ -90,11 +92,135 @@ func TestToJSONNumberNormalization(t *testing.T) {
 		{leaf("-3.", schema.Float), "-3.0"},
 		{leaf(" 12 ", schema.Int), "12"},
 		{leaf("not a number", schema.Int), `"not a number"`},
+		// RFC 8259 forbids leading zeros and bare-dot mantissas; these
+		// used to be written bare and produced invalid JSON.
+		{leaf("007", schema.Int), "7"},
+		{leaf("-007", schema.Int), "-7"},
+		{leaf("+007", schema.Int), "7"},
+		{leaf("000", schema.Int), "0"},
+		{leaf("-000", schema.Int), "-0"},
+		{leaf(".5", schema.Float), "0.5"},
+		{leaf("+.5", schema.Float), "0.5"},
+		{leaf("-.5", schema.Float), "-0.5"},
+		{leaf("00.5", schema.Float), "0.5"},
+		{leaf("007.25", schema.Float), "7.25"},
+		{leaf(".", schema.Float), `"."`},
+		{leaf("NaN", schema.Float), `"NaN"`},
+		{leaf("Inf", schema.Float), `"Inf"`},
+		{leaf("0x1p2", schema.Float), `"0x1p2"`},
+		{leaf("", schema.Int), `""`},
 	}
 	for _, c := range cases {
 		got := strings.TrimSpace(ToJSON(c.in))
 		if got != c.want {
 			t.Errorf("ToJSON(%q) = %s, want %s", c.in.Text, got, c.want)
+		}
+		if !json.Valid([]byte(got)) {
+			t.Errorf("ToJSON(%q) = %s is not valid JSON", c.in.Text, got)
+		}
+	}
+}
+
+// TestToJSONAlwaysValid asserts the end-to-end guarantee the batch runtime
+// relies on: every ToJSON output passes json.Valid, whatever text ends up
+// in a numeric leaf.
+func TestToJSONAlwaysValid(t *testing.T) {
+	texts := []string{
+		"007", ".5", "+.5", "-.", "0", "-0", "3.", "00", "1e5", "1E05",
+		"--3", "+", "-", ".", "..", "0.0.0", "NaN", "-Inf", "0x10", "٠٧",
+		"9999999999999999999999999", " 42\n", "", "null", `"`,
+	}
+	for _, txt := range texts {
+		for _, typ := range []schema.LeafType{schema.String, schema.Int, schema.Float} {
+			inst := seqOf(structOf(engine.NamedInstance{Name: "V", Value: leaf(txt, typ)}))
+			out := ToJSON(inst)
+			if !json.Valid([]byte(out)) {
+				t.Errorf("ToJSON(%q as %v) emits invalid JSON:\n%s", txt, typ, out)
+			}
+		}
+	}
+}
+
+// xmlItem mirrors one <item> of the sample instance for decoding with
+// encoding/xml.
+type xmlItem struct {
+	Name     string   `xml:"Name"`
+	Mass     string   `xml:"Mass"`
+	Readings []string `xml:"Readings>item"`
+}
+
+// TestToXMLRoundTrip decodes ToXML output with encoding/xml and checks the
+// values survive, including characters that need escaping.
+func TestToXMLRoundTrip(t *testing.T) {
+	inst := seqOf(
+		structOf(
+			engine.NamedInstance{Name: "Name", Value: leaf(`a<b&c>"d"'e'`, schema.String)},
+			engine.NamedInstance{Name: "Mass", Value: leaf("9", schema.Int)},
+			engine.NamedInstance{Name: "Readings", Value: seqOf(leaf("0.07", schema.Float), leaf("<1>", schema.Float))},
+		),
+	)
+	out := ToXML("samples", inst)
+	var decoded struct {
+		Items []xmlItem `xml:"item"`
+	}
+	if err := xml.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("ToXML output unparseable by encoding/xml: %v\n%s", err, out)
+	}
+	if len(decoded.Items) != 1 {
+		t.Fatalf("decoded %d items, want 1:\n%s", len(decoded.Items), out)
+	}
+	it := decoded.Items[0]
+	if it.Name != `a<b&c>"d"'e'` {
+		t.Errorf("Name round-tripped to %q", it.Name)
+	}
+	if it.Mass != "9" || len(it.Readings) != 2 || it.Readings[1] != "<1>" {
+		t.Errorf("decoded item = %+v", it)
+	}
+}
+
+// TestToXMLTagNamesValid parses ToXML output for every field name of the
+// sample schema: schema field names become tags, so they must stay within
+// XML's name grammar for the emitted document to parse at all.
+func TestToXMLTagNamesValid(t *testing.T) {
+	out := ToXML("data", sampleInstance())
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("ToXML output is not well-formed: %v\n%s", err, out)
+		}
+	}
+}
+
+// TestToCSVNullStructElements checks the cross-join when whole struct
+// elements — including a nested sequence — are null: the row must still
+// appear once, with blanks in the null columns.
+func TestToCSVNullStructElements(t *testing.T) {
+	m := schema.MustParse(`Seq([g] Struct(Name: [a] String, Mass: [b] Int, Readings: Seq([r] Float)))`)
+	inst := seqOf(
+		structOf(
+			engine.NamedInstance{Name: "Name", Value: null()},
+			engine.NamedInstance{Name: "Mass", Value: null()},
+			engine.NamedInstance{Name: "Readings", Value: null()},
+		),
+		structOf(
+			engine.NamedInstance{Name: "Name", Value: leaf("Sc", schema.String)},
+			engine.NamedInstance{Name: "Mass", Value: null()},
+			engine.NamedInstance{Name: "Readings", Value: seqOf(leaf("1.5", schema.Float))},
+		),
+	)
+	out := ToCSV(m, inst)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	want := []string{"item.Name,item.Mass,item.Readings", ",,", "Sc,,1.5"}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), out)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
 		}
 	}
 }

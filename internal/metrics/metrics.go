@@ -35,6 +35,15 @@ const (
 	// validation. Values are seconds.
 	PhaseLearn    = "synth.phase.learn_seconds"
 	PhaseValidate = "synth.phase.validate_seconds"
+
+	// BatchDocs counts documents processed by the batch runtime (result
+	// and error records alike).
+	BatchDocs = "batch.docs_processed"
+	// BatchErrors counts batch documents that yielded an error record.
+	BatchErrors = "batch.errors"
+	// BatchDocSeconds is the per-document end-to-end run latency histogram
+	// of the batch runtime (open + extract + render). Values are seconds.
+	BatchDocSeconds = "batch.doc_run_seconds"
 )
 
 // Sink is the minimal recording interface the synthesis stack writes to.

@@ -1,13 +1,16 @@
 package sheet
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // FuzzFromCSV asserts the reader never panics and that grids round-trip
 // through ToCSV.
 func FuzzFromCSV(f *testing.F) {
 	for _, seed := range []string{
 		"", "a,b\nc,d\n", `"x,y",z`, `"q""uote"`, "ragged\na,b,c\n", "\"open",
-		"a\r\nb\r\n", "\"two\nlines\",x",
+		"a\r\nb\r\n", "\"two\nlines\",x", `""`, "a,b\n\"\"", `x,""`,
 	} {
 		f.Add(seed)
 	}
@@ -16,19 +19,49 @@ func FuzzFromCSV(f *testing.F) {
 		if err != nil {
 			return
 		}
-		again, err := FromCSV(g.ToCSV())
-		if err != nil {
-			t.Fatalf("ToCSV output unparseable: %v", err)
+		assertRoundTrip(t, g)
+	})
+}
+
+// FuzzGridRoundTrip fuzzes the inverse direction: build a grid directly
+// from fuzzed cell contents (including empty and quote-only cells the CSV
+// reader used to drop at end of input) and assert FromCSV(ToCSV(g))
+// reproduces it exactly.
+func FuzzGridRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint8(1), `""`)
+	f.Add(uint8(2), uint8(3), "a|b||c,d|\"|\nnl")
+	f.Add(uint8(3), uint8(2), "|x|\r|,|\"\"|q\"uote")
+	f.Fuzz(func(t *testing.T, rows, cols uint8, cells string) {
+		nr := int(rows)%4 + 1
+		nc := int(cols)%4 + 1
+		g := New(nr, nc)
+		parts := strings.Split(cells, "|")
+		for i, p := range parts {
+			r, c := i/nc, i%nc
+			if r >= nr {
+				break
+			}
+			g.Set(r, c, p)
 		}
-		if again.Rows != g.Rows || again.Cols != g.Cols {
-			t.Fatalf("round trip changed dims: %dx%d vs %dx%d", g.Rows, g.Cols, again.Rows, again.Cols)
-		}
-		for r := 0; r < g.Rows; r++ {
-			for c := 0; c < g.Cols; c++ {
-				if g.Cell(r, c) != again.Cell(r, c) {
-					t.Fatalf("round trip changed cell (%d,%d)", r, c)
-				}
+		assertRoundTrip(t, g)
+	})
+}
+
+// assertRoundTrip checks FromCSV(ToCSV(g)) reproduces g cell for cell.
+func assertRoundTrip(t *testing.T, g *Grid) {
+	t.Helper()
+	again, err := FromCSV(g.ToCSV())
+	if err != nil {
+		t.Fatalf("ToCSV output unparseable: %v", err)
+	}
+	if again.Rows != g.Rows || again.Cols != g.Cols {
+		t.Fatalf("round trip changed dims: %dx%d vs %dx%d", g.Rows, g.Cols, again.Rows, again.Cols)
+	}
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			if g.Cell(r, c) != again.Cell(r, c) {
+				t.Fatalf("round trip changed cell (%d,%d): %q vs %q", r, c, g.Cell(r, c), again.Cell(r, c))
 			}
 		}
-	})
+	}
 }

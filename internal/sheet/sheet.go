@@ -56,9 +56,14 @@ func FromCSV(src string) (*Grid, error) {
 	var cur []string
 	var field strings.Builder
 	inQuotes := false
+	// fieldStarted distinguishes a genuinely empty final field (e.g. a
+	// trailing `""`) from end-of-input after a flushed row: a quoted empty
+	// string leaves field.Len() == 0 but must still produce a cell.
+	fieldStarted := false
 	flushField := func() {
 		cur = append(cur, field.String())
 		field.Reset()
+		fieldStarted = false
 	}
 	flushRow := func() {
 		flushField()
@@ -84,6 +89,7 @@ func FromCSV(src string) (*Grid, error) {
 			i++
 		case c == '"' && field.Len() == 0:
 			inQuotes = true
+			fieldStarted = true
 			i++
 		case c == ',':
 			flushField()
@@ -95,13 +101,14 @@ func FromCSV(src string) (*Grid, error) {
 			i++
 		default:
 			field.WriteByte(c)
+			fieldStarted = true
 			i++
 		}
 	}
 	if inQuotes {
 		return nil, fmt.Errorf("sheet: unterminated quoted field")
 	}
-	if field.Len() > 0 || len(cur) > 0 {
+	if fieldStarted || field.Len() > 0 || len(cur) > 0 {
 		flushRow()
 	}
 	cols := 0

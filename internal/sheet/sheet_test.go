@@ -53,6 +53,34 @@ func TestFromCSVQuotedNewline(t *testing.T) {
 	}
 }
 
+// TestFromCSVFinalEmptyQuotedField is the regression test for the dropped
+// final row: a last field that is an empty quoted string with no trailing
+// newline used to leave field.Len() == 0 and len(cur) == 0, so the row was
+// never flushed.
+func TestFromCSVFinalEmptyQuotedField(t *testing.T) {
+	cases := []struct {
+		src        string
+		rows, cols int
+		last       string
+	}{
+		{`""`, 1, 1, ""},
+		{"a,b\n\"\"", 2, 2, ""},
+		{`x,""`, 1, 2, ""},
+		{"\"\"\n\"\"", 2, 1, ""},
+		{`"q""uote"`, 1, 1, `q"uote`},
+	}
+	for _, c := range cases {
+		g := MustFromCSV(c.src)
+		if g.Rows != c.rows || g.Cols != c.cols {
+			t.Errorf("FromCSV(%q) = %d×%d, want %d×%d", c.src, g.Rows, g.Cols, c.rows, c.cols)
+			continue
+		}
+		if got := g.Cell(g.Rows-1, g.Cols-1); got != c.last {
+			t.Errorf("FromCSV(%q) last cell = %q, want %q", c.src, got, c.last)
+		}
+	}
+}
+
 func TestFromCSVUnterminatedQuote(t *testing.T) {
 	if _, err := FromCSV(`"never closed`); err == nil {
 		t.Fatal("expected error")
