@@ -4,7 +4,7 @@ GO ?= go
 # run fast and deterministic in duration; use a duration for real fuzzing).
 FUZZTIME ?= 40x
 
-.PHONY: all build vet test race check bench bench-synth bench-batch fuzz-smoke
+.PHONY: all build vet test race check bench bench-synth bench-batch fuzz-smoke trace-smoke trace
 
 all: check
 
@@ -45,3 +45,14 @@ bench-synth:
 # the corpus, serial vs. parallel, with the determinism cross-check.
 bench-batch:
 	$(GO) run ./cmd/flashbench -batch-json BENCH_batch.json
+
+# trace-smoke stands up `flashextract batch -admin`, curls /healthz,
+# /metrics, /trace/last, and /debug/pprof, regex-asserts the Prometheus
+# exposition, and fails on an unclean SIGINT drain or goroutine leak.
+trace-smoke:
+	./scripts/trace_smoke.sh
+
+# trace writes the Perfetto-loadable synthesis trace of the largest corpus
+# document to trace.json (load it at https://ui.perfetto.dev).
+trace:
+	$(GO) run ./cmd/flashbench -trace-out trace.json

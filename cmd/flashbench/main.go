@@ -10,6 +10,7 @@
 //	flashbench -synth-json BENCH_synth.json -reps 3
 //	flashbench -metrics-json - [-deadline 100ms]
 //	flashbench -batch-json BENCH_batch.json [-reps 3] [-batch-workers 4]
+//	flashbench -trace-out trace.json
 package main
 
 import (
@@ -25,8 +26,10 @@ import (
 	"flashextract/internal/bench/corpus"
 	"flashextract/internal/core"
 	"flashextract/internal/engine"
+	"flashextract/internal/logx"
 	"flashextract/internal/metrics"
 	"flashextract/internal/region"
+	"flashextract/internal/trace"
 )
 
 func main() {
@@ -42,7 +45,22 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-field synthesis deadline in -metrics-json mode (0 = none); budget-exhausted calls are reported, not fatal")
 	batchJSON := flag.String("batch-json", "", "measure batch-runtime throughput over the corpus and write machine-readable JSON to this file ('-' for stdout)")
 	batchWorkers := flag.Int("batch-workers", runtime.GOMAXPROCS(0), "parallel worker count compared against workers=1 in -batch-json mode")
+	traceOut := flag.String("trace-out", "", "synthesize over the largest corpus document under the span tracer and write the Chrome trace-event JSON (Perfetto-loadable) to this file ('-' for stdout)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, or error")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	flag.Parse()
+
+	logger, err := logx.New(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
+		os.Exit(1)
+	}
+	baseCtx := logx.Into(context.Background(), logger)
+
+	if *traceOut != "" {
+		runTraceBench(baseCtx, *traceOut)
+		return
+	}
 
 	var tasks []*bench.Task
 	switch {
@@ -77,7 +95,7 @@ func main() {
 		if *docName == "" && (*domain == "text" || *domain == "all") {
 			tasks = append(tasks, corpus.Large()...)
 		}
-		runMetricsBench(tasks, *deadline, *metricsJSON)
+		runMetricsBench(baseCtx, tasks, *deadline, *metricsJSON)
 		return
 	}
 	if *batchJSON != "" {
@@ -211,7 +229,7 @@ type taskMetrics struct {
 
 // runMetricsBench replays ⊥-relative field synthesis over the tasks with a
 // metrics registry installed and writes the aggregated snapshot as JSON.
-func runMetricsBench(tasks []*bench.Task, deadline time.Duration, path string) {
+func runMetricsBench(baseCtx context.Context, tasks []*bench.Task, deadline time.Duration, path string) {
 	reg := metrics.NewRegistry()
 	report := metricsReport{
 		Schema:     "flashextract-metrics/v1",
@@ -234,7 +252,7 @@ func runMetricsBench(tasks []*bench.Task, deadline time.Duration, path string) {
 			if len(pos) > 2 {
 				pos = pos[:2]
 			}
-			ctx := metrics.Into(context.Background(), reg)
+			ctx := metrics.Into(baseCtx, reg)
 			ctx, _ = core.WithBudget(ctx, core.SynthBudget{Deadline: synthDeadline(deadline)})
 			_, pr, err := engine.SynthesizeFieldProgramCtx(
 				ctx, task.Doc, task.Schema, engine.Highlighting{}, fi,
@@ -276,6 +294,34 @@ func runMetricsBench(tasks []*bench.Task, deadline time.Duration, path string) {
 		os.Exit(1)
 	}
 	out = append(out, '\n')
+	if path == "-" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runTraceBench synthesizes every field of the largest text-corpus
+// document under the span tracer and writes the resulting Chrome
+// trace-event JSON — load it at https://ui.perfetto.dev to see the full
+// learner/validation breakdown of one synthesis run.
+func runTraceBench(ctx context.Context, path string) {
+	task := corpus.LargestText()
+	root, err := bench.TraceTask(ctx, task)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: tracing %s: %v\n", task.Name, err)
+		os.Exit(1)
+	}
+	out, err := trace.ChromeTrace(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "flashbench: traced %s: %d spans in %s\n",
+		task.Name, len(trace.SpanNames(root)), root.Duration().Round(time.Millisecond))
 	if path == "-" {
 		os.Stdout.Write(out)
 		return

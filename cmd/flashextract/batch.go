@@ -8,10 +8,15 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"time"
 
 	"flashextract"
+	"flashextract/internal/admin"
+	"flashextract/internal/batch"
+	"flashextract/internal/logx"
+	"flashextract/internal/metrics"
 )
 
 // batchUsage documents the batch subcommand.
@@ -21,18 +26,28 @@ Runs a saved extraction program (flashextract ... -save prog.json) over a
 collection of documents with a bounded worker pool, streaming one NDJSON
 record per input document. Per-document failures become structured error
 records; interrupting with Ctrl-C drains in-flight documents and exits
-cleanly. Flags:
+cleanly.
+
+With -admin ADDR an introspection HTTP server runs alongside the batch,
+serving /metrics (Prometheus), /healthz (worker-pool liveness JSON),
+/trace/last (recent document span trees), and /debug/pprof/. The process
+then keeps serving after the batch finishes until interrupted, so the
+run's final state stays inspectable. Flags:
 `
 
 // batchConfig holds the batch subcommand's flags.
 type batchConfig struct {
-	docType  string
-	loadProg string
-	out      string
-	workers  int
-	timeout  time.Duration
-	ordered  bool
-	globs    []string
+	docType   string
+	loadProg  string
+	out       string
+	workers   int
+	timeout   time.Duration
+	ordered   bool
+	admin     string
+	traceRing int
+	logLevel  string
+	logJSON   bool
+	globs     []string
 }
 
 func parseBatchFlags(args []string) (batchConfig, error) {
@@ -48,6 +63,10 @@ func parseBatchFlags(args []string) (batchConfig, error) {
 	fs.IntVar(&cfg.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	fs.DurationVar(&cfg.timeout, "timeout", 0, "per-document deadline (0 = none)")
 	fs.BoolVar(&cfg.ordered, "ordered", false, "emit records in input order instead of completion order")
+	fs.StringVar(&cfg.admin, "admin", "", "serve the admin endpoint on this address (e.g. :8080); empty = off")
+	fs.IntVar(&cfg.traceRing, "trace-ring", 0, "document traces retained for /trace/last (0 = default)")
+	fs.StringVar(&cfg.logLevel, "log-level", "info", "structured log level: debug, info, warn, or error")
+	fs.BoolVar(&cfg.logJSON, "log-json", false, "emit structured logs as JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -57,7 +76,9 @@ func parseBatchFlags(args []string) (batchConfig, error) {
 
 // runBatch executes the batch subcommand: it expands the input globs,
 // wires SIGINT to graceful cancellation, streams the batch, and prints a
-// summary line to stderr.
+// summary line to stderr. With -admin it also stands up the introspection
+// server for the lifetime of the process and self-checks for goroutine
+// leaks on the way out.
 func runBatch(args []string, stdout io.Writer) error {
 	cfg, err := parseBatchFlags(args)
 	if err != nil {
@@ -68,6 +89,10 @@ func runBatch(args []string, stdout io.Writer) error {
 	}
 	if len(cfg.globs) == 0 {
 		return fmt.Errorf("batch: no input documents (pass paths or globs)")
+	}
+	logger, err := logx.New(os.Stderr, cfg.logLevel, cfg.logJSON)
+	if err != nil {
+		return err
 	}
 	artifact, err := os.ReadFile(cfg.loadProg)
 	if err != nil {
@@ -92,23 +117,83 @@ func runBatch(args []string, stdout io.Writer) error {
 	// in-flight documents, and the summary reports the rest as skipped.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	ctx = logx.Into(ctx, logger)
 
-	sum, err := flashextract.RunBatch(ctx, flashextract.BatchOptions{
+	opts := flashextract.BatchOptions{
 		Program:    artifact,
 		DocType:    cfg.docType,
 		Workers:    cfg.workers,
 		DocTimeout: cfg.timeout,
 		Ordered:    cfg.ordered,
-	}, sources, out)
+	}
+
+	// The admin plane: a metrics registry + monitor feeding the HTTP
+	// server. The goroutine baseline is captured before anything starts so
+	// the post-shutdown leak check sees only what this run created.
+	var srv *admin.Server
+	baseline := runtime.NumGoroutine()
+	if cfg.admin != "" {
+		reg := metrics.NewRegistry()
+		mon := &batch.Monitor{}
+		opts.Metrics = reg
+		opts.Monitor = mon
+		opts.Trace = true
+		opts.TraceRing = cfg.traceRing
+		srv = admin.New(reg, mon)
+		if err := srv.Start(cfg.admin); err != nil {
+			return err
+		}
+		logger.Info("admin endpoint serving", "addr", srv.Addr())
+	}
+
+	sum, err := flashextract.RunBatch(ctx, opts, sources, out)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "flashextract batch: %d docs, %d errors, %d skipped in %s\n",
 		sum.Docs, sum.Errors, sum.Skipped, sum.Elapsed.Round(time.Millisecond))
+	if srv != nil && ctx.Err() == nil {
+		// Linger: keep the run's final metrics, health, and traces
+		// inspectable until the operator interrupts.
+		logger.Info("batch finished; admin endpoint lingering until interrupt",
+			"addr", srv.Addr())
+		<-ctx.Done()
+	}
+	if srv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("batch: admin shutdown: %w", err)
+		}
+		if err := checkGoroutineLeak(baseline); err != nil {
+			return err
+		}
+	}
 	if sum.Cancelled {
 		return fmt.Errorf("batch: interrupted after %d of %d documents", sum.Docs, len(sources))
 	}
 	return nil
+}
+
+// checkGoroutineLeak verifies the process drained back to (about) its
+// pre-run goroutine count after the pool and admin server shut down. The
+// slack covers runtime-internal goroutines (e.g. the signal watcher) that
+// legitimately outlive the run; everything else — stuck workers, an
+// unshut listener — fails the process, which is exactly what the CI smoke
+// test asserts.
+func checkGoroutineLeak(baseline int) error {
+	const slack = 3
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("batch: goroutine leak: %d alive after shutdown (baseline %d)", n, baseline)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }
 
 // expandSources resolves the positional arguments — paths or glob

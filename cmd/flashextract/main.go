@@ -62,6 +62,8 @@ type config struct {
 	saveProg string
 	loadProg string
 	verbose  bool
+	logLevel string
+	logJSON  bool
 }
 
 func parseFlags() config {
@@ -75,6 +77,8 @@ func parseFlags() config {
 	flag.StringVar(&cfg.saveProg, "save", "", "write the learned extraction program to this path")
 	flag.StringVar(&cfg.loadProg, "load", "", "load a saved extraction program instead of learning from examples")
 	flag.BoolVar(&cfg.verbose, "v", false, "print learned programs")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "structured log level: debug, info, warn, or error")
+	flag.BoolVar(&cfg.logJSON, "log-json", false, "emit structured logs as JSON instead of text")
 	flag.Parse()
 	return cfg
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -8,12 +9,18 @@ import (
 	"strings"
 
 	"flashextract"
+	"flashextract/internal/logx"
 )
 
 func run(cfg config, out io.Writer) error {
 	if cfg.loadProg != "" {
 		return runLoaded(cfg, out)
 	}
+	logger, err := logx.New(os.Stderr, cfg.logLevel, cfg.logJSON)
+	if err != nil {
+		return err
+	}
+	ctx := logx.Into(context.Background(), logger)
 	if cfg.in == "" || cfg.schema == "" || cfg.examples == "" {
 		return fmt.Errorf("-in, -schema, and -examples are required (or -load a saved program)")
 	}
@@ -70,7 +77,7 @@ func run(cfg config, out io.Writer) error {
 		if inferred[fi.Color()] {
 			continue
 		}
-		fp, _, err := session.Learn(fi.Color())
+		fp, _, _, err := session.LearnContext(ctx, fi.Color())
 		if err != nil {
 			return fmt.Errorf("learning field %s: %w", fi.Color(), err)
 		}

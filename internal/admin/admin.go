@@ -1,0 +1,139 @@
+// Package admin is the serving-runtime introspection endpoint of the
+// repository: a small HTTP server exposing the live state of a batch run —
+// Prometheus metrics, a liveness snapshot of the worker pool, Go's pprof
+// profiles, and the span trees of recently processed documents. It is
+// stdlib-only (net/http + net/http/pprof) and mounts pprof on its own mux,
+// so importing it never registers handlers on http.DefaultServeMux.
+//
+//	GET /metrics        Prometheus text exposition of the run's Registry
+//	GET /healthz        JSON liveness snapshot (batch.Monitor.Health)
+//	GET /trace/last?n=  recent document span trees as flashextract-trace/v1
+//	GET /debug/pprof/   Go runtime profiles (heap, goroutine, profile, …)
+package admin
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"flashextract/internal/batch"
+	"flashextract/internal/metrics"
+	"flashextract/internal/trace"
+)
+
+// Server is the admin HTTP server for one batch run. Create with New,
+// start with Start, stop with Shutdown.
+type Server struct {
+	reg *metrics.Registry
+	mon *batch.Monitor
+	srv *http.Server
+	ln  net.Listener
+}
+
+// traceFile is the /trace/last response envelope: the flashextract-trace/v1
+// schema documented in EXPERIMENTS.md.
+type traceFile struct {
+	Schema string        `json:"schema"`
+	Traces []*trace.Node `json:"traces"`
+}
+
+// New builds a server over the run's metrics registry and monitor. Either
+// may be nil: /metrics then serves an empty registry and /healthz an
+// "idle" snapshot, so the server is always safe to stand up first and
+// attach a run to later.
+func New(reg *metrics.Registry, mon *batch.Monitor) *Server {
+	s := &Server{reg: reg, mon: mon}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/trace/last", s.handleTraceLast)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return s
+}
+
+// Start binds addr (":8080", "127.0.0.1:0", …) and serves in a background
+// goroutine. It returns after the listener is bound, so Addr is valid —
+// callers using port 0 can read the chosen port immediately.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("admin: listening on %s: %w", addr, err)
+	}
+	s.ln = ln
+	go func() {
+		// ErrServerClosed is the normal Shutdown signal; anything else is
+		// lost here by design — the admin plane must never abort a batch.
+		_ = s.srv.Serve(ln)
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address, or "" before Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the server, waiting for in-flight requests up
+// to the context's deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.ln == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
+
+// handleMetrics serves the Prometheus text exposition of the registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var snap metrics.Snapshot
+	if s.reg != nil {
+		snap = s.reg.Snapshot()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = metrics.WritePrometheus(w, snap)
+}
+
+// handleHealthz serves the monitor's liveness snapshot as JSON. The status
+// code is always 200: a batch server with zero workers is "done" or
+// "idle", not unhealthy — orchestration reads the body.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.mon.Health())
+}
+
+// handleTraceLast serves the last n (default all retained) document span
+// trees, newest first, as a flashextract-trace/v1 document.
+func (s *Server) handleTraceLast(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, "admin: n must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	roots := s.mon.RecentTraces(n)
+	file := traceFile{Schema: "flashextract-trace/v1", Traces: make([]*trace.Node, 0, len(roots))}
+	for _, root := range roots {
+		file.Traces = append(file.Traces, trace.ToNode(root))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(file)
+}

@@ -1,0 +1,145 @@
+package admin
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"flashextract/internal/batch"
+	"flashextract/internal/metrics"
+	"flashextract/internal/trace"
+)
+
+// startTestServer binds an ephemeral port and tears the server down with
+// the test.
+func startTestServer(t *testing.T, reg *metrics.Registry, mon *batch.Monitor) *Server {
+	t.Helper()
+	s := New(reg, mon)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+var promLine = regexp.MustCompile(`^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9][0-9eE+.\-]*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? \+Inf)$`)
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Count(metrics.BatchDocs, 3)
+	reg.Observe(metrics.BatchDocSeconds, 0.25)
+	s := startTestServer(t, reg, nil)
+
+	code, body := get(t, "http://"+s.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	if !strings.Contains(body, "batch_docs_processed 3") {
+		t.Fatalf("counter missing from exposition:\n%s", body)
+	}
+	if !strings.Contains(body, `batch_doc_run_seconds_bucket{le="+Inf"} 1`) {
+		t.Fatalf("histogram +Inf bucket missing:\n%s", body)
+	}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Fatalf("invalid exposition line %q", line)
+		}
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	mon := &batch.Monitor{}
+	s := startTestServer(t, nil, mon)
+
+	code, body := get(t, "http://"+s.Addr()+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", code)
+	}
+	var h batch.Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz is not JSON: %v (%q)", err, body)
+	}
+	if h.Status != "idle" {
+		t.Fatalf("fresh monitor status = %q, want idle", h.Status)
+	}
+}
+
+func TestHealthzNilMonitor(t *testing.T) {
+	s := startTestServer(t, nil, nil)
+	code, body := get(t, "http://"+s.Addr()+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"idle"`) {
+		t.Fatalf("nil-monitor healthz = %d %q", code, body)
+	}
+}
+
+func TestTraceLastEndpoint(t *testing.T) {
+	mon := &batch.Monitor{}
+	// Simulate three finished documents: a tiny tracer per doc, pushed
+	// through Monitor's public trace surface the way processDoc does.
+	for i := 0; i < 3; i++ {
+		tr := trace.NewTracer()
+		_, root := tr.StartRoot(context.Background(), "doc:"+string(rune('a'+i)))
+		root.SetInt("index", int64(i))
+		root.End()
+		mon.RecordTrace(root)
+	}
+	s := startTestServer(t, nil, mon)
+
+	code, body := get(t, "http://"+s.Addr()+"/trace/last?n=2")
+	if code != http.StatusOK {
+		t.Fatalf("GET /trace/last = %d", code)
+	}
+	var file struct {
+		Schema string        `json:"schema"`
+		Traces []*trace.Node `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &file); err != nil {
+		t.Fatalf("trace/last is not JSON: %v", err)
+	}
+	if file.Schema != "flashextract-trace/v1" {
+		t.Fatalf("schema = %q", file.Schema)
+	}
+	if len(file.Traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(file.Traces))
+	}
+	// Newest first: the last pushed doc leads.
+	if file.Traces[0].Name != "doc:c" || file.Traces[1].Name != "doc:b" {
+		t.Fatalf("trace order = %q, %q", file.Traces[0].Name, file.Traces[1].Name)
+	}
+
+	code, body = get(t, "http://"+s.Addr()+"/trace/last?n=bogus")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad n = %d (%q)", code, body)
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	s := startTestServer(t, nil, nil)
+	code, body := get(t, "http://"+s.Addr()+"/debug/pprof/goroutine?debug=1")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof goroutine = %d", code)
+	}
+}

@@ -32,10 +32,12 @@ import (
 	"flashextract/internal/core"
 	"flashextract/internal/engine"
 	"flashextract/internal/export"
+	"flashextract/internal/logx"
 	"flashextract/internal/metrics"
 	"flashextract/internal/sheet"
 	"flashextract/internal/sheetlang"
 	"flashextract/internal/textlang"
+	"flashextract/internal/trace"
 	"flashextract/internal/weblang"
 )
 
@@ -74,9 +76,21 @@ type Options struct {
 	// Ordered emits records in input order instead of completion order,
 	// making the output byte stream deterministic for any worker count.
 	Ordered bool
-	// Metrics receives batch.docs_processed / batch.errors counters and
-	// the batch.doc_run_seconds latency histogram; nil means none.
+	// Metrics receives batch_docs_processed / batch_errors counters and
+	// the batch_doc_run_seconds latency histogram; nil means none.
 	Metrics metrics.Sink
+	// Monitor, when non-nil, receives live worker-pool and per-document
+	// state and retains recent document span trees — the backing store of
+	// the admin server's /healthz and /trace/last endpoints.
+	Monitor *Monitor
+	// Trace turns on per-document span trees: each document is run under
+	// its own tracer with a "doc:<name>" root span, and the finished tree
+	// is pushed into Monitor's ring. Requires Monitor (otherwise the trees
+	// would have no reader and the option is ignored).
+	Trace bool
+	// TraceRing bounds Monitor's retained trace trees; 0 means
+	// DefaultTraceRing.
+	TraceRing int
 }
 
 // Record is one NDJSON output line: the result of running the program on
@@ -144,6 +158,13 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 	if sink == nil {
 		sink = metrics.Nop
 	}
+	mon := opts.Monitor
+	mon.setRingCap(opts.TraceRing)
+	mon.runStarted(start)
+	defer func() { mon.runFinished(time.Now()) }()
+	log := logx.From(ctx)
+	log.Info("batch run starting", "docs", len(sources), "workers", workers,
+		"doc_type", opts.DocType, "ordered", opts.Ordered)
 
 	jobs := make(chan job)
 	results := make(chan Record, workers)
@@ -163,6 +184,8 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			mon.workerUp()
+			defer mon.workerDown()
 			// Each worker deserializes its own program instance, so program
 			// state is never shared across concurrently running documents.
 			prog, err := engine.LoadSchemaProgram(opts.Program, lang)
@@ -170,6 +193,8 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 				var rec Record
 				if err != nil {
 					rec = Record{Doc: j.src.Name, Index: j.index, Error: err.Error()}
+					mon.docStarted()
+					mon.docFinished(false, nil)
 				} else {
 					rec = processDoc(ctx, prog, opts, j, sink)
 				}
@@ -219,15 +244,27 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 	sum.Skipped = len(sources) - sum.Docs
 	sum.Cancelled = ctx.Err() != nil
 	sum.Elapsed = time.Since(start)
+	log.Info("batch run finished", "docs", sum.Docs, "errors", sum.Errors,
+		"skipped", sum.Skipped, "cancelled", sum.Cancelled, "elapsed", sum.Elapsed)
 	return sum, writeErr
 }
 
 // processDoc runs the program over one document, converting every failure
 // mode — unreadable source, unparseable document, budget exhaustion,
-// renderer fault, even a panic — into a structured error record.
+// renderer fault, even a panic — into a structured error record. With
+// Options.Trace the document runs under its own tracer whose "doc:<name>"
+// root span (with the full execution tree beneath it) lands in the
+// Monitor's ring — per-document tracers keep concurrent documents' trees
+// disjoint without any cross-worker synchronization on the hot path.
 func processDoc(ctx context.Context, prog *engine.SchemaProgram, opts Options, j job, sink metrics.Sink) (rec Record) {
 	start := time.Now()
 	rec = Record{Doc: j.src.Name, Index: j.index}
+	var root *trace.Span
+	if opts.Trace && opts.Monitor != nil {
+		ctx, root = trace.NewTracer().StartRoot(ctx, "doc:"+j.src.Name)
+		root.SetInt("index", int64(j.index))
+	}
+	opts.Monitor.docStarted()
 	defer func() {
 		if r := recover(); r != nil {
 			rec.OK = false
@@ -239,6 +276,20 @@ func processDoc(ctx context.Context, prog *engine.SchemaProgram, opts Options, j
 			sink.Count(metrics.BatchErrors, 1)
 		}
 		sink.Observe(metrics.BatchDocSeconds, time.Since(start).Seconds())
+		root.SetBool("ok", rec.OK)
+		if rec.Error != "" {
+			root.SetString("error", rec.Error)
+		}
+		root.End()
+		opts.Monitor.docFinished(rec.OK, root)
+		lg := logx.From(ctx)
+		if rec.OK {
+			lg.Debug("document processed", "doc", rec.Doc, "index", rec.Index,
+				"elapsed", time.Since(start))
+		} else {
+			lg.Warn("document failed", "doc", rec.Doc, "index", rec.Index,
+				"error", rec.Error, "elapsed", time.Since(start))
+		}
 	}()
 	data, err := j.src.Open()
 	if err != nil {

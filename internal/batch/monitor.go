@@ -1,0 +1,180 @@
+// Monitor is the introspection seam of the batch runtime: a lock-light
+// aggregation point the worker pool updates as it runs, read concurrently
+// by the admin server's /healthz and /trace/last endpoints. All counters
+// are atomics, so observing a live run never contends with it; the only
+// lock guards the bounded ring of recently finished document traces.
+package batch
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flashextract/internal/trace"
+)
+
+// DefaultTraceRing bounds how many finished document span trees a Monitor
+// retains for /trace/last when Options.TraceRing is zero.
+const DefaultTraceRing = 32
+
+// Monitor aggregates the live state of one batch run. The zero value is
+// ready to use; pass it via Options.Monitor and hand the same instance to
+// the admin server. A nil *Monitor is a valid no-op receiver throughout,
+// so the batch hot path carries no conditionals at call sites.
+type Monitor struct {
+	workersAlive atomic.Int64
+	inFlight     atomic.Int64
+	processed    atomic.Int64
+	failed       atomic.Int64
+	started      atomic.Int64 // unix nanos of Run start; 0 = not started
+	finished     atomic.Int64 // unix nanos of Run end; 0 = still running
+
+	mu      sync.Mutex
+	ring    []*trace.Span // finished document root spans, oldest first
+	ringCap int
+}
+
+// Health is the point-in-time snapshot served by /healthz.
+type Health struct {
+	// Status is "idle" before the run starts, "running" while workers are
+	// alive, and "done" after Run returns.
+	Status string `json:"status"`
+	// WorkersAlive is the number of worker goroutines currently running.
+	WorkersAlive int64 `json:"workers_alive"`
+	// InFlight is the number of documents being processed right now.
+	InFlight int64 `json:"in_flight"`
+	// Processed is the number of documents finished (results and errors).
+	Processed int64 `json:"processed"`
+	// Failed is the number of error records among them.
+	Failed int64 `json:"failed"`
+	// UptimeSeconds is the time since Run started (0 before the run).
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// setRingCap sets the trace ring bound; values <= 0 select DefaultTraceRing.
+func (m *Monitor) setRingCap(n int) {
+	if m == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultTraceRing
+	}
+	m.mu.Lock()
+	m.ringCap = n
+	m.mu.Unlock()
+}
+
+// runStarted marks the beginning of a batch run.
+func (m *Monitor) runStarted(now time.Time) {
+	if m == nil {
+		return
+	}
+	m.started.Store(now.UnixNano())
+	m.finished.Store(0)
+}
+
+// runFinished marks the end of a batch run.
+func (m *Monitor) runFinished(now time.Time) {
+	if m == nil {
+		return
+	}
+	m.finished.Store(now.UnixNano())
+}
+
+// workerUp / workerDown track worker-pool liveness.
+func (m *Monitor) workerUp() {
+	if m != nil {
+		m.workersAlive.Add(1)
+	}
+}
+
+func (m *Monitor) workerDown() {
+	if m != nil {
+		m.workersAlive.Add(-1)
+	}
+}
+
+// docStarted marks one document entering processing.
+func (m *Monitor) docStarted() {
+	if m != nil {
+		m.inFlight.Add(1)
+	}
+}
+
+// docFinished marks one document leaving processing and records its
+// outcome and, when tracing was on, its finished root span.
+func (m *Monitor) docFinished(ok bool, root *trace.Span) {
+	if m == nil {
+		return
+	}
+	m.inFlight.Add(-1)
+	m.processed.Add(1)
+	if !ok {
+		m.failed.Add(1)
+	}
+	m.RecordTrace(root)
+}
+
+// RecordTrace inserts a finished document root span into the bounded
+// trace ring (nil spans are ignored). The batch runtime calls this for
+// every traced document; embedders running documents outside Run can use
+// it to surface their own traces through /trace/last.
+func (m *Monitor) RecordTrace(root *trace.Span) {
+	if m == nil || root == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.ringCap == 0 {
+		m.ringCap = DefaultTraceRing
+	}
+	m.ring = append(m.ring, root)
+	if over := len(m.ring) - m.ringCap; over > 0 {
+		m.ring = append(m.ring[:0], m.ring[over:]...)
+	}
+	m.mu.Unlock()
+}
+
+// Health returns the current liveness snapshot.
+func (m *Monitor) Health() Health {
+	if m == nil {
+		return Health{Status: "idle"}
+	}
+	h := Health{
+		WorkersAlive: m.workersAlive.Load(),
+		InFlight:     m.inFlight.Load(),
+		Processed:    m.processed.Load(),
+		Failed:       m.failed.Load(),
+	}
+	started := m.started.Load()
+	finished := m.finished.Load()
+	switch {
+	case started == 0:
+		h.Status = "idle"
+	case finished == 0:
+		h.Status = "running"
+		h.UptimeSeconds = time.Since(time.Unix(0, started)).Seconds()
+	default:
+		h.Status = "done"
+		h.UptimeSeconds = time.Unix(0, finished).Sub(time.Unix(0, started)).Seconds()
+	}
+	return h
+}
+
+// RecentTraces returns up to n of the most recently finished document span
+// trees, newest first. n <= 0 means all retained traces.
+func (m *Monitor) RecentTraces(n int) []*trace.Span {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := len(m.ring)
+	if n > 0 && n < k {
+		k = n
+	}
+	out := make([]*trace.Span, 0, k)
+	for i := len(m.ring) - 1; i >= len(m.ring)-k; i-- {
+		out = append(out, m.ring[i])
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"flashextract/internal/engine"
+	"flashextract/internal/region"
+	"flashextract/internal/trace"
+)
+
+// TraceTask runs ⊥-relative field synthesis over every field of a task
+// under a fresh tracer and returns the finished "task:<name>" root span:
+// the span tree behind flashbench -trace-out and the golden-trace test.
+// Each field synthesizes from (at most) two golden examples, exactly as
+// MeasureSynth does, so the tree reflects the measured workload. The
+// caller's context carries cancellation and the logx logger, if any.
+func TraceTask(ctx context.Context, task *Task) (*trace.Span, error) {
+	tr := trace.NewTracer()
+	ctx, root := tr.StartRoot(ctx, "task:"+task.Name)
+	root.SetString("domain", task.Domain)
+	root.SetInt("doc_bytes", int64(len(task.Doc.WholeRegion().Value())))
+	defer root.End()
+	fields := 0
+	for _, fi := range task.Schema.Fields() {
+		golden := task.Golden[fi.Color()]
+		if len(golden) == 0 {
+			continue
+		}
+		pos := golden
+		if len(pos) > 2 {
+			pos = pos[:2]
+		}
+		fp, _, err := engine.SynthesizeFieldProgramCtx(
+			ctx, task.Doc, task.Schema, engine.Highlighting{}, fi,
+			append([]region.Region(nil), pos...), nil, map[string]bool{})
+		if err != nil {
+			return nil, fmt.Errorf("field %s: %w", fi.Color(), err)
+		}
+		if fp == nil {
+			return nil, fmt.Errorf("field %s: no program", fi.Color())
+		}
+		fields++
+	}
+	root.SetInt("fields", int64(fields))
+	if n := tr.Dropped(); n > 0 {
+		root.SetInt("spans_dropped", n)
+	}
+	return root, nil
+}

@@ -144,6 +144,16 @@ func (b *Budget) Explored() int64 {
 	return b.explored.Load()
 }
 
+// Remaining returns the time left before the budget's deadline, and
+// whether a deadline is set at all. It is the "budget remaining" quantity
+// recorded on trace spans.
+func (b *Budget) Remaining() (time.Duration, bool) {
+	if b == nil || b.deadline.IsZero() {
+		return 0, false
+	}
+	return time.Until(b.deadline), true
+}
+
 // MaxCacheBytes returns the evaluation-cache growth bound (0 = unlimited).
 func (b *Budget) MaxCacheBytes() int64 {
 	if b == nil {

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"sort"
+
+	"flashextract/internal/trace"
 )
 
 // CleanUpInputCap bounds how many candidate programs CleanUp will compare
@@ -28,8 +30,13 @@ var DisableCleanUp = false
 // the hottest loops of synthesis; it counts each candidate against the
 // call's budget and stops scanning on exhaustion, keeping the verified
 // prefix.
-func CleanUp(ctx context.Context, ps []Program, exs []SeqExample) []Program {
+func CleanUp(ctx context.Context, ps []Program, exs []SeqExample) (kept []Program) {
 	ps = capList(ps, CleanUpInputCap)
+	_, sp := trace.Start(ctx, "cleanup")
+	if sp != nil {
+		sp.SetInt("candidates", int64(len(ps)))
+		defer func() { sp.SetInt("kept", int64(len(kept))); sp.End() }()
+	}
 	bud := BudgetFrom(ctx)
 	bud.AddCandidates(int64(len(ps)))
 	type cand struct {

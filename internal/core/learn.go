@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"flashextract/internal/metrics"
+	"flashextract/internal/trace"
 )
 
 // Example is a scalar input/output example: running the desired program in
@@ -59,8 +60,13 @@ func capList(ps []Program, limit int) []Program {
 // A cancelled context stops each learner cooperatively; results produced
 // before the cancellation are still returned.
 func UnionLearners(learners ...SeqLearner) SeqLearner {
-	return func(ctx context.Context, exs []SeqExample) []Program {
+	return func(ctx context.Context, exs []SeqExample) (learned []Program) {
 		metrics.From(ctx).Count(metrics.LearnerFanout, int64(len(learners)))
+		ctx, sp := trace.Start(ctx, "union")
+		if sp != nil {
+			sp.SetInt("fanout", int64(len(learners)))
+			defer func() { endLearnerSpan(sp, len(exs), len(learned)) }()
+		}
 		bud := BudgetFrom(ctx)
 		if len(learners) < 2 || runtime.GOMAXPROCS(0) < 2 {
 			var out []Program
@@ -95,8 +101,13 @@ func UnionLearners(learners ...SeqLearner) SeqLearner {
 
 // UnionScalarLearners is UnionLearners for scalar non-terminals.
 func UnionScalarLearners(learners ...ScalarLearner) ScalarLearner {
-	return func(ctx context.Context, exs []Example) []Program {
+	return func(ctx context.Context, exs []Example) (learned []Program) {
 		metrics.From(ctx).Count(metrics.LearnerFanout, int64(len(learners)))
+		ctx, sp := trace.Start(ctx, "union_scalar")
+		if sp != nil {
+			sp.SetInt("fanout", int64(len(learners)))
+			defer func() { endLearnerSpan(sp, len(exs), len(learned)) }()
+		}
 		bud := BudgetFrom(ctx)
 		if len(learners) < 2 || runtime.GOMAXPROCS(0) < 2 {
 			var out []Program

@@ -1,6 +1,10 @@
 package core
 
-import "context"
+import (
+	"context"
+
+	"flashextract/internal/trace"
+)
 
 // This file implements the modular inductive synthesis algorithms for the
 // core algebra operators (Fig. 6 of the paper). Each operator learner is
@@ -9,6 +13,17 @@ import "context"
 // threads the call context: argument learners receive it, and the cross
 // product / partition-search loops poll the call's Budget so a deadline or
 // candidate cap stops exploration while keeping what was already found.
+
+// endLearnerSpan records the example/program counts of one operator-
+// learner invocation and ends its span (no-op for nil spans).
+func endLearnerSpan(sp *trace.Span, examples, programs int) {
+	if sp == nil {
+		return
+	}
+	sp.SetInt("examples", int64(examples))
+	sp.SetInt("programs", int64(programs))
+	sp.End()
+}
 
 // MapOp is a decomposable Map operator (§4.2). Decompose computes, from an
 // input state and a desired output subsequence Y, the witness subsequence Z
@@ -32,7 +47,9 @@ type MapOp struct {
 // Learn implements Map.Learn of Fig. 6: decompose every example, learn F
 // from the per-element scalar examples and S from the witness sequences,
 // and return the cleaned-up cross product.
-func (op MapOp) Learn(ctx context.Context, exs []SeqExample) []Program {
+func (op MapOp) Learn(ctx context.Context, exs []SeqExample) (learned []Program) {
+	ctx, sp := trace.Start(ctx, "map:"+op.Name)
+	defer func() { endLearnerSpan(sp, len(exs), len(learned)) }()
 	var scalarExs []Example
 	var seqExs []SeqExample
 	for _, ex := range exs {
@@ -84,7 +101,9 @@ type FilterBoolOp struct {
 
 // Learn implements FilterBool.Learn of Fig. 6: learn S from the sequence
 // examples and B from one true-example per positive element, then combine.
-func (op FilterBoolOp) Learn(ctx context.Context, exs []SeqExample) []Program {
+func (op FilterBoolOp) Learn(ctx context.Context, exs []SeqExample) (learned []Program) {
+	ctx, sp := trace.Start(ctx, "filter_bool")
+	defer func() { endLearnerSpan(sp, len(exs), len(learned)) }()
 	ss := op.S(ctx, exs)
 	if len(ss) == 0 {
 		return nil
@@ -125,7 +144,9 @@ type FilterIntOp struct {
 // sequence program, choose the strictest (init, iter) consistent with the
 // examples — init is the minimum offset of the first positive instance and
 // iter the GCD of the index distances between contiguous positives.
-func (op FilterIntOp) Learn(ctx context.Context, exs []SeqExample) []Program {
+func (op FilterIntOp) Learn(ctx context.Context, exs []SeqExample) (learned []Program) {
+	ctx, sp := trace.Start(ctx, "filter_int")
+	defer func() { endLearnerSpan(sp, len(exs), len(learned)) }()
 	ss := op.S(ctx, exs)
 	bud := BudgetFrom(ctx)
 	var out []Program
@@ -220,7 +241,9 @@ type PairOp struct {
 
 // Learn implements Pair.Learn of Fig. 6: learn both components
 // independently and return the cross product.
-func (op PairOp) Learn(ctx context.Context, exs []Example) []Program {
+func (op PairOp) Learn(ctx context.Context, exs []Example) (learned []Program) {
+	ctx, sp := trace.Start(ctx, "pair")
+	defer func() { endLearnerSpan(sp, len(exs), len(learned)) }()
 	var aExs, bExs []Example
 	for _, ex := range exs {
 		a, b, err := op.Split(ex.Output)
@@ -279,7 +302,9 @@ type mergeItem struct {
 // results. For small example sets the search is exhaustive over set
 // partitions in increasing class count (yielding a minimal cover as in the
 // paper); larger sets use a greedy scan.
-func (op MergeOp) Learn(ctx context.Context, exs []SeqExample) []Program {
+func (op MergeOp) Learn(ctx context.Context, exs []SeqExample) (learned []Program) {
+	ctx, sp := trace.Start(ctx, "merge")
+	defer func() { endLearnerSpan(sp, len(exs), len(learned)) }()
 	// Fast path: a single expression covers everything.
 	if ps := op.A(ctx, exs); len(ps) > 0 {
 		out := make([]Program, len(ps))

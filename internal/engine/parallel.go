@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"flashextract/internal/core"
+	"flashextract/internal/trace"
 )
 
 // ValidationWorkers overrides the size of the candidate-validation worker
@@ -71,8 +72,17 @@ func firstPassing(ctx context.Context, n int, try func(int) bool) (idx int, comp
 	best.Store(int64(n))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Each worker gets its own child span of the validation scan,
+			// so traces show how candidate checks spread across goroutines.
+			_, wsp := trace.Start(ctx, "validate_worker")
+			tried := int64(0)
+			defer func() {
+				wsp.SetInt("worker", int64(w))
+				wsp.SetInt("tried", tried)
+				wsp.End()
+			}()
 			for {
 				if ctx.Err() != nil || bud.ExhaustedNow() {
 					truncated.Store(true)
@@ -82,6 +92,7 @@ func firstPassing(ctx context.Context, n int, try func(int) bool) (idx int, comp
 				if i >= int64(n) || i >= best.Load() {
 					return
 				}
+				tried++
 				if !try(int(i)) {
 					continue
 				}
@@ -92,7 +103,7 @@ func firstPassing(ctx context.Context, n int, try func(int) bool) (idx int, comp
 					}
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	b := best.Load()

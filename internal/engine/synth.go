@@ -6,9 +6,11 @@ import (
 	"time"
 
 	"flashextract/internal/core"
+	"flashextract/internal/logx"
 	"flashextract/internal/metrics"
 	"flashextract/internal/region"
 	"flashextract/internal/schema"
+	"flashextract/internal/trace"
 )
 
 // PartialResult describes how a synthesis call ended with respect to its
@@ -80,6 +82,16 @@ func SynthesizeFieldProgramCtx(
 	sink.Count(metrics.LearnCalls, 1)
 	applyCacheBudget(doc, bud)
 
+	// Field-level span: the root of one Algorithm 2 call's trace subtree.
+	ctx, fsp := trace.Start(ctx, "field:"+f.Color())
+	fsp.SetString("path", f.Path)
+	fsp.SetInt("pos", int64(len(pos)))
+	fsp.SetInt("neg", int64(len(neg)))
+	var cacheBefore CacheStats
+	if cs, ok := doc.(CacheStatser); ok {
+		cacheBefore = cs.CacheStats()
+	}
+
 	finish := func(fp *FieldProgram, bestEffort bool, err error) (*FieldProgram, *PartialResult, error) {
 		pr := &PartialResult{
 			Exhausted:          bud.Reason() != "",
@@ -92,6 +104,32 @@ func SynthesizeFieldProgramCtx(
 		if pr.Exhausted {
 			sink.Count(metrics.PartialResults, 1)
 		}
+		if fsp != nil {
+			// A zero-length "cache" child span carries the document
+			// evaluation-cache deltas of this synthesis call.
+			if cs, ok := doc.(CacheStatser); ok {
+				after := cs.CacheStats()
+				_, csp := trace.Start(ctx, "cache")
+				csp.SetInt("hits_delta", after.Hits-cacheBefore.Hits)
+				csp.SetInt("misses_delta", after.Misses-cacheBefore.Misses)
+				csp.SetInt("entries", after.Entries)
+				csp.SetInt("approx_bytes", after.ApproxBytes)
+				csp.End()
+			}
+			fsp.SetInt("candidates", pr.CandidatesExplored)
+			fsp.SetBool("ok", err == nil)
+			if pr.Reason != "" {
+				fsp.SetString("exhausted", pr.Reason)
+			}
+			if rem, hasDeadline := bud.Remaining(); hasDeadline {
+				fsp.SetFloat("budget_remaining_ms", float64(rem.Nanoseconds())/1e6)
+			}
+			fsp.End()
+		}
+		logx.From(ctx).Debug("synthesized field",
+			"field", f.Color(), "ok", err == nil,
+			"candidates", pr.CandidatesExplored,
+			"elapsed", pr.Elapsed, "exhausted", pr.Reason)
 		return fp, pr, err
 	}
 
@@ -110,7 +148,11 @@ func SynthesizeFieldProgramCtx(
 		} else {
 			inputs = cr[anc.Color()]
 		}
-		fp, bestEffort, err := synthesizeAgainstAncestor(ctx, doc, m, cr, f, anc, inputs, pos, neg, lang)
+		actx, asp := trace.Start(ctx, "ancestor:"+ancName(anc))
+		asp.SetInt("inputs", int64(len(inputs)))
+		fp, bestEffort, err := synthesizeAgainstAncestor(actx, doc, m, cr, f, anc, inputs, pos, neg, lang)
+		asp.SetBool("ok", err == nil)
+		asp.End()
 		if err != nil {
 			lastErr = err
 			if bud.ExhaustedNow() {
@@ -179,7 +221,11 @@ func synthesizeAgainstAncestor(
 		if len(exs) == 0 {
 			return nil, false, fmt.Errorf("engine: field %s: no examples within %s-regions", f.Color(), ancName(anc))
 		}
-		seqProgs = lang.SynthesizeSeqRegion(ctx, exs)
+		lctx, lsp := trace.Start(ctx, "learn")
+		lsp.SetBool("sequence", true)
+		seqProgs = lang.SynthesizeSeqRegion(lctx, exs)
+		lsp.SetInt("programs", int64(len(seqProgs)))
+		lsp.End()
 		sink.Observe(metrics.PhaseLearn, time.Since(learnStart).Seconds())
 		if len(seqProgs) == 0 {
 			return nil, false, fmt.Errorf("engine: field %s: no consistent sequence program relative to %s", f.Color(), ancName(anc))
@@ -205,7 +251,11 @@ func synthesizeAgainstAncestor(
 		if len(exs) == 0 {
 			return nil, false, fmt.Errorf("engine: field %s: no examples within %s-regions", f.Color(), ancName(anc))
 		}
-		regProgs = lang.SynthesizeRegion(ctx, exs)
+		lctx, lsp := trace.Start(ctx, "learn")
+		lsp.SetBool("sequence", false)
+		regProgs = lang.SynthesizeRegion(lctx, exs)
+		lsp.SetInt("programs", int64(len(regProgs)))
+		lsp.End()
 		sink.Observe(metrics.PhaseLearn, time.Since(learnStart).Seconds())
 		if len(regProgs) == 0 {
 			return nil, false, fmt.Errorf("engine: field %s: no consistent region program relative to %s", f.Color(), ancName(anc))
@@ -249,7 +299,12 @@ func synthesizeAgainstAncestor(
 	}
 	validateStart := time.Now()
 	core.BudgetFrom(ctx).AddCandidates(int64(len(fps)))
-	i, complete := firstPassing(ctx, len(fps), func(i int) bool { return try(fps[i]) })
+	vctx, vsp := trace.Start(ctx, "validate")
+	vsp.SetInt("candidates", int64(len(fps)))
+	i, complete := firstPassing(vctx, len(fps), func(i int) bool { return try(fps[i]) })
+	vsp.SetInt("selected", int64(i))
+	vsp.SetBool("complete", complete)
+	vsp.End()
 	sink.Observe(metrics.PhaseValidate, time.Since(validateStart).Seconds())
 	if i >= 0 {
 		return fps[i], !complete, nil

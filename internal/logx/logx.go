@@ -1,0 +1,72 @@
+// Package logx is the structured-logging seam of the repository: a thin
+// layer over log/slog that carries a logger through context.Context the
+// same way internal/metrics carries its sink and internal/trace its span.
+// Call sites fetch the logger with From unconditionally — when none is
+// installed they get a logger whose handler discards everything, so the
+// library never logs unless a CLI (or test) opted in via Into.
+package logx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// New builds a logger writing to w at the named level ("debug", "info",
+// "warn", or "error"), as text or JSON — the backing for the -log-level
+// and -log-json CLI flags.
+func New(w io.Writer, level string, json bool) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("logx: unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	if json {
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(w, opts)), nil
+}
+
+// discardHandler drops every record. (slog.DiscardHandler arrived in Go
+// 1.24; this keeps the module buildable at its declared go 1.22.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// Nop is a logger that discards every record; From returns it when no
+// logger is installed, so call sites never need nil checks.
+var Nop = slog.New(discardHandler{})
+
+// loggerKey keys the *slog.Logger installed in a context.
+type loggerKey struct{}
+
+// Into returns a context carrying the logger.
+func Into(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// From returns the logger carried by the context, or Nop when none is
+// installed. The result is never nil.
+func From(ctx context.Context) *slog.Logger {
+	if ctx == nil {
+		return Nop
+	}
+	if l, ok := ctx.Value(loggerKey{}).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return Nop
+}

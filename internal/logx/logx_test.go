@@ -1,0 +1,81 @@
+package logx
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLevels(t *testing.T) {
+	var buf bytes.Buffer
+	for _, lvl := range []string{"debug", "info", "", "warn", "warning", "error", "DEBUG", "Info"} {
+		if _, err := New(&buf, lvl, false); err != nil {
+			t.Fatalf("New(%q): %v", lvl, err)
+		}
+	}
+	if _, err := New(&buf, "verbose", false); err == nil {
+		t.Fatal("New(verbose): want error, got nil")
+	}
+}
+
+func TestNewFiltersByLevel(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(&buf, "warn", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("dropped")
+	l.Info("dropped too")
+	l.Warn("kept", "k", 1)
+	out := buf.String()
+	if strings.Contains(out, "dropped") {
+		t.Fatalf("sub-warn records leaked: %q", out)
+	}
+	if !strings.Contains(out, "kept") || !strings.Contains(out, "k=1") {
+		t.Fatalf("warn record missing: %q", out)
+	}
+}
+
+func TestNewJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(&buf, "info", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hello", "n", 7)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("output is not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["n"] != float64(7) {
+		t.Fatalf("unexpected record: %v", rec)
+	}
+}
+
+func TestFromDefaultsToNop(t *testing.T) {
+	if From(context.Background()) != Nop {
+		t.Fatal("From(empty ctx) != Nop")
+	}
+	if From(nil) != Nop { //nolint:staticcheck // nil ctx is the degenerate case under test
+		t.Fatal("From(nil) != Nop")
+	}
+	// Nop must accept records without panicking or emitting.
+	Nop.Debug("x")
+	Nop.Info("x")
+	Nop.With("k", "v").WithGroup("g").Error("x")
+}
+
+func TestIntoFromRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(&buf, "info", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := Into(context.Background(), l)
+	From(ctx).Info("through context")
+	if !strings.Contains(buf.String(), "through context") {
+		t.Fatalf("logger did not round-trip: %q", buf.String())
+	}
+}

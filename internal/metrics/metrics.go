@@ -17,33 +17,41 @@ import (
 // Canonical metric names recorded by the synthesis stack. Keeping them in
 // one place makes the schema greppable and stable for consumers of
 // -metrics-json (see EXPERIMENTS.md).
+//
+// Naming scheme: every name is snake_case with a subsystem prefix joined
+// by underscores, so each is a valid Prometheus metric name as-is — the
+// /metrics exposition endpoint renders them without mangling. (Before the
+// observability layer landed, names mixed a dot-delimited style, e.g.
+// "synth.candidates_explored" and "batch.docs_processed"; consumers of
+// -metrics-json written against those names must switch to the underscore
+// forms below. The constant identifiers did not change.)
 const (
 	// CandidatesExplored counts candidate programs generated and examined
 	// by the learners and the validation loop of one synthesis call.
-	CandidatesExplored = "synth.candidates_explored"
+	CandidatesExplored = "synth_candidates_explored"
 	// CacheHits / CacheMisses count document evaluation cache probes.
-	CacheHits   = "cache.hits"
-	CacheMisses = "cache.misses"
+	CacheHits   = "cache_hits"
+	CacheMisses = "cache_misses"
 	// LearnerFanout counts learners dispatched by Union combinators.
-	LearnerFanout = "core.learner_fanout"
+	LearnerFanout = "core_learner_fanout"
 	// LearnCalls counts synthesis driver invocations.
-	LearnCalls = "synth.learn_calls"
+	LearnCalls = "synth_learn_calls"
 	// PartialResults counts synthesis calls that exhausted their budget.
-	PartialResults = "synth.partial_results"
+	PartialResults = "synth_partial_results"
 	// PhaseLearn / PhaseValidate are the per-phase latency histograms of
 	// the Algorithm 2 driver: DSL learning vs. execute-and-check candidate
 	// validation. Values are seconds.
-	PhaseLearn    = "synth.phase.learn_seconds"
-	PhaseValidate = "synth.phase.validate_seconds"
+	PhaseLearn    = "synth_phase_learn_seconds"
+	PhaseValidate = "synth_phase_validate_seconds"
 
 	// BatchDocs counts documents processed by the batch runtime (result
 	// and error records alike).
-	BatchDocs = "batch.docs_processed"
+	BatchDocs = "batch_docs_processed"
 	// BatchErrors counts batch documents that yielded an error record.
-	BatchErrors = "batch.errors"
+	BatchErrors = "batch_errors"
 	// BatchDocSeconds is the per-document end-to-end run latency histogram
 	// of the batch runtime (open + extract + render). Values are seconds.
-	BatchDocSeconds = "batch.doc_run_seconds"
+	BatchDocSeconds = "batch_doc_run_seconds"
 )
 
 // Sink is the minimal recording interface the synthesis stack writes to.
@@ -133,6 +141,14 @@ func (h *histogram) observe(v float64) {
 	h.buckets[i]++
 }
 
+// BucketCount is one histogram bucket of a snapshot: the bucket's upper
+// bound rendered as a string ("+Inf" for the final bucket) and the number
+// of samples that fell in it (non-cumulative).
+type BucketCount struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
 // HistogramStats is the exported summary of one histogram.
 type HistogramStats struct {
 	Count int64   `json:"count"`
@@ -140,9 +156,16 @@ type HistogramStats struct {
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
 	Mean  float64 `json:"mean"`
-	// Buckets maps each upper bound (in seconds, "+Inf" last) to the
-	// number of samples at or below it (non-cumulative).
-	Buckets map[string]int64 `json:"buckets,omitempty"`
+	// P50/P90/P99 are quantile estimates, linearly interpolated within the
+	// bucket that contains the quantile and clamped to [Min, Max]. They are
+	// estimates with bucket-width resolution, not exact order statistics.
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	// Buckets lists every bucket in ascending bound order with "+Inf"
+	// last — a stable order regardless of which buckets received samples,
+	// so JSON output and the Prometheus renderer are deterministic.
+	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of a registry, JSON-marshalable.
@@ -169,20 +192,59 @@ func (r *Registry) Snapshot() Snapshot {
 		} else {
 			hs.Min, hs.Max = 0, 0
 		}
-		hs.Buckets = map[string]int64{}
+		hs.Buckets = make([]BucketCount, 0, len(h.buckets))
 		for i, n := range h.buckets {
-			if n == 0 {
-				continue
-			}
+			le := "+Inf"
 			if i < len(bucketBounds) {
-				hs.Buckets[formatBound(bucketBounds[i])] = n
-			} else {
-				hs.Buckets["+Inf"] = n
+				le = formatBound(bucketBounds[i])
 			}
+			hs.Buckets = append(hs.Buckets, BucketCount{Le: le, Count: n})
 		}
+		hs.P50 = h.quantile(0.50)
+		hs.P90 = h.quantile(0.90)
+		hs.P99 = h.quantile(0.99)
 		s.Histograms[k] = hs
 	}
 	return s
+}
+
+// quantile estimates the q-th quantile (0 < q < 1) from the bucket counts
+// by linear interpolation within the containing bucket, clamped to the
+// observed [min, max]. Zero is returned for an empty histogram.
+func (h *histogram) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if float64(cum) < rank || n == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bucketBounds[i-1]
+		}
+		hi := h.max
+		if i < len(bucketBounds) && bucketBounds[i] < hi {
+			hi = bucketBounds[i]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		// Position of the rank within this bucket's count.
+		frac := (rank - float64(cum-n)) / float64(n)
+		v := lo + frac*(hi-lo)
+		if v < h.min {
+			v = h.min
+		}
+		if v > h.max {
+			v = h.max
+		}
+		return v
+	}
+	return h.max
 }
 
 func formatBound(b float64) string {

@@ -3,6 +3,8 @@ package metrics
 import (
 	"context"
 	"encoding/json"
+	"regexp"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -41,10 +43,57 @@ func TestRegistryHistogram(t *testing.T) {
 	}
 	// 0.00005 → 0.0001 bucket, the two 1ms samples → 0.0016, 0.2 → 0.4096,
 	// and 100s overflows to +Inf.
+	byLe := map[string]int64{}
+	for _, b := range h.Buckets {
+		byLe[b.Le] = b.Count
+	}
 	for bound, n := range map[string]int64{"0.0001": 1, "0.0016": 2, "0.4096": 1, "+Inf": 1} {
-		if h.Buckets[bound] != n {
-			t.Fatalf("bucket %s = %d, want %d (all: %v)", bound, h.Buckets[bound], n, h.Buckets)
+		if byLe[bound] != n {
+			t.Fatalf("bucket %s = %d, want %d (all: %v)", bound, byLe[bound], n, h.Buckets)
 		}
+	}
+	// Every bucket is present, in ascending bound order with +Inf last,
+	// regardless of which received samples — the stable order the renderer
+	// and -metrics-json rely on.
+	if len(h.Buckets) != len(bucketBounds)+1 {
+		t.Fatalf("buckets = %d entries, want %d", len(h.Buckets), len(bucketBounds)+1)
+	}
+	for i, b := range h.Buckets {
+		want := "+Inf"
+		if i < len(bucketBounds) {
+			want = formatBound(bucketBounds[i])
+		}
+		if b.Le != want {
+			t.Fatalf("bucket %d bound = %s, want %s", i, b.Le, want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	// 100 samples spread across 1ms..100ms-ish buckets.
+	for i := 0; i < 100; i++ {
+		r.Observe(PhaseLearn, 0.001*float64(i+1))
+	}
+	h := r.Snapshot().Histograms[PhaseLearn]
+	if h.P50 <= 0 || h.P90 < h.P50 || h.P99 < h.P90 {
+		t.Fatalf("quantiles not monotone: p50=%v p90=%v p99=%v", h.P50, h.P90, h.P99)
+	}
+	if h.P50 < h.Min || h.P99 > h.Max {
+		t.Fatalf("quantiles escape [min,max]: p50=%v p99=%v min=%v max=%v", h.P50, h.P99, h.Min, h.Max)
+	}
+	// The true p50 is ~50ms; the estimate must land in the right bucket
+	// region (between 25.6ms and 102.4ms bounds).
+	if h.P50 < 0.0256 || h.P50 > 0.1024 {
+		t.Fatalf("p50 = %v, want within (0.0256, 0.1024]", h.P50)
+	}
+
+	// Empty histogram: all quantiles zero.
+	empty := NewRegistry()
+	empty.Observe(PhaseValidate, 0) // count=1, all zeros
+	h2 := empty.Snapshot().Histograms[PhaseValidate]
+	if h2.P50 != 0 || h2.P99 != 0 {
+		t.Fatalf("zero-sample quantiles = %v/%v", h2.P50, h2.P99)
 	}
 }
 
@@ -101,4 +150,67 @@ func TestContextCarriage(t *testing.T) {
 	// Nop must swallow records without effect.
 	Nop.Count(CacheHits, 1)
 	Nop.Observe(PhaseLearn, 1)
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Count(LearnCalls, 3)
+	r.Count(BatchDocs, 10)
+	r.Observe(PhaseLearn, 0.002)
+	r.Observe(PhaseLearn, 0.2)
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+	// Every non-comment line must match the exposition grammar.
+	lineRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9][0-9eE+.\-]*$`)
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !lineRe.MatchString(line) {
+			t.Fatalf("line %q does not match the exposition format", line)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE synth_learn_calls counter\nsynth_learn_calls 3\n",
+		"batch_docs_processed 10\n",
+		"# TYPE synth_phase_learn_seconds histogram\n",
+		`synth_phase_learn_seconds_bucket{le="+Inf"} 2`,
+		"synth_phase_learn_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: the 2ms sample is counted by every bound
+	// from its own bucket (0.0064) up through +Inf.
+	if !strings.Contains(out, `synth_phase_learn_seconds_bucket{le="0.0064"} 1`) ||
+		!strings.Contains(out, `synth_phase_learn_seconds_bucket{le="0.1024"} 1`) {
+		t.Fatalf("expected cumulative bucket values:\n%s", out)
+	}
+	// Deterministic output: a second render is byte-identical.
+	var b2 strings.Builder
+	if err := WritePrometheus(&b2, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Fatalf("exposition output not deterministic")
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"batch_docs":   "batch_docs",
+		"batch.docs":   "batch_docs",
+		"9lives":       "_lives",
+		"ok:colon":     "ok:colon",
+		"sp ace/slash": "sp_ace_slash",
+		"":             "_",
+	} {
+		if got := sanitizeName(in); got != want {
+			t.Fatalf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
 }

@@ -9,7 +9,19 @@ import (
 	"flashextract/internal/engine"
 	"flashextract/internal/region"
 	"flashextract/internal/tokens"
+	"flashextract/internal/trace"
 )
+
+// endPairSpan closes a pair-learner span with its example and program
+// counts (nil-safe, matching the other learner spans).
+func endPairSpan(sp *trace.Span, examples, programs int) {
+	if sp == nil {
+		return
+	}
+	sp.SetInt("examples", int64(examples))
+	sp.SetInt("programs", int64(programs))
+	sp.End()
+}
 
 // attrCap bounds how many position attributes are used per side when
 // crossing start and end attribute lists.
@@ -142,11 +154,15 @@ func (l *lang) SynthesizeRegion(ctx context.Context, exs []engine.RegionExample)
 		sExs = append(sExs, tokens.PosExample{S: in.Value(), K: outs[i].Start - in.Start, Ix: ix})
 		eExs = append(eExs, tokens.PosExample{S: in.Value(), K: outs[i].End - in.Start, Ix: ix})
 	}
-	n2 := func(ctx context.Context, _ []core.Example) []core.Program {
+	n2 := func(ctx context.Context, _ []core.Example) (out []core.Program) {
+		ctx, sp := trace.Start(ctx, "pair")
+		if sp != nil {
+			sp.SetString("form", "region")
+			defer func() { endPairSpan(sp, len(coreExs), len(out)) }()
+		}
 		p1s := capAttrs(tokens.LearnAttrsStop(sExs, lc.toks, core.StopFunc(ctx)), attrCap)
 		p2s := capAttrs(tokens.LearnAttrsStop(eExs, lc.toks, core.StopFunc(ctx)), attrCap)
 		bud := core.BudgetFrom(ctx)
-		var out []core.Program
 		for _, p1 := range p1s {
 			if bud.ExhaustedNow() {
 				break
@@ -349,7 +365,12 @@ func (c *learnCtx) learnPosSeq(ctx context.Context, exs []core.SeqExample) []cor
 
 // learnLinePair learns λx: Pair(Pos(x,p1), Pos(x,p2)) from examples that
 // bind x to a line and output a region within that line.
-func (c *learnCtx) learnLinePair(ctx context.Context, exs []core.Example) []core.Program {
+func (c *learnCtx) learnLinePair(ctx context.Context, exs []core.Example) (out []core.Program) {
+	ctx, sp := trace.Start(ctx, "pair")
+	if sp != nil {
+		sp.SetString("form", "line")
+		defer func() { endPairSpan(sp, len(exs), len(out)) }()
+	}
 	var sExs, eExs []tokens.PosExample
 	for _, ex := range exs {
 		x, err := lambdaRegion(ex.State)
@@ -366,7 +387,6 @@ func (c *learnCtx) learnLinePair(ctx context.Context, exs []core.Example) []core
 	}
 	p1s := capAttrs(tokens.LearnAttrsStop(sExs, c.toks, core.StopFunc(ctx)), attrCap)
 	p2s := capAttrs(tokens.LearnAttrsStop(eExs, c.toks, core.StopFunc(ctx)), attrCap)
-	var out []core.Program
 	for _, p1 := range p1s {
 		for _, p2 := range p2s {
 			out = append(out, linePairProg{p1: p1, p2: p2})
@@ -400,7 +420,12 @@ func (c *learnCtx) learnLinePos(ctx context.Context, exs []core.Example) []core.
 
 // learnStartPair learns λx: Pair(x, Pos(R0[x:], p)) from examples that
 // bind x to a start position and output the region starting there.
-func (c *learnCtx) learnStartPair(ctx context.Context, exs []core.Example) []core.Program {
+func (c *learnCtx) learnStartPair(ctx context.Context, exs []core.Example) (out []core.Program) {
+	ctx, sp := trace.Start(ctx, "pair")
+	if sp != nil {
+		sp.SetString("form", "start")
+		defer func() { endPairSpan(sp, len(exs), len(out)) }()
+	}
 	var pexs []tokens.PosExample
 	for _, ex := range exs {
 		x, err := lambdaPos(ex.State)
@@ -418,7 +443,7 @@ func (c *learnCtx) learnStartPair(ctx context.Context, exs []core.Example) []cor
 		pexs = append(pexs, tokens.PosExample{S: r0.Doc.Text[x:r0.End], K: y.End - x, Ix: c.index(x, r0.End)})
 	}
 	attrs := capAttrs(tokens.LearnAttrsStop(pexs, c.toks, core.StopFunc(ctx)), attrCap)
-	out := make([]core.Program, len(attrs))
+	out = make([]core.Program, len(attrs))
 	for i, p := range attrs {
 		out[i] = startPairProg{p: p}
 	}
@@ -427,7 +452,12 @@ func (c *learnCtx) learnStartPair(ctx context.Context, exs []core.Example) []cor
 
 // learnEndPair learns λx: Pair(Pos(R0[:x], p), x) from examples that bind
 // x to an end position and output the region ending there.
-func (c *learnCtx) learnEndPair(ctx context.Context, exs []core.Example) []core.Program {
+func (c *learnCtx) learnEndPair(ctx context.Context, exs []core.Example) (out []core.Program) {
+	ctx, sp := trace.Start(ctx, "pair")
+	if sp != nil {
+		sp.SetString("form", "end")
+		defer func() { endPairSpan(sp, len(exs), len(out)) }()
+	}
 	var pexs []tokens.PosExample
 	for _, ex := range exs {
 		x, err := lambdaPos(ex.State)
@@ -445,7 +475,7 @@ func (c *learnCtx) learnEndPair(ctx context.Context, exs []core.Example) []core.
 		pexs = append(pexs, tokens.PosExample{S: r0.Doc.Text[r0.Start:x], K: y.Start - r0.Start, Ix: c.index(r0.Start, x)})
 	}
 	attrs := capAttrs(tokens.LearnAttrsStop(pexs, c.toks, core.StopFunc(ctx)), attrCap)
-	out := make([]core.Program, len(attrs))
+	out = make([]core.Program, len(attrs))
 	for i, p := range attrs {
 		out[i] = endPairProg{p: p}
 	}

@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// chromeEvent is one Chrome trace-event ("X" = complete event). The field
+// set and order match what Perfetto's JSON importer expects; Ts and Dur
+// are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON-object form of the Chrome trace format, the shape
+// Perfetto loads directly.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders the given span trees as Chrome trace-event JSON
+// (complete "X" events inside a {"traceEvents": [...]} object), loadable
+// in Perfetto (ui.perfetto.dev) and chrome://tracing.
+//
+// Complete events on one thread lane must nest by time, but sibling spans
+// created by concurrent goroutines overlap; the exporter therefore assigns
+// lanes (tids) greedily: a child shares its parent's lane when it starts
+// after every sibling already placed there ended, and otherwise gets a
+// fresh lane of its own. Lanes are never reused across subtrees, so the
+// nesting invariant holds by construction.
+func ChromeTrace(roots ...*Span) ([]byte, error) {
+	var events []chromeEvent
+	lane := int64(0)
+	var epoch time.Time
+	for _, r := range roots {
+		if r != nil {
+			epoch = r.start
+			break
+		}
+	}
+	var walk func(s *Span, tid int64)
+	walk = func(s *Span, tid int64) {
+		ts := s.start.Sub(epoch)
+		events = append(events, chromeEvent{
+			Name: s.Name(),
+			Cat:  "flashextract",
+			Ph:   "X",
+			Ts:   float64(ts.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Duration().Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  tid,
+			Args: attrMap(s.Attrs()),
+		})
+		laneEnd := time.Time{} // end of the last sibling placed on tid
+		for _, c := range s.Children() {
+			childLane := tid
+			if c.start.Before(laneEnd) {
+				lane++
+				childLane = lane
+			} else {
+				laneEnd = c.start.Add(c.Duration())
+			}
+			walk(c, childLane)
+		}
+	}
+	for _, r := range roots {
+		if r == nil {
+			continue
+		}
+		lane++
+		walk(r, lane)
+	}
+	return json.Marshal(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// attrMap flattens attributes to a JSON object; the last value per key
+// wins, matching the setter order.
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// WriteTree writes the span tree as a human-readable indented tree, one
+// span per line with its duration and attributes:
+//
+//	field:ts 12.3ms pos=2 neg=0
+//	  ancestor:⊥ 12.1ms
+//	    learn 8.0ms
+//	      merge 7.9ms examples=1 programs=3
+func WriteTree(w io.Writer, root *Span) error {
+	return writeTree(w, root, 0, false)
+}
+
+// WriteStructure writes the span tree with durations zeroed and attributes
+// omitted — the deterministic, structure-only form used by golden tests.
+func WriteStructure(w io.Writer, root *Span) error {
+	return writeTree(w, root, 0, true)
+}
+
+func writeTree(w io.Writer, s *Span, depth int, structureOnly bool) error {
+	if s == nil {
+		return nil
+	}
+	indent := strings.Repeat("  ", depth)
+	var err error
+	if structureOnly {
+		_, err = fmt.Fprintf(w, "%s%s\n", indent, s.Name())
+	} else {
+		var b strings.Builder
+		b.WriteString(indent)
+		b.WriteString(s.Name())
+		fmt.Fprintf(&b, " %s", s.Duration().Round(time.Microsecond))
+		for _, a := range dedupAttrs(s.Attrs()) {
+			fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+		}
+		b.WriteByte('\n')
+		_, err = io.WriteString(w, b.String())
+	}
+	if err != nil {
+		return err
+	}
+	for _, c := range s.Children() {
+		if err := writeTree(w, c, depth+1, structureOnly); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dedupAttrs keeps the last value per key, preserving first-set order.
+func dedupAttrs(attrs []Attr) []Attr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	idx := map[string]int{}
+	var out []Attr
+	for _, a := range attrs {
+		if i, ok := idx[a.Key]; ok {
+			out[i] = a
+			continue
+		}
+		idx[a.Key] = len(out)
+		out = append(out, a)
+	}
+	return out
+}
+
+// Node is the nested-JSON form of one span, served by the batch admin
+// endpoint (/trace/last) and documented as flashextract-trace/v1 in
+// EXPERIMENTS.md.
+type Node struct {
+	Name     string         `json:"name"`
+	StartUs  float64        `json:"start_us"`
+	DurUs    float64        `json:"dur_us"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []*Node        `json:"children,omitempty"`
+}
+
+// ToNode converts a span tree to its nested-JSON form. Start offsets are
+// microseconds relative to the root span.
+func ToNode(root *Span) *Node {
+	if root == nil {
+		return nil
+	}
+	return toNode(root, root.start)
+}
+
+func toNode(s *Span, epoch time.Time) *Node {
+	n := &Node{
+		Name:    s.Name(),
+		StartUs: float64(s.start.Sub(epoch).Nanoseconds()) / 1e3,
+		DurUs:   float64(s.Duration().Nanoseconds()) / 1e3,
+		Attrs:   attrMap(s.Attrs()),
+	}
+	for _, c := range s.Children() {
+		n.Children = append(n.Children, toNode(c, epoch))
+	}
+	return n
+}
+
+// SpanNames returns the set of distinct span names in the tree, sorted —
+// a convenience for tests asserting trace structure.
+func SpanNames(root *Span) []string {
+	seen := map[string]bool{}
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		if s == nil {
+			return
+		}
+		seen[s.Name()] = true
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

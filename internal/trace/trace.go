@@ -1,0 +1,260 @@
+// Package trace is the stdlib-only hierarchical span tracer of the
+// synthesis stack. A Tracer owns a forest of spans; each span records a
+// name, its parent, a start time and duration, and a small ordered set of
+// attributes (learner name, candidate counts, cache hit/miss deltas,
+// budget remaining, …). Spans are carried through context.Context exactly
+// like the metrics sink: instrumented code calls Start unconditionally,
+// and when no tracer is installed the call is a single context lookup that
+// returns a nil span whose methods are all no-ops — the disabled path adds
+// no measurable cost to the synthesis hot loops.
+//
+// Finished trees are rendered by the exporters in export.go: Chrome
+// trace-event JSON (loadable in Perfetto via ui.perfetto.dev), a
+// human-readable indented tree, and a nested JSON form served by the batch
+// admin endpoint (/trace/last).
+package trace
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultMaxSpans bounds the number of spans one Tracer will allocate.
+// Once the cap is reached, Start returns nil spans (recorded in Dropped),
+// so a pathological synthesis run cannot grow a trace without bound.
+const DefaultMaxSpans = 262144
+
+// Tracer owns the spans of one trace: it allocates IDs, holds the root
+// spans, and enforces the span cap. All methods are safe for concurrent
+// use.
+type Tracer struct {
+	epoch    time.Time
+	maxSpans int64
+
+	nextID  atomic.Uint64
+	spans   atomic.Int64
+	dropped atomic.Int64
+
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// NewTracer creates an empty tracer with the default span cap.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now(), maxSpans: DefaultMaxSpans}
+}
+
+// SetMaxSpans overrides the tracer's span cap (values < 1 keep the
+// default). It must be called before spans are started.
+func (t *Tracer) SetMaxSpans(n int) {
+	if n >= 1 {
+		t.maxSpans = int64(n)
+	}
+}
+
+// Roots returns the root spans started on this tracer, in start order.
+func (t *Tracer) Roots() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Dropped reports how many spans were discarded by the span cap.
+func (t *Tracer) Dropped() int64 { return t.dropped.Load() }
+
+// SpanCount reports how many spans the tracer has allocated.
+func (t *Tracer) SpanCount() int64 { return t.spans.Load() }
+
+// newSpan allocates one span (or nil when the cap is reached).
+func (t *Tracer) newSpan(name string, parent *Span) *Span {
+	if t.spans.Add(1) > t.maxSpans {
+		t.spans.Add(-1)
+		t.dropped.Add(1)
+		return nil
+	}
+	s := &Span{
+		tracer: t,
+		id:     t.nextID.Add(1),
+		name:   name,
+		start:  time.Now(),
+	}
+	if parent != nil {
+		s.parentID = parent.id
+		parent.mu.Lock()
+		parent.children = append(parent.children, s)
+		parent.mu.Unlock()
+	} else {
+		t.mu.Lock()
+		t.roots = append(t.roots, s)
+		t.mu.Unlock()
+	}
+	return s
+}
+
+// Attr is one span attribute. Values are restricted to string, int64,
+// float64, and bool so every exporter renders them losslessly.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one node of a trace tree. A nil *Span is valid and inert: every
+// method is a no-op, which is how the disabled-tracer fast path works.
+// Child spans may be created and attributes set from multiple goroutines
+// concurrently.
+type Span struct {
+	tracer   *Tracer
+	id       uint64
+	parentID uint64
+	name     string
+	start    time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// ID returns the span's tracer-unique ID (0 for nil spans).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// ParentID returns the ID of the span's parent (0 for roots and nil spans).
+func (s *Span) ParentID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.parentID
+}
+
+// Name returns the span's name ("" for nil spans).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Start returns the span's start time (zero for nil spans).
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Duration returns the span's recorded duration: zero before End, the
+// start-to-End wall time after.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dur
+}
+
+// Children returns a copy of the span's child list, in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Attrs returns a copy of the span's attributes, in set order.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// End records the span's duration. Only the first End takes effect.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// setAttr appends one attribute (repeated keys are kept in set order; the
+// exporters render the last value per key).
+func (s *Span) setAttr(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: v})
+	s.mu.Unlock()
+}
+
+// SetString sets a string attribute.
+func (s *Span) SetString(key, v string) { s.setAttr(key, v) }
+
+// SetInt sets an integer attribute.
+func (s *Span) SetInt(key string, v int64) { s.setAttr(key, v) }
+
+// SetFloat sets a float attribute.
+func (s *Span) SetFloat(key string, v float64) { s.setAttr(key, v) }
+
+// SetBool sets a boolean attribute.
+func (s *Span) SetBool(key string, v bool) { s.setAttr(key, v) }
+
+// spanKey keys the current *Span installed in a context.
+type spanKey struct{}
+
+// StartRoot starts a root span of the tracer and returns a context
+// carrying it; subsequent Start calls with the returned context nest under
+// it. A nil tracer yields the unchanged context and a nil span.
+func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := t.newSpan(name, nil)
+	if s == nil {
+		return ctx, nil
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// Start begins a child span of the span carried by the context. When no
+// tracer/span is installed (or the tracer's span cap is reached) it
+// returns the unchanged context and a nil span — this is the no-op fast
+// path: one context value lookup and a nil comparison.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.tracer.newSpan(name, parent)
+	if s == nil {
+		return ctx, nil
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// FromContext returns the span carried by the context, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

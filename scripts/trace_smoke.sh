@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# trace_smoke.sh — end-to-end smoke test of the serving-runtime admin
+# endpoint: learns a tiny program, starts `flashextract batch -admin` over
+# a generated corpus, curls /healthz and /metrics while the server lingers,
+# regex-asserts the Prometheus exposition is well-formed, checks
+# /trace/last carries document span trees, then SIGINTs the process and
+# requires a clean exit (the binary self-checks for goroutine leaks after
+# the drain and exits nonzero on any).
+#
+# Usage: scripts/trace_smoke.sh   (from the repository root)
+set -euo pipefail
+
+workdir=$(mktemp -d)
+admin_port=${ADMIN_PORT:-18080}
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building flashextract =="
+go build -o "$workdir/flashextract" ./cmd/flashextract
+
+echo "== learning a program from examples =="
+cat > "$workdir/doc.txt" <<'EOF'
+inventory
+Chair: Aeron (price: $540.00)
+Chair: Tulip (price: $99.99)
+EOF
+cat > "$workdir/schema.fx" <<'EOF'
+Struct(Names: Seq([name] String), Prices: Seq([price] Float))
+EOF
+cat > "$workdir/examples.fx" <<'EOF'
++ name find:Aeron:0
++ name find:Tulip:0
++ price find:540.00:0
++ price find:99.99:0
+EOF
+"$workdir/flashextract" -type text -in "$workdir/doc.txt" \
+    -schema "$workdir/schema.fx" -examples "$workdir/examples.fx" \
+    -save "$workdir/prog.json" > /dev/null
+
+echo "== generating a batch corpus =="
+mkdir "$workdir/corpus"
+i=0
+for name in Bistro Windsor Wishbone Panton Bertoia Barcelona Wassily Eames; do
+    i=$((i + 1))
+    printf 'inventory\nChair: %s (price: $%d.50)\n' "$name" $((i * 10 + 30)) \
+        > "$workdir/corpus/doc$i.txt"
+done
+# doc9 is a directory, so its read fails and yields a structured error
+# record — exercising the failure-isolation path and the error counter.
+mkdir "$workdir/corpus/doc9.txt"
+
+echo "== starting flashextract batch -admin :$admin_port =="
+"$workdir/flashextract" batch -load "$workdir/prog.json" -type text \
+    -admin "127.0.0.1:$admin_port" -ordered -out "$workdir/results.ndjson" \
+    -log-json "$workdir/corpus/"'*.txt' 2> "$workdir/batch.log" &
+pid=$!
+
+base="http://127.0.0.1:$admin_port"
+echo "== waiting for the admin endpoint =="
+for _ in $(seq 1 50); do
+    if curl -sf "$base/healthz" > /dev/null 2>&1; then break; fi
+    kill -0 "$pid" 2>/dev/null || { echo "batch exited early"; cat "$workdir/batch.log"; exit 1; }
+    sleep 0.1
+done
+
+echo "== /healthz =="
+health=$(curl -sf "$base/healthz")
+echo "$health"
+echo "$health" | grep -Eq '"status": *"(running|done)"' \
+    || { echo "FAIL: healthz status not running/done"; exit 1; }
+echo "$health" | grep -Eq '"processed": *[0-9]+' \
+    || { echo "FAIL: healthz missing processed count"; exit 1; }
+
+# Give the batch time to finish so the metrics below are complete; the
+# process lingers serving after completion until interrupted.
+for _ in $(seq 1 100); do
+    curl -sf "$base/healthz" | grep -q '"status": "done"' && break
+    sleep 0.1
+done
+
+echo "== /metrics =="
+metrics=$(curl -sf "$base/metrics")
+echo "$metrics" | head -n 12
+# Every line must be a comment or `name[{le="..."}] value` — the
+# Prometheus text exposition grammar the scrapers parse.
+echo "$metrics" | grep -Evq '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? (-?[0-9][0-9eE+.\-]*|\+Inf))$' \
+    && { echo "FAIL: invalid exposition line:"; \
+         echo "$metrics" | grep -Ev '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? (-?[0-9][0-9eE+.\-]*|\+Inf))$'; \
+         exit 1; }
+echo "$metrics" | grep -q '^batch_docs_processed 9$' \
+    || { echo "FAIL: expected batch_docs_processed 9"; exit 1; }
+# Only the deliberately corrupt doc9 may fail; transfer failures on the
+# well-formed documents would show up here.
+echo "$metrics" | grep -q '^batch_errors 1$' \
+    || { echo "FAIL: expected batch_errors 1"; exit 1; }
+echo "$metrics" | grep -q 'batch_doc_run_seconds_bucket{le="+Inf"} 9' \
+    || { echo "FAIL: expected 9 observations in the latency histogram"; exit 1; }
+
+echo "== /trace/last =="
+traces=$(curl -sf "$base/trace/last?n=3")
+echo "$traces" | grep -q '"schema": "flashextract-trace/v1"' \
+    || { echo "FAIL: trace/last missing schema marker"; exit 1; }
+echo "$traces" | grep -Eq '"name": *"doc:' \
+    || { echo "FAIL: trace/last has no document spans"; exit 1; }
+
+echo "== /debug/pprof =="
+curl -sf "$base/debug/pprof/goroutine?debug=1" | grep -q goroutine \
+    || { echo "FAIL: pprof goroutine profile unavailable"; exit 1; }
+
+echo "== SIGINT drain + goroutine-leak self-check =="
+kill -INT "$pid"
+if ! wait "$pid"; then
+    echo "FAIL: batch exited nonzero after SIGINT (goroutine leak or unclean drain)"
+    cat "$workdir/batch.log"
+    exit 1
+fi
+pid=""
+
+echo "== output sanity =="
+[ "$(wc -l < "$workdir/results.ndjson")" -eq 9 ] \
+    || { echo "FAIL: expected 9 NDJSON records"; exit 1; }
+
+echo "trace smoke: OK"
