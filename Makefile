@@ -4,7 +4,7 @@ GO ?= go
 # run fast and deterministic in duration; use a duration for real fuzzing).
 FUZZTIME ?= 40x
 
-.PHONY: all build vet test race check bench bench-synth bench-batch fuzz-smoke trace-smoke trace
+.PHONY: all build vet test race check bench bench-synth bench-batch fuzz-smoke trace-smoke chaos-smoke trace
 
 all: check
 
@@ -26,7 +26,9 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzTextLearn -fuzztime $(FUZZTIME) ./internal/textlang
 	$(GO) test -run NONE -fuzz FuzzXPathLearn -fuzztime $(FUZZTIME) ./internal/xpath
 	$(GO) test -run NONE -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/schema
+	$(GO) test -run NONE -fuzz FuzzSchemaParse -fuzztime $(FUZZTIME) ./internal/schema
 	$(GO) test -run NONE -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/htmldom
+	$(GO) test -run NONE -fuzz FuzzHTMLParse -fuzztime $(FUZZTIME) ./internal/htmldom
 	$(GO) test -run NONE -fuzz FuzzFromCSV -fuzztime $(FUZZTIME) ./internal/sheet
 	$(GO) test -run NONE -fuzz FuzzGridRoundTrip -fuzztime $(FUZZTIME) ./internal/sheet
 
@@ -51,6 +53,13 @@ bench-batch:
 # exposition, and fails on an unclean SIGINT drain or goroutine leak.
 trace-smoke:
 	./scripts/trace_smoke.sh
+
+# chaos-smoke runs the batch chaos differential end to end under the race
+# detector: seeded fault injection at the transient sites must leave the
+# NDJSON output byte-identical to a fault-free run, with retries observed,
+# conservation counters intact, and no goroutine leaks.
+chaos-smoke:
+	./scripts/chaos_smoke.sh
 
 # trace writes the Perfetto-loadable synthesis trace of the largest corpus
 # document to trace.json (load it at https://ui.perfetto.dev).

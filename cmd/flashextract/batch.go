@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 	"flashextract"
 	"flashextract/internal/admin"
 	"flashextract/internal/batch"
+	"flashextract/internal/faults"
 	"flashextract/internal/logx"
 	"flashextract/internal/metrics"
 )
@@ -32,7 +34,15 @@ With -admin ADDR an introspection HTTP server runs alongside the batch,
 serving /metrics (Prometheus), /healthz (worker-pool liveness JSON),
 /trace/last (recent document span trees), and /debug/pprof/. The process
 then keeps serving after the batch finishes until interrupted, so the
-run's final state stays inspectable. Flags:
+run's final state stays inspectable.
+
+With -chaos "seed=N[,rate=F][,failures=K][,delay=D][,sites=a;b;c]" (or the
+FLASHEXTRACT_CHAOS environment variable) the run injects deterministic,
+seed-reproducible faults at named sites in the serving stack, enables the
+per-document invariant self-checks, and appends a one-line
+flashextract-chaos/v1 JSON report to stderr. A bare seed arms only
+transient/output-neutral sites, so the NDJSON output must be byte-identical
+to a fault-free run. Flags:
 `
 
 // batchConfig holds the batch subcommand's flags.
@@ -47,6 +57,8 @@ type batchConfig struct {
 	traceRing int
 	logLevel  string
 	logJSON   bool
+	chaos     string
+	selfCheck bool
 	globs     []string
 }
 
@@ -67,6 +79,8 @@ func parseBatchFlags(args []string) (batchConfig, error) {
 	fs.IntVar(&cfg.traceRing, "trace-ring", 0, "document traces retained for /trace/last (0 = default)")
 	fs.StringVar(&cfg.logLevel, "log-level", "info", "structured log level: debug, info, warn, or error")
 	fs.BoolVar(&cfg.logJSON, "log-json", false, "emit structured logs as JSON instead of text")
+	fs.StringVar(&cfg.chaos, "chaos", "", "arm deterministic fault injection: seed=N[,rate=F][,failures=K][,delay=D][,sites=a;b;c] ("+faults.EnvVar+" env var is the fallback)")
+	fs.BoolVar(&cfg.selfCheck, "selfcheck", false, "verify instance well-formedness invariants per document (implied by -chaos)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -125,6 +139,25 @@ func runBatch(args []string, stdout io.Writer) error {
 		Workers:    cfg.workers,
 		DocTimeout: cfg.timeout,
 		Ordered:    cfg.ordered,
+		SelfCheck:  cfg.selfCheck,
+	}
+
+	// Chaos mode: the -chaos spec (or the env var when the flag is empty)
+	// arms deterministic fault injection, and self-checks come on with it —
+	// the point of injecting faults is to catch the invariant they break.
+	var inj *faults.Injector
+	if cfg.chaos != "" {
+		inj, err = faults.ParseSpec(cfg.chaos)
+		if err != nil {
+			return err
+		}
+	} else if inj, err = faults.FromEnv(); err != nil {
+		return err
+	}
+	if inj != nil {
+		opts.Chaos = inj
+		opts.SelfCheck = true
+		logger.Info("chaos armed", "spec", inj.String())
 	}
 
 	// The admin plane: a metrics registry + monitor feeding the HTTP
@@ -140,6 +173,7 @@ func runBatch(args []string, stdout io.Writer) error {
 		opts.Trace = true
 		opts.TraceRing = cfg.traceRing
 		srv = admin.New(reg, mon)
+		srv.SetInjector(inj)
 		if err := srv.Start(cfg.admin); err != nil {
 			return err
 		}
@@ -150,8 +184,13 @@ func runBatch(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "flashextract batch: %d docs, %d errors, %d skipped in %s\n",
-		sum.Docs, sum.Errors, sum.Skipped, sum.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "flashextract batch: %d docs, %d errors, %d skipped, %d retries in %s\n",
+		sum.Docs, sum.Errors, sum.Skipped, sum.Retries, sum.Elapsed.Round(time.Millisecond))
+	if inj != nil {
+		if err := writeChaosReport(os.Stderr, inj, sum); err != nil {
+			return err
+		}
+	}
 	if srv != nil && ctx.Err() == nil {
 		// Linger: keep the run's final metrics, health, and traces
 		// inspectable until the operator interrupts.
@@ -173,6 +212,40 @@ func runBatch(args []string, stdout io.Writer) error {
 		return fmt.Errorf("batch: interrupted after %d of %d documents", sum.Docs, len(sources))
 	}
 	return nil
+}
+
+// chaosReport is the flashextract-chaos/v1 record a chaos run appends to
+// stderr: everything needed to reproduce the run (the full spec round-trips
+// through -chaos) plus the outcome counters the differential checks.
+type chaosReport struct {
+	Schema    string   `json:"schema"`
+	Spec      string   `json:"spec"`
+	Seed      int64    `json:"seed"`
+	Sites     []string `json:"sites"`
+	Docs      int      `json:"docs"`
+	Errors    int      `json:"errors"`
+	Skipped   int      `json:"skipped"`
+	Retries   int      `json:"retries"`
+	Cancelled bool     `json:"cancelled"`
+	ElapsedMS int64    `json:"elapsed_ms"`
+}
+
+// writeChaosReport emits the one-line chaos report JSON.
+func writeChaosReport(w io.Writer, inj *faults.Injector, sum flashextract.BatchSummary) error {
+	rep := chaosReport{
+		Schema:    "flashextract-chaos/v1",
+		Spec:      inj.String(),
+		Seed:      inj.Seed(),
+		Sites:     inj.Sites(),
+		Docs:      sum.Docs,
+		Errors:    sum.Errors,
+		Skipped:   sum.Skipped,
+		Retries:   sum.Retries,
+		Cancelled: sum.Cancelled,
+		ElapsedMS: sum.Elapsed.Milliseconds(),
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(rep)
 }
 
 // checkGoroutineLeak verifies the process drained back to (about) its

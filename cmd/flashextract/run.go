@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -30,7 +31,7 @@ func run(cfg config, out io.Writer) error {
 	}
 	sch, err := flashextract.ParseSchema(string(schemaSrc))
 	if err != nil {
-		return err
+		return schemaDiagnostic(cfg.schema, string(schemaSrc), err)
 	}
 	docSrc, err := os.ReadFile(cfg.in)
 	if err != nil {
@@ -195,6 +196,30 @@ func runLoaded(cfg config, out io.Writer) error {
 	return render(out, cfg.format, q.Schema, inst)
 }
 
+// schemaDiagnostic turns a schema parse failure into a file:line:col
+// diagnostic so a malformed -schema file points at the offending spot
+// instead of only reporting a byte offset.
+func schemaDiagnostic(path, src string, err error) error {
+	var perr *flashextract.SchemaParseError
+	if !errors.As(err, &perr) {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	off := perr.Offset
+	if off > len(src) {
+		off = len(src)
+	}
+	line, col := 1, 1
+	for _, c := range src[:off] {
+		if c == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("%s:%d:%d: %s", path, line, col, perr.Msg)
+}
+
 func openDocument(docType, src string) (flashextract.Document, error) {
 	switch docType {
 	case "text":
@@ -287,6 +312,9 @@ func locate(doc flashextract.Document, locator string) (flashextract.Region, err
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("bad offsets in %q", locator)
 		}
+		if start < 0 || end < start || end > len(td.Text) {
+			return nil, fmt.Errorf("offsets [%d,%d) in %q out of range for a %d-byte document", start, end, locator, len(td.Text))
+		}
 		return td.Region(start, end), nil
 	case parts[0] == "find" && len(parts) == 3:
 		td, ok := doc.(*flashextract.TextDocument)
@@ -341,6 +369,9 @@ func locate(doc flashextract.Document, locator string) (flashextract.Region, err
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("bad coordinates in %q", locator)
 		}
+		if !sd.Grid.InRange(r, c) {
+			return nil, fmt.Errorf("cell (%d,%d) in %q out of range for a %dx%d sheet", r, c, locator, sd.Grid.Rows, sd.Grid.Cols)
+		}
 		return sd.CellAt(r, c), nil
 	case parts[0] == "rect" && len(parts) == 5:
 		sd, ok := doc.(*flashextract.SheetDocument)
@@ -355,7 +386,11 @@ func locate(doc flashextract.Document, locator string) (flashextract.Region, err
 			}
 			coords[i] = v
 		}
-		return sd.Rect(coords[0], coords[1], coords[2], coords[3]), nil
+		r1, c1, r2, c2 := coords[0], coords[1], coords[2], coords[3]
+		if r1 > r2 || c1 > c2 || !sd.Grid.InRange(r1, c1) || !sd.Grid.InRange(r2, c2) {
+			return nil, fmt.Errorf("rect (%d,%d)-(%d,%d) in %q invalid for a %dx%d sheet", r1, c1, r2, c2, locator, sd.Grid.Rows, sd.Grid.Cols)
+		}
+		return sd.Rect(r1, c1, r2, c2), nil
 	default:
 		return nil, fmt.Errorf("unknown locator %q", locator)
 	}

@@ -296,3 +296,60 @@ Luis Ortega: 360-555-0102
 		}
 	}
 }
+
+// TestBadLocatorsReturnErrors feeds out-of-range and malformed locators —
+// untrusted user input — and asserts every one surfaces as an error, not
+// a panic, with the offending locator named.
+func TestBadLocatorsReturnErrors(t *testing.T) {
+	dir := t.TempDir()
+	txtIn := writeFile(t, dir, "doc.txt", "hello world\n")
+	csvIn := writeFile(t, dir, "doc.csv", "Name,Qty\nBolt,500\n")
+	txtSch := writeFile(t, dir, "schema.fx", `Seq([x] String)`)
+	csvSch := writeFile(t, dir, "schema.fx2", `Seq([x] String)`)
+	cases := []struct {
+		docType, in, sch, locator string
+	}{
+		{"text", txtIn, txtSch, "text:0:9999"},    // end past document
+		{"text", txtIn, txtSch, "text:-1:3"},      // negative start
+		{"text", txtIn, txtSch, "text:5:2"},       // end before start
+		{"sheet", csvIn, csvSch, "cell:99:0"},     // row out of range
+		{"sheet", csvIn, csvSch, "cell:0:99"},     // col out of range
+		{"sheet", csvIn, csvSch, "rect:0:0:99:0"}, // corner out of range
+		{"sheet", csvIn, csvSch, "rect:1:1:0:0"},  // inverted corners
+	}
+	for _, tc := range cases {
+		exs := writeFile(t, dir, "examples.fx", "+ x "+tc.locator+"\n")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("locator %q panicked: %v", tc.locator, r)
+				}
+			}()
+			err := run(config{docType: tc.docType, in: tc.in, schema: tc.sch, examples: exs, format: "json"}, &strings.Builder{})
+			if err == nil {
+				t.Errorf("locator %q: expected error", tc.locator)
+			} else if !strings.Contains(err.Error(), tc.locator) {
+				t.Errorf("locator %q: error %q does not name the locator", tc.locator, err)
+			}
+		}()
+	}
+}
+
+// TestSchemaDiagnostic asserts a malformed -schema file reports a
+// file:line:col position instead of crashing or a bare offset.
+func TestSchemaDiagnostic(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "doc.txt", "hello\n")
+	sch := writeFile(t, dir, "schema.fx", "Seq(\n  [x] Bogus)\n")
+	exs := writeFile(t, dir, "examples.fx", `+ x find:"hello":0`)
+	err := run(config{docType: "text", in: in, schema: sch, examples: exs, format: "json"}, &strings.Builder{})
+	if err == nil {
+		t.Fatal("malformed schema accepted")
+	}
+	if !strings.Contains(err.Error(), sch+":2:7:") {
+		t.Fatalf("error %q lacks file:line:col diagnostic", err)
+	}
+	if !strings.Contains(err.Error(), "Bogus") {
+		t.Fatalf("error %q does not name the bad token", err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"flashextract/internal/batch"
+	"flashextract/internal/faults"
 	"flashextract/internal/metrics"
 	"flashextract/internal/trace"
 )
@@ -33,6 +34,39 @@ type Server struct {
 	mon *batch.Monitor
 	srv *http.Server
 	ln  net.Listener
+	inj *faults.Injector
+}
+
+// SetInjector arms fault injection on the server's response writes
+// (faults.SiteAdminWrite, keyed by request path). Injected write failures
+// are transient: the first attempts at a path fail, later ones succeed —
+// and because every handler already tolerates write errors, the server
+// must survive them without aborting the batch. Call before Start.
+func (s *Server) SetInjector(inj *faults.Injector) { s.inj = inj }
+
+// faultingWriter wraps a ResponseWriter so the configured injector can
+// fail Write calls at the admin.write site.
+type faultingWriter struct {
+	http.ResponseWriter
+	inj  *faults.Injector
+	path string
+}
+
+func (w *faultingWriter) Write(p []byte) (int, error) {
+	if err := w.inj.Fail(faults.SiteAdminWrite, w.path); err != nil {
+		return 0, err
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// withFaults arms the injector on one handler's response writer.
+func (s *Server) withFaults(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.inj.Armed(faults.SiteAdminWrite) {
+			w = &faultingWriter{ResponseWriter: w, inj: s.inj, path: r.URL.Path}
+		}
+		h(w, r)
+	}
 }
 
 // traceFile is the /trace/last response envelope: the flashextract-trace/v1
@@ -49,9 +83,9 @@ type traceFile struct {
 func New(reg *metrics.Registry, mon *batch.Monitor) *Server {
 	s := &Server{reg: reg, mon: mon}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/trace/last", s.handleTraceLast)
+	mux.HandleFunc("/metrics", s.withFaults(s.handleMetrics))
+	mux.HandleFunc("/healthz", s.withFaults(s.handleHealthz))
+	mux.HandleFunc("/trace/last", s.withFaults(s.handleTraceLast))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"flashextract/internal/batch"
+	"flashextract/internal/faults"
 	"flashextract/internal/metrics"
 	"flashextract/internal/trace"
 )
@@ -141,5 +142,49 @@ func TestPprofEndpoint(t *testing.T) {
 	code, body := get(t, "http://"+s.Addr()+"/debug/pprof/goroutine?debug=1")
 	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Fatalf("pprof goroutine = %d", code)
+	}
+}
+
+// TestInjectedWriteErrors arms the admin.write chaos site at rate 1.0 and
+// asserts the server survives failed response writes: the first attempts
+// at a path yield a short/empty body, and once the injected transient
+// budget for that path is consumed, the same endpoint serves normally.
+func TestInjectedWriteErrors(t *testing.T) {
+	inj, err := faults.ParseSpec("seed=1,rate=1.0,failures=2,sites=admin.write")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := &batch.Monitor{}
+	s := New(nil, mon)
+	s.SetInjector(inj)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	// The injected failures are transient per path: after at most
+	// DefaultFailures failed writes, /healthz must serve a full snapshot.
+	var body string
+	ok := false
+	for i := 0; i < faults.DefaultFailures+2; i++ {
+		_, body = get(t, "http://"+s.Addr()+"/healthz")
+		if strings.Contains(body, `"status"`) {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Fatalf("healthz never recovered from injected write faults; last body %q", body)
+	}
+	var h batch.Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("recovered healthz body is not JSON: %v", err)
+	}
+	// An uninjected endpoint on the same server works throughout.
+	if code, _ := get(t, "http://"+s.Addr()+"/metrics"); code != http.StatusOK {
+		t.Fatalf("metrics status %d after write faults", code)
 	}
 }

@@ -22,6 +22,7 @@ package batch
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -32,6 +33,7 @@ import (
 	"flashextract/internal/core"
 	"flashextract/internal/engine"
 	"flashextract/internal/export"
+	"flashextract/internal/faults"
 	"flashextract/internal/logx"
 	"flashextract/internal/metrics"
 	"flashextract/internal/sheet"
@@ -91,7 +93,40 @@ type Options struct {
 	// TraceRing bounds Monitor's retained trace trees; 0 means
 	// DefaultTraceRing.
 	TraceRing int
+	// Chaos arms deterministic fault injection for the run (nil = off).
+	// The injector is also installed in the per-document context, so
+	// engine-level sites (faults.SiteBudget) see it too.
+	Chaos *faults.Injector
+	// SelfCheck verifies the well-formedness invariants of every extracted
+	// instance (engine.CheckInstance) before its record is emitted as ok;
+	// a violation becomes a structured "invariant" error record.
+	SelfCheck bool
 }
+
+// The failure kinds of a Record, so downstream consumers can distinguish
+// failure modes structurally instead of parsing error strings.
+const (
+	// KindRead: the source could not be opened/read (after retries).
+	KindRead = "read"
+	// KindParse: the document's bytes did not parse as its type.
+	KindParse = "parse"
+	// KindProgram: the program artifact failed to deserialize in a worker.
+	KindProgram = "program"
+	// KindCancelled: the run's context was cancelled before or during the
+	// document.
+	KindCancelled = "cancelled"
+	// KindBudget: the per-document deadline or budget was exhausted.
+	KindBudget = "budget"
+	// KindRun: the extraction program itself failed on the document.
+	KindRun = "run"
+	// KindRender: the extracted instance did not render to valid JSON.
+	KindRender = "render"
+	// KindInvariant: the instance failed the post-Fill self-check.
+	KindInvariant = "invariant"
+	// KindPanic: a panic escaped the document's processing and was
+	// recovered at the isolation boundary.
+	KindPanic = "panic"
+)
 
 // Record is one NDJSON output line: the result of running the program on
 // one input document, or the structured error that isolated its failure.
@@ -103,10 +138,17 @@ type Record struct {
 	Index int `json:"index"`
 	// OK distinguishes results from error records.
 	OK bool `json:"ok"`
+	// Kind classifies the failure (one of the Kind* constants; error
+	// records only).
+	Kind string `json:"kind,omitempty"`
 	// Data is the extracted instance as a compact JSON value (results only).
 	Data json.RawMessage `json:"data,omitempty"`
 	// Error describes the per-document failure (error records only).
 	Error string `json:"error,omitempty"`
+
+	// retries is the number of extra read attempts this document consumed,
+	// aggregated into Summary.Retries (not part of the NDJSON record).
+	retries int
 }
 
 // Summary aggregates one batch run.
@@ -120,6 +162,9 @@ type Summary struct {
 	Skipped int
 	// Cancelled reports whether the run was cut short by its context.
 	Cancelled bool
+	// Retries is the number of retried document-read attempts across the
+	// run (attempts beyond each document's first).
+	Retries int
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 }
@@ -162,10 +207,17 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 	mon.setRingCap(opts.TraceRing)
 	mon.runStarted(start)
 	defer func() { mon.runFinished(time.Now()) }()
+	ctx = faults.Into(ctx, opts.Chaos)
 	log := logx.From(ctx)
 	log.Info("batch run starting", "docs", len(sources), "workers", workers,
-		"doc_type", opts.DocType, "ordered", opts.Ordered)
+		"doc_type", opts.DocType, "ordered", opts.Ordered, "chaos", opts.Chaos.String())
 
+	// submitted counts documents actually handed to a worker; the jobs
+	// channel is unbuffered, so a completed send means a worker holds the
+	// job and will produce exactly one record for it. It is read again only
+	// after the results channel closes, which happens-after the dispatch
+	// goroutine finishes.
+	submitted := 0
 	jobs := make(chan job)
 	results := make(chan Record, workers)
 	go func() {
@@ -173,6 +225,8 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 		for i, src := range sources {
 			select {
 			case jobs <- job{index: i, src: src}:
+				submitted++
+				mon.docSubmitted()
 			case <-ctx.Done():
 				return
 			}
@@ -192,7 +246,7 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 			for j := range jobs {
 				var rec Record
 				if err != nil {
-					rec = Record{Doc: j.src.Name, Index: j.index, Error: err.Error()}
+					rec = Record{Doc: j.src.Name, Index: j.index, Kind: KindProgram, Error: err.Error()}
 					mon.docStarted()
 					mon.docFinished(false, nil)
 				} else {
@@ -214,6 +268,7 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 		if !rec.OK {
 			sum.Errors++
 		}
+		sum.Retries += rec.retries
 		if writeErr != nil {
 			return
 		}
@@ -244,8 +299,20 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 	sum.Skipped = len(sources) - sum.Docs
 	sum.Cancelled = ctx.Err() != nil
 	sum.Elapsed = time.Since(start)
+	// Counter conservation: every dispatched document produced exactly one
+	// record, and the monitor agrees (processed == submitted, nothing left
+	// in flight). A violation is a runtime bug, not a document failure, so
+	// it fails the run.
+	if sum.Docs != submitted {
+		if writeErr == nil {
+			writeErr = fmt.Errorf("batch: conservation violated: %d records for %d dispatched documents", sum.Docs, submitted)
+		}
+	} else if err := mon.ConservationError(); err != nil && writeErr == nil {
+		writeErr = err
+	}
 	log.Info("batch run finished", "docs", sum.Docs, "errors", sum.Errors,
-		"skipped", sum.Skipped, "cancelled", sum.Cancelled, "elapsed", sum.Elapsed)
+		"skipped", sum.Skipped, "cancelled", sum.Cancelled, "retries", sum.Retries,
+		"elapsed", sum.Elapsed)
 	return sum, writeErr
 }
 
@@ -269,6 +336,7 @@ func processDoc(ctx context.Context, prog *engine.SchemaProgram, opts Options, j
 		if r := recover(); r != nil {
 			rec.OK = false
 			rec.Data = nil
+			rec.Kind = KindPanic
 			rec.Error = fmt.Sprintf("panic: %v", r)
 		}
 		sink.Count(metrics.BatchDocs, 1)
@@ -291,15 +359,61 @@ func processDoc(ctx context.Context, prog *engine.SchemaProgram, opts Options, j
 				"error", rec.Error, "elapsed", time.Since(start))
 		}
 	}()
-	data, err := j.src.Open()
+	// A document dispatched just as the run is cancelled still gets its
+	// record — but a cheap structured one, without opening the source.
+	if ctx.Err() != nil {
+		rec.Kind = KindCancelled
+		rec.Error = "cancelled before start: " + ctx.Err().Error()
+		return rec
+	}
+	inj := faults.From(ctx)
+	// Chaos site: stall this worker before it touches the document — a
+	// scheduling perturbation that must not change the output stream.
+	if d := inj.Delay(faults.SiteWorkerSlow, j.src.Name); d > 0 {
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
+	}
+	// Transient read failures — injected (faults.SiteDocRead) or organic
+	// I/O timeouts — are retried with bounded, jittered backoff; permanent
+	// failures (missing file, permission) surface immediately.
+	var data []byte
+	tries, err := faults.DefaultRetry.Do(ctx, j.src.Name, retryableRead, func() error {
+		if ferr := inj.Fail(faults.SiteDocRead, j.src.Name); ferr != nil {
+			return ferr
+		}
+		var oerr error
+		data, oerr = j.src.Open()
+		return oerr
+	})
+	if tries > 1 {
+		rec.retries = tries - 1
+		sink.Count(metrics.BatchRetries, int64(tries-1))
+		opts.Monitor.addRetries(int64(tries - 1))
+	}
 	if err != nil {
+		rec.Kind = KindRead
 		rec.Error = err.Error()
 		return rec
 	}
+	// Chaos site: corrupt the raw bytes before substrate parsing, turning
+	// this document into a structured parse failure.
+	data = inj.Corrupt(faults.SiteDocParse, j.src.Name, data)
 	doc, err := newDocument(opts.DocType, string(data))
 	if err != nil {
+		rec.Kind = KindParse
 		rec.Error = err.Error()
 		return rec
+	}
+	// Chaos site: force an eviction storm in the document's evaluation
+	// cache. The cache is pure memoization, so output must not change.
+	if inj.Hit(faults.SiteCacheEvict, j.src.Name) {
+		if lc, ok := doc.(interface{ LimitCacheBytes(int64) }); ok {
+			lc.LimitCacheBytes(1)
+		}
 	}
 	dctx := ctx
 	if opts.DocTimeout > 0 {
@@ -307,20 +421,65 @@ func processDoc(ctx context.Context, prog *engine.SchemaProgram, opts Options, j
 		dctx, cancel = context.WithTimeout(dctx, opts.DocTimeout)
 		defer cancel()
 	}
-	dctx, _ = core.WithBudget(dctx, core.SynthBudget{})
+	dctx, bud := core.WithBudget(dctx, core.SynthBudget{})
+	// Chaos site: exhaust the run budget before extraction starts.
+	if inj.Hit(faults.SiteBudget, "run:"+j.src.Name) {
+		bud.Trip(core.ReasonInjected)
+	}
 	inst, _, err := prog.RunContext(dctx, doc)
 	if err != nil {
+		rec.Kind = classifyRunError(err, bud)
 		rec.Error = err.Error()
 		return rec
 	}
+	if opts.SelfCheck {
+		if err := engine.CheckInstance(prog.Schema, inst, doc.WholeRegion()); err != nil {
+			rec.Kind = KindInvariant
+			rec.Error = err.Error()
+			return rec
+		}
+	}
 	raw, err := export.JSONValue(inst)
 	if err != nil {
+		rec.Kind = KindRender
 		rec.Error = err.Error()
 		return rec
 	}
 	rec.OK = true
 	rec.Data = raw
 	return rec
+}
+
+// retryableRead reports whether a document-read failure is worth retrying:
+// injected transient faults and timeout-flavored I/O errors are; permanent
+// filesystem conditions (missing file, directory, permission) are not.
+func retryableRead(err error) bool {
+	if faults.IsTransient(err) {
+		return true
+	}
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var timeout interface{ Timeout() bool }
+	return errors.As(err, &timeout) && timeout.Timeout()
+}
+
+// classifyRunError maps a RunContext failure to a record kind using the
+// context sentinels and the budget's trip reason.
+func classifyRunError(err error, bud *core.Budget) string {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return KindCancelled
+	case errors.Is(err, context.DeadlineExceeded):
+		return KindBudget
+	}
+	switch bud.Reason() {
+	case core.ReasonCancelled:
+		return KindCancelled
+	case core.ReasonDeadline, core.ReasonCandidates, core.ReasonInjected:
+		return KindBudget
+	}
+	return KindRun
 }
 
 // writeRecord marshals one record and writes it as an NDJSON line,
@@ -331,6 +490,7 @@ func writeRecord(out io.Writer, rec Record) error {
 	if err != nil || !json.Valid(line) {
 		rec.OK = false
 		rec.Data = nil
+		rec.Kind = KindRender
 		rec.Error = fmt.Sprintf("batch: record for %s did not marshal to valid JSON", rec.Doc)
 		if line, err = json.Marshal(rec); err != nil {
 			return fmt.Errorf("batch: marshaling error record: %w", err)

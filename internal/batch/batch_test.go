@@ -181,7 +181,7 @@ func TestBatchGoldenNDJSON(t *testing.T) {
 	}
 	want := `{"doc":"one.csv","index":0,"ok":true,"data":[{"Part":"Bolt","Price":7}]}
 {"doc":"two.csv","index":1,"ok":true,"data":[{"Part":"Nut","Price":0.5},{"Part":"Cog","Price":1.25}]}
-{"doc":"bad.csv","index":2,"ok":false,"error":"disk on fire"}
+{"doc":"bad.csv","index":2,"ok":false,"kind":"read","error":"disk on fire"}
 `
 	if out.String() != want {
 		t.Errorf("golden NDJSON mismatch:\ngot:\n%swant:\n%s", out.String(), want)

@@ -6,6 +6,7 @@
 package batch
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,9 +24,11 @@ const DefaultTraceRing = 32
 // so the batch hot path carries no conditionals at call sites.
 type Monitor struct {
 	workersAlive atomic.Int64
+	submitted    atomic.Int64
 	inFlight     atomic.Int64
 	processed    atomic.Int64
 	failed       atomic.Int64
+	retries      atomic.Int64
 	started      atomic.Int64 // unix nanos of Run start; 0 = not started
 	finished     atomic.Int64 // unix nanos of Run end; 0 = still running
 
@@ -41,12 +44,16 @@ type Health struct {
 	Status string `json:"status"`
 	// WorkersAlive is the number of worker goroutines currently running.
 	WorkersAlive int64 `json:"workers_alive"`
+	// Submitted is the number of documents handed to a worker.
+	Submitted int64 `json:"submitted"`
 	// InFlight is the number of documents being processed right now.
 	InFlight int64 `json:"in_flight"`
 	// Processed is the number of documents finished (results and errors).
 	Processed int64 `json:"processed"`
 	// Failed is the number of error records among them.
 	Failed int64 `json:"failed"`
+	// Retries is the number of retried document-read attempts.
+	Retries int64 `json:"retries"`
 	// UptimeSeconds is the time since Run started (0 before the run).
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
@@ -94,10 +101,26 @@ func (m *Monitor) workerDown() {
 	}
 }
 
+// docSubmitted marks one document handed to a worker. Together with
+// docStarted/docFinished it upholds the conservation invariant checked by
+// ConservationError.
+func (m *Monitor) docSubmitted() {
+	if m != nil {
+		m.submitted.Add(1)
+	}
+}
+
 // docStarted marks one document entering processing.
 func (m *Monitor) docStarted() {
 	if m != nil {
 		m.inFlight.Add(1)
+	}
+}
+
+// addRetries records n retried document-read attempts.
+func (m *Monitor) addRetries(n int64) {
+	if m != nil {
+		m.retries.Add(n)
 	}
 }
 
@@ -134,6 +157,23 @@ func (m *Monitor) RecordTrace(root *trace.Span) {
 	m.mu.Unlock()
 }
 
+// ConservationError checks the counter-conservation invariant of a
+// drained run: every document handed to a worker was processed exactly
+// once (processed == submitted) and nothing is left in flight. Run calls
+// it after the results channel closes; calling it on a live run is
+// meaningless (documents are legitimately in flight). A nil error means
+// the invariant holds; nil Monitors always hold it.
+func (m *Monitor) ConservationError() error {
+	if m == nil {
+		return nil
+	}
+	sub, inf, proc := m.submitted.Load(), m.inFlight.Load(), m.processed.Load()
+	if inf != 0 || proc != sub {
+		return fmt.Errorf("batch: counter conservation violated: submitted=%d processed=%d in_flight=%d", sub, proc, inf)
+	}
+	return nil
+}
+
 // Health returns the current liveness snapshot.
 func (m *Monitor) Health() Health {
 	if m == nil {
@@ -141,9 +181,11 @@ func (m *Monitor) Health() Health {
 	}
 	h := Health{
 		WorkersAlive: m.workersAlive.Load(),
+		Submitted:    m.submitted.Load(),
 		InFlight:     m.inFlight.Load(),
 		Processed:    m.processed.Load(),
 		Failed:       m.failed.Load(),
+		Retries:      m.retries.Load(),
 	}
 	started := m.started.Load()
 	finished := m.finished.Load()

@@ -28,6 +28,10 @@ const (
 	ReasonDeadline   = "deadline"
 	ReasonCancelled  = "cancelled"
 	ReasonCandidates = "candidates"
+	// ReasonInjected marks a budget tripped by the fault-injection layer
+	// (faults.SiteBudget), so chaos-induced truncation is distinguishable
+	// from organic exhaustion in partial results and batch records.
+	ReasonInjected = "injected"
 )
 
 // Budget is the mutable state of one budgeted synthesis call. All methods
@@ -174,6 +178,17 @@ func (b *Budget) trip(reason string) {
 	if b.tripped.CompareAndSwap(false, true) {
 		b.reasonVal.Store(reason)
 	}
+}
+
+// Trip exhausts the budget immediately with the given reason. It exists
+// for layers above the learners — fault injection, admin kill switches —
+// that need to force the graceful-degradation path; the first reason to
+// trip wins, matching the internal semantics.
+func (b *Budget) Trip(reason string) {
+	if b == nil {
+		return
+	}
+	b.trip(reason)
 }
 
 // Reason returns why the budget tripped ("" when it has not).

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"fmt"
+
+	"flashextract/internal/region"
+	"flashextract/internal/schema"
+)
+
+// CheckInstance verifies the well-formedness invariants of a schema
+// instance produced by Fill against its schema and source document:
+//
+//   - the instance's shape mirrors the schema (structs have exactly the
+//     schema's elements in order, sequences hold only inner-field items),
+//   - every leaf carries a non-nil region whose Value() equals the
+//     instance's Text and whose type admits that text,
+//   - every leaf region is contained in the document's whole region, and
+//     sequence items appear in document order.
+//
+// Fill upholds all of these by construction, so a violation means memory
+// corruption, a broken Region implementation, or a regression in Fill —
+// exactly what the batch runtime's self-check mode exists to catch before
+// the record is emitted as "ok". A nil error means the instance is sound.
+func CheckInstance(m *schema.Schema, inst *Instance, whole region.Region) error {
+	if m == nil {
+		return fmt.Errorf("engine: check: nil schema")
+	}
+	if m.TopSeq != nil {
+		return checkSeq("", m.TopSeq, inst, whole)
+	}
+	return checkStruct("", m.TopStruct, inst, whole)
+}
+
+func checkStruct(path string, s *schema.Struct, inst *Instance, whole region.Region) error {
+	if inst.IsNull() {
+		return nil
+	}
+	if inst.Kind != StructInstance {
+		return fmt.Errorf("engine: check: %s: schema wants a struct, instance has kind %d", pathOrTop(path), inst.Kind)
+	}
+	if len(inst.Elements) != len(s.Elements) {
+		return fmt.Errorf("engine: check: %s: struct has %d elements, schema has %d", pathOrTop(path), len(inst.Elements), len(s.Elements))
+	}
+	for i, e := range s.Elements {
+		got := inst.Elements[i]
+		if got.Name != e.Name {
+			return fmt.Errorf("engine: check: %s: element %d named %q, schema says %q", pathOrTop(path), i, got.Name, e.Name)
+		}
+		sub := path + "." + e.Name
+		var err error
+		if e.Seq != nil {
+			err = checkSeq(sub, e.Seq, got.Value, whole)
+		} else {
+			err = checkField(sub, e.Field, got.Value, whole)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkSeq(path string, s *schema.Seq, inst *Instance, whole region.Region) error {
+	if inst.IsNull() {
+		return nil
+	}
+	if inst.Kind != SeqInstance {
+		return fmt.Errorf("engine: check: %s: schema wants a sequence, instance has kind %d", pathOrTop(path), inst.Kind)
+	}
+	var prev region.Region
+	for i, item := range inst.Items {
+		sub := fmt.Sprintf("%s[%d]", path, i)
+		if err := checkField(sub, s.Inner, item, whole); err != nil {
+			return err
+		}
+		// Document order between successive leaf items; struct items are
+		// ordered by their own leaves, checked recursively above.
+		if item != nil && item.Kind == LeafInstance {
+			if prev != nil && item.Region.Less(prev) {
+				return fmt.Errorf("engine: check: %s: sequence items out of document order", pathOrTop(path))
+			}
+			prev = item.Region
+		}
+	}
+	return nil
+}
+
+func checkField(path string, f *schema.Field, inst *Instance, whole region.Region) error {
+	if inst.IsNull() {
+		return nil
+	}
+	if !f.IsLeaf() {
+		return checkStruct(path, f.Struct, inst, whole)
+	}
+	if inst.Kind != LeafInstance {
+		return fmt.Errorf("engine: check: %s: schema wants leaf [%s], instance has kind %d", pathOrTop(path), f.Color, inst.Kind)
+	}
+	if inst.Region == nil {
+		return fmt.Errorf("engine: check: %s: leaf [%s] has nil region", pathOrTop(path), f.Color)
+	}
+	if got := inst.Region.Value(); got != inst.Text {
+		return fmt.Errorf("engine: check: %s: leaf [%s] text %q differs from its region value %q", pathOrTop(path), f.Color, inst.Text, got)
+	}
+	if whole != nil && !whole.Contains(inst.Region) {
+		return fmt.Errorf("engine: check: %s: leaf [%s] region %s escapes the document", pathOrTop(path), f.Color, inst.Region)
+	}
+	return nil
+}
+
+func pathOrTop(path string) string {
+	if path == "" {
+		return "top"
+	}
+	return path
+}

@@ -65,6 +65,7 @@ type CacheStats struct {
 	Hits        int64 `json:"hits"`
 	Misses      int64 `json:"misses"`
 	Entries     int64 `json:"entries"`
+	Evictions   int64 `json:"evictions,omitempty"`
 	ApproxBytes int64 `json:"approx_bytes"`
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"flashextract/internal/core"
+	"flashextract/internal/faults"
 	"flashextract/internal/logx"
 	"flashextract/internal/metrics"
 	"flashextract/internal/region"
@@ -22,8 +23,8 @@ import (
 type PartialResult struct {
 	// Exhausted reports whether the budget tripped during the call.
 	Exhausted bool `json:"exhausted"`
-	// Reason is why it tripped: "deadline", "cancelled", or "candidates"
-	// (empty when Exhausted is false).
+	// Reason is why it tripped: "deadline", "cancelled", "candidates", or
+	// "injected" (empty when Exhausted is false).
 	Reason string `json:"reason,omitempty"`
 	// BestEffort is true when a program was returned but the search was
 	// truncated, so a better-ranked program may exist.
@@ -81,6 +82,11 @@ func SynthesizeFieldProgramCtx(
 	sink := metrics.From(ctx)
 	sink.Count(metrics.LearnCalls, 1)
 	applyCacheBudget(doc, bud)
+	// Chaos site: exhaust the budget before the learner starts, forcing the
+	// graceful-degradation path for this field as if a deadline had tripped.
+	if faults.From(ctx).Hit(faults.SiteBudget, "learn:"+f.Color()) {
+		bud.Trip(core.ReasonInjected)
+	}
 
 	// Field-level span: the root of one Algorithm 2 call's trace subtree.
 	ctx, fsp := trace.Start(ctx, "field:"+f.Color())

@@ -1,0 +1,84 @@
+package faults
+
+import (
+	"context"
+	"time"
+)
+
+// RetryPolicy bounds retries of a transient operation with exponential
+// backoff and deterministic jitter. The zero value retries nothing
+// (one attempt, no sleeps); DefaultRetry is the batch runtime's policy.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (first call included).
+	// Values below 1 behave as 1.
+	Attempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it. Zero means no sleeping between attempts.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (0 = uncapped).
+	MaxDelay time.Duration
+}
+
+// DefaultRetry is the batch worker pool's document-read policy: three
+// tries with 1ms/2ms backoff. Three tries strictly exceeds the default
+// injected transient failure count (DefaultFailures = 2), which is what
+// makes the chaos differential recover every injected read fault.
+var DefaultRetry = RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+
+// Do runs fn up to p.Attempts times, retrying only while retryable(err)
+// reports the failure transient and the context is alive. It returns the
+// number of attempts actually made and the final error (nil on success).
+// Backoff between attempts is BaseDelay doubled per retry, capped at
+// MaxDelay, and jittered deterministically from key — the same key
+// always waits the same schedule, keeping chaos runs reproducible.
+func (p RetryPolicy) Do(ctx context.Context, key string, retryable func(error) bool, fn func() error) (int, error) {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for try := 1; ; try++ {
+		err = fn()
+		if err == nil || try >= attempts || !retryable(err) {
+			return try, err
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return try, err
+		}
+		if d := p.backoff(key, try); d > 0 {
+			t := time.NewTimer(d)
+			if ctx == nil {
+				<-t.C
+			} else {
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return try, err
+				}
+			}
+		}
+	}
+}
+
+// backoff computes the wait before retry number try (1-based): BaseDelay
+// doubled per prior retry, scaled by a deterministic jitter in
+// [0.5, 1.0) derived from (key, try), capped at MaxDelay.
+func (p RetryPolicy) backoff(key string, try int) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	d := p.BaseDelay << (try - 1)
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	h := uint64(14695981039346656037)
+	for n := 0; n < len(key); n++ {
+		h ^= uint64(key[n])
+		h *= 1099511628211
+	}
+	h ^= uint64(try)
+	h *= 1099511628211
+	jitter := 0.5 + hash01(mix64(h))/2
+	return time.Duration(float64(d) * jitter)
+}

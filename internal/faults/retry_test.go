@@ -1,0 +1,146 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func alwaysRetryable(error) bool { return true }
+
+// TestRetryFirstTrySuccess asserts success costs exactly one attempt and
+// no sleeping.
+func TestRetryFirstTrySuccess(t *testing.T) {
+	tries, err := DefaultRetry.Do(context.Background(), "k", alwaysRetryable, func() error { return nil })
+	if tries != 1 || err != nil {
+		t.Fatalf("got %d tries, %v", tries, err)
+	}
+}
+
+// TestRetryRecoversTransient asserts a fault that clears within the
+// attempt budget ends in success, with the attempt count reported.
+func TestRetryRecoversTransient(t *testing.T) {
+	calls := 0
+	tries, err := DefaultRetry.Do(context.Background(), "k", alwaysRetryable, func() error {
+		calls++
+		if calls < 3 {
+			return &Fault{Site: SiteDocRead, Key: "k", Attempt: calls, Transient: true}
+		}
+		return nil
+	})
+	if err != nil || tries != 3 || calls != 3 {
+		t.Fatalf("tries=%d calls=%d err=%v", tries, calls, err)
+	}
+}
+
+// TestRetryExhaustsBudget asserts a fault that never clears surfaces the
+// last error after exactly Attempts tries.
+func TestRetryExhaustsBudget(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("still broken")
+	tries, err := DefaultRetry.Do(context.Background(), "k", alwaysRetryable, func() error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || tries != DefaultRetry.Attempts || calls != DefaultRetry.Attempts {
+		t.Fatalf("tries=%d calls=%d err=%v", tries, calls, err)
+	}
+}
+
+// TestRetryStopsOnPermanent asserts a non-retryable error returns
+// immediately — permanent failures must not eat the backoff schedule.
+func TestRetryStopsOnPermanent(t *testing.T) {
+	calls := 0
+	tries, err := DefaultRetry.Do(context.Background(), "k",
+		func(err error) bool { return IsTransient(err) },
+		func() error {
+			calls++
+			return errors.New("file does not exist")
+		})
+	if tries != 1 || calls != 1 || err == nil {
+		t.Fatalf("tries=%d calls=%d err=%v", tries, calls, err)
+	}
+}
+
+// TestRetryHonorsCancellation asserts a cancelled context stops the loop
+// between attempts instead of sleeping through the backoff.
+func TestRetryHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := RetryPolicy{Attempts: 100, BaseDelay: time.Hour}
+	calls := 0
+	start := time.Now()
+	tries, err := p.Do(ctx, "k", alwaysRetryable, func() error {
+		calls++
+		cancel()
+		return errors.New("transient-looking")
+	})
+	if tries != 1 || calls != 1 || err == nil {
+		t.Fatalf("tries=%d calls=%d err=%v", tries, calls, err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("slept through backoff despite cancellation")
+	}
+}
+
+// TestRetryZeroPolicy asserts the zero value makes exactly one attempt.
+func TestRetryZeroPolicy(t *testing.T) {
+	var p RetryPolicy
+	calls := 0
+	tries, err := p.Do(context.Background(), "k", alwaysRetryable, func() error {
+		calls++
+		return errors.New("fail")
+	})
+	if tries != 1 || calls != 1 || err == nil {
+		t.Fatalf("tries=%d calls=%d err=%v", tries, calls, err)
+	}
+}
+
+// TestBackoffSchedule asserts backoff doubles from BaseDelay, is capped
+// at MaxDelay, stays within the jitter window [0.5, 1.0)×nominal, and is
+// deterministic per (key, try).
+func TestBackoffSchedule(t *testing.T) {
+	p := RetryPolicy{Attempts: 5, BaseDelay: 8 * time.Millisecond, MaxDelay: 20 * time.Millisecond}
+	for try := 1; try <= 4; try++ {
+		nominal := p.BaseDelay << (try - 1)
+		if nominal > p.MaxDelay {
+			nominal = p.MaxDelay
+		}
+		for _, key := range []string{"a.txt", "b.txt", "c.txt"} {
+			d := p.backoff(key, try)
+			if d2 := p.backoff(key, try); d2 != d {
+				t.Fatalf("backoff(%q,%d) not deterministic: %v vs %v", key, try, d, d2)
+			}
+			lo, hi := nominal/2, nominal
+			if d < lo || d >= hi {
+				t.Fatalf("backoff(%q,%d) = %v outside [%v, %v)", key, try, d, lo, hi)
+			}
+		}
+	}
+	if d := (RetryPolicy{Attempts: 3}).backoff("k", 1); d != 0 {
+		t.Fatalf("zero BaseDelay backoff = %v", d)
+	}
+}
+
+// TestRetryRecoversInjectedFault wires the injector and the retry policy
+// together: every key the injector faults must recover within
+// DefaultRetry.Attempts, because planned failures ≤ DefaultFailures <
+// Attempts. This is the invariant the chaos differential rests on.
+func TestRetryRecoversInjectedFault(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		inj := New(seed)
+		for i := 0; i < 50; i++ {
+			key := fmt.Sprintf("doc%d.txt", i)
+			tries, err := DefaultRetry.Do(context.Background(), key, IsTransient, func() error {
+				return inj.Fail(SiteDocRead, key)
+			})
+			if err != nil {
+				t.Fatalf("seed %d key %q not recovered after %d tries: %v", seed, key, tries, err)
+			}
+			if inj.Hit(SiteDocRead, key) && tries < 2 {
+				t.Fatalf("seed %d key %q hit but succeeded first try", seed, key)
+			}
+		}
+	}
+}

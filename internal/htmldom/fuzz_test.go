@@ -29,3 +29,37 @@ func FuzzParse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzHTMLParse asserts the error-or-valid-result contract on corrupt
+// documents: arbitrary bytes — including chaos-style truncation followed
+// by parser-hostile suffixes — either parse into a document whose every
+// node has ranges inside the source, or return an error. Never a panic.
+func FuzzHTMLParse(f *testing.F) {
+	for _, seed := range []string{
+		samplePage, "", "\x00\"<!--[", "<table><tr><td>x" + "\x00\"<!--[",
+		"<html><body><p>tex", "<!--never closed", "<a href=\"u", "\xff\xfe<p>",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if doc == nil {
+			t.Fatal("nil document without error")
+		}
+		doc.Walk(func(n *Node) {
+			if n.TextStart > n.TextEnd {
+				t.Fatalf("node %s has inverted text range", n.Tag)
+			}
+			// Every node's text range nests inside the root's: the global
+			// text is built by the same pre-order walk, so an escape means
+			// a broken finalize pass.
+			if n.TextStart < doc.TextStart || n.TextEnd > doc.TextEnd {
+				t.Fatalf("node %s range [%d,%d) escapes root range [%d,%d)",
+					n.Tag, n.TextStart, n.TextEnd, doc.TextStart, doc.TextEnd)
+			}
+		})
+	})
+}

@@ -52,6 +52,9 @@ const (
 	// BatchDocSeconds is the per-document end-to-end run latency histogram
 	// of the batch runtime (open + extract + render). Values are seconds.
 	BatchDocSeconds = "batch_doc_run_seconds"
+	// BatchRetries counts retried document-read attempts in the batch
+	// worker pool (attempts beyond each document's first read).
+	BatchRetries = "batch_retries"
 )
 
 // Sink is the minimal recording interface the synthesis stack writes to.

@@ -1,6 +1,9 @@
 package schema
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 // FuzzParse asserts the schema parser never panics and that successful
 // parses round-trip through String().
@@ -22,6 +25,41 @@ func FuzzParse(f *testing.F) {
 		}
 		if again.String() != m.String() {
 			t.Fatal("String() round trip not stable")
+		}
+	})
+}
+
+// FuzzSchemaParse asserts the error-or-valid-result contract on the
+// public parse path for arbitrary bytes: no panic ever; a returned error
+// is either a *ParseError whose offset points inside the source (so CLI
+// diagnostics never index out of range) or a validation error; a returned
+// schema is fully valid with enumerable fields.
+func FuzzSchemaParse(f *testing.F) {
+	for _, seed := range []string{
+		analyteSchema, "Seq([a] String)", "Struct(", "Seq([a] Str\x00ing)",
+		"Seq([a] String)\"<!--[", "", "]][[", "Seq([a] Struct(B: [b] Int))",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			var perr *ParseError
+			if errors.As(err, &perr) && (perr.Offset < 0 || perr.Offset > len(src)) {
+				t.Fatalf("parse error offset %d outside source of length %d", perr.Offset, len(src))
+			}
+			return
+		}
+		if m == nil {
+			t.Fatal("nil schema without error")
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("parsed schema fails validation: %v", err)
+		}
+		for _, fi := range m.Fields() {
+			if fi.Color() == "" {
+				t.Fatal("parsed schema has a field with no color")
+			}
 		}
 	})
 }

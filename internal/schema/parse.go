@@ -29,12 +29,34 @@ func Parse(src string) (*Schema, error) {
 }
 
 // MustParse is Parse for statically known schemas; it panics on error.
+// It is for compiled-in schema literals (tests, examples) only — never
+// call it on user-supplied input; use Parse, whose *ParseError carries
+// the offset a caller needs for a file/line diagnostic.
 func MustParse(src string) *Schema {
 	m, err := Parse(src)
 	if err != nil {
 		panic(err)
 	}
 	return m
+}
+
+// ParseError is a syntax error in schema text, carrying the byte offset
+// where parsing failed so callers can point at the exact spot in a file
+// (errors.As-able from Parse's error).
+type ParseError struct {
+	// Offset is the 0-based byte offset into the source text.
+	Offset int
+	// Msg describes what was expected and found.
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("schema: at offset %d: %s", e.Offset, e.Msg)
+}
+
+// perr builds a *ParseError at a token position.
+func perr(pos int, format string, args ...any) error {
+	return &ParseError{Offset: pos, Msg: fmt.Sprintf(format, args...)}
 }
 
 type tokKind int
@@ -141,7 +163,7 @@ func (p *parser) next() token {
 func (p *parser) expect(k tokKind, what string) (token, error) {
 	t := p.next()
 	if t.kind != k {
-		return t, fmt.Errorf("schema: at offset %d: expected %s, found %s", t.pos, what, t.describe())
+		return t, perr(t.pos, "expected %s, found %s", what, t.describe())
 	}
 	return t, nil
 }
@@ -149,7 +171,7 @@ func (p *parser) expect(k tokKind, what string) (token, error) {
 func (p *parser) parseSchema() (*Schema, error) {
 	t := p.peek()
 	if t.kind != tokIdent {
-		return nil, fmt.Errorf("schema: at offset %d: expected Seq or Struct, found %s", t.pos, t.describe())
+		return nil, perr(t.pos, "expected Seq or Struct, found %s", t.describe())
 	}
 	m := &Schema{}
 	switch t.text {
@@ -166,10 +188,10 @@ func (p *parser) parseSchema() (*Schema, error) {
 		}
 		m.TopStruct = st
 	default:
-		return nil, fmt.Errorf("schema: at offset %d: expected Seq or Struct, found %q", t.pos, t.text)
+		return nil, perr(t.pos, "expected Seq or Struct, found %q", t.text)
 	}
 	if t := p.peek(); t.kind != tokEOF {
-		return nil, fmt.Errorf("schema: at offset %d: unexpected trailing input %s", t.pos, t.describe())
+		return nil, perr(t.pos, "unexpected trailing input %s", t.describe())
 	}
 	return m, nil
 }
@@ -227,7 +249,7 @@ func (p *parser) parseStruct() (*Struct, error) {
 			return st, nil
 		}
 		if t.kind != tokComma {
-			return nil, fmt.Errorf("schema: at offset %d: expected ',' or ')', found %s", t.pos, t.describe())
+			return nil, perr(t.pos, "expected ',' or ')', found %s", t.describe())
 		}
 	}
 }
@@ -245,7 +267,7 @@ func (p *parser) parseField() (*Field, error) {
 	}
 	t := p.peek()
 	if t.kind != tokIdent {
-		return nil, fmt.Errorf("schema: at offset %d: expected a type or Struct, found %s", t.pos, t.describe())
+		return nil, perr(t.pos, "expected a type or Struct, found %s", t.describe())
 	}
 	f := &Field{Color: color.text}
 	switch t.text {
@@ -259,9 +281,9 @@ func (p *parser) parseField() (*Field, error) {
 		p.next()
 		f.Leaf = map[string]LeafType{"String": String, "Int": Int, "Float": Float}[t.text]
 	case "Seq":
-		return nil, fmt.Errorf("schema: at offset %d: a sequence cannot be directly nested inside another sequence; wrap it in a colored Struct", t.pos)
+		return nil, perr(t.pos, "a sequence cannot be directly nested inside another sequence; wrap it in a colored Struct")
 	default:
-		return nil, fmt.Errorf("schema: at offset %d: unknown type %q (want String, Int, Float, or Struct)", t.pos, t.text)
+		return nil, perr(t.pos, "unknown type %q (want String, Int, Float, or Struct)", t.text)
 	}
 	return f, nil
 }

@@ -45,7 +45,7 @@ func (d *Document) EvalCache() *tokens.Cache { return d.cache }
 // CacheStats reports the evaluation cache's counters (engine.CacheStatser).
 func (d *Document) CacheStats() engine.CacheStats {
 	s := d.cache.Stats()
-	return engine.CacheStats{Hits: s.Hits, Misses: s.Misses, Entries: s.Entries, ApproxBytes: s.ApproxBytes}
+	return engine.CacheStats{Hits: s.Hits, Misses: s.Misses, Entries: s.Entries, Evictions: s.Evictions, ApproxBytes: s.ApproxBytes}
 }
 
 // LimitCacheBytes caps the evaluation cache's approximate resident bytes;

@@ -21,9 +21,10 @@ import (
 type Cache struct {
 	text string
 
-	hits     atomic.Int64
-	misses   atomic.Int64
-	maxBytes atomic.Int64 // 0 = no byte cap
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64 // entries dropped by any eviction path
+	maxBytes  atomic.Int64 // 0 = no byte cap
 
 	mu      sync.RWMutex
 	bytes   int64 // approximate resident bytes of all entries (guarded by mu)
@@ -33,12 +34,14 @@ type Cache struct {
 	indexes map[indexKey]*Index
 }
 
-// Stats summarizes the cache: probe hits and misses, entry count, and
-// approximate resident bytes.
+// Stats summarizes the cache: probe hits and misses, entry count,
+// entries evicted over the cache's lifetime, and approximate resident
+// bytes.
 type Stats struct {
 	Hits        int64
 	Misses      int64
 	Entries     int64
+	Evictions   int64
 	ApproxBytes int64
 }
 
@@ -52,6 +55,7 @@ func (c *Cache) Stats() Stats {
 		Hits:        c.hits.Load(),
 		Misses:      c.misses.Load(),
 		Entries:     entries,
+		Evictions:   c.evictions.Load(),
 		ApproxBytes: bytes,
 	}
 }
@@ -108,6 +112,7 @@ func (c *Cache) enforceBytesLocked() {
 			for _, e := range es {
 				c.bytes -= countSize(e)
 			}
+			c.evictions.Add(1)
 			delete(c.counts, k)
 		}
 	}
@@ -117,6 +122,7 @@ func (c *Cache) enforceBytesLocked() {
 	for k, ix := range c.indexes {
 		if !c.pinned(k.lo, k.hi) {
 			c.bytes -= indexSize(ix)
+			c.evictions.Add(1)
 			delete(c.indexes, k)
 		}
 	}
@@ -423,6 +429,7 @@ func (c *Cache) evictSeqsLocked() {
 			for _, e := range es {
 				c.bytes -= seqSize(e)
 			}
+			c.evictions.Add(1)
 			delete(c.seqs, k)
 		}
 	}
@@ -434,6 +441,7 @@ func (c *Cache) evictBoundsLocked() {
 	for k, e := range c.bounds {
 		if !c.pinned(k.lo, k.hi) {
 			c.bytes -= boundSize(e)
+			c.evictions.Add(1)
 			delete(c.bounds, k)
 		}
 	}

@@ -239,3 +239,30 @@ func TestCacheEvictionKeepsPinnedEntries(t *testing.T) {
 		t.Fatalf("pinned sequence changed: %v vs %v", got, wholeSeq)
 	}
 }
+
+// TestCacheEvictionCounter asserts Stats.Evictions counts dropped entries
+// when a byte cap forces an eviction storm, and that evicted answers are
+// recomputed identically — the cache is pure memoization, so an eviction
+// storm (e.g. injected by the chaos layer) must never change results.
+func TestCacheEvictionCounter(t *testing.T) {
+	text := randomText(rand.New(rand.NewSource(9)), 400)
+	c := NewCache(text)
+	rr := RegexPair{Left: Regex{Number}}
+	before := map[int][]int{}
+	for lo := 1; lo < 40; lo++ {
+		before[lo] = c.Positions(lo, len(text), rr)
+	}
+	if c.Stats().Evictions != 0 {
+		t.Fatalf("evictions before cap = %d", c.Stats().Evictions)
+	}
+	c.SetMaxBytes(1)
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("byte cap of 1 evicted nothing")
+	}
+	for lo := 1; lo < 40; lo++ {
+		if got := c.Positions(lo, len(text), rr); !equalPositions(got, before[lo]) {
+			t.Fatalf("positions at lo=%d changed after eviction storm: %v vs %v", lo, got, before[lo])
+		}
+	}
+}

@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# chaos_smoke.sh — end-to-end chaos differential for the batch serving
+# stack: learns a tiny program, runs the corpus fault-free, then re-runs
+# it with `flashextract batch -chaos seed=N` (transient/output-neutral
+# sites only) for several seeds. Each chaos run must (a) emit NDJSON
+# byte-identical to the fault-free run, (b) append a valid
+# flashextract-chaos/v1 report to stderr, and (c) drain without goroutine
+# leaks (checked by the binary's own -admin shutdown self-check). At least
+# one seed must actually retry a read, or the differential is vacuous.
+#
+# Usage: scripts/chaos_smoke.sh   (from the repository root)
+set -euo pipefail
+
+workdir=$(mktemp -d)
+admin_port=${ADMIN_PORT:-18081}
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building flashextract (race detector on) =="
+go build -race -o "$workdir/flashextract" ./cmd/flashextract
+
+echo "== learning a program from examples =="
+cat > "$workdir/doc.txt" <<'EOF'
+inventory
+Chair: Aeron (price: $540.00)
+Chair: Tulip (price: $99.99)
+EOF
+cat > "$workdir/schema.fx" <<'EOF'
+Struct(Names: Seq([name] String), Prices: Seq([price] Float))
+EOF
+cat > "$workdir/examples.fx" <<'EOF'
++ name find:Aeron:0
++ name find:Tulip:0
++ price find:540.00:0
++ price find:99.99:0
+EOF
+"$workdir/flashextract" -type text -in "$workdir/doc.txt" \
+    -schema "$workdir/schema.fx" -examples "$workdir/examples.fx" \
+    -save "$workdir/prog.json" > /dev/null
+
+echo "== generating a batch corpus =="
+mkdir "$workdir/corpus"
+i=0
+for name in Bistro Windsor Wishbone Panton Bertoia Barcelona Wassily Eames \
+            Tolix Cesca Acapulco Tulip; do
+    i=$((i + 1))
+    printf 'inventory\nChair: %s (price: $%d.50)\n' "$name" $((i * 10 + 30)) \
+        > "$workdir/corpus/doc$(printf '%02d' $i).txt"
+done
+
+echo "== fault-free baseline run =="
+"$workdir/flashextract" batch -load "$workdir/prog.json" -type text \
+    -ordered -workers 3 -out "$workdir/baseline.ndjson" \
+    "$workdir/corpus/"'*.txt' 2> "$workdir/baseline.log"
+
+total_retries=0
+for seed in 1 2 3; do
+    echo "== chaos run: seed=$seed =="
+    "$workdir/flashextract" batch -load "$workdir/prog.json" -type text \
+        -ordered -workers 3 -chaos "seed=$seed" \
+        -out "$workdir/chaos$seed.ndjson" \
+        "$workdir/corpus/"'*.txt' 2> "$workdir/chaos$seed.log"
+
+    if ! diff -u "$workdir/baseline.ndjson" "$workdir/chaos$seed.ndjson"; then
+        echo "FAIL: seed=$seed output diverges from the fault-free run"
+        cat "$workdir/chaos$seed.log"
+        exit 1
+    fi
+
+    report=$(grep '"schema":"flashextract-chaos/v1"' "$workdir/chaos$seed.log" | tail -n 1)
+    [ -n "$report" ] || { echo "FAIL: seed=$seed emitted no chaos report"; cat "$workdir/chaos$seed.log"; exit 1; }
+    echo "$report"
+    echo "$report" | grep -q "\"seed\":$seed," \
+        || { echo "FAIL: report does not carry seed=$seed"; exit 1; }
+    echo "$report" | grep -q '"errors":0,' \
+        || { echo "FAIL: seed=$seed produced error records under transient-only chaos"; exit 1; }
+    retries=$(echo "$report" | sed -n 's/.*"retries":\([0-9]*\).*/\1/p')
+    total_retries=$((total_retries + retries))
+done
+
+if [ "$total_retries" -eq 0 ]; then
+    echo "FAIL: no seed exercised the retry path; the differential proved nothing"
+    exit 1
+fi
+echo "== $total_retries retried reads recovered across seeds =="
+
+echo "== chaos + admin: drain, conservation, and goroutine-leak self-check =="
+"$workdir/flashextract" batch -load "$workdir/prog.json" -type text \
+    -admin "127.0.0.1:$admin_port" -ordered -chaos "seed=1" \
+    -out "$workdir/chaos-admin.ndjson" \
+    "$workdir/corpus/"'*.txt' 2> "$workdir/chaos-admin.log" &
+pid=$!
+
+base="http://127.0.0.1:$admin_port"
+for _ in $(seq 1 100); do
+    if curl -sf "$base/healthz" > /dev/null 2>&1; then
+        curl -sf "$base/healthz" | grep -q '"status": "done"' && break
+    fi
+    kill -0 "$pid" 2>/dev/null || { echo "batch exited early"; cat "$workdir/chaos-admin.log"; exit 1; }
+    sleep 0.1
+done
+
+# The admin.write site is not armed by a bare seed, but /healthz must
+# still serve the conservation counters of the drained run.
+health=$(curl -sf "$base/healthz")
+echo "$health"
+submitted=$(echo "$health" | sed -n 's/.*"submitted": *\([0-9]*\).*/\1/p')
+processed=$(echo "$health" | sed -n 's/.*"processed": *\([0-9]*\).*/\1/p')
+inflight=$(echo "$health" | sed -n 's/.*"in_flight": *\([0-9]*\).*/\1/p')
+if [ "$submitted" != "$processed" ] || [ "$inflight" != "0" ]; then
+    echo "FAIL: counter conservation violated: submitted=$submitted processed=$processed in_flight=$inflight"
+    exit 1
+fi
+
+kill -INT "$pid"
+if ! wait "$pid"; then
+    echo "FAIL: chaos batch exited nonzero after SIGINT (goroutine leak or unclean drain)"
+    cat "$workdir/chaos-admin.log"
+    exit 1
+fi
+pid=""
+
+if ! diff -u "$workdir/baseline.ndjson" "$workdir/chaos-admin.ndjson"; then
+    echo "FAIL: admin-mode chaos output diverges from the fault-free run"
+    exit 1
+fi
+
+echo "chaos smoke: OK"
