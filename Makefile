@@ -4,7 +4,7 @@ GO ?= go
 # run fast and deterministic in duration; use a duration for real fuzzing).
 FUZZTIME ?= 40x
 
-.PHONY: all build vet test race check bench bench-synth bench-batch fuzz-smoke trace-smoke chaos-smoke trace
+.PHONY: all build vet test race check bench bench-synth bench-batch fuzz-smoke trace-smoke chaos-smoke shard-smoke trace
 
 all: check
 
@@ -31,6 +31,7 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzHTMLParse -fuzztime $(FUZZTIME) ./internal/htmldom
 	$(GO) test -run NONE -fuzz FuzzFromCSV -fuzztime $(FUZZTIME) ./internal/sheet
 	$(GO) test -run NONE -fuzz FuzzGridRoundTrip -fuzztime $(FUZZTIME) ./internal/sheet
+	$(GO) test -run NONE -fuzz FuzzPrefilterSound -fuzztime $(FUZZTIME) ./internal/prefilter
 
 # check is what CI runs: compile everything, vet, and the race-enabled
 # test suite (which subsumes the plain one).
@@ -60,6 +61,12 @@ trace-smoke:
 # conservation counters intact, and no goroutine leaks.
 chaos-smoke:
 	./scripts/chaos_smoke.sh
+
+# shard-smoke runs the hash-range sharding differential end to end under
+# the race detector: three `-shard k/3` runs must partition the corpus
+# with no gap or overlap and union byte-for-byte to the unsharded output.
+shard-smoke:
+	./scripts/shard_smoke.sh
 
 # trace writes the Perfetto-loadable synthesis trace of the largest corpus
 # document to trace.json (load it at https://ui.perfetto.dev).

@@ -16,7 +16,11 @@ import (
 )
 
 // batchReport is the machine-readable envelope of -batch-json mode; the
-// schema (flashextract-batch-metrics/v1) is documented in EXPERIMENTS.md.
+// schema (flashextract-batch-metrics/v2) is documented in EXPERIMENTS.md.
+// v2 replaced v1 when the run-path prefilter landed: the corpus gained
+// synthetic non-matching padding and duplicated blobs, runs carry their
+// prefilter/dedup configuration and skip counters, and each domain
+// reports the skip rate and the prefilter's throughput gain.
 type batchReport struct {
 	Schema    string           `json:"schema"`
 	GoMaxProc int              `json:"gomaxprocs"`
@@ -25,35 +29,69 @@ type batchReport struct {
 	Metrics   metrics.Snapshot `json:"metrics"`
 }
 
-// batchDomain reports one domain's throughput runs: a program learned on
-// the trainer task is replayed over every corpus document of the domain
-// (amplified to give the pool real work), serially and in parallel.
-type batchDomain struct {
-	Domain  string     `json:"domain"`
-	Trainer string     `json:"trainer"`
-	Docs    int        `json:"docs"`
-	Runs    []batchRun `json:"runs"`
-	// IdenticalOutput reports whether the parallel ordered output was
-	// byte-identical to the serial one — the determinism guarantee.
-	IdenticalOutput bool `json:"identical_output"`
+// batchCorpus is the composition of one domain's benchmark corpus.
+type batchCorpus struct {
+	// Real is the number of (amplified) corpus task documents.
+	Real int `json:"real"`
+	// Padding is the number of synthetic non-matching documents.
+	Padding int `json:"padding"`
+	// Duplicates is the number of extra copies of one real document.
+	Duplicates int `json:"duplicates"`
+	// Total is the full corpus size handed to each run.
+	Total int `json:"total"`
 }
 
-// batchRun is one worker-count configuration, best/mean over reps.
+// batchDomain reports one domain's throughput runs: a program learned on
+// the trainer task is replayed over the domain's padded corpus under each
+// run configuration.
+type batchDomain struct {
+	Domain  string      `json:"domain"`
+	Trainer string      `json:"trainer"`
+	Corpus  batchCorpus `json:"corpus"`
+	Runs    []batchRun  `json:"runs"`
+	// IdenticalOutput reports whether every configuration's ordered output
+	// was byte-identical — the determinism and prefilter/dedup soundness
+	// guarantee in one bit.
+	IdenticalOutput bool `json:"identical_output"`
+	// SkipRate is the admission test's rejection count relative to the
+	// synthetic padding count. Real corpus documents the program matches
+	// nothing in are also rejected, so the rate can slightly exceed 1;
+	// a value ≥ 0.8 means at least 80% of the non-matching padding was
+	// skipped (the batch test suite asserts the padding-only bound
+	// directly).
+	SkipRate float64 `json:"skip_rate"`
+	// ThroughputGain is best prefiltered throughput over best unfiltered
+	// throughput at the same worker count.
+	ThroughputGain float64 `json:"throughput_gain"`
+}
+
+// batchRun is one configuration (worker count × prefilter × dedup),
+// best/mean over reps.
 type batchRun struct {
-	Workers     int     `json:"workers"`
-	BestNs      int64   `json:"best_ns"`
-	MeanNs      int64   `json:"mean_ns"`
-	DocsPerSec  float64 `json:"docs_per_sec"`
-	Errors      int     `json:"errors"`
-	OutputBytes int     `json:"output_bytes"`
+	Workers          int     `json:"workers"`
+	Prefilter        bool    `json:"prefilter"`
+	Dedup            bool    `json:"dedup"`
+	BestNs           int64   `json:"best_ns"`
+	MeanNs           int64   `json:"mean_ns"`
+	DocsPerSec       float64 `json:"docs_per_sec"`
+	Errors           int     `json:"errors"`
+	OutputBytes      int     `json:"output_bytes"`
+	PrefilterSkipped int     `json:"prefilter_skipped"`
+	DedupHits        int     `json:"dedup_hits"`
 }
 
 // corpusAmplification repeats each domain's documents so a batch run has
 // enough work to measure pool throughput on small corpus files.
 const corpusAmplification = 8
 
-// runBatchBench measures batch-runtime throughput per domain and writes
-// the report as JSON (the data behind BENCH_batch.json).
+// paddingFactor sizes the synthetic non-matching padding relative to the
+// real documents: the web-scale regime where most of the corpus is noise
+// and admission filtering pays.
+const paddingFactor = 8
+
+// runBatchBench measures batch-runtime throughput per domain over a
+// padded, duplicated corpus and writes the report as JSON (the data
+// behind BENCH_batch.json).
 func runBatchBench(tasks []*bench.Task, reps, workers int, path string) {
 	if reps < 1 {
 		reps = 1
@@ -63,13 +101,13 @@ func runBatchBench(tasks []*bench.Task, reps, workers int, path string) {
 	}
 	reg := metrics.NewRegistry()
 	report := batchReport{
-		Schema:    "flashextract-batch-metrics/v1",
+		Schema:    "flashextract-batch-metrics/v2",
 		GoMaxProc: runtime.GOMAXPROCS(0),
 		Reps:      reps,
 	}
 
 	trainers := map[string]*bench.Task{}
-	sources := map[string][]batch.Source{}
+	real := map[string][]batch.Source{}
 	var order []string
 	for _, task := range tasks {
 		if task.Source == "" {
@@ -81,7 +119,7 @@ func runBatchBench(tasks []*bench.Task, reps, workers int, path string) {
 			order = append(order, task.Domain)
 		}
 		for rep := 0; rep < corpusAmplification; rep++ {
-			sources[task.Domain] = append(sources[task.Domain],
+			real[task.Domain] = append(real[task.Domain],
 				batch.StringSource(fmt.Sprintf("%s#%d", task.Name, rep), task.Source))
 		}
 	}
@@ -93,13 +131,25 @@ func runBatchBench(tasks []*bench.Task, reps, workers int, path string) {
 			fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
 			os.Exit(1)
 		}
-		dom := batchDomain{Domain: domain, Trainer: trainer.Name, Docs: len(sources[domain])}
-		var serial, parallel string
-		for _, w := range []int{1, workers} {
-			run := batchRun{Workers: w}
+		sources, corpusInfo := padCorpus(domain, trainer, real[domain])
+		dom := batchDomain{Domain: domain, Trainer: trainer.Name, Corpus: corpusInfo}
+
+		configs := []runConfig{
+			{1, false, false},
+			{workers, false, false},
+			{workers, true, false},
+			{workers, true, true},
+		}
+		dom.IdenticalOutput = true
+		var refOut string
+		var offBest, onBest int64
+		for i, c := range configs {
+			run := batchRun{Workers: c.workers, Prefilter: c.prefilter, Dedup: c.dedup}
 			var total int64
+			var out string
 			for rep := 0; rep < reps; rep++ {
-				out, sum := timeBatch(prog, domain, w, sources[domain], reg)
+				var sum batch.Summary
+				out, sum = timeBatch(prog, domain, c, sources, reg)
 				ns := sum.Elapsed.Nanoseconds()
 				total += ns
 				if run.BestNs == 0 || ns < run.BestNs {
@@ -107,23 +157,38 @@ func runBatchBench(tasks []*bench.Task, reps, workers int, path string) {
 				}
 				run.Errors = sum.Errors
 				run.OutputBytes = len(out)
-				if w == 1 {
-					serial = out
-				} else {
-					parallel = out
-				}
+				run.PrefilterSkipped = sum.PrefilterSkipped
+				run.DedupHits = sum.DedupHits
 			}
 			run.MeanNs = total / int64(reps)
 			if run.BestNs > 0 {
-				run.DocsPerSec = float64(dom.Docs) / (float64(run.BestNs) / float64(time.Second))
+				run.DocsPerSec = float64(corpusInfo.Total) / (float64(run.BestNs) / float64(time.Second))
+			}
+			if i == 0 {
+				refOut = out
+			} else if out != refOut {
+				dom.IdenticalOutput = false
+			}
+			if c.workers == workers && !c.dedup {
+				if c.prefilter {
+					onBest = run.BestNs
+				} else {
+					offBest = run.BestNs
+				}
+			}
+			if c.prefilter && corpusInfo.Padding > 0 {
+				dom.SkipRate = float64(run.PrefilterSkipped) / float64(corpusInfo.Padding)
 			}
 			dom.Runs = append(dom.Runs, run)
-			fmt.Fprintf(os.Stderr, "%-6s workers=%d  docs=%d errors=%d  best %12d ns  %8.0f docs/s\n",
-				domain, w, dom.Docs, run.Errors, run.BestNs, run.DocsPerSec)
+			fmt.Fprintf(os.Stderr, "%-6s workers=%d prefilter=%-5v dedup=%-5v docs=%d errors=%d skipped=%d dedup_hits=%d  best %12d ns  %8.0f docs/s\n",
+				domain, c.workers, c.prefilter, c.dedup, corpusInfo.Total, run.Errors,
+				run.PrefilterSkipped, run.DedupHits, run.BestNs, run.DocsPerSec)
 		}
-		dom.IdenticalOutput = serial == parallel
+		if onBest > 0 {
+			dom.ThroughputGain = float64(offBest) / float64(onBest)
+		}
 		if !dom.IdenticalOutput {
-			fmt.Fprintf(os.Stderr, "flashbench: %s: parallel output differs from serial\n", domain)
+			fmt.Fprintf(os.Stderr, "flashbench: %s: run outputs differ across configurations\n", domain)
 			os.Exit(1)
 		}
 		report.Domains = append(report.Domains, dom)
@@ -146,14 +211,39 @@ func runBatchBench(tasks []*bench.Task, reps, workers int, path string) {
 	}
 }
 
+// padCorpus builds a domain's benchmark corpus: the amplified real
+// documents, paddingFactor times as much synthetic non-matching padding,
+// and one real blob duplicated as many times as there are real documents.
+func padCorpus(domain string, trainer *bench.Task, real []batch.Source) ([]batch.Source, batchCorpus) {
+	info := batchCorpus{Real: len(real)}
+	sources := append([]batch.Source{}, real...)
+	for _, pad := range bench.PaddingDocs(domain, paddingFactor*len(real), 2026) {
+		sources = append(sources, batch.StringSource(pad.Name, pad.Content))
+		info.Padding++
+	}
+	for _, dup := range bench.DuplicateDocs(trainer.Name, trainer.Source, len(real)) {
+		sources = append(sources, batch.StringSource(dup.Name, dup.Content))
+		info.Duplicates++
+	}
+	info.Total = len(sources)
+	return sources, info
+}
+
+// runConfig is one measured batch configuration.
+type runConfig struct {
+	workers          int
+	prefilter, dedup bool
+}
+
 // timeBatch runs one ordered batch and returns its output and summary.
-func timeBatch(prog []byte, domain string, workers int, sources []batch.Source, sink metrics.Sink) (string, batch.Summary) {
+func timeBatch(prog []byte, domain string, c runConfig, sources []batch.Source, sink metrics.Sink) (string, batch.Summary) {
 	var buf bytes.Buffer
 	sum, err := batch.Run(context.Background(), batch.Options{
-		Program: prog, DocType: domain, Workers: workers, Ordered: true, Metrics: sink,
+		Program: prog, DocType: domain, Workers: c.workers, Ordered: true, Metrics: sink,
+		Prefilter: c.prefilter, Dedup: c.dedup,
 	}, sources, io.Writer(&buf))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "flashbench: batch %s workers=%d: %v\n", domain, workers, err)
+		fmt.Fprintf(os.Stderr, "flashbench: batch %s workers=%d: %v\n", domain, c.workers, err)
 		os.Exit(1)
 	}
 	return buf.String(), sum

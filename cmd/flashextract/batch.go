@@ -16,6 +16,7 @@ import (
 	"flashextract"
 	"flashextract/internal/admin"
 	"flashextract/internal/batch"
+	"flashextract/internal/docstore"
 	"flashextract/internal/faults"
 	"flashextract/internal/logx"
 	"flashextract/internal/metrics"
@@ -59,6 +60,10 @@ type batchConfig struct {
 	logJSON   bool
 	chaos     string
 	selfCheck bool
+	prefilter bool
+	dedup     bool
+	resume    string
+	shard     string
 	globs     []string
 }
 
@@ -81,6 +86,10 @@ func parseBatchFlags(args []string) (batchConfig, error) {
 	fs.BoolVar(&cfg.logJSON, "log-json", false, "emit structured logs as JSON instead of text")
 	fs.StringVar(&cfg.chaos, "chaos", "", "arm deterministic fault injection: seed=N[,rate=F][,failures=K][,delay=D][,sites=a;b;c] ("+faults.EnvVar+" env var is the fallback)")
 	fs.BoolVar(&cfg.selfCheck, "selfcheck", false, "verify instance well-formedness invariants per document (implied by -chaos)")
+	fs.BoolVar(&cfg.prefilter, "prefilter", false, "statically analyze the program and skip documents that provably yield zero matches")
+	fs.BoolVar(&cfg.dedup, "dedup", false, "extract documents with identical content once and replay the result for duplicates")
+	fs.StringVar(&cfg.resume, "resume", "", "digest→outcome manifest path: replay outcomes from an earlier run and journal this one's (resumable batches)")
+	fs.StringVar(&cfg.shard, "shard", "", "own only the k-th of n hash-range shards of the corpus, as \"k/n\" (shards' outputs union to the full run)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -133,6 +142,10 @@ func runBatch(args []string, stdout io.Writer) error {
 	defer stop()
 	ctx = logx.Into(ctx, logger)
 
+	shard, err := docstore.ParseShard(cfg.shard)
+	if err != nil {
+		return err
+	}
 	opts := flashextract.BatchOptions{
 		Program:    artifact,
 		DocType:    cfg.docType,
@@ -140,6 +153,11 @@ func runBatch(args []string, stdout io.Writer) error {
 		DocTimeout: cfg.timeout,
 		Ordered:    cfg.ordered,
 		SelfCheck:  cfg.selfCheck,
+		Prefilter:  cfg.prefilter,
+		Dedup:      cfg.dedup,
+		Resume:     cfg.resume,
+		ShardIndex: shard.K,
+		ShardCount: shard.N,
 	}
 
 	// Chaos mode: the -chaos spec (or the env var when the flag is empty)
@@ -186,6 +204,10 @@ func runBatch(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(os.Stderr, "flashextract batch: %d docs, %d errors, %d skipped, %d retries in %s\n",
 		sum.Docs, sum.Errors, sum.Skipped, sum.Retries, sum.Elapsed.Round(time.Millisecond))
+	if sum.PrefilterSkipped > 0 || sum.DedupHits > 0 || sum.ResumeHits > 0 || sum.ShardDropped > 0 {
+		fmt.Fprintf(os.Stderr, "flashextract batch: %d prefilter-skipped, %d dedup hits, %d resume hits, %d shard-dropped\n",
+			sum.PrefilterSkipped, sum.DedupHits, sum.ResumeHits, sum.ShardDropped)
+	}
 	if inj != nil {
 		if err := writeChaosReport(os.Stderr, inj, sum); err != nil {
 			return err

@@ -31,11 +31,13 @@ import (
 	"time"
 
 	"flashextract/internal/core"
+	"flashextract/internal/docstore"
 	"flashextract/internal/engine"
 	"flashextract/internal/export"
 	"flashextract/internal/faults"
 	"flashextract/internal/logx"
 	"flashextract/internal/metrics"
+	"flashextract/internal/prefilter"
 	"flashextract/internal/sheet"
 	"flashextract/internal/sheetlang"
 	"flashextract/internal/textlang"
@@ -101,6 +103,28 @@ type Options struct {
 	// instance (engine.CheckInstance) before its record is emitted as ok;
 	// a violation becomes a structured "invariant" error record.
 	SelfCheck bool
+	// Prefilter enables the static admission test: the program is analyzed
+	// once for a conservative condition every matching document must meet,
+	// and documents failing it short-circuit to the (precomputed) zero-match
+	// record without parsing or building an evaluation cache. Sound by
+	// construction — the output stream is byte-identical with or without it.
+	Prefilter bool
+	// Dedup enables the content-addressed store: documents with identical
+	// raw bytes are extracted once per run and the result replayed for the
+	// duplicates (outcomes that are a pure function of content only).
+	Dedup bool
+	// Resume is the path of a digest→outcome manifest (NDJSON). When set,
+	// outcomes recorded by an earlier run are replayed instead of
+	// re-extracted, and this run's deterministic outcomes are appended —
+	// making interrupted batches resumable. Resume assumes the same program
+	// and options as the run that wrote the manifest.
+	Resume string
+	// ShardIndex/ShardCount select the 1-based hash-range shard of the
+	// corpus this run owns (k of n); documents outside it produce no
+	// record, so n shards' outputs union to the unsharded run. 0/0 (the
+	// zero values) disable sharding.
+	ShardIndex int
+	ShardCount int
 }
 
 // The failure kinds of a Record, so downstream consumers can distinguish
@@ -149,6 +173,15 @@ type Record struct {
 	// retries is the number of extra read attempts this document consumed,
 	// aggregated into Summary.Retries (not part of the NDJSON record).
 	retries int
+	// drop marks a document outside this run's shard: it flows through the
+	// ordered-emission plumbing (keeping the pending map gap-free) but is
+	// never written and counts only toward Summary.ShardDropped.
+	drop bool
+	// skippedByFilter / dedupHit / resumeHit tag how a shortcut produced
+	// this record, for the run's counters and trace attributes.
+	skippedByFilter bool
+	dedupHit        bool
+	resumeHit       bool
 }
 
 // Summary aggregates one batch run.
@@ -165,6 +198,19 @@ type Summary struct {
 	// Retries is the number of retried document-read attempts across the
 	// run (attempts beyond each document's first).
 	Retries int
+	// PrefilterSkipped is the number of documents rejected by the static
+	// admission test, whose zero-match records were emitted without
+	// parsing or running the program.
+	PrefilterSkipped int
+	// DedupHits is the number of documents replayed from an identical blob
+	// extracted earlier in this run.
+	DedupHits int
+	// ResumeHits is the number of documents replayed from the resume
+	// manifest of an earlier run.
+	ResumeHits int
+	// ShardDropped is the number of documents outside this run's
+	// hash-range shard (no record emitted).
+	ShardDropped int
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 }
@@ -188,9 +234,40 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 		return Summary{}, err
 	}
 	// Validate the artifact once up front so a corrupt program fails the
-	// batch immediately instead of once per document.
-	if _, err := engine.LoadSchemaProgram(opts.Program, lang); err != nil {
+	// batch immediately instead of once per document; the instance also
+	// feeds the static prefilter analysis below (it is never run).
+	prog0, err := engine.LoadSchemaProgram(opts.Program, lang)
+	if err != nil {
 		return Summary{}, err
+	}
+	env := &runEnv{shard: docstore.Shard{K: opts.ShardIndex, N: opts.ShardCount}}
+	if err := env.shard.Validate(); err != nil {
+		return Summary{}, err
+	}
+	if opts.Prefilter {
+		f, err := prefilter.FromSchemaProgram(prog0, opts.DocType)
+		if err != nil {
+			return Summary{}, err
+		}
+		// A non-selective filter admits everything; skip the per-document
+		// admission probe entirely rather than paying it for nothing.
+		if f.Selective() {
+			empty, err := emptyOutcome(prog0, opts.DocType, opts.SelfCheck)
+			if err != nil {
+				return Summary{}, err
+			}
+			env.filter, env.empty = f, empty
+		}
+	}
+	if opts.Dedup {
+		env.store = docstore.NewStore()
+	}
+	if opts.Resume != "" {
+		m, err := docstore.OpenManifest(opts.Resume)
+		if err != nil {
+			return Summary{}, err
+		}
+		env.manifest = m
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -250,7 +327,7 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 					mon.docStarted()
 					mon.docFinished(false, nil)
 				} else {
-					rec = processDoc(ctx, prog, opts, j, sink)
+					rec = processDoc(ctx, prog, opts, env, j, sink)
 				}
 				results <- rec
 			}
@@ -264,11 +341,24 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 	sum := Summary{}
 	var writeErr error
 	emit := func(rec Record) {
+		sum.Retries += rec.retries
+		if rec.drop {
+			sum.ShardDropped++
+			return
+		}
 		sum.Docs++
 		if !rec.OK {
 			sum.Errors++
 		}
-		sum.Retries += rec.retries
+		if rec.skippedByFilter {
+			sum.PrefilterSkipped++
+		}
+		if rec.dedupHit {
+			sum.DedupHits++
+		}
+		if rec.resumeHit {
+			sum.ResumeHits++
+		}
 		if writeErr != nil {
 			return
 		}
@@ -296,24 +386,55 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 			emit(r)
 		}
 	}
-	sum.Skipped = len(sources) - sum.Docs
+	sum.Skipped = len(sources) - sum.Docs - sum.ShardDropped
 	sum.Cancelled = ctx.Err() != nil
 	sum.Elapsed = time.Since(start)
 	// Counter conservation: every dispatched document produced exactly one
-	// record, and the monitor agrees (processed == submitted, nothing left
-	// in flight). A violation is a runtime bug, not a document failure, so
-	// it fails the run.
-	if sum.Docs != submitted {
+	// record or one shard drop, and the monitor agrees (processed ==
+	// submitted, nothing left in flight). A violation is a runtime bug, not
+	// a document failure, so it fails the run.
+	if sum.Docs+sum.ShardDropped != submitted {
 		if writeErr == nil {
-			writeErr = fmt.Errorf("batch: conservation violated: %d records for %d dispatched documents", sum.Docs, submitted)
+			writeErr = fmt.Errorf("batch: conservation violated: %d records for %d dispatched documents", sum.Docs+sum.ShardDropped, submitted)
 		}
 	} else if err := mon.ConservationError(); err != nil && writeErr == nil {
 		writeErr = err
 	}
+	// The resume manifest's durability matters to the next run, so a failed
+	// append or close fails this one.
+	if env.manifest != nil {
+		if cerr := env.manifest.Close(); cerr != nil && writeErr == nil {
+			writeErr = cerr
+		}
+	}
 	log.Info("batch run finished", "docs", sum.Docs, "errors", sum.Errors,
 		"skipped", sum.Skipped, "cancelled", sum.Cancelled, "retries", sum.Retries,
+		"prefilter_skipped", sum.PrefilterSkipped, "dedup_hits", sum.DedupHits,
+		"resume_hits", sum.ResumeHits, "shard_dropped", sum.ShardDropped,
 		"elapsed", sum.Elapsed)
 	return sum, writeErr
+}
+
+// runEnv is the per-run machinery of the prefilter and docstore layers,
+// shared read-mostly across the worker pool.
+type runEnv struct {
+	// filter is the static admission test (nil = prefiltering off or the
+	// analysis produced a condition that admits everything).
+	filter *prefilter.Filter
+	// empty is the precomputed outcome of a zero-match document — what the
+	// full path provably produces for any document the filter rejects.
+	empty *docstore.Outcome
+	// store is the in-run content-addressed singleflight index (nil = off).
+	store *docstore.Store
+	// manifest is the cross-run resume journal (nil = off).
+	manifest *docstore.Manifest
+	// shard is this run's hash-range partition (zero value = everything).
+	shard docstore.Shard
+}
+
+// needsDigest reports whether any enabled layer keys off document content.
+func (e *runEnv) needsDigest() bool {
+	return e.store != nil || e.manifest != nil || e.shard.Enabled()
 }
 
 // processDoc runs the program over one document, converting every failure
@@ -323,7 +444,7 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 // root span (with the full execution tree beneath it) lands in the
 // Monitor's ring — per-document tracers keep concurrent documents' trees
 // disjoint without any cross-worker synchronization on the hot path.
-func processDoc(ctx context.Context, prog *engine.SchemaProgram, opts Options, j job, sink metrics.Sink) (rec Record) {
+func processDoc(ctx context.Context, prog *engine.SchemaProgram, opts Options, env *runEnv, j job, sink metrics.Sink) (rec Record) {
 	start := time.Now()
 	rec = Record{Doc: j.src.Name, Index: j.index}
 	var root *trace.Span
@@ -339,9 +460,34 @@ func processDoc(ctx context.Context, prog *engine.SchemaProgram, opts Options, j
 			rec.Kind = KindPanic
 			rec.Error = fmt.Sprintf("panic: %v", r)
 		}
+		if rec.drop {
+			// Outside this run's shard: no record, no error accounting —
+			// only the drop counter and the monitor's conservation pair.
+			sink.Count(metrics.BatchShardDropped, 1)
+			opts.Monitor.addShardDropped(1)
+			root.SetBool("shard_dropped", true)
+			root.End()
+			opts.Monitor.docFinished(true, root)
+			return
+		}
 		sink.Count(metrics.BatchDocs, 1)
 		if !rec.OK {
 			sink.Count(metrics.BatchErrors, 1)
+		}
+		if rec.skippedByFilter {
+			sink.Count(metrics.BatchPrefilterSkipped, 1)
+			opts.Monitor.addPrefilterSkipped(1)
+			root.SetBool("prefilter_skipped", true)
+		}
+		if rec.dedupHit {
+			sink.Count(metrics.BatchDedupHits, 1)
+			opts.Monitor.addDedupHits(1)
+			root.SetBool("dedup_replayed", true)
+		}
+		if rec.resumeHit {
+			sink.Count(metrics.BatchResumeHits, 1)
+			opts.Monitor.addResumeHits(1)
+			root.SetBool("resume_replayed", true)
 		}
 		sink.Observe(metrics.BatchDocSeconds, time.Since(start).Seconds())
 		root.SetBool("ok", rec.OK)
@@ -400,8 +546,76 @@ func processDoc(ctx context.Context, prog *engine.SchemaProgram, opts Options, j
 		return rec
 	}
 	// Chaos site: corrupt the raw bytes before substrate parsing, turning
-	// this document into a structured parse failure.
+	// this document into a structured parse failure. Hashing happens after
+	// corruption, so the content address names the bytes that will actually
+	// be extracted.
 	data = inj.Corrupt(faults.SiteDocParse, j.src.Name, data)
+	if env.needsDigest() {
+		dg := docstore.Hash(data)
+		// Sharding first: a document outside this run's range must produce
+		// no record at all — regardless of the prefilter — so the n shards'
+		// outputs union exactly to the unsharded run.
+		if !env.shard.Owns(dg) {
+			rec.drop = true
+			return rec
+		}
+		// Resume: replay the persisted outcome of an earlier run.
+		if env.manifest != nil {
+			if oc, ok := env.manifest.Lookup(dg); ok {
+				rec.resumeHit = true
+				applyOutcome(ctx, inj, j.src.Name, &rec, oc)
+				return rec
+			}
+		}
+		if env.store != nil {
+			done, leader := env.store.Begin(dg)
+			if leader {
+				// Publish this document's outcome for in-run duplicates and
+				// the resume manifest. Registered after the recover defer, so
+				// on a panic it runs first and sees the pre-recover record
+				// ({OK:false, Kind:""}), which shareableOutcome maps to nil —
+				// panics are never replayed.
+				defer func() {
+					oc := shareableOutcome(rec)
+					env.store.Complete(dg, oc)
+					if env.manifest != nil && oc != nil {
+						env.manifest.Append(dg, oc)
+					}
+				}()
+			} else {
+				select {
+				case <-done:
+					if oc := env.store.Outcome(dg); oc != nil {
+						rec.dedupHit = true
+						applyOutcome(ctx, inj, j.src.Name, &rec, oc)
+						return rec
+					}
+					// The leader's outcome was not replayable (cancelled,
+					// budget-tripped, panicked): compute our own below.
+				case <-ctx.Done():
+					// Don't block a draining run on the leader; fall through —
+					// the full path resolves quickly under a cancelled context.
+				}
+			}
+		} else if env.manifest != nil {
+			// Resume without dedup: still journal this outcome.
+			defer func() {
+				if oc := shareableOutcome(rec); oc != nil {
+					env.manifest.Append(dg, oc)
+				}
+			}()
+		}
+	}
+	// Static admission: a document failing the program's conservative
+	// prefilter condition provably yields zero matches, so the precomputed
+	// zero-match outcome stands in for the whole parse-and-run pipeline.
+	// (Admit returns true for documents its substrate scanner rejects, so
+	// parse errors always surface through the full path below.)
+	if env.filter != nil && !env.filter.Admit(string(data)) {
+		rec.skippedByFilter = true
+		applyOutcome(ctx, inj, j.src.Name, &rec, env.empty)
+		return rec
+	}
 	doc, err := newDocument(opts.DocType, string(data))
 	if err != nil {
 		rec.Kind = KindParse
@@ -448,6 +662,83 @@ func processDoc(ctx context.Context, prog *engine.SchemaProgram, opts Options, j
 	rec.OK = true
 	rec.Data = raw
 	return rec
+}
+
+// applyOutcome copies a replayed (or precomputed) outcome into the record,
+// first mirroring the chaos and cancellation checkpoints the full path
+// would have hit for this document name, so shortcut paths stay
+// byte-identical to full runs under fault injection. A parse outcome
+// replays as-is: the full path fails at parse before reaching the
+// cache-evict and budget sites, so they must not be consumed here either.
+func applyOutcome(ctx context.Context, inj *faults.Injector, name string, rec *Record, oc *docstore.Outcome) {
+	if oc.Kind != KindParse {
+		// Parity with the full path's cache-eviction site: there is no cache
+		// to evict on a shortcut, but the injector decision is still drawn.
+		inj.Hit(faults.SiteCacheEvict, name)
+		budget := inj.Hit(faults.SiteBudget, "run:"+name)
+		if err := ctx.Err(); err != nil {
+			rec.Kind = KindCancelled
+			rec.Error = err.Error()
+			return
+		}
+		if budget {
+			rec.Kind = KindBudget
+			rec.Error = fmt.Sprintf("engine: run budget exhausted: %s", core.ReasonInjected)
+			return
+		}
+	}
+	rec.OK = oc.OK
+	rec.Kind = oc.Kind
+	rec.Data = oc.Data
+	rec.Error = oc.Error
+}
+
+// shareableOutcome extracts the replayable part of a record: exactly the
+// outcomes that are a pure function of document content. Per-attempt
+// failures — reads, cancellation, budget trips, panics — return nil and are
+// recomputed by every holder of the same bytes.
+func shareableOutcome(rec Record) *docstore.Outcome {
+	if rec.OK && rec.Kind == "" {
+		return &docstore.Outcome{OK: true, Data: rec.Data}
+	}
+	switch rec.Kind {
+	case KindParse, KindRun, KindRender, KindInvariant:
+		return &docstore.Outcome{Kind: rec.Kind, Error: rec.Error}
+	}
+	return nil
+}
+
+// emptyOutcome precomputes the record a zero-match document produces, by
+// replaying SchemaProgram.RunContext's post-extraction pipeline on the
+// empty highlighting: consistency check, Fill, the optional instance
+// self-check, and JSON rendering. Every step's output is independent of
+// the document when the highlighting is empty (Fill and CheckInstance use
+// the whole-region only through the regions of the instance, of which
+// there are none), so one outcome stands in for every rejected document.
+func emptyOutcome(prog *engine.SchemaProgram, docType string, selfCheck bool) (*docstore.Outcome, error) {
+	cr := engine.Highlighting{}
+	for _, fi := range prog.Schema.Fields() {
+		cr.Add(fi.Color())
+	}
+	if err := cr.ConsistentWith(prog.Schema); err != nil {
+		return &docstore.Outcome{Kind: KindRun,
+			Error: fmt.Sprintf("engine: extraction result inconsistent with schema: %s", err)}, nil
+	}
+	probe, err := newDocument(docType, "")
+	if err != nil {
+		return nil, err
+	}
+	inst := engine.Fill(prog.Schema, cr, probe.WholeRegion())
+	if selfCheck {
+		if err := engine.CheckInstance(prog.Schema, inst, probe.WholeRegion()); err != nil {
+			return &docstore.Outcome{Kind: KindInvariant, Error: err.Error()}, nil
+		}
+	}
+	raw, err := export.JSONValue(inst)
+	if err != nil {
+		return &docstore.Outcome{Kind: KindRender, Error: err.Error()}, nil
+	}
+	return &docstore.Outcome{OK: true, Data: raw}, nil
 }
 
 // retryableRead reports whether a document-read failure is worth retrying:

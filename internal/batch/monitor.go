@@ -23,14 +23,18 @@ const DefaultTraceRing = 32
 // the admin server. A nil *Monitor is a valid no-op receiver throughout,
 // so the batch hot path carries no conditionals at call sites.
 type Monitor struct {
-	workersAlive atomic.Int64
-	submitted    atomic.Int64
-	inFlight     atomic.Int64
-	processed    atomic.Int64
-	failed       atomic.Int64
-	retries      atomic.Int64
-	started      atomic.Int64 // unix nanos of Run start; 0 = not started
-	finished     atomic.Int64 // unix nanos of Run end; 0 = still running
+	workersAlive     atomic.Int64
+	submitted        atomic.Int64
+	inFlight         atomic.Int64
+	processed        atomic.Int64
+	failed           atomic.Int64
+	retries          atomic.Int64
+	prefilterSkipped atomic.Int64
+	dedupHits        atomic.Int64
+	resumeHits       atomic.Int64
+	shardDropped     atomic.Int64
+	started          atomic.Int64 // unix nanos of Run start; 0 = not started
+	finished         atomic.Int64 // unix nanos of Run end; 0 = still running
 
 	mu      sync.Mutex
 	ring    []*trace.Span // finished document root spans, oldest first
@@ -54,6 +58,18 @@ type Health struct {
 	Failed int64 `json:"failed"`
 	// Retries is the number of retried document-read attempts.
 	Retries int64 `json:"retries"`
+	// PrefilterSkipped is the number of documents the static admission
+	// test rejected (run short-circuited to the precomputed empty result).
+	PrefilterSkipped int64 `json:"prefilter_skipped"`
+	// DedupHits is the number of documents replayed from an identical
+	// blob already extracted in this run.
+	DedupHits int64 `json:"dedup_hits"`
+	// ResumeHits is the number of documents replayed from the resume
+	// manifest of an earlier run.
+	ResumeHits int64 `json:"resume_hits"`
+	// ShardDropped is the number of documents outside this process's
+	// hash-range shard.
+	ShardDropped int64 `json:"shard_dropped"`
 	// UptimeSeconds is the time since Run started (0 before the run).
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
@@ -124,6 +140,32 @@ func (m *Monitor) addRetries(n int64) {
 	}
 }
 
+// addPrefilterSkipped / addDedupHits / addResumeHits / addShardDropped
+// record the run-path shortcuts of the prefilter and docstore layers.
+func (m *Monitor) addPrefilterSkipped(n int64) {
+	if m != nil {
+		m.prefilterSkipped.Add(n)
+	}
+}
+
+func (m *Monitor) addDedupHits(n int64) {
+	if m != nil {
+		m.dedupHits.Add(n)
+	}
+}
+
+func (m *Monitor) addResumeHits(n int64) {
+	if m != nil {
+		m.resumeHits.Add(n)
+	}
+}
+
+func (m *Monitor) addShardDropped(n int64) {
+	if m != nil {
+		m.shardDropped.Add(n)
+	}
+}
+
 // docFinished marks one document leaving processing and records its
 // outcome and, when tracing was on, its finished root span.
 func (m *Monitor) docFinished(ok bool, root *trace.Span) {
@@ -180,12 +222,16 @@ func (m *Monitor) Health() Health {
 		return Health{Status: "idle"}
 	}
 	h := Health{
-		WorkersAlive: m.workersAlive.Load(),
-		Submitted:    m.submitted.Load(),
-		InFlight:     m.inFlight.Load(),
-		Processed:    m.processed.Load(),
-		Failed:       m.failed.Load(),
-		Retries:      m.retries.Load(),
+		WorkersAlive:     m.workersAlive.Load(),
+		Submitted:        m.submitted.Load(),
+		InFlight:         m.inFlight.Load(),
+		Processed:        m.processed.Load(),
+		Failed:           m.failed.Load(),
+		Retries:          m.retries.Load(),
+		PrefilterSkipped: m.prefilterSkipped.Load(),
+		DedupHits:        m.dedupHits.Load(),
+		ResumeHits:       m.resumeHits.Load(),
+		ShardDropped:     m.shardDropped.Load(),
 	}
 	started := m.started.Load()
 	finished := m.finished.Load()

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PaddedDoc is one synthetic corpus document: web-scale batch benchmarks
+// mix these in with the real corpus tasks to measure the run-path
+// prefilter (padding that matches nothing) and the content-addressed
+// store (duplicated blobs).
+type PaddedDoc struct {
+	// Name labels the document in batch records.
+	Name string
+	// Content is the raw document body (text, HTML, or CSV).
+	Content string
+}
+
+// paddingVocab is the word pool padding documents draw from: lowercase
+// alphabetic words only, so padding avoids the digits, punctuation, and
+// structural literals the corpus extraction programs key on.
+var paddingVocab = []string{
+	"lorem", "ipsum", "dolor", "amet", "consectetur", "adipiscing", "elit",
+	"vivamus", "fermentum", "aliquet", "sagittis", "tristique", "porta",
+	"quisque", "rhoncus", "sodales", "vestibulum", "gravida", "interdum",
+	"maecenas", "volutpat", "euismod", "pulvinar", "placerat", "suscipit",
+}
+
+// prng is a splitmix64 stream: deterministic for a seed across platforms,
+// so padded corpora are reproducible in benchmarks and CI.
+type prng struct{ state uint64 }
+
+func (p *prng) next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (p *prng) intn(n int) int { return int(p.next() % uint64(n)) }
+
+func (p *prng) word() string { return paddingVocab[p.intn(len(paddingVocab))] }
+
+// PaddingDocs generates n deterministic synthetic documents of a domain
+// ("text", "web", or "sheet") that the shipped corpus programs extract
+// nothing from: lowercase prose with no digits or structural punctuation,
+// HTML with only html/body/p tags and no attributes, and blank CSV grids.
+// They are parseable — the prefilter must reject them by analysis, not by
+// parse failure.
+func PaddingDocs(domain string, n int, seed uint64) []PaddedDoc {
+	docs := make([]PaddedDoc, 0, n)
+	for i := 0; i < n; i++ {
+		r := &prng{state: seed + uint64(i)*0x9e3779b97f4a7c15}
+		var content string
+		switch domain {
+		case "web":
+			content = paddingHTML(r)
+		case "sheet":
+			content = paddingCSV(r)
+		default:
+			content = paddingText(r)
+		}
+		docs = append(docs, PaddedDoc{
+			Name:    fmt.Sprintf("pad-%s-%04d", domain, i),
+			Content: content,
+		})
+	}
+	return docs
+}
+
+// DuplicateDocs returns copies of a document under distinct names, for
+// measuring content-addressed dedup: every copy hashes to the same digest.
+func DuplicateDocs(name, content string, copies int) []PaddedDoc {
+	docs := make([]PaddedDoc, 0, copies)
+	for i := 0; i < copies; i++ {
+		docs = append(docs, PaddedDoc{
+			Name:    fmt.Sprintf("%s-dup-%04d", name, i),
+			Content: content,
+		})
+	}
+	return docs
+}
+
+// paddingText emits ~100 lines of lowercase prose.
+func paddingText(r *prng) string {
+	var b strings.Builder
+	lines := 96 + r.intn(32)
+	for i := 0; i < lines; i++ {
+		words := 5 + r.intn(6)
+		for w := 0; w < words; w++ {
+			if w > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(r.word())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// paddingHTML emits a paragraph-only page: no attributes, no tags beyond
+// html/body/p, so any XPath step or attribute literal of a real program is
+// absent from the source. Pages are several times the size of the real
+// corpus documents — the web-scale shape where most bytes belong to
+// pages the program matches nothing in.
+func paddingHTML(r *prng) string {
+	var b strings.Builder
+	b.WriteString("<html><body>")
+	paras := 48 + r.intn(32)
+	for i := 0; i < paras; i++ {
+		b.WriteString("<p>")
+		words := 8 + r.intn(8)
+		for w := 0; w < words; w++ {
+			if w > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(r.word())
+		}
+		b.WriteString("</p>")
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+// paddingCSV emits a blank grid — empty and whitespace-only cells of
+// varying dimensions. Sheet programs select cells by content class
+// (numeric, alphabetic, non-empty), and any inked cell conservatively
+// satisfies some class, so the blank sheet is the padding a byte-level
+// admission test can reject while staying sound: it contains no digit, no
+// letter, and no non-whitespace cell at all.
+func paddingCSV(r *prng) string {
+	var b strings.Builder
+	rows := 96 + r.intn(48)
+	cols := 4 + r.intn(5)
+	for i := 0; i < rows; i++ {
+		for c := 0; c < cols; c++ {
+			if c > 0 {
+				b.WriteByte(',')
+			}
+			if r.intn(4) == 0 {
+				b.WriteString(strings.Repeat(" ", 1+r.intn(3)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

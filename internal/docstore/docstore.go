@@ -1,0 +1,163 @@
+// Package docstore gives batch documents a content-addressed identity:
+// SHA-256 digests over the raw bytes, an in-run singleflight index so
+// duplicate blobs are extracted once and their results replayed, a
+// persisted hash→result manifest that makes interrupted runs resumable,
+// and deterministic hash-range sharding so independent processes can
+// split one corpus without coordination.
+package docstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Digest is the content address of a document blob.
+type Digest [sha256.Size]byte
+
+// Hash computes the digest of a blob.
+func Hash(data []byte) Digest { return sha256.Sum256(data) }
+
+// String renders the digest in hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// ParseDigest parses the hex form produced by String.
+func ParseDigest(s string) (Digest, error) {
+	var d Digest
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != len(d) {
+		return d, fmt.Errorf("docstore: bad digest %q", s)
+	}
+	copy(d[:], raw)
+	return d, nil
+}
+
+// Outcome is the replayable result of extracting one blob: exactly the
+// fields of a batch output record that are a pure function of the
+// document's content. Per-attempt outcomes (read failures, cancellation,
+// injected budget trips, panics) are never stored as outcomes.
+type Outcome struct {
+	OK    bool            `json:"ok"`
+	Kind  string          `json:"kind,omitempty"`
+	Data  json.RawMessage `json:"data,omitempty"`
+	Error string          `json:"error,omitempty"`
+}
+
+// Store is the in-run singleflight index: the first caller to Begin a
+// digest becomes its leader and computes the outcome; concurrent callers
+// wait on the returned channel and replay the completed outcome. Entries
+// live for the whole run, so later duplicates replay instantly.
+type Store struct {
+	mu      sync.Mutex
+	entries map[Digest]*entry
+}
+
+type entry struct {
+	done    chan struct{}
+	outcome *Outcome // nil after done means "not replayable, compute your own"
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{entries: map[Digest]*entry{}}
+}
+
+// Begin registers interest in a digest. When leader is true the caller
+// owns the computation and must eventually call Complete (with nil for a
+// non-replayable outcome). Otherwise the caller may wait on done and then
+// read Outcome.
+func (s *Store) Begin(d Digest) (done <-chan struct{}, leader bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[d]; ok {
+		return e.done, false
+	}
+	e := &entry{done: make(chan struct{})}
+	s.entries[d] = e
+	return e.done, true
+}
+
+// Complete publishes the leader's outcome (nil = not replayable) and
+// releases every waiter. Completing an un-begun or already-completed
+// digest is a programming error and panics via the double close.
+func (s *Store) Complete(d Digest, oc *Outcome) {
+	s.mu.Lock()
+	e := s.entries[d]
+	s.mu.Unlock()
+	e.outcome = oc
+	close(e.done)
+}
+
+// Outcome returns the completed outcome for a digest, or nil when the
+// leader declared it non-replayable. Only valid after the Begin channel
+// is closed.
+func (s *Store) Outcome(d Digest) *Outcome {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[d]; ok {
+		return e.outcome
+	}
+	return nil
+}
+
+// Shard is one hash-range partition of a corpus, the k-th of n (1-based).
+// The zero value (N == 0) is the disabled shard that owns everything.
+type Shard struct {
+	K, N int
+}
+
+// ParseShard parses the "k/n" CLI form; the empty string disables
+// sharding.
+func ParseShard(s string) (Shard, error) {
+	if s == "" {
+		return Shard{}, nil
+	}
+	var sh Shard
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return sh, fmt.Errorf("docstore: shard %q is not of the form k/n", s)
+	}
+	if _, err := fmt.Sscanf(s, "%d/%d", &sh.K, &sh.N); err != nil {
+		return sh, fmt.Errorf("docstore: shard %q is not of the form k/n", s)
+	}
+	return sh, sh.Validate()
+}
+
+// Validate checks 1 ≤ K ≤ N (or the disabled zero value).
+func (sh Shard) Validate() error {
+	if sh.N == 0 && sh.K == 0 {
+		return nil
+	}
+	if sh.N < 1 || sh.K < 1 || sh.K > sh.N {
+		return fmt.Errorf("docstore: invalid shard %d/%d (want 1 ≤ k ≤ n)", sh.K, sh.N)
+	}
+	return nil
+}
+
+// Enabled reports whether the shard actually partitions.
+func (sh Shard) Enabled() bool { return sh.N > 0 }
+
+// String renders the CLI form.
+func (sh Shard) String() string {
+	if !sh.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", sh.K, sh.N)
+}
+
+// Owns reports whether a digest falls in this shard's range. The uint64
+// prefix space of the digest is cut into N contiguous, near-equal spans;
+// every digest is owned by exactly one shard of a given N, so n shards'
+// outputs union to the unsharded run.
+func (sh Shard) Owns(d Digest) bool {
+	if sh.N <= 1 {
+		return true
+	}
+	v := binary.BigEndian.Uint64(d[:8])
+	width := ^uint64(0)/uint64(sh.N) + 1
+	return int(v/width)+1 == sh.K
+}

@@ -1,0 +1,185 @@
+package docstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDigestRoundTrip(t *testing.T) {
+	d := Hash([]byte("hello"))
+	got, err := ParseDigest(d.String())
+	if err != nil {
+		t.Fatalf("ParseDigest: %v", err)
+	}
+	if got != d {
+		t.Fatalf("round trip changed digest: %s vs %s", got, d)
+	}
+	if _, err := ParseDigest("zz"); err == nil {
+		t.Fatal("ParseDigest accepted junk")
+	}
+	if _, err := ParseDigest("abcd"); err == nil {
+		t.Fatal("ParseDigest accepted a short digest")
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Shard
+		ok   bool
+	}{
+		{"", Shard{}, true},
+		{"1/1", Shard{1, 1}, true},
+		{"2/3", Shard{2, 3}, true},
+		{"0/3", Shard{}, false},
+		{"4/3", Shard{}, false},
+		{"x/3", Shard{}, false},
+		{"3", Shard{}, false},
+		{"-1/2", Shard{}, false},
+	} {
+		got, err := ParseShard(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseShard(%q): err=%v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseShard(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestShardPartition: for any n, every digest is owned by exactly one of
+// the n shards — the property that makes sharded outputs union to the
+// unsharded run.
+func TestShardPartition(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 16} {
+		counts := make([]int, n)
+		for i := 0; i < 500; i++ {
+			d := Hash([]byte(fmt.Sprintf("doc-%d", i)))
+			owners := 0
+			for k := 1; k <= n; k++ {
+				if (Shard{K: k, N: n}).Owns(d) {
+					owners++
+					counts[k-1]++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("n=%d: digest %s owned by %d shards", n, d, owners)
+			}
+		}
+		for k, c := range counts {
+			if n <= 3 && c == 0 {
+				t.Errorf("n=%d: shard %d owns no documents out of 500", n, k+1)
+			}
+		}
+	}
+	if !(Shard{}).Owns(Hash([]byte("x"))) {
+		t.Fatal("disabled shard must own everything")
+	}
+}
+
+func TestStoreSingleflight(t *testing.T) {
+	s := NewStore()
+	d := Hash([]byte("blob"))
+	done, leader := s.Begin(d)
+	if !leader {
+		t.Fatal("first Begin must lead")
+	}
+	done2, leader2 := s.Begin(d)
+	if leader2 {
+		t.Fatal("second Begin must not lead")
+	}
+	select {
+	case <-done2:
+		t.Fatal("done closed before Complete")
+	default:
+	}
+	oc := &Outcome{OK: true, Data: []byte(`{"x":1}`)}
+	s.Complete(d, oc)
+	<-done
+	<-done2
+	if got := s.Outcome(d); got != oc {
+		t.Fatalf("Outcome = %v, want the completed one", got)
+	}
+	// A later Begin replays instantly.
+	done3, leader3 := s.Begin(d)
+	if leader3 {
+		t.Fatal("post-completion Begin must not lead")
+	}
+	<-done3
+	// Non-replayable completion.
+	d2 := Hash([]byte("other"))
+	if _, lead := s.Begin(d2); !lead {
+		t.Fatal("fresh digest must lead")
+	}
+	s.Complete(d2, nil)
+	if s.Outcome(d2) != nil {
+		t.Fatal("nil completion must stay nil")
+	}
+}
+
+func TestManifestRoundTripAndTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	m, err := OpenManifest(path)
+	if err != nil {
+		t.Fatalf("OpenManifest: %v", err)
+	}
+	d1 := Hash([]byte("a"))
+	d2 := Hash([]byte("b"))
+	m.Append(d1, &Outcome{OK: true, Data: []byte(`{"v":1}`)})
+	m.Append(d2, &Outcome{Kind: "run", Error: "boom"})
+	m.Append(d1, &Outcome{OK: true, Data: []byte(`{"v":999}`)}) // dup: ignored
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Simulate a crash mid-append: torn trailing line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"digest":"beef`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	m2, err := OpenManifest(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer m2.Close()
+	if m2.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m2.Len())
+	}
+	oc, ok := m2.Lookup(d1)
+	if !ok || !oc.OK || string(oc.Data) != `{"v":1}` {
+		t.Fatalf("Lookup(d1) = %+v %v", oc, ok)
+	}
+	oc, ok = m2.Lookup(d2)
+	if !ok || oc.OK || oc.Kind != "run" || oc.Error != "boom" {
+		t.Fatalf("Lookup(d2) = %+v %v", oc, ok)
+	}
+	// Appending after a reopen with a torn tail lands on a clean line:
+	// a third open must see all three entries.
+	d3 := Hash([]byte("c"))
+	m2.Append(d3, &Outcome{OK: true})
+	if m2.Err() != nil {
+		t.Fatalf("Err: %v", m2.Err())
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	m3, err := OpenManifest(path)
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer m3.Close()
+	if m3.Len() != 3 {
+		t.Fatalf("after torn-tail repair Len = %d, want 3", m3.Len())
+	}
+	if _, ok := m3.Lookup(d3); !ok {
+		t.Fatal("entry appended after torn tail was lost")
+	}
+}

@@ -1,0 +1,139 @@
+package docstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Manifest is the persisted hash→outcome map of a batch run, stored as
+// append-only NDJSON ({"digest":"…", …outcome fields…} per line). Opening
+// an existing manifest replays its entries so a resumed run skips every
+// document whose content was already extracted; a truncated final line
+// (crash mid-append) is tolerated and ignored. Only deterministic
+// outcomes belong in a manifest — the batch layer enforces that.
+type Manifest struct {
+	mu       sync.Mutex
+	seen     map[Digest]*Outcome
+	f        *os.File
+	firstErr error
+}
+
+type manifestEntry struct {
+	Digest string `json:"digest"`
+	Outcome
+}
+
+// OpenManifest loads the manifest at path (creating it when absent) and
+// opens it for appending. A torn tail from an interrupted run — a final
+// line that is truncated, unparseable, or missing its newline — is cut
+// off so the resumed run re-extracts at most that one document and new
+// appends land on a clean line boundary.
+func OpenManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("docstore: reading manifest: %w", err)
+	}
+	m := &Manifest{seen: map[Digest]*Outcome{}}
+	good := 0
+	for good < len(data) {
+		nl := bytes.IndexByte(data[good:], '\n')
+		if nl < 0 {
+			break // unterminated tail
+		}
+		var e manifestEntry
+		if json.Unmarshal(data[good:good+nl], &e) != nil {
+			break
+		}
+		d, err := ParseDigest(e.Digest)
+		if err != nil {
+			break
+		}
+		oc := e.Outcome
+		m.seen[d] = &oc
+		good += nl + 1
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("docstore: opening manifest: %w", err)
+	}
+	if err := f.Truncate(int64(good)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("docstore: truncating torn manifest tail: %w", err)
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("docstore: seeking manifest: %w", err)
+	}
+	m.f = f
+	return m, nil
+}
+
+// Lookup returns the stored outcome for a digest, if present.
+func (m *Manifest) Lookup(d Digest) (*Outcome, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oc, ok := m.seen[d]
+	return oc, ok
+}
+
+// Len returns the number of distinct digests in the manifest.
+func (m *Manifest) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.seen)
+}
+
+// Append records an outcome for a digest, writing one NDJSON line.
+// Digests already present are skipped, so concurrent duplicate computes
+// persist once. Write failures are remembered and surfaced by Err — the
+// run's records are already on their way to the output stream, so a
+// broken manifest must not fail individual documents.
+func (m *Manifest) Append(d Digest, oc *Outcome) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.seen[d]; ok {
+		return
+	}
+	line, err := json.Marshal(manifestEntry{Digest: d.String(), Outcome: *oc})
+	if err != nil {
+		m.noteErr(fmt.Errorf("docstore: marshaling manifest entry: %w", err))
+		return
+	}
+	line = append(line, '\n')
+	if _, err := m.f.Write(line); err != nil {
+		m.noteErr(fmt.Errorf("docstore: appending manifest: %w", err))
+		return
+	}
+	m.seen[d] = oc
+}
+
+func (m *Manifest) noteErr(err error) {
+	if m.firstErr == nil {
+		m.firstErr = err
+	}
+}
+
+// Err returns the first append failure, if any.
+func (m *Manifest) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.firstErr
+}
+
+// Close syncs and closes the manifest file.
+func (m *Manifest) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return nil
+	}
+	err := m.f.Close()
+	m.f = nil
+	if m.firstErr != nil {
+		return m.firstErr
+	}
+	return err
+}

@@ -744,3 +744,25 @@ func TestSynthesizeFieldProgramRegionNegatives(t *testing.T) {
 		t.Fatalf("learned %s", fp.Reg)
 	}
 }
+
+func TestConsistencyErrorDeterministic(t *testing.T) {
+	// The overlap error names the first offending pair; with several
+	// mutually overlapping colors, map-order iteration would make the
+	// message (and therefore batch output records) flip between runs.
+	m := schema.MustParse(rowSchema)
+	errs := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		cr := Highlighting{}
+		cr.Add("row", span{fakeText, 0, 10})
+		cr.Add("a", span{fakeText, 5, 15})
+		cr.Add("b", span{fakeText, 7, 12})
+		err := cr.ConsistentWith(m)
+		if err == nil {
+			t.Fatal("overlapping non-nested regions accepted")
+		}
+		errs[err.Error()] = true
+	}
+	if len(errs) != 1 {
+		t.Fatalf("ConsistentWith produced %d distinct error messages across identical inputs: %v", len(errs), errs)
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"flashextract/internal/region"
 	"flashextract/internal/schema"
@@ -49,16 +50,36 @@ func containsRegion(rs []region.Region, r region.Region) bool {
 // Colors not present in the highlighting are not constrained (fields may
 // be highlighted in any order).
 func (cr Highlighting) ConsistentWith(m *schema.Schema) error {
-	// (1) pairwise nesting/disjointness across all colors.
+	// (1) pairwise nesting/disjointness across all colors. Colors are
+	// visited in schema order (then any extras sorted), never in map
+	// order: the first overlapping pair found decides the error message,
+	// and batch output promises byte-identical records across runs.
 	type colored struct {
 		color string
 		r     region.Region
 	}
 	var all []colored
-	for c, rs := range cr {
-		for _, r := range rs {
+	addColor := func(c string) {
+		for _, r := range cr[c] {
 			all = append(all, colored{c, r})
 		}
+	}
+	seen := make(map[string]bool, len(cr))
+	for _, fi := range m.Fields() {
+		if _, ok := cr[fi.Color()]; ok && !seen[fi.Color()] {
+			seen[fi.Color()] = true
+			addColor(fi.Color())
+		}
+	}
+	var extra []string
+	for c := range cr {
+		if !seen[c] {
+			extra = append(extra, c)
+		}
+	}
+	sort.Strings(extra)
+	for _, c := range extra {
+		addColor(c)
 	}
 	for i := 0; i < len(all); i++ {
 		for j := i + 1; j < len(all); j++ {

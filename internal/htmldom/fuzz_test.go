@@ -43,7 +43,16 @@ func FuzzHTMLParse(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		doc, err := Parse(src)
+		// The prefilter's parse-hazard gate depends on Scan agreeing with
+		// Parse on every input — same accept/reject decision, same message.
+		scanErr := Scan(src)
+		if (err == nil) != (scanErr == nil) {
+			t.Fatalf("Scan/Parse disagree: Parse=%v Scan=%v", err, scanErr)
+		}
 		if err != nil {
+			if err.Error() != scanErr.Error() {
+				t.Fatalf("Scan/Parse error messages differ: Parse=%q Scan=%q", err, scanErr)
+			}
 			return
 		}
 		if doc == nil {

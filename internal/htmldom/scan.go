@@ -1,0 +1,155 @@
+package htmldom
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scan reports whether Parse would accept src, without building a DOM,
+// decoding entities, or allocating nodes. It mirrors the parser's error
+// conditions exactly — same control flow, same error messages — so that
+//
+//	(Scan(src) == nil) ⇔ (Parse(src) succeeds)
+//
+// holds for every input. The batch prefilter relies on this equivalence:
+// a document that would fail to parse must be admitted to the full run
+// path so the run emits the same structured parse-error record it would
+// have emitted without prefiltering. Any change to Parse's error behavior
+// must be replicated here; the agreement is fuzzed by FuzzHTMLParse.
+func Scan(src string) error {
+	pos := 0
+	for pos < len(src) {
+		if src[pos] != '<' {
+			// Skip the text run with IndexByte (vectorized) — same
+			// destination as the parser's byte loop: the next '<' or EOF.
+			next := strings.IndexByte(src[pos:], '<')
+			if next < 0 {
+				break
+			}
+			pos += next
+			continue
+		}
+		if strings.HasPrefix(src[pos:], "<!--") {
+			end := strings.Index(src[pos+4:], "-->")
+			if end < 0 {
+				return fmt.Errorf("htmldom: unterminated comment at offset %d", pos)
+			}
+			pos += 4 + end + 3
+			continue
+		}
+		if strings.HasPrefix(src[pos:], "<!") || strings.HasPrefix(src[pos:], "<?") {
+			end := strings.IndexByte(src[pos:], '>')
+			if end < 0 {
+				return fmt.Errorf("htmldom: unterminated declaration at offset %d", pos)
+			}
+			pos += end + 1
+			continue
+		}
+		if strings.HasPrefix(src[pos:], "</") {
+			end := strings.IndexByte(src[pos:], '>')
+			if end < 0 {
+				return fmt.Errorf("htmldom: unterminated end tag at offset %d", pos)
+			}
+			pos += end + 1
+			continue
+		}
+		next, err := scanStartTag(src, pos)
+		if err != nil {
+			return err
+		}
+		pos = next
+	}
+	return nil
+}
+
+// scanStartTag mirrors parser.parseStartTag: it validates one start tag
+// (plus the raw-text run of a script/style element) starting at pos and
+// returns the position after it.
+func scanStartTag(src string, pos int) (int, error) {
+	i := pos + 1
+	start := i
+	for i < len(src) && isTagNameChar(src[i]) {
+		i++
+	}
+	if i == start {
+		// A stray '<': the parser treats it as text.
+		return pos + 1, nil
+	}
+	tag := strings.ToLower(src[start:i])
+	for {
+		for i < len(src) && isSpace(src[i]) {
+			i++
+		}
+		if i >= len(src) {
+			return 0, fmt.Errorf("htmldom: unterminated start tag <%s>", tag)
+		}
+		if src[i] == '>' {
+			i++
+			break
+		}
+		if strings.HasPrefix(src[i:], "/>") {
+			return i + 2, nil // self-closing: no raw-text handling
+		}
+		next, err := scanAttr(src, i)
+		if err != nil {
+			return 0, err
+		}
+		i = next
+	}
+	if voidElements[tag] || !rawTextElements[tag] {
+		return i, nil
+	}
+	// Raw-text element: the parser lowercases the remainder and searches
+	// for the close tag. Mirror that verbatim (ToLower, not a per-byte
+	// ASCII fold) so non-ASCII case-folding behaves identically.
+	closeTag := "</" + tag
+	idx := strings.Index(strings.ToLower(src[i:]), closeTag)
+	if idx < 0 {
+		return len(src), nil // unclosed raw text swallows the rest
+	}
+	gt := strings.IndexByte(src[i+idx:], '>')
+	if gt < 0 {
+		return 0, fmt.Errorf("htmldom: unterminated </%s>", tag)
+	}
+	return i + idx + gt + 1, nil
+}
+
+// scanAttr mirrors parser.parseAttr without materializing the key/value.
+func scanAttr(src string, i int) (int, error) {
+	start := i
+	for i < len(src) && !isSpace(src[i]) && src[i] != '=' && src[i] != '>' && !strings.HasPrefix(src[i:], "/>") {
+		i++
+	}
+	if i == start {
+		return 0, fmt.Errorf("htmldom: malformed attribute at offset %d", i)
+	}
+	key := strings.ToLower(src[start:i])
+	for i < len(src) && isSpace(src[i]) {
+		i++
+	}
+	if i >= len(src) || src[i] != '=' {
+		return i, nil // boolean attribute
+	}
+	i++
+	for i < len(src) && isSpace(src[i]) {
+		i++
+	}
+	if i >= len(src) {
+		return 0, fmt.Errorf("htmldom: unterminated attribute %q", key)
+	}
+	if src[i] == '"' || src[i] == '\'' {
+		quote := src[i]
+		i++
+		for i < len(src) && src[i] != quote {
+			i++
+		}
+		if i >= len(src) {
+			return 0, fmt.Errorf("htmldom: unterminated quoted attribute %q", key)
+		}
+		return i + 1, nil
+	}
+	for i < len(src) && !isSpace(src[i]) && src[i] != '>' {
+		i++
+	}
+	return i, nil
+}

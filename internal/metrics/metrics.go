@@ -55,6 +55,19 @@ const (
 	// BatchRetries counts retried document-read attempts in the batch
 	// worker pool (attempts beyond each document's first read).
 	BatchRetries = "batch_retries"
+	// BatchPrefilterSkipped counts documents the static admission test
+	// rejected — runs short-circuited to the precomputed empty result
+	// without building a document or evaluation cache.
+	BatchPrefilterSkipped = "batch_prefilter_skipped"
+	// BatchDedupHits counts documents whose content digest matched an
+	// already-extracted blob in this run, replayed from the in-run store.
+	BatchDedupHits = "batch_dedup_hits"
+	// BatchResumeHits counts documents replayed from a persisted resume
+	// manifest instead of re-extracted.
+	BatchResumeHits = "batch_resume_hits"
+	// BatchShardDropped counts documents outside this process's hash-range
+	// shard, dropped without a record.
+	BatchShardDropped = "batch_shard_dropped"
 )
 
 // Sink is the minimal recording interface the synthesis stack writes to.

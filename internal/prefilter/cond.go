@@ -1,0 +1,370 @@
+// Package prefilter derives conservative admission tests from compiled
+// extraction programs. The FlashExtract DSLs anchor every region on
+// concrete token evidence — regex token pairs in Ltext, XPath steps and
+// position pairs in Lweb, cell tokens in Lsps — so a static walk over a
+// program's combinator tree can collect byte-level facts that any
+// matching document must exhibit: required literal substrings, required
+// byte classes, and minimum document sizes. A document failing the test
+// is guaranteed to produce zero matches for every field, so the batch
+// run path can skip it — no tokens.Cache, no HTML parse, no grid build —
+// and emit the precomputed zero-match record instead. Admission is
+// deliberately one-sided: the test may admit documents that do not
+// match (the full run then finds nothing), but must never reject one
+// that would.
+package prefilter
+
+import (
+	"sort"
+	"strings"
+)
+
+// ByteMask is a 256-bit set of byte values.
+type ByteMask [4]uint64
+
+// Set adds b to the mask.
+func (m *ByteMask) Set(b byte) { m[b>>6] |= 1 << (b & 63) }
+
+// Has reports whether b is in the mask.
+func (m ByteMask) Has(b byte) bool { return m[b>>6]&(1<<(b&63)) != 0 }
+
+// Intersects reports whether the two masks share any byte.
+func (m ByteMask) Intersects(o ByteMask) bool {
+	return m[0]&o[0] != 0 || m[1]&o[1] != 0 || m[2]&o[2] != 0 || m[3]&o[3] != 0
+}
+
+// Full reports whether the mask contains every byte value (such an atom
+// is vacuous and should be dropped, keeping only its length contribution).
+func (m ByteMask) Full() bool {
+	return m[0] == ^uint64(0) && m[1] == ^uint64(0) && m[2] == ^uint64(0) && m[3] == ^uint64(0)
+}
+
+// AtomKind discriminates the three admission-atom shapes.
+type AtomKind int
+
+const (
+	// AtomSubstr requires an exact byte substring.
+	AtomSubstr AtomKind = iota
+	// AtomISubstr requires a substring under ASCII case folding.
+	AtomISubstr
+	// AtomByte requires at least one byte from a mask to be present.
+	AtomByte
+)
+
+// Atom is one necessary byte-level fact about a matching document.
+type Atom struct {
+	Kind AtomKind
+	Lit  string   // AtomSubstr / AtomISubstr
+	Mask ByteMask // AtomByte
+}
+
+func (a Atom) String() string {
+	switch a.Kind {
+	case AtomSubstr:
+		return "substr(" + a.Lit + ")"
+	case AtomISubstr:
+		return "isubstr(" + a.Lit + ")"
+	default:
+		n := 0
+		for i := 0; i < 256; i++ {
+			if a.Mask.Has(byte(i)) {
+				n++
+			}
+		}
+		return "mask(" + itoa(n) + " bytes)"
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Conj is a conjunction of atoms plus a minimum document length; every
+// atom must hold (and the document must be at least MinLen bytes) for
+// the conjunction to be satisfiable.
+type Conj struct {
+	Atoms  []Atom
+	MinLen int
+}
+
+// add appends an atom unless an equal one is already present or the atom
+// is vacuous (a full mask). Conjunctions are capped at maxConjAtoms;
+// dropping surplus atoms only weakens the test, which is sound.
+func (cj *Conj) add(a Atom) {
+	if a.Kind == AtomByte && a.Mask.Full() {
+		return
+	}
+	for _, x := range cj.Atoms {
+		if x.Kind == a.Kind && x.Lit == a.Lit && x.Mask == a.Mask {
+			return
+		}
+	}
+	if len(cj.Atoms) >= maxConjAtoms {
+		return
+	}
+	cj.Atoms = append(cj.Atoms, a)
+}
+
+// Cond is a necessary admission condition in disjunctive normal form.
+// The zero value is the unsatisfiable condition (False): the program can
+// provably never produce a region, whatever the document.
+type Cond struct {
+	always bool   // vacuous condition: no information, admit everything
+	Disj   []Conj // satisfiable iff some conjunction is
+}
+
+// True returns the vacuous condition.
+func True() Cond { return Cond{always: true} }
+
+// False returns the unsatisfiable condition.
+func False() Cond { return Cond{} }
+
+// IsTrue reports whether the condition admits every document.
+func (c Cond) IsTrue() bool { return c.always }
+
+// IsFalse reports whether the condition rejects every document.
+func (c Cond) IsFalse() bool { return !c.always && len(c.Disj) == 0 }
+
+// Widening caps. Exceeding either collapses toward True, which admits
+// more documents and is therefore always sound.
+const (
+	maxDisjuncts = 8
+	maxConjAtoms = 16
+)
+
+// Or returns a condition admitting whatever a or b admits.
+func Or(a, b Cond) Cond {
+	if a.always || b.always {
+		return True()
+	}
+	d := make([]Conj, 0, len(a.Disj)+len(b.Disj))
+	d = append(d, a.Disj...)
+	d = append(d, b.Disj...)
+	if len(d) > maxDisjuncts {
+		return True() // widen: too many alternatives to track precisely
+	}
+	return Cond{Disj: d}
+}
+
+// And returns a condition requiring both a and b. When the cross product
+// grows past the disjunct cap, the stronger operand alone is kept —
+// And(a, b) implies a and implies b, so either is a sound widening.
+func And(a, b Cond) Cond {
+	if a.always {
+		return b
+	}
+	if b.always {
+		return a
+	}
+	if a.IsFalse() || b.IsFalse() {
+		return False()
+	}
+	if len(a.Disj)*len(b.Disj) > maxDisjuncts {
+		if condWeight(b) > condWeight(a) {
+			return b
+		}
+		return a
+	}
+	out := make([]Conj, 0, len(a.Disj)*len(b.Disj))
+	for _, x := range a.Disj {
+		for _, y := range b.Disj {
+			out = append(out, mergeConj(x, y))
+		}
+	}
+	return Cond{Disj: out}
+}
+
+// condWeight is a crude precision score used to pick which operand to
+// keep when And must widen: more atoms in fewer disjuncts reject more.
+func condWeight(c Cond) int {
+	n := 0
+	for _, cj := range c.Disj {
+		n += len(cj.Atoms) + 1
+	}
+	if len(c.Disj) > 0 {
+		n /= len(c.Disj)
+	}
+	return n
+}
+
+// mergeConj conjoins two conjunctions: atoms union, MinLen max.
+func mergeConj(x, y Conj) Conj {
+	out := Conj{MinLen: x.MinLen}
+	if y.MinLen > out.MinLen {
+		out.MinLen = y.MinLen
+	}
+	out.Atoms = append(out.Atoms, x.Atoms...)
+	for _, a := range y.Atoms {
+		out.add(a)
+	}
+	return out
+}
+
+// profile is the single-pass byte census an admission check consults so
+// that one-byte and mask atoms need no substring scans.
+type profile struct {
+	mask     ByteMask // bytes present in the document
+	foldMask ByteMask // same, with A-Z folded to a-z
+}
+
+func buildProfile(doc string) profile {
+	var m ByteMask
+	for i := 0; i < len(doc); i++ {
+		b := doc[i]
+		m[b>>6] |= 1 << (b & 63)
+	}
+	p := profile{mask: m, foldMask: m}
+	// Fold in bit space rather than per byte: 'A'..'Z' occupy bits 1..26
+	// of word 1 and 'a'..'z' bits 33..58 of the same word, exactly 32
+	// positions apart, so one shift moves the whole uppercase range.
+	const upperBits = uint64(0x3ffffff) << 1
+	p.foldMask[1] = (m[1] &^ upperBits) | (m[1]&upperBits)<<32
+	return p
+}
+
+// census builds a document's byte profile on first demand, so admission
+// checks decided by substring and length atoms alone never pay the O(n)
+// census pass.
+type census struct {
+	doc   string
+	built bool
+	p     profile
+}
+
+func (cs *census) profile() profile {
+	if !cs.built {
+		cs.p = buildProfile(cs.doc)
+		cs.built = true
+	}
+	return cs.p
+}
+
+func foldByte(b byte) byte {
+	if b >= 'A' && b <= 'Z' {
+		return b + ('a' - 'A')
+	}
+	return b
+}
+
+// atomRank orders a conjunction's atoms by evaluation cost, so a
+// rejection reaches its cheapest decisive atom first: vectorized
+// substring searches, then census-answered single-byte and mask checks,
+// then byte-wise case-folded searches.
+func atomRank(a Atom) int {
+	switch a.Kind {
+	case AtomSubstr:
+		if len(a.Lit) > 1 {
+			return 0
+		}
+		return 1
+	case AtomByte:
+		return 1
+	default: // AtomISubstr
+		if len(a.Lit) == 1 {
+			return 1
+		}
+		return 2
+	}
+}
+
+// normalize cost-orders every conjunction's atoms in place. Conjunction
+// satisfaction is order-independent, so this changes evaluation time
+// only, never the verdict.
+func (c *Cond) normalize() {
+	for i := range c.Disj {
+		sort.SliceStable(c.Disj[i].Atoms, func(x, y int) bool {
+			return atomRank(c.Disj[i].Atoms[x]) < atomRank(c.Disj[i].Atoms[y])
+		})
+	}
+}
+
+// admits evaluates the condition against a document and its lazily built
+// byte census.
+func (c Cond) admits(doc string, cs *census) bool {
+	if c.always {
+		return true
+	}
+	for _, cj := range c.Disj {
+		if cj.sat(doc, cs) {
+			return true
+		}
+	}
+	return false
+}
+
+func (cj Conj) sat(doc string, cs *census) bool {
+	if len(doc) < cj.MinLen {
+		return false
+	}
+	for _, a := range cj.Atoms {
+		if !a.sat(doc, cs) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a Atom) sat(doc string, cs *census) bool {
+	switch a.Kind {
+	case AtomSubstr:
+		if len(a.Lit) == 1 {
+			return cs.profile().mask.Has(a.Lit[0])
+		}
+		return strings.Contains(doc, a.Lit)
+	case AtomISubstr:
+		if len(a.Lit) == 1 {
+			return cs.profile().foldMask.Has(foldByte(a.Lit[0]))
+		}
+		return containsFold(doc, a.Lit)
+	default:
+		return cs.profile().mask.Intersects(a.Mask)
+	}
+}
+
+// containsFold reports whether s contains sub under ASCII case folding.
+// When the needle starts with a non-letter (so the byte folds to itself),
+// candidate positions are located with the vectorized IndexByte instead
+// of a byte-wise folding scan.
+func containsFold(s, sub string) bool {
+	n := len(sub)
+	if n == 0 {
+		return true
+	}
+	if n > len(s) {
+		return false
+	}
+	c0 := foldByte(sub[0])
+	memchr := c0 < 'a' || c0 > 'z'
+	for i := 0; i+n <= len(s); {
+		if memchr {
+			j := strings.IndexByte(s[i:len(s)-n+1], c0)
+			if j < 0 {
+				return false
+			}
+			i += j
+		} else if foldByte(s[i]) != c0 {
+			i++
+			continue
+		}
+		j := 1
+		for ; j < n; j++ {
+			if foldByte(s[i+j]) != foldByte(sub[j]) {
+				break
+			}
+		}
+		if j == n {
+			return true
+		}
+		i++
+	}
+	return false
+}

@@ -1,0 +1,124 @@
+package prefilter_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"flashextract/internal/bench"
+	"flashextract/internal/bench/corpus"
+	"flashextract/internal/engine"
+	"flashextract/internal/prefilter"
+	"flashextract/internal/sheetlang"
+	"flashextract/internal/textlang"
+	"flashextract/internal/weblang"
+)
+
+var fuzzDomains = []string{"text", "web", "sheet"}
+
+// fuzzPrograms lazily learns one corpus program and builds one filter per
+// domain, shared across every fuzz execution.
+var fuzzPrograms struct {
+	once    sync.Once
+	progs   map[string]*engine.SchemaProgram
+	filters map[string]*prefilter.Filter
+	err     error
+}
+
+func fuzzSetup() error {
+	fuzzPrograms.once.Do(func() {
+		fuzzPrograms.progs = map[string]*engine.SchemaProgram{}
+		fuzzPrograms.filters = map[string]*prefilter.Filter{}
+		trainers := map[string]*bench.Task{}
+		for _, task := range corpus.All() {
+			if _, ok := trainers[task.Domain]; !ok {
+				trainers[task.Domain] = task
+			}
+		}
+		for domain, trainer := range trainers {
+			artifact, err := bench.LearnSchemaProgram(trainer, 3)
+			if err != nil {
+				fuzzPrograms.err = fmt.Errorf("learning %s: %w", trainer.Name, err)
+				return
+			}
+			prog, err := engine.LoadSchemaProgram(artifact, trainer.Doc.Language())
+			if err != nil {
+				fuzzPrograms.err = err
+				return
+			}
+			f, err := prefilter.FromSchemaProgram(prog, domain)
+			if err != nil {
+				fuzzPrograms.err = err
+				return
+			}
+			fuzzPrograms.progs[domain] = prog
+			fuzzPrograms.filters[domain] = f
+		}
+	})
+	return fuzzPrograms.err
+}
+
+func fuzzDocument(domain, src string) (engine.Document, error) {
+	switch domain {
+	case "web":
+		return weblang.NewDocument(src)
+	case "sheet":
+		return sheetlang.FromCSV(src)
+	default:
+		return textlang.NewDocument(src), nil
+	}
+}
+
+// FuzzPrefilterSound fuzzes the soundness contract of the admission test:
+// for any document the filter rejects, (a) the document parses — the
+// substrate-hazard gate must have routed unparseable bytes to the full
+// path — and (b) a real run of the program extracts zero regions for every
+// field. A counterexample here means prefiltered batch output could
+// diverge from the full run.
+func FuzzPrefilterSound(f *testing.F) {
+	if err := fuzzSetup(); err != nil {
+		f.Fatal(err)
+	}
+	for _, task := range corpus.All() {
+		for i, domain := range fuzzDomains {
+			if task.Domain == domain {
+				f.Add(uint8(i), task.Source)
+			}
+		}
+	}
+	for i, domain := range fuzzDomains {
+		for _, pad := range bench.PaddingDocs(domain, 2, 99) {
+			f.Add(uint8(i), pad.Content)
+		}
+		f.Add(uint8(i), "")
+		f.Add(uint8(i), "a,b\n1,2\n")
+		f.Add(uint8(i), "<html><body><div class='results'>x</div></body></html>")
+	}
+	f.Fuzz(func(t *testing.T, which uint8, src string) {
+		domain := fuzzDomains[int(which)%len(fuzzDomains)]
+		flt := fuzzPrograms.filters[domain]
+		if flt.Admit(src) {
+			return
+		}
+		doc, err := fuzzDocument(domain, src)
+		if err != nil {
+			t.Fatalf("%s: rejected document failed to parse (hazard gate broken): %v", domain, err)
+		}
+		_, cr, err := fuzzPrograms.progs[domain].Run(doc)
+		if err != nil {
+			// The only run error an empty extraction can produce is the
+			// (document-independent) schema-consistency failure.
+			if !strings.Contains(err.Error(), "inconsistent with schema") {
+				t.Fatalf("%s: run on rejected document failed: %v", domain, err)
+			}
+			return
+		}
+		for color, regions := range cr {
+			if len(regions) != 0 {
+				t.Fatalf("%s: field %s extracted %d regions from a document the prefilter rejected (doc=%q)",
+					domain, color, len(regions), src)
+			}
+		}
+	})
+}

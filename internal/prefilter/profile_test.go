@@ -1,0 +1,20 @@
+package prefilter
+
+import "testing"
+
+// TestBuildProfileFold checks the bit-space uppercase fold in
+// buildProfile against the per-byte reference it replaced.
+func TestBuildProfileFold(t *testing.T) {
+	docs := []string{"", "ABCxyz", "AZaz@[`{", "Hello, World! 123", string([]byte{0, 64, 65, 90, 91, 96, 97, 122, 123, 255})}
+	for _, d := range docs {
+		got := buildProfile(d)
+		var want profile
+		for i := 0; i < len(d); i++ {
+			want.mask.Set(d[i])
+			want.foldMask.Set(foldByte(d[i]))
+		}
+		if got != want {
+			t.Fatalf("profile mismatch for %q:\n got %v\nwant %v", d, got, want)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package prefilter
+
+import (
+	"flashextract/internal/tokens"
+	"flashextract/internal/xpath"
+)
+
+// ---- raw-byte substrate (textlang) --------------------------------------
+//
+// Ltext programs evaluate directly over the document bytes (or over lines,
+// which are byte subranges), so token evidence translates to exact
+// substring and byte-class requirements.
+
+// classMask builds the byte mask of a character-class token.
+func classMask(t tokens.Token) ByteMask {
+	var m ByteMask
+	for b := 0; b < 256; b++ {
+		if t.MatchesByte(byte(b)) {
+			m.Set(byte(b))
+		}
+	}
+	return m
+}
+
+// CondTokens is the admission condition of a token sequence that must
+// match contiguously somewhere in the raw document: maximal runs of
+// literal tokens join into exact substring atoms, class tokens contribute
+// byte-presence masks, and every token adds at least one byte to the
+// minimum length.
+func CondTokens(toks []tokens.Token) Cond {
+	if len(toks) == 0 {
+		return True()
+	}
+	cj := Conj{}
+	run := ""
+	flush := func() {
+		if run != "" {
+			cj.add(Atom{Kind: AtomSubstr, Lit: run})
+			run = ""
+		}
+	}
+	for _, t := range toks {
+		if lit := t.Lit(); lit != "" {
+			run += lit
+			cj.MinLen += len(lit)
+			continue
+		}
+		flush()
+		cj.add(Atom{Kind: AtomByte, Mask: classMask(t)})
+		cj.MinLen++ // a class token matches at least one byte
+	}
+	flush()
+	return Cond{Disj: []Conj{cj}}
+}
+
+// CondRegex is CondTokens for a single regex: any match embeds the token
+// sequence contiguously in the document.
+func CondRegex(r tokens.Regex) Cond {
+	return CondTokens(r)
+}
+
+// CondRegexPair is the admission condition of a PosSeq position pair
+// over raw bytes. A position k requires Left to match a suffix ending at
+// k and Right a prefix starting at k, so the concatenated token sequence
+// occupies one contiguous byte range — literal runs join across the
+// boundary. Both regexes empty never matches (tokens.RegexPair.Positions
+// returns no positions for the vacuous pair).
+func CondRegexPair(rr tokens.RegexPair) Cond {
+	if len(rr.Left) == 0 && len(rr.Right) == 0 {
+		return False()
+	}
+	all := make([]tokens.Token, 0, len(rr.Left)+len(rr.Right))
+	all = append(all, rr.Left...)
+	all = append(all, rr.Right...)
+	return CondTokens(all)
+}
+
+// CondAttr is the admission condition of a position attribute over raw
+// bytes: absolute positions only bound the region length, regex-relative
+// positions inherit their pair's token evidence.
+func CondAttr(a tokens.Attr) Cond {
+	switch v := a.(type) {
+	case tokens.AbsPos:
+		return Cond{Disj: []Conj{{MinLen: absPosMinLen(v.K)}}}
+	case tokens.RegPos:
+		if v.K == 0 {
+			return False() // RegPos with k = 0 always errors
+		}
+		return CondRegexPair(v.RR)
+	}
+	return True()
+}
+
+// absPosMinLen is the minimum region (hence document) length for AbsPos
+// k to evaluate without an out-of-range error.
+func absPosMinLen(k int) int {
+	if k >= 0 {
+		return k // position k needs len ≥ k
+	}
+	return -k - 1 // position len+k+1 ≥ 0 needs len ≥ -k-1
+}
+
+// ---- HTML text substrate (weblang) --------------------------------------
+//
+// Lweb position programs evaluate over a node's *text content*: entity-
+// decoded text node runs concatenated across the subtree. A literal that
+// spans two text nodes never appears contiguously in the source, and a
+// decoded byte may come from an entity — so only per-byte presence
+// survives, widened with '&' for every byte an entity can produce.
+
+// entityProducible holds the bytes htmldom's entity table can decode to:
+// & < > " ' and the non-breaking space.
+var entityProducible = func() ByteMask {
+	var m ByteMask
+	for _, b := range []byte{'&', '<', '>', '"', '\'', ' '} {
+		m.Set(b)
+	}
+	return m
+}()
+
+// htmlWiden widens a required-byte mask for entity decoding: when a
+// required byte can be written as an entity, the source may hold '&'
+// instead of the byte itself.
+func htmlWiden(m ByteMask) ByteMask {
+	if m.Intersects(entityProducible) {
+		m.Set('&')
+	}
+	return m
+}
+
+func htmlByteMask(b byte) ByteMask {
+	var m ByteMask
+	m.Set(b)
+	return htmlWiden(m)
+}
+
+// CondTokensHTML is CondTokens weakened for token sequences matched
+// against HTML text content. Minimum lengths remain sound: every decoded
+// text byte consumes at least one source byte, and markup only adds.
+func CondTokensHTML(toks []tokens.Token) Cond {
+	if len(toks) == 0 {
+		return True()
+	}
+	cj := Conj{}
+	for _, t := range toks {
+		if lit := t.Lit(); lit != "" {
+			for i := 0; i < len(lit); i++ {
+				cj.add(Atom{Kind: AtomByte, Mask: htmlByteMask(lit[i])})
+			}
+			cj.MinLen += len(lit)
+			continue
+		}
+		cj.add(Atom{Kind: AtomByte, Mask: htmlWiden(classMask(t))})
+		cj.MinLen++
+	}
+	return Cond{Disj: []Conj{cj}}
+}
+
+// CondRegexPairHTML is CondRegexPair against HTML text content.
+func CondRegexPairHTML(rr tokens.RegexPair) Cond {
+	if len(rr.Left) == 0 && len(rr.Right) == 0 {
+		return False()
+	}
+	all := make([]tokens.Token, 0, len(rr.Left)+len(rr.Right))
+	all = append(all, rr.Left...)
+	all = append(all, rr.Right...)
+	return CondTokensHTML(all)
+}
+
+// CondAttrHTML is CondAttr against HTML text content.
+func CondAttrHTML(a tokens.Attr) Cond {
+	switch v := a.(type) {
+	case tokens.AbsPos:
+		return Cond{Disj: []Conj{{MinLen: absPosMinLen(v.K)}}}
+	case tokens.RegPos:
+		if v.K == 0 {
+			return False()
+		}
+		return CondRegexPairHTML(v.RR)
+	}
+	return True()
+}
+
+// CondXPath is the admission condition of an XPath selection: every
+// matched document embeds each named step as a start tag ("<tag",
+// case-insensitive in HTML source) and each attribute predicate as its
+// key plus the entity-safe runs of its value. Start tags of nested
+// elements occupy disjoint source ranges, so their lengths sum into the
+// minimum document size.
+func CondXPath(p *xpath.Path) Cond {
+	if p == nil || len(p.Steps) == 0 {
+		return True()
+	}
+	cj := Conj{}
+	for _, s := range p.Steps {
+		if s.Tag != "*" {
+			cj.add(Atom{Kind: AtomISubstr, Lit: "<" + s.Tag})
+			cj.MinLen += len(s.Tag) + 1
+		} else {
+			cj.MinLen += 2 // any element is at least "<x"
+		}
+		for _, at := range s.Attrs {
+			if at.Key != "" {
+				// Keys are lowercased by both the HTML and the XPath
+				// parser; the source spelling is a contiguous run in any
+				// case mix.
+				cj.add(Atom{Kind: AtomISubstr, Lit: at.Key})
+				cj.MinLen += len(at.Key)
+			}
+			// Values are entity-decoded but not case-folded: runs free of
+			// entity-producible bytes appear verbatim in the source.
+			for _, run := range entitySafeRuns(at.Val) {
+				cj.add(Atom{Kind: AtomSubstr, Lit: run})
+			}
+		}
+	}
+	return Cond{Disj: []Conj{cj}}
+}
+
+// entitySafeRuns splits s into maximal runs of bytes that entity decoding
+// cannot have produced, i.e. bytes guaranteed to appear verbatim in the
+// HTML source of an attribute value equal to s.
+func entitySafeRuns(s string) []string {
+	var runs []string
+	start := -1
+	for i := 0; i < len(s); i++ {
+		if entityProducible.Has(s[i]) {
+			if start >= 0 {
+				runs = append(runs, s[start:i])
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		runs = append(runs, s[start:])
+	}
+	return runs
+}
+
+// ---- CSV substrate (sheetlang) ------------------------------------------
+//
+// Lsps cell programs evaluate over grid cells loaded from CSV. Cell
+// content bytes appear in the raw CSV except that a '"' in a cell is
+// written doubled — so fragments between quotes survive verbatim.
+
+// CondCellLiteral is the admission condition of some cell being exactly
+// s: the quote-free fragments of s are raw substrings of the CSV.
+func CondCellLiteral(s string) Cond {
+	if s == "" {
+		return True() // empty cells need no bytes at all
+	}
+	cj := Conj{MinLen: len(s)}
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '"' {
+			if i > start {
+				cj.add(Atom{Kind: AtomSubstr, Lit: s[start:i]})
+			}
+			start = i + 1
+		}
+	}
+	return Cond{Disj: []Conj{cj}}
+}
+
+// CondByteMask is the admission condition requiring at least one byte
+// from the mask (with an optional minimum length), for substrates where
+// class evidence survives into the raw bytes.
+func CondByteMask(m ByteMask, minLen int) Cond {
+	cj := Conj{MinLen: minLen}
+	cj.add(Atom{Kind: AtomByte, Mask: m})
+	return Cond{Disj: []Conj{cj}}
+}

@@ -16,7 +16,16 @@ func FuzzFromCSV(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		g, err := FromCSV(src)
+		// The prefilter's parse-hazard gate depends on CheckCSV agreeing
+		// with FromCSV on every input.
+		checkErr := CheckCSV(src)
+		if (err == nil) != (checkErr == nil) {
+			t.Fatalf("CheckCSV/FromCSV disagree: FromCSV=%v CheckCSV=%v", err, checkErr)
+		}
 		if err != nil {
+			if err.Error() != checkErr.Error() {
+				t.Fatalf("error messages differ: FromCSV=%q CheckCSV=%q", err, checkErr)
+			}
 			return
 		}
 		assertRoundTrip(t, g)

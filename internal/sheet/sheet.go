@@ -126,6 +126,55 @@ func FromCSV(src string) (*Grid, error) {
 	return g, nil
 }
 
+// CheckCSV reports whether FromCSV would accept src, without building the
+// grid. The reader's only failure mode is an unterminated quoted field, so
+// the check replays just the quote state machine: inQuotes plus the
+// current field length (a quote only opens a quoted field when the field
+// is empty so far; ',' and '\n' reset the field, '\r' does not). The batch
+// prefilter relies on (CheckCSV(src) == nil) ⇔ (FromCSV(src) succeeds);
+// the agreement is fuzzed by FuzzFromCSV.
+func CheckCSV(src string) error {
+	inQuotes := false
+	fieldLen := 0
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case inQuotes:
+			if c == '"' {
+				if i+1 < len(src) && src[i+1] == '"' {
+					fieldLen++
+					i += 2
+					continue
+				}
+				inQuotes = false
+				i++
+				continue
+			}
+			fieldLen++
+			i++
+		case c == '"' && fieldLen == 0:
+			inQuotes = true
+			i++
+		case c == ',':
+			fieldLen = 0
+			i++
+		case c == '\r':
+			i++
+		case c == '\n':
+			fieldLen = 0
+			i++
+		default:
+			fieldLen++
+			i++
+		}
+	}
+	if inQuotes {
+		return fmt.Errorf("sheet: unterminated quoted field")
+	}
+	return nil
+}
+
 // MustFromCSV is FromCSV for statically known workbooks.
 func MustFromCSV(src string) *Grid {
 	g, err := FromCSV(src)

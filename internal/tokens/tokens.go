@@ -30,6 +30,15 @@ func Literal(s string) Token {
 // IsDynamic reports whether t is a dynamically learned literal token.
 func (t Token) IsDynamic() bool { return t.lit != "" }
 
+// Lit returns the literal content of a dynamic token, or "" for
+// character-class tokens. It exposes the matched bytes to static
+// analyses (e.g. the batch prefilter) without widening the Token API.
+func (t Token) Lit() string { return t.lit }
+
+// MatchesByte reports whether a character-class token's class accepts b.
+// It is always false for dynamic literal tokens (use Lit for those).
+func (t Token) MatchesByte(b byte) bool { return t.class != nil && t.class(b) }
+
 // MatchPrefix returns the length of the match of t starting at s[i:], or
 // -1 when t does not match there. Class tokens match maximal runs (as in
 // FlashFill-style position learning): the run must not be extensible to

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# shard_smoke.sh — end-to-end check of hash-range corpus sharding: learns
+# a tiny program, runs a corpus unsharded, then runs the same corpus as
+# three `-shard k/3` partitions (with the run-path prefilter on, so the
+# two features are exercised together). The shards must (a) each own a
+# non-empty, disjoint slice of the corpus, (b) drop exactly the documents
+# they do not own, and (c) union — as a multiset of NDJSON lines — to
+# exactly the unsharded output.
+#
+# Usage: scripts/shard_smoke.sh   (from the repository root)
+set -euo pipefail
+
+workdir=$(mktemp -d)
+cleanup() { rm -rf "$workdir"; }
+trap cleanup EXIT
+
+echo "== building flashextract (race detector on) =="
+go build -race -o "$workdir/flashextract" ./cmd/flashextract
+
+echo "== learning a program from examples =="
+cat > "$workdir/doc.txt" <<'EOF'
+inventory
+Chair: Aeron (price: $540.00)
+Chair: Tulip (price: $99.99)
+EOF
+cat > "$workdir/schema.fx" <<'EOF'
+Struct(Names: Seq([name] String), Prices: Seq([price] Float))
+EOF
+cat > "$workdir/examples.fx" <<'EOF'
++ name find:Aeron:0
++ name find:Tulip:0
++ price find:540.00:0
++ price find:99.99:0
+EOF
+"$workdir/flashextract" -type text -in "$workdir/doc.txt" \
+    -schema "$workdir/schema.fx" -examples "$workdir/examples.fx" \
+    -save "$workdir/prog.json" > /dev/null
+
+echo "== generating a batch corpus (matching docs + non-matching padding) =="
+mkdir "$workdir/corpus"
+i=0
+for name in Bistro Windsor Wishbone Panton Bertoia Barcelona Wassily Eames \
+            Tolix Cesca Acapulco Tulip; do
+    i=$((i + 1))
+    printf 'inventory\nChair: %s (price: $%d.50)\n' "$name" $((i * 10 + 30)) \
+        > "$workdir/corpus/doc$(printf '%02d' $i).txt"
+done
+for pad in a b c; do
+    printf 'lorem ipsum dolor amet\nconsectetur adipiscing elit %s\n' "$pad" \
+        > "$workdir/corpus/pad-$pad.txt"
+done
+total=$(ls "$workdir/corpus" | wc -l)
+
+echo "== unsharded reference run =="
+"$workdir/flashextract" batch -load "$workdir/prog.json" -type text \
+    -ordered -workers 2 -prefilter -out "$workdir/full.ndjson" \
+    "$workdir/corpus/"'*.txt' 2> "$workdir/full.log"
+[ "$(wc -l < "$workdir/full.ndjson")" -eq "$total" ] \
+    || { echo "FAIL: unsharded run wrote $(wc -l < "$workdir/full.ndjson") of $total records"; exit 1; }
+
+owned_sum=0
+for k in 1 2 3; do
+    echo "== shard $k/3 =="
+    "$workdir/flashextract" batch -load "$workdir/prog.json" -type text \
+        -ordered -workers 2 -prefilter -shard "$k/3" \
+        -out "$workdir/shard$k.ndjson" \
+        "$workdir/corpus/"'*.txt' 2> "$workdir/shard$k.log"
+    owned=$(wc -l < "$workdir/shard$k.ndjson")
+    dropped=$(sed -n 's/.*, \([0-9][0-9]*\) shard-dropped.*/\1/p' "$workdir/shard$k.log" | tail -n 1)
+    echo "shard $k/3: $owned owned, ${dropped:-0} dropped"
+    [ "$owned" -gt 0 ] \
+        || { echo "FAIL: shard $k/3 owns no documents (degenerate partition)"; exit 1; }
+    [ $((owned + ${dropped:-0})) -eq "$total" ] \
+        || { echo "FAIL: shard $k/3 owned+dropped != $total"; exit 1; }
+    owned_sum=$((owned_sum + owned))
+done
+
+[ "$owned_sum" -eq "$total" ] \
+    || { echo "FAIL: shards own $owned_sum records in total, want $total (overlap or gap)"; exit 1; }
+
+echo "== union-equals-unsharded differential =="
+sort "$workdir"/shard[123].ndjson > "$workdir/union.sorted"
+sort "$workdir/full.ndjson" > "$workdir/full.sorted"
+if ! diff -u "$workdir/full.sorted" "$workdir/union.sorted"; then
+    echo "FAIL: the union of the three shards differs from the unsharded run"
+    exit 1
+fi
+
+echo "shard smoke: OK"
