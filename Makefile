@@ -4,7 +4,7 @@ GO ?= go
 # run fast and deterministic in duration; use a duration for real fuzzing).
 FUZZTIME ?= 40x
 
-.PHONY: all build vet test race check bench bench-synth bench-batch fuzz-smoke trace-smoke chaos-smoke shard-smoke trace
+.PHONY: all build vet test race check bench bench-synth bench-batch fuzz-smoke trace-smoke chaos-smoke shard-smoke serve-smoke trace
 
 all: check
 
@@ -32,6 +32,7 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzFromCSV -fuzztime $(FUZZTIME) ./internal/sheet
 	$(GO) test -run NONE -fuzz FuzzGridRoundTrip -fuzztime $(FUZZTIME) ./internal/sheet
 	$(GO) test -run NONE -fuzz FuzzPrefilterSound -fuzztime $(FUZZTIME) ./internal/prefilter
+	$(GO) test -run NONE -fuzz FuzzServeRequest -fuzztime $(FUZZTIME) ./internal/serve
 
 # check is what CI runs: compile everything, vet, and the race-enabled
 # test suite (which subsumes the plain one).
@@ -61,6 +62,14 @@ trace-smoke:
 # conservation counters intact, and no goroutine leaks.
 chaos-smoke:
 	./scripts/chaos_smoke.sh
+
+# serve-smoke stands up `flashextract serve -admin` over a learned program
+# directory, drives the flashextract-serve/v1 protocol over stdin/stdout
+# (ready, scan, scan_batch, structured error frames, SIGHUP hot reload),
+# checks /programs and /rpc on the admin side, and fails on an unclean
+# close-frame exit or goroutine leak.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # shard-smoke runs the hash-range sharding differential end to end under
 # the race detector: three `-shard k/3` runs must partition the corpus

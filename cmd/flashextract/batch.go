@@ -285,7 +285,7 @@ func checkGoroutineLeak(baseline int) error {
 			return nil
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("batch: goroutine leak: %d alive after shutdown (baseline %d)", n, baseline)
+			return fmt.Errorf("goroutine leak: %d alive after shutdown (baseline %d)", n, baseline)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}

@@ -29,6 +29,12 @@
 //
 //	flashextract batch -load prog.json -type text -out results.ndjson \
 //	    [-workers N] [-timeout 5s] [-ordered] 'logs/*.txt'
+//
+// The serve subcommand runs the long-lived extraction service over a
+// directory of named, versioned saved programs, speaking the
+// flashextract-serve/v1 NDJSON protocol on stdin/stdout:
+//
+//	flashextract serve -programs progs/ [-admin :8080] [-max-inflight N]
 package main
 
 import (
@@ -40,6 +46,13 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "batch" {
 		if err := runBatch(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "flashextract: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "flashextract: %v\n", err)
 			os.Exit(1)
 		}

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"time"
 
 	"flashextract/internal/batch"
@@ -27,14 +28,19 @@ import (
 	"flashextract/internal/trace"
 )
 
-// Server is the admin HTTP server for one batch run. Create with New,
-// start with Start, stop with Shutdown.
+// Server is the admin HTTP server of a serving process. Create with New,
+// start with Start, stop with Shutdown. A Server is reusable: Start after
+// Shutdown binds a fresh listener over the same mux, so embedders (and
+// tests) can cycle the endpoint any number of times in one process.
 type Server struct {
 	reg *metrics.Registry
 	mon *batch.Monitor
+	mux *http.ServeMux
+	inj *faults.Injector
+
+	mu  sync.Mutex
 	srv *http.Server
 	ln  net.Listener
-	inj *faults.Injector
 }
 
 // SetInjector arms fault injection on the server's response writes
@@ -81,39 +87,56 @@ type traceFile struct {
 // "idle" snapshot, so the server is always safe to stand up first and
 // attach a run to later.
 func New(reg *metrics.Registry, mon *batch.Monitor) *Server {
-	s := &Server{reg: reg, mon: mon}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.withFaults(s.handleMetrics))
-	mux.HandleFunc("/healthz", s.withFaults(s.handleHealthz))
-	mux.HandleFunc("/trace/last", s.withFaults(s.handleTraceLast))
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{reg: reg, mon: mon, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/metrics", s.withFaults(s.handleMetrics))
+	s.mux.HandleFunc("/healthz", s.withFaults(s.handleHealthz))
+	s.mux.HandleFunc("/trace/last", s.withFaults(s.handleTraceLast))
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
+}
+
+// Handle mounts an additional endpoint on the server's mux — the seam the
+// extraction server uses to add /programs and /rpc next to the built-in
+// introspection routes. The handler rides the same fault-injection wrapper
+// as the built-ins. Registering an already-taken pattern panics (ServeMux
+// semantics), so embedders own their route namespace.
+func (s *Server) Handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, s.withFaults(h))
 }
 
 // Start binds addr (":8080", "127.0.0.1:0", …) and serves in a background
 // goroutine. It returns after the listener is bound, so Addr is valid —
-// callers using port 0 can read the chosen port immediately.
+// callers using port 0 can read the chosen port immediately. The
+// http.Server is built per Start (a shut-down http.Server is not
+// reusable), so Start→Shutdown→Start cycles work on one *Server.
 func (s *Server) Start(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return fmt.Errorf("admin: already serving on %s", s.ln.Addr())
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("admin: listening on %s: %w", addr, err)
 	}
 	s.ln = ln
-	go func() {
+	s.srv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	go func(srv *http.Server, ln net.Listener) {
 		// ErrServerClosed is the normal Shutdown signal; anything else is
 		// lost here by design — the admin plane must never abort a batch.
-		_ = s.srv.Serve(ln)
-	}()
+		_ = srv.Serve(ln)
+	}(s.srv, ln)
 	return nil
 }
 
-// Addr returns the bound listen address, or "" before Start.
+// Addr returns the bound listen address, or "" when not serving.
 func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.ln == nil {
 		return ""
 	}
@@ -121,12 +144,16 @@ func (s *Server) Addr() string {
 }
 
 // Shutdown gracefully stops the server, waiting for in-flight requests up
-// to the context's deadline.
+// to the context's deadline. After Shutdown the server can Start again.
 func (s *Server) Shutdown(ctx context.Context) error {
-	if s.ln == nil {
+	s.mu.Lock()
+	srv := s.srv
+	s.srv, s.ln = nil, nil
+	s.mu.Unlock()
+	if srv == nil {
 		return nil
 	}
-	return s.srv.Shutdown(ctx)
+	return srv.Shutdown(ctx)
 }
 
 // handleMetrics serves the Prometheus text exposition of the registry.

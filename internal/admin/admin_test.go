@@ -188,3 +188,64 @@ func TestInjectedWriteErrors(t *testing.T) {
 		t.Fatalf("metrics status %d after write faults", code)
 	}
 }
+
+// TestRestartCycle: one Server must survive repeated Start/Shutdown
+// cycles in-process — the http.Server is rebuilt per Start, so a
+// shut-down listener never poisons the next cycle.
+func TestRestartCycle(t *testing.T) {
+	s := New(metrics.NewRegistry(), &batch.Monitor{})
+	for i := 0; i < 3; i++ {
+		if err := s.Start("127.0.0.1:0"); err != nil {
+			t.Fatalf("cycle %d: Start: %v", i, err)
+		}
+		addr := s.Addr()
+		if addr == "" {
+			t.Fatalf("cycle %d: no address while serving", i)
+		}
+		if code, _ := get(t, "http://"+addr+"/healthz"); code != http.StatusOK {
+			t.Fatalf("cycle %d: /healthz = %d", i, code)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		if err := s.Shutdown(ctx); err != nil {
+			cancel()
+			t.Fatalf("cycle %d: Shutdown: %v", i, err)
+		}
+		cancel()
+		if s.Addr() != "" {
+			t.Fatalf("cycle %d: address still set after shutdown", i)
+		}
+	}
+	// Shutdown when not serving is a no-op, not an error.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("idle Shutdown: %v", err)
+	}
+}
+
+// TestStartWhileServing: a second Start without a Shutdown is refused —
+// the listener is a singleton per server.
+func TestStartWhileServing(t *testing.T) {
+	s := startTestServer(t, metrics.NewRegistry(), &batch.Monitor{})
+	if err := s.Start("127.0.0.1:0"); err == nil {
+		t.Fatal("second Start succeeded while serving")
+	}
+}
+
+// TestHandleExtraRoute: embedder-mounted routes (the extraction server's
+// /programs and /rpc) serve through the same mux and fault wrapper.
+func TestHandleExtraRoute(t *testing.T) {
+	s := New(metrics.NewRegistry(), &batch.Monitor{})
+	s.Handle("/extra", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "extra ok")
+	})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	if code, body := get(t, "http://"+s.Addr()+"/extra"); code != http.StatusOK || body != "extra ok" {
+		t.Fatalf("/extra = %d %q", code, body)
+	}
+}

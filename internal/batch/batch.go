@@ -64,11 +64,27 @@ func StringSource(name, data string) Source {
 	return Source{Name: name, Open: func() ([]byte, error) { return []byte(data), nil }}
 }
 
+// ProgramSource supplies compiled program instances to the worker pool in
+// place of per-worker deserialization of Options.Program. Acquire hands a
+// worker an instance no other goroutine holds; Release returns it when the
+// worker drains, so instances are reused across runs without ever being
+// shared between concurrently running documents. The long-lived server's
+// program registry implements it to amortize compilation across requests.
+type ProgramSource interface {
+	Acquire() (*engine.SchemaProgram, error)
+	Release(*engine.SchemaProgram)
+}
+
 // Options configures a batch run.
 type Options struct {
 	// Program is the serialized schema extraction program artifact
-	// (the output of SaveProgram / engine.SaveSchemaProgram).
+	// (the output of SaveProgram / engine.SaveSchemaProgram). Ignored when
+	// Programs is set.
 	Program []byte
+	// Programs, when non-nil, supplies the workers' compiled program
+	// instances instead of Program — the learn-once/serve-many seam of the
+	// persistent server.
+	Programs ProgramSource
 	// DocType is the document type the program was learned on: "text",
 	// "web", or "sheet".
 	DocType string
@@ -236,10 +252,25 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 	// Validate the artifact once up front so a corrupt program fails the
 	// batch immediately instead of once per document; the instance also
 	// feeds the static prefilter analysis below (it is never run).
-	prog0, err := engine.LoadSchemaProgram(opts.Program, lang)
+	var prog0 *engine.SchemaProgram
+	if opts.Programs != nil {
+		prog0, err = opts.Programs.Acquire()
+	} else {
+		prog0, err = engine.LoadSchemaProgram(opts.Program, lang)
+	}
 	if err != nil {
 		return Summary{}, err
 	}
+	// prog0 is only read (prefilter analysis, the empty-outcome probe), so
+	// a registry-owned instance can go back to its pool as soon as the
+	// pre-run analysis is done — including on every error path.
+	releaseProg0 := func() {
+		if opts.Programs != nil && prog0 != nil {
+			opts.Programs.Release(prog0)
+			prog0 = nil
+		}
+	}
+	defer releaseProg0()
 	env := &runEnv{shard: docstore.Shard{K: opts.ShardIndex, N: opts.ShardCount}}
 	if err := env.shard.Validate(); err != nil {
 		return Summary{}, err
@@ -269,6 +300,7 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 		}
 		env.manifest = m
 	}
+	releaseProg0()
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -283,7 +315,6 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 	mon := opts.Monitor
 	mon.setRingCap(opts.TraceRing)
 	mon.runStarted(start)
-	defer func() { mon.runFinished(time.Now()) }()
 	ctx = faults.Into(ctx, opts.Chaos)
 	log := logx.From(ctx)
 	log.Info("batch run starting", "docs", len(sources), "workers", workers,
@@ -317,9 +348,19 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 			defer wg.Done()
 			mon.workerUp()
 			defer mon.workerDown()
-			// Each worker deserializes its own program instance, so program
-			// state is never shared across concurrently running documents.
-			prog, err := engine.LoadSchemaProgram(opts.Program, lang)
+			// Each worker gets its own program instance — deserialized here,
+			// or checked out of the ProgramSource pool — so program state is
+			// never shared across concurrently running documents.
+			var prog *engine.SchemaProgram
+			var err error
+			if opts.Programs != nil {
+				prog, err = opts.Programs.Acquire()
+				if prog != nil {
+					defer opts.Programs.Release(prog)
+				}
+			} else {
+				prog, err = engine.LoadSchemaProgram(opts.Program, lang)
+			}
 			for j := range jobs {
 				var rec Record
 				if err != nil {
@@ -389,6 +430,11 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 	sum.Skipped = len(sources) - sum.Docs - sum.ShardDropped
 	sum.Cancelled = ctx.Err() != nil
 	sum.Elapsed = time.Since(start)
+	// The run is drained: mark it finished *before* the conservation check,
+	// so a shared monitor knows this run no longer accounts for in-flight
+	// documents. (In a persistent server several runs share one monitor;
+	// ConservationError only judges a fully quiescent monitor.)
+	mon.runFinished(time.Now())
 	// Counter conservation: every dispatched document produced exactly one
 	// record or one shard drop, and the monitor agrees (processed ==
 	// submitted, nothing left in flight). A violation is a runtime bug, not
@@ -793,6 +839,11 @@ func writeRecord(out io.Writer, rec Record) error {
 	}
 	return nil
 }
+
+// LanguageFor returns the DSL of a document type ("text", "web", or
+// "sheet"), for deserializing program artifacts outside a run — the
+// server's program registry compiles catalog entries with it.
+func LanguageFor(docType string) (engine.Language, error) { return languageFor(docType) }
 
 // languageFor returns the DSL of a document type, for deserializing the
 // program artifact.

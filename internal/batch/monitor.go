@@ -18,7 +18,10 @@ import (
 // retains for /trace/last when Options.TraceRing is zero.
 const DefaultTraceRing = 32
 
-// Monitor aggregates the live state of one batch run. The zero value is
+// Monitor aggregates the live state of the batch runtime. One Monitor can
+// outlive any single Run: a persistent server hands the same instance to
+// every run it launches, so the counters accumulate across requests and
+// /healthz reports the process's whole serving history. The zero value is
 // ready to use; pass it via Options.Monitor and hand the same instance to
 // the admin server. A nil *Monitor is a valid no-op receiver throughout,
 // so the batch hot path carries no conditionals at call sites.
@@ -33,8 +36,10 @@ type Monitor struct {
 	dedupHits        atomic.Int64
 	resumeHits       atomic.Int64
 	shardDropped     atomic.Int64
-	started          atomic.Int64 // unix nanos of Run start; 0 = not started
-	finished         atomic.Int64 // unix nanos of Run end; 0 = still running
+	activeRuns       atomic.Int64 // Runs started and not yet drained
+	runs             atomic.Int64 // total Runs ever started
+	started          atomic.Int64 // unix nanos of the first Run start; 0 = never
+	finished         atomic.Int64 // unix nanos of the last drain; 0 = running
 
 	mu      sync.Mutex
 	ring    []*trace.Span // finished document root spans, oldest first
@@ -70,7 +75,10 @@ type Health struct {
 	// ShardDropped is the number of documents outside this process's
 	// hash-range shard.
 	ShardDropped int64 `json:"shard_dropped"`
-	// UptimeSeconds is the time since Run started (0 before the run).
+	// Runs is the number of batch runs this monitor has seen — 1 for a
+	// one-shot batch, one per scan/scan_batch request in the server.
+	Runs int64 `json:"runs"`
+	// UptimeSeconds is the time since the first run started (0 before it).
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
@@ -87,21 +95,27 @@ func (m *Monitor) setRingCap(n int) {
 	m.mu.Unlock()
 }
 
-// runStarted marks the beginning of a batch run.
+// runStarted marks the beginning of one batch run. Runs may overlap: the
+// monitor counts active runs and reports "running" while any is live.
 func (m *Monitor) runStarted(now time.Time) {
 	if m == nil {
 		return
 	}
-	m.started.Store(now.UnixNano())
+	m.activeRuns.Add(1)
+	m.runs.Add(1)
+	m.started.CompareAndSwap(0, now.UnixNano())
 	m.finished.Store(0)
 }
 
-// runFinished marks the end of a batch run.
+// runFinished marks the end of one batch run; the finish timestamp is
+// recorded when the last overlapping run drains.
 func (m *Monitor) runFinished(now time.Time) {
 	if m == nil {
 		return
 	}
-	m.finished.Store(now.UnixNano())
+	if m.activeRuns.Add(-1) == 0 {
+		m.finished.Store(now.UnixNano())
+	}
 }
 
 // workerUp / workerDown track worker-pool liveness.
@@ -200,13 +214,18 @@ func (m *Monitor) RecordTrace(root *trace.Span) {
 }
 
 // ConservationError checks the counter-conservation invariant of a
-// drained run: every document handed to a worker was processed exactly
+// drained monitor: every document handed to a worker was processed exactly
 // once (processed == submitted) and nothing is left in flight. Run calls
-// it after the results channel closes; calling it on a live run is
-// meaningless (documents are legitimately in flight). A nil error means
-// the invariant holds; nil Monitors always hold it.
+// it after the results channel closes; while any other run sharing the
+// monitor is still active the check is vacuous (documents are legitimately
+// in flight) and nil is returned — the last run to drain judges the whole
+// history. A nil error means the invariant holds; nil Monitors always
+// hold it.
 func (m *Monitor) ConservationError() error {
 	if m == nil {
+		return nil
+	}
+	if m.activeRuns.Load() > 0 {
 		return nil
 	}
 	sub, inf, proc := m.submitted.Load(), m.inFlight.Load(), m.processed.Load()
@@ -232,13 +251,14 @@ func (m *Monitor) Health() Health {
 		DedupHits:        m.dedupHits.Load(),
 		ResumeHits:       m.resumeHits.Load(),
 		ShardDropped:     m.shardDropped.Load(),
+		Runs:             m.runs.Load(),
 	}
 	started := m.started.Load()
 	finished := m.finished.Load()
 	switch {
 	case started == 0:
 		h.Status = "idle"
-	case finished == 0:
+	case m.activeRuns.Load() > 0 || finished == 0:
 		h.Status = "running"
 		h.UptimeSeconds = time.Since(time.Unix(0, started)).Seconds()
 	default:

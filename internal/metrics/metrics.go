@@ -68,6 +68,21 @@ const (
 	// BatchShardDropped counts documents outside this process's hash-range
 	// shard, dropped without a record.
 	BatchShardDropped = "batch_shard_dropped"
+
+	// ServeRequests counts protocol frames handled by the extraction
+	// server (every op, ok and error responses alike).
+	ServeRequests = "serve_requests"
+	// ServeErrors counts requests answered with an error frame.
+	ServeErrors = "serve_errors"
+	// ServeOverloaded counts requests rejected by the in-flight
+	// backpressure limit (a subset of ServeErrors).
+	ServeOverloaded = "serve_overloaded"
+	// ServeReloads counts successful program-registry reloads (the reload
+	// op and SIGHUP alike).
+	ServeReloads = "serve_reloads"
+	// ServeFrameSeconds is the end-to-end request latency histogram of the
+	// extraction server (decode through response write). Values are seconds.
+	ServeFrameSeconds = "serve_frame_seconds"
 )
 
 // Sink is the minimal recording interface the synthesis stack writes to.

@@ -1,0 +1,145 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flashextract/internal/batch"
+	"flashextract/internal/faults"
+	"flashextract/internal/serve"
+)
+
+// writeCorpus materializes a mixed corpus — matching documents, empty
+// files, and garbage — as files, returning the glob that covers them.
+func writeCorpus(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	for i := 0; i < n; i++ {
+		var content string
+		switch i % 4 {
+		case 0, 1:
+			content = chairDoc(fmt.Sprintf("Model%d", i), fmt.Sprintf("%d.75", i+1))
+		case 2:
+			content = "no chairs here\n"
+		case 3:
+			content = ""
+		}
+		path := filepath.Join(dir, fmt.Sprintf("doc%03d.txt", i))
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return filepath.Join(dir, "*.txt")
+}
+
+// oneShot runs the corpus through batch.Run exactly as the one-shot CLI
+// does — artifact deserialization per worker, no registry — and returns
+// the NDJSON bytes.
+func oneShot(t *testing.T, artifact []byte, glob string, chaosSpec string) []byte {
+	t.Helper()
+	matches, err := filepath.Glob(glob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := make([]batch.Source, len(matches))
+	for i, m := range matches {
+		sources[i] = batch.FileSource(m)
+	}
+	opts := batch.Options{Program: artifact, DocType: "text", Workers: 4, Ordered: true}
+	if chaosSpec != "" {
+		inj, err := faults.ParseSpec(chaosSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Chaos = inj
+		opts.SelfCheck = true
+	}
+	var buf bytes.Buffer
+	if _, err := batch.Run(context.Background(), opts, sources, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// viaServe runs the same corpus through a fresh server's scan_batch and
+// returns the reassembled NDJSON bytes.
+func viaServe(t *testing.T, glob string, chaosSpec string) []byte {
+	t.Helper()
+	opts := serve.Options{Workers: 4}
+	if chaosSpec != "" {
+		inj, err := faults.ParseSpec(chaosSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Chaos = inj
+		opts.SelfCheck = true
+	}
+	s := newServer(t, programDir(t), opts)
+	req := mustJSON(t, map[string]any{
+		"id": "diff", "op": "scan_batch", "program": "chairs", "globs": []string{glob},
+	})
+	resp := s.HandleLine(context.Background(), []byte(req))
+	if !resp.OK {
+		t.Fatalf("scan_batch failed: %+v", resp)
+	}
+	return joinRecords(resp.Records)
+}
+
+// TestScanBatchMatchesOneShotBatch: the tentpole differential — the
+// persistent server's scan_batch must be byte-identical to the one-shot
+// batch runtime over the same corpus and program, glob expansion included.
+func TestScanBatchMatchesOneShotBatch(t *testing.T) {
+	glob := writeCorpus(t, 24)
+	artifact := learnChairProgram(t)
+	want := oneShot(t, artifact, glob, "")
+	got := viaServe(t, glob, "")
+	if len(want) == 0 {
+		t.Fatal("empty one-shot output; the corpus did not run")
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("scan_batch diverges from one-shot batch\n--- serve ---\n%s--- batch ---\n%s", got, want)
+	}
+}
+
+// TestScanBatchMatchesOneShotBatchChaos: the same differential with the
+// deterministic transient/output-neutral chaos sites armed — fresh
+// injectors built from the same seed on both sides, since fault decisions
+// are deterministic per (seed, site, key) but consume attempts.
+func TestScanBatchMatchesOneShotBatchChaos(t *testing.T) {
+	glob := writeCorpus(t, 24)
+	artifact := learnChairProgram(t)
+	const spec = "seed=11,delay=1ms"
+	want := oneShot(t, artifact, glob, spec)
+	got := viaServe(t, glob, spec)
+	if !bytes.Equal(got, want) {
+		t.Errorf("chaos scan_batch diverges from one-shot chaos batch\n--- serve ---\n%s--- batch ---\n%s", got, want)
+	}
+	// And chaos must have been byte-neutral in the first place.
+	if plain := oneShot(t, artifact, glob, ""); !bytes.Equal(want, plain) {
+		t.Errorf("transient chaos sites changed the one-shot output")
+	}
+}
+
+// TestScanMatchesScanBatch: a scan is definitionally a one-document
+// scan_batch; their records must be byte-identical.
+func TestScanMatchesScanBatch(t *testing.T) {
+	s := newServer(t, programDir(t), serve.Options{})
+	content := chairDoc("Bistro", "75.40")
+	scan := s.HandleLine(context.Background(), []byte(mustJSON(t, map[string]any{
+		"id": "1", "op": "scan", "program": "chairs", "doc_name": "d.txt", "content": content,
+	})))
+	sb := s.HandleLine(context.Background(), []byte(mustJSON(t, map[string]any{
+		"id": "2", "op": "scan_batch", "program": "chairs",
+		"docs": []map[string]string{{"name": "d.txt", "content": content}},
+	})))
+	if !scan.OK || !sb.OK {
+		t.Fatalf("scan=%+v scan_batch=%+v", scan, sb)
+	}
+	if len(sb.Records) != 1 || !bytes.Equal(scan.Record, sb.Records[0]) {
+		t.Errorf("scan record %s != scan_batch record %v", scan.Record, sb.Records)
+	}
+}

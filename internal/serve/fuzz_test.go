@@ -1,0 +1,67 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"flashextract/internal/serve"
+)
+
+// FuzzServeRequest fuzzes the NDJSON frame decoder end to end through
+// HandleLine: whatever bytes arrive, the server must not panic and must
+// answer with exactly one well-formed frame — ok xor error, marshalable,
+// and with a crafted (never toolchain-dependent) bad_request message for
+// malformed input. The registry is empty, so program references miss
+// cheaply and the fuzzer spends its budget on the decoder, not on
+// extraction.
+func FuzzServeRequest(f *testing.F) {
+	seeds := []string{
+		`{"id":"1","op":"list_programs"}`,
+		`{"id":"2","op":"reload"}`,
+		`{"id":"3","op":"close"}`,
+		`{"id":"4","op":"scan","program":"chairs","content":"inventory\n"}`,
+		`{"id":"5","op":"scan_batch","program":"chairs@2","docs":[{"name":"a","content":"x"}],"timeout_ms":50,"ordered":false}`,
+		`{"id":"6","op":"scan_batch","program":"p","globs":["*.txt"]}`,
+		`{"id":"7","op":"scan","program":"p","timeout_ms":-1}`,
+		`{"id":8,"op":"scan"}`,
+		`{not json`,
+		`42`,
+		`"scan"`,
+		`[]`,
+		`null`,
+		``,
+		"\x00\xff\xfe",
+		`{"op":{}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	dir := f.TempDir()
+	reg := serve.NewRegistry(dir, 0)
+	if _, _, err := reg.Load(); err != nil {
+		f.Fatal(err)
+	}
+	srv, err := serve.New(serve.Options{Registry: reg})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ctx := context.Background()
+	f.Fuzz(func(t *testing.T, line []byte) {
+		resp := srv.HandleLine(ctx, line)
+		if resp.OK == (resp.Error != nil) {
+			t.Fatalf("input %q: frame is not ok xor error: %+v", line, resp)
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatalf("input %q: response does not marshal: %v", line, err)
+		}
+		if !json.Valid(out) {
+			t.Fatalf("input %q: response is not valid JSON: %s", line, out)
+		}
+		var round serve.Response
+		if err := json.Unmarshal(out, &round); err != nil {
+			t.Fatalf("input %q: response does not round-trip: %v", line, err)
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flashextract/internal/faults"
+	"flashextract/internal/serve"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden protocol transcripts")
+
+// step is one scripted exchange of a golden session: an optional action
+// run before the request is sent (e.g. dropping a new program artifact
+// into the directory ahead of a reload frame).
+type step struct {
+	before func(t *testing.T)
+	req    string
+}
+
+// transcript drives a scripted session request-at-a-time and renders both
+// directions: "> " client frames, "< " server frames. Requests wait for
+// their response before the next is sent, so the transcript bytes are
+// fully deterministic even though the server overlaps scans in general.
+func transcript(t *testing.T, s *serve.Server, steps []step) []byte {
+	t.Helper()
+	ss := startSession(t, context.Background(), s)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "< %s\n", ss.recv())
+	for _, st := range steps {
+		if st.before != nil {
+			st.before(t)
+		}
+		ss.send(st.req)
+		fmt.Fprintf(&buf, "> %s\n", st.req)
+		fmt.Fprintf(&buf, "< %s\n", ss.recv())
+	}
+	if err := ss.close(); err != nil {
+		t.Fatalf("serve returned %v", err)
+	}
+	return buf.Bytes()
+}
+
+// checkGolden compares a transcript byte-for-byte against its golden file
+// (rewriting it under -update).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test ./internal/serve -run Golden -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("transcript diverges from %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenBasicSession covers the happy path end to end: ready, catalog
+// listing, scans, an inline scan_batch, a hot reload picking up a new
+// version, and close.
+func TestGoldenBasicSession(t *testing.T) {
+	dir := programDir(t)
+	s := newServer(t, dir, serve.Options{})
+	got := transcript(t, s, []step{
+		{req: `{"id":"1","op":"list_programs"}`},
+		{req: `{"id":"2","op":"scan","program":"chairs","content":"inventory\nChair: Bistro (price: $75.40)\n"}`},
+		{req: `{"id":"3","op":"scan","program":"chairs@1","doc_name":"b.txt","content":"inventory\nChair: Windsor (price: $185.00)\n"}`},
+		{req: `{"id":"4","op":"scan_batch","program":"chairs","docs":[{"name":"a.txt","content":"inventory\nChair: Aeron (price: $540.00)\n"},{"name":"b.txt","content":"inventory\nChair: Tulip (price: $99.99)\n"}]}`},
+		{
+			before: func(t *testing.T) { writeProgram(t, dir, "chairs@2.text.json", learnNamesProgram(t)) },
+			req:    `{"id":"5","op":"reload"}`,
+		},
+		{req: `{"id":"6","op":"scan","program":"chairs","content":"inventory\nChair: Bistro (price: $75.40)\n"}`},
+		{req: `{"id":"7","op":"scan","program":"chairs@1","content":"inventory\nChair: Bistro (price: $75.40)\n"}`},
+		{req: `{"id":"8","op":"close"}`},
+	})
+	checkGolden(t, "basic_session", got)
+}
+
+// TestGoldenMalformedFrames covers the decode taxonomy: every broken input
+// yields exactly one structured error frame with a crafted message, and
+// the stream keeps serving afterwards.
+func TestGoldenMalformedFrames(t *testing.T) {
+	s := newServer(t, programDir(t), serve.Options{})
+	got := transcript(t, s, []step{
+		{req: `{this is not json`},
+		{req: `42`},
+		{req: `["op","scan"]`},
+		{req: `{"id":"e1","op":7}`},
+		{req: `{"id":"e2"}`},
+		{req: `{"id":"e3","op":"scan","program":"chairs","timeout_ms":-5}`},
+		{req: `{"id":"e4","op":"frobnicate"}`},
+		{req: `{"id":"e5","op":"scan","content":"inventory\n"}`},
+		{req: `{"id":"e6","op":"close"}`},
+	})
+	checkGolden(t, "malformed_frames", got)
+}
+
+// TestGoldenProgramResolution covers registry misses: unknown names,
+// version mismatches, bad version syntax, and an empty scan_batch.
+func TestGoldenProgramResolution(t *testing.T) {
+	s := newServer(t, programDir(t), serve.Options{})
+	got := transcript(t, s, []step{
+		{req: `{"id":"r1","op":"scan","program":"tables","content":"x"}`},
+		{req: `{"id":"r2","op":"scan","program":"chairs@9","content":"x"}`},
+		{req: `{"id":"r3","op":"scan","program":"chairs@zero","content":"x"}`},
+		{req: `{"id":"r4","op":"scan_batch","program":"chairs"}`},
+		{req: `{"id":"r5","op":"close"}`},
+	})
+	checkGolden(t, "program_resolution", got)
+}
+
+// TestGoldenDeadline covers the deadline taxonomy deterministically: the
+// chaos budget site trips every run, so the scan's document fails with a
+// budget record that surfaces as a deadline error frame carrying the
+// record.
+func TestGoldenDeadline(t *testing.T) {
+	inj, err := faults.ParseSpec("seed=7,rate=1,sites=engine.budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(t, programDir(t), serve.Options{Chaos: inj})
+	got := transcript(t, s, []step{
+		{req: `{"id":"d1","op":"scan","program":"chairs","content":"inventory\nChair: Bistro (price: $75.40)\n","timeout_ms":5000}`},
+		{req: `{"id":"d2","op":"close"}`},
+	})
+	checkGolden(t, "deadline", got)
+}
+
+// TestGoldenOverload covers backpressure: with two in-flight document
+// slots, a three-document scan_batch is refused with an overloaded frame
+// while a single scan still fits.
+func TestGoldenOverload(t *testing.T) {
+	s := newServer(t, programDir(t), serve.Options{MaxInflight: 2})
+	got := transcript(t, s, []step{
+		{req: `{"id":"o1","op":"scan_batch","program":"chairs","docs":[{"name":"a","content":"inventory\n"},{"name":"b","content":"inventory\n"},{"name":"c","content":"inventory\n"}]}`},
+		{req: `{"id":"o2","op":"scan","program":"chairs","content":"inventory\nChair: Bistro (price: $75.40)\n"}`},
+		{req: `{"id":"o3","op":"close"}`},
+	})
+	checkGolden(t, "overload", got)
+}

@@ -1,0 +1,244 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flashextract/internal/batch"
+	"flashextract/internal/faults"
+	"flashextract/internal/metrics"
+	"flashextract/internal/serve"
+)
+
+// waitGoroutines polls until the goroutine count drains back to (about)
+// the baseline, failing the test if it never does — the leak self-check of
+// the concurrency suite.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	const slack = 3
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d alive, baseline %d\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestConcurrentClients runs N concurrent stream clients interleaving
+// scan, scan_batch, list_programs, and reload against one server — with
+// hot reloads rewriting the program directory mid-flight — and self-checks
+// for goroutine leaks after every stream closes. Run under -race, this is
+// the data-race coverage of the serving stack.
+func TestConcurrentClients(t *testing.T) {
+	dir := programDir(t)
+	reg := metrics.NewRegistry()
+	s := newServer(t, dir, serve.Options{Metrics: reg, Monitor: &batch.Monitor{}, MaxInflight: 256})
+	baseline := runtime.NumGoroutine()
+
+	const clients = 8
+	const iters = 12
+	// A writer goroutine keeps flipping chairs@2 in and out of the
+	// directory so reloads genuinely add and remove catalog entries.
+	namesArtifact := learnNamesProgram(t)
+	var flip sync.WaitGroup
+	stopFlip := make(chan struct{})
+	flip.Add(1)
+	go func() {
+		defer flip.Done()
+		present := false
+		for {
+			select {
+			case <-stopFlip:
+				return
+			default:
+			}
+			// Plain os calls: helpers that can Fatal don't belong off the
+			// test goroutine, and a transient fs hiccup here is harmless.
+			if present {
+				_ = os.Remove(filepath.Join(dir, "chairs@2.text.json"))
+			} else {
+				_ = os.WriteFile(filepath.Join(dir, "chairs@2.text.json"), namesArtifact, 0o644)
+			}
+			present = !present
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ss := startSession(t, context.Background(), s)
+			if got := ss.recvResponse(); got.Op != serve.OpReady {
+				t.Errorf("client %d: first frame %+v", c, got)
+				return
+			}
+			for i := 0; i < iters; i++ {
+				id := fmt.Sprintf("c%d-%d", c, i)
+				switch i % 4 {
+				case 0:
+					resp := ss.roundTrip(`{"id":"` + id + `","op":"scan","program":"chairs@1","content":"inventory\nChair: X (price: $1.00)\n"}`)
+					if !resp.OK {
+						t.Errorf("client %d scan: %+v", c, resp)
+					}
+				case 1:
+					resp := ss.roundTrip(`{"id":"` + id + `","op":"scan_batch","program":"chairs@1","docs":[{"name":"a","content":"inventory\nChair: Y (price: $2.00)\n"},{"name":"b","content":"x"}]}`)
+					if !resp.OK || len(resp.Records) != 2 {
+						t.Errorf("client %d scan_batch: %+v", c, resp)
+					}
+				case 2:
+					resp := ss.roundTrip(`{"id":"` + id + `","op":"list_programs"}`)
+					if !resp.OK {
+						t.Errorf("client %d list: %+v", c, resp)
+					}
+				case 3:
+					// Reload races with the flipper; both outcomes are fine,
+					// but the frame must be well-formed.
+					resp := ss.roundTrip(`{"id":"` + id + `","op":"reload"}`)
+					if resp.OK == (resp.Error != nil) {
+						t.Errorf("client %d reload frame: %+v", c, resp)
+					}
+				}
+			}
+			resp := ss.roundTrip(`{"id":"bye","op":"close"}`)
+			if !resp.OK || resp.Op != serve.OpClose {
+				t.Errorf("client %d close: %+v", c, resp)
+			}
+			if err := ss.close(); err != nil {
+				t.Errorf("client %d serve returned %v", c, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stopFlip)
+	flip.Wait()
+	waitGoroutines(t, baseline)
+	if got := s.InflightDocs(); got != 0 {
+		t.Fatalf("in-flight docs after drain: %d", got)
+	}
+}
+
+// TestReloadKeepsInFlightOnOldVersion proves hot-reload isolation end to
+// end: a scan resolves chairs@1, a worker-slow chaos stall holds it in
+// flight while a reload replaces the catalog with chairs@2 — and the scan
+// still answers with the old program's output (prices present), while a
+// scan sent after the reload runs the new one (names only).
+func TestReloadKeepsInFlightOnOldVersion(t *testing.T) {
+	dir := programDir(t)
+	inj, err := faults.ParseSpec("seed=3,rate=1,delay=150ms,sites=batch.worker_slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(t, dir, serve.Options{Chaos: inj})
+	ss := startSession(t, context.Background(), s)
+	if got := ss.recvResponse(); got.Op != serve.OpReady {
+		t.Fatalf("first frame = %+v", got)
+	}
+
+	// The scan resolves v1 at frame arrival, then stalls in the worker.
+	ss.send(`{"id":"old","op":"scan","program":"chairs","content":"inventory\nChair: Bistro (price: $75.40)\n"}`)
+	// The reload processes inline while the scan is stalled: v1 out, v2 in.
+	removeProgram(t, dir, "chairs@1.text.json")
+	writeProgram(t, dir, "chairs@2.text.json", learnNamesProgram(t))
+	ss.send(`{"id":"swap","op":"reload"}`)
+
+	reload := ss.recvResponse()
+	if reload.ID != "swap" || !reload.OK || reload.Added != 1 || reload.Removed != 1 {
+		t.Fatalf("reload frame = %+v (the stalled scan must not block it)", reload)
+	}
+	old := ss.recvResponse()
+	if old.ID != "old" || !old.OK {
+		t.Fatalf("stalled scan = %+v", old)
+	}
+	if !strings.Contains(string(old.Record), `"Prices":[75.40]`) {
+		t.Fatalf("in-flight scan did not finish on the old version: %s", old.Record)
+	}
+
+	after := ss.roundTrip(`{"id":"new","op":"scan","program":"chairs","content":"inventory\nChair: Bistro (price: $75.40)\n"}`)
+	if !after.OK {
+		t.Fatalf("post-reload scan = %+v", after)
+	}
+	if strings.Contains(string(after.Record), "Prices") {
+		t.Fatalf("post-reload scan still ran the old version: %s", after.Record)
+	}
+	if resp := ss.roundTrip(`{"id":"z","op":"close"}`); !resp.OK {
+		t.Fatalf("close = %+v", resp)
+	}
+	if err := ss.close(); err != nil {
+		t.Fatalf("serve returned %v", err)
+	}
+}
+
+// TestConcurrentHandleLine exercises the synchronous transport under
+// concurrency: the /rpc path shares the limiter, registry, and pools with
+// the streams.
+func TestConcurrentHandleLine(t *testing.T) {
+	s := newServer(t, programDir(t), serve.Options{MaxInflight: 64})
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				line := fmt.Sprintf(`{"id":"h%d-%d","op":"scan","program":"chairs","content":"inventory\nChair: Z (price: $9.99)\n"}`, c, i)
+				resp := s.HandleLine(context.Background(), []byte(line))
+				if !resp.OK {
+					t.Errorf("scan: %+v", resp)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if got := s.InflightDocs(); got != 0 {
+		t.Fatalf("in-flight docs after drain: %d", got)
+	}
+}
+
+// TestStreamCancelDrains: cancelling the stream context mid-request
+// returns from Serve with every in-flight request answered (cancelled
+// records, not dropped frames) and no goroutine left behind.
+func TestStreamCancelDrains(t *testing.T) {
+	dir := programDir(t)
+	inj, err := faults.ParseSpec("seed=5,rate=1,delay=100ms,sites=batch.worker_slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(t, dir, serve.Options{Chaos: inj})
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	ss := startSession(t, ctx, s)
+	if got := ss.recvResponse(); got.Op != serve.OpReady {
+		t.Fatalf("first frame = %+v", got)
+	}
+	ss.send(`{"id":"s","op":"scan","program":"chairs","content":"inventory\nChair: Q (price: $3.50)\n"}`)
+	time.Sleep(20 * time.Millisecond) // let the scan enter its stall
+	cancel()
+	// The stalled scan's frame is still written before Serve returns.
+	resp := ss.recvResponse()
+	if resp.ID != "s" {
+		t.Fatalf("in-flight frame = %+v", resp)
+	}
+	if resp.OK == (resp.Error != nil) {
+		t.Fatalf("drained frame is not ok xor error: %+v", resp)
+	}
+	if err := ss.close(); err != context.Canceled {
+		t.Fatalf("serve returned %v, want context.Canceled", err)
+	}
+	waitGoroutines(t, baseline)
+}

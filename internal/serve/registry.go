@@ -1,0 +1,442 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"flashextract/internal/batch"
+	"flashextract/internal/docstore"
+	"flashextract/internal/engine"
+)
+
+// DefaultCompiledCap bounds the registry's pool of compiled program
+// instances when NewRegistry is given a non-positive cap.
+const DefaultCompiledCap = 16
+
+// Registry is the program catalog of the extraction server: named,
+// versioned saved programs loaded from a directory, the learn-once/
+// serve-many store of §7 of the paper.
+//
+// Artifacts follow the naming convention
+//
+//	<name>@<version>.<doctype>.json
+//
+// e.g. invoices@3.text.json — name [A-Za-z0-9_-]+, version a positive
+// integer, doctype one of text/web/sheet. Load scans the directory and
+// swaps the catalog atomically; entries whose bytes did not change keep
+// their identity (and their compiled-program pool and counters) across
+// reloads, and an entry resolved before a reload stays runnable after it,
+// so in-flight requests always finish on the version they resolved.
+//
+// Compiled programs are pooled per entry under a registry-wide LRU with a
+// size cap: Acquire checks an instance out (compiling only on a pool
+// miss), Release returns it, and the least recently used entries' spare
+// instances are dropped first when the cap is exceeded. Entry implements
+// batch.ProgramSource, so the batch worker pool draws its per-worker
+// programs straight from the pool.
+type Registry struct {
+	dir string
+	cap int
+
+	mu      sync.RWMutex
+	catalog map[string][]*Entry // name → entries, version ascending
+
+	// The compiled-instance pool: entries with spare instances sit in an
+	// LRU list (front = most recently used); cached counts the spare
+	// instances across all entries.
+	pmu    sync.Mutex
+	lru    *list.List
+	cached int
+}
+
+// Entry is one catalog program: an immutable artifact plus its pooled
+// compiled instances and serving counters. Entries remain valid after the
+// catalog drops them — holders finish their runs on the old version.
+type Entry struct {
+	// Name, Version, and DocType come from the filename convention.
+	Name    string
+	Version int
+	DocType string
+	// Path is the artifact file the entry was loaded from.
+	Path string
+	// Digest is the hex SHA-256 of the artifact bytes.
+	Digest string
+
+	raw []byte
+	reg *Registry
+
+	// free holds spare compiled instances; elem is the entry's LRU slot
+	// (non-nil iff len(free) > 0). Both are guarded by reg.pmu.
+	free []*engine.SchemaProgram
+	elem *list.Element
+
+	// compiles counts artifact deserializations (pool misses); scans,
+	// docs, and errs are the per-program serving counters surfaced by
+	// /programs.
+	compiles atomic.Int64
+	scans    atomic.Int64
+	docs     atomic.Int64
+	errs     atomic.Int64
+}
+
+// Errors distinguishing the two ways a program reference can miss, so the
+// server can answer unknown_program vs version_mismatch.
+var (
+	ErrUnknownProgram  = fmt.Errorf("serve: unknown program")
+	ErrVersionMismatch = fmt.Errorf("serve: version mismatch")
+)
+
+// NewRegistry creates a registry over a program directory; call Load
+// before serving. cap bounds the pooled compiled instances (<= 0 selects
+// DefaultCompiledCap).
+func NewRegistry(dir string, cap int) *Registry {
+	if cap <= 0 {
+		cap = DefaultCompiledCap
+	}
+	return &Registry{dir: dir, cap: cap, catalog: map[string][]*Entry{}, lru: list.New()}
+}
+
+// Dir returns the program directory the registry scans.
+func (r *Registry) Dir() string { return r.dir }
+
+// Load (re)scans the program directory and atomically swaps the catalog.
+// Every discovered artifact is compiled once up front, so a corrupt file
+// fails the whole load and the previous catalog stays live — a bad deploy
+// never takes down serving. Unchanged entries (same name, version, and
+// digest) keep their identity; Load reports how many entries were added
+// and removed relative to the previous catalog.
+func (r *Registry) Load() (added, removed int, err error) {
+	if _, err := os.Stat(r.dir); err != nil {
+		return 0, 0, fmt.Errorf("serve: program directory: %w", err)
+	}
+	names, err := filepath.Glob(filepath.Join(r.dir, "*.json"))
+	if err != nil {
+		return 0, 0, fmt.Errorf("serve: scanning %s: %w", r.dir, err)
+	}
+	sort.Strings(names)
+	// Filename-only pre-pass: catch convention violations and duplicate
+	// references before paying for any compile.
+	refs := map[string]string{}
+	for _, path := range names {
+		name, version, _, err := parseProgramFilename(filepath.Base(path))
+		if err != nil {
+			return 0, 0, err
+		}
+		ref := fmt.Sprintf("%s@%d", name, version)
+		if prev, ok := refs[ref]; ok {
+			return 0, 0, fmt.Errorf("serve: duplicate program %s (%s and %s)", ref, prev, path)
+		}
+		refs[ref] = path
+	}
+	next := map[string][]*Entry{}
+	seen := map[string]*Entry{}
+	compiled := map[*Entry]*engine.SchemaProgram{}
+	for _, path := range names {
+		e, prog, err := r.loadEntry(path)
+		if err != nil {
+			return 0, 0, err
+		}
+		seen[e.Ref()] = e
+		compiled[e] = prog
+		next[e.Name] = append(next[e.Name], e)
+	}
+	for _, es := range next {
+		sort.Slice(es, func(i, j int) bool { return es[i].Version < es[j].Version })
+	}
+
+	r.mu.Lock()
+	prev := r.catalog
+	// Preserve identity for unchanged artifacts (same name, version, and
+	// digest) so their pools and counters survive the reload.
+	for name, es := range next {
+		for i, e := range es {
+			for _, old := range prev[name] {
+				if old.Version == e.Version && old.Digest == e.Digest {
+					es[i] = old
+				}
+			}
+		}
+	}
+	kept := map[*Entry]bool{}
+	for _, es := range next {
+		for _, e := range es {
+			kept[e] = true
+		}
+	}
+	for _, es := range prev {
+		for _, e := range es {
+			if !kept[e] {
+				removed++
+			}
+		}
+	}
+	prevCount := 0
+	for _, es := range prev {
+		prevCount += len(es)
+	}
+	added = len(seen) - (prevCount - removed)
+	r.catalog = next
+	r.mu.Unlock()
+	// Seed the pools of the entries that actually entered the catalog with
+	// their validation compiles; instances of entries superseded by an
+	// unchanged predecessor are simply dropped.
+	for e, prog := range compiled {
+		if kept[e] {
+			e.Release(prog)
+		}
+	}
+	return added, removed, nil
+}
+
+// loadEntry parses one artifact file — filename convention, digest, and a
+// validation compile returned alongside the entry so Load can seed the
+// pool of entries that make it into the catalog.
+func (r *Registry) loadEntry(path string) (*Entry, *engine.SchemaProgram, error) {
+	name, version, docType, err := parseProgramFilename(filepath.Base(path))
+	if err != nil {
+		return nil, nil, err
+	}
+	lang, err := batch.LanguageFor(docType)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: %s: %w", filepath.Base(path), err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: reading %s: %w", filepath.Base(path), err)
+	}
+	e := &Entry{
+		Name: name, Version: version, DocType: docType, Path: path,
+		Digest: docstore.Hash(raw).String(),
+		raw:    raw, reg: r,
+	}
+	prog, err := engine.LoadSchemaProgram(raw, lang)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: compiling %s: %w", filepath.Base(path), err)
+	}
+	e.compiles.Add(1)
+	return e, prog, nil
+}
+
+// parseProgramFilename splits "<name>@<version>.<doctype>.json".
+func parseProgramFilename(base string) (name string, version int, docType string, err error) {
+	fail := func() (string, int, string, error) {
+		return "", 0, "", fmt.Errorf("serve: program file %q does not match <name>@<version>.<doctype>.json", base)
+	}
+	stem, ok := strings.CutSuffix(base, ".json")
+	if !ok {
+		return fail()
+	}
+	stem, docType, ok = cutLast(stem, ".")
+	if !ok || docType == "" {
+		return fail()
+	}
+	name, ver, ok := strings.Cut(stem, "@")
+	if !ok || name == "" || strings.ContainsAny(name, ".@/\\") {
+		return fail()
+	}
+	for _, c := range name {
+		if !(c == '-' || c == '_' || c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z') {
+			return fail()
+		}
+	}
+	version, aerr := strconv.Atoi(ver)
+	if aerr != nil || version < 1 {
+		return fail()
+	}
+	return name, version, docType, nil
+}
+
+// cutLast splits s around the last occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+// Resolve looks a program reference up in the current catalog: "name"
+// resolves the newest version, "name@V" pins one. Misses wrap
+// ErrUnknownProgram or ErrVersionMismatch so the server can classify
+// them. The returned entry stays runnable even if a reload later drops it
+// from the catalog.
+func (r *Registry) Resolve(ref string) (*Entry, error) {
+	name, ver, pinned := strings.Cut(ref, "@")
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty program reference", ErrUnknownProgram)
+	}
+	r.mu.RLock()
+	es := r.catalog[name]
+	r.mu.RUnlock()
+	if len(es) == 0 {
+		return nil, fmt.Errorf("%w %q", ErrUnknownProgram, name)
+	}
+	if !pinned {
+		return es[len(es)-1], nil
+	}
+	v, err := strconv.Atoi(ver)
+	if err != nil || v < 1 {
+		return nil, fmt.Errorf("%w %q: bad version %q", ErrVersionMismatch, name, ver)
+	}
+	for _, e := range es {
+		if e.Version == v {
+			return e, nil
+		}
+	}
+	have := make([]string, len(es))
+	for i, e := range es {
+		have[i] = strconv.Itoa(e.Version)
+	}
+	return nil, fmt.Errorf("%w: %s has versions %s, not %d", ErrVersionMismatch, name, strings.Join(have, ", "), v)
+}
+
+// List returns the catalog, sorted by name then version.
+func (r *Registry) List() []*Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.catalog))
+	for name := range r.catalog {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []*Entry
+	for _, name := range names {
+		out = append(out, r.catalog[name]...)
+	}
+	return out
+}
+
+// Len returns the number of catalog entries.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, es := range r.catalog {
+		n += len(es)
+	}
+	return n
+}
+
+// Ref returns the entry's canonical "name@version" reference.
+func (e *Entry) Ref() string { return fmt.Sprintf("%s@%d", e.Name, e.Version) }
+
+// Raw returns the artifact bytes (callers must not mutate them).
+func (e *Entry) Raw() []byte { return e.raw }
+
+// Info returns the entry's protocol listing.
+func (e *Entry) Info() ProgramInfo {
+	return ProgramInfo{Name: e.Name, Version: e.Version, Ref: e.Ref(),
+		DocType: e.DocType, Digest: e.Digest}
+}
+
+// Compiles returns how many times the artifact has been deserialized —
+// the pool-miss count the soak test pins down to prove the LRU carries
+// the serving load.
+func (e *Entry) Compiles() int64 { return e.compiles.Load() }
+
+// Scans / Docs / Errors return the entry's serving counters: requests that
+// ran it, documents those runs processed, and error records among them.
+func (e *Entry) Scans() int64  { return e.scans.Load() }
+func (e *Entry) Docs() int64   { return e.docs.Load() }
+func (e *Entry) Errors() int64 { return e.errs.Load() }
+
+// noteScan records one run of the entry into its serving counters.
+func (e *Entry) noteScan(docs, errs int64) {
+	e.scans.Add(1)
+	e.docs.Add(docs)
+	e.errs.Add(errs)
+}
+
+// Cached reports the entry's spare compiled instances currently pooled.
+func (e *Entry) Cached() int {
+	e.reg.pmu.Lock()
+	defer e.reg.pmu.Unlock()
+	return len(e.free)
+}
+
+// Acquire implements batch.ProgramSource: it checks a compiled instance
+// out of the pool, compiling the artifact only on a miss. The instance is
+// exclusively the caller's until Release.
+func (e *Entry) Acquire() (*engine.SchemaProgram, error) {
+	e.reg.pmu.Lock()
+	if n := len(e.free); n > 0 {
+		prog := e.free[n-1]
+		e.free = e.free[:n-1]
+		e.reg.cached--
+		e.touchLocked()
+		e.reg.pmu.Unlock()
+		return prog, nil
+	}
+	e.reg.pmu.Unlock()
+	lang, err := batch.LanguageFor(e.DocType)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := engine.LoadSchemaProgram(e.raw, lang)
+	if err != nil {
+		return nil, fmt.Errorf("serve: compiling %s: %w", e.Ref(), err)
+	}
+	e.compiles.Add(1)
+	return prog, nil
+}
+
+// Release implements batch.ProgramSource: it returns an instance to the
+// pool and evicts least-recently-used spares beyond the registry cap.
+func (e *Entry) Release(prog *engine.SchemaProgram) {
+	if prog == nil {
+		return
+	}
+	r := e.reg
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
+	e.free = append(e.free, prog)
+	r.cached++
+	e.touchLocked()
+	for r.cached > r.cap {
+		back := r.lru.Back()
+		if back == nil {
+			return
+		}
+		tail := back.Value.(*Entry)
+		n := len(tail.free)
+		tail.free[n-1] = nil
+		tail.free = tail.free[:n-1]
+		r.cached--
+		if len(tail.free) == 0 {
+			r.lru.Remove(back)
+			tail.elem = nil
+		}
+	}
+}
+
+// touchLocked moves the entry to the LRU front (inserting or removing its
+// slot as its spare count crosses zero). Callers hold reg.pmu.
+func (e *Entry) touchLocked() {
+	if len(e.free) == 0 {
+		if e.elem != nil {
+			e.reg.lru.Remove(e.elem)
+			e.elem = nil
+		}
+		return
+	}
+	if e.elem == nil {
+		e.elem = e.reg.lru.PushFront(e)
+		return
+	}
+	e.reg.lru.MoveToFront(e.elem)
+}
+
+// CachedInstances reports the spare compiled instances pooled across the
+// registry (test introspection).
+func (r *Registry) CachedInstances() int {
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
+	return r.cached
+}

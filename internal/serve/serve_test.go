@@ -1,0 +1,223 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flashextract/internal/engine"
+	"flashextract/internal/schema"
+	"flashextract/internal/serve"
+	"flashextract/internal/textlang"
+)
+
+// learnChairProgram learns the chair-inventory text program of the batch
+// tests and returns its serialized artifact. Learning is deterministic, so
+// the artifact bytes (and their digest) are stable across test runs.
+func learnChairProgram(t testing.TB) []byte {
+	t.Helper()
+	doc := textlang.NewDocument("inventory\nChair: Aeron (price: $540.00)\nChair: Tulip (price: $99.99)\n")
+	sch := schema.MustParse(`Struct(Names: Seq([name] String), Prices: Seq([price] Float))`)
+	s := engine.NewSession(doc, sch)
+	for _, ex := range []struct{ color, sub string }{
+		{"name", "Aeron"}, {"name", "Tulip"}, {"price", "540.00"}, {"price", "99.99"},
+	} {
+		r, ok := doc.FindRegion(ex.sub, 0)
+		if !ok {
+			t.Fatalf("example %q not found", ex.sub)
+		}
+		if err := s.AddPositive(ex.color, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, fi := range s.Schema().Fields() {
+		if _, _, err := s.Learn(fi.Color()); err != nil {
+			t.Fatalf("learning %s: %v", fi.Color(), err)
+		}
+		if err := s.Commit(fi.Color()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := s.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	artifact, err := engine.SaveSchemaProgram(q, doc.Language())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return artifact
+}
+
+// learnNamesProgram learns a names-only variant — a genuinely different
+// artifact, for version-upgrade scenarios.
+func learnNamesProgram(t testing.TB) []byte {
+	t.Helper()
+	doc := textlang.NewDocument("inventory\nChair: Aeron (price: $540.00)\nChair: Tulip (price: $99.99)\n")
+	sch := schema.MustParse(`Struct(Names: Seq([name] String))`)
+	s := engine.NewSession(doc, sch)
+	for _, sub := range []string{"Aeron", "Tulip"} {
+		r, ok := doc.FindRegion(sub, 0)
+		if !ok {
+			t.Fatalf("example %q not found", sub)
+		}
+		if err := s.AddPositive("name", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, fi := range s.Schema().Fields() {
+		if _, _, err := s.Learn(fi.Color()); err != nil {
+			t.Fatalf("learning %s: %v", fi.Color(), err)
+		}
+		if err := s.Commit(fi.Color()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := s.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	artifact, err := engine.SaveSchemaProgram(q, doc.Language())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return artifact
+}
+
+func chairDoc(name, price string) string {
+	return fmt.Sprintf("inventory\nChair: %s (price: $%s)\n", name, price)
+}
+
+// writeProgram writes an artifact into a program directory under the
+// registry's filename convention.
+func writeProgram(t testing.TB, dir, file string, artifact []byte) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, file), artifact, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// removeProgram deletes an artifact from a program directory.
+func removeProgram(t testing.TB, dir, file string) {
+	t.Helper()
+	if err := os.Remove(filepath.Join(dir, file)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// programDir creates a program directory holding chairs@1.
+func programDir(t testing.TB) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeProgram(t, dir, "chairs@1.text.json", learnChairProgram(t))
+	return dir
+}
+
+// newServer builds a server over a freshly loaded registry.
+func newServer(t testing.TB, dir string, opts serve.Options) *serve.Server {
+	t.Helper()
+	if opts.Registry == nil {
+		opts.Registry = serve.NewRegistry(dir, 0)
+	}
+	if _, _, err := opts.Registry.Load(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// session drives one Serve stream request-at-a-time: send writes a frame,
+// recv reads the next response line, close shuts the client side down and
+// waits for Serve to return.
+type session struct {
+	t    *testing.T
+	in   *io.PipeWriter
+	out  *bufio.Scanner
+	done chan error
+}
+
+func startSession(t *testing.T, ctx context.Context, s *serve.Server) *session {
+	t.Helper()
+	inR, inW := io.Pipe()
+	outR, outW := io.Pipe()
+	ss := &session{t: t, in: inW, done: make(chan error, 1)}
+	ss.out = bufio.NewScanner(outR)
+	ss.out.Buffer(make([]byte, 64*1024), serve.MaxFrameBytes)
+	go func() {
+		err := s.Serve(ctx, inR, outW)
+		outW.Close()
+		inR.Close()
+		ss.done <- err
+	}()
+	return ss
+}
+
+func (ss *session) send(line string) {
+	ss.t.Helper()
+	if _, err := io.WriteString(ss.in, line+"\n"); err != nil {
+		ss.t.Fatalf("sending %q: %v", line, err)
+	}
+}
+
+func (ss *session) recv() string {
+	ss.t.Helper()
+	if !ss.out.Scan() {
+		ss.t.Fatalf("stream ended early: %v", ss.out.Err())
+	}
+	return ss.out.Text()
+}
+
+// recvResponse parses the next frame.
+func (ss *session) recvResponse() serve.Response {
+	ss.t.Helper()
+	line := ss.recv()
+	var resp serve.Response
+	if err := json.Unmarshal([]byte(line), &resp); err != nil {
+		ss.t.Fatalf("bad response frame %q: %v", line, err)
+	}
+	return resp
+}
+
+// close closes the client side and waits for Serve to return.
+func (ss *session) close() error {
+	ss.t.Helper()
+	ss.in.Close()
+	return <-ss.done
+}
+
+// roundTrip sends one frame and returns its parsed response.
+func (ss *session) roundTrip(line string) serve.Response {
+	ss.t.Helper()
+	ss.send(line)
+	return ss.recvResponse()
+}
+
+// mustJSON marshals a request for sending.
+func mustJSON(t testing.TB, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// joinRecords reassembles a response's record stream into the NDJSON bytes
+// the batch CLI would have written.
+func joinRecords(records []json.RawMessage) []byte {
+	var buf bytes.Buffer
+	for _, r := range records {
+		buf.Write(r)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,211 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"flashextract/internal/metrics"
+	"flashextract/internal/serve"
+)
+
+func TestNewRequiresRegistry(t *testing.T) {
+	if _, err := serve.New(serve.Options{}); err == nil {
+		t.Fatal("New accepted a nil registry")
+	}
+}
+
+func TestHandleLineScan(t *testing.T) {
+	s := newServer(t, programDir(t), serve.Options{})
+	resp := s.HandleLine(context.Background(),
+		[]byte(`{"id":"h1","op":"scan","program":"chairs","content":"`+
+			`inventory\nChair: Bistro (price: $75.40)\n"}`))
+	if !resp.OK || resp.Error != nil {
+		t.Fatalf("scan failed: %+v", resp)
+	}
+	if resp.ID != "h1" || resp.Op != serve.OpScan {
+		t.Fatalf("response does not echo the request: %+v", resp)
+	}
+	if !strings.Contains(string(resp.Record), `"Prices":[75.40]`) {
+		t.Fatalf("record = %s", resp.Record)
+	}
+	if got := s.InflightDocs(); got != 0 {
+		t.Fatalf("in-flight docs not released: %d", got)
+	}
+}
+
+// TestHandleLineInvariant: every input — valid, malformed, or hostile —
+// yields exactly one well-formed frame: ok xor error.
+func TestHandleLineInvariant(t *testing.T) {
+	s := newServer(t, programDir(t), serve.Options{})
+	inputs := []string{
+		`{"id":"1","op":"list_programs"}`,
+		`{"id":"2","op":"reload"}`,
+		`{"id":"3","op":"close"}`,
+		`{"id":"4","op":"scan","program":"nope","content":"x"}`,
+		`not json`,
+		`null`,
+		``,
+		`{"op":"scan_batch","program":"chairs","docs":[]}`,
+	}
+	for _, in := range inputs {
+		resp := s.HandleLine(context.Background(), []byte(in))
+		if resp.OK == (resp.Error != nil) {
+			t.Errorf("input %q: frame is not ok xor error: %+v", in, resp)
+		}
+		if _, err := json.Marshal(resp); err != nil {
+			t.Errorf("input %q: response does not marshal: %v", in, err)
+		}
+	}
+}
+
+func TestHandleLineRejectsClose(t *testing.T) {
+	s := newServer(t, programDir(t), serve.Options{})
+	resp := s.HandleLine(context.Background(), []byte(`{"id":"c","op":"close"}`))
+	if resp.Error == nil || resp.Error.Code != serve.CodeBadRequest {
+		t.Fatalf("close over the sync transport = %+v, want bad_request", resp)
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := newServer(t, programDir(t), serve.Options{Metrics: reg, MaxInflight: 1})
+	ctx := context.Background()
+	s.HandleLine(ctx, []byte(`{"id":"1","op":"list_programs"}`))
+	s.HandleLine(ctx, []byte(`{"id":"2","op":"scan","program":"nope","content":"x"}`))
+	s.HandleLine(ctx, []byte(`{"id":"3","op":"scan_batch","program":"chairs","docs":[{"content":"a"},{"content":"b"}]}`))
+	s.HandleLine(ctx, []byte(`{"id":"4","op":"reload"}`))
+	if got := reg.Counter(metrics.ServeRequests); got != 4 {
+		t.Errorf("ServeRequests = %d, want 4", got)
+	}
+	if got := reg.Counter(metrics.ServeErrors); got != 2 {
+		t.Errorf("ServeErrors = %d, want 2 (unknown program + overloaded)", got)
+	}
+	if got := reg.Counter(metrics.ServeOverloaded); got != 1 {
+		t.Errorf("ServeOverloaded = %d, want 1", got)
+	}
+	if got := reg.Counter(metrics.ServeReloads); got != 1 {
+		t.Errorf("ServeReloads = %d, want 1", got)
+	}
+}
+
+func TestRPCHandler(t *testing.T) {
+	s := newServer(t, programDir(t), serve.Options{})
+	h := s.RPCHandler()
+
+	rr := httptest.NewRecorder()
+	h(rr, httptest.NewRequest(http.MethodGet, "/rpc", nil))
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /rpc = %d, want 405", rr.Code)
+	}
+
+	body := strings.NewReader(`{"id":"r1","op":"scan","program":"chairs","content":"inventory\nChair: Bistro (price: $75.40)\n"}` + "\n")
+	rr = httptest.NewRecorder()
+	h(rr, httptest.NewRequest(http.MethodPost, "/rpc", body))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("POST /rpc = %d, want 200", rr.Code)
+	}
+	if got := rr.Header().Get("Content-Type"); got != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", got)
+	}
+	out := rr.Body.String()
+	if strings.Count(out, "\n") != 1 {
+		t.Fatalf("POST /rpc wrote %d frames, want exactly 1: %q", strings.Count(out, "\n"), out)
+	}
+	var resp serve.Response
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.ID != "r1" {
+		t.Fatalf("rpc response = %+v", resp)
+	}
+
+	// close is stream-level and refused over HTTP too.
+	rr = httptest.NewRecorder()
+	h(rr, httptest.NewRequest(http.MethodPost, "/rpc", strings.NewReader(`{"id":"c","op":"close"}`)))
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == nil || resp.Error.Code != serve.CodeBadRequest {
+		t.Fatalf("close over /rpc = %+v, want bad_request", resp)
+	}
+}
+
+func TestProgramsHandler(t *testing.T) {
+	s := newServer(t, programDir(t), serve.Options{})
+	// One successful scan and one failing document, so the counters move.
+	s.HandleLine(context.Background(), []byte(`{"id":"1","op":"scan","program":"chairs","content":"inventory\nChair: Bistro (price: $75.40)\n"}`))
+
+	rr := httptest.NewRecorder()
+	s.ProgramsHandler()(rr, httptest.NewRequest(http.MethodGet, "/programs", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /programs = %d", rr.Code)
+	}
+	var file struct {
+		Schema   string `json:"schema"`
+		Programs []struct {
+			Ref      string `json:"ref"`
+			DocType  string `json:"doc_type"`
+			Digest   string `json:"digest"`
+			Cached   int    `json:"cached"`
+			Compiles int64  `json:"compiles"`
+			Scans    int64  `json:"scans"`
+			Docs     int64  `json:"docs"`
+			Errors   int64  `json:"errors"`
+		} `json:"programs"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.Schema != "flashextract-serve-programs/v1" {
+		t.Fatalf("schema = %q", file.Schema)
+	}
+	if len(file.Programs) != 1 {
+		t.Fatalf("programs = %+v", file.Programs)
+	}
+	p := file.Programs[0]
+	if p.Ref != "chairs@1" || p.DocType != "text" || len(p.Digest) != 64 {
+		t.Fatalf("program listing = %+v", p)
+	}
+	if p.Scans != 1 || p.Docs != 1 || p.Errors != 0 {
+		t.Fatalf("serving counters = scans=%d docs=%d errors=%d, want 1/1/0", p.Scans, p.Docs, p.Errors)
+	}
+	if p.Compiles < 1 || p.Cached < 1 {
+		t.Fatalf("pool state = compiles=%d cached=%d", p.Compiles, p.Cached)
+	}
+}
+
+// TestStreamOverlapsScans: the stream transport overlaps scan requests —
+// two scans sent back to back both complete, and close drains them before
+// responding.
+func TestStreamConcurrentScans(t *testing.T) {
+	s := newServer(t, programDir(t), serve.Options{})
+	ss := startSession(t, context.Background(), s)
+	if got := ss.recvResponse(); got.Op != serve.OpReady {
+		t.Fatalf("first frame = %+v, want ready", got)
+	}
+	ss.send(`{"id":"a","op":"scan","program":"chairs","content":"inventory\nChair: A (price: $1.00)\n"}`)
+	ss.send(`{"id":"b","op":"scan","program":"chairs","content":"inventory\nChair: B (price: $2.00)\n"}`)
+	ss.send(`{"id":"z","op":"close"}`)
+	got := map[string]bool{}
+	var last serve.Response
+	for i := 0; i < 3; i++ {
+		last = ss.recvResponse()
+		if !last.OK {
+			t.Fatalf("frame failed: %+v", last)
+		}
+		got[last.ID] = true
+	}
+	if !got["a"] || !got["b"] || !got["z"] {
+		t.Fatalf("missing responses: %v", got)
+	}
+	if last.Op != serve.OpClose {
+		t.Fatalf("close was not the last frame: %+v", last)
+	}
+	if err := ss.close(); err != nil {
+		t.Fatalf("serve returned %v", err)
+	}
+}
