@@ -4,7 +4,7 @@ GO ?= go
 # run fast and deterministic in duration; use a duration for real fuzzing).
 FUZZTIME ?= 40x
 
-.PHONY: all build vet test race check bench bench-synth bench-batch fuzz-smoke trace-smoke chaos-smoke shard-smoke serve-smoke trace
+.PHONY: all build vet test race check bench bench-synth bench-batch bench-interactive fuzz-smoke trace-smoke chaos-smoke shard-smoke serve-smoke trace
 
 all: check
 
@@ -49,6 +49,12 @@ bench-synth:
 # the corpus, serial vs. parallel, with the determinism cross-check.
 bench-batch:
 	$(GO) run ./cmd/flashbench -batch-json BENCH_batch.json
+
+# bench-interactive regenerates BENCH_interactive.json: k-th-example learn
+# latency of incremental vs cold sessions over the corpus plus the large
+# stress documents, with the incremental contract self-checked.
+bench-interactive:
+	$(GO) run ./cmd/flashbench -interactive-json BENCH_interactive.json
 
 # trace-smoke stands up `flashextract batch -admin`, curls /healthz,
 # /metrics, /trace/last, and /debug/pprof, regex-asserts the Prometheus

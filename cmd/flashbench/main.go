@@ -10,6 +10,7 @@
 //	flashbench -synth-json BENCH_synth.json -reps 3
 //	flashbench -metrics-json - [-deadline 100ms]
 //	flashbench -batch-json BENCH_batch.json [-reps 3] [-batch-workers 4]
+//	flashbench -interactive-json BENCH_interactive.json [-interactive-k 4]
 //	flashbench -trace-out trace.json
 package main
 
@@ -45,6 +46,8 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-field synthesis deadline in -metrics-json mode (0 = none); budget-exhausted calls are reported, not fatal")
 	batchJSON := flag.String("batch-json", "", "measure batch-runtime throughput over the corpus and write machine-readable JSON to this file ('-' for stdout)")
 	batchWorkers := flag.Int("batch-workers", runtime.GOMAXPROCS(0), "parallel worker count compared against workers=1 in -batch-json mode")
+	interactiveJSON := flag.String("interactive-json", "", "measure interactive k-th-example learn latency (incremental vs cold sessions) and write machine-readable JSON to this file ('-' for stdout); includes the large stress documents")
+	interactiveK := flag.Int("interactive-k", 4, "maximum examples per field in -interactive-json mode")
 	traceOut := flag.String("trace-out", "", "synthesize over the largest corpus document under the span tracer and write the Chrome trace-event JSON (Perfetto-loadable) to this file ('-' for stdout)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, or error")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
@@ -100,6 +103,13 @@ func main() {
 	}
 	if *batchJSON != "" {
 		runBatchBench(tasks, *reps, *batchWorkers, *batchJSON)
+		return
+	}
+	if *interactiveJSON != "" {
+		if *docName == "" && (*domain == "text" || *domain == "all") {
+			tasks = append(tasks, corpus.Large()...)
+		}
+		runInteractiveBench(tasks, *interactiveK, *interactiveJSON)
 		return
 	}
 	if *mode == "transfer" {
@@ -288,6 +298,56 @@ func runMetricsBench(baseCtx context.Context, tasks []*bench.Task, deadline time
 	reg.Count(metrics.CacheMisses, report.Cache.Misses)
 	report.Metrics = reg.Snapshot()
 	report.CandidatesExplored = reg.Counter(metrics.CandidatesExplored)
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// interactiveReport is the machine-readable envelope of -interactive-json
+// mode; the schema is documented in EXPERIMENTS.md.
+type interactiveReport struct {
+	Schema    string `json:"schema"`
+	GoMaxProc int    `json:"gomaxprocs"`
+	bench.InteractiveResult
+}
+
+// runInteractiveBench measures the k-th-example learn latency of
+// incremental versus cold sessions over the tasks and writes the result
+// as JSON (the data behind BENCH_interactive.json).
+func runInteractiveBench(tasks []*bench.Task, maxK int, path string) {
+	res := bench.MeasureInteractive(tasks, maxK)
+	for _, tr := range res.Tasks {
+		fmt.Fprintf(os.Stderr,
+			"%-14s %-6s k≥2 p50 cold %10d ns  incremental %10d ns  speedup %5.1fx  hits=%d fallbacks=%d\n",
+			tr.Task, tr.Domain, int64(tr.Cold.P50), int64(tr.Incremental.P50),
+			tr.SpeedupP50, tr.Hits, tr.Fallbacks)
+	}
+	fmt.Fprintf(os.Stderr,
+		"overall: k≥2 p50 cold %d ns, incremental %d ns (%.1fx); p99 cold %d ns, incremental %d ns; hits=%d fallbacks=%d divergences=%d stability_violations=%d\n",
+		int64(res.Cold.P50), int64(res.Incremental.P50), res.SpeedupP50,
+		int64(res.Cold.P99), int64(res.Incremental.P99),
+		res.Hits, res.Fallbacks, res.Divergences, res.StabilityViolations)
+	if res.Divergences != 0 || res.StabilityViolations != 0 {
+		fmt.Fprintf(os.Stderr, "flashbench: incremental contract violated (%d divergences, %d stability violations)\n",
+			res.Divergences, res.StabilityViolations)
+		os.Exit(1)
+	}
+	report := interactiveReport{
+		Schema:            "flashextract-interactive/v1",
+		GoMaxProc:         runtime.GOMAXPROCS(0),
+		InteractiveResult: res,
+	}
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)

@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"flashextract/internal/engine"
+	"flashextract/internal/region"
+)
+
+// This file implements the interactive-latency benchmark behind
+// `flashbench -interactive-json` (schema flashextract-interactive/v1): the
+// quantity a user feels in the §3 refinement loop is the time-to-learn of
+// the k-th example — how long FlashExtract takes to respond after one more
+// region is highlighted. The benchmark replays a forced-k refinement
+// (golden regions are added one at a time as positives, re-learning after
+// each) twice per field: once in a cold session (incremental reuse off,
+// every call a from-scratch synthesis) and once in an incremental session,
+// and summarizes k≥2 latencies — the first example can never be served
+// from retained state, so k=1 is excluded from the percentiles.
+//
+// Each refinement step is also checked against the incremental contract
+// (see internal/engine/incremental.go): a step served from retained state
+// must leave the inferred highlighting exactly as the previous step
+// inferred it (the added example merely confirmed it), and a step that
+// fell back must be bit-identical to the cold session's step, because the
+// fallback runs the same deterministic from-scratch synthesis on the same
+// spec. Violations of either invariant are counted and gate the
+// differential suite.
+
+// LatencySummary summarizes a latency sample set with exact nearest-rank
+// percentiles (not histogram estimates: samples are retained and sorted).
+type LatencySummary struct {
+	Count int           `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// summarize computes the exact nearest-rank summary of a sample set.
+func summarize(samples []time.Duration) LatencySummary {
+	s := LatencySummary{Count: len(samples)}
+	if len(samples) == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Mean = sum / time.Duration(len(sorted))
+	rank := func(q float64) time.Duration {
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	s.P50 = rank(0.50)
+	s.P99 = rank(0.99)
+	s.Max = sorted[len(sorted)-1]
+	return s
+}
+
+// InteractiveSample is one refinement step of one field: the latency of
+// learning from k examples in the cold and the incremental session, and
+// whether the incremental session served the step from retained state.
+type InteractiveSample struct {
+	K           int           `json:"k"`
+	Cold        time.Duration `json:"cold_ns"`
+	Incremental time.Duration `json:"incremental_ns"`
+	Hit         bool          `json:"hit"`
+}
+
+// InteractiveField is the per-field refinement trace.
+type InteractiveField struct {
+	Color   string              `json:"color"`
+	Samples []InteractiveSample `json:"samples"`
+	// Skipped is set when the field could not be measured (no program is
+	// learnable ⊥-relative, or fewer than two golden instances exist).
+	Skipped string `json:"skipped,omitempty"`
+}
+
+// InteractiveTask aggregates one document's refinement traces. The
+// k≥2 summaries and the hit/fallback counters are the quantities the
+// acceptance gates check. Divergences counts fallen-back refinement steps
+// whose inferred highlighting differed from the cold session's same step;
+// StabilityViolations counts hit steps whose highlighting differed from
+// the previous step's. Both must always be zero (the differential suite
+// pins the same invariants corpus-wide).
+type InteractiveTask struct {
+	Task                string             `json:"task"`
+	Domain              string             `json:"domain"`
+	Fields              []InteractiveField `json:"fields"`
+	Cold                LatencySummary     `json:"cold_k2plus"`
+	Incremental         LatencySummary     `json:"incremental_k2plus"`
+	SpeedupP50          float64            `json:"speedup_p50"`
+	Hits                int64              `json:"incremental_hits"`
+	Fallbacks           int64              `json:"incremental_fallbacks"`
+	Divergences         int                `json:"divergences"`
+	StabilityViolations int                `json:"stability_violations"`
+}
+
+// InteractiveResult is the full benchmark output.
+type InteractiveResult struct {
+	MaxK                int               `json:"max_k"`
+	Tasks               []InteractiveTask `json:"tasks"`
+	Cold                LatencySummary    `json:"cold_k2plus"`
+	Incremental         LatencySummary    `json:"incremental_k2plus"`
+	SpeedupP50          float64           `json:"speedup_p50"`
+	Hits                int64             `json:"incremental_hits"`
+	Fallbacks           int64             `json:"incremental_fallbacks"`
+	Divergences         int               `json:"divergences"`
+	StabilityViolations int               `json:"stability_violations"`
+}
+
+// interactiveSessions holds the paired cold/incremental sessions of one
+// field measurement.
+type interactiveSessions struct {
+	cold, inc *engine.Session
+}
+
+// MeasureInteractive runs the forced-k refinement benchmark over a task
+// set. Every field with at least two golden instances is replayed with
+// k = 1..maxK examples in a cold and an incremental session; each step's
+// inferred highlighting is compared between the two. Fields whose first
+// learn fails (e.g. fields only learnable relative to a materialized
+// ancestor) are recorded as skipped.
+func MeasureInteractive(tasks []*Task, maxK int) InteractiveResult {
+	if maxK < 2 {
+		maxK = 2
+	}
+	res := InteractiveResult{MaxK: maxK}
+	var allCold, allInc []time.Duration
+	for _, task := range tasks {
+		tr := InteractiveTask{Task: task.Name, Domain: task.Domain}
+		var taskCold, taskInc []time.Duration
+		for _, fi := range task.Schema.Fields() {
+			color := fi.Color()
+			golden := append([]region.Region(nil), task.Golden[color]...)
+			region.Sort(golden)
+			fieldRes := InteractiveField{Color: color}
+			if len(golden) < 2 {
+				fieldRes.Skipped = "fewer than two golden instances"
+				tr.Fields = append(tr.Fields, fieldRes)
+				continue
+			}
+			ss := interactiveSessions{
+				cold: engine.NewSession(task.Doc, task.Schema),
+				inc:  engine.NewSession(task.Doc, task.Schema),
+			}
+			ss.cold.SetIncremental(false)
+			ss.inc.SetIncremental(true)
+			kMax := maxK
+			if kMax > len(golden) {
+				kMax = len(golden)
+			}
+			var prevInc []region.Region
+			var prevHits int64
+			for k := 1; k <= kMax; k++ {
+				if err := ss.cold.AddPositive(color, golden[k-1]); err != nil {
+					fieldRes.Skipped = err.Error()
+					break
+				}
+				if err := ss.inc.AddPositive(color, golden[k-1]); err != nil {
+					fieldRes.Skipped = err.Error()
+					break
+				}
+				start := time.Now()
+				_, coldOut, coldErr := ss.cold.Learn(color)
+				coldDur := time.Since(start)
+				start = time.Now()
+				_, incOut, incErr := ss.inc.Learn(color)
+				incDur := time.Since(start)
+				hits := ss.inc.Stats().IncrementalHits
+				hit := hits > prevHits
+				prevHits = hits
+				if hit {
+					// A hit must keep the highlighting the previous step
+					// inferred: the added example confirmed the program.
+					if incErr != nil || !regionsEqual(prevInc, incOut) {
+						tr.StabilityViolations++
+					}
+				} else {
+					// A cold or fallen-back step is the same deterministic
+					// from-scratch synthesis the cold session ran.
+					if (coldErr == nil) != (incErr == nil) ||
+						(coldErr == nil && !regionsEqual(coldOut, incOut)) {
+						tr.Divergences++
+					}
+				}
+				if coldErr != nil && !hit {
+					fieldRes.Skipped = coldErr.Error()
+					break
+				}
+				if incErr != nil {
+					fieldRes.Skipped = incErr.Error()
+					break
+				}
+				prevInc = incOut
+				fieldRes.Samples = append(fieldRes.Samples, InteractiveSample{
+					K: k, Cold: coldDur, Incremental: incDur, Hit: hit,
+				})
+				if k >= 2 {
+					taskCold = append(taskCold, coldDur)
+					taskInc = append(taskInc, incDur)
+				}
+			}
+			tr.Fields = append(tr.Fields, fieldRes)
+			st := ss.inc.Stats()
+			tr.Hits += st.IncrementalHits
+			tr.Fallbacks += st.IncrementalFallbacks
+		}
+		tr.Cold = summarize(taskCold)
+		tr.Incremental = summarize(taskInc)
+		tr.SpeedupP50 = speedup(tr.Cold.P50, tr.Incremental.P50)
+		res.Tasks = append(res.Tasks, tr)
+		allCold = append(allCold, taskCold...)
+		allInc = append(allInc, taskInc...)
+		res.Hits += tr.Hits
+		res.Fallbacks += tr.Fallbacks
+		res.Divergences += tr.Divergences
+		res.StabilityViolations += tr.StabilityViolations
+	}
+	res.Cold = summarize(allCold)
+	res.Incremental = summarize(allInc)
+	res.SpeedupP50 = speedup(res.Cold.P50, res.Incremental.P50)
+	return res
+}
+
+func speedup(cold, inc time.Duration) float64 {
+	if inc <= 0 || cold <= 0 {
+		return 0
+	}
+	return float64(cold) / float64(inc)
+}
+
+func regionsEqual(a, b []region.Region) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

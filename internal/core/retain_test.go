@@ -1,0 +1,39 @@
+package core
+
+import "testing"
+
+func TestKeyHasherDeterministic(t *testing.T) {
+	k1 := NewKeyHasher().Str("row").Int(3).Bool(true).Sum()
+	k2 := NewKeyHasher().Str("row").Int(3).Bool(true).Sum()
+	if k1 != k2 {
+		t.Fatalf("same inputs hashed to %x and %x", k1, k2)
+	}
+}
+
+func TestKeyHasherSeparatesRecords(t *testing.T) {
+	// Length prefixes must keep shifted concatenations distinct.
+	a := NewKeyHasher().Str("ab").Str("c").Sum()
+	b := NewKeyHasher().Str("a").Str("bc").Sum()
+	if a == b {
+		t.Fatal("record boundaries not separated by the hasher")
+	}
+	if NewKeyHasher().Bool(true).Sum() == NewKeyHasher().Bool(false).Sum() {
+		t.Fatal("booleans indistinguishable")
+	}
+}
+
+func TestExtendsSpec(t *testing.T) {
+	eq := func(a, b int) bool { return a == b }
+	if !ExtendsSpec([]int{1, 2}, []int{1, 2, 3}, eq) {
+		t.Fatal("superset rejected")
+	}
+	if !ExtendsSpec(nil, []int{1}, eq) {
+		t.Fatal("empty old spec rejected")
+	}
+	if !ExtendsSpec([]int{2, 1}, []int{1, 2}, eq) {
+		t.Fatal("order must not matter")
+	}
+	if ExtendsSpec([]int{1, 4}, []int{1, 2, 3}, eq) {
+		t.Fatal("removed example accepted")
+	}
+}

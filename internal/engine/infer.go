@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"flashextract/internal/region"
@@ -62,7 +63,13 @@ func (s *Session) InferStructure(color string) (*FieldProgram, []region.Region, 
 	if err != nil {
 		return nil, nil, err
 	}
-	fp, err := SynthesizeFieldProgram(s.doc, s.sch, s.cr, fi, spans, nil, s.materialized)
+	// Run through the session's budgeted driver so the call is recorded in
+	// SessionStats like any other synthesis call. The synthetic span
+	// examples are not the user's recorded spec for the color, so any
+	// retained incremental state is dropped rather than refreshed.
+	fp, pr, err := s.synthesize(context.Background(), fi, spans, nil)
+	s.record(color, pr)
+	delete(s.inc, color)
 	if err != nil {
 		return nil, nil, fmt.Errorf("engine: inferring %s: %w", color, err)
 	}

@@ -15,6 +15,12 @@ import (
 // a field, highlights positive (and possibly negative) example regions,
 // asks FlashExtract to learn, inspects the inferred highlighting, and
 // either provides more examples or commits the field and moves on.
+//
+// Learn calls are incremental by default: the session retains the ranked
+// candidate set of each field's last complete synthesis call, and a
+// re-learn after adding examples intersects the retained candidates with
+// the extended spec instead of restarting the DSL learner (see
+// incremental.go for the reuse conditions and the fallback rules).
 type Session struct {
 	doc Document
 	sch *schema.Schema
@@ -24,17 +30,22 @@ type Session struct {
 	programs     map[string]*FieldProgram
 	pos, neg     map[string][]region.Region // examples per color
 
-	budget  core.SynthBudget  // per-Learn budget (zero = unlimited)
-	reg     *metrics.Registry // session-lifetime engine metrics
-	partial map[string]*PartialResult
-	stats   SessionStats
+	budget      core.SynthBudget  // per-Learn budget (zero = unlimited)
+	reg         *metrics.Registry // session-lifetime engine metrics
+	partial     map[string]*PartialResult
+	stats       SessionStats
+	inc         map[string]*incState // retained candidate state per color
+	incremental bool                 // reuse retained state across Learn calls
 }
 
 // SessionStats aggregates the engine metrics of a session: per-call
 // synthesis outcomes plus the document's evaluation-cache counters. It is
 // a snapshot; see Session.Stats.
 type SessionStats struct {
-	// LearnCalls counts Learn/LearnContext/InferStructure synthesis calls.
+	// LearnCalls counts Learn/LearnContext/InferStructure synthesis calls,
+	// including calls that returned an error or no program. (Requests
+	// rejected before synthesis starts — an unknown color, an already
+	// materialized field — are not synthesis calls and are not counted.)
 	LearnCalls int64 `json:"learn_calls"`
 	// PartialResults counts calls that exhausted their budget.
 	PartialResults int64 `json:"partial_results"`
@@ -42,6 +53,12 @@ type SessionStats struct {
 	CandidatesExplored int64 `json:"candidates_explored"`
 	// LearnerFanout totals learners dispatched by Union combinators.
 	LearnerFanout int64 `json:"learner_fanout"`
+	// IncrementalHits counts Learn calls served from the session's retained
+	// candidate state without re-invoking the DSL learner.
+	IncrementalHits int64 `json:"incremental_hits"`
+	// IncrementalFallbacks counts Learn calls that had retained candidate
+	// state but fell back to a cold re-synthesis.
+	IncrementalFallbacks int64 `json:"incremental_fallbacks"`
 	// SynthTime totals wall time spent inside synthesis calls.
 	SynthTime time.Duration `json:"synth_time_ns"`
 	// Cache holds the document's evaluation-cache counters (zero value
@@ -64,6 +81,8 @@ func NewSession(doc Document, sch *schema.Schema) *Session {
 		neg:          map[string][]region.Region{},
 		reg:          metrics.NewRegistry(),
 		partial:      map[string]*PartialResult{},
+		inc:          map[string]*incState{},
+		incremental:  DefaultIncremental,
 	}
 }
 
@@ -79,8 +98,9 @@ func (s *Session) Document() Document { return s.doc }
 func (s *Session) SetBudget(b core.SynthBudget) { s.budget = b }
 
 // Stats returns a snapshot of the session's engine metrics: learn calls,
-// partial results, candidates explored, learner fan-out, synthesis wall
-// time, per-phase latency histograms, and the document cache counters.
+// partial results, candidates explored, learner fan-out, incremental
+// reuse outcomes, synthesis wall time, per-phase latency histograms, and
+// the document cache counters.
 func (s *Session) Stats() SessionStats {
 	st := s.stats
 	st.Metrics = s.reg.Snapshot()
@@ -104,11 +124,29 @@ func (s *Session) field(color string) (*schema.FieldInfo, error) {
 	return fi, nil
 }
 
+// mutableField resolves a color to a field whose examples may still be
+// edited: materialized fields have a committed program, so mutating their
+// spec could only desynchronize the session.
+func (s *Session) mutableField(color string) (*schema.FieldInfo, error) {
+	fi, err := s.field(color)
+	if err != nil {
+		return nil, err
+	}
+	if s.materialized[color] {
+		return nil, fmt.Errorf("engine: field %s is already materialized; examples can no longer be changed", color)
+	}
+	return fi, nil
+}
+
 // AddPositive records a positive example region for the field of the given
-// color.
+// color. The field must not be materialized, and the region must not
+// already be recorded as a negative example.
 func (s *Session) AddPositive(color string, r region.Region) error {
-	if _, err := s.field(color); err != nil {
+	if _, err := s.mutableField(color); err != nil {
 		return err
+	}
+	if containsRegion(s.neg[color], r) {
+		return fmt.Errorf("engine: region %s is already a negative example for field %s; remove it (ClearExamples) before marking it positive", r, color)
 	}
 	if containsRegion(s.pos[color], r) {
 		return nil
@@ -119,10 +157,14 @@ func (s *Session) AddPositive(color string, r region.Region) error {
 }
 
 // AddNegative records a negative example region for the field of the given
-// color.
+// color. The field must not be materialized, and the region must not
+// already be recorded as a positive example.
 func (s *Session) AddNegative(color string, r region.Region) error {
-	if _, err := s.field(color); err != nil {
+	if _, err := s.mutableField(color); err != nil {
 		return err
+	}
+	if containsRegion(s.pos[color], r) {
+		return fmt.Errorf("engine: region %s is already a positive example for field %s; remove it (ClearExamples) before marking it negative", r, color)
 	}
 	if containsRegion(s.neg[color], r) {
 		return nil
@@ -132,10 +174,20 @@ func (s *Session) AddNegative(color string, r region.Region) error {
 	return nil
 }
 
-// ClearExamples removes all recorded examples for a color.
-func (s *Session) ClearExamples(color string) {
+// ClearExamples removes all recorded examples for a color and invalidates
+// everything derived from them: the learned program, the last
+// PartialResult, and any retained incremental candidate state. A field
+// cleared after Learn must be re-learned before it can be committed.
+func (s *Session) ClearExamples(color string) error {
+	if _, err := s.mutableField(color); err != nil {
+		return err
+	}
 	delete(s.pos, color)
 	delete(s.neg, color)
+	delete(s.programs, color)
+	delete(s.partial, color)
+	delete(s.inc, color)
+	return nil
 }
 
 // Learn synthesizes a field extraction program for the field of the given
@@ -153,6 +205,16 @@ func (s *Session) Learn(color string) (*FieldProgram, []region.Region, error) {
 // found so far is returned (when one exists) along with a PartialResult
 // describing the truncation; the caller decides whether to keep it,
 // refine, or retry with a larger budget.
+//
+// When the session holds reusable candidate state for the color (a
+// previous complete Learn under the same committed highlighting, and the
+// examples have only grown), the call is served by intersecting the
+// retained candidates with the extended spec instead of re-running the DSL
+// learner; otherwise it falls back to a cold synthesis, which refreshes
+// the retained state. A reuse hit keeps the previously inferred
+// highlighting unchanged (the new examples confirmed it); a fallback is
+// bit-identical to a from-scratch call (see incremental.go for the
+// contract).
 func (s *Session) LearnContext(ctx context.Context, color string) (*FieldProgram, []region.Region, *PartialResult, error) {
 	fi, err := s.field(color)
 	if err != nil {
@@ -161,7 +223,21 @@ func (s *Session) LearnContext(ctx context.Context, color string) (*FieldProgram
 	if s.materialized[color] {
 		return nil, nil, nil, fmt.Errorf("engine: field %s is already materialized", color)
 	}
-	fp, pr, err := s.synthesize(ctx, fi, s.pos[color], s.neg[color])
+	pos, neg := s.pos[color], s.neg[color]
+	// One metric sink and one budget are shared by the incremental attempt
+	// and the cold fallback: a failed attempt consumes no candidate budget
+	// (see tryIncremental), so the fallback sees the budget a pure cold
+	// call would.
+	ctx = metrics.Into(ctx, s.reg)
+	ctx, _ = core.WithBudget(ctx, s.budget)
+	if fp, pr, ok := s.tryIncremental(ctx, fi, pos, neg); ok {
+		s.record(color, pr)
+		s.programs[color] = fp
+		return fp, fp.run(s.doc, s.cr), pr, nil
+	}
+	var capture learnedCandidates
+	fp, pr, err := synthesizeFieldProgramCapture(ctx, s.doc, s.sch, s.cr, fi, pos, neg, s.materialized, &capture)
+	s.captureIncremental(color, &capture, pr, err, pos, neg)
 	s.record(color, pr)
 	if err != nil {
 		return nil, nil, pr, err
@@ -178,13 +254,16 @@ func (s *Session) synthesize(ctx context.Context, fi *schema.FieldInfo, pos, neg
 	return SynthesizeFieldProgramCtx(ctx, s.doc, s.sch, s.cr, fi, pos, neg, s.materialized)
 }
 
-// record folds one synthesis outcome into the session stats.
+// record folds one synthesis outcome into the session stats. Every
+// synthesis call is counted, including ones that failed before producing a
+// PartialResult; the per-color partial slot always reflects the latest
+// call.
 func (s *Session) record(color string, pr *PartialResult) {
+	s.stats.LearnCalls++
+	s.partial[color] = pr
 	if pr == nil {
 		return
 	}
-	s.partial[color] = pr
-	s.stats.LearnCalls++
 	if pr.Exhausted {
 		s.stats.PartialResults++
 	}
@@ -212,6 +291,10 @@ func (s *Session) Commit(color string) error {
 	}
 	s.cr = crNew
 	s.materialized[fi.Color()] = true
+	// The field can no longer be re-learned, so its retained candidate
+	// state is dead weight. (Other fields' state self-invalidates: their
+	// environment fingerprint covers the highlighting just committed.)
+	delete(s.inc, color)
 	return nil
 }
 

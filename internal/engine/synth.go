@@ -72,6 +72,36 @@ func SynthesizeFieldProgramCtx(
 	pos, neg []region.Region,
 	materialized map[string]bool,
 ) (*FieldProgram, *PartialResult, error) {
+	return synthesizeFieldProgramCapture(ctx, doc, m, cr, f, pos, neg, materialized, nil)
+}
+
+// learnedCandidates captures the full ranked candidate list of one
+// synthesis call for the session's incremental reuse: the ancestor the
+// candidates were learned against, every candidate (not just the selected
+// one), and whether the producing call ran to completion. A call that
+// tripped its budget may have truncated the list, so only complete captures
+// are safe to intersect against a future, larger example spec.
+type learnedCandidates struct {
+	anc       *schema.FieldInfo
+	isSeq     bool
+	fps       []*FieldProgram
+	winnerIdx int // rank of the selected program within fps
+	complete  bool
+}
+
+// synthesizeFieldProgramCapture is SynthesizeFieldProgramCtx with an
+// optional capture of the winning ancestor's full candidate list (cap may
+// be nil; it is only populated on success).
+func synthesizeFieldProgramCapture(
+	ctx context.Context,
+	doc Document,
+	m *schema.Schema,
+	cr Highlighting,
+	f *schema.FieldInfo,
+	pos, neg []region.Region,
+	materialized map[string]bool,
+	capture *learnedCandidates,
+) (*FieldProgram, *PartialResult, error) {
 	start := time.Now()
 	bud := core.BudgetFrom(ctx)
 	if bud == nil {
@@ -156,7 +186,7 @@ func SynthesizeFieldProgramCtx(
 		}
 		actx, asp := trace.Start(ctx, "ancestor:"+ancName(anc))
 		asp.SetInt("inputs", int64(len(inputs)))
-		fp, bestEffort, err := synthesizeAgainstAncestor(actx, doc, m, cr, f, anc, inputs, pos, neg, lang)
+		fp, bestEffort, all, err := synthesizeAgainstAncestor(actx, doc, m, cr, f, anc, inputs, pos, neg, lang)
 		asp.SetBool("ok", err == nil)
 		asp.End()
 		if err != nil {
@@ -167,6 +197,19 @@ func SynthesizeFieldProgramCtx(
 				break
 			}
 			continue
+		}
+		if capture != nil {
+			capture.anc = anc
+			capture.isSeq = f.IsSequenceAncestor(anc)
+			capture.fps = all
+			capture.winnerIdx = -1
+			for i, p := range all {
+				if p == fp {
+					capture.winnerIdx = i
+					break
+				}
+			}
+			capture.complete = bud.Reason() == ""
 		}
 		return finish(fp, bestEffort, nil)
 	}
@@ -189,10 +232,85 @@ func applyCacheBudget(doc Document, bud *core.Budget) {
 	}
 }
 
+// seqExamplesFor splits field examples into per-ancestor-region sequence
+// examples: within every input region holding at least one example, the
+// nested positives must be extracted and the nested negatives must not. An
+// example nested in no input region is an error — the ancestor cannot
+// explain it.
+func seqExamplesFor(f *schema.FieldInfo, anc *schema.FieldInfo, inputs, pos, neg []region.Region) ([]SeqRegionExample, error) {
+	var exs []SeqRegionExample
+	covered := 0
+	for _, in := range inputs {
+		p := region.Subregions(in, pos)
+		n := region.Subregions(in, neg)
+		if len(p) == 0 && len(n) == 0 {
+			continue
+		}
+		covered += len(p) + len(n)
+		exs = append(exs, SeqRegionExample{Input: in, Positive: p, Negative: n})
+	}
+	if covered < len(pos)+len(neg) {
+		return nil, fmt.Errorf("engine: field %s: some examples lie outside every %s-region", f.Color(), ancName(anc))
+	}
+	if len(exs) == 0 {
+		return nil, fmt.Errorf("engine: field %s: no examples within %s-regions", f.Color(), ancName(anc))
+	}
+	return exs, nil
+}
+
+// regExamplesFor splits field examples into per-ancestor-region scalar
+// examples: at most one positive per structure-ancestor region, every
+// positive inside some input region.
+func regExamplesFor(f *schema.FieldInfo, anc *schema.FieldInfo, inputs, pos []region.Region) ([]RegionExample, error) {
+	var exs []RegionExample
+	covered := 0
+	for _, in := range inputs {
+		p := region.Subregions(in, pos)
+		if len(p) == 0 {
+			continue
+		}
+		if len(p) > 1 {
+			return nil, fmt.Errorf("engine: field %s: %d positive examples inside one %s-region (want at most 1)",
+				f.Color(), len(p), ancName(anc))
+		}
+		covered += len(p)
+		exs = append(exs, RegionExample{Input: in, Output: p[0]})
+	}
+	if covered < len(pos) {
+		return nil, fmt.Errorf("engine: field %s: some examples lie outside every %s-region", f.Color(), ancName(anc))
+	}
+	if len(exs) == 0 {
+		return nil, fmt.Errorf("engine: field %s: no examples within %s-regions", f.Color(), ancName(anc))
+	}
+	return exs, nil
+}
+
+// validatesCandidate reports whether executing fp keeps the highlighting
+// consistent with the schema (loop at line 12 of Alg. 2) and re-extracts no
+// negative instance. (Sequence synthesis already filters negatives inside
+// the language; the check here also covers region programs, whose
+// per-ancestor learning API has no negative channel.) It is the shared
+// validation predicate of the cold driver and the incremental session scan.
+func validatesCandidate(doc Document, m *schema.Schema, cr Highlighting, f *schema.FieldInfo, neg []region.Region, fp *FieldProgram) bool {
+	crNew := cr.Clone()
+	crNew[f.Color()] = nil
+	extracted := fp.run(doc, crNew)
+	for _, r := range extracted {
+		for _, n := range neg {
+			if r == n || r.Overlaps(n) {
+				return false
+			}
+		}
+	}
+	crNew.Add(f.Color(), extracted...)
+	return crNew.ConsistentWith(m) == nil
+}
+
 // synthesizeAgainstAncestor learns and validates candidates relative to
 // one ancestor. bestEffort reports that the returned program came from a
 // truncated validation scan (a lower-ranked candidate was returned than a
-// complete scan might have chosen).
+// complete scan might have chosen); all is the full ranked candidate list
+// the winner was selected from.
 func synthesizeAgainstAncestor(
 	ctx context.Context,
 	doc Document,
@@ -203,29 +321,16 @@ func synthesizeAgainstAncestor(
 	inputs []region.Region,
 	pos, neg []region.Region,
 	lang Language,
-) (fp *FieldProgram, bestEffort bool, err error) {
+) (fp *FieldProgram, bestEffort bool, all []*FieldProgram, err error) {
 	sink := metrics.From(ctx)
 	isSeq := f.IsSequenceAncestor(anc)
 	var seqProgs []SeqRegionProgram
 	var regProgs []RegionProgram
 	learnStart := time.Now()
 	if isSeq {
-		var exs []SeqRegionExample
-		covered := 0
-		for _, in := range inputs {
-			p := region.Subregions(in, pos)
-			n := region.Subregions(in, neg)
-			if len(p) == 0 && len(n) == 0 {
-				continue
-			}
-			covered += len(p) + len(n)
-			exs = append(exs, SeqRegionExample{Input: in, Positive: p, Negative: n})
-		}
-		if covered < len(pos)+len(neg) {
-			return nil, false, fmt.Errorf("engine: field %s: some examples lie outside every %s-region", f.Color(), ancName(anc))
-		}
-		if len(exs) == 0 {
-			return nil, false, fmt.Errorf("engine: field %s: no examples within %s-regions", f.Color(), ancName(anc))
+		exs, err := seqExamplesFor(f, anc, inputs, pos, neg)
+		if err != nil {
+			return nil, false, nil, err
 		}
 		lctx, lsp := trace.Start(ctx, "learn")
 		lsp.SetBool("sequence", true)
@@ -234,28 +339,12 @@ func synthesizeAgainstAncestor(
 		lsp.End()
 		sink.Observe(metrics.PhaseLearn, time.Since(learnStart).Seconds())
 		if len(seqProgs) == 0 {
-			return nil, false, fmt.Errorf("engine: field %s: no consistent sequence program relative to %s", f.Color(), ancName(anc))
+			return nil, false, nil, fmt.Errorf("engine: field %s: no consistent sequence program relative to %s", f.Color(), ancName(anc))
 		}
 	} else {
-		var exs []RegionExample
-		covered := 0
-		for _, in := range inputs {
-			p := region.Subregions(in, pos)
-			if len(p) == 0 {
-				continue
-			}
-			if len(p) > 1 {
-				return nil, false, fmt.Errorf("engine: field %s: %d positive examples inside one %s-region (want at most 1)",
-					f.Color(), len(p), ancName(anc))
-			}
-			covered += len(p)
-			exs = append(exs, RegionExample{Input: in, Output: p[0]})
-		}
-		if covered < len(pos) {
-			return nil, false, fmt.Errorf("engine: field %s: some examples lie outside every %s-region", f.Color(), ancName(anc))
-		}
-		if len(exs) == 0 {
-			return nil, false, fmt.Errorf("engine: field %s: no examples within %s-regions", f.Color(), ancName(anc))
+		exs, err := regExamplesFor(f, anc, inputs, pos)
+		if err != nil {
+			return nil, false, nil, err
 		}
 		lctx, lsp := trace.Start(ctx, "learn")
 		lsp.SetBool("sequence", false)
@@ -264,33 +353,15 @@ func synthesizeAgainstAncestor(
 		lsp.End()
 		sink.Observe(metrics.PhaseLearn, time.Since(learnStart).Seconds())
 		if len(regProgs) == 0 {
-			return nil, false, fmt.Errorf("engine: field %s: no consistent region program relative to %s", f.Color(), ancName(anc))
+			return nil, false, nil, fmt.Errorf("engine: field %s: no consistent region program relative to %s", f.Color(), ancName(anc))
 		}
 	}
 
-	// Select the first program whose full execution result keeps the
-	// highlighting consistent with the schema (loop at line 12 of Alg. 2)
-	// and does not re-extract any negative instance. (Sequence synthesis
-	// already filters negatives inside the language; the check here also
-	// covers region programs, whose per-ancestor learning API has no
-	// negative channel.) Candidates are independent, so the checks are
-	// fanned across a worker pool; firstPassing returns the lowest-ranked
-	// passing candidate, keeping the choice bit-identical to a serial scan
-	// unless the budget truncates the scan.
-	try := func(fp *FieldProgram) bool {
-		crNew := cr.Clone()
-		crNew[f.Color()] = nil
-		extracted := fp.run(doc, crNew)
-		for _, r := range extracted {
-			for _, n := range neg {
-				if r == n || r.Overlaps(n) {
-					return false
-				}
-			}
-		}
-		crNew.Add(f.Color(), extracted...)
-		return crNew.ConsistentWith(m) == nil
-	}
+	// Select the first program passing validatesCandidate. Candidates are
+	// independent, so the checks are fanned across a worker pool;
+	// firstPassing returns the lowest-ranked passing candidate, keeping the
+	// choice bit-identical to a serial scan unless the budget truncates the
+	// scan.
 	var fps []*FieldProgram
 	if isSeq {
 		fps = make([]*FieldProgram, len(seqProgs))
@@ -307,18 +378,20 @@ func synthesizeAgainstAncestor(
 	core.BudgetFrom(ctx).AddCandidates(int64(len(fps)))
 	vctx, vsp := trace.Start(ctx, "validate")
 	vsp.SetInt("candidates", int64(len(fps)))
-	i, complete := firstPassing(vctx, len(fps), func(i int) bool { return try(fps[i]) })
+	i, complete := firstPassing(vctx, len(fps), func(i int) bool {
+		return validatesCandidate(doc, m, cr, f, neg, fps[i])
+	})
 	vsp.SetInt("selected", int64(i))
 	vsp.SetBool("complete", complete)
 	vsp.End()
 	sink.Observe(metrics.PhaseValidate, time.Since(validateStart).Seconds())
 	if i >= 0 {
-		return fps[i], !complete, nil
+		return fps[i], !complete, fps, nil
 	}
 	if !complete {
-		return nil, false, fmt.Errorf("engine: field %s: synthesis budget exhausted while validating %d candidates", f.Color(), len(fps))
+		return nil, false, nil, fmt.Errorf("engine: field %s: synthesis budget exhausted while validating %d candidates", f.Color(), len(fps))
 	}
-	return nil, false, fmt.Errorf("engine: field %s: every consistent program violates the schema when executed", f.Color())
+	return nil, false, nil, fmt.Errorf("engine: field %s: every consistent program violates the schema when executed", f.Color())
 }
 
 func ancName(anc *schema.FieldInfo) string {

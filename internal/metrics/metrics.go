@@ -43,6 +43,15 @@ const (
 	// validation. Values are seconds.
 	PhaseLearn    = "synth_phase_learn_seconds"
 	PhaseValidate = "synth_phase_validate_seconds"
+	// IncrementalHits counts interactive Learn calls served by intersecting
+	// the session's retained candidate set with the extended example spec
+	// instead of a cold re-synthesis.
+	IncrementalHits = "synth_incremental_hits"
+	// IncrementalFallbacks counts interactive Learn calls that had retained
+	// candidate state but fell back to a cold re-synthesis (stale committed
+	// highlighting, removed examples, budget-truncated state, or no
+	// surviving candidate).
+	IncrementalFallbacks = "synth_incremental_fallbacks"
 
 	// BatchDocs counts documents processed by the batch runtime (result
 	// and error records alike).

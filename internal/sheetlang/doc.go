@@ -11,6 +11,7 @@ package sheetlang
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"flashextract/internal/engine"
 	"flashextract/internal/region"
@@ -22,19 +23,22 @@ type Document struct {
 	Grid *sheet.Grid
 	lang *lang
 
-	counts map[string]int // lazy cache of cell content frequencies
+	countsOnce sync.Once
+	counts     map[string]int // lazy cache of cell content frequencies
 }
 
-// contentCount returns how many cells of the sheet hold exactly s.
+// contentCount returns how many cells of the sheet hold exactly s. The
+// lazy count build is synchronized: concurrent rule learners
+// (core.UnionLearners) share the document.
 func (d *Document) contentCount(s string) int {
-	if d.counts == nil {
+	d.countsOnce.Do(func() {
 		d.counts = map[string]int{}
 		for r := 0; r < d.Grid.Rows; r++ {
 			for c := 0; c < d.Grid.Cols; c++ {
 				d.counts[d.Grid.Cell(r, c)]++
 			}
 		}
-	}
+	})
 	return d.counts[s]
 }
 
