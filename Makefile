@@ -4,7 +4,7 @@ GO ?= go
 # run fast and deterministic in duration; use a duration for real fuzzing).
 FUZZTIME ?= 40x
 
-.PHONY: all build vet test race check bench bench-synth bench-batch bench-interactive fuzz-smoke trace-smoke chaos-smoke shard-smoke serve-smoke trace
+.PHONY: all build vet test race check bench bench-synth bench-batch bench-interactive fuzz-smoke trace-smoke chaos-smoke shard-smoke serve-smoke obs-smoke trace
 
 all: check
 
@@ -76,6 +76,14 @@ chaos-smoke:
 # close-frame exit or goroutine leak.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# obs-smoke exercises the observability plane end to end: serve with
+# -access-log handles scan + explain, the access log must be line-valid
+# JSON with unique request ids, the exposition must carry the
+# serve_explain_* counters, /requests must retain ids and traces, and the
+# explain CLI / batch -provenance sidecar must agree with plain runs.
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 # shard-smoke runs the hash-range sharding differential end to end under
 # the race detector: three `-shard k/3` runs must partition the corpus

@@ -37,6 +37,12 @@ serving /metrics (Prometheus), /healthz (worker-pool liveness JSON),
 then keeps serving after the batch finishes until interrupted, so the
 run's final state stays inspectable.
 
+With -provenance PATH the run also writes a provenance sidecar: one
+flashextract-explain/v1 frame per record, in the same order as the record
+stream, mapping every extracted leaf to its source byte range and the
+combinator path that produced it. The record stream itself is
+byte-identical to a run without -provenance.
+
 With -chaos "seed=N[,rate=F][,failures=K][,delay=D][,sites=a;b;c]" (or the
 FLASHEXTRACT_CHAOS environment variable) the run injects deterministic,
 seed-reproducible faults at named sites in the serving stack, enables the
@@ -58,13 +64,14 @@ type batchConfig struct {
 	traceRing int
 	logLevel  string
 	logJSON   bool
-	chaos     string
-	selfCheck bool
-	prefilter bool
-	dedup     bool
-	resume    string
-	shard     string
-	globs     []string
+	chaos      string
+	selfCheck  bool
+	prefilter  bool
+	dedup      bool
+	resume     string
+	shard      string
+	provenance string
+	globs      []string
 }
 
 func parseBatchFlags(args []string) (batchConfig, error) {
@@ -90,6 +97,7 @@ func parseBatchFlags(args []string) (batchConfig, error) {
 	fs.BoolVar(&cfg.dedup, "dedup", false, "extract documents with identical content once and replay the result for duplicates")
 	fs.StringVar(&cfg.resume, "resume", "", "digest→outcome manifest path: replay outcomes from an earlier run and journal this one's (resumable batches)")
 	fs.StringVar(&cfg.shard, "shard", "", "own only the k-th of n hash-range shards of the corpus, as \"k/n\" (shards' outputs union to the full run)")
+	fs.StringVar(&cfg.provenance, "provenance", "", "write a provenance sidecar — one flashextract-explain/v1 frame per record, same order as the record stream — to this NDJSON path (- for stderr); empty = off")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -146,6 +154,19 @@ func runBatch(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// The provenance sidecar: capture is on only when a destination is
+	// given, so plain runs keep the zero-overhead execution path.
+	var provOut io.Writer
+	if cfg.provenance == "-" {
+		provOut = os.Stderr
+	} else if cfg.provenance != "" {
+		f, err := os.Create(cfg.provenance)
+		if err != nil {
+			return fmt.Errorf("batch: creating provenance sidecar: %w", err)
+		}
+		defer f.Close()
+		provOut = f
+	}
 	opts := flashextract.BatchOptions{
 		Program:    artifact,
 		DocType:    cfg.docType,
@@ -158,6 +179,10 @@ func runBatch(args []string, stdout io.Writer) error {
 		Resume:     cfg.resume,
 		ShardIndex: shard.K,
 		ShardCount: shard.N,
+	}
+	if provOut != nil {
+		opts.Provenance = true
+		opts.ProvenanceOut = provOut
 	}
 
 	// Chaos mode: the -chaos spec (or the env var when the flag is empty)

@@ -30,6 +30,11 @@
 //	flashextract batch -load prog.json -type text -out results.ndjson \
 //	    [-workers N] [-timeout 5s] [-ordered] 'logs/*.txt'
 //
+// The explain subcommand runs a saved program with execution capture on,
+// streaming one flashextract-explain/v1 provenance frame per document:
+//
+//	flashextract explain -load prog.json -type text report.txt
+//
 // The serve subcommand runs the long-lived extraction service over a
 // directory of named, versioned saved programs, speaking the
 // flashextract-serve/v1 NDJSON protocol on stdin/stdout:
@@ -46,6 +51,13 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "batch" {
 		if err := runBatch(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "flashextract: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		if err := runExplain(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "flashextract: %v\n", err)
 			os.Exit(1)
 		}

@@ -32,9 +32,14 @@ are structured error frames, never a process exit. SIGHUP reloads the
 program directory; SIGINT drains in-flight requests and exits cleanly.
 
 With -admin ADDR the introspection HTTP server runs alongside the stream,
-adding /programs (per-program serving counters) and /rpc (the protocol
-over HTTP POST) to the usual /metrics, /healthz, /trace/last, and
-/debug/pprof/ endpoints.
+adding /programs (per-program serving counters), /rpc (the protocol over
+HTTP POST), and /requests (the slowest requests' traces, as
+flashextract-requests/v1) to the usual /metrics, /healthz, /trace/last,
+and /debug/pprof/ endpoints.
+
+With -access-log PATH every handled frame appends one
+flashextract-access-log/v1 NDJSON line — request id, op, program, doc
+count, status, latency, response bytes — to PATH (- for stderr).
 
 With -chaos the same deterministic fault sites as the batch subcommand are
 armed inside the server, and the per-document self-checks come on. Flags:
@@ -42,18 +47,20 @@ armed inside the server, and the per-document self-checks come on. Flags:
 
 // serveConfig holds the serve subcommand's flags.
 type serveConfig struct {
-	programs    string
-	admin       string
-	maxInflight int
-	cache       int
-	workers     int
-	timeout     time.Duration
-	traceRing   int
-	logLevel    string
-	logJSON     bool
-	chaos       string
-	selfCheck   bool
-	prefilter   bool
+	programs     string
+	admin        string
+	maxInflight  int
+	cache        int
+	workers      int
+	timeout      time.Duration
+	traceRing    int
+	accessLog    string
+	slowRequests int
+	logLevel     string
+	logJSON      bool
+	chaos        string
+	selfCheck    bool
+	prefilter    bool
 }
 
 func parseServeFlags(args []string) (serveConfig, error) {
@@ -70,6 +77,8 @@ func parseServeFlags(args []string) (serveConfig, error) {
 	fs.IntVar(&cfg.workers, "workers", 0, "per-scan_batch worker pool size (0 = GOMAXPROCS)")
 	fs.DurationVar(&cfg.timeout, "timeout", 0, "default per-document deadline when a request has no timeout_ms (0 = none)")
 	fs.IntVar(&cfg.traceRing, "trace-ring", 0, "document traces retained for /trace/last (0 = default)")
+	fs.StringVar(&cfg.accessLog, "access-log", "", "append one flashextract-access-log/v1 NDJSON line per handled frame to this path (- for stderr); empty = off")
+	fs.IntVar(&cfg.slowRequests, "slow-requests", 0, "slowest requests retained for /requests (0 = default)")
 	fs.StringVar(&cfg.logLevel, "log-level", "info", "structured log level: debug, info, warn, or error")
 	fs.BoolVar(&cfg.logJSON, "log-json", false, "emit structured logs as JSON instead of text")
 	fs.StringVar(&cfg.chaos, "chaos", "", "arm deterministic fault injection: seed=N[,rate=F][,failures=K][,delay=D][,sites=a;b;c] ("+faults.EnvVar+" env var is the fallback)")
@@ -120,6 +129,20 @@ func runServe(args []string, stdout io.Writer) error {
 	// post-shutdown leak check sees only what this process created.
 	baseline := runtime.NumGoroutine()
 
+	// The access log: one NDJSON line per handled frame, appended so a
+	// restarted server extends the same log.
+	var accessLog io.Writer
+	if cfg.accessLog == "-" {
+		accessLog = os.Stderr
+	} else if cfg.accessLog != "" {
+		f, err := os.OpenFile(cfg.accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("serve: opening access log: %w", err)
+		}
+		defer f.Close()
+		accessLog = f
+	}
+
 	registry := serve.NewRegistry(cfg.programs, cfg.cache)
 	added, _, err := registry.Load()
 	if err != nil {
@@ -138,6 +161,8 @@ func runServe(args []string, stdout io.Writer) error {
 		Chaos:          inj,
 		SelfCheck:      cfg.selfCheck,
 		Prefilter:      cfg.prefilter,
+		AccessLog:      accessLog,
+		SlowRequests:   cfg.slowRequests,
 	})
 	if err != nil {
 		return err
@@ -150,6 +175,7 @@ func runServe(args []string, stdout io.Writer) error {
 		adm.SetInjector(inj)
 		adm.Handle("/programs", server.ProgramsHandler())
 		adm.Handle("/rpc", server.RPCHandler())
+		adm.Handle("/requests", server.RequestsHandler())
 		if err := adm.Start(cfg.admin); err != nil {
 			return err
 		}

@@ -14,11 +14,14 @@ package admin
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -177,14 +180,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTraceLast serves the last n (default all retained) document span
-// trees, newest first, as a flashextract-trace/v1 document.
+// trees, newest first, as a flashextract-trace/v1 document. Non-numeric n
+// is a client error; numeric n is never one — negative clamps to 0 (all
+// retained) and values beyond the int range clamp to the range end, since
+// the ring caps the result size anyway.
 func (s *Server) handleTraceLast(w http.ResponseWriter, r *http.Request) {
 	n := 0
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)
-		if err != nil || v < 0 {
-			http.Error(w, "admin: n must be a non-negative integer", http.StatusBadRequest)
+		if errors.Is(err, strconv.ErrRange) {
+			v = math.MaxInt
+			if strings.HasPrefix(strings.TrimSpace(q), "-") {
+				v = 0
+			}
+		} else if err != nil {
+			http.Error(w, "admin: n must be an integer", http.StatusBadRequest)
 			return
+		}
+		if v < 0 {
+			v = 0
 		}
 		n = v
 	}

@@ -137,6 +137,66 @@ func TestTraceLastEndpoint(t *testing.T) {
 	}
 }
 
+// TestTraceLastNParam pins the n= contract: non-numeric values are a 400,
+// numeric values never are — negative clamps to "all retained", values
+// beyond the int range clamp to the range end (the ring caps the result
+// size anyway), and absent/empty n means all.
+func TestTraceLastNParam(t *testing.T) {
+	mon := &batch.Monitor{}
+	for i := 0; i < 3; i++ {
+		tr := trace.NewTracer()
+		_, root := tr.StartRoot(context.Background(), "doc:"+string(rune('a'+i)))
+		root.End()
+		mon.RecordTrace(root)
+	}
+	s := startTestServer(t, nil, mon)
+
+	cases := []struct {
+		name  string
+		query string
+		code  int
+		// traces is checked only for 200 responses.
+		traces int
+	}{
+		{name: "absent", query: "", code: http.StatusOK, traces: 3},
+		{name: "empty", query: "?n=", code: http.StatusOK, traces: 3},
+		{name: "normal", query: "?n=2", code: http.StatusOK, traces: 2},
+		{name: "zero", query: "?n=0", code: http.StatusOK, traces: 3},
+		{name: "one", query: "?n=1", code: http.StatusOK, traces: 1},
+		{name: "plus-signed", query: "?n=%2B2", code: http.StatusOK, traces: 2},
+		{name: "larger-than-retained", query: "?n=100", code: http.StatusOK, traces: 3},
+		{name: "negative", query: "?n=-5", code: http.StatusOK, traces: 3},
+		{name: "overflow", query: "?n=99999999999999999999", code: http.StatusOK, traces: 3},
+		{name: "negative-overflow", query: "?n=-99999999999999999999", code: http.StatusOK, traces: 3},
+		{name: "non-numeric", query: "?n=bogus", code: http.StatusBadRequest},
+		{name: "float", query: "?n=1.5", code: http.StatusBadRequest},
+		{name: "trailing-junk", query: "?n=2x", code: http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := get(t, "http://"+s.Addr()+"/trace/last"+tc.query)
+			if code != tc.code {
+				t.Fatalf("GET /trace/last%s = %d, want %d (%q)", tc.query, code, tc.code, body)
+			}
+			if code != http.StatusOK {
+				if !strings.Contains(body, "n must be an integer") {
+					t.Fatalf("400 body = %q", body)
+				}
+				return
+			}
+			var file struct {
+				Traces []*trace.Node `json:"traces"`
+			}
+			if err := json.Unmarshal([]byte(body), &file); err != nil {
+				t.Fatalf("body is not JSON: %v", err)
+			}
+			if len(file.Traces) != tc.traces {
+				t.Fatalf("traces = %d, want %d", len(file.Traces), tc.traces)
+			}
+		})
+	}
+}
+
 func TestPprofEndpoint(t *testing.T) {
 	s := startTestServer(t, nil, nil)
 	code, body := get(t, "http://"+s.Addr()+"/debug/pprof/goroutine?debug=1")

@@ -38,6 +38,8 @@ import (
 	"flashextract/internal/logx"
 	"flashextract/internal/metrics"
 	"flashextract/internal/prefilter"
+	"flashextract/internal/provenance"
+	"flashextract/internal/reqid"
 	"flashextract/internal/sheet"
 	"flashextract/internal/sheetlang"
 	"flashextract/internal/textlang"
@@ -141,6 +143,18 @@ type Options struct {
 	// zero values) disable sharding.
 	ShardIndex int
 	ShardCount int
+	// Provenance runs every fully-executed document with execution capture
+	// and writes one flashextract-explain/v1 frame per emitted record to
+	// ProvenanceOut — a sidecar stream aligned line-for-line with the main
+	// output. Records whose document did not re-execute the program (error
+	// paths, prefilter/dedup/resume shortcuts) get a frame with the
+	// "unavailable" reason set. The main NDJSON stream is unaffected:
+	// capture only observes operator outputs, so output is byte-identical
+	// with or without this option (see the provenance differential tests).
+	Provenance bool
+	// ProvenanceOut receives the explain frames (NDJSON); nil discards
+	// them.
+	ProvenanceOut io.Writer
 }
 
 // The failure kinds of a Record, so downstream consumers can distinguish
@@ -198,6 +212,10 @@ type Record struct {
 	skippedByFilter bool
 	dedupHit        bool
 	resumeHit       bool
+	// prov is the record's marshaled flashextract-explain/v1 frame, set on
+	// the full execution path when Options.Provenance is on. Unexported, so
+	// it never perturbs the main NDJSON line.
+	prov json.RawMessage
 }
 
 // Summary aggregates one batch run.
@@ -404,6 +422,12 @@ func Run(ctx context.Context, opts Options, sources []Source, out io.Writer) (Su
 			return
 		}
 		writeErr = writeRecord(out, rec)
+		// The provenance sidecar is written by the same emit path as the
+		// record, so ordered runs order the two streams identically and a
+		// frame exists for every emitted line.
+		if writeErr == nil && opts.Provenance && opts.ProvenanceOut != nil {
+			writeErr = writeProvenance(opts.ProvenanceOut, rec)
+		}
 	}
 	// In ordered mode, records are held until every lower index has been
 	// written. Dispatch is sequential from index 0 and every dispatched
@@ -494,9 +518,18 @@ func processDoc(ctx context.Context, prog *engine.SchemaProgram, opts Options, e
 	start := time.Now()
 	rec = Record{Doc: j.src.Name, Index: j.index}
 	var root *trace.Span
-	if opts.Trace && opts.Monitor != nil {
+	if parent := trace.FromContext(ctx); parent != nil {
+		// A request-scoped span (the serve loop's request root) already owns
+		// this context: the document becomes a child of the request tree
+		// instead of starting a tracer of its own.
+		ctx, root = trace.Start(ctx, "doc:"+j.src.Name)
+		root.SetInt("index", int64(j.index))
+	} else if opts.Trace && opts.Monitor != nil {
 		ctx, root = trace.NewTracer().StartRoot(ctx, "doc:"+j.src.Name)
 		root.SetInt("index", int64(j.index))
+	}
+	if rid := reqid.From(ctx); rid != "" {
+		root.SetString("request_id", rid)
 	}
 	opts.Monitor.docStarted()
 	defer func() {
@@ -686,7 +719,13 @@ func processDoc(ctx context.Context, prog *engine.SchemaProgram, opts Options, e
 	if inj.Hit(faults.SiteBudget, "run:"+j.src.Name) {
 		bud.Trip(core.ReasonInjected)
 	}
-	inst, _, err := prog.RunContext(dctx, doc)
+	var inst *engine.Instance
+	var caps map[string]*core.ExecCapture
+	if opts.Provenance {
+		inst, _, caps, err = prog.RunCapturedContext(dctx, doc)
+	} else {
+		inst, _, err = prog.RunContext(dctx, doc)
+	}
 	if err != nil {
 		rec.Kind = classifyRunError(err, bud)
 		rec.Error = err.Error()
@@ -707,7 +746,50 @@ func processDoc(ctx context.Context, prog *engine.SchemaProgram, opts Options, e
 	}
 	rec.OK = true
 	rec.Data = raw
+	if opts.Provenance {
+		frame := provenance.Explain(prog, inst, caps, j.src.Name, j.index)
+		frame.RequestID = reqid.From(ctx)
+		if fb, err := json.Marshal(frame); err == nil {
+			rec.prov = fb
+		}
+	}
 	return rec
+}
+
+// writeProvenance writes the record's explain frame to the sidecar stream,
+// synthesizing an "unavailable" frame for records whose document did not
+// re-execute the program.
+func writeProvenance(out io.Writer, rec Record) error {
+	line := rec.prov
+	if line == nil {
+		frame := provenance.Unavailable(rec.Doc, rec.Index, unavailableReason(rec))
+		b, err := json.Marshal(frame)
+		if err != nil {
+			return fmt.Errorf("batch: marshaling explain frame: %w", err)
+		}
+		line = b
+	}
+	line = append(line, '\n')
+	if _, err := out.Write(line); err != nil {
+		return fmt.Errorf("batch: writing provenance: %w", err)
+	}
+	return nil
+}
+
+// unavailableReason classifies why a record carries no captured frame.
+func unavailableReason(rec Record) string {
+	switch {
+	case rec.skippedByFilter:
+		return "prefilter: document provably yields zero matches; program not re-executed"
+	case rec.dedupHit:
+		return "dedup: outcome replayed from an identical document"
+	case rec.resumeHit:
+		return "resume: outcome replayed from an earlier run's manifest"
+	case !rec.OK:
+		return "error: " + rec.Kind
+	default:
+		return "not captured"
+	}
 }
 
 // applyOutcome copies a replayed (or precomputed) outcome into the record,

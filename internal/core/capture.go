@@ -1,0 +1,95 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+)
+
+// DefaultMaxCaptured bounds the number of distinct values one ExecCapture
+// will record. Beyond the cap further notes are dropped (and counted), so
+// a pathological program cannot grow the capture without bound — the same
+// containment strategy as the tracer's span cap.
+const DefaultMaxCaptured = 1 << 20
+
+// ExecCapture records, during program execution, which operator
+// subexpressions each emitted value passed through — the execution-time
+// half of extraction provenance. It is carried by the State exactly like
+// the execution memo: states without a capture pay a single nil check per
+// operator (see BenchmarkCaptureDisabled), states with one have every
+// operator note its output elements.
+//
+// Steps are recorded innermost-first: inner operators execute (and note)
+// before the combinators wrapping them, so a value's step list reads as
+// the path of the value through the combinator tree, producer first.
+// All methods are safe for concurrent use (Merge arguments and Map bodies
+// may be evaluated from worker goroutines).
+type ExecCapture struct {
+	mu      sync.Mutex
+	max     int
+	steps   map[Value][]string
+	dropped int64
+}
+
+// NewExecCapture creates an empty capture with the default value cap.
+func NewExecCapture() *ExecCapture {
+	return &ExecCapture{max: DefaultMaxCaptured, steps: map[Value][]string{}}
+}
+
+// Note appends one operator step to the value's recorded path. Values that
+// are not usable as map keys (sequences, values wrapping slices) are
+// skipped: provenance tracks the comparable leaf values — regions,
+// positions — that domains are already required to produce (see Value).
+func (c *ExecCapture) Note(v Value, step string) {
+	if c == nil || v == nil {
+		return
+	}
+	if t := reflect.TypeOf(v); !t.Comparable() {
+		return
+	}
+	c.mu.Lock()
+	if _, seen := c.steps[v]; !seen && len(c.steps) >= c.max {
+		c.dropped++
+		c.mu.Unlock()
+		return
+	}
+	c.steps[v] = append(c.steps[v], step)
+	c.mu.Unlock()
+}
+
+// Steps returns a copy of the operator path recorded for the value,
+// innermost producer first, or nil when the value was never noted.
+func (c *ExecCapture) Steps(v Value) []string {
+	if c == nil || v == nil {
+		return nil
+	}
+	if t := reflect.TypeOf(v); !t.Comparable() {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.steps[v]
+	if s == nil {
+		return nil
+	}
+	return append([]string(nil), s...)
+}
+
+// Len reports how many distinct values have recorded paths.
+func (c *ExecCapture) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.steps)
+}
+
+// Dropped reports how many notes were discarded by the value cap.
+func (c *ExecCapture) Dropped() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}

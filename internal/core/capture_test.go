@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// captureSeq is a leaf sequence program over small comparable values.
+func captureSeq(vals ...int) Program {
+	seq := make([]Value, len(vals))
+	for i, v := range vals {
+		seq[i] = v
+	}
+	return Func{Name: "src", F: func(State) (Value, error) { return seq, nil }}
+}
+
+func TestCaptureRecordsOperatorPath(t *testing.T) {
+	// FilterBool(even, Map(double, src)) over 1..4: outputs 2,4,6,8 all even.
+	inner := &MapProgram{
+		Name: "DoubleMap",
+		Var:  "x",
+		F: Func{Name: "double", F: func(st State) (Value, error) {
+			v, _ := st.Lookup("x")
+			return v.(int) * 2, nil
+		}},
+		S: captureSeq(1, 2, 3, 4),
+	}
+	prog := &FilterBoolProgram{
+		Var: "y",
+		B: Func{Name: "even", F: func(st State) (Value, error) {
+			v, _ := st.Lookup("y")
+			return v.(int)%2 == 0, nil
+		}},
+		S: inner,
+	}
+	cap := NewExecCapture()
+	out, err := prog.Exec(NewState("in").WithCapture(cap))
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	seq := out.([]Value)
+	if len(seq) != 4 {
+		t.Fatalf("output = %v, want 4 elements", seq)
+	}
+	for _, v := range seq {
+		steps := cap.Steps(v)
+		want := []string{"Map:DoubleMap", "FilterBool"}
+		if len(steps) != 2 || steps[0] != want[0] || steps[1] != want[1] {
+			t.Fatalf("Steps(%v) = %v, want %v (innermost first)", v, steps, want)
+		}
+	}
+	if cap.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", cap.Len())
+	}
+}
+
+func TestCaptureFilterIntMergePair(t *testing.T) {
+	fi := &FilterIntProgram{Init: 1, Iter: 2, S: captureSeq(10, 20, 30, 40)}
+	merged := &MergeProgram{
+		Args: []Program{fi, captureSeq(5)},
+		Less: func(a, b Value) bool { return a.(int) < b.(int) },
+	}
+	cap := NewExecCapture()
+	out, err := merged.Exec(NewState("in").WithCapture(cap))
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if got := fmt.Sprint(out); got != "[5 20 40]" {
+		t.Fatalf("merge output = %s", got)
+	}
+	steps := cap.Steps(20)
+	if len(steps) != 2 || steps[0] != "FilterInt(1,2)" || steps[1] != "Merge" {
+		t.Fatalf("Steps(20) = %v", steps)
+	}
+	// The leaf-only element carries just the Merge step.
+	if s := cap.Steps(5); len(s) != 1 || s[0] != "Merge" {
+		t.Fatalf("Steps(5) = %v", s)
+	}
+
+	pair := &PairProgram{
+		A: Func{Name: "a", F: func(State) (Value, error) { return 1, nil }},
+		B: Func{Name: "b", F: func(State) (Value, error) { return 2, nil }},
+		Make: func(a, b Value) (Value, error) {
+			return [2]int{a.(int), b.(int)}, nil
+		},
+	}
+	pcap := NewExecCapture()
+	pv, err := pair.Exec(NewState("in").WithCapture(pcap))
+	if err != nil {
+		t.Fatalf("pair Exec: %v", err)
+	}
+	if s := pcap.Steps(pv); len(s) != 1 || s[0] != "Pair" {
+		t.Fatalf("Steps(pair) = %v", s)
+	}
+}
+
+func TestCaptureSkipsNonComparable(t *testing.T) {
+	cap := NewExecCapture()
+	cap.Note([]Value{1, 2}, "Map:X") // must not panic
+	if cap.Len() != 0 {
+		t.Fatalf("non-comparable value was recorded")
+	}
+	if s := cap.Steps([]Value{1, 2}); s != nil {
+		t.Fatalf("Steps on non-comparable = %v", s)
+	}
+}
+
+func TestCaptureCap(t *testing.T) {
+	c := &ExecCapture{max: 2, steps: map[Value][]string{}}
+	c.Note(1, "a")
+	c.Note(2, "a")
+	c.Note(3, "a") // over the cap: dropped
+	c.Note(1, "b") // existing key: still recorded
+	if c.Len() != 2 || c.Dropped() != 1 {
+		t.Fatalf("Len=%d Dropped=%d, want 2/1", c.Len(), c.Dropped())
+	}
+	if s := c.Steps(1); strings.Join(s, ",") != "a,b" {
+		t.Fatalf("Steps(1) = %v", s)
+	}
+}
+
+func TestNilCaptureIsInert(t *testing.T) {
+	var c *ExecCapture
+	c.Note(1, "a")
+	if c.Steps(1) != nil || c.Len() != 0 || c.Dropped() != 0 {
+		t.Fatal("nil capture must be a no-op")
+	}
+}
+
+// benchProg is a Map over a medium sequence — the operator shape of the
+// extraction hot path — used by the capture-path benchmarks.
+func benchProg() Program {
+	vals := make([]Value, 256)
+	for i := range vals {
+		vals[i] = i
+	}
+	return &MapProgram{
+		Name: "IdMap",
+		Var:  "x",
+		F: Func{Name: "id", F: func(st State) (Value, error) {
+			v, _ := st.Lookup("x")
+			return v, nil
+		}},
+		S: Func{Name: "src", F: func(State) (Value, error) { return vals, nil }},
+	}
+}
+
+// BenchmarkCaptureDisabled measures the provenance-off fast path: states
+// without a capture must cost the operators only a nil check, exactly like
+// trace.Start with no tracer installed.
+func BenchmarkCaptureDisabled(b *testing.B) {
+	p := benchProg()
+	st := NewState("in")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Exec(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCaptureEnabled measures the same execution with capture on, for
+// the overhead comparison recorded in DESIGN.md.
+func BenchmarkCaptureEnabled(b *testing.B) {
+	p := benchProg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st := NewState("in").WithCapture(NewExecCapture())
+		if _, err := p.Exec(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -88,6 +88,11 @@ func (p *MapProgram) Exec(st State) (Value, error) {
 		}
 		out[i] = r
 	}
+	if st.cap != nil {
+		for _, r := range out {
+			st.cap.Note(r, "Map:"+p.Name)
+		}
+	}
 	return out, nil
 }
 
@@ -130,6 +135,11 @@ func (p *FilterBoolProgram) Exec(st State) (Value, error) {
 	if out == nil {
 		out = []Value{}
 	}
+	if st.cap != nil {
+		for _, e := range out {
+			st.cap.Note(e, "FilterBool")
+		}
+	}
 	return out, nil
 }
 
@@ -161,6 +171,12 @@ func (p *FilterIntProgram) Exec(st State) (Value, error) {
 	out := []Value{}
 	for i := p.Init; i >= 0 && i < len(seq); i += p.Iter {
 		out = append(out, seq[i])
+	}
+	if st.cap != nil {
+		step := fmt.Sprintf("FilterInt(%d,%d)", p.Init, p.Iter)
+		for _, e := range out {
+			st.cap.Note(e, step)
+		}
 	}
 	return out, nil
 }
@@ -202,6 +218,13 @@ func (p *MergeProgram) Exec(st State) (Value, error) {
 			out = append(out, v)
 		}
 	}
+	// A single-argument Merge is a transparent wrapper (String elides it
+	// too); only a real disjunction is a provenance step worth recording.
+	if st.cap != nil && len(p.Args) > 1 {
+		for _, v := range out {
+			st.cap.Note(v, "Merge")
+		}
+	}
 	return out, nil
 }
 
@@ -239,10 +262,19 @@ func (p *PairProgram) Exec(st State) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
+	var out Value
 	if p.Make != nil {
-		return p.Make(a, b)
+		out, err = p.Make(a, b)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		out = PairValue{First: a, Second: b}
 	}
-	return PairValue{First: a, Second: b}, nil
+	if st.cap != nil {
+		st.cap.Note(out, "Pair")
+	}
+	return out, nil
 }
 
 func (p *PairProgram) String() string {

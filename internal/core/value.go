@@ -116,6 +116,7 @@ const InputVar = "R0"
 type State struct {
 	frame *binding
 	memo  *execMemo
+	cap   *ExecCapture
 }
 
 type binding struct {
@@ -164,10 +165,24 @@ func (s State) WithExecMemo() State {
 	return s
 }
 
+// WithCapture equips the state with an execution capture: every sequence
+// and pair operator notes its output values into it, mapping each emitted
+// value to the path of operator subexpressions that produced it. Like the
+// memo, the capture is carried through Bind, so nested operators share it.
+// States without a capture pay one nil check per operator — the
+// provenance-off fast path.
+func (s State) WithCapture(c *ExecCapture) State {
+	s.cap = c
+	return s
+}
+
+// Capture returns the state's execution capture, or nil.
+func (s State) Capture() *ExecCapture { return s.cap }
+
 // Bind returns a new state with name bound to v, shadowing any previous
 // binding of the same name.
 func (s State) Bind(name string, v Value) State {
-	return State{frame: &binding{name: name, val: v, next: s.frame}, memo: s.memo}
+	return State{frame: &binding{name: name, val: v, next: s.frame}, memo: s.memo, cap: s.cap}
 }
 
 // Lookup returns the value bound to name.

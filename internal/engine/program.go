@@ -41,13 +41,16 @@ func (fp *FieldProgram) String() string {
 // programs contribute an empty sequence, region programs the null
 // instance.
 func (fp *FieldProgram) run(doc Document, cr Highlighting) []region.Region {
-	out, _ := fp.runCtx(context.Background(), doc, cr)
+	out, _ := fp.runCtx(context.Background(), doc, cr, nil)
 	return out
 }
 
 // runCtx is run under a context: cancellation (or a tripped budget) aborts
-// between ancestor regions with the context's error.
-func (fp *FieldProgram) runCtx(ctx context.Context, doc Document, cr Highlighting) ([]region.Region, error) {
+// between ancestor regions with the context's error. A non-nil cap records
+// execution provenance for the emitted regions, when the substrate program
+// supports capture (see CapturedSeqExtractor); unsupported programs run
+// uncaptured.
+func (fp *FieldProgram) runCtx(ctx context.Context, doc Document, cr Highlighting, cap *core.ExecCapture) ([]region.Region, error) {
 	var inputs []region.Region
 	if fp.Ancestor == nil {
 		inputs = []region.Region{doc.WholeRegion()}
@@ -61,12 +64,24 @@ func (fp *FieldProgram) runCtx(ctx context.Context, doc Document, cr Highlightin
 			return nil, err
 		}
 		if fp.Seq != nil {
-			rs, err := fp.Seq.ExtractSeq(in)
+			var rs []region.Region
+			var err error
+			if cse, ok := fp.Seq.(CapturedSeqExtractor); ok && cap != nil {
+				rs, err = cse.ExtractSeqCaptured(in, cap)
+			} else {
+				rs, err = fp.Seq.ExtractSeq(in)
+			}
 			if err == nil {
 				out = append(out, rs...)
 			}
 		} else {
-			r, err := fp.Reg.Extract(in)
+			var r region.Region
+			var err error
+			if cre, ok := fp.Reg.(CapturedRegionExtractor); ok && cap != nil {
+				r, err = cre.ExtractCaptured(in, cap)
+			} else {
+				r, err = fp.Reg.Extract(in)
+			}
 			if err == nil && r != nil {
 				out = append(out, r)
 			}
@@ -136,7 +151,7 @@ func (q *SchemaProgram) RunContext(ctx context.Context, doc Document) (*Instance
 	cr := Highlighting{}
 	for _, fi := range q.Schema.Fields() {
 		fp := q.Fields[fi.Color()]
-		rs, err := fp.runCtx(ctx, doc, cr)
+		rs, err := fp.runCtx(ctx, doc, cr, nil)
 		if err != nil {
 			return nil, nil, err
 		}

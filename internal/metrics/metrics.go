@@ -92,6 +92,12 @@ const (
 	// ServeFrameSeconds is the end-to-end request latency histogram of the
 	// extraction server (decode through response write). Values are seconds.
 	ServeFrameSeconds = "serve_frame_seconds"
+	// ServeExplainRequests counts explain ops (a subset of ServeRequests):
+	// scans run with execution capture that return provenance frames.
+	ServeExplainRequests = "serve_explain_requests"
+	// ServeExplainErrors counts explain ops answered with an error frame
+	// (a subset of ServeErrors).
+	ServeExplainErrors = "serve_explain_errors"
 )
 
 // Sink is the minimal recording interface the synthesis stack writes to.

@@ -166,7 +166,7 @@ func TestWritePrometheus(t *testing.T) {
 	// Every non-comment line must match the exposition grammar.
 	lineRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9][0-9eE+.\-]*$`)
 	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
-		if strings.HasPrefix(line, "# TYPE ") {
+		if strings.HasPrefix(line, "# TYPE ") || strings.HasPrefix(line, "# HELP ") {
 			continue
 		}
 		if !lineRe.MatchString(line) {
@@ -174,7 +174,9 @@ func TestWritePrometheus(t *testing.T) {
 		}
 	}
 	for _, want := range []string{
+		"# HELP synth_learn_calls Synthesis driver invocations.\n",
 		"# TYPE synth_learn_calls counter\nsynth_learn_calls 3\n",
+		"# HELP synth_phase_learn_seconds DSL learning phase latency in seconds.\n",
 		"batch_docs_processed 10\n",
 		"# TYPE synth_phase_learn_seconds histogram\n",
 		`synth_phase_learn_seconds_bucket{le="+Inf"} 2`,
@@ -197,6 +199,68 @@ func TestWritePrometheus(t *testing.T) {
 	}
 	if b2.String() != out {
 		t.Fatalf("exposition output not deterministic")
+	}
+}
+
+// TestPrometheusGoldenExposition pins the full byte output for a small
+// snapshot: HELP before TYPE for every metric, sorted names, ascending
+// buckets with +Inf last, and a generic HELP fallback for names outside
+// the canonical set.
+func TestPrometheusGoldenExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Count(LearnCalls, 3)
+	r.Count(CacheHits, 2)
+	r.Count("zz_custom", 1)
+	r.Observe(PhaseLearn, 0.002)
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `# HELP cache_hits Document evaluation cache probes that hit.
+# TYPE cache_hits counter
+cache_hits 2
+# HELP synth_learn_calls Synthesis driver invocations.
+# TYPE synth_learn_calls counter
+synth_learn_calls 3
+# HELP zz_custom flashextract counter metric.
+# TYPE zz_custom counter
+zz_custom 1
+# HELP synth_phase_learn_seconds DSL learning phase latency in seconds.
+# TYPE synth_phase_learn_seconds histogram
+synth_phase_learn_seconds_bucket{le="0.0001"} 0
+synth_phase_learn_seconds_bucket{le="0.0004"} 0
+synth_phase_learn_seconds_bucket{le="0.0016"} 0
+synth_phase_learn_seconds_bucket{le="0.0064"} 1
+synth_phase_learn_seconds_bucket{le="0.0256"} 1
+synth_phase_learn_seconds_bucket{le="0.1024"} 1
+synth_phase_learn_seconds_bucket{le="0.4096"} 1
+synth_phase_learn_seconds_bucket{le="1.6384"} 1
+synth_phase_learn_seconds_bucket{le="6.5536"} 1
+synth_phase_learn_seconds_bucket{le="26.2144"} 1
+synth_phase_learn_seconds_bucket{le="+Inf"} 1
+synth_phase_learn_seconds_sum 0.002
+synth_phase_learn_seconds_count 1
+`
+	if got := b.String(); got != golden {
+		t.Fatalf("exposition differs from golden:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// TestPrometheusHelpCoversCanonicalNames: every canonical name constant
+// has a specific HELP line, so no first-party metric ships the generic
+// fallback text.
+func TestPrometheusHelpCoversCanonicalNames(t *testing.T) {
+	for _, name := range []string{
+		CandidatesExplored, CacheHits, CacheMisses, LearnerFanout, LearnCalls,
+		PartialResults, PhaseLearn, PhaseValidate, IncrementalHits, IncrementalFallbacks,
+		BatchDocs, BatchErrors, BatchDocSeconds, BatchRetries, BatchPrefilterSkipped,
+		BatchDedupHits, BatchResumeHits, BatchShardDropped,
+		ServeRequests, ServeErrors, ServeOverloaded, ServeReloads, ServeFrameSeconds,
+		ServeExplainRequests, ServeExplainErrors,
+	} {
+		if _, ok := helpText[name]; !ok {
+			t.Errorf("metric %q has no HELP text", name)
+		}
 	}
 }
 

@@ -8,14 +8,55 @@ import (
 	"strings"
 )
 
+// helpText carries the one-line # HELP description of each canonical
+// metric name. Names outside this map (external sinks) fall back to a
+// generic line so the exposition always pairs HELP with TYPE.
+var helpText = map[string]string{
+	CandidatesExplored:    "Candidate programs generated and examined per synthesis call.",
+	CacheHits:             "Document evaluation cache probes that hit.",
+	CacheMisses:           "Document evaluation cache probes that missed.",
+	LearnerFanout:         "Learners dispatched by Union combinators.",
+	LearnCalls:            "Synthesis driver invocations.",
+	PartialResults:        "Synthesis calls that exhausted their budget.",
+	PhaseLearn:            "DSL learning phase latency in seconds.",
+	PhaseValidate:         "Candidate validation phase latency in seconds.",
+	IncrementalHits:       "Interactive Learn calls served by candidate-set intersection.",
+	IncrementalFallbacks:  "Interactive Learn calls that fell back to cold re-synthesis.",
+	BatchDocs:             "Documents processed by the batch runtime.",
+	BatchErrors:           "Batch documents that yielded an error record.",
+	BatchDocSeconds:       "Per-document end-to-end batch run latency in seconds.",
+	BatchRetries:          "Retried document-read attempts in the batch worker pool.",
+	BatchPrefilterSkipped: "Documents rejected by the static admission prefilter.",
+	BatchDedupHits:        "Documents replayed from the in-run content-digest store.",
+	BatchResumeHits:       "Documents replayed from a persisted resume manifest.",
+	BatchShardDropped:     "Documents outside this process's hash-range shard.",
+	ServeRequests:         "Protocol frames handled by the extraction server.",
+	ServeErrors:           "Requests answered with an error frame.",
+	ServeOverloaded:       "Requests rejected by the in-flight backpressure limit.",
+	ServeReloads:          "Successful program-registry reloads.",
+	ServeFrameSeconds:     "End-to-end request latency of the extraction server in seconds.",
+	ServeExplainRequests:  "Explain ops: scans run with execution capture.",
+	ServeExplainErrors:    "Explain ops answered with an error frame.",
+}
+
+// helpFor returns the HELP description for a metric name, falling back to
+// a generic line for names outside the canonical set.
+func helpFor(name, kind string) string {
+	if h, ok := helpText[name]; ok {
+		return h
+	}
+	return "flashextract " + kind + " metric."
+}
+
 // WritePrometheus renders a snapshot in the Prometheus text exposition
 // format (version 0.0.4): counters as counter metrics, histograms as
 // histogram metrics with cumulative _bucket series, _sum, and _count.
-// Metric names are emitted in sorted order and every histogram lists its
-// buckets in ascending bound order with le="+Inf" last, so the output is
-// byte-deterministic for a given snapshot. Names already follow the
-// snake_case scheme of this package; sanitizeName is a safety net for
-// sinks fed by external callers.
+// Every metric is preceded by its # HELP and # TYPE lines (HELP first, as
+// the format requires). Metric names are emitted in sorted order and every
+// histogram lists its buckets in ascending bound order with le="+Inf"
+// last, so the output is byte-deterministic for a given snapshot. Names
+// already follow the snake_case scheme of this package; sanitizeName is a
+// safety net for sinks fed by external callers.
 func WritePrometheus(w io.Writer, s Snapshot) error {
 	names := make([]string, 0, len(s.Counters))
 	for name := range s.Counters {
@@ -24,7 +65,8 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	sort.Strings(names)
 	for _, name := range names {
 		n := sanitizeName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			n, helpFor(name, "counter"), n, n, s.Counters[name]); err != nil {
 			return err
 		}
 	}
@@ -37,7 +79,8 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	for _, name := range hnames {
 		h := s.Histograms[name]
 		n := sanitizeName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
+			n, helpFor(name, "histogram"), n); err != nil {
 			return err
 		}
 		var cum int64

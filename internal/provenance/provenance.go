@@ -1,0 +1,173 @@
+// Package provenance builds flashextract-explain/v1 frames: per-record
+// explanations mapping every extracted leaf value back to its source
+// coordinates in the document and to the path of core operator
+// subexpressions that produced it.
+//
+// A frame is assembled from the three artifacts of a captured run
+// (engine.SchemaProgram.RunCapturedContext): the filled instance, which the
+// frame walks in lockstep with the schema; the regions at its leaves,
+// whose SourceSpan gives the document coordinates; and the per-field
+// ExecCaptures, which give each leaf region's operator path.
+package provenance
+
+import (
+	"fmt"
+
+	"flashextract/internal/core"
+	"flashextract/internal/engine"
+	"flashextract/internal/region"
+	"flashextract/internal/schema"
+)
+
+// Schema identifies explain frames in NDJSON streams.
+const Schema = "flashextract-explain/v1"
+
+// Frame explains one extracted record (one emitted NDJSON line): its
+// document, record index, and the provenance of every non-null leaf.
+type Frame struct {
+	SchemaName string `json:"schema"`
+	Doc        string `json:"doc"`
+	Index      int    `json:"index"`
+	RequestID  string `json:"request_id,omitempty"`
+	Program    string `json:"program,omitempty"`
+	Leaves     []Leaf `json:"leaves"`
+	// Unavailable explains why a record has no leaf provenance: the run
+	// failed, or the record came from a path that did not re-execute the
+	// program (dedup hit, resume skip, prefilter drop).
+	Unavailable string `json:"unavailable,omitempty"`
+}
+
+// Leaf is the provenance of one leaf value of a record.
+type Leaf struct {
+	// Path locates the leaf within the record, e.g. "Stamps[2]" or
+	// "host.name".
+	Path string `json:"path"`
+	// Field is the schema color of the leaf's field.
+	Field string `json:"field"`
+	// Ancestor is the color of the field's extraction ancestor, empty for
+	// the whole document (⊥).
+	Ancestor string `json:"ancestor,omitempty"`
+	Text     string `json:"text"`
+	// Span gives the leaf's source coordinates; nil when the region type
+	// cannot report them.
+	Span *Span `json:"span,omitempty"`
+	// Ops is the leaf region's path through the core operators, innermost
+	// producer first (e.g. ["Map:LinesMap", "FilterBool"]).
+	Ops []string `json:"ops,omitempty"`
+}
+
+// Span is the JSON form of region.SourceSpan.
+type Span struct {
+	Space string    `json:"space"`
+	Start int       `json:"start,omitempty"`
+	End   int       `json:"end,omitempty"`
+	Grid  *GridRect `json:"grid,omitempty"`
+}
+
+// GridRect is the inclusive cell rectangle of a grid-space span.
+type GridRect struct {
+	R1 int `json:"r1"`
+	C1 int `json:"c1"`
+	R2 int `json:"r2"`
+	C2 int `json:"c2"`
+}
+
+func spanOf(r region.Region) *Span {
+	ss, ok := r.(region.SourceSpanner)
+	if !ok {
+		return nil
+	}
+	s := ss.SourceSpan()
+	out := &Span{Space: s.Space, Start: s.Start, End: s.End}
+	if s.Space == "grid" {
+		out.Start, out.End = 0, 0
+		out.Grid = &GridRect{R1: s.R1, C1: s.C1, R2: s.R2, C2: s.C2}
+	}
+	return out
+}
+
+// Explain builds the explain frame for one extracted record instance. The
+// caps map is the per-field-color captures from a RunCapturedContext run;
+// it may be nil, in which case leaves carry spans but no operator paths.
+// doc and index identify the record; the caller stamps RequestID and
+// Program as appropriate.
+func Explain(prog *engine.SchemaProgram, inst *engine.Instance, caps map[string]*core.ExecCapture, doc string, index int) *Frame {
+	f := &Frame{SchemaName: Schema, Doc: doc, Index: index, Leaves: []Leaf{}}
+	w := &walker{prog: prog, caps: caps, frame: f}
+	m := prog.Schema
+	switch {
+	case m.TopSeq != nil:
+		// A top-level sequence record is one item: a single inner field.
+		w.field(m.TopSeq.Inner, inst, "")
+	default:
+		w.structure(m.TopStruct, inst, "")
+	}
+	return f
+}
+
+// Unavailable builds a frame that records why provenance is absent for a
+// record (error paths and shortcut paths that skip re-execution).
+func Unavailable(doc string, index int, reason string) *Frame {
+	return &Frame{SchemaName: Schema, Doc: doc, Index: index, Leaves: []Leaf{}, Unavailable: reason}
+}
+
+type walker struct {
+	prog  *engine.SchemaProgram
+	caps  map[string]*core.ExecCapture
+	frame *Frame
+}
+
+func (w *walker) structure(s *schema.Struct, inst *engine.Instance, path string) {
+	if inst.IsNull() || inst.Kind != engine.StructInstance {
+		return
+	}
+	for i, e := range s.Elements {
+		if i >= len(inst.Elements) {
+			return
+		}
+		sub := join(path, e.Name)
+		v := inst.Elements[i].Value
+		if e.Seq != nil {
+			w.seq(e.Seq, v, sub)
+		} else {
+			w.field(e.Field, v, sub)
+		}
+	}
+}
+
+func (w *walker) seq(s *schema.Seq, inst *engine.Instance, path string) {
+	if inst.IsNull() || inst.Kind != engine.SeqInstance {
+		return
+	}
+	for i, it := range inst.Items {
+		w.field(s.Inner, it, fmt.Sprintf("%s[%d]", path, i))
+	}
+}
+
+func (w *walker) field(f *schema.Field, inst *engine.Instance, path string) {
+	if inst.IsNull() {
+		return
+	}
+	if !f.IsLeaf() {
+		w.structure(f.Struct, inst, path)
+		return
+	}
+	if inst.Kind != engine.LeafInstance || inst.Region == nil {
+		return
+	}
+	leaf := Leaf{Path: path, Field: f.Color, Text: inst.Text, Span: spanOf(inst.Region)}
+	if fp := w.prog.Fields[f.Color]; fp != nil && fp.Ancestor != nil {
+		leaf.Ancestor = fp.Ancestor.Color()
+	}
+	if c := w.caps[f.Color]; c != nil {
+		leaf.Ops = c.Steps(inst.Region)
+	}
+	w.frame.Leaves = append(w.frame.Leaves, leaf)
+}
+
+func join(path, name string) string {
+	if path == "" {
+		return name
+	}
+	return path + "." + name
+}

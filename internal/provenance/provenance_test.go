@@ -1,0 +1,122 @@
+package provenance_test
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"flashextract/internal/batch"
+	"flashextract/internal/bench"
+	"flashextract/internal/bench/corpus"
+	"flashextract/internal/engine"
+	"flashextract/internal/provenance"
+)
+
+func TestExplainHadoopXLRoundTrip(t *testing.T) {
+	task := corpus.ByName("hadoop-xl")
+	if task == nil {
+		t.Fatal("corpus task hadoop-xl not found")
+	}
+	art, err := bench.LearnSchemaProgram(task, 3)
+	if err != nil {
+		t.Fatalf("learning hadoop-xl: %v", err)
+	}
+	lang, err := batch.LanguageFor(task.Domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := engine.LoadSchemaProgram(art, lang)
+	if err != nil {
+		t.Fatalf("loading program: %v", err)
+	}
+	inst, _, caps, err := prog.RunCapturedContext(context.Background(), task.Doc)
+	if err != nil {
+		t.Fatalf("captured run: %v", err)
+	}
+	frame := provenance.Explain(prog, inst, caps, task.Name, 0)
+	if frame.SchemaName != provenance.Schema {
+		t.Fatalf("frame schema = %q", frame.SchemaName)
+	}
+	if len(frame.Leaves) == 0 {
+		t.Fatal("explain frame has no leaves")
+	}
+	fields := map[string]int{}
+	for _, leaf := range frame.Leaves {
+		fields[leaf.Field]++
+		if leaf.Span == nil {
+			t.Fatalf("leaf %s has no source span", leaf.Path)
+		}
+		if leaf.Span.Space != "bytes" {
+			t.Fatalf("leaf %s span space = %q, want bytes", leaf.Path, leaf.Span.Space)
+		}
+		// The round-trip guarantee: slicing the document at the span
+		// reproduces the leaf's text exactly.
+		if got := task.Source[leaf.Span.Start:leaf.Span.End]; got != leaf.Text {
+			t.Fatalf("leaf %s: doc[%d:%d] = %q, want %q",
+				leaf.Path, leaf.Span.Start, leaf.Span.End, got, leaf.Text)
+		}
+		if len(leaf.Ops) == 0 {
+			t.Fatalf("leaf %s has no operator path", leaf.Path)
+		}
+		if !strings.HasPrefix(leaf.Path, "Stamps[") && !strings.HasPrefix(leaf.Path, "Warnings[") {
+			t.Fatalf("unexpected leaf path %q", leaf.Path)
+		}
+	}
+	if len(fields) != 2 {
+		t.Fatalf("leaves cover fields %v, want both schema colors", fields)
+	}
+	// Frames must round-trip through JSON (they are NDJSON lines).
+	b, err := json.Marshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b) {
+		t.Fatal("frame did not marshal to valid JSON")
+	}
+}
+
+func TestExplainMatchesUncapturedRun(t *testing.T) {
+	task := corpus.ByName("hadoop-xl")
+	art, err := bench.LearnSchemaProgram(task, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lang, _ := batch.LanguageFor(task.Domain)
+	prog, err := engine.LoadSchemaProgram(art, lang)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _, err := prog.RunContext(context.Background(), task.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	captured, _, _, err := prog.RunCapturedContext(context.Background(), task.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != captured.String() {
+		t.Fatal("captured run produced a different instance than the plain run")
+	}
+}
+
+func TestUnavailableFrame(t *testing.T) {
+	f := provenance.Unavailable("doc.txt", 7, "error: parse")
+	if f.Unavailable != "error: parse" || f.Doc != "doc.txt" || f.Index != 7 {
+		t.Fatalf("frame = %+v", f)
+	}
+	b, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["schema"] != provenance.Schema {
+		t.Fatalf("schema field = %v", m["schema"])
+	}
+	if _, ok := m["leaves"]; !ok {
+		t.Fatal("leaves must be present (empty array) even when unavailable")
+	}
+}

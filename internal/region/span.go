@@ -1,0 +1,28 @@
+package region
+
+// SourceSpan is the document-coordinate description of a region, reported
+// for extraction provenance: where in the source document a leaf value
+// came from, in the substrate's natural addressing.
+//
+// Space selects the coordinate system and which fields are meaningful:
+//
+//	"bytes"  [Start, End) byte offsets into the raw document text —
+//	         slicing the document at the span reproduces the region's
+//	         value (text documents).
+//	"text"   [Start, End) byte offsets into the document's extracted
+//	         text-content layer (webpages: node text and intra-node
+//	         spans index the global text content, not the raw HTML).
+//	"grid"   the inclusive cell rectangle (R1,C1)-(R2,C2)
+//	         (spreadsheets; Start/End are zero).
+type SourceSpan struct {
+	Space          string
+	Start, End     int
+	R1, C1, R2, C2 int
+}
+
+// SourceSpanner is implemented by regions that can report their source
+// coordinates. All substrate regions implement it; the provenance layer
+// type-asserts against it when building explain frames.
+type SourceSpanner interface {
+	SourceSpan() SourceSpan
+}

@@ -1,0 +1,39 @@
+// Package reqid generates and carries request identifiers. A request id
+// is minted where a request enters the system (the serve loop, a batch
+// run) and flows through context into the engine, tracer, logger, and
+// access log, correlating everything one request caused.
+package reqid
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+type ctxKey struct{}
+
+// New returns a fresh 16-hex-character request id.
+func New() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on the supported platforms; a zero id
+		// is still a valid (if non-unique) identifier.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Into returns a context carrying the request id.
+func Into(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// From returns the context's request id, or "" when none was installed
+// (or the context is nil).
+func From(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}

@@ -1,0 +1,43 @@
+package reqid
+
+import (
+	"context"
+	"testing"
+)
+
+func TestNewFormat(t *testing.T) {
+	id := New()
+	if len(id) != 16 {
+		t.Fatalf("id %q is not 16 hex chars", id)
+	}
+	for _, r := range id {
+		if !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f') {
+			t.Fatalf("id %q contains non-hex rune %q", id, r)
+		}
+	}
+}
+
+func TestNewUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := New()
+		if seen[id] {
+			t.Fatalf("id %q repeated within 1000 draws", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := From(ctx); got != "" {
+		t.Fatalf("empty context carries id %q", got)
+	}
+	ctx = Into(ctx, "deadbeefdeadbeef")
+	if got := From(ctx); got != "deadbeefdeadbeef" {
+		t.Fatalf("From = %q", got)
+	}
+	if got := From(nil); got != "" { //nolint:staticcheck // nil-robustness is the contract
+		t.Fatalf("nil context carries id %q", got)
+	}
+}

@@ -1,0 +1,156 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flashextract/internal/admin"
+	"flashextract/internal/batch"
+	"flashextract/internal/metrics"
+	"flashextract/internal/serve"
+)
+
+// TestConcurrentScrapes hammers /metrics and /requests while extraction
+// requests are in flight — the observability plane must be readable at any
+// moment of a run without torn data (the race detector is the real
+// assertion here) — and then self-checks that the whole arrangement
+// drained without leaking goroutines.
+func TestConcurrentScrapes(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	reg := metrics.NewRegistry()
+	mon := &batch.Monitor{}
+	s := newServer(t, programDir(t), serve.Options{
+		Metrics:   reg,
+		Monitor:   mon,
+		Trace:     true,
+		AccessLog: io.Discard,
+	})
+	adm := admin.New(reg, mon)
+	adm.Handle("/requests", s.RequestsHandler())
+	if err := adm.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := adm.Addr()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+
+	// The extraction load: concurrent scan_batch requests keep the batch
+	// pool, slow-request ring, metrics, and access log all hot.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ctx.Err() == nil; i++ {
+				docs := []map[string]string{
+					{"name": "a.txt", "content": chairDoc("Aeron", "540.00")},
+					{"name": "b.txt", "content": chairDoc("Tulip", "99.99")},
+				}
+				line := mustJSON(t, map[string]any{
+					"id": fmt.Sprintf("w%d-%d", w, i), "op": "scan_batch",
+					"program": "chairs", "docs": docs,
+				})
+				resp := s.HandleLine(ctx, []byte(line))
+				if !resp.OK && ctx.Err() == nil {
+					t.Errorf("scan_batch failed mid-load: %+v", resp)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// The scrapers: each endpoint is polled for the duration of the load.
+	scrape := func(path string, check func(body []byte) error) {
+		defer wg.Done()
+		client := &http.Client{Timeout: 2 * time.Second}
+		for ctx.Err() == nil {
+			resp, err := client.Get("http://" + addr + path)
+			if err != nil {
+				if ctx.Err() == nil {
+					t.Errorf("GET %s: %v", path, err)
+				}
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				continue // injected/transient read noise is not the point here
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("GET %s = %d", path, resp.StatusCode)
+				return
+			}
+			if err := check(body); err != nil {
+				t.Errorf("GET %s: %v", path, err)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go scrape("/metrics", func(body []byte) error {
+		if len(body) > 0 && !strings.HasPrefix(string(body), "# HELP ") {
+			return fmt.Errorf("exposition does not open with a HELP line: %.60q", body)
+		}
+		return nil
+	})
+	go scrape("/requests", func(body []byte) error {
+		var file struct {
+			Schema   string               `json:"schema"`
+			Requests []serve.RequestTrace `json:"requests"`
+		}
+		if err := json.Unmarshal(body, &file); err != nil {
+			return fmt.Errorf("not JSON: %v", err)
+		}
+		if file.Schema != serve.RequestsSchema {
+			return fmt.Errorf("schema = %q", file.Schema)
+		}
+		for _, rt := range file.Requests {
+			if rt.RequestID == "" {
+				return fmt.Errorf("retained request without id: %+v", rt)
+			}
+		}
+		return nil
+	})
+
+	time.Sleep(300 * time.Millisecond)
+	cancel()
+	wg.Wait()
+
+	sctx, scancel := context.WithTimeout(context.Background(), time.Second)
+	defer scancel()
+	if err := adm.Shutdown(sctx); err != nil {
+		t.Fatalf("admin shutdown: %v", err)
+	}
+
+	// Goroutine-leak self-check, the same contract the CLI enforces: after
+	// load and shutdown the process drains back to (about) its baseline.
+	const slack = 3
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d alive after shutdown (baseline %d)", n, baseline)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The scrape ran against live data: the load must have actually counted.
+	if reg.Counter(metrics.ServeRequests) == 0 {
+		t.Fatal("no serve requests recorded during the load")
+	}
+	if reg.Counter(metrics.BatchDocs) == 0 {
+		t.Fatal("no batch docs recorded during the load")
+	}
+}

@@ -1,0 +1,228 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"flashextract/internal/batch"
+	"flashextract/internal/metrics"
+	"flashextract/internal/provenance"
+	"flashextract/internal/serve"
+)
+
+// TestExplainOp runs the explain op over the chair document and checks
+// the response carries both the scan record and a provenance frame whose
+// leaves round-trip through the document bytes.
+func TestExplainOp(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := newServer(t, programDir(t), serve.Options{Metrics: reg})
+	doc := chairDoc("Aeron", "540.00")
+	resp := s.HandleLine(context.Background(), []byte(mustJSON(t, map[string]any{
+		"id": "e1", "op": "explain", "program": "chairs",
+		"doc_name": "chair.txt", "content": doc,
+	})))
+	if !resp.OK || resp.Error != nil {
+		t.Fatalf("explain failed: %+v", resp)
+	}
+	if resp.Record == nil {
+		t.Fatal("explain response has no record")
+	}
+	if len(resp.Explains) != 1 {
+		t.Fatalf("explain response has %d frames, want 1", len(resp.Explains))
+	}
+	var frame provenance.Frame
+	if err := json.Unmarshal(resp.Explains[0], &frame); err != nil {
+		t.Fatal(err)
+	}
+	if frame.SchemaName != provenance.Schema {
+		t.Fatalf("frame schema = %q", frame.SchemaName)
+	}
+	if frame.Doc != "chair.txt" {
+		t.Fatalf("frame doc = %q", frame.Doc)
+	}
+	if frame.RequestID == "" {
+		t.Fatal("frame has no request id")
+	}
+	if len(frame.Leaves) == 0 {
+		t.Fatal("frame has no leaves")
+	}
+	for _, leaf := range frame.Leaves {
+		if leaf.Span == nil || leaf.Span.Space != "bytes" {
+			t.Fatalf("leaf %s has no byte span: %+v", leaf.Path, leaf.Span)
+		}
+		if got := doc[leaf.Span.Start:leaf.Span.End]; got != leaf.Text {
+			t.Fatalf("leaf %s: doc[%d:%d] = %q, want %q",
+				leaf.Path, leaf.Span.Start, leaf.Span.End, got, leaf.Text)
+		}
+		if len(leaf.Ops) == 0 {
+			t.Fatalf("leaf %s has no operator path", leaf.Path)
+		}
+	}
+	if got := reg.Counter(metrics.ServeExplainRequests); got != 1 {
+		t.Fatalf("serve_explain_requests = %d, want 1", got)
+	}
+	if got := reg.Counter(metrics.ServeExplainErrors); got != 0 {
+		t.Fatalf("serve_explain_errors = %d, want 0", got)
+	}
+}
+
+// TestExplainMatchesScanRecord pins the differential guarantee at the
+// protocol level: explain's record is byte-identical to scan's.
+func TestExplainMatchesScanRecord(t *testing.T) {
+	s := newServer(t, programDir(t), serve.Options{})
+	doc := chairDoc("Tulip", "99.99")
+	scan := s.HandleLine(context.Background(), []byte(mustJSON(t, map[string]any{
+		"id": "s", "op": "scan", "program": "chairs", "doc_name": "d.txt", "content": doc,
+	})))
+	explain := s.HandleLine(context.Background(), []byte(mustJSON(t, map[string]any{
+		"id": "e", "op": "explain", "program": "chairs", "doc_name": "d.txt", "content": doc,
+	})))
+	if !scan.OK || !explain.OK {
+		t.Fatalf("scan ok=%v explain ok=%v", scan.OK, explain.OK)
+	}
+	if string(scan.Record) != string(explain.Record) {
+		t.Fatalf("explain record differs from scan record:\nscan:    %s\nexplain: %s",
+			scan.Record, explain.Record)
+	}
+}
+
+// TestExplainErrors checks error accounting: an explain against an
+// unknown program is an explain error, with no provenance fabricated.
+func TestExplainErrors(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := newServer(t, programDir(t), serve.Options{Metrics: reg})
+	resp := s.HandleLine(context.Background(), []byte(`{"id":"x","op":"explain","program":"nope","content":"a"}`))
+	if resp.Error == nil || resp.Error.Code != serve.CodeUnknownProgram {
+		t.Fatalf("response = %+v", resp)
+	}
+	if len(resp.Explains) != 0 {
+		t.Fatalf("error response carries %d explain frames", len(resp.Explains))
+	}
+	if got := reg.Counter(metrics.ServeExplainErrors); got != 1 {
+		t.Fatalf("serve_explain_errors = %d, want 1", got)
+	}
+}
+
+// TestAccessLog checks that every handled frame — ok, error, and
+// malformed alike — produces one valid access-log line with a non-empty
+// request id and sane fields.
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	s := newServer(t, programDir(t), serve.Options{AccessLog: &buf})
+	ctx := context.Background()
+	s.HandleLine(ctx, []byte(mustJSON(t, map[string]any{
+		"id": "a", "op": "scan", "program": "chairs", "content": chairDoc("Aeron", "1.00"),
+	})))
+	s.HandleLine(ctx, []byte(`{"id":"b","op":"list_programs"}`))
+	s.HandleLine(ctx, []byte(`not json`))
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d access-log lines, want 3", len(lines))
+	}
+	seen := map[string]bool{}
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("line %d is not valid JSON: %q", i, line)
+		}
+		var e struct {
+			Schema    string  `json:"schema"`
+			RequestID string  `json:"request_id"`
+			Op        string  `json:"op"`
+			Docs      int     `json:"docs"`
+			Status    string  `json:"status"`
+			LatencyMS float64 `json:"latency_ms"`
+			Bytes     int     `json:"bytes"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Schema != serve.AccessLogSchema {
+			t.Fatalf("line %d schema = %q", i, e.Schema)
+		}
+		if e.RequestID == "" {
+			t.Fatalf("line %d has no request id", i)
+		}
+		if seen[e.RequestID] {
+			t.Fatalf("request id %s reused", e.RequestID)
+		}
+		seen[e.RequestID] = true
+		if e.Bytes <= 0 {
+			t.Fatalf("line %d bytes = %d", i, e.Bytes)
+		}
+		if e.LatencyMS < 0 {
+			t.Fatalf("line %d latency = %v", i, e.LatencyMS)
+		}
+	}
+	var first struct {
+		Op     string `json:"op"`
+		Docs   int    `json:"docs"`
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Op != "scan" || first.Docs != 1 || first.Status != "ok" {
+		t.Fatalf("scan line = %+v", first)
+	}
+	var bad struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(lines[2]), &bad); err != nil {
+		t.Fatal(err)
+	}
+	if bad.Status != serve.CodeBadRequest {
+		t.Fatalf("malformed-frame line status = %q", bad.Status)
+	}
+}
+
+// TestRequestsEndpoint checks the slow-request ring: extraction requests
+// land in /requests with their request ids and, under tracing, a request
+// root trace whose children are the document spans.
+func TestRequestsEndpoint(t *testing.T) {
+	s := newServer(t, programDir(t), serve.Options{Trace: true, Monitor: &batch.Monitor{}, SlowRequests: 4})
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		resp := s.HandleLine(ctx, []byte(mustJSON(t, map[string]any{
+			"id": "r", "op": "scan", "program": "chairs", "content": chairDoc("Aeron", "2.00"),
+		})))
+		if !resp.OK {
+			t.Fatalf("scan %d failed: %+v", i, resp)
+		}
+	}
+	rr := httptest.NewRecorder()
+	s.RequestsHandler()(rr, httptest.NewRequest("GET", "/requests", nil))
+	var file struct {
+		Schema   string               `json:"schema"`
+		Requests []serve.RequestTrace `json:"requests"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.Schema != serve.RequestsSchema {
+		t.Fatalf("schema = %q", file.Schema)
+	}
+	if len(file.Requests) != 4 {
+		t.Fatalf("%d retained requests, want the ring cap 4", len(file.Requests))
+	}
+	for i, rt := range file.Requests {
+		if rt.RequestID == "" || rt.Op != "scan" || rt.Docs != 1 || rt.Status != "ok" {
+			t.Fatalf("request %d = %+v", i, rt)
+		}
+		if rt.Trace == nil {
+			t.Fatalf("request %d has no trace under Trace: true", i)
+		}
+		if rt.Trace.Name != "request:scan" {
+			t.Fatalf("request %d root span = %q", i, rt.Trace.Name)
+		}
+		if len(rt.Trace.Children) == 0 {
+			t.Fatalf("request %d trace has no document children", i)
+		}
+		if i > 0 && rt.LatencyMS > file.Requests[i-1].LatencyMS {
+			t.Fatalf("requests not sorted slowest-first at %d", i)
+		}
+	}
+}

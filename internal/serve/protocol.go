@@ -45,6 +45,11 @@ const (
 	// server-side globs) through the batch worker pool and returns the
 	// full record stream.
 	OpScanBatch = "scan_batch"
+	// OpExplain runs a program over one inline document like scan, but
+	// with execution capture on: the response carries, alongside the
+	// record, one flashextract-explain/v1 frame mapping every extracted
+	// leaf to its source byte range and operator path.
+	OpExplain = "explain"
 	// OpListPrograms lists the registry catalog.
 	OpListPrograms = "list_programs"
 	// OpReload rescans the program directory, atomically swapping the
@@ -180,6 +185,10 @@ type Response struct {
 	// Records is the scan_batch record stream in emission order; joining
 	// with newlines reproduces the batch CLI's output bytes.
 	Records []json.RawMessage `json:"records,omitempty"`
+	// Explains is the provenance sidecar of an explain op: one
+	// flashextract-explain/v1 frame per record, aligned with Record /
+	// Records order.
+	Explains []json.RawMessage `json:"explains,omitempty"`
 	// Summary aggregates a scan_batch run.
 	Summary *Summary `json:"summary,omitempty"`
 	// Error describes the failure (error frames only).

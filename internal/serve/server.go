@@ -18,6 +18,8 @@ import (
 	"flashextract/internal/faults"
 	"flashextract/internal/logx"
 	"flashextract/internal/metrics"
+	"flashextract/internal/reqid"
+	"flashextract/internal/trace"
 )
 
 // DefaultMaxInflight bounds the documents admitted across all in-flight
@@ -52,6 +54,13 @@ type Options struct {
 	Chaos     *faults.Injector
 	SelfCheck bool
 	Prefilter bool
+	// AccessLog receives one flashextract-access-log/v1 NDJSON line per
+	// handled frame: request id, op, program, document count, status,
+	// latency, and response bytes. nil disables access logging.
+	AccessLog io.Writer
+	// SlowRequests bounds the ring of slowest requests whose traces the
+	// /requests admin endpoint retains; <= 0 selects DefaultSlowRequests.
+	SlowRequests int
 }
 
 // Server is the long-lived extraction service: it answers protocol frames
@@ -59,8 +68,10 @@ type Options struct {
 // program registry, running every extraction through the batch worker
 // pool. One Server handles any number of concurrent streams and requests.
 type Server struct {
-	opts Options
-	lim  *limiter
+	opts   Options
+	lim    *limiter
+	access *accessLog
+	slow   *slowRing
 }
 
 // New builds a server. The registry must be non-nil (Load it before or
@@ -75,7 +86,15 @@ func New(opts Options) (*Server, error) {
 	if opts.Metrics == nil {
 		opts.Metrics = metrics.Nop
 	}
-	return &Server{opts: opts, lim: &limiter{cap: opts.MaxInflight}}, nil
+	if opts.SlowRequests <= 0 {
+		opts.SlowRequests = DefaultSlowRequests
+	}
+	return &Server{
+		opts:   opts,
+		lim:    &limiter{cap: opts.MaxInflight},
+		access: newAccessLog(opts.AccessLog),
+		slow:   newSlowRing(opts.SlowRequests),
+	}, nil
 }
 
 // Registry returns the server's program registry.
@@ -158,7 +177,7 @@ func (s *Server) prepare(req Request) (*scanWork, Response) {
 	}
 	w := &scanWork{req: req, entry: entry, ordered: true}
 	switch req.Op {
-	case OpScan:
+	case OpScan, OpExplain:
 		name := req.DocName
 		if name == "" {
 			name = "doc"
@@ -235,11 +254,11 @@ func (s *Server) run(ctx context.Context, w *scanWork) Response {
 		timeout = time.Duration(w.req.TimeoutMS) * time.Millisecond
 	}
 	workers := s.opts.Workers
-	if w.req.Op == OpScan {
+	if w.req.Op == OpScan || w.req.Op == OpExplain {
 		workers = 1
 	}
-	var buf bytes.Buffer
-	sum, err := batch.Run(ctx, batch.Options{
+	var buf, provBuf bytes.Buffer
+	opts := batch.Options{
 		Programs:   w.entry,
 		DocType:    w.entry.DocType,
 		Workers:    workers,
@@ -251,7 +270,12 @@ func (s *Server) run(ctx context.Context, w *scanWork) Response {
 		Chaos:      s.opts.Chaos,
 		SelfCheck:  s.opts.SelfCheck,
 		Prefilter:  s.opts.Prefilter,
-	}, w.sources, &buf)
+	}
+	if w.req.Op == OpExplain {
+		opts.Provenance = true
+		opts.ProvenanceOut = &provBuf
+	}
+	sum, err := batch.Run(ctx, opts, w.sources, &buf)
 	w.entry.noteScan(int64(sum.Docs), int64(sum.Errors))
 	if err != nil {
 		return errorResponse(w.req.ID, w.req.Op, CodeInternal, err.Error())
@@ -263,11 +287,12 @@ func (s *Server) run(ctx context.Context, w *scanWork) Response {
 			Summary: &Summary{Docs: sum.Docs, Errors: sum.Errors, Skipped: sum.Skipped,
 				Retries: sum.Retries, PrefilterSkipped: sum.PrefilterSkipped}}
 	}
-	// scan: exactly one document went in, so exactly one record came out —
-	// unless the run was cancelled before the document was dispatched.
+	// scan/explain: exactly one document went in, so exactly one record came
+	// out — unless the run was cancelled before the document was dispatched.
 	if len(records) == 0 {
 		return errorResponse(w.req.ID, w.req.Op, CodeCancelled, "serve: cancelled before the document was dispatched")
 	}
+	explains := splitRecords(provBuf.Bytes())
 	line := records[0]
 	var meta struct {
 		OK    bool   `json:"ok"`
@@ -280,9 +305,10 @@ func (s *Server) run(ctx context.Context, w *scanWork) Response {
 	if !meta.OK {
 		resp := errorResponse(w.req.ID, w.req.Op, codeForKind(meta.Kind), meta.Error)
 		resp.Record = line
+		resp.Explains = explains
 		return resp
 	}
-	return Response{ID: w.req.ID, Op: w.req.Op, OK: true, Record: line}
+	return Response{ID: w.req.ID, Op: w.req.Op, OK: true, Record: line, Explains: explains}
 }
 
 // splitRecords cuts a captured NDJSON stream into its lines.
@@ -321,13 +347,93 @@ func (s *Server) handleSync(req Request) Response {
 	}
 }
 
-// finish records a handled frame into the serve metrics.
-func (s *Server) finish(resp *Response, start time.Time) {
+// scanOp reports whether op is an extraction request (the ops that admit
+// documents, run the batch pool, and enter the slow-request ring).
+func scanOp(op string) bool {
+	return op == OpScan || op == OpScanBatch || op == OpExplain
+}
+
+// reqInfo is the per-request observability state minted at frame receipt:
+// the request id, the start time, the admitted document count, and the
+// request root span (tracing on, extraction ops only).
+type reqInfo struct {
+	id    string
+	start time.Time
+	docs  int
+	root  *trace.Span
+}
+
+// startRequest mints a request id, installs it in the context, and — for
+// extraction ops under tracing — starts the request root span that
+// processDoc parents each document's span under.
+func (s *Server) startRequest(ctx context.Context, op string, start time.Time) (context.Context, *reqInfo) {
+	ri := &reqInfo{id: reqid.New(), start: start}
+	ctx = reqid.Into(ctx, ri.id)
+	if s.opts.Trace && scanOp(op) {
+		ctx, ri.root = trace.NewTracer().StartRoot(ctx, "request:"+op)
+		ri.root.SetString("request_id", ri.id)
+	}
+	return ctx, ri
+}
+
+// observe records one handled frame everywhere the request is visible:
+// the serve metrics, the request root span, the slow-request ring, and
+// the access log.
+func (s *Server) observe(req Request, ri *reqInfo, resp *Response) {
+	lat := time.Since(ri.start)
 	s.opts.Metrics.Count(metrics.ServeRequests, 1)
 	if resp.Error != nil {
 		s.opts.Metrics.Count(metrics.ServeErrors, 1)
 	}
-	s.opts.Metrics.Observe(metrics.ServeFrameSeconds, time.Since(start).Seconds())
+	if req.Op == OpExplain {
+		s.opts.Metrics.Count(metrics.ServeExplainRequests, 1)
+		if resp.Error != nil {
+			s.opts.Metrics.Count(metrics.ServeExplainErrors, 1)
+		}
+	}
+	s.opts.Metrics.Observe(metrics.ServeFrameSeconds, lat.Seconds())
+	status := "ok"
+	if resp.Error != nil {
+		status = resp.Error.Code
+	}
+	var node *trace.Node
+	if ri.root != nil {
+		ri.root.SetString("op", req.Op)
+		if req.Program != "" {
+			ri.root.SetString("program", req.Program)
+		}
+		ri.root.SetInt("docs", int64(ri.docs))
+		ri.root.SetString("status", status)
+		ri.root.End()
+		node = trace.ToNode(ri.root)
+	}
+	if scanOp(req.Op) {
+		s.slow.record(RequestTrace{
+			RequestID: ri.id,
+			ID:        req.ID,
+			Op:        req.Op,
+			Program:   req.Program,
+			Docs:      ri.docs,
+			Status:    status,
+			LatencyMS: float64(lat) / float64(time.Millisecond),
+			Trace:     node,
+		})
+	}
+	s.access.write(ri, req, status, lat, resp)
+}
+
+// RequestsHandler serves the slow-request ring as
+// flashextract-requests/v1: the N slowest extraction requests handled so
+// far, slowest first, each with its request root trace when tracing is
+// on. It is mounted on the admin endpoint as /requests.
+func (s *Server) RequestsHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		file := requestsFile{Schema: RequestsSchema, Requests: s.slow.snapshot()}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(file)
+	}
 }
 
 // HandleLine answers one protocol frame synchronously: every input yields
@@ -339,14 +445,16 @@ func (s *Server) HandleLine(ctx context.Context, line []byte) Response {
 	start := time.Now()
 	var resp Response
 	req, ferr := decodeRequest(line)
+	ctx, ri := s.startRequest(ctx, req.Op, start)
 	switch {
 	case ferr != nil:
 		resp = Response{ID: req.ID, Op: req.Op, Error: ferr}
-	case req.Op == OpScan || req.Op == OpScanBatch:
+	case scanOp(req.Op):
 		work, eresp := s.prepare(req)
 		if work == nil {
 			resp = eresp
 		} else {
+			ri.docs = work.docs
 			resp = s.run(ctx, work)
 		}
 	case req.Op == OpClose:
@@ -354,7 +462,7 @@ func (s *Server) HandleLine(ctx context.Context, line []byte) Response {
 	default:
 		resp = s.handleSync(req)
 	}
-	s.finish(&resp, start)
+	s.observe(req, ri, &resp)
 	return resp
 }
 
@@ -443,38 +551,40 @@ func (s *Server) Serve(ctx context.Context, in io.Reader, out io.Writer) error {
 			}
 			start := time.Now()
 			req, ferr := decodeRequest(line)
+			rctx, ri := s.startRequest(ctx, req.Op, start)
 			switch {
 			case ferr != nil:
 				resp := Response{ID: req.ID, Op: req.Op, Error: ferr}
-				s.finish(&resp, start)
+				s.observe(req, ri, &resp)
 				write(resp)
-			case req.Op == OpScan || req.Op == OpScanBatch:
+			case scanOp(req.Op):
 				// Resolve and admit synchronously — frame order decides which
 				// program version runs and who wins the in-flight budget —
 				// then extract concurrently.
 				work, eresp := s.prepare(req)
 				if work == nil {
-					s.finish(&eresp, start)
+					s.observe(req, ri, &eresp)
 					write(eresp)
 					continue
 				}
+				ri.docs = work.docs
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					resp := s.run(ctx, work)
-					s.finish(&resp, start)
+					resp := s.run(rctx, work)
+					s.observe(req, ri, &resp)
 					write(resp)
 				}()
 			case req.Op == OpClose:
 				wg.Wait()
 				resp := Response{ID: req.ID, Op: OpClose, OK: true}
-				s.finish(&resp, start)
+				s.observe(req, ri, &resp)
 				write(resp)
 				log.Info("serve stream closed", "reason", "close frame")
 				return writeErr()
 			default:
 				resp := s.handleSync(req)
-				s.finish(&resp, start)
+				s.observe(req, ri, &resp)
 				write(resp)
 			}
 			if err := writeErr(); err != nil {

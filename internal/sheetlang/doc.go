@@ -143,6 +143,11 @@ func (r CellRegion) Less(other region.Region) bool {
 // Value returns the cell content.
 func (r CellRegion) Value() string { return r.Doc.Grid.Cell(r.R, r.C) }
 
+// SourceSpan reports the cell as a one-cell grid rectangle.
+func (r CellRegion) SourceSpan() region.SourceSpan {
+	return region.SourceSpan{Space: "grid", R1: r.R, C1: r.C, R2: r.R, C2: r.C}
+}
+
 func (r CellRegion) String() string { return fmt.Sprintf("cell(%d,%d)", r.R, r.C) }
 
 // RectRegion is a rectangular (non-leaf) region with inclusive corners.
@@ -197,6 +202,11 @@ func (r RectRegion) Value() string {
 		}
 	}
 	return b.String()
+}
+
+// SourceSpan reports the rectangle's inclusive grid corners.
+func (r RectRegion) SourceSpan() region.SourceSpan {
+	return region.SourceSpan{Space: "grid", R1: r.R1, C1: r.C1, R2: r.R2, C2: r.C2}
 }
 
 func (r RectRegion) String() string {

@@ -138,6 +138,12 @@ func (r Region) Less(other region.Region) bool {
 // Value returns the text of the region.
 func (r Region) Value() string { return r.Doc.Text[r.Start:r.End] }
 
+// SourceSpan reports the region's raw byte range: slicing the document
+// text at [Start, End) reproduces Value.
+func (r Region) SourceSpan() region.SourceSpan {
+	return region.SourceSpan{Space: "bytes", Start: r.Start, End: r.End}
+}
+
 func (r Region) String() string { return fmt.Sprintf("[%d,%d)", r.Start, r.End) }
 
 // maxLineCacheEntries bounds the per-document line cache; on overflow

@@ -577,11 +577,25 @@ func candidatesForLine(text string, starts, ends, contains predKind, toks []toke
 type seqProgram struct{ p core.Program }
 
 func (sp seqProgram) ExtractSeq(r region.Region) ([]region.Region, error) {
+	return sp.extract(r, nil)
+}
+
+// ExtractSeqCaptured runs the program with an execution capture attached,
+// recording the operator path of every emitted region (provenance).
+func (sp seqProgram) ExtractSeqCaptured(r region.Region, c *core.ExecCapture) ([]region.Region, error) {
+	return sp.extract(r, c)
+}
+
+func (sp seqProgram) extract(r region.Region, c *core.ExecCapture) ([]region.Region, error) {
 	in, ok := r.(Region)
 	if !ok {
 		return nil, fmt.Errorf("textlang: input is %T, want a text region", r)
 	}
-	v, err := sp.p.Exec(core.NewState(in))
+	st := core.NewState(in)
+	if c != nil {
+		st = st.WithCapture(c)
+	}
+	v, err := sp.p.Exec(st)
 	if err != nil {
 		return nil, err
 	}
@@ -605,11 +619,24 @@ func (sp seqProgram) String() string { return sp.p.String() }
 type regProgram struct{ p core.Program }
 
 func (rp regProgram) Extract(r region.Region) (region.Region, error) {
+	return rp.extract(r, nil)
+}
+
+// ExtractCaptured runs the program with an execution capture attached.
+func (rp regProgram) ExtractCaptured(r region.Region, c *core.ExecCapture) (region.Region, error) {
+	return rp.extract(r, c)
+}
+
+func (rp regProgram) extract(r region.Region, c *core.ExecCapture) (region.Region, error) {
 	in, ok := r.(Region)
 	if !ok {
 		return nil, fmt.Errorf("textlang: input is %T, want a text region", r)
 	}
-	v, err := rp.p.Exec(core.NewState(in))
+	st := core.NewState(in)
+	if c != nil {
+		st = st.WithCapture(c)
+	}
+	v, err := rp.p.Exec(st)
 	if err != nil {
 		// A non-matching region program denotes the null instance.
 		return nil, nil

@@ -170,6 +170,12 @@ func (r NodeRegion) Less(other region.Region) bool {
 // Value returns the node's text content.
 func (r NodeRegion) Value() string { return r.Node.TextContent() }
 
+// SourceSpan reports the node's range in the document's global
+// text-content layer (not the raw HTML).
+func (r NodeRegion) SourceSpan() region.SourceSpan {
+	return region.SourceSpan{Space: "text", Start: r.Node.TextStart, End: r.Node.TextEnd}
+}
+
 func (r NodeRegion) String() string {
 	return fmt.Sprintf("<%s #%d>", r.Node.Tag, r.Node.Index)
 }
@@ -223,6 +229,12 @@ func (r SpanRegion) Less(other region.Region) bool {
 
 // Value returns the text of the span.
 func (r SpanRegion) Value() string { return r.Doc.Text[r.Start:r.End] }
+
+// SourceSpan reports the span's range in the document's global
+// text-content layer: slicing Doc.Text at [Start, End) reproduces Value.
+func (r SpanRegion) SourceSpan() region.SourceSpan {
+	return region.SourceSpan{Space: "text", Start: r.Start, End: r.End}
+}
 
 func (r SpanRegion) String() string { return fmt.Sprintf("txt[%d,%d)", r.Start, r.End) }
 

@@ -439,11 +439,25 @@ func (c *webCtx) learnEndPair(ctx context.Context, exs []core.Example) []core.Pr
 type seqProgram struct{ p core.Program }
 
 func (sp seqProgram) ExtractSeq(r region.Region) ([]region.Region, error) {
+	return sp.extract(r, nil)
+}
+
+// ExtractSeqCaptured runs the program with an execution capture attached,
+// recording the operator path of every emitted region (provenance).
+func (sp seqProgram) ExtractSeqCaptured(r region.Region, c *core.ExecCapture) ([]region.Region, error) {
+	return sp.extract(r, c)
+}
+
+func (sp seqProgram) extract(r region.Region, c *core.ExecCapture) ([]region.Region, error) {
 	in, ok := r.(NodeRegion)
 	if !ok {
 		return nil, fmt.Errorf("weblang: input is %T, want a node region", r)
 	}
-	v, err := sp.p.Exec(core.NewState(in))
+	st := core.NewState(in)
+	if c != nil {
+		st = st.WithCapture(c)
+	}
+	v, err := sp.p.Exec(st)
 	if err != nil {
 		return nil, err
 	}
@@ -467,7 +481,20 @@ func (sp seqProgram) String() string { return sp.p.String() }
 type regProgram struct{ p core.Program }
 
 func (rp regProgram) Extract(r region.Region) (region.Region, error) {
-	v, err := rp.p.Exec(core.NewState(r))
+	return rp.extract(r, nil)
+}
+
+// ExtractCaptured runs the program with an execution capture attached.
+func (rp regProgram) ExtractCaptured(r region.Region, c *core.ExecCapture) (region.Region, error) {
+	return rp.extract(r, c)
+}
+
+func (rp regProgram) extract(r region.Region, c *core.ExecCapture) (region.Region, error) {
+	st := core.NewState(r)
+	if c != nil {
+		st = st.WithCapture(c)
+	}
+	v, err := rp.p.Exec(st)
 	if err != nil {
 		return nil, nil // null instance
 	}

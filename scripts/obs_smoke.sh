@@ -1,0 +1,164 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — end-to-end smoke test of the request-scoped observability
+# plane: starts `flashextract serve -access-log`, issues a scan and an
+# explain over the protocol, and asserts that (1) the explain response
+# carries a flashextract-explain/v1 frame whose leaves hold byte spans,
+# (2) every access-log line is valid JSON with a non-empty request id,
+# (3) the Prometheus exposition carries the serve_explain_* counters with
+# their HELP/TYPE headers, and (4) /requests retains the requests with
+# their ids and traces. The explain CLI and batch -provenance sidecar are
+# smoked too, since they share the capture path.
+#
+# Usage: scripts/obs_smoke.sh   (from the repository root)
+set -euo pipefail
+
+workdir=$(mktemp -d)
+admin_port=${ADMIN_PORT:-18083}
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building flashextract =="
+go build -o "$workdir/flashextract" ./cmd/flashextract
+
+echo "== learning the program =="
+cat > "$workdir/doc.txt" <<'EOF'
+inventory
+Chair: Aeron (price: $540.00)
+Chair: Tulip (price: $99.99)
+EOF
+cat > "$workdir/schema.fx" <<'EOF'
+Struct(Names: Seq([name] String), Prices: Seq([price] Float))
+EOF
+cat > "$workdir/examples.fx" <<'EOF'
++ name find:Aeron:0
++ name find:Tulip:0
++ price find:540.00:0
++ price find:99.99:0
+EOF
+mkdir "$workdir/programs"
+"$workdir/flashextract" -type text -in "$workdir/doc.txt" \
+    -schema "$workdir/schema.fx" -examples "$workdir/examples.fx" \
+    -save "$workdir/programs/chairs@1.text.json" > /dev/null
+
+echo "== starting flashextract serve -access-log -admin :$admin_port =="
+mkfifo "$workdir/in"
+"$workdir/flashextract" serve -programs "$workdir/programs" \
+    -admin "127.0.0.1:$admin_port" -access-log "$workdir/access.ndjson" \
+    -slow-requests 8 -log-json \
+    < "$workdir/in" > "$workdir/out.ndjson" 2> "$workdir/serve.log" &
+pid=$!
+exec 3> "$workdir/in"
+
+wait_frames() {
+    for _ in $(seq 1 100); do
+        [ -f "$workdir/out.ndjson" ] \
+            && [ "$(wc -l < "$workdir/out.ndjson")" -ge "$1" ] && return 0
+        kill -0 "$pid" 2>/dev/null \
+            || { echo "serve exited early"; cat "$workdir/serve.log"; exit 1; }
+        sleep 0.1
+    done
+    echo "FAIL: timed out waiting for $1 frames"; cat "$workdir/out.ndjson"; exit 1
+}
+frame() { sed -n "$1p" "$workdir/out.ndjson"; }
+
+wait_frames 1
+frame 1 | grep -q '"op":"ready"' || { echo "FAIL: no ready frame"; exit 1; }
+
+echo "== scan =="
+printf '{"id":"s1","op":"scan","program":"chairs","doc_name":"bistro.txt","content":"inventory\\nChair: Bistro (price: $75.40)\\n"}\n' >&3
+wait_frames 2
+frame 2 | grep -q '"ok":true' || { echo "FAIL: scan not ok"; frame 2; exit 1; }
+
+echo "== explain =="
+printf '{"id":"e1","op":"explain","program":"chairs","doc_name":"bistro.txt","content":"inventory\\nChair: Bistro (price: $75.40)\\n"}\n' >&3
+wait_frames 3
+frame 3 | grep -q '"ok":true' || { echo "FAIL: explain not ok"; frame 3; exit 1; }
+frame 3 | jq -e '.explains | length == 1' > /dev/null \
+    || { echo "FAIL: explain response has no provenance frame"; frame 3; exit 1; }
+frame 3 | jq -e '.explains[0].schema == "flashextract-explain/v1"' > /dev/null \
+    || { echo "FAIL: provenance frame schema marker"; frame 3; exit 1; }
+frame 3 | jq -e '.explains[0].leaves | length > 0' > /dev/null \
+    || { echo "FAIL: provenance frame has no leaves"; frame 3; exit 1; }
+frame 3 | jq -e '[.explains[0].leaves[] | select(.span.space == "bytes")] | length > 0' > /dev/null \
+    || { echo "FAIL: no leaf carries a source byte range"; frame 3; exit 1; }
+# The explain record must match the scan record for the same document —
+# capture is observability, never behavior.
+[ "$(frame 3 | jq -cS .record)" = "$(frame 2 | jq -cS .record)" ] \
+    || { echo "FAIL: explain record differs from scan record"; exit 1; }
+
+echo "== explain error frame =="
+printf '{"id":"e2","op":"explain","program":"tables","content":"x"}\n' >&3
+wait_frames 4
+frame 4 | grep -q '"code":"unknown_program"' \
+    || { echo "FAIL: expected unknown_program error frame"; frame 4; exit 1; }
+
+base="http://127.0.0.1:$admin_port"
+echo "== exposition carries serve_explain_* =="
+metrics=$(curl -sf "$base/metrics")
+echo "$metrics" | grep -q '^# HELP serve_explain_requests ' \
+    || { echo "FAIL: serve_explain_requests HELP line absent"; exit 1; }
+echo "$metrics" | grep -q '^# TYPE serve_explain_requests counter$' \
+    || { echo "FAIL: serve_explain_requests TYPE line absent"; exit 1; }
+echo "$metrics" | grep -q '^serve_explain_requests 2$' \
+    || { echo "FAIL: serve_explain_requests counter absent or wrong"; exit 1; }
+echo "$metrics" | grep -q '^serve_explain_errors 1$' \
+    || { echo "FAIL: serve_explain_errors counter absent or wrong"; exit 1; }
+
+echo "== /requests retains ids and traces =="
+requests=$(curl -sf "$base/requests")
+echo "$requests" | jq -e '.schema == "flashextract-requests/v1"' > /dev/null \
+    || { echo "FAIL: /requests schema marker"; exit 1; }
+echo "$requests" | jq -e '[.requests[] | select(.request_id == "")] | length == 0' > /dev/null \
+    || { echo "FAIL: /requests entry without request id"; exit 1; }
+echo "$requests" | jq -e '[.requests[] | select(.op == "explain" and .status == "ok")] | length == 1' > /dev/null \
+    || { echo "FAIL: ok explain request not retained in /requests"; exit 1; }
+echo "$requests" | jq -e '[.requests[] | select(.op == "explain" and .status == "unknown_program")] | length == 1' > /dev/null \
+    || { echo "FAIL: failed explain request not retained in /requests"; exit 1; }
+echo "$requests" | jq -e '[.requests[] | select(.trace.name | startswith("request:"))] | length > 0' > /dev/null \
+    || { echo "FAIL: no retained request carries a request root trace"; exit 1; }
+
+echo "== close + access-log validation =="
+printf '{"id":"z","op":"close"}\n' >&3
+exec 3>&-
+wait "$pid" || { echo "FAIL: serve exited nonzero"; cat "$workdir/serve.log"; exit 1; }
+pid=""
+
+# One line per handled frame: scan, explain, explain error, close.
+[ "$(wc -l < "$workdir/access.ndjson")" -eq 4 ] \
+    || { echo "FAIL: expected 4 access-log lines"; cat "$workdir/access.ndjson"; exit 1; }
+while IFS= read -r line; do
+    echo "$line" | jq -e . > /dev/null \
+        || { echo "FAIL: access-log line is not valid JSON: $line"; exit 1; }
+    echo "$line" | jq -e '.schema == "flashextract-access-log/v1"' > /dev/null \
+        || { echo "FAIL: access-log line missing schema: $line"; exit 1; }
+    echo "$line" | jq -e '.request_id | length > 0' > /dev/null \
+        || { echo "FAIL: access-log line has empty request id: $line"; exit 1; }
+done < "$workdir/access.ndjson"
+[ "$(jq -r .request_id "$workdir/access.ndjson" | sort -u | wc -l)" -eq 4 ] \
+    || { echo "FAIL: request ids not unique across access-log lines"; exit 1; }
+
+echo "== explain CLI =="
+"$workdir/flashextract" explain -load "$workdir/programs/chairs@1.text.json" \
+    -type text "$workdir/doc.txt" > "$workdir/explain.ndjson" 2> /dev/null
+[ "$(wc -l < "$workdir/explain.ndjson")" -eq 1 ] \
+    || { echo "FAIL: explain CLI frame count"; exit 1; }
+jq -e '.schema == "flashextract-explain/v1" and (.leaves | length > 0)' \
+    "$workdir/explain.ndjson" > /dev/null \
+    || { echo "FAIL: explain CLI frame malformed"; cat "$workdir/explain.ndjson"; exit 1; }
+
+echo "== batch -provenance differential =="
+"$workdir/flashextract" batch -load "$workdir/programs/chairs@1.text.json" \
+    -type text -ordered -out "$workdir/plain.ndjson" "$workdir/doc.txt" 2> /dev/null
+"$workdir/flashextract" batch -load "$workdir/programs/chairs@1.text.json" \
+    -type text -ordered -out "$workdir/prov.ndjson" \
+    -provenance "$workdir/sidecar.ndjson" "$workdir/doc.txt" 2> /dev/null
+cmp -s "$workdir/plain.ndjson" "$workdir/prov.ndjson" \
+    || { echo "FAIL: -provenance perturbed the record stream"; exit 1; }
+[ "$(wc -l < "$workdir/sidecar.ndjson")" -eq 1 ] \
+    || { echo "FAIL: sidecar frame count"; exit 1; }
+
+echo "obs smoke: OK"
