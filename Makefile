@@ -24,6 +24,7 @@ race:
 # so a broken learner or parser invariant fails fast in `make test`.
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzTextLearn -fuzztime $(FUZZTIME) ./internal/textlang
+	$(GO) test -run NONE -fuzz FuzzAbstractSound -fuzztime $(FUZZTIME) ./internal/textlang
 	$(GO) test -run NONE -fuzz FuzzXPathLearn -fuzztime $(FUZZTIME) ./internal/xpath
 	$(GO) test -run NONE -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/schema
 	$(GO) test -run NONE -fuzz FuzzSchemaParse -fuzztime $(FUZZTIME) ./internal/schema

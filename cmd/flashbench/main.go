@@ -186,7 +186,7 @@ func runSynthBench(tasks []*bench.Task, reps int, path string) {
 		reps = 1
 	}
 	report := synthReport{
-		Schema:    "flashextract-synth-bench/v1",
+		Schema:    "flashextract-synth-bench/v2",
 		GoMaxProc: runtime.GOMAXPROCS(0),
 		Reps:      reps,
 	}
@@ -196,8 +196,9 @@ func runSynthBench(tasks []*bench.Task, reps int, path string) {
 			fmt.Fprintf(os.Stderr, "flashbench: %s: %v\n", task.Name, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "%-14s %-6s %8d B  best %12d ns  mean %12d ns\n",
-			st.Name, st.Domain, st.DocBytes, st.BestNs, st.MeanNs)
+		fmt.Fprintf(os.Stderr, "%-14s %-6s %8d B  best %12d ns  mean %12d ns  explored %6d (unpruned %6d, pruned %6d, %4.1f%%)\n",
+			st.Name, st.Domain, st.DocBytes, st.BestNs, st.MeanNs,
+			st.ExploredPruned, st.ExploredUnpruned, st.CandidatesPruned, 100*st.PruneRatio)
 		report.Tasks = append(report.Tasks, st)
 	}
 	out, err := json.MarshalIndent(report, "", "  ")

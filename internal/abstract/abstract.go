@@ -1,0 +1,335 @@
+// Package abstract implements the abstract semantics the core learners use
+// to prune candidate programs before concrete execution, following the
+// abstraction-refinement discipline of Wang, Dillig & Singh (Program
+// Synthesis using Abstraction Refinement, 1710.07740). A candidate is
+// abstract-evaluated to a cheap over-approximation of its concrete result —
+// a match-count interval and a coarse byte-range bound — and is rejected
+// when that over-approximation already contradicts an example. Soundness is
+// the only obligation: the abstraction of a program must contain every
+// result its concrete execution can produce, so a rejection proves the
+// concrete consistency check would also have failed and ranked output stays
+// bit-identical to the unpruned path.
+//
+// The lattice is deliberately small:
+//
+//	Interval  — a [Lo, Hi] bound on how many elements a sequence program
+//	            can produce, with a ⊤ element ("no information").
+//	Span      — a coarse [Lo, Hi) byte/position bound, tagged with the
+//	            value space it ranges over, again with ⊤.
+//	Seq       — the abstraction of a sequence program: feasibility,
+//	            count interval, output span.
+//	Scalar    — the abstraction of a scalar program: feasibility, span.
+//
+// ⊥ is represented by the Infeasible flag on Seq/Scalar: the concrete
+// execution provably fails (or provably produces nothing an example needs).
+// Operators without a transformer degrade to ⊤, which admits everything —
+// unsupported constructs are never a soundness risk, only a precision loss.
+//
+// Ctx is the per-synthesis refinement state: when a candidate passes the
+// abstract check but fails concretely (a spurious survivor), the learners
+// tighten the offending interval by recording the exact concrete match
+// count, keyed by input range and token-pair fingerprint, so the same
+// imprecision is not paid twice. The store is size-capped as a widening —
+// beyond the cap new refinements are dropped and the abstraction simply
+// stays coarse.
+package abstract
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Interval is a bound on a non-negative count: the concrete count n is
+// known to satisfy Lo <= n <= Hi, unless Top is set, in which case nothing
+// is known. The zero value is the exact count 0.
+type Interval struct {
+	Lo, Hi int
+	Top    bool
+}
+
+// TopInterval returns the ⊤ interval (no information).
+func TopInterval() Interval { return Interval{Top: true} }
+
+// Exact returns the singleton interval [n, n].
+func Exact(n int) Interval {
+	if n < 0 {
+		n = 0
+	}
+	return Interval{Lo: n, Hi: n}
+}
+
+// Range returns the interval [lo, hi], clamped to non-negative bounds and
+// normalized so Lo <= Hi.
+func Range(lo, hi int) Interval {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// AtLeast reports whether the interval admits a count of at least n. ⊤
+// admits everything.
+func (iv Interval) AtLeast(n int) bool { return iv.Top || iv.Hi >= n }
+
+// Join returns the least interval containing both operands (lattice join).
+func (iv Interval) Join(o Interval) Interval {
+	if iv.Top || o.Top {
+		return TopInterval()
+	}
+	lo, hi := iv.Lo, iv.Hi
+	if o.Lo < lo {
+		lo = o.Lo
+	}
+	if o.Hi > hi {
+		hi = o.Hi
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Add returns the interval of the sum of two independent counts (used for
+// Merge, whose output is at most the concatenation of its arguments).
+func (iv Interval) Add(o Interval) Interval {
+	if iv.Top || o.Top {
+		return TopInterval()
+	}
+	return Interval{Lo: iv.Lo + o.Lo, Hi: iv.Hi + o.Hi}
+}
+
+// FilterStride transforms a count interval through FilterInt(init, iter)
+// index selection: from a sequence of n elements the filter keeps
+// 0 if n <= init, else (n-1-init)/iter + 1. The transform is monotone in
+// n, so it maps [Lo, Hi] to [f(Lo), f(Hi)] exactly.
+func (iv Interval) FilterStride(init, iter int) Interval {
+	if iv.Top {
+		return TopInterval()
+	}
+	if iter <= 0 {
+		// Concrete FilterInt errors on iter <= 0; the caller treats the
+		// candidate as infeasible before consulting the count. ⊤ keeps this
+		// helper total and sound regardless.
+		return TopInterval()
+	}
+	f := func(n int) int {
+		if n <= init || init < 0 {
+			return 0
+		}
+		return (n-1-init)/iter + 1
+	}
+	return Interval{Lo: f(iv.Lo), Hi: f(iv.Hi)}
+}
+
+func (iv Interval) String() string {
+	if iv.Top {
+		return "⊤"
+	}
+	return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi)
+}
+
+// Span is a coarse bound on where a program's output values can lie: every
+// output value whose location is an interval (space, start, end) with
+// space == Span.Space is known to satisfy Lo <= start and end <= Hi. Top
+// (or a space mismatch) means no information.
+type Span struct {
+	Space  any
+	Lo, Hi int
+	Top    bool
+}
+
+// TopSpan returns the ⊤ span (no information).
+func TopSpan() Span { return Span{Top: true} }
+
+// NewSpan returns the span [lo, hi] over the given value space.
+func NewSpan(space any, lo, hi int) Span {
+	if space == nil {
+		return TopSpan()
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return Span{Space: space, Lo: lo, Hi: hi}
+}
+
+// Covers reports whether a value located at (space, start, end) can be an
+// output under this span bound. ⊤ and space mismatches cover everything
+// (no information never rejects).
+func (s Span) Covers(space any, start, end int) bool {
+	if s.Top || s.Space != space {
+		return true
+	}
+	return s.Lo <= start && end <= s.Hi
+}
+
+// Join returns the least span containing both operands; spans over
+// different spaces join to ⊤.
+func (s Span) Join(o Span) Span {
+	if s.Top || o.Top || s.Space != o.Space {
+		return TopSpan()
+	}
+	lo, hi := s.Lo, s.Hi
+	if o.Lo < lo {
+		lo = o.Lo
+	}
+	if o.Hi > hi {
+		hi = o.Hi
+	}
+	return Span{Space: s.Space, Lo: lo, Hi: hi}
+}
+
+func (s Span) String() string {
+	if s.Top {
+		return "⊤"
+	}
+	return fmt.Sprintf("[%d,%d)", s.Lo, s.Hi)
+}
+
+// Seq is the abstraction of one sequence program run on one input state.
+type Seq struct {
+	// Infeasible means concrete execution provably fails or provably cannot
+	// satisfy any example (⊥).
+	Infeasible bool
+	// Count bounds how many elements the program can produce.
+	Count Interval
+	// Span bounds where produced values can lie.
+	Span Span
+}
+
+// TopSeq returns the ⊤ sequence abstraction (admits everything).
+func TopSeq() Seq { return Seq{Count: TopInterval(), Span: TopSpan()} }
+
+// InfeasibleSeq returns ⊥: the program provably fails on this input.
+func InfeasibleSeq() Seq { return Seq{Infeasible: true} }
+
+// Scalar is the abstraction of one scalar program run on one input state.
+type Scalar struct {
+	// Infeasible means concrete execution provably fails (⊥).
+	Infeasible bool
+	// Span bounds where the produced value can lie.
+	Span Span
+}
+
+// TopScalar returns the ⊤ scalar abstraction (admits everything).
+func TopScalar() Scalar { return Scalar{Span: TopSpan()} }
+
+// InfeasibleScalar returns ⊥: the program provably fails on this input.
+func InfeasibleScalar() Scalar { return Scalar{Infeasible: true} }
+
+// Key identifies one refinable abstract fact: the exact match count of a
+// token-pair (or other fingerprinted matcher) over the input byte range
+// [Lo, Hi).
+type Key struct {
+	Lo, Hi int
+	Fp     uint64
+}
+
+// storeCap is the widening bound of the refinement store: beyond this many
+// exact facts, new refinements are dropped and the abstraction stays at its
+// coarse bounds. The cap keeps pathological sessions (many documents, many
+// distinct ranges) from accumulating unbounded state.
+const storeCap = 4096
+
+// Ctx is the mutable state of one pruning pass: the refinement store of
+// exact counts learned from spurious survivors, plus the pruned/refinement
+// counters the engine publishes. It is safe for concurrent use — the union
+// learners fan candidates out across goroutines.
+type Ctx struct {
+	mu    sync.Mutex
+	exact map[Key]int
+
+	pruned      atomic.Int64
+	refinements atomic.Int64
+	replays     atomic.Int64
+}
+
+// NewCtx returns an empty refinement context.
+func NewCtx() *Ctx {
+	return &Ctx{exact: make(map[Key]int)}
+}
+
+// Exact returns the refined exact count recorded for the key, if any.
+func (c *Ctx) Exact(k Key) (int, bool) {
+	if c == nil {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.exact[k]
+	return n, ok
+}
+
+// Refine records the exact concrete count for the key, tightening the
+// interval future abstract evaluations will use. Past the widening cap the
+// fact is dropped (the abstraction stays coarse; soundness is unaffected).
+func (c *Ctx) Refine(k Key, n int) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.exact[k]; !ok && len(c.exact) >= storeCap {
+		return
+	}
+	c.exact[k] = n
+}
+
+// CountPruned records one candidate rejected by the abstract check.
+func (c *Ctx) CountPruned() {
+	if c != nil {
+		c.pruned.Add(1)
+	}
+}
+
+// Pruned returns how many candidates the abstract check rejected.
+func (c *Ctx) Pruned() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.pruned.Load()
+}
+
+// CountRefinement records one counterexample-driven refinement pass (a
+// spurious survivor whose intervals were tightened).
+func (c *Ctx) CountRefinement() {
+	if c != nil {
+		c.refinements.Add(1)
+	}
+}
+
+// Refinements returns how many refinement passes ran.
+func (c *Ctx) Refinements() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.refinements.Load()
+}
+
+// CountReplay records one sub-learn replayed from the context instead of
+// re-explored: a learner recognized an example fingerprint it had already
+// solved under this context and returned the recorded result.
+func (c *Ctx) CountReplay() {
+	if c != nil {
+		c.replays.Add(1)
+	}
+}
+
+// Replays returns how many sub-learns were replayed.
+func (c *Ctx) Replays() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.replays.Load()
+}
+
+// StoreSize returns the number of exact facts currently held (observability
+// and tests; the widening cap bounds it).
+func (c *Ctx) StoreSize() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.exact)
+}

@@ -1,0 +1,228 @@
+package abstract
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestIntervalConstructors(t *testing.T) {
+	if iv := Exact(3); iv.Lo != 3 || iv.Hi != 3 || iv.Top {
+		t.Fatalf("Exact(3) = %v", iv)
+	}
+	if iv := Exact(-2); iv.Lo != 0 || iv.Hi != 0 {
+		t.Fatalf("Exact(-2) = %v, want clamped to 0", iv)
+	}
+	if iv := Range(-1, 5); iv.Lo != 0 || iv.Hi != 5 {
+		t.Fatalf("Range(-1,5) = %v", iv)
+	}
+	if iv := Range(4, 2); iv.Lo != 4 || iv.Hi != 4 {
+		t.Fatalf("Range(4,2) = %v, want normalized", iv)
+	}
+	if !TopInterval().Top {
+		t.Fatal("TopInterval not ⊤")
+	}
+}
+
+func TestIntervalAtLeast(t *testing.T) {
+	if !TopInterval().AtLeast(1 << 30) {
+		t.Fatal("⊤ must admit every count")
+	}
+	if !Range(0, 2).AtLeast(2) {
+		t.Fatal("[0,2] admits 2")
+	}
+	if Range(0, 2).AtLeast(3) {
+		t.Fatal("[0,2] must reject 3")
+	}
+	if !Exact(0).AtLeast(0) {
+		t.Fatal("[0,0] admits 0")
+	}
+}
+
+func TestIntervalJoinAdd(t *testing.T) {
+	if j := Range(1, 3).Join(Range(2, 7)); j.Lo != 1 || j.Hi != 7 {
+		t.Fatalf("join = %v", j)
+	}
+	if !Range(1, 3).Join(TopInterval()).Top {
+		t.Fatal("join with ⊤ must be ⊤")
+	}
+	if s := Range(1, 3).Add(Exact(2)); s.Lo != 3 || s.Hi != 5 {
+		t.Fatalf("add = %v", s)
+	}
+	if !TopInterval().Add(Exact(1)).Top {
+		t.Fatal("⊤ + x must be ⊤")
+	}
+}
+
+// TestFilterStrideExact checks the FilterInt count transform against the
+// concrete index-selection semantics on every small (n, init, iter).
+func TestFilterStrideExact(t *testing.T) {
+	concrete := func(n, init, iter int) int {
+		kept := 0
+		for i := init; i >= 0 && i < n; i += iter {
+			kept++
+		}
+		return kept
+	}
+	for n := 0; n <= 8; n++ {
+		for init := 0; init <= 4; init++ {
+			for iter := 1; iter <= 4; iter++ {
+				got := Exact(n).FilterStride(init, iter)
+				want := concrete(n, init, iter)
+				if got.Top || got.Lo != want || got.Hi != want {
+					t.Fatalf("FilterStride(n=%d, init=%d, iter=%d) = %v, want exact %d",
+						n, init, iter, got, want)
+				}
+			}
+		}
+	}
+	if !TopInterval().FilterStride(0, 1).Top {
+		t.Fatal("⊤ through FilterStride must stay ⊤")
+	}
+	if !Exact(5).FilterStride(0, 0).Top {
+		t.Fatal("iter <= 0 must degrade to ⊤, not panic")
+	}
+}
+
+func TestSpanCovers(t *testing.T) {
+	doc := &struct{ name string }{"doc"}
+	other := &struct{ name string }{"other"}
+	s := NewSpan(doc, 10, 20)
+	if !s.Covers(doc, 10, 20) || !s.Covers(doc, 12, 15) {
+		t.Fatal("span must cover contained ranges")
+	}
+	if s.Covers(doc, 9, 12) || s.Covers(doc, 15, 21) {
+		t.Fatal("span must reject ranges poking out")
+	}
+	if !s.Covers(other, 0, 100) {
+		t.Fatal("space mismatch means no information — must not reject")
+	}
+	if !TopSpan().Covers(doc, -5, 1<<30) {
+		t.Fatal("⊤ covers everything")
+	}
+	if !NewSpan(nil, 0, 1).Top {
+		t.Fatal("nil space must degrade to ⊤")
+	}
+}
+
+func TestSpanJoin(t *testing.T) {
+	doc := &struct{}{}
+	j := NewSpan(doc, 5, 10).Join(NewSpan(doc, 8, 20))
+	if j.Top || j.Lo != 5 || j.Hi != 20 {
+		t.Fatalf("join = %v", j)
+	}
+	if !NewSpan(doc, 0, 1).Join(TopSpan()).Top {
+		t.Fatal("join with ⊤ must be ⊤")
+	}
+	if !NewSpan(doc, 0, 1).Join(NewSpan(&struct{}{}, 0, 1)).Top {
+		t.Fatal("cross-space join must be ⊤")
+	}
+}
+
+func TestSeqScalarConstructors(t *testing.T) {
+	if s := TopSeq(); s.Infeasible || !s.Count.Top || !s.Span.Top {
+		t.Fatalf("TopSeq = %+v", s)
+	}
+	if !InfeasibleSeq().Infeasible || !InfeasibleScalar().Infeasible {
+		t.Fatal("⊥ constructors broken")
+	}
+	if s := TopScalar(); s.Infeasible || !s.Span.Top {
+		t.Fatalf("TopScalar = %+v", s)
+	}
+}
+
+func TestCtxRefineExact(t *testing.T) {
+	c := NewCtx()
+	k := Key{Lo: 3, Hi: 40, Fp: 0xbeef}
+	if _, ok := c.Exact(k); ok {
+		t.Fatal("empty store must miss")
+	}
+	c.Refine(k, 7)
+	if n, ok := c.Exact(k); !ok || n != 7 {
+		t.Fatalf("Exact = %d,%v", n, ok)
+	}
+	c.Refine(k, 9) // updating an existing fact is allowed
+	if n, _ := c.Exact(k); n != 9 {
+		t.Fatalf("Exact = %d after update", n)
+	}
+	c.Refine(Key{Fp: 1}, -1)
+	if _, ok := c.Exact(Key{Fp: 1}); ok {
+		t.Fatal("negative counts must be ignored")
+	}
+	if c.StoreSize() != 1 {
+		t.Fatalf("StoreSize = %d", c.StoreSize())
+	}
+}
+
+func TestCtxStoreWideningCap(t *testing.T) {
+	c := NewCtx()
+	for i := 0; i < storeCap+100; i++ {
+		c.Refine(Key{Lo: i, Fp: uint64(i)}, i)
+	}
+	if c.StoreSize() != storeCap {
+		t.Fatalf("StoreSize = %d, want capped at %d", c.StoreSize(), storeCap)
+	}
+	// Existing facts stay refinable past the cap.
+	c.Refine(Key{Lo: 0, Fp: 0}, 42)
+	if n, ok := c.Exact(Key{Lo: 0, Fp: 0}); !ok || n != 42 {
+		t.Fatalf("existing fact not refinable past cap: %d,%v", n, ok)
+	}
+}
+
+func TestCtxCountersAndNilSafety(t *testing.T) {
+	c := NewCtx()
+	c.CountPruned()
+	c.CountPruned()
+	c.CountRefinement()
+	c.CountReplay()
+	if c.Pruned() != 2 || c.Refinements() != 1 || c.Replays() != 1 {
+		t.Fatalf("counters = %d/%d/%d", c.Pruned(), c.Refinements(), c.Replays())
+	}
+	var nilCtx *Ctx
+	nilCtx.CountPruned()
+	nilCtx.CountRefinement()
+	nilCtx.CountReplay()
+	nilCtx.Refine(Key{}, 1)
+	if _, ok := nilCtx.Exact(Key{}); ok {
+		t.Fatal("nil ctx must miss")
+	}
+	if nilCtx.Pruned() != 0 || nilCtx.Refinements() != 0 || nilCtx.Replays() != 0 || nilCtx.StoreSize() != 0 {
+		t.Fatal("nil ctx counters must read 0")
+	}
+}
+
+func TestCtxConcurrentUse(t *testing.T) {
+	c := NewCtx()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Key{Lo: i % 16, Fp: uint64(g)}
+				c.Refine(k, i)
+				c.Exact(k)
+				c.CountPruned()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Pruned() != 8*200 {
+		t.Fatalf("Pruned = %d", c.Pruned())
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	for _, tt := range []struct {
+		got, want string
+	}{
+		{TopInterval().String(), "⊤"},
+		{Range(1, 4).String(), "[1,4]"},
+		{TopSpan().String(), "⊤"},
+		{fmt.Sprint(Span{Space: "d", Lo: 2, Hi: 9}), "[2,9)"},
+	} {
+		if tt.got != tt.want {
+			t.Fatalf("String = %q, want %q", tt.got, tt.want)
+		}
+	}
+}

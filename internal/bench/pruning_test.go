@@ -1,0 +1,130 @@
+package bench_test
+
+import (
+	"context"
+	"testing"
+
+	"flashextract/internal/bench"
+	"flashextract/internal/bench/corpus"
+	"flashextract/internal/engine"
+	"flashextract/internal/metrics"
+	"flashextract/internal/region"
+)
+
+// TestDifferentialPruning is the acceptance harness of abstraction-guided
+// candidate pruning: for every corpus document (plus the hadoop-xl stress
+// document), a session with pruning enabled must learn the same program and
+// infer the same highlighting, region for region, as a forced-unpruned
+// reference session on every field. The abstraction is a sound
+// over-approximation, so pruning may only skip candidates the concrete
+// check would reject anyway — any divergence here means a consistent
+// candidate was pruned or ranking shifted.
+func TestDifferentialPruning(t *testing.T) {
+	for _, task := range corpusTasks(t) {
+		t.Run(task.Name, func(t *testing.T) {
+			plain := engine.NewSession(task.Doc, task.Schema)
+			plain.SetPruning(false)
+			pruned := engine.NewSession(task.Doc, task.Schema)
+			pruned.SetPruning(true)
+			for _, fi := range task.Schema.Fields() {
+				color := fi.Color()
+				golden := append([]region.Region(nil), task.Golden[color]...)
+				if len(golden) == 0 {
+					continue
+				}
+				region.Sort(golden)
+				if len(golden) > 2 {
+					golden = golden[:2]
+				}
+				for _, r := range golden {
+					if err := plain.AddPositive(color, r); err != nil {
+						t.Fatalf("field %s: %v", color, err)
+					}
+					if err := pruned.AddPositive(color, r); err != nil {
+						t.Fatalf("field %s: %v", color, err)
+					}
+				}
+				pfp, pout, perr := plain.Learn(color)
+				qfp, qout, qerr := pruned.Learn(color)
+				if (perr == nil) != (qerr == nil) || (perr != nil && perr.Error() != qerr.Error()) {
+					t.Fatalf("field %s: unpruned err %v, pruned err %v", color, perr, qerr)
+				}
+				if perr != nil {
+					continue
+				}
+				if got, want := fieldProgramString(qfp), fieldProgramString(pfp); got != want {
+					t.Errorf("field %s program:\n  unpruned: %s\n  pruned:   %s", color, want, got)
+				}
+				if len(pout) != len(qout) {
+					t.Errorf("field %s: unpruned inferred %d regions, pruned %d", color, len(pout), len(qout))
+					continue
+				}
+				for i := range pout {
+					if pout[i] != qout[i] {
+						t.Errorf("field %s region %d: unpruned %v, pruned %v", color, i, pout[i], qout[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// exploredOnTask runs one ⊥-relative synthesis pass over every field of the
+// task with abstraction-guided pruning forced on or off and returns the
+// candidates-explored and candidates-pruned counter totals (the quantities
+// `make bench-synth` publishes to BENCH_synth.json).
+func exploredOnTask(t *testing.T, task *bench.Task, pruning bool) (explored, pruned int64) {
+	t.Helper()
+	prev := engine.DefaultPruning
+	engine.DefaultPruning = pruning
+	defer func() { engine.DefaultPruning = prev }()
+	reg := metrics.NewRegistry()
+	ctx := metrics.Into(context.Background(), reg)
+	for _, fi := range task.Schema.Fields() {
+		golden := task.Golden[fi.Color()]
+		if len(golden) == 0 {
+			continue
+		}
+		pos := golden
+		if len(pos) > 2 {
+			pos = pos[:2]
+		}
+		_, _, err := engine.SynthesizeFieldProgramCtx(
+			ctx, task.Doc, task.Schema, engine.Highlighting{}, fi,
+			append([]region.Region(nil), pos...), nil, map[string]bool{})
+		if err != nil {
+			t.Fatalf("pruning=%v field %s: %v", pruning, fi.Color(), err)
+		}
+	}
+	return reg.Counter(metrics.CandidatesExplored), reg.Counter(metrics.CandidatesPruned)
+}
+
+// TestPruningExploredDropOnStressDocument is the quantitative gate: on the
+// hadoop-xl stress document, abstraction-guided pruning must cut the number
+// of concretely executed candidates by at least 30% relative to the
+// unpruned reference pass, with abstract rejections actually recorded — a
+// zero pruned counter would mean the drop came from somewhere else and the
+// differential is vacuous.
+func TestPruningExploredDropOnStressDocument(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress-document counting is skipped in -short runs")
+	}
+	xl := corpus.ByName("hadoop-xl")
+	if xl == nil {
+		t.Fatal("hadoop-xl stress document missing from corpus")
+	}
+	unpruned, _ := exploredOnTask(t, xl, false)
+	explored, rejected := exploredOnTask(t, xl, true)
+	if unpruned == 0 {
+		t.Fatal("unpruned pass recorded no explored candidates; the counter plumbing is broken")
+	}
+	if rejected == 0 {
+		t.Error("pruned pass recorded no abstract rejections")
+	}
+	drop := 1 - float64(explored)/float64(unpruned)
+	t.Logf("hadoop-xl: explored %d unpruned, %d pruned (%d abstract rejections): %.1f%% drop",
+		unpruned, explored, rejected, 100*drop)
+	if drop < 0.30 {
+		t.Errorf("explored drop %.1f%% < 30%% (unpruned %d, pruned %d)", 100*drop, unpruned, explored)
+	}
+}

@@ -1,10 +1,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"flashextract/internal/engine"
+	"flashextract/internal/metrics"
 	"flashextract/internal/region"
 )
 
@@ -21,6 +23,18 @@ type SynthTiming struct {
 	Reps     int    `json:"reps"`
 	BestNs   int64  `json:"best_ns"`
 	MeanNs   int64  `json:"mean_ns"`
+
+	// Pruning differential (schema v2): candidate counts of one synthesis
+	// pass with abstraction-guided pruning on versus off. The ranked output
+	// is bit-identical either way (see DESIGN.md); only the concrete work
+	// changes. CandidatesPruned counts abstract rejections; PruneRatio is
+	// 1 - ExploredPruned/ExploredUnpruned — the fraction of candidate
+	// executions the abstraction layer avoided, whether by rejecting a
+	// candidate outright or by replaying an already-solved sub-learn.
+	ExploredPruned   int64   `json:"explored_pruned"`
+	CandidatesPruned int64   `json:"candidates_pruned"`
+	ExploredUnpruned int64   `json:"explored_unpruned"`
+	PruneRatio       float64 `json:"prune_ratio"`
 }
 
 // MeasureSynth times reps runs of end-to-end field synthesis on a task and
@@ -67,5 +81,43 @@ func MeasureSynth(task *Task, reps int) (SynthTiming, error) {
 		}
 	}
 	st.MeanNs = total.Nanoseconds() / int64(reps)
+	var err error
+	if st.ExploredPruned, st.CandidatesPruned, err = measureExplored(task, true); err != nil {
+		return st, err
+	}
+	if st.ExploredUnpruned, _, err = measureExplored(task, false); err != nil {
+		return st, err
+	}
+	if st.ExploredUnpruned > 0 {
+		st.PruneRatio = 1 - float64(st.ExploredPruned)/float64(st.ExploredUnpruned)
+	}
 	return st, nil
+}
+
+// measureExplored runs one ⊥-relative synthesis pass over every field of
+// the task with abstraction-guided pruning forced on or off, and reports
+// the candidates-explored and candidates-pruned counter totals.
+func measureExplored(task *Task, pruning bool) (explored, pruned int64, err error) {
+	prev := engine.DefaultPruning
+	engine.DefaultPruning = pruning
+	defer func() { engine.DefaultPruning = prev }()
+	reg := metrics.NewRegistry()
+	ctx := metrics.Into(context.Background(), reg)
+	for _, fi := range task.Schema.Fields() {
+		golden := task.Golden[fi.Color()]
+		if len(golden) == 0 {
+			continue
+		}
+		pos := golden
+		if len(pos) > 2 {
+			pos = pos[:2]
+		}
+		_, _, err := engine.SynthesizeFieldProgramCtx(
+			ctx, task.Doc, task.Schema, engine.Highlighting{}, fi,
+			append([]region.Region(nil), pos...), nil, map[string]bool{})
+		if err != nil {
+			return 0, 0, fmt.Errorf("field %s: %w", fi.Color(), err)
+		}
+	}
+	return reg.Counter(metrics.CandidatesExplored), reg.Counter(metrics.CandidatesPruned), nil
 }

@@ -1,0 +1,194 @@
+package core
+
+import "flashextract/internal/abstract"
+
+// This file is the AbstractEval seam on core programs: every operator of
+// the algebra (Map, FilterBool, FilterInt, Merge, Pair) has an abstract
+// transformer over internal/abstract's small lattice, and substrate leaf
+// programs opt in by implementing AbstractSeqProgram / AbstractScalarProgram.
+// Anything without a transformer degrades to ⊤, which admits every
+// candidate — so the seam can only ever reject candidates whose concrete
+// consistency check would also fail (see the soundness argument on each
+// case below and DESIGN.md "Abstraction-guided pruning").
+
+// AbstractSeqProgram is implemented by sequence leaf programs that supply
+// an abstract transformer: an over-approximation of the program's concrete
+// result on the given state. Implementations must be sound — Infeasible
+// only when concrete execution is guaranteed to fail, a Count interval that
+// contains the concrete output length whenever execution succeeds, and a
+// Span covering every concrete output value's location.
+type AbstractSeqProgram interface {
+	AbstractSeq(ac *abstract.Ctx, st State) abstract.Seq
+}
+
+// AbstractScalarProgram is the scalar analogue of AbstractSeqProgram.
+type AbstractScalarProgram interface {
+	AbstractScalar(ac *abstract.Ctx, st State) abstract.Scalar
+}
+
+// AbstractRefiner is implemented by leaf programs that can tighten the
+// refinement store after a spurious survivor: given the state of a failing
+// example, the leaf records the exact concrete fact (typically a match
+// count) its abstraction over-approximated.
+type AbstractRefiner interface {
+	RefineAbstract(ac *abstract.Ctx, st State)
+}
+
+// abstractMapElements is the widening cap on per-element abstract
+// evaluation inside Map and on span joins: sequences longer than this are
+// abstracted with a ⊤ span and only a prefix of element feasibility checks.
+// Per-element checks ride the same memoized boundary/position caches the
+// concrete execution uses (and skip match verification and region
+// construction), so a full scan is still cheaper than the execution it can
+// save; the cap exists to bound the abstract pass on degenerate documents
+// with very long inner sequences.
+const abstractMapElements = 4096
+
+// AbstractSeq abstract-evaluates a sequence program on one input state.
+func AbstractSeq(ac *abstract.Ctx, p Program, st State) abstract.Seq {
+	switch t := p.(type) {
+	case *MapProgram:
+		// The inner sequence S is executed concretely through the shared
+		// execution memo: the concrete path needs the very same value, so
+		// this costs one memo probe on the candidates that survive. An S
+		// failure fails the concrete Map too (strict semantics).
+		sv, err := execMemoized(t.S, st)
+		if err != nil {
+			return abstract.InfeasibleSeq()
+		}
+		seq, err := AsSeq(sv)
+		if err != nil {
+			return abstract.InfeasibleSeq()
+		}
+		// F failing on any element fails the whole Map, so an infeasible F
+		// on any checked element is ⊥. Only a prefix is checked (widening).
+		lim := len(seq)
+		if lim > abstractMapElements {
+			lim = abstractMapElements
+		}
+		span := abstract.Span{}
+		haveSpan := false
+		for i := 0; i < lim; i++ {
+			sc := AbstractScalar(ac, t.F, st.Bind(t.Var, seq[i]))
+			if sc.Infeasible {
+				return abstract.InfeasibleSeq()
+			}
+			if haveSpan {
+				span = span.Join(sc.Span)
+			} else {
+				span, haveSpan = sc.Span, true
+			}
+		}
+		if lim < len(seq) || !haveSpan {
+			// Unchecked elements can produce values anywhere.
+			span = abstract.TopSpan()
+		}
+		// If execution succeeds the output length equals len(seq) exactly.
+		return abstract.Seq{Count: abstract.Exact(len(seq)), Span: span}
+
+	case *FilterBoolProgram:
+		inner := AbstractSeq(ac, t.S, st)
+		if inner.Infeasible {
+			return abstract.InfeasibleSeq()
+		}
+		// The filter keeps a subset: count in [0, inner.Hi], values within
+		// the inner span. (The predicate itself is not abstracted: a
+		// predicate error fails the candidate concretely anyway.)
+		count := abstract.TopInterval()
+		if !inner.Count.Top {
+			count = abstract.Range(0, inner.Count.Hi)
+		}
+		return abstract.Seq{Count: count, Span: inner.Span}
+
+	case *FilterIntProgram:
+		inner := AbstractSeq(ac, t.S, st)
+		if inner.Infeasible {
+			return abstract.InfeasibleSeq()
+		}
+		if t.Iter <= 0 {
+			// Concrete FilterInt rejects iter <= 0 with an error.
+			return abstract.InfeasibleSeq()
+		}
+		return abstract.Seq{
+			Count: inner.Count.FilterStride(t.Init, t.Iter),
+			Span:  inner.Span,
+		}
+
+	case *MergeProgram:
+		// Merge fails if any argument fails; its deduped output has at most
+		// the sum of the argument counts and lies within the argument spans'
+		// hull. Dedup can collapse arbitrarily many elements, so the lower
+		// bound is 0.
+		hi := abstract.Exact(0)
+		var span abstract.Span
+		haveSpan := false
+		for _, a := range t.Args {
+			as := AbstractSeq(ac, a, st)
+			if as.Infeasible {
+				return abstract.InfeasibleSeq()
+			}
+			hi = hi.Add(as.Count)
+			if haveSpan {
+				span = span.Join(as.Span)
+			} else {
+				span, haveSpan = as.Span, true
+			}
+		}
+		if !haveSpan {
+			span = abstract.TopSpan()
+		}
+		count := abstract.TopInterval()
+		if !hi.Top {
+			count = abstract.Range(0, hi.Hi)
+		}
+		return abstract.Seq{Count: count, Span: span}
+
+	case AbstractSeqProgram:
+		return t.AbstractSeq(ac, st)
+	}
+	return abstract.TopSeq()
+}
+
+// AbstractScalar abstract-evaluates a scalar program on one input state.
+func AbstractScalar(ac *abstract.Ctx, p Program, st State) abstract.Scalar {
+	switch t := p.(type) {
+	case *PairProgram:
+		a := AbstractScalar(ac, t.A, st)
+		if a.Infeasible {
+			return abstract.InfeasibleScalar()
+		}
+		b := AbstractScalar(ac, t.B, st)
+		if b.Infeasible {
+			return abstract.InfeasibleScalar()
+		}
+		// The Make step can relocate the value arbitrarily, so only
+		// feasibility propagates; the span stays ⊤.
+		return abstract.TopScalar()
+
+	case AbstractScalarProgram:
+		return t.AbstractScalar(ac, st)
+	}
+	return abstract.TopScalar()
+}
+
+// refineAbstract walks a spurious survivor and lets every refinable leaf
+// tighten the store with the exact concrete facts of the failing state.
+func refineAbstract(ac *abstract.Ctx, p Program, st State) {
+	switch t := p.(type) {
+	case *MapProgram:
+		refineAbstract(ac, t.S, st)
+	case *FilterBoolProgram:
+		refineAbstract(ac, t.S, st)
+	case *FilterIntProgram:
+		refineAbstract(ac, t.S, st)
+	case *MergeProgram:
+		for _, a := range t.Args {
+			refineAbstract(ac, a, st)
+		}
+	case *PairProgram:
+		refineAbstract(ac, t.A, st)
+		refineAbstract(ac, t.B, st)
+	case AbstractRefiner:
+		t.RefineAbstract(ac, st)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -47,6 +48,9 @@ type Budget struct {
 	ticks     atomic.Int64
 	tripped   atomic.Bool
 	reasonVal atomic.Value // string
+
+	truncMu sync.Mutex
+	trunc   []string // phases that cut ranking short, deduped, in first-hit order
 }
 
 // timeCheckInterval is how many Exhausted calls pass between wall-clock
@@ -164,6 +168,49 @@ func (b *Budget) MaxCacheBytes() int64 {
 		return 0
 	}
 	return b.maxCacheBytes
+}
+
+// MaxCandidates returns the candidate-exploration bound (0 = unlimited).
+func (b *Budget) MaxCandidates() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.maxCandidates
+}
+
+// NoteTruncation records that the named synthesis phase stopped scanning
+// candidates because the budget was exhausted, degrading its result to the
+// verified prefix. Phases are deduped and kept in first-hit order; the
+// engine surfaces them on the call's PartialResult so a truncated ranking
+// is distinguishable from a complete one that merely found few programs.
+func (b *Budget) NoteTruncation(phase string) {
+	if b == nil || phase == "" {
+		return
+	}
+	b.truncMu.Lock()
+	defer b.truncMu.Unlock()
+	for _, t := range b.trunc {
+		if t == phase {
+			return
+		}
+	}
+	b.trunc = append(b.trunc, phase)
+}
+
+// Truncations returns the phases that recorded a ranking truncation, in
+// first-hit order (nil when none did).
+func (b *Budget) Truncations() []string {
+	if b == nil {
+		return nil
+	}
+	b.truncMu.Lock()
+	defer b.truncMu.Unlock()
+	if len(b.trunc) == 0 {
+		return nil
+	}
+	out := make([]string, len(b.trunc))
+	copy(out, b.trunc)
+	return out
 }
 
 // StopFunc returns a callback reporting budget exhaustion (unconditional

@@ -29,7 +29,16 @@ var DisableCleanUp = false
 // CleanUp executes every candidate on every example, which makes it one of
 // the hottest loops of synthesis; it counts each candidate against the
 // call's budget and stops scanning on exhaustion, keeping the verified
-// prefix.
+// prefix (and recording the truncation on the budget so the engine can
+// surface it as a PartialResult reason).
+//
+// When the context carries a Pruner, each candidate is first checked under
+// the abstract semantics and rejected without concrete execution if its
+// abstraction contradicts an example — sound, so the kept set is identical
+// to the unpruned run. Only concretely executed candidates then count
+// against the budget's explored total (pruned ones are tallied separately);
+// a candidate the abstraction admitted but the concrete check rejected is a
+// spurious survivor and feeds the refinement loop.
 func CleanUp(ctx context.Context, ps []Program, exs []SeqExample) (kept []Program) {
 	ps = capList(ps, CleanUpInputCap)
 	_, sp := trace.Start(ctx, "cleanup")
@@ -38,7 +47,10 @@ func CleanUp(ctx context.Context, ps []Program, exs []SeqExample) (kept []Progra
 		defer func() { sp.SetInt("kept", int64(len(kept))); sp.End() }()
 	}
 	bud := BudgetFrom(ctx)
-	bud.AddCandidates(int64(len(ps)))
+	pr := PrunerFrom(ctx)
+	if pr == nil {
+		bud.AddCandidates(int64(len(ps)))
+	}
 	type cand struct {
 		p    Program
 		outs [][]Value
@@ -51,7 +63,15 @@ func CleanUp(ctx context.Context, ps []Program, exs []SeqExample) (kept []Progra
 		// over every example, which on large documents costs milliseconds —
 		// far too coarse for the sampled Exhausted.
 		if bud.ExhaustedNow() {
+			bud.NoteTruncation("cleanup")
 			break
+		}
+		if pr != nil {
+			if !pr.AdmitsSeq(p, exs) {
+				pr.Ctx().CountPruned()
+				continue
+			}
+			bud.AddCandidates(1)
 		}
 		rows := make([][]Value, len(exs))
 		size := 0
@@ -67,6 +87,8 @@ func CleanUp(ctx context.Context, ps []Program, exs []SeqExample) (kept []Progra
 		}
 		if ok {
 			cands = append(cands, cand{p: p, outs: rows, cost: Cost(p), size: size})
+		} else if pr != nil {
+			pr.RefineSeq(p, exs)
 		}
 	}
 	sort.SliceStable(cands, func(i, j int) bool {

@@ -59,6 +59,15 @@ func capList(ps []Program, limit int) []Program {
 // back together in rule order, keeping ranking identical to a serial run.
 // A cancelled context stops each learner cooperatively; results produced
 // before the cancellation are still returned.
+//
+// Budget exhaustion degrades to a rule-order prefix in both modes: the
+// serial loop breaks at the first exhausted check, and the parallel path
+// records which learners were skipped by their start-time probe and keeps
+// only the results of the contiguous run of unskipped learners before the
+// first skipped one. Without the prefix cut, a slow early learner could be
+// skipped while a faster later one (scheduled before the trip) still
+// contributed, leaving a rank-order hole that a serial run can never
+// produce.
 func UnionLearners(learners ...SeqLearner) SeqLearner {
 	return func(ctx context.Context, exs []SeqExample) (learned []Program) {
 		metrics.From(ctx).Count(metrics.LearnerFanout, int64(len(learners)))
@@ -79,12 +88,14 @@ func UnionLearners(learners ...SeqLearner) SeqLearner {
 			return out
 		}
 		parts := make([][]Program, len(learners))
+		skipped := make([]bool, len(learners))
 		var wg sync.WaitGroup
 		for i, l := range learners {
 			wg.Add(1)
 			go func(i int, l SeqLearner) {
 				defer wg.Done()
 				if bud.ExhaustedNow() {
+					skipped[i] = true
 					return
 				}
 				parts[i] = l(ctx, exs)
@@ -92,7 +103,10 @@ func UnionLearners(learners ...SeqLearner) SeqLearner {
 		}
 		wg.Wait()
 		var out []Program
-		for _, p := range parts {
+		for i, p := range parts {
+			if skipped[i] {
+				break
+			}
 			out = append(out, p...)
 		}
 		return out
@@ -120,12 +134,14 @@ func UnionScalarLearners(learners ...ScalarLearner) ScalarLearner {
 			return out
 		}
 		parts := make([][]Program, len(learners))
+		skipped := make([]bool, len(learners))
 		var wg sync.WaitGroup
 		for i, l := range learners {
 			wg.Add(1)
 			go func(i int, l ScalarLearner) {
 				defer wg.Done()
 				if bud.ExhaustedNow() {
+					skipped[i] = true
 					return
 				}
 				parts[i] = l(ctx, exs)
@@ -133,7 +149,10 @@ func UnionScalarLearners(learners ...ScalarLearner) ScalarLearner {
 		}
 		wg.Wait()
 		var out []Program
-		for _, p := range parts {
+		for i, p := range parts {
+			if skipped[i] {
+				break
+			}
 			out = append(out, p...)
 		}
 		return out
@@ -183,6 +202,14 @@ func ConsistentScalar(p Program, exs []Example) bool {
 // one field never overlap each other in practice, so an overlapping output
 // almost always signals an overfit candidate; the overlapping programs are
 // kept as a fallback to preserve completeness.
+//
+// Within each group the order is cost-then-stable-index deterministic: a
+// stable sort by ranking Cost, so equal-cost programs keep the inner
+// learner's emission order (see DESIGN.md "Abstraction-guided pruning" →
+// ordering contract). The explicit sort pins tie-breaking to the input
+// index rather than to whatever order the wrapped learner happened to
+// produce under a given timing, so a pruning pass that changes per-learner
+// timing can never flip which of two tied programs wins downstream.
 func PreferNonOverlapping(l SeqLearner, overlaps func(a, b Value) bool) SeqLearner {
 	return func(ctx context.Context, exs []SeqExample) []Program {
 		ps := l(ctx, exs)
@@ -197,7 +224,34 @@ func PreferNonOverlapping(l SeqLearner, overlaps func(a, b Value) bool) SeqLearn
 				good = append(good, p)
 			}
 		}
+		sortByCostStable(good)
+		sortByCostStable(bad)
 		return append(good, bad...)
+	}
+}
+
+// sortByCostStable orders programs by ranking cost, preserving input order
+// among equal costs. Cost is computed once per program up front: Cost walks
+// the whole operator tree, and sort comparisons are O(n log n).
+func sortByCostStable(ps []Program) {
+	if len(ps) <= 1 {
+		return
+	}
+	costs := make([]int, len(ps))
+	for i, p := range ps {
+		costs[i] = Cost(p)
+	}
+	type ranked struct {
+		p Program
+		c int
+	}
+	rs := make([]ranked, len(ps))
+	for i := range ps {
+		rs[i] = ranked{ps[i], costs[i]}
+	}
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].c < rs[j].c })
+	for i := range rs {
+		ps[i] = rs[i].p
 	}
 }
 

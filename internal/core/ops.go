@@ -272,7 +272,23 @@ cross:
 			out = append(out, &PairProgram{A: a, B: b, Make: op.Make})
 		}
 	}
-	return capList(out, op.Cap)
+	out = capList(out, op.Cap)
+	// Abstract admission after the cap (so pruning never changes which
+	// candidates enter the capped list): a pair whose abstraction
+	// contradicts an example would fail the consistency check every
+	// downstream driver applies, so dropping it here is sound.
+	if pr := PrunerFrom(ctx); pr != nil {
+		kept := out[:0]
+		for _, p := range out {
+			if pr.AdmitsScalar(p, exs) {
+				kept = append(kept, p)
+			} else {
+				pr.Ctx().CountPruned()
+			}
+		}
+		out = kept
+	}
+	return out
 }
 
 // MergeExhaustiveLimit is the largest number of positive instances for

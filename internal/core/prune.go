@@ -1,0 +1,168 @@
+package core
+
+import (
+	"context"
+
+	"flashextract/internal/abstract"
+)
+
+// Pruner gates candidate programs through the abstract semantics before
+// concrete execution: a candidate whose abstraction already contradicts an
+// example is rejected without running it. The pruner carries the
+// counterexample-driven refinement state (exact match counts learned from
+// spurious survivors) and the pruned/refinement counters the engine
+// publishes. One Pruner instance may serve many synthesis calls over the
+// same document — abstract facts are document truths, so reuse across a
+// session only sharpens the abstraction.
+//
+// The bit-identity contract: a Pruner is only consulted at sites that are
+// immediately followed by the full concrete consistency check (CleanUp's
+// execute-and-verify loop, the Synthesize*Prog validation loops, PairOp's
+// admission) — every pruned candidate is one the concrete check would have
+// dropped, so ranked output is unchanged. See DESIGN.md
+// "Abstraction-guided pruning".
+type Pruner struct {
+	ac *abstract.Ctx
+}
+
+// NewPruner returns a pruner with an empty refinement store.
+func NewPruner() *Pruner { return &Pruner{ac: abstract.NewCtx()} }
+
+// Ctx exposes the refinement context (stats and substrate transformers).
+func (pr *Pruner) Ctx() *abstract.Ctx {
+	if pr == nil {
+		return nil
+	}
+	return pr.ac
+}
+
+// Pruned returns how many candidates this pruner rejected.
+func (pr *Pruner) Pruned() int64 { return pr.Ctx().Pruned() }
+
+// Refinements returns how many spurious-survivor refinement passes ran.
+func (pr *Pruner) Refinements() int64 { return pr.Ctx().Refinements() }
+
+// AdmitsSeq reports whether the candidate's abstraction is consistent with
+// every sequence example: execution must be feasible, the count bound must
+// admit at least the example's positive instances, and every positive whose
+// location is known (the Interval interface) must lie within the abstract
+// span. A false return proves ConsistentSeq would also return false.
+func (pr *Pruner) AdmitsSeq(p Program, exs []SeqExample) bool {
+	if pr == nil {
+		return true
+	}
+	for _, ex := range exs {
+		a := AbstractSeq(pr.ac, p, ex.State)
+		if a.Infeasible {
+			return false
+		}
+		if !a.Count.AtLeast(len(ex.Positive)) {
+			return false
+		}
+		if !spanCoversAll(a.Span, ex.Positive) {
+			return false
+		}
+	}
+	return true
+}
+
+// AdmitsScalar is AdmitsSeq for scalar examples: the abstraction must be
+// feasible and the expected output must lie within the abstract span.
+func (pr *Pruner) AdmitsScalar(p Program, exs []Example) bool {
+	if pr == nil {
+		return true
+	}
+	for _, ex := range exs {
+		a := AbstractScalar(pr.ac, p, ex.State)
+		if a.Infeasible {
+			return false
+		}
+		if iv, ok := ex.Output.(Interval); ok {
+			space, s, e := iv.Interval()
+			if !a.Span.Covers(space, s, e) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RefineSeq runs the counterexample-driven refinement loop on a spurious
+// survivor: a candidate the abstraction admitted but the concrete check
+// rejected. Every refinable leaf records the exact concrete facts of each
+// example state, tightening the intervals future abstract evaluations use,
+// so the same imprecision is not paid on the next candidate sharing the
+// leaf.
+func (pr *Pruner) RefineSeq(p Program, exs []SeqExample) {
+	if pr == nil {
+		return
+	}
+	pr.ac.CountRefinement()
+	for _, ex := range exs {
+		refineAbstract(pr.ac, p, ex.State)
+	}
+}
+
+// RefineScalar is RefineSeq for scalar examples.
+func (pr *Pruner) RefineScalar(p Program, exs []Example) {
+	if pr == nil {
+		return
+	}
+	pr.ac.CountRefinement()
+	for _, ex := range exs {
+		refineAbstract(pr.ac, p, ex.State)
+	}
+}
+
+func spanCoversAll(span abstract.Span, positives []Value) bool {
+	if span.Top {
+		return true
+	}
+	for _, v := range positives {
+		iv, ok := v.(Interval)
+		if !ok {
+			continue // no location information; never reject on it
+		}
+		space, s, e := iv.Interval()
+		if !span.Covers(space, s, e) {
+			return false
+		}
+	}
+	return true
+}
+
+// prunerKey keys the pruning configuration installed in a context. The
+// carrier distinguishes "never configured" (pruning may be installed by a
+// default) from "explicitly disabled" (a nil pruner was installed).
+type prunerKey struct{}
+
+type prunerVal struct{ p *Pruner }
+
+// WithPruner derives a context carrying the pruning configuration: a
+// non-nil pruner enables abstraction-guided candidate pruning for calls
+// made with the context, nil explicitly disables it (and suppresses any
+// engine default).
+func WithPruner(ctx context.Context, p *Pruner) context.Context {
+	return context.WithValue(ctx, prunerKey{}, prunerVal{p: p})
+}
+
+// PrunerFrom returns the pruner carried by the context, or nil when none is
+// installed (or pruning was explicitly disabled).
+func PrunerFrom(ctx context.Context) *Pruner {
+	if ctx == nil {
+		return nil
+	}
+	v, _ := ctx.Value(prunerKey{}).(prunerVal)
+	return v.p
+}
+
+// PrunerConfigured reports whether WithPruner was called on the context at
+// all — enabled or explicitly disabled — so defaults higher in the stack
+// know not to override an explicit choice.
+func PrunerConfigured(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	_, ok := ctx.Value(prunerKey{}).(prunerVal)
+	return ok
+}

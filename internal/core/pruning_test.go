@@ -1,0 +1,250 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"flashextract/internal/abstract"
+)
+
+// ---- UnionLearners rank-order guarantees (learner-layer fix #1) ----
+
+// TestUnionLearnersSlowFirstKeepsRankOrder pins the stitching contract of
+// the parallel union path: a first learner that finishes long after a later
+// one must still contribute its programs ahead of the later learner's.
+func TestUnionLearnersSlowFirstKeepsRankOrder(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("parallel union path needs GOMAXPROCS >= 2")
+	}
+	fastDone := make(chan struct{})
+	slow := func(_ context.Context, _ []SeqExample) []Program {
+		<-fastDone // finish strictly after the later learner
+		return []Program{constSeqProgram("a", 1)}
+	}
+	fast := func(_ context.Context, _ []SeqExample) []Program {
+		defer close(fastDone)
+		return []Program{constSeqProgram("b", 2)}
+	}
+	got := UnionLearners(slow, fast)(context.Background(), nil)
+	if len(got) != 2 || got[0].String() != "a" || got[1].String() != "b" {
+		t.Fatalf("rank order broken: %v", got)
+	}
+}
+
+// TestUnionLearnersBudgetTripKeepsRulePrefix asserts that a budget tripping
+// while a slow early learner is still running can never let a faster later
+// learner's programs land without the earlier rule's in front: the result is
+// always a rule-order prefix, exactly as a serial run would produce.
+func TestUnionLearnersBudgetTripKeepsRulePrefix(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("parallel union path needs GOMAXPROCS >= 2")
+	}
+	for i := 0; i < 25; i++ {
+		ctx, bud := WithBudget(context.Background(), SynthBudget{})
+		tripped := make(chan struct{})
+		slow := func(_ context.Context, _ []SeqExample) []Program {
+			<-tripped // guarantee the trip happens while this learner runs
+			return []Program{constSeqProgram("a", 1)}
+		}
+		fast := func(_ context.Context, _ []SeqExample) []Program {
+			bud.Trip(ReasonCandidates)
+			close(tripped)
+			return []Program{constSeqProgram("b", 2)}
+		}
+		got := UnionLearners(slow, fast)(ctx, nil)
+		// Depending on whether the slow learner's start probe beat the trip,
+		// the result is [a b] or [] — but never a list led by "b".
+		if len(got) == 1 || (len(got) > 0 && got[0].String() != "a") {
+			t.Fatalf("iteration %d: later learner's result landed out of rank order: %v", i, got)
+		}
+	}
+}
+
+// ---- CleanUp budget truncation (learner-layer fix #2) ----
+
+func TestCleanUpExhaustedBudgetRecordsTruncation(t *testing.T) {
+	ctx, bud := WithBudget(context.Background(), SynthBudget{
+		Deadline: time.Now().Add(-time.Millisecond),
+	})
+	exs := []SeqExample{{State: NewState(nil), Positive: seqOf(1)}}
+	ps := CleanUp(ctx, []Program{constSeqProgram("good", 1)}, exs)
+	if len(ps) != 0 {
+		t.Fatalf("exhausted budget should keep only the verified prefix, got %v", ps)
+	}
+	if tr := bud.Truncations(); len(tr) != 1 || tr[0] != "cleanup" {
+		t.Fatalf("Truncations = %v, want [cleanup]", tr)
+	}
+}
+
+func TestCleanUpBudgetTripMidScanKeepsVerifiedPrefix(t *testing.T) {
+	ctx, bud := WithBudget(context.Background(), SynthBudget{})
+	exs := []SeqExample{{State: NewState(nil), Positive: seqOf(1)}}
+	tripper := Func{Name: "tripper", F: func(State) (Value, error) {
+		bud.Trip(ReasonCandidates) // trips while the first candidate executes
+		return seqOf(1), nil
+	}}
+	ps := CleanUp(ctx, []Program{tripper, constSeqProgram("late", 1)}, exs)
+	if len(ps) != 1 || ps[0].String() != "tripper" {
+		t.Fatalf("CleanUp = %v, want the verified prefix [tripper]", ps)
+	}
+	if tr := bud.Truncations(); len(tr) != 1 || tr[0] != "cleanup" {
+		t.Fatalf("Truncations = %v, want [cleanup]", tr)
+	}
+}
+
+func TestCleanUpWithoutTruncationReportsNone(t *testing.T) {
+	ctx, bud := WithBudget(context.Background(), SynthBudget{})
+	exs := []SeqExample{{State: NewState(nil), Positive: seqOf(1)}}
+	if ps := CleanUp(ctx, []Program{constSeqProgram("good", 1)}, exs); len(ps) != 1 {
+		t.Fatalf("CleanUp = %v", ps)
+	}
+	if tr := bud.Truncations(); tr != nil {
+		t.Fatalf("Truncations = %v, want none", tr)
+	}
+}
+
+// ---- PreferNonOverlapping tie-breaking (learner-layer fix #3) ----
+
+// TestPreferNonOverlappingCostThenStableIndex pins the documented ordering
+// contract: candidates sort by ranking cost, and equal-cost candidates keep
+// the inner learner's emission order — so which of two tied programs wins is
+// a function of the input, never of per-learner timing.
+func TestPreferNonOverlappingCostThenStableIndex(t *testing.T) {
+	mk := func(name string, bias int) Program {
+		return Func{Name: name, Bias: bias, F: func(State) (Value, error) { return seqOf(1), nil }}
+	}
+	overlaps := func(a, b Value) bool { return false }
+	exs := []SeqExample{{State: NewState(nil), Positive: seqOf(1)}}
+	run := func(ps ...Program) []string {
+		inner := func(_ context.Context, _ []SeqExample) []Program { return ps }
+		got := PreferNonOverlapping(inner, overlaps)(context.Background(), exs)
+		names := make([]string, len(got))
+		for i, p := range got {
+			names[i] = p.String()
+		}
+		return names
+	}
+	// A cheaper program emitted later still ranks first.
+	if got := run(mk("pricey", 3), mk("tiedA", 1), mk("tiedB", 1)); got[0] != "tiedA" || got[1] != "tiedB" || got[2] != "pricey" {
+		t.Fatalf("order = %v, want [tiedA tiedB pricey]", got)
+	}
+	// Swapping the emission order of the tied pair swaps the winner with it:
+	// the tie-break is the stable input index, nothing else.
+	if got := run(mk("pricey", 3), mk("tiedB", 1), mk("tiedA", 1)); got[0] != "tiedB" || got[1] != "tiedA" {
+		t.Fatalf("order = %v, want tiedB before tiedA", got)
+	}
+}
+
+// ---- abstraction-guided pruning through CleanUp (tentpole) ----
+
+// absSeqFunc wraps a toy program with a fixed abstract transformer and an
+// optional refinement hook.
+type absSeqFunc struct {
+	Program
+	seq     abstract.Seq
+	refined *int
+}
+
+func (p absSeqFunc) AbstractSeq(_ *abstract.Ctx, _ State) abstract.Seq { return p.seq }
+func (p absSeqFunc) RefineAbstract(_ *abstract.Ctx, _ State) {
+	if p.refined != nil {
+		*p.refined++
+	}
+}
+
+func TestCleanUpPrunesAbstractlyInfeasible(t *testing.T) {
+	pr := NewPruner()
+	ctx, bud := WithBudget(WithPruner(context.Background(), pr), SynthBudget{})
+	exs := []SeqExample{{State: NewState(nil), Positive: seqOf(1)}}
+	executed := 0
+	bad := absSeqFunc{
+		Program: Func{Name: "bad", F: func(State) (Value, error) {
+			executed++
+			return seqOf(2), nil // would fail the concrete check anyway
+		}},
+		seq: abstract.InfeasibleSeq(),
+	}
+	good := absSeqFunc{
+		Program: constSeqProgram("good", 1),
+		seq:     abstract.Seq{Count: abstract.Exact(1), Span: abstract.TopSpan()},
+	}
+	ps := CleanUp(ctx, []Program{bad, good}, exs)
+	if len(ps) != 1 || ps[0].String() != "good" {
+		t.Fatalf("CleanUp = %v, want [good]", ps)
+	}
+	if executed != 0 {
+		t.Fatalf("pruned candidate was concretely executed %d times", executed)
+	}
+	if pr.Pruned() != 1 {
+		t.Fatalf("Pruned = %d, want 1", pr.Pruned())
+	}
+	// Only the concretely executed candidate counts against the budget.
+	if bud.Explored() != 1 {
+		t.Fatalf("Explored = %d, want 1", bud.Explored())
+	}
+}
+
+func TestCleanUpSpuriousSurvivorTriggersRefinement(t *testing.T) {
+	pr := NewPruner()
+	ctx, _ := WithBudget(WithPruner(context.Background(), pr), SynthBudget{})
+	exs := []SeqExample{{State: NewState(nil), Positive: seqOf(1)}}
+	refined := 0
+	spurious := absSeqFunc{
+		Program: constSeqProgram("spurious", 2), // admitted abstractly, fails concretely
+		seq:     abstract.TopSeq(),
+		refined: &refined,
+	}
+	if ps := CleanUp(ctx, []Program{spurious}, exs); len(ps) != 0 {
+		t.Fatalf("CleanUp = %v, want none", ps)
+	}
+	if pr.Refinements() != 1 || refined != 1 {
+		t.Fatalf("refinements = %d (leaf saw %d), want 1", pr.Refinements(), refined)
+	}
+}
+
+// TestCleanUpPrunedMatchesUnpruned is the operator-level bit-identity check:
+// over a mix of feasible, infeasible, and spurious candidates, the kept list
+// is identical with and without a pruner in the context.
+func TestCleanUpPrunedMatchesUnpruned(t *testing.T) {
+	mk := func(name string, seq abstract.Seq, out ...int) Program {
+		return absSeqFunc{Program: constSeqProgram(name, out...), seq: seq}
+	}
+	cands := []Program{
+		mk("wrong", abstract.InfeasibleSeq(), 9),
+		mk("loose", abstract.Seq{Count: abstract.Exact(3), Span: abstract.TopSpan()}, 1, 2, 3),
+		mk("tight", abstract.Seq{Count: abstract.Exact(1), Span: abstract.TopSpan()}, 1),
+		mk("spurious", abstract.TopSeq(), 7),
+		mk("short", abstract.Seq{Count: abstract.Exact(0), Span: abstract.TopSpan()}),
+	}
+	exs := []SeqExample{{State: NewState(nil), Positive: seqOf(1)}}
+	plain := CleanUp(context.Background(), cands, exs)
+	pruned := CleanUp(WithPruner(context.Background(), NewPruner()), cands, exs)
+	if len(plain) != len(pruned) {
+		t.Fatalf("kept %d pruned vs %d unpruned", len(pruned), len(plain))
+	}
+	for i := range plain {
+		if plain[i].String() != pruned[i].String() {
+			t.Fatalf("kept[%d]: %s (pruned) != %s (unpruned)", i, pruned[i], plain[i])
+		}
+	}
+}
+
+func TestPrunerContextConfiguration(t *testing.T) {
+	if PrunerConfigured(context.Background()) {
+		t.Fatal("fresh context should not be configured")
+	}
+	off := WithPruner(context.Background(), nil)
+	if !PrunerConfigured(off) {
+		t.Fatal("explicitly disabled pruning should read as configured")
+	}
+	if PrunerFrom(off) != nil {
+		t.Fatal("explicitly disabled pruning should carry no pruner")
+	}
+	pr := NewPruner()
+	on := WithPruner(context.Background(), pr)
+	if PrunerFrom(on) != pr {
+		t.Fatal("pruner not carried by context")
+	}
+}

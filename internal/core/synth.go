@@ -32,13 +32,27 @@ func SynthesizeSeqRegionProg(ctx context.Context, n1 SeqLearner, specs []SeqSpec
 	}
 	candidates := n1(ctx, exs)
 	bud := BudgetFrom(ctx)
-	bud.AddCandidates(int64(len(candidates)))
+	pr := PrunerFrom(ctx)
+	if pr == nil {
+		bud.AddCandidates(int64(len(candidates)))
+	}
 	var out []Program
 	for _, p := range candidates {
 		if bud.ExhaustedNow() {
+			bud.NoteTruncation("synthesize_seq")
 			break
 		}
+		if pr != nil {
+			if !pr.AdmitsSeq(p, exs) {
+				pr.Ctx().CountPruned()
+				continue
+			}
+			bud.AddCandidates(1)
+		}
 		if !ConsistentSeq(p, exs) {
+			if pr != nil {
+				pr.RefineSeq(p, exs)
+			}
 			continue
 		}
 		if violatesNegative(p, specs, conflicts) {
@@ -76,14 +90,27 @@ func violatesNegative(p Program, specs []SeqSpec, conflicts func(out, neg Value)
 func SynthesizeRegionProg(ctx context.Context, n2 ScalarLearner, exs []Example) []Program {
 	candidates := n2(ctx, exs)
 	bud := BudgetFrom(ctx)
-	bud.AddCandidates(int64(len(candidates)))
+	pr := PrunerFrom(ctx)
+	if pr == nil {
+		bud.AddCandidates(int64(len(candidates)))
+	}
 	var out []Program
 	for _, p := range candidates {
 		if bud.ExhaustedNow() {
+			bud.NoteTruncation("synthesize_region")
 			break
+		}
+		if pr != nil {
+			if !pr.AdmitsScalar(p, exs) {
+				pr.Ctx().CountPruned()
+				continue
+			}
+			bud.AddCandidates(1)
 		}
 		if ConsistentScalar(p, exs) {
 			out = append(out, p)
+		} else if pr != nil {
+			pr.RefineScalar(p, exs)
 		}
 	}
 	return out

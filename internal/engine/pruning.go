@@ -1,0 +1,61 @@
+package engine
+
+import "flashextract/internal/core"
+
+// Abstraction-guided candidate pruning: before a candidate program is
+// executed concretely against the examples, its abstract semantics
+// (internal/abstract) is checked against each example; a candidate whose
+// abstraction contradicts an example — too few possible matches, an output
+// range that cannot cover a highlighted region — is rejected without
+// execution. The abstraction is a sound over-approximation, so pruning is
+// invisible in the output: the ranked candidate set, the selected program,
+// and the inferred highlighting are bit-identical with pruning on or off
+// (the pruning differential suite in internal/bench pins this over the
+// full corpus). Only the synth_candidates_explored counter drops; rejected
+// candidates are tallied separately as synth_candidates_pruned.
+//
+// Pruning composes with candidate budgets conservatively: a budget with
+// MaxCandidates > 0 meters the learner's search by explored count, and
+// pruning would change which candidates the cap admits, so the engine only
+// installs a pruner when no candidate cap is set (mirroring the
+// incremental path's candidate_budget fallback).
+
+// DefaultPruning is the initial abstraction-guided-pruning setting of new
+// sessions and of direct SynthesizeFieldProgram calls. It exists for the
+// pruning differential harness, which compares a pruned run against a
+// forced-unpruned reference; the production default is true.
+// Session.SetPruning overrides it per session.
+var DefaultPruning = true
+
+// SetPruning turns abstraction-guided candidate pruning on or off for
+// subsequent Learn calls. Turning it off drops the session's refinement
+// store; a later re-enable starts from an empty store (the store holds only
+// document-true facts, so this costs re-derivation, never soundness).
+func (s *Session) SetPruning(on bool) {
+	s.pruning = on
+	if !on {
+		s.pruner = nil
+	}
+}
+
+// Pruning reports whether the session prunes candidates via the abstract
+// semantics before concrete execution.
+func (s *Session) Pruning() bool { return s.pruning }
+
+// learnPruner returns the pruner to install on a Learn call's context: the
+// session-lifetime pruner when pruning is enabled and no candidate cap is
+// set, nil otherwise (which explicitly disables pruning for the call — the
+// cap meters explored candidates, and pruning would change what it admits).
+// The pruner — and with it the counterexample-driven refinement store — is
+// shared across the session's Learn calls: refinement facts are exact match
+// counts over the immutable document, so they stay true across calls and
+// commits.
+func (s *Session) learnPruner() *core.Pruner {
+	if !s.pruning || s.budget.MaxCandidates > 0 {
+		return nil
+	}
+	if s.pruner == nil {
+		s.pruner = core.NewPruner()
+	}
+	return s.pruner
+}

@@ -36,6 +36,8 @@ type Session struct {
 	stats       SessionStats
 	inc         map[string]*incState // retained candidate state per color
 	incremental bool                 // reuse retained state across Learn calls
+	pruning     bool                 // abstraction-guided candidate pruning
+	pruner      *core.Pruner         // session-lifetime refinement store (lazy)
 }
 
 // SessionStats aggregates the engine metrics of a session: per-call
@@ -59,6 +61,12 @@ type SessionStats struct {
 	// IncrementalFallbacks counts Learn calls that had retained candidate
 	// state but fell back to a cold re-synthesis.
 	IncrementalFallbacks int64 `json:"incremental_fallbacks"`
+	// CandidatesPruned counts candidates rejected by the abstract semantics
+	// before concrete execution.
+	CandidatesPruned int64 `json:"candidates_pruned"`
+	// AbstractionRefinements counts spurious abstract survivors fed back
+	// into the pruner's refinement store.
+	AbstractionRefinements int64 `json:"abstraction_refinements"`
 	// SynthTime totals wall time spent inside synthesis calls.
 	SynthTime time.Duration `json:"synth_time_ns"`
 	// Cache holds the document's evaluation-cache counters (zero value
@@ -83,6 +91,7 @@ func NewSession(doc Document, sch *schema.Schema) *Session {
 		partial:      map[string]*PartialResult{},
 		inc:          map[string]*incState{},
 		incremental:  DefaultIncremental,
+		pruning:      DefaultPruning,
 	}
 }
 
@@ -105,6 +114,8 @@ func (s *Session) Stats() SessionStats {
 	st := s.stats
 	st.Metrics = s.reg.Snapshot()
 	st.LearnerFanout = s.reg.Counter(metrics.LearnerFanout)
+	st.CandidatesPruned = s.reg.Counter(metrics.CandidatesPruned)
+	st.AbstractionRefinements = s.reg.Counter(metrics.AbstractionRefinements)
 	if cs, ok := s.doc.(CacheStatser); ok {
 		st.Cache = cs.CacheStats()
 	}
@@ -230,6 +241,9 @@ func (s *Session) LearnContext(ctx context.Context, color string) (*FieldProgram
 	// call would.
 	ctx = metrics.Into(ctx, s.reg)
 	ctx, _ = core.WithBudget(ctx, s.budget)
+	// Install the session's pruning decision (possibly "explicitly off") so
+	// the cold driver neither double-installs nor overrides it.
+	ctx = core.WithPruner(ctx, s.learnPruner())
 	if fp, pr, ok := s.tryIncremental(ctx, fi, pos, neg); ok {
 		s.record(color, pr)
 		s.programs[color] = fp
@@ -251,6 +265,7 @@ func (s *Session) LearnContext(ctx context.Context, color string) (*FieldProgram
 func (s *Session) synthesize(ctx context.Context, fi *schema.FieldInfo, pos, neg []region.Region) (*FieldProgram, *PartialResult, error) {
 	ctx = metrics.Into(ctx, s.reg)
 	ctx, _ = core.WithBudget(ctx, s.budget)
+	ctx = core.WithPruner(ctx, s.learnPruner())
 	return SynthesizeFieldProgramCtx(ctx, s.doc, s.sch, s.cr, fi, pos, neg, s.materialized)
 }
 

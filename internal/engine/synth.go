@@ -31,6 +31,14 @@ type PartialResult struct {
 	BestEffort bool `json:"best_effort,omitempty"`
 	// CandidatesExplored counts the candidate programs examined.
 	CandidatesExplored int64 `json:"candidates_explored"`
+	// CandidatesPruned counts candidates rejected by the abstract semantics
+	// before concrete execution (zero when pruning is off for the call).
+	CandidatesPruned int64 `json:"candidates_pruned,omitempty"`
+	// TruncatedPhases lists the synthesis phases that stopped scanning
+	// candidates on budget exhaustion ("cleanup", "synthesize_seq",
+	// "synthesize_region"): the ranking degraded to a verified prefix
+	// instead of the full candidate list.
+	TruncatedPhases []string `json:"truncated_phases,omitempty"`
 	// Elapsed is the wall time of the call.
 	Elapsed time.Duration `json:"elapsed_ns"`
 }
@@ -112,6 +120,14 @@ func synthesizeFieldProgramCapture(
 	sink := metrics.From(ctx)
 	sink.Count(metrics.LearnCalls, 1)
 	applyCacheBudget(doc, bud)
+	// Install abstraction-guided pruning unless the caller already decided
+	// (a Session installs its own, possibly-nil pruner) or a candidate cap
+	// meters the search by explored count (see pruning.go).
+	if !core.PrunerConfigured(ctx) && DefaultPruning && bud.MaxCandidates() == 0 {
+		ctx = core.WithPruner(ctx, core.NewPruner())
+	}
+	pruner := core.PrunerFrom(ctx)
+	prunedBefore, refsBefore := pruner.Pruned(), pruner.Refinements()
 	// Chaos site: exhaust the budget before the learner starts, forcing the
 	// graceful-degradation path for this field as if a deadline had tripped.
 	if faults.From(ctx).Hit(faults.SiteBudget, "learn:"+f.Color()) {
@@ -134,9 +150,15 @@ func synthesizeFieldProgramCapture(
 			Reason:             bud.Reason(),
 			BestEffort:         bestEffort && bud.Reason() != "",
 			CandidatesExplored: bud.Explored(),
+			TruncatedPhases:    bud.Truncations(),
 			Elapsed:            time.Since(start),
 		}
 		sink.Count(metrics.CandidatesExplored, pr.CandidatesExplored)
+		if pruner != nil {
+			pr.CandidatesPruned = pruner.Pruned() - prunedBefore
+			sink.Count(metrics.CandidatesPruned, pr.CandidatesPruned)
+			sink.Count(metrics.AbstractionRefinements, pruner.Refinements()-refsBefore)
+		}
 		if pr.Exhausted {
 			sink.Count(metrics.PartialResults, 1)
 		}

@@ -52,6 +52,13 @@ const (
 	// highlighting, removed examples, budget-truncated state, or no
 	// surviving candidate).
 	IncrementalFallbacks = "synth_incremental_fallbacks"
+	// CandidatesPruned counts candidate programs rejected by the abstract
+	// semantics before concrete execution (see internal/abstract).
+	CandidatesPruned = "synth_candidates_pruned"
+	// AbstractionRefinements counts spurious abstract survivors fed back
+	// into the refinement store (a candidate the abstraction admitted but
+	// the concrete consistency check rejected).
+	AbstractionRefinements = "synth_abstraction_refinements"
 
 	// BatchDocs counts documents processed by the batch runtime (result
 	// and error records alike).

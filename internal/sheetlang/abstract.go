@@ -1,0 +1,140 @@
+package sheetlang
+
+import (
+	"flashextract/internal/abstract"
+	"flashextract/internal/core"
+)
+
+// Abstraction transformers of the Lsps leaf programs (see internal/core's
+// AbstractEval seam and DESIGN.md "Abstraction-guided pruning"). Split
+// counts are exact rectangle arithmetic; cell attributes are checked for
+// index feasibility against the rectangle's cell count. Sheet regions do
+// not implement core.Interval, so spans carry no rejection power and every
+// feasible result is ⊤-spanned.
+
+// AbstractSeq of splitcells(R0): the cell count is exact rectangle
+// arithmetic.
+func (splitCellsProg) AbstractSeq(_ *abstract.Ctx, st core.State) abstract.Seq {
+	_, r1, c1, r2, c2, err := inputBounds(st)
+	if err != nil {
+		return abstract.InfeasibleSeq()
+	}
+	n := (r2 - r1 + 1) * (c2 - c1 + 1)
+	return abstract.Seq{Count: abstract.Exact(n), Span: abstract.TopSpan()}
+}
+
+// AbstractSeq of splitrows(R0): the row count is exact.
+func (splitRowsProg) AbstractSeq(_ *abstract.Ctx, st core.State) abstract.Seq {
+	_, r1, _, r2, _, err := inputBounds(st)
+	if err != nil {
+		return abstract.InfeasibleSeq()
+	}
+	return abstract.Seq{Count: abstract.Exact(r2 - r1 + 1), Span: abstract.TopSpan()}
+}
+
+// cellAttrFeasible reports whether a cell attribute can possibly resolve
+// within the rectangle: AbsCell by index arithmetic against the cell count,
+// RegCell because its matching cells are a subset of the rectangle's cells
+// (so |k| beyond the cell count can never resolve, and k=0 never does).
+// true means "cannot disprove", never "will match".
+func cellAttrFeasible(a cellAttr, r1, c1, r2, c2 int) bool {
+	total := (r2 - r1 + 1) * (c2 - c1 + 1)
+	switch v := a.(type) {
+	case absCell:
+		k := v.k
+		if k < 0 {
+			k = total + k
+		}
+		return k >= 0 && k < total
+	case regCell:
+		k := v.k
+		if k < 0 {
+			k = -k
+		}
+		return v.k != 0 && k <= total
+	}
+	return true
+}
+
+// AbstractScalar of λx: Cell(x, c) over a row rectangle.
+func (p cellRowMapF) AbstractScalar(_ *abstract.Ctx, st core.State) abstract.Scalar {
+	v, _ := st.Lookup(lambdaVar)
+	x, ok := v.(RectRegion)
+	if !ok {
+		return abstract.InfeasibleScalar()
+	}
+	if !cellAttrFeasible(p.c, x.R1, x.C1, x.R2, x.C2) {
+		return abstract.InfeasibleScalar()
+	}
+	return abstract.TopScalar()
+}
+
+// AbstractScalar of λx: Pair(x, Cell(R0[x:], c)): the end cell is sought in
+// the rectangle from x to R0's bottom-right corner.
+func (p startPairF) AbstractScalar(_ *abstract.Ctx, st core.State) abstract.Scalar {
+	_, _, _, r2, c2, err := inputBounds(st)
+	if err != nil {
+		return abstract.InfeasibleScalar()
+	}
+	v, _ := st.Lookup(lambdaVar)
+	x, ok := v.(CellRegion)
+	if !ok {
+		return abstract.InfeasibleScalar()
+	}
+	if !cellAttrFeasible(p.c, x.R, x.C, r2, c2) {
+		return abstract.InfeasibleScalar()
+	}
+	return abstract.TopScalar()
+}
+
+// AbstractScalar of λx: Pair(Cell(R0[:x], c), x): the mirror of startPairF.
+func (p endPairF) AbstractScalar(_ *abstract.Ctx, st core.State) abstract.Scalar {
+	_, r1, c1, _, _, err := inputBounds(st)
+	if err != nil {
+		return abstract.InfeasibleScalar()
+	}
+	v, _ := st.Lookup(lambdaVar)
+	x, ok := v.(CellRegion)
+	if !ok {
+		return abstract.InfeasibleScalar()
+	}
+	if !cellAttrFeasible(p.c, r1, c1, x.R, x.C) {
+		return abstract.InfeasibleScalar()
+	}
+	return abstract.TopScalar()
+}
+
+// AbstractScalar of the N2 expression Cell(R0, c).
+func (p cellProg) AbstractScalar(_ *abstract.Ctx, st core.State) abstract.Scalar {
+	_, r1, c1, r2, c2, err := inputBounds(st)
+	if err != nil {
+		return abstract.InfeasibleScalar()
+	}
+	if !cellAttrFeasible(p.c, r1, c1, r2, c2) {
+		return abstract.InfeasibleScalar()
+	}
+	return abstract.TopScalar()
+}
+
+// AbstractScalar of the N2 expression Pair(Cell(R0,c1), Cell(R0,c2)).
+func (p cellPairProg) AbstractScalar(_ *abstract.Ctx, st core.State) abstract.Scalar {
+	_, r1, c1, r2, c2, err := inputBounds(st)
+	if err != nil {
+		return abstract.InfeasibleScalar()
+	}
+	if !cellAttrFeasible(p.c1, r1, c1, r2, c2) || !cellAttrFeasible(p.c2, r1, c1, r2, c2) {
+		return abstract.InfeasibleScalar()
+	}
+	return abstract.TopScalar()
+}
+
+// Interface conformance: the compiler pins every transformer to the seam.
+var (
+	_ core.AbstractSeqProgram    = splitCellsProg{}
+	_ core.AbstractSeqProgram    = splitRowsProg{}
+	_ core.AbstractScalarProgram = cellRowMapF{}
+	_ core.AbstractScalarProgram = startPairF{}
+	_ core.AbstractScalarProgram = endPairF{}
+	_ core.AbstractScalarProgram = cellProg{}
+	_ core.AbstractScalarProgram = cellPairProg{}
+)

@@ -1,0 +1,234 @@
+package textlang
+
+import (
+	"flashextract/internal/abstract"
+	"flashextract/internal/core"
+	"flashextract/internal/tokens"
+)
+
+// Abstraction transformers of the Ltext leaf programs (see internal/core's
+// AbstractEval seam and DESIGN.md "Abstraction-guided pruning"). Every
+// transformer is a sound over-approximation of the program's concrete
+// semantics, built from O(1)-after-caching facts: line counts from the
+// document's line cache, regex-pair match-count bounds from the token
+// boundary cache, and exact counts from the refinement store. A document
+// without an evaluation cache degrades to ⊤ (never rejects).
+
+// ---- sequence programs ----
+
+// AbstractSeq of split(R0, '\n'): the line count is exact (linesIn is
+// memoized) and every line lies within R0.
+func (splitLinesProg) AbstractSeq(_ *abstract.Ctx, st core.State) abstract.Seq {
+	r0, err := inputRegion(st)
+	if err != nil {
+		return abstract.InfeasibleSeq()
+	}
+	return abstract.Seq{
+		Count: abstract.Exact(len(linesIn(r0))),
+		Span:  abstract.NewSpan(r0.Doc, r0.Start, r0.End),
+	}
+}
+
+// AbstractSeq of PosSeq(R0, rr): the count is bounded by the refinement
+// store's exact fact when one was learned, else by the boundary-cache match
+// bound. Outputs are positions (not regions), so the span carries no
+// information.
+func (p posSeqProg) AbstractSeq(ac *abstract.Ctx, st core.State) abstract.Seq {
+	r0, err := inputRegion(st)
+	if err != nil {
+		return abstract.InfeasibleSeq()
+	}
+	return abstract.Seq{
+		Count: pairCount(ac, r0.Doc, r0.Start, r0.End, p.rr),
+		Span:  abstract.TopSpan(),
+	}
+}
+
+// RefineAbstract of PosSeq records the exact match count of the failing
+// state's input range — cache-hot, because the concrete execution that just
+// rejected the candidate computed the very same position sequence.
+func (p posSeqProg) RefineAbstract(ac *abstract.Ctx, st core.State) {
+	r0, err := inputRegion(st)
+	if err != nil || r0.Doc.cache == nil {
+		return
+	}
+	ps := positionsIn(r0.Doc, r0.Start, r0.End, p.rr)
+	ac.Refine(abstract.Key{Lo: r0.Start, Hi: r0.End, Fp: tokens.PairFingerprint(p.rr)}, len(ps))
+}
+
+// ---- scalar (map-function and N2) programs ----
+
+// AbstractScalar of λx: Pair(Pos(x, p1), Pos(x, p2)): infeasible when
+// either attribute provably has no position in the line; the output region
+// lies within the line.
+func (p linePairProg) AbstractScalar(ac *abstract.Ctx, st core.State) abstract.Scalar {
+	x, err := lambdaRegion(st)
+	if err != nil {
+		return abstract.InfeasibleScalar()
+	}
+	if !attrFeasible(ac, x.Doc, x.Start, x.End, p.p1) || !attrFeasible(ac, x.Doc, x.Start, x.End, p.p2) {
+		return abstract.InfeasibleScalar()
+	}
+	return abstract.Scalar{Span: abstract.NewSpan(x.Doc, x.Start, x.End)}
+}
+
+// AbstractScalar of λx: Pos(x, p): the output is a position, so only
+// feasibility propagates.
+func (p linePosProg) AbstractScalar(ac *abstract.Ctx, st core.State) abstract.Scalar {
+	x, err := lambdaRegion(st)
+	if err != nil {
+		return abstract.InfeasibleScalar()
+	}
+	if !attrFeasible(ac, x.Doc, x.Start, x.End, p.p) {
+		return abstract.InfeasibleScalar()
+	}
+	return abstract.TopScalar()
+}
+
+// AbstractScalar of λx: Pair(x, Pos(R0[x:], p)): the output region starts
+// at x and ends within R0.
+func (p startPairProg) AbstractScalar(ac *abstract.Ctx, st core.State) abstract.Scalar {
+	x, err := lambdaPos(st)
+	if err != nil {
+		return abstract.InfeasibleScalar()
+	}
+	r0, err := inputRegion(st)
+	if err != nil || x < r0.Start || x > r0.End {
+		return abstract.InfeasibleScalar()
+	}
+	if !attrFeasible(ac, r0.Doc, x, r0.End, p.p) {
+		return abstract.InfeasibleScalar()
+	}
+	return abstract.Scalar{Span: abstract.NewSpan(r0.Doc, x, r0.End)}
+}
+
+// AbstractScalar of λx: Pair(Pos(R0[:x], p), x): the mirror of
+// startPairProg.
+func (p endPairProg) AbstractScalar(ac *abstract.Ctx, st core.State) abstract.Scalar {
+	x, err := lambdaPos(st)
+	if err != nil {
+		return abstract.InfeasibleScalar()
+	}
+	r0, err := inputRegion(st)
+	if err != nil || x < r0.Start || x > r0.End {
+		return abstract.InfeasibleScalar()
+	}
+	if !attrFeasible(ac, r0.Doc, r0.Start, x, p.p) {
+		return abstract.InfeasibleScalar()
+	}
+	return abstract.Scalar{Span: abstract.NewSpan(r0.Doc, r0.Start, x)}
+}
+
+// AbstractScalar of the N2 program Pair(Pos(R0, p1), Pos(R0, p2)).
+func (p regionPairProg) AbstractScalar(ac *abstract.Ctx, st core.State) abstract.Scalar {
+	r0, err := inputRegion(st)
+	if err != nil {
+		return abstract.InfeasibleScalar()
+	}
+	if !attrFeasible(ac, r0.Doc, r0.Start, r0.End, p.p1) || !attrFeasible(ac, r0.Doc, r0.Start, r0.End, p.p2) {
+		return abstract.InfeasibleScalar()
+	}
+	return abstract.Scalar{Span: abstract.NewSpan(r0.Doc, r0.Start, r0.End)}
+}
+
+// ---- shared attribute feasibility ----
+
+// attrFeasible reports whether a position attribute can possibly resolve
+// over Text[lo:hi]: AbsPos by pure range arithmetic, RegPos by comparing
+// |K| against the match-count upper bound (refinement store first, then the
+// boundary-cache bound). true means "cannot disprove", never "will match".
+func attrFeasible(ac *abstract.Ctx, d *Document, lo, hi int, a tokens.Attr) bool {
+	switch v := a.(type) {
+	case tokens.AbsPos:
+		k := v.K
+		if k < 0 {
+			k = (hi - lo) + k + 1
+		}
+		return k >= 0 && k <= hi-lo
+	case tokens.RegPos:
+		return pairCount(ac, d, lo, hi, v.RR).AtLeast(abs(v.K)) && v.K != 0
+	}
+	return true
+}
+
+// pairCount returns the count interval of rr's matches in Text[lo:hi]: the
+// refinement store's exact fact when present, else the boundary-anchored
+// upper bound, else ⊤ for cache-less documents.
+func pairCount(ac *abstract.Ctx, d *Document, lo, hi int, rr tokens.RegexPair) abstract.Interval {
+	if d == nil || d.cache == nil {
+		return abstract.TopInterval()
+	}
+	if n, ok := ac.Exact(abstract.Key{Lo: lo, Hi: hi, Fp: tokens.PairFingerprint(rr)}); ok {
+		return abstract.Exact(n)
+	}
+	cntLo, cntHi, exact := d.cache.PairCountBounds(lo, hi, rr)
+	if exact {
+		return abstract.Exact(cntHi)
+	}
+	return abstract.Range(cntLo, cntHi)
+}
+
+func abs(k int) int {
+	if k < 0 {
+		return -k
+	}
+	return k
+}
+
+// ---- line-predicate feasibility (the FilterBool predicate learner) ----
+
+// predFeasible reports whether a line predicate can possibly evaluate to
+// true on the example state — the consistency requirement of the predicate
+// learner's verification loop. It rides the token boundary cache: a
+// StartsWith(r) match requires r's first token to have a (left-maximal) run
+// start at the line start, EndsWith(r) requires a run end at the line end,
+// and Contains(r, k) requires at least k starts of r's first token and k
+// ends of its last (every concrete match consumes one of each). false is a
+// proof that the concrete verification would reject the candidate.
+func predFeasible(st core.State, p linePred) bool {
+	if p.kind == predTrue || len(p.r) == 0 {
+		return true
+	}
+	x, err := lambdaRegion(st)
+	if err != nil {
+		// Exec errors on this state, so the concrete check rejects too.
+		return false
+	}
+	if x.Doc == nil || x.Doc.cache == nil {
+		return true
+	}
+	rx, ok := p.subject(st, x)
+	if !ok {
+		// A missing neighbor line makes the predicate concretely false.
+		return false
+	}
+	cache := x.Doc.cache
+	switch p.kind {
+	case predStartsWith, predPredStartsWith, predSuccStartsWith:
+		pre, _ := cache.Boundaries(rx.Start, rx.End, p.r[0])
+		return len(pre) > 0 && pre[0] == 0
+	case predEndsWith, predPredEndsWith, predSuccEndsWith:
+		_, suf := cache.Boundaries(rx.Start, rx.End, p.r[len(p.r)-1])
+		return len(suf) > 0 && suf[len(suf)-1] == rx.End-rx.Start
+	default: // the Contains forms
+		pre, _ := cache.Boundaries(rx.Start, rx.End, p.r[0])
+		_, suf := cache.Boundaries(rx.Start, rx.End, p.r[len(p.r)-1])
+		ub := len(pre)
+		if len(suf) < ub {
+			ub = len(suf)
+		}
+		return ub >= p.k
+	}
+}
+
+// Interface conformance: the compiler pins every transformer to the seam.
+var (
+	_ core.AbstractSeqProgram    = splitLinesProg{}
+	_ core.AbstractSeqProgram    = posSeqProg{}
+	_ core.AbstractRefiner       = posSeqProg{}
+	_ core.AbstractScalarProgram = linePairProg{}
+	_ core.AbstractScalarProgram = linePosProg{}
+	_ core.AbstractScalarProgram = startPairProg{}
+	_ core.AbstractScalarProgram = endPairProg{}
+	_ core.AbstractScalarProgram = regionPairProg{}
+)

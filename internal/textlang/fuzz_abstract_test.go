@@ -1,0 +1,54 @@
+package textlang
+
+import (
+	"testing"
+
+	"flashextract/internal/core"
+	"flashextract/internal/tokens"
+)
+
+// FuzzAbstractSound pins the soundness contract of the abstraction layer's
+// line-predicate check: whenever predFeasible rejects a candidate on a
+// state, concretely executing that candidate on the same state must not
+// succeed. This is exactly the property the pruning sites in learnPred rely
+// on for bit-identical output with pruning on or off — a single
+// counterexample here would mean pruning can drop a consistent program.
+func FuzzAbstractSound(f *testing.F) {
+	f.Add(analyteText, uint8(1), uint8(3))
+	f.Add("ERROR 2026-01-03 boot failed\nINFO ok\nERROR 2026-01-04 disk full\n", uint8(0), uint8(2))
+	f.Add("a,1\nb,22\nc,333\n", uint8(2), uint8(0))
+	f.Add("one two\tthree\nfour\n\nfive", uint8(3), uint8(1))
+	f.Add("x", uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, text string, i, j uint8) {
+		if len(text) > 2048 {
+			t.Skip()
+		}
+		doc := NewDocument(text)
+		whole := doc.WholeRegion().(Region)
+		lines := linesIn(whole)
+		if len(lines) == 0 {
+			t.Skip()
+		}
+		src := lines[int(i)%len(lines)]
+		dst := lines[int(j)%len(lines)]
+
+		// Candidates exactly as learnPred derives them: every predicate form
+		// instantiated from the source line's text, then checked against a
+		// state whose λ-bound line is (in general) a different line.
+		cands := candidatesForLine(src.Value(), predStartsWith, predEndsWith, predContains, tokens.Standard)
+		cands = append(cands, candidatesForLine(src.Value(), predPredStartsWith, predPredEndsWith, predPredContains, tokens.Standard)...)
+		cands = append(cands, candidatesForLine(src.Value(), predSuccStartsWith, predSuccEndsWith, predSuccContains, tokens.Standard)...)
+
+		st := core.NewState(whole).Bind(lambdaVar, dst)
+		for _, cand := range cands {
+			if predFeasible(st, cand) {
+				continue // only rejections carry a proof obligation
+			}
+			v, err := cand.Exec(st)
+			if err == nil && v == core.Value(true) {
+				t.Fatalf("abstraction unsound: predFeasible rejected %s on line [%d,%d) of %q, but Exec accepts",
+					cand, dst.Start, dst.End, text)
+			}
+		}
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
 
 	"flashextract/internal/core"
 	"flashextract/internal/engine"
@@ -44,6 +46,26 @@ type learnCtx struct {
 	toks   []tokens.Token
 	doc    *Document
 	poolID uint64
+
+	// lsFlight single-flights the LS sub-learn per example fingerprint when
+	// an abstract-pruning context is present: all three SS rules re-learn LS,
+	// and their witness sequences coincide whenever the example regions or
+	// positions live on the same lines, so the second and third invocations
+	// replay the first result instead of re-exploring every candidate. The
+	// learner is deterministic in (doc, pool, examples), so a replay is
+	// bit-identical to a recomputation. Results of budget-truncated runs are
+	// never cached.
+	lsMu     sync.Mutex
+	lsFlight map[string]*lsEntry
+}
+
+// lsEntry is one in-flight or completed LS sub-learn: done is closed when ps
+// is ready, and ok reports whether the result is replayable (false when the
+// computation was cut short by the budget).
+type lsEntry struct {
+	done chan struct{}
+	ps   []core.Program
+	ok   bool
 }
 
 func newLearnCtx(doc *Document, boundary []Region) *learnCtx {
@@ -273,13 +295,90 @@ func (c *learnCtx) endSeqMapOp() core.MapOp {
 // ---- line sequence non-terminal LS ----
 
 // learnLS is LS ::= FilterInt(init, iter, FilterBool(b, split(R0,'\n'))).
+//
+// The returned learner is replay-memoized through the learn context (see
+// lsFlight): with abstraction-guided pruning active, identical LS example
+// sets — which all three SS rules produce whenever their witnesses land on
+// the same lines — are learned once and replayed, so the replayed candidate
+// explorations never reach concrete execution.
 func (c *learnCtx) learnLS() core.SeqLearner {
 	inner := core.FilterBoolOp{
 		Var: lambdaVar,
 		B:   c.learnPred,
 		S:   learnSplit,
 	}
-	return core.FilterIntOp{S: inner.Learn}.Learn
+	ls := core.FilterIntOp{S: inner.Learn}.Learn
+	return func(ctx context.Context, exs []core.SeqExample) []core.Program {
+		pr := core.PrunerFrom(ctx)
+		if pr == nil {
+			return ls(ctx, exs)
+		}
+		key, ok := lsKey(exs)
+		if !ok {
+			return ls(ctx, exs)
+		}
+		c.lsMu.Lock()
+		if c.lsFlight == nil {
+			c.lsFlight = map[string]*lsEntry{}
+		}
+		if e, hit := c.lsFlight[key]; hit {
+			c.lsMu.Unlock()
+			// The SS rules run concurrently (UnionLearners), so a second
+			// identical sub-learn may still be in flight; wait for it rather
+			// than duplicating its exploration.
+			<-e.done
+			if e.ok {
+				pr.Ctx().CountReplay()
+				// The replay leaves a marker span where the recomputation's
+				// learner subtree would sit, so traces stay self-explanatory.
+				if _, sp := trace.Start(ctx, "ls_replay"); sp != nil {
+					sp.SetInt("programs", int64(len(e.ps)))
+					sp.End()
+				}
+				return e.ps
+			}
+			return ls(ctx, exs)
+		}
+		e := &lsEntry{done: make(chan struct{})}
+		c.lsFlight[key] = e
+		c.lsMu.Unlock()
+		bud := core.BudgetFrom(ctx)
+		truncBefore := len(bud.Truncations())
+		e.ps = ls(ctx, exs)
+		e.ok = !bud.ExhaustedNow() && len(bud.Truncations()) == truncBefore
+		if !e.ok {
+			// A truncated result is budget-dependent, not a document fact;
+			// drop the entry so later callers learn afresh.
+			c.lsMu.Lock()
+			delete(c.lsFlight, key)
+			c.lsMu.Unlock()
+		}
+		close(e.done)
+		return e.ps
+	}
+}
+
+// lsKey fingerprints an LS example set: the input region and the positive
+// line regions of every example. ok is false when the examples are not
+// region-shaped (no replay then — learn normally).
+func lsKey(exs []core.SeqExample) (string, bool) {
+	var b strings.Builder
+	for _, ex := range exs {
+		r0, err := inputRegion(ex.State)
+		if err != nil {
+			return "", false
+		}
+		fmt.Fprintf(&b, "r0:%p:%d-%d|", r0.Doc, r0.Start, r0.End)
+		for _, v := range ex.Positive {
+			r, ok := v.(Region)
+			if !ok {
+				return "", false
+			}
+			fmt.Fprintf(&b, "%d-%d,", r.Start, r.End)
+		}
+		b.WriteByte(';')
+	}
+	return b.String(), true
 }
 
 // learnSplit is the learner of the fixed expression split(R0, '\n'):
@@ -514,7 +613,10 @@ func (c *learnCtx) learnPred(ctx context.Context, exs []core.Example) []core.Pro
 	}
 
 	bud := core.BudgetFrom(ctx)
-	bud.AddCandidates(int64(len(cands)))
+	pr := core.PrunerFrom(ctx)
+	if pr == nil {
+		bud.AddCandidates(int64(len(cands)))
+	}
 	var out []core.Program
 	seen := map[string]bool{}
 	for _, cand := range cands {
@@ -526,6 +628,23 @@ func (c *learnCtx) learnPred(ctx context.Context, exs []core.Example) []core.Pro
 			continue
 		}
 		seen[key] = true
+		if pr != nil {
+			// Every rejection below is a proof that the verification loop
+			// underneath would reject the same candidate, so the output set
+			// is bit-identical with pruning on or off.
+			feasible := true
+			for _, ex := range exs {
+				if !predFeasible(ex.State, cand) {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				pr.Ctx().CountPruned()
+				continue
+			}
+			bud.AddCandidates(1)
+		}
 		ok := true
 		for _, ex := range exs {
 			v, err := cand.Exec(ex.State)

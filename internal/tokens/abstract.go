@@ -1,0 +1,49 @@
+package tokens
+
+// Abstract match-count summaries over the evaluation cache: cheap sound
+// bounds on how many positions a regex pair can match in a range, used by
+// the substrate abstraction transformers (see internal/abstract) to reject
+// candidate programs before concrete execution.
+
+// PairFingerprint returns the cache fingerprint of a regex pair. Substrate
+// abstraction transformers key refinement facts (exact match counts learned
+// from spurious survivors) on (range, fingerprint); it is the same hash the
+// cache's own position-sequence memo uses.
+func PairFingerprint(rr RegexPair) uint64 { return pairFingerprint(rr) }
+
+// PairCountBounds returns a sound bound [cntLo, cntHi] on the number of
+// positions rr matches within text[lo:hi], and whether the bound is exact.
+//
+// When the pair's position sequence is already memoized the count is exact
+// and free. Otherwise the bound rides the per-token boundary cache: every
+// match position must be a right-maximal end of the left regex's last token
+// AND a left-maximal start of the right regex's first token (exactly the
+// candidate lists the concrete Positions scan verifies), so the smaller
+// boundary list's length is an upper bound. Boundary scans are O(range) per
+// token and memoized — the same scans the concrete evaluation of the
+// candidate would perform.
+func (c *Cache) PairCountBounds(lo, hi int, rr RegexPair) (cntLo, cntHi int, exact bool) {
+	if len(rr.Left) == 0 && len(rr.Right) == 0 {
+		// Positions returns nil for the empty pair.
+		return 0, 0, true
+	}
+	key := seqKey{lo: lo, hi: hi, h: pairFingerprint(rr)}
+	if ps, ok := c.seqGet(key, rr); ok {
+		return len(ps), len(ps), true
+	}
+	ub := -1
+	if len(rr.Left) > 0 {
+		_, ends := c.Boundaries(lo, hi, rr.Left[len(rr.Left)-1])
+		ub = len(ends)
+	}
+	if len(rr.Right) > 0 {
+		starts, _ := c.Boundaries(lo, hi, rr.Right[0])
+		if ub < 0 || len(starts) < ub {
+			ub = len(starts)
+		}
+	}
+	if ub < 0 {
+		ub = 0
+	}
+	return 0, ub, false
+}

@@ -1,0 +1,211 @@
+package weblang
+
+import (
+	"flashextract/internal/abstract"
+	"flashextract/internal/core"
+	"flashextract/internal/tokens"
+	"flashextract/internal/xpath"
+)
+
+// Abstraction transformers of the Lweb leaf programs (see internal/core's
+// AbstractEval seam and DESIGN.md "Abstraction-guided pruning"). XPath
+// programs are bounded by document-wide tag counts; token-position programs
+// reuse the same regex-pair match bounds as the text instantiation, over
+// the document's global text content. Every transformer soundly
+// over-approximates the concrete semantics; documents without an evaluation
+// cache degrade to ⊤.
+
+// ---- XPath programs ----
+
+// pathCount bounds how many nodes a path can select under any context node
+// of the document: exactly zero when a concrete-tag step names a tag the
+// document does not contain anywhere (Select empties mid-walk), otherwise
+// at most the document-wide count of the final step's tag.
+func pathCount(d *Document, p *xpath.Path) abstract.Interval {
+	if d == nil || p == nil {
+		return abstract.TopInterval()
+	}
+	if len(p.Steps) == 0 {
+		// The empty path selects the context node itself.
+		return abstract.Exact(1)
+	}
+	for _, s := range p.Steps {
+		if s.Tag != "*" && d.tagCount(s.Tag) == 0 {
+			return abstract.Exact(0)
+		}
+	}
+	if last := p.Steps[len(p.Steps)-1]; last.Tag != "*" {
+		return abstract.Range(0, d.tagCount(last.Tag))
+	}
+	return abstract.TopInterval()
+}
+
+// AbstractSeq of XPaths(R0, path). NodeRegion does not implement
+// core.Interval, so the span carries no rejection power; only the count
+// bound does.
+func (p xpathsProg) AbstractSeq(_ *abstract.Ctx, st core.State) abstract.Seq {
+	r0, err := inputNode(st)
+	if err != nil {
+		return abstract.InfeasibleSeq()
+	}
+	return abstract.Seq{Count: pathCount(r0.Doc, p.path), Span: abstract.TopSpan()}
+}
+
+// AbstractScalar of XPath(R0, path): infeasible when the path provably
+// selects nothing (Exec then returns ErrNoMatch on every input).
+func (p xpathRegionProg) AbstractScalar(_ *abstract.Ctx, st core.State) abstract.Scalar {
+	r0, err := inputNode(st)
+	if err != nil {
+		return abstract.InfeasibleScalar()
+	}
+	if !pathCount(r0.Doc, p.path).AtLeast(1) {
+		return abstract.InfeasibleScalar()
+	}
+	return abstract.TopScalar()
+}
+
+// ---- token-position programs ----
+
+// AbstractSeq of PosSeq(R0, rr) over the input region's text content.
+// Outputs are positions, so the span carries no information.
+func (p posSeqProg) AbstractSeq(ac *abstract.Ctx, st core.State) abstract.Seq {
+	doc, lo, hi, err := inputTextRange(st)
+	if err != nil {
+		return abstract.InfeasibleSeq()
+	}
+	return abstract.Seq{Count: pairCount(ac, doc, lo, hi, p.rr), Span: abstract.TopSpan()}
+}
+
+// RefineAbstract of PosSeq records the exact match count of the failing
+// state's input range — cache-hot, because the concrete execution that just
+// rejected the candidate computed the very same position sequence.
+func (p posSeqProg) RefineAbstract(ac *abstract.Ctx, st core.State) {
+	doc, lo, hi, err := inputTextRange(st)
+	if err != nil || doc.cache == nil {
+		return
+	}
+	ps := positionsIn(doc, lo, hi, p.rr)
+	ac.Refine(abstract.Key{Lo: lo, Hi: hi, Fp: tokens.PairFingerprint(p.rr)}, len(ps))
+}
+
+// AbstractScalar of λx: Pair(Pos(x.Val, p1), Pos(x.Val, p2)): infeasible
+// when either attribute provably has no position in the node's text; the
+// output span lies within the node's text range.
+func (p nodeSpanPairProg) AbstractScalar(ac *abstract.Ctx, st core.State) abstract.Scalar {
+	v, ok := st.Lookup(lambdaVar)
+	if !ok {
+		return abstract.InfeasibleScalar()
+	}
+	x, ok := v.(NodeRegion)
+	if !ok {
+		return abstract.InfeasibleScalar()
+	}
+	lo, hi := x.Node.TextStart, x.Node.TextEnd
+	if !attrFeasible(ac, x.Doc, lo, hi, p.p1) || !attrFeasible(ac, x.Doc, lo, hi, p.p2) {
+		return abstract.InfeasibleScalar()
+	}
+	return abstract.Scalar{Span: abstract.NewSpan(x.Doc, lo, hi)}
+}
+
+// AbstractScalar of λx: Pair(x, Pos(R0[x:], p)): the output span starts at
+// x and ends within the input range.
+func (p startPairProg) AbstractScalar(ac *abstract.Ctx, st core.State) abstract.Scalar {
+	doc, lo, hi, err := inputTextRange(st)
+	if err != nil {
+		return abstract.InfeasibleScalar()
+	}
+	v, _ := st.Lookup(lambdaVar)
+	x, ok := v.(int)
+	if !ok || x < lo || x > hi {
+		return abstract.InfeasibleScalar()
+	}
+	if !attrFeasible(ac, doc, x, hi, p.p) {
+		return abstract.InfeasibleScalar()
+	}
+	return abstract.Scalar{Span: abstract.NewSpan(doc, x, hi)}
+}
+
+// AbstractScalar of λx: Pair(Pos(R0[:x], p), x): the mirror of
+// startPairProg.
+func (p endPairProg) AbstractScalar(ac *abstract.Ctx, st core.State) abstract.Scalar {
+	doc, lo, hi, err := inputTextRange(st)
+	if err != nil {
+		return abstract.InfeasibleScalar()
+	}
+	v, _ := st.Lookup(lambdaVar)
+	x, ok := v.(int)
+	if !ok || x < lo || x > hi {
+		return abstract.InfeasibleScalar()
+	}
+	if !attrFeasible(ac, doc, lo, x, p.p) {
+		return abstract.InfeasibleScalar()
+	}
+	return abstract.Scalar{Span: abstract.NewSpan(doc, lo, x)}
+}
+
+// AbstractScalar of the N2 program Pair(Pos(R0, p1), Pos(R0, p2)).
+func (p spanPairProg) AbstractScalar(ac *abstract.Ctx, st core.State) abstract.Scalar {
+	doc, lo, hi, err := inputTextRange(st)
+	if err != nil {
+		return abstract.InfeasibleScalar()
+	}
+	if !attrFeasible(ac, doc, lo, hi, p.p1) || !attrFeasible(ac, doc, lo, hi, p.p2) {
+		return abstract.InfeasibleScalar()
+	}
+	return abstract.Scalar{Span: abstract.NewSpan(doc, lo, hi)}
+}
+
+// ---- shared attribute feasibility (weblang twin of textlang's) ----
+
+// attrFeasible reports whether a position attribute can possibly resolve
+// over Text[lo:hi]: AbsPos by pure range arithmetic, RegPos by comparing
+// |K| against the match-count upper bound. true means "cannot disprove".
+func attrFeasible(ac *abstract.Ctx, d *Document, lo, hi int, a tokens.Attr) bool {
+	switch v := a.(type) {
+	case tokens.AbsPos:
+		k := v.K
+		if k < 0 {
+			k = (hi - lo) + k + 1
+		}
+		return k >= 0 && k <= hi-lo
+	case tokens.RegPos:
+		return pairCount(ac, d, lo, hi, v.RR).AtLeast(absK(v.K)) && v.K != 0
+	}
+	return true
+}
+
+// pairCount returns the count interval of rr's matches in Text[lo:hi]: the
+// refinement store's exact fact when present, else the boundary-anchored
+// upper bound, else ⊤ for cache-less documents.
+func pairCount(ac *abstract.Ctx, d *Document, lo, hi int, rr tokens.RegexPair) abstract.Interval {
+	if d == nil || d.cache == nil {
+		return abstract.TopInterval()
+	}
+	if n, ok := ac.Exact(abstract.Key{Lo: lo, Hi: hi, Fp: tokens.PairFingerprint(rr)}); ok {
+		return abstract.Exact(n)
+	}
+	cntLo, cntHi, exact := d.cache.PairCountBounds(lo, hi, rr)
+	if exact {
+		return abstract.Exact(cntHi)
+	}
+	return abstract.Range(cntLo, cntHi)
+}
+
+func absK(k int) int {
+	if k < 0 {
+		return -k
+	}
+	return k
+}
+
+// Interface conformance: the compiler pins every transformer to the seam.
+var (
+	_ core.AbstractSeqProgram    = xpathsProg{}
+	_ core.AbstractScalarProgram = xpathRegionProg{}
+	_ core.AbstractSeqProgram    = posSeqProg{}
+	_ core.AbstractRefiner       = posSeqProg{}
+	_ core.AbstractScalarProgram = nodeSpanPairProg{}
+	_ core.AbstractScalarProgram = startPairProg{}
+	_ core.AbstractScalarProgram = endPairProg{}
+	_ core.AbstractScalarProgram = spanPairProg{}
+)

@@ -9,6 +9,7 @@ package weblang
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"flashextract/internal/engine"
 	"flashextract/internal/htmldom"
@@ -28,6 +29,34 @@ type Document struct {
 	// learning indexes over ranges of Text (node text contents are exact
 	// slices of it); program execution and the learners share it.
 	cache *tokens.Cache
+
+	// tagCounts maps element tags to their document-wide occurrence count,
+	// computed lazily on first use; the abstraction transformers use it as a
+	// sound upper bound on XPath result counts.
+	tagOnce   sync.Once
+	tagCounts map[string]int
+}
+
+// tagCount returns the number of element nodes in the document with the
+// given (lowercase) tag. The count is over the whole document, so it bounds
+// an XPath's results from any context node.
+func (d *Document) tagCount(tag string) int {
+	d.tagOnce.Do(func() {
+		d.tagCounts = make(map[string]int)
+		var walk func(n *htmldom.Node)
+		walk = func(n *htmldom.Node) {
+			if n.Type == htmldom.ElementNode {
+				d.tagCounts[n.Tag]++
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		if d.Root != nil {
+			walk(d.Root)
+		}
+	})
+	return d.tagCounts[tag]
 }
 
 // NewDocument parses an HTML page.
